@@ -1,0 +1,221 @@
+//! Scalar complex numbers.
+//!
+//! Used by the ComplEx model (Trouillon et al., 2016) as derived in §2.2.3 /
+//! Eq. 5 of the paper: each entity and relation embedding entry is a complex
+//! number `c = a + b·i`, and the score conjugates the tail.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number `re + im·i` over `f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real component `Re(c)`.
+    pub re: f32,
+    /// Imaginary component `Im(c)`.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Constructs `re + im·i`.
+    #[inline]
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Complex conjugate `c̄ = re − im·i`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Modulus `|c| = sqrt(re² + im²)`.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|c|²` (no square root).
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Constructs a complex number from polar coordinates `|c|·e^{iθ}`.
+    ///
+    /// §6.1.2 of the paper explains ComplEx's good weight vector through
+    /// this form: multiplying complex numbers adds phases, i.e. rotates in
+    /// the plane, which yields the completeness/stability/distinguishability
+    /// properties.
+    #[inline]
+    pub fn from_polar(modulus: f32, theta: f32) -> Self {
+        Self { re: modulus * theta.cos(), im: modulus * theta.sin() }
+    }
+
+    /// Multiplicative inverse `1/c`.
+    ///
+    /// Returns `None` for (near-)zero inputs.
+    pub fn inverse(self) -> Option<Self> {
+        let n = self.norm_sq();
+        if n < 1e-30 {
+            None
+        } else {
+            Some(Self { re: self.re / n, im: -self.im / n })
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f32) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 1e-4 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn close_c(a: Complex, b: Complex) -> bool {
+        close(a.re, b.re) && close(a.im, b.im)
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, -Complex::ONE);
+    }
+
+    #[test]
+    fn conjugate_of_product_reference() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -4.0);
+        assert!(close_c((a * b).conj(), a.conj() * b.conj()));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Complex::new(0.7, -1.3);
+        let inv = a.inverse().unwrap();
+        assert!(close_c(a * inv, Complex::ONE));
+        assert!(Complex::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let c = Complex::new(-1.2, 0.8);
+        let p = Complex::from_polar(c.norm(), c.arg());
+        assert!(close_c(c, p));
+    }
+
+    proptest! {
+        #[test]
+        fn multiplication_is_commutative(
+            (a, b, c, d) in (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0)
+        ) {
+            let x = Complex::new(a, b);
+            let y = Complex::new(c, d);
+            prop_assert!(close_c(x * y, y * x));
+        }
+
+        #[test]
+        fn multiplication_is_associative(
+            v in proptest::array::uniform6(-4.0f32..4.0)
+        ) {
+            let x = Complex::new(v[0], v[1]);
+            let y = Complex::new(v[2], v[3]);
+            let z = Complex::new(v[4], v[5]);
+            prop_assert!(close_c((x * y) * z, x * (y * z)));
+        }
+
+        #[test]
+        fn norm_is_multiplicative(
+            (a, b, c, d) in (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0)
+        ) {
+            let x = Complex::new(a, b);
+            let y = Complex::new(c, d);
+            prop_assert!(close((x * y).norm(), x.norm() * y.norm()));
+        }
+
+        #[test]
+        fn multiplication_adds_phases(
+            (m1, t1, m2, t2) in (0.1f32..5.0, -1.5f32..1.5, 0.1f32..5.0, -1.5f32..1.5)
+        ) {
+            // |c1|e^{iθ1} · |c2|e^{iθ2} = |c1||c2| e^{i(θ1+θ2)} — the rotation
+            // picture of §6.1.2 (angles chosen so the sum stays in (-π, π]).
+            let c1 = Complex::from_polar(m1, t1);
+            let c2 = Complex::from_polar(m2, t2);
+            let p = c1 * c2;
+            prop_assert!(close(p.norm(), m1 * m2));
+            prop_assert!(close(p.arg(), t1 + t2));
+        }
+
+        #[test]
+        fn conj_is_involution((a, b) in (-10.0f32..10.0, -10.0f32..10.0)) {
+            let x = Complex::new(a, b);
+            prop_assert_eq!(x.conj().conj(), x);
+        }
+
+        #[test]
+        fn distributes_over_addition(
+            v in proptest::array::uniform6(-4.0f32..4.0)
+        ) {
+            let x = Complex::new(v[0], v[1]);
+            let y = Complex::new(v[2], v[3]);
+            let z = Complex::new(v[4], v[5]);
+            prop_assert!(close_c(x * (y + z), x * y + x * z));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Packed hyper-complex embedding kernels.
+//!
+//! Embedding tables in `mei-core` store the `n` component vectors of each
+//! item contiguously (structure-of-arrays). These kernels score a triple
+//! directly in the hyper-complex algebra — `Σ_d Re(h_d · t̄_d · r_d)` — and
+//! serve as the independent "native" implementations that the unified
+//! multi-embedding presets are equivalence-tested against.
+
+use crate::{Complex, Quaternion};
+
+/// ComplEx score `Σ_d Re(h_d · t̄_d · r_d)` (Eq. 5).
+///
+/// Each argument is the pair `[real, imaginary]` of component slices; all
+/// six slices must share one length `D`.
+pub fn complex_score(h: [&[f32]; 2], t: [&[f32]; 2], r: [&[f32]; 2]) -> f32 {
+    let d = h[0].len();
+    debug_assert!(
+        h[1].len() == d && t[0].len() == d && t[1].len() == d && r[0].len() == d && r[1].len() == d
+    );
+    let mut acc = 0.0f64;
+    for idx in 0..d {
+        let hq = Complex::new(h[0][idx], h[1][idx]);
+        let tq = Complex::new(t[0][idx], t[1][idx]);
+        let rq = Complex::new(r[0][idx], r[1][idx]);
+        acc += f64::from((hq * tq.conj() * rq).re);
+    }
+    acc as f32
+}
+
+/// Quaternion score `Σ_d Re(h_d · t̄_d · r_d)` (Eq. 13) under the Hamilton
+/// product, with the operand order whose expansion is Eq. 14.
+///
+/// Each argument is the quadruple `[w, x, y, z]` of component slices.
+pub fn quaternion_score(h: [&[f32]; 4], t: [&[f32]; 4], r: [&[f32]; 4]) -> f32 {
+    let d = h[0].len();
+    let mut acc = 0.0f64;
+    for idx in 0..d {
+        let hq = Quaternion::new(h[0][idx], h[1][idx], h[2][idx], h[3][idx]);
+        let tq = Quaternion::new(t[0][idx], t[1][idx], t[2][idx], t[3][idx]);
+        let rq = Quaternion::new(r[0][idx], r[1][idx], r[2][idx], r[3][idx]);
+        acc += f64::from((hq * tq.conj() * rq).re());
+    }
+    acc as f32
+}
+
+/// Octonion score `Σ_d Re((h_d · t̄_d) · r_d)` for the eight-embedding
+/// extension model (association order fixed left-to-right; octonions are
+/// nonassociative).
+///
+/// Each argument is the 8 component slices `[e0..e7]`.
+pub fn octonion_score(h: [&[f32]; 8], t: [&[f32]; 8], r: [&[f32]; 8]) -> f32 {
+    use crate::Octonion;
+    let d = h[0].len();
+    let mut acc = 0.0f64;
+    for idx in 0..d {
+        let gather = |s: &[&[f32]; 8]| {
+            let mut c = [0.0f32; 8];
+            for (ci, comp) in c.iter_mut().zip(s.iter()) {
+                *ci = comp[idx];
+            }
+            Octonion(c)
+        };
+        let hq = gather(&h);
+        let tq = gather(&t);
+        let rq = gather(&r);
+        acc += f64::from(((hq * tq.conj()) * rq).re());
+    }
+    acc as f32
+}
+
+/// DistMult / CP score `⟨a, b, c⟩ = Σ_d a_d·b_d·c_d` over plain real
+/// vectors (Eq. 3) — re-exported here so all three "native" scoring
+/// functions live side by side.
+pub fn real_trilinear_score(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    mei_math::trilinear(a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn complex_score_single_dim_matches_scalar_algebra() {
+        let h = Complex::new(0.4, -0.9);
+        let t = Complex::new(1.2, 0.3);
+        let r = Complex::new(-0.6, 0.8);
+        let s = complex_score(
+            [&[h.re], &[h.im]],
+            [&[t.re], &[t.im]],
+            [&[r.re], &[r.im]],
+        );
+        assert!((s - (h * t.conj() * r).re).abs() < 1e-6);
+    }
+
+    #[test]
+    fn complex_score_is_asymmetric() {
+        // Swapping head and tail must be able to change the score — the
+        // property DistMult lacks and ComplEx was built for (§2.2.3).
+        let h = [&[1.0f32][..], &[0.5f32][..]];
+        let t = [&[0.2f32][..], &[-0.8f32][..]];
+        let r = [&[0.7f32][..], &[0.9f32][..]];
+        let fwd = complex_score(h, t, r);
+        let bwd = complex_score(t, h, r);
+        assert!((fwd - bwd).abs() > 1e-6);
+    }
+
+    #[test]
+    fn complex_score_symmetric_when_relation_is_real() {
+        // With Im(r) = 0 the score reduces to DistMult on stacked
+        // components, which is symmetric in h and t.
+        let h = [&[0.3f32, 1.0][..], &[0.5f32, -0.2][..]];
+        let t = [&[-0.4f32, 0.8][..], &[0.1f32, 0.6][..]];
+        let r = [&[0.7f32, -0.9][..], &[0.0f32, 0.0][..]];
+        let fwd = complex_score(h, t, r);
+        let bwd = complex_score(t, h, r);
+        assert!((fwd - bwd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn octonion_score_single_dim_matches_scalar_algebra() {
+        use crate::expansion::{expand_re_h_conj_t_r, OctonionBasis};
+        let hv = [0.4f32, -0.9, 0.3, 0.1, 0.7, -0.2, 0.5, -0.6];
+        let tv = [1.2f32, 0.3, -0.5, 0.6, -0.1, 0.8, 0.2, 0.4];
+        let rv = [-0.6f32, 0.8, 0.2, -0.4, 0.9, 0.1, -0.7, 0.3];
+        fn cols(v: &[f32; 8]) -> [&[f32]; 8] {
+            [
+                std::slice::from_ref(&v[0]),
+                std::slice::from_ref(&v[1]),
+                std::slice::from_ref(&v[2]),
+                std::slice::from_ref(&v[3]),
+                std::slice::from_ref(&v[4]),
+                std::slice::from_ref(&v[5]),
+                std::slice::from_ref(&v[6]),
+                std::slice::from_ref(&v[7]),
+            ]
+        }
+        let s = octonion_score(cols(&hv), cols(&tv), cols(&rv));
+        // Against the scalar algebra ...
+        let native = ((crate::Octonion(hv) * crate::Octonion(tv).conj()) * crate::Octonion(rv)).re();
+        assert!((s - native).abs() < 1e-5);
+        // ... and against the symbolic 64-term expansion.
+        let expanded: f32 = expand_re_h_conj_t_r(&OctonionBasis)
+            .iter()
+            .map(|t| f32::from(t.sign) * hv[t.h] * tv[t.t] * rv[t.r])
+            .sum();
+        assert!((s - expanded).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quaternion_score_single_dim_matches_scalar_algebra() {
+        let h = Quaternion::new(0.4, -0.9, 0.3, 0.1);
+        let t = Quaternion::new(1.2, 0.3, -0.5, 0.6);
+        let r = Quaternion::new(-0.6, 0.8, 0.2, -0.4);
+        let s = quaternion_score(
+            [&[h.w], &[h.x], &[h.y], &[h.z]],
+            [&[t.w], &[t.x], &[t.y], &[t.z]],
+            [&[r.w], &[r.x], &[r.y], &[r.z]],
+        );
+        assert!((s - (h * t.conj() * r).re()).abs() < 1e-5);
+    }
+
+    proptest! {
+        #[test]
+        fn complex_score_sums_over_dimensions(
+            hs in proptest::collection::vec(proptest::array::uniform6(-2.0f32..2.0), 1..8)
+        ) {
+            // Score of a D-dim triple equals the sum of D scalar scores.
+            let d = hs.len();
+            let mut cols: [Vec<f32>; 6] = Default::default();
+            for row in &hs {
+                for (c, v) in cols.iter_mut().zip(row) {
+                    c.push(*v);
+                }
+            }
+            let whole = complex_score(
+                [&cols[0], &cols[1]],
+                [&cols[2], &cols[3]],
+                [&cols[4], &cols[5]],
+            );
+            let mut per_dim = 0.0f32;
+            for i in 0..d {
+                per_dim += complex_score(
+                    [&cols[0][i..=i], &cols[1][i..=i]],
+                    [&cols[2][i..=i], &cols[3][i..=i]],
+                    [&cols[4][i..=i], &cols[5][i..=i]],
+                );
+            }
+            prop_assert!((whole - per_dim).abs() < 1e-3);
+        }
+    }
+}

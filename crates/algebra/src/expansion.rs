@@ -1,0 +1,267 @@
+//! Symbolic expansion of hyper-complex trilinear scores into interaction
+//! weight vectors.
+//!
+//! The paper derives ComplEx (Eq. 9–10) and the quaternion model (Eq. 14)
+//! by expanding `Re(h · t̄ · r)` over the components of each number and
+//! reading off signed trilinear terms `±⟨h(i), t(j), r(k)⟩`. This module
+//! performs that expansion *mechanically* from the algebra's basis
+//! multiplication table, so Table 1's ComplEx column and Eq. 14's sixteen
+//! terms are derived by the code rather than hard-coded — the presets in
+//! `mei-core` are then tested against these derivations.
+
+/// One signed trilinear term `sign · ⟨h(i), t(j), r(k)⟩` in an expansion.
+///
+/// Component indices are zero-based: for complex numbers `0 = Re, 1 = Im`;
+/// for quaternions `0 = real, 1..=3` the `i, j, k` coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SignedTerm {
+    /// Head component index `i`.
+    pub h: usize,
+    /// Tail component index `j`.
+    pub t: usize,
+    /// Relation component index `k`.
+    pub r: usize,
+    /// Coefficient, `+1` or `−1`.
+    pub sign: i8,
+}
+
+/// A hyper-complex algebra described by its basis multiplication table.
+///
+/// `mul(a, b)` returns `(sign, c)` such that `e_a · e_b = sign · e_c`.
+/// Basis element 0 is the real unit; conjugation negates every non-real
+/// component.
+pub trait BasisAlgebra {
+    /// Number of basis elements (2 for ℂ, 4 for ℍ).
+    fn dim(&self) -> usize;
+    /// Product of basis units: `e_a · e_b = sign · e_c`.
+    fn mul(&self, a: usize, b: usize) -> (i8, usize);
+}
+
+/// The complex numbers `{1, i}`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComplexBasis;
+
+impl BasisAlgebra for ComplexBasis {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn mul(&self, a: usize, b: usize) -> (i8, usize) {
+        match (a, b) {
+            (0, x) => (1, x),
+            (x, 0) => (1, x),
+            (1, 1) => (-1, 0),
+            _ => panic!("complex basis index out of range: ({a}, {b})"),
+        }
+    }
+}
+
+/// The quaternions `{1, i, j, k}` with Hamilton's table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuaternionBasis;
+
+impl BasisAlgebra for QuaternionBasis {
+    fn dim(&self) -> usize {
+        4
+    }
+
+    fn mul(&self, a: usize, b: usize) -> (i8, usize) {
+        // Table rows are e_a · e_b for a, b ∈ {1, i, j, k}.
+        const TABLE: [[(i8, usize); 4]; 4] = [
+            [(1, 0), (1, 1), (1, 2), (1, 3)],
+            [(1, 1), (-1, 0), (1, 3), (-1, 2)],
+            [(1, 2), (-1, 3), (-1, 0), (1, 1)],
+            [(1, 3), (1, 2), (-1, 1), (-1, 0)],
+        ];
+        TABLE[a][b]
+    }
+}
+
+/// The octonions `{1, e₁ … e₇}` with the Fano-plane table — powering the
+/// eight-embedding extension model (the paper's §7 future-work direction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OctonionBasis;
+
+impl BasisAlgebra for OctonionBasis {
+    fn dim(&self) -> usize {
+        8
+    }
+
+    fn mul(&self, a: usize, b: usize) -> (i8, usize) {
+        crate::octonion::basis_mul(a, b)
+    }
+}
+
+/// Expands `Re((h · conj(t)) · r)` over algebra `alg` into signed trilinear
+/// terms, sorted by `(h, t, r)` component indices.
+///
+/// The association order is left-to-right, which matters only for
+/// nonassociative algebras (octonions); for ℂ and ℍ any order gives the
+/// same real part.
+///
+/// Every returned term has a nonzero coefficient; components never repeat,
+/// so the result is exactly the nonzero entries of the interaction weight
+/// vector ω of Eq. 8 realized by the algebra.
+pub fn expand_re_h_conj_t_r<A: BasisAlgebra>(alg: &A) -> Vec<SignedTerm> {
+    let n = alg.dim();
+    let mut terms = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            // Conjugation flips the sign of non-real components of t.
+            let conj_sign: i8 = if j == 0 { 1 } else { -1 };
+            let (s1, u) = alg.mul(i, j);
+            for k in 0..n {
+                let (s2, v) = alg.mul(u, k);
+                if v == 0 {
+                    // Only basis products landing on the real unit
+                    // contribute to Re(·).
+                    terms.push(SignedTerm { h: i, t: j, r: k, sign: conj_sign * s1 * s2 });
+                }
+            }
+        }
+    }
+    terms.sort();
+    terms
+}
+
+/// The ComplEx weight vector over the `n = 2` multi-embedding grid,
+/// flattened in `(i, j, k)` row-major order — the paper's Table 1 column
+/// "ComplEx": `(1, 0, 0, 1, 0, −1, 1, 0)`.
+pub fn complex_omega() -> Vec<f32> {
+    omega_from_terms(&expand_re_h_conj_t_r(&ComplexBasis), 2)
+}
+
+/// The quaternion weight vector over the `n = 4` grid (64 entries, 16
+/// nonzero), flattened in `(i, j, k)` row-major order — Eq. 14.
+pub fn quaternion_omega() -> Vec<f32> {
+    omega_from_terms(&expand_re_h_conj_t_r(&QuaternionBasis), 4)
+}
+
+/// The octonion weight vector over the `n = 8` grid (512 entries, 64
+/// nonzero) for the eight-embedding extension model.
+pub fn octonion_omega() -> Vec<f32> {
+    omega_from_terms(&expand_re_h_conj_t_r(&OctonionBasis), 8)
+}
+
+/// Scatters signed terms into a dense row-major `n³` weight vector.
+pub fn omega_from_terms(terms: &[SignedTerm], n: usize) -> Vec<f32> {
+    let mut omega = vec![0.0f32; n * n * n];
+    for t in terms {
+        omega[(t.h * n + t.t) * n + t.r] += f32::from(t.sign);
+    }
+    omega
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Complex, Quaternion};
+
+    #[test]
+    fn complex_expansion_matches_eq_10() {
+        // Eq. 10: S = ⟨h1,t1,r1⟩ + ⟨h1,t2,r2⟩ − ⟨h2,t1,r2⟩ + ⟨h2,t2,r1⟩.
+        let terms = expand_re_h_conj_t_r(&ComplexBasis);
+        assert_eq!(
+            terms,
+            vec![
+                SignedTerm { h: 0, t: 0, r: 0, sign: 1 },
+                SignedTerm { h: 0, t: 1, r: 1, sign: 1 },
+                SignedTerm { h: 1, t: 0, r: 1, sign: -1 },
+                SignedTerm { h: 1, t: 1, r: 0, sign: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn complex_omega_matches_table_1() {
+        // Table 1 ComplEx column in row-major (h, t, r) order.
+        assert_eq!(complex_omega(), vec![1.0, 0.0, 0.0, 1.0, 0.0, -1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn quaternion_expansion_has_16_terms_matching_eq_14() {
+        let terms = expand_re_h_conj_t_r(&QuaternionBasis);
+        assert_eq!(terms.len(), 16);
+        // Eq. 14 (1-based in the paper, 0-based here). Rows grouped by r.
+        let expected: &[(usize, usize, usize, i8)] = &[
+            (0, 0, 0, 1),
+            (1, 1, 0, 1),
+            (2, 2, 0, 1),
+            (3, 3, 0, 1),
+            (0, 1, 1, 1),
+            (1, 0, 1, -1),
+            (2, 3, 1, 1),
+            (3, 2, 1, -1),
+            (0, 2, 2, 1),
+            (1, 3, 2, -1),
+            (2, 0, 2, -1),
+            (3, 1, 2, 1),
+            (0, 3, 3, 1),
+            (1, 2, 3, 1),
+            (2, 1, 3, -1),
+            (3, 0, 3, -1),
+        ];
+        for &(h, t, r, sign) in expected {
+            assert!(
+                terms.contains(&SignedTerm { h, t, r, sign }),
+                "missing term ±⟨h{h},t{t},r{r}⟩ sign {sign}"
+            );
+        }
+    }
+
+    #[test]
+    fn complex_expansion_agrees_with_numeric_algebra() {
+        // Re(h·t̄·r) computed natively must equal the symbolic expansion
+        // evaluated on the components.
+        let h = Complex::new(0.3, -1.1);
+        let t = Complex::new(0.9, 0.4);
+        let r = Complex::new(-0.5, 0.7);
+        let native = (h * t.conj() * r).re;
+        let hc = [h.re, h.im];
+        let tc = [t.re, t.im];
+        let rc = [r.re, r.im];
+        let expanded: f32 = expand_re_h_conj_t_r(&ComplexBasis)
+            .iter()
+            .map(|s| f32::from(s.sign) * hc[s.h] * tc[s.t] * rc[s.r])
+            .sum();
+        assert!((native - expanded).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quaternion_expansion_agrees_with_numeric_algebra() {
+        let h = Quaternion::new(0.3, -1.1, 0.2, 0.8);
+        let t = Quaternion::new(0.9, 0.4, -0.6, 0.1);
+        let r = Quaternion::new(-0.5, 0.7, 1.2, -0.3);
+        let native = (h * t.conj() * r).re();
+        let hc = [h.w, h.x, h.y, h.z];
+        let tc = [t.w, t.x, t.y, t.z];
+        let rc = [r.w, r.x, r.y, r.z];
+        let expanded: f32 = expand_re_h_conj_t_r(&QuaternionBasis)
+            .iter()
+            .map(|s| f32::from(s.sign) * hc[s.h] * tc[s.t] * rc[s.r])
+            .sum();
+        assert!((native - expanded).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quaternion_basis_table_is_consistent_with_mul() {
+        let units = [Quaternion::ONE, Quaternion::I, Quaternion::J, Quaternion::K];
+        let basis = QuaternionBasis;
+        for a in 0..4 {
+            for b in 0..4 {
+                let (sign, c) = basis.mul(a, b);
+                let expect = units[c].scale(f32::from(sign));
+                assert_eq!(units[a] * units[b], expect, "e{a}·e{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn omega_from_terms_scatter() {
+        let terms = [SignedTerm { h: 1, t: 0, r: 1, sign: -1 }];
+        let omega = omega_from_terms(&terms, 2);
+        // flat index of (h=1, t=0, r=1) on the n=2 grid is 5
+        assert_eq!(omega[5], -1.0);
+        assert_eq!(omega.iter().filter(|v| **v != 0.0).count(), 1);
+    }
+}

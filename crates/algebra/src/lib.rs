@@ -1,0 +1,29 @@
+//! Complex and quaternion algebra for multi-embedding interaction models.
+//!
+//! The paper's central observation is that ComplEx's score
+//! `Re⟨h, t̄, r⟩` over `ℂ^D` and the quaternion four-embedding score
+//! `Re⟨h, t̄, r⟩` over `ℍ^D` are *weighted sums of real trilinear products*
+//! once each hyper-complex number is split into its components (Eqs. 9–10
+//! and 14). This crate provides:
+//!
+//! * scalar [`complex::Complex`] and [`quaternion::Quaternion`] types with
+//!   the full algebra (Hamilton product, conjugation, norms, polar form);
+//! * packed *embedding* kernels ([`embedding`]) that score `(h, t, r)`
+//!   triples natively in the hyper-complex algebra;
+//! * a tiny symbolic engine ([`expansion`]) that expands
+//!   `Re(h · t̄ · r)` over an arbitrary hyper-complex basis table and emits
+//!   the interaction weight vector ω — the machine-checked derivation of
+//!   Table 1 and Eq. 14.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod embedding;
+pub mod expansion;
+pub mod octonion;
+pub mod quaternion;
+
+pub use complex::Complex;
+pub use expansion::{complex_omega, octonion_omega, quaternion_omega, SignedTerm};
+pub use octonion::Octonion;
+pub use quaternion::Quaternion;

@@ -1,0 +1,260 @@
+//! Scalar quaternion numbers (Hamilton's ℍ).
+//!
+//! §3.4 of the paper proposes the quaternion-based four-embedding model:
+//! each embedding entry is `q = a + b·i + c·j + d·k`, and the score is
+//! `Re(h · t̄ · r)` with the (noncommutative) Hamilton product. The identity
+//! `i² = j² = k² = ijk = −1` generates the full multiplication table.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A quaternion `w + x·i + y·j + z·k` over `f32`.
+///
+/// The component names follow the common (w, x, y, z) convention; the paper
+/// writes them `a + b·i + c·j + d·k`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quaternion {
+    /// Real (scalar) component `a`.
+    pub w: f32,
+    /// First imaginary component `b` (coefficient of `i`).
+    pub x: f32,
+    /// Second imaginary component `c` (coefficient of `j`).
+    pub y: f32,
+    /// Third imaginary component `d` (coefficient of `k`).
+    pub z: f32,
+}
+
+impl Quaternion {
+    /// Constructs `w + x·i + y·j + z·k`.
+    #[inline]
+    pub fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Self { w, x, y, z }
+    }
+
+    /// Additive identity.
+    pub const ZERO: Quaternion = Quaternion { w: 0.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Multiplicative identity.
+    pub const ONE: Quaternion = Quaternion { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// The `i` unit.
+    pub const I: Quaternion = Quaternion { w: 0.0, x: 1.0, y: 0.0, z: 0.0 };
+
+    /// The `j` unit.
+    pub const J: Quaternion = Quaternion { w: 0.0, x: 0.0, y: 1.0, z: 0.0 };
+
+    /// The `k` unit.
+    pub const K: Quaternion = Quaternion { w: 0.0, x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Quaternion conjugate `q̄ = w − x·i − y·j − z·k`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Euclidean norm `|q|`.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared norm `|q|² = q·q̄`.
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Real part `Re(q) = w`.
+    #[inline]
+    pub fn re(self) -> f32 {
+        self.w
+    }
+
+    /// Multiplicative inverse `q̄ / |q|²`; `None` for (near-)zero inputs.
+    pub fn inverse(self) -> Option<Self> {
+        let n = self.norm_sq();
+        if n < 1e-30 {
+            None
+        } else {
+            let c = self.conj();
+            Some(Self { w: c.w / n, x: c.x / n, y: c.y / n, z: c.z / n })
+        }
+    }
+
+    /// Scales all components by a real factor.
+    #[inline]
+    pub fn scale(self, s: f32) -> Self {
+        Self { w: self.w * s, x: self.x * s, y: self.y * s, z: self.z * s }
+    }
+
+    /// Normalizes to unit norm; `None` for (near-)zero inputs.
+    pub fn normalized(self) -> Option<Self> {
+        let n = self.norm();
+        if n < 1e-15 {
+            None
+        } else {
+            Some(self.scale(1.0 / n))
+        }
+    }
+
+    /// Rotates a 3-vector `v` by this (unit) quaternion: `q·v·q⁻¹`.
+    ///
+    /// This is the geometric reading the paper gives for quaternion
+    /// multiplication: rotation in 3-/4-dimensional space (§3.4).
+    pub fn rotate_vector(self, v: [f32; 3]) -> [f32; 3] {
+        let qv = Quaternion::new(0.0, v[0], v[1], v[2]);
+        let inv = self.inverse().unwrap_or(Quaternion::ONE);
+        let r = self * qv * inv;
+        [r.x, r.y, r.z]
+    }
+}
+
+impl Add for Quaternion {
+    type Output = Quaternion;
+    #[inline]
+    fn add(self, o: Quaternion) -> Quaternion {
+        Quaternion::new(self.w + o.w, self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Quaternion {
+    type Output = Quaternion;
+    #[inline]
+    fn sub(self, o: Quaternion) -> Quaternion {
+        Quaternion::new(self.w - o.w, self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for Quaternion {
+    type Output = Quaternion;
+    #[inline]
+    fn neg(self) -> Quaternion {
+        Quaternion::new(-self.w, -self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul for Quaternion {
+    type Output = Quaternion;
+    /// Hamilton product (noncommutative).
+    #[inline]
+    fn mul(self, o: Quaternion) -> Quaternion {
+        Quaternion::new(
+            self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 2e-4 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn close_q(a: Quaternion, b: Quaternion) -> bool {
+        close(a.w, b.w) && close(a.x, b.x) && close(a.y, b.y) && close(a.z, b.z)
+    }
+
+    fn arb_q() -> impl Strategy<Value = Quaternion> {
+        proptest::array::uniform4(-5.0f32..5.0).prop_map(|v| Quaternion::new(v[0], v[1], v[2], v[3]))
+    }
+
+    #[test]
+    fn fundamental_identities() {
+        use Quaternion as Q;
+        assert_eq!(Q::I * Q::I, -Q::ONE);
+        assert_eq!(Q::J * Q::J, -Q::ONE);
+        assert_eq!(Q::K * Q::K, -Q::ONE);
+        assert_eq!(Q::I * Q::J * Q::K, -Q::ONE);
+        // Cyclic products.
+        assert_eq!(Q::I * Q::J, Q::K);
+        assert_eq!(Q::J * Q::K, Q::I);
+        assert_eq!(Q::K * Q::I, Q::J);
+        // Anticommutativity of distinct units.
+        assert_eq!(Q::J * Q::I, -Q::K);
+        assert_eq!(Q::K * Q::J, -Q::I);
+        assert_eq!(Q::I * Q::K, -Q::J);
+    }
+
+    #[test]
+    fn multiplication_is_noncommutative() {
+        let a = Quaternion::new(1.0, 2.0, 3.0, 4.0);
+        let b = Quaternion::new(0.5, -1.0, 2.0, 1.5);
+        assert_ne!(a * b, b * a);
+    }
+
+    #[test]
+    fn norm_sq_is_q_times_conj() {
+        let q = Quaternion::new(1.0, -2.0, 0.5, 3.0);
+        let p = q * q.conj();
+        assert!(close(p.w, q.norm_sq()));
+        assert!(close(p.x, 0.0) && close(p.y, 0.0) && close(p.z, 0.0));
+    }
+
+    #[test]
+    fn unit_quaternion_rotates_vectors() {
+        // Rotation by π/2 around the z axis maps x̂ to ŷ.
+        let half = std::f32::consts::FRAC_PI_4;
+        let q = Quaternion::new(half.cos(), 0.0, 0.0, half.sin());
+        let v = q.rotate_vector([1.0, 0.0, 0.0]);
+        assert!(close(v[0], 0.0) && close(v[1], 1.0) && close(v[2], 0.0));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let q = Quaternion::new(0.3, -0.7, 1.1, 0.2);
+        let inv = q.inverse().unwrap();
+        assert!(close_q(q * inv, Quaternion::ONE));
+        assert!(close_q(inv * q, Quaternion::ONE));
+        assert!(Quaternion::ZERO.inverse().is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn multiplication_is_associative((a, b, c) in (arb_q(), arb_q(), arb_q())) {
+            prop_assert!(close_q((a * b) * c, a * (b * c)));
+        }
+
+        #[test]
+        fn norm_is_multiplicative((a, b) in (arb_q(), arb_q())) {
+            prop_assert!(close((a * b).norm(), a.norm() * b.norm()));
+        }
+
+        #[test]
+        fn conjugation_is_anti_automorphism((a, b) in (arb_q(), arb_q())) {
+            // (ab)̄ = b̄ ā — note the reversal, unlike the complex case.
+            prop_assert!(close_q((a * b).conj(), b.conj() * a.conj()));
+        }
+
+        #[test]
+        fn re_of_product_is_cyclic((a, b, c) in (arb_q(), arb_q(), arb_q())) {
+            // Re(abc) = Re(bca) = Re(cab): the trace property that makes the
+            // paper's "choice" of multiplication order only matter up to
+            // cyclic permutation.
+            let abc = (a * b * c).re();
+            prop_assert!(close(abc, (b * c * a).re()));
+            prop_assert!(close(abc, (c * a * b).re()));
+        }
+
+        #[test]
+        fn distributes_over_addition((a, b, c) in (arb_q(), arb_q(), arb_q())) {
+            prop_assert!(close_q(a * (b + c), a * b + a * c));
+            prop_assert!(close_q((b + c) * a, b * a + c * a));
+        }
+
+        #[test]
+        fn conj_is_involution(a in arb_q()) {
+            prop_assert_eq!(a.conj().conj(), a);
+        }
+
+        #[test]
+        fn normalized_has_unit_norm(a in arb_q()) {
+            prop_assume!(a.norm() > 1e-3);
+            prop_assert!(close(a.normalized().unwrap().norm(), 1.0));
+        }
+    }
+}

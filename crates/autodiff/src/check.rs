@@ -1,0 +1,132 @@
+//! Gradient checking via central finite differences.
+
+/// Central finite-difference gradient of `f` at `x`.
+///
+/// Uses step `eps` per coordinate: `(f(x+ε·e_i) − f(x−ε·e_i)) / 2ε`.
+pub fn finite_difference_gradient<F>(f: F, x: &[f64], eps: f64) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let mut grad = vec![0.0; x.len()];
+    let mut buf = x.to_vec();
+    for i in 0..x.len() {
+        let orig = buf[i];
+        buf[i] = orig + eps;
+        let fp = f(&buf);
+        buf[i] = orig - eps;
+        let fm = f(&buf);
+        buf[i] = orig;
+        grad[i] = (fp - fm) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Asserts two gradient vectors agree within a relative-plus-absolute
+/// tolerance; returns the worst observed discrepancy.
+///
+/// # Panics
+/// Panics with a descriptive message on mismatch.
+pub fn assert_gradients_match(analytic: &[f64], numeric: &[f64], tol: f64) -> f64 {
+    assert_eq!(analytic.len(), numeric.len(), "gradient length mismatch");
+    let mut worst = 0.0f64;
+    for (i, (a, n)) in analytic.iter().zip(numeric).enumerate() {
+        let denom = 1.0 + a.abs().max(n.abs());
+        let err = (a - n).abs() / denom;
+        worst = worst.max(err);
+        assert!(
+            err <= tol,
+            "gradient mismatch at index {i}: analytic={a}, numeric={n}, rel-err={err} > {tol}"
+        );
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finite_difference_on_quadratic() {
+        let g = finite_difference_gradient(|x| x[0] * x[0] + 3.0 * x[1], &[2.0, 5.0], 1e-5);
+        assert!((g[0] - 4.0).abs() < 1e-6);
+        assert!((g[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn mismatch_panics() {
+        assert_gradients_match(&[1.0], &[2.0], 1e-3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Tape gradients of a representative composite expression match
+        /// finite differences everywhere we sample.
+        #[test]
+        fn tape_matches_finite_differences(
+            xs in proptest::collection::vec(-2.0f64..2.0, 4)
+        ) {
+            let f = |v: &[f64]| -> f64 {
+                let mut t = Tape::new();
+                let inp = t.inputs(v);
+                let m = t.mul(inp[0], inp[1]);
+                let s = t.sigmoid(m);
+                let th = t.tanh(inp[2]);
+                let a = t.add(s, th);
+                let sp = t.softplus(inp[3]);
+                let out = t.mul(a, sp);
+                t.value(out)
+            };
+            let numeric = finite_difference_gradient(f, &xs, 1e-5);
+
+            let mut t = Tape::new();
+            let inp = t.inputs(&xs);
+            let m = t.mul(inp[0], inp[1]);
+            let s = t.sigmoid(m);
+            let th = t.tanh(inp[2]);
+            let a = t.add(s, th);
+            let sp = t.softplus(inp[3]);
+            let out = t.mul(a, sp);
+            let g = t.backward(out);
+            let analytic = g.grads_of(&inp);
+            assert_gradients_match(&analytic, &numeric, 1e-5);
+        }
+
+        /// Softmax-weighted trilinear sums — the exact structure used by the
+        /// learned-ω models — differentiate correctly through the tape.
+        #[test]
+        fn softmax_weighted_sum_matches_finite_differences(
+            xs in proptest::collection::vec(-1.5f64..1.5, 3),
+            scores in proptest::collection::vec(-2.0f64..2.0, 3)
+        ) {
+            let build = |v: &[f64]| -> f64 {
+                let mut t = Tape::new();
+                let w = t.inputs(v);
+                let sm = t.softmax(&w);
+                let mut acc = t.constant(0.0);
+                for (s, p) in scores.iter().zip(&sm) {
+                    let c = t.constant(*s);
+                    let term = t.mul(*p, c);
+                    acc = t.add(acc, term);
+                }
+                t.value(acc)
+            };
+            let numeric = finite_difference_gradient(build, &xs, 1e-5);
+
+            let mut t = Tape::new();
+            let w = t.inputs(&xs);
+            let sm = t.softmax(&w);
+            let mut acc = t.constant(0.0);
+            for (s, p) in scores.iter().zip(&sm) {
+                let c = t.constant(*s);
+                let term = t.mul(*p, c);
+                acc = t.add(acc, term);
+            }
+            let g = t.backward(acc);
+            assert_gradients_match(&g.grads_of(&w), &numeric, 1e-5);
+        }
+    }
+}

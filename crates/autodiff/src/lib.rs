@@ -1,0 +1,26 @@
+//! Minimal reverse-mode automatic differentiation.
+//!
+//! The models in this workspace have closed-form gradients (their scores
+//! are multilinear), and the trainer uses those analytic forms as the hot
+//! path. This crate exists for two reasons:
+//!
+//! 1. **Learning the interaction weight vector ω end-to-end** (§3.3 of the
+//!    paper) requires differentiating through arbitrary restrictions
+//!    (`tanh`, `sigmoid`, `softmax`) and through the Dirichlet sparsity
+//!    regularizer (Eq. 12), which involves `log`, `abs` and an L1
+//!    normalizer. A tape makes those compositions trivial to get right.
+//! 2. **Verification**: every analytic gradient in `mei-core` is
+//!    property-tested against this tape, and the tape itself is tested
+//!    against central finite differences ([`check`]).
+//!
+//! The design is a classic Wengert list: [`Tape`] owns an arena of nodes,
+//! [`Var`] is an index into it, and [`Tape::backward`] runs the adjoint
+//! sweep in reverse topological (i.e. insertion) order.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod tape;
+
+pub use check::finite_difference_gradient;
+pub use tape::{Tape, Var};

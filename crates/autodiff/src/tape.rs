@@ -1,0 +1,460 @@
+//! The Wengert-list tape and its differentiable operations.
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// How a node was produced; parents index earlier nodes.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Leaf input (differentiable).
+    Input,
+    /// Constant (gradient is discarded).
+    Const,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+    Neg(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Softplus(usize),
+    Exp(usize),
+    Ln(usize),
+    Abs(usize),
+    /// `powi(base, exponent)`.
+    Powi(usize, i32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    op: Op,
+    value: f64,
+}
+
+/// A reverse-mode autodiff tape over `f64` scalars.
+///
+/// Values are kept in `f64` so that gradient checks against the `f32`
+/// analytic code have headroom; results are exposed as `f64`.
+///
+/// ```
+/// use mei_autodiff::Tape;
+/// let mut t = Tape::new();
+/// let x = t.input(3.0);
+/// let y = t.input(4.0);
+/// let xy = t.mul(x, y);
+/// let z = t.sigmoid(xy);          // z = σ(x·y)
+/// let grads = t.backward(z);
+/// let s = t.value(z);
+/// assert!((grads.grad_of(x) - s * (1.0 - s) * 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, value: f64) -> Var {
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a differentiable input leaf.
+    pub fn input(&mut self, value: f64) -> Var {
+        self.push(Op::Input, value)
+    }
+
+    /// Records a constant (its gradient is not tracked).
+    pub fn constant(&mut self, value: f64) -> Var {
+        self.push(Op::Const, value)
+    }
+
+    /// Records one input per element of `values`.
+    pub fn inputs(&mut self, values: &[f64]) -> Vec<Var> {
+        values.iter().map(|&v| self.input(v)).collect()
+    }
+
+    /// Current forward value of `v`.
+    pub fn value(&self, v: Var) -> f64 {
+        self.nodes[v.0].value
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a) + self.value(b);
+        self.push(Op::Add(a.0, b.0), v)
+    }
+
+    /// `a − b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a) - self.value(b);
+        self.push(Op::Sub(a.0, b.0), v)
+    }
+
+    /// `a · b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a) * self.value(b);
+        self.push(Op::Mul(a.0, b.0), v)
+    }
+
+    /// `a / b`.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a) / self.value(b);
+        self.push(Op::Div(a.0, b.0), v)
+    }
+
+    /// `−a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = -self.value(a);
+        self.push(Op::Neg(a.0), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let v = if x >= 0.0 { 1.0 / (1.0 + (-x).exp()) } else { x.exp() / (1.0 + x.exp()) };
+        self.push(Op::Sigmoid(a.0), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).tanh();
+        self.push(Op::Tanh(a.0), v)
+    }
+
+    /// Stable softplus `log(1 + e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let v = x.max(0.0) + (-x.abs()).exp().ln_1p();
+        self.push(Op::Softplus(a.0), v)
+    }
+
+    /// `e^a`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).exp();
+        self.push(Op::Exp(a.0), v)
+    }
+
+    /// Natural logarithm.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).ln();
+        self.push(Op::Ln(a.0), v)
+    }
+
+    /// `|a|` (subgradient 0 at the kink).
+    pub fn abs(&mut self, a: Var) -> Var {
+        let v = self.value(a).abs();
+        self.push(Op::Abs(a.0), v)
+    }
+
+    /// Integer power `a^k`.
+    pub fn powi(&mut self, a: Var, k: i32) -> Var {
+        let v = self.value(a).powi(k);
+        self.push(Op::Powi(a.0, k), v)
+    }
+
+    /// `Σ_i vars[i]` via a balanced fold (keeps the tape shallow).
+    pub fn sum(&mut self, vars: &[Var]) -> Var {
+        match vars {
+            [] => self.constant(0.0),
+            [v] => *v,
+            _ => {
+                let mid = vars.len() / 2;
+                let (l, r) = vars.split_at(mid);
+                let ls = self.sum(l);
+                let rs = self.sum(r);
+                self.add(ls, rs)
+            }
+        }
+    }
+
+    /// Dot product `Σ_i a[i]·b[i]`.
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ.
+    pub fn dot(&mut self, a: &[Var], b: &[Var]) -> Var {
+        assert_eq!(a.len(), b.len(), "dot: length mismatch");
+        let prods: Vec<Var> = a.iter().zip(b).map(|(x, y)| self.mul(*x, *y)).collect();
+        self.sum(&prods)
+    }
+
+    /// Trilinear product `Σ_i a[i]·b[i]·c[i]` (Eq. 3 of the paper).
+    pub fn trilinear(&mut self, a: &[Var], b: &[Var], c: &[Var]) -> Var {
+        assert_eq!(a.len(), b.len(), "trilinear: length mismatch");
+        assert_eq!(a.len(), c.len(), "trilinear: length mismatch");
+        let prods: Vec<Var> = (0..a.len())
+            .map(|i| {
+                let ab = self.mul(a[i], b[i]);
+                self.mul(ab, c[i])
+            })
+            .collect();
+        self.sum(&prods)
+    }
+
+    /// Stable softmax over a slice of variables.
+    ///
+    /// The max-shift is treated as a constant, which leaves gradients exact
+    /// (the softmax is shift-invariant).
+    pub fn softmax(&mut self, xs: &[Var]) -> Vec<Var> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let max = xs.iter().map(|v| self.value(*v)).fold(f64::NEG_INFINITY, f64::max);
+        let shift = self.constant(max);
+        let exps: Vec<Var> = xs
+            .iter()
+            .map(|&x| {
+                let s = self.sub(x, shift);
+                self.exp(s)
+            })
+            .collect();
+        let total = self.sum(&exps);
+        exps.into_iter().map(|e| self.div(e, total)).collect()
+    }
+
+    /// Scalar multiply by a constant.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let c = self.constant(s);
+        self.mul(a, c)
+    }
+
+    /// Runs the adjoint sweep from `output` and returns `∂output/∂node` for
+    /// every node on the tape (index with `Var`s via [`Tape::grad_of`]).
+    pub fn backward(&self, output: Var) -> Gradients {
+        let mut adj = vec![0.0f64; self.nodes.len()];
+        adj[output.0] = 1.0;
+        for idx in (0..=output.0).rev() {
+            let g = adj[idx];
+            if g == 0.0 {
+                continue;
+            }
+            let node = self.nodes[idx];
+            match node.op {
+                Op::Input | Op::Const => {}
+                Op::Add(a, b) => {
+                    adj[a] += g;
+                    adj[b] += g;
+                }
+                Op::Sub(a, b) => {
+                    adj[a] += g;
+                    adj[b] -= g;
+                }
+                Op::Mul(a, b) => {
+                    adj[a] += g * self.nodes[b].value;
+                    adj[b] += g * self.nodes[a].value;
+                }
+                Op::Div(a, b) => {
+                    let bv = self.nodes[b].value;
+                    adj[a] += g / bv;
+                    adj[b] -= g * self.nodes[a].value / (bv * bv);
+                }
+                Op::Neg(a) => adj[a] -= g,
+                Op::Sigmoid(a) => {
+                    let s = node.value;
+                    adj[a] += g * s * (1.0 - s);
+                }
+                Op::Tanh(a) => {
+                    let t = node.value;
+                    adj[a] += g * (1.0 - t * t);
+                }
+                Op::Softplus(a) => {
+                    let x = self.nodes[a].value;
+                    let s = if x >= 0.0 { 1.0 / (1.0 + (-x).exp()) } else { x.exp() / (1.0 + x.exp()) };
+                    adj[a] += g * s;
+                }
+                Op::Exp(a) => adj[a] += g * node.value,
+                Op::Ln(a) => adj[a] += g / self.nodes[a].value,
+                Op::Abs(a) => {
+                    let x = self.nodes[a].value;
+                    adj[a] += g * if x > 0.0 { 1.0 } else if x < 0.0 { -1.0 } else { 0.0 };
+                }
+                Op::Powi(a, k) => {
+                    let x = self.nodes[a].value;
+                    adj[a] += g * f64::from(k) * x.powi(k - 1);
+                }
+            }
+        }
+        Gradients { adj }
+    }
+}
+
+/// Result of an adjoint sweep: gradients for every tape node.
+#[derive(Debug)]
+pub struct Gradients {
+    adj: Vec<f64>,
+}
+
+impl Gradients {
+    /// `∂output/∂v`.
+    pub fn grad_of(&self, v: Var) -> f64 {
+        self.adj[v.0]
+    }
+
+    /// Gradients of a batch of variables, in order.
+    pub fn grads_of(&self, vars: &[Var]) -> Vec<f64> {
+        vars.iter().map(|v| self.grad_of(*v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs())) + 1e-9
+    }
+
+    #[test]
+    fn product_rule() {
+        let mut t = Tape::new();
+        let x = t.input(3.0);
+        let y = t.input(4.0);
+        let z = t.mul(x, y);
+        let g = t.backward(z);
+        assert_eq!(g.grad_of(x), 4.0);
+        assert_eq!(g.grad_of(y), 3.0);
+    }
+
+    #[test]
+    fn chain_rule_through_sigmoid() {
+        let mut t = Tape::new();
+        let x = t.input(0.7);
+        let y = t.mul(x, x); // x²
+        let s = t.sigmoid(y);
+        let g = t.backward(s);
+        let sv = t.value(s);
+        // ds/dx = σ'(x²)·2x
+        assert!(close(g.grad_of(x), sv * (1.0 - sv) * 2.0 * 0.7));
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // f = x·x + x ⇒ f' = 2x + 1
+        let mut t = Tape::new();
+        let x = t.input(5.0);
+        let sq = t.mul(x, x);
+        let f = t.add(sq, x);
+        let g = t.backward(f);
+        assert_eq!(g.grad_of(x), 11.0);
+    }
+
+    #[test]
+    fn constants_do_not_accumulate_but_multiply() {
+        let mut t = Tape::new();
+        let x = t.input(2.0);
+        let y = t.scale(x, 3.0);
+        let g = t.backward(y);
+        assert_eq!(g.grad_of(x), 3.0);
+        assert_eq!(t.value(y), 6.0);
+    }
+
+    #[test]
+    fn division_quotient_rule() {
+        let mut t = Tape::new();
+        let a = t.input(6.0);
+        let b = t.input(2.0);
+        let q = t.div(a, b);
+        let g = t.backward(q);
+        assert!(close(g.grad_of(a), 0.5));
+        assert!(close(g.grad_of(b), -1.5));
+    }
+
+    #[test]
+    fn trilinear_gradient_is_product_of_others() {
+        let mut t = Tape::new();
+        let a = t.inputs(&[1.0, 2.0]);
+        let b = t.inputs(&[3.0, 4.0]);
+        let c = t.inputs(&[5.0, 6.0]);
+        let s = t.trilinear(&a, &b, &c);
+        assert_eq!(t.value(s), 1.0 * 3.0 * 5.0 + 2.0 * 4.0 * 6.0);
+        let g = t.backward(s);
+        assert_eq!(g.grad_of(a[0]), 15.0);
+        assert_eq!(g.grad_of(b[1]), 12.0);
+        assert_eq!(g.grad_of(c[0]), 3.0);
+    }
+
+    #[test]
+    fn softmax_values_and_gradient() {
+        let mut t = Tape::new();
+        let xs = t.inputs(&[1.0, 2.0, 3.0]);
+        let ys = t.softmax(&xs);
+        let sum: f64 = ys.iter().map(|y| t.value(*y)).sum();
+        assert!(close(sum, 1.0));
+        // d y0 / d x0 = y0(1−y0); d y0 / d x1 = −y0·y1
+        let y0 = t.value(ys[0]);
+        let y1 = t.value(ys[1]);
+        let g = t.backward(ys[0]);
+        assert!(close(g.grad_of(xs[0]), y0 * (1.0 - y0)));
+        assert!(close(g.grad_of(xs[1]), -y0 * y1));
+    }
+
+    #[test]
+    fn softmax_of_empty_and_sum_of_empty() {
+        let mut t = Tape::new();
+        assert!(t.softmax(&[]).is_empty());
+        let z = t.sum(&[]);
+        assert_eq!(t.value(z), 0.0);
+    }
+
+    #[test]
+    fn abs_subgradient() {
+        let mut t = Tape::new();
+        let a = t.input(-2.0);
+        let b = t.input(3.0);
+        let c = t.input(0.0);
+        let (fa, fb, fc) = (t.abs(a), t.abs(b), t.abs(c));
+        assert_eq!(t.backward(fa).grad_of(a), -1.0);
+        assert_eq!(t.backward(fb).grad_of(b), 1.0);
+        assert_eq!(t.backward(fc).grad_of(c), 0.0);
+    }
+
+    #[test]
+    fn powi_gradient() {
+        let mut t = Tape::new();
+        let x = t.input(2.0);
+        let y = t.powi(x, 3);
+        assert_eq!(t.value(y), 8.0);
+        assert_eq!(t.backward(y).grad_of(x), 12.0);
+    }
+
+    #[test]
+    fn softplus_forward_and_grad_are_stable() {
+        let mut t = Tape::new();
+        let x = t.input(800.0);
+        let y = t.softplus(x);
+        assert!(t.value(y).is_finite());
+        assert!(close(t.backward(y).grad_of(x), 1.0));
+    }
+
+    #[test]
+    fn log_of_normalized_abs_matches_dirichlet_term() {
+        // The Eq. 12 building block: log(|ω_i| / Σ_j |ω_j|).
+        let mut t = Tape::new();
+        let w = t.inputs(&[0.5, -1.5]);
+        let abs: Vec<Var> = w.iter().map(|v| t.abs(*v)).collect();
+        let total = t.sum(&abs);
+        let frac = t.div(abs[0], total);
+        let l = t.ln(frac);
+        assert!(close(t.value(l), (0.5f64 / 2.0).ln()));
+        let g = t.backward(l);
+        // d/dω0 log(|ω0|/(|ω0|+|ω1|)) = 1/ω0 − sign(ω0)/Σ = 2 − 0.5 = 1.5
+        assert!(close(g.grad_of(w[0]), 1.5));
+        // d/dω1 = −sign(ω1)/Σ = 0.5
+        assert!(close(g.grad_of(w[1]), 0.5));
+    }
+}

@@ -1,0 +1,72 @@
+//! Analytic backward pass vs the autodiff tape.
+//!
+//! The trainer uses closed-form gradients (the score is multilinear); the
+//! `mei-autodiff` tape exists for ω-restriction learning and verification.
+//! This bench quantifies the design choice: how much does the analytic hot
+//! path save over building and sweeping a tape per triple?
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mei_autodiff::Tape;
+use mei_core::model::TripleGrads;
+use mei_core::{MultiEmbedModel, WeightPreset};
+use mei_kg::Triple;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gradients(c: &mut Criterion) {
+    let dim = 64usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 100, 4, dim, &mut rng);
+    let triple = Triple::new(3, 7, 1);
+
+    let mut group = c.benchmark_group("gradient_backends");
+
+    group.bench_function("analytic (trainer hot path)", |b| {
+        let mut grads = model.new_grads();
+        b.iter(|| {
+            grads.clear();
+            model.score_and_accumulate_grads(black_box(triple), 1.0, &mut grads)
+        })
+    });
+
+    group.bench_function("autodiff tape (verification path)", |b| {
+        // Rebuild the ComplEx score ⟨ω, h, t, r⟩ on the tape per iteration,
+        // as a gradient check would.
+        let h: Vec<f64> = model.entities.row(3).iter().map(|v| f64::from(*v)).collect();
+        let t: Vec<f64> = model.entities.row(7).iter().map(|v| f64::from(*v)).collect();
+        let r: Vec<f64> = model.relations.row(1).iter().map(|v| f64::from(*v)).collect();
+        let terms = model.omega().terms();
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let hv = tape.inputs(&h);
+            let tv = tape.inputs(&t);
+            let rv = tape.inputs(&r);
+            let mut score = tape.constant(0.0);
+            for &(i, j, k, w) in &terms {
+                let tri = tape.trilinear(
+                    &hv[i * dim..(i + 1) * dim],
+                    &tv[j * dim..(j + 1) * dim],
+                    &rv[k * dim..(k + 1) * dim],
+                );
+                let scaled = tape.scale(tri, f64::from(w));
+                score = tape.add(score, scaled);
+            }
+            let grads = tape.backward(score);
+            black_box(grads.grad_of(hv[0]))
+        })
+    });
+
+    // Scratch-buffer reuse ablation: the trainer reuses TripleGrads; how
+    // much does a fresh allocation per triple cost instead?
+    group.bench_function("analytic, fresh buffers per triple", |b| {
+        b.iter(|| {
+            let mut grads = TripleGrads::zeros(model.config());
+            model.score_and_accumulate_grads(black_box(triple), 1.0, &mut grads)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradients);
+criterion_main!(benches);

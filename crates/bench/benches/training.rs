@@ -1,0 +1,67 @@
+//! Benchmarks of training-epoch throughput per model preset, plus the
+//! learned-ω overhead (all 8 terms active + restriction backward vs a
+//! sparse fixed preset) — an ablation for the §3.3 design choice.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mei_core::{ModelConfig, MultiEmbedModel, TrainConfig, Trainer, WeightPreset, WeightRestriction};
+use mei_datagen::{SynthWnConfig, SynthWnScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_training(c: &mut Criterion) {
+    let dataset = SynthWnConfig::at_scale(SynthWnScale::Tiny, 3).generate();
+    let filter = dataset.filter_store();
+    let train_cfg = TrainConfig {
+        max_epochs: 2,
+        batch_size: 512,
+        eval_every: 1000, // no validation inside the measured region
+        ..TrainConfig::default()
+    };
+
+    let mut group = c.benchmark_group("train_2_epochs");
+    group.sample_size(10);
+
+    for preset in [WeightPreset::DistMult, WeightPreset::ComplEx, WeightPreset::Quaternion] {
+        let dim = 64 / preset.n();
+        group.bench_function(preset.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    MultiEmbedModel::from_preset(
+                        preset,
+                        dataset.num_entities(),
+                        dataset.num_relations(),
+                        dim,
+                        &mut rng,
+                    )
+                },
+                |mut model| Trainer::new(train_cfg.clone()).train(&mut model, &dataset, &filter),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Ablation: learned ω (dense 8-term loop + softmax backward) vs the
+    // sparse fixed ComplEx preset above.
+    group.bench_function("learned ω (softmax)", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = StdRng::seed_from_u64(1);
+                let cfg = ModelConfig {
+                    num_entities: dataset.num_entities(),
+                    num_relations: dataset.num_relations(),
+                    n: 2,
+                    dim: 32,
+                };
+                MultiEmbedModel::with_learned_weights(cfg, WeightRestriction::Softmax, 0.1, &mut rng)
+            },
+            |mut model| Trainer::new(train_cfg.clone()).train(&mut model, &dataset, &filter),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

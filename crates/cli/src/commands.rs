@@ -1,0 +1,293 @@
+//! Implementations of the `mei` subcommands.
+
+use std::error::Error;
+
+use mei_core::serialize::{load_model, save_model};
+use mei_core::{MultiEmbedModel, SamplingStrategy, TrainConfig, Trainer, WeightPreset};
+use mei_eval::ranking::{evaluate, top_k_tails};
+use mei_eval::{categorize_relations, labeled_with_negatives, mrr_by_category, EvalConfig, TripleClassifier};
+use mei_kg::analysis::{detect_inverse_pairs, profile_relations};
+use mei_kg::io::{load_benchmark_dir, save_benchmark_dir, ColumnOrder};
+use mei_kg::{Dataset, EntityId, RelationId, Triple};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::Args;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+mei — multi-embedding interaction knowledge graph embedding
+
+subcommands:
+  generate --out DIR [--kind synthwn|synthfb|recsys|random] [--scale tiny|small|full] [--seed N]
+  stats    --dataset DIR [--order hrt|htr]
+  train    --dataset DIR --out model.bin [--model NAME] [--dim N] [--epochs N]
+           [--lr F] [--batch N] [--seed N] [--sampling uniform|bern] [--quiet true]
+  eval     --dataset DIR --model-file model.bin [--split test|valid]
+           [--categories true] [--classification true]
+  predict  --dataset DIR --model-file model.bin --head NAME --relation NAME [--topk K]
+  export   --dataset DIR --model-file model.bin --out embeddings.tsv
+  models   list available model presets
+
+run `mei models` for the preset names accepted by --model.";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn column_order(args: &Args) -> Result<ColumnOrder, Box<dyn Error>> {
+    match args.get("order").unwrap_or("hrt") {
+        "hrt" => Ok(ColumnOrder::HeadRelTail),
+        "htr" => Ok(ColumnOrder::HeadTailRel),
+        other => Err(format!("unknown --order {other:?} (expected hrt or htr)").into()),
+    }
+}
+
+fn load_dataset(args: &Args) -> Result<Dataset, Box<dyn Error>> {
+    let dir = args.require("dataset")?;
+    Ok(load_benchmark_dir(dir, column_order(args)?)?)
+}
+
+fn preset_by_name(name: &str) -> Option<WeightPreset> {
+    let norm = name.to_ascii_lowercase().replace(['-', '_', ' '], "");
+    WeightPreset::all().iter().copied().find(|p| {
+        p.name().to_ascii_lowercase().replace(['-', '_', ' ', '.'], "").starts_with(&norm)
+            && !norm.is_empty()
+    })
+}
+
+/// `mei models`.
+pub fn models() -> CmdResult {
+    println!("{:<34} {:>3} {:>6}", "preset", "n", "terms");
+    for p in WeightPreset::all() {
+        println!("{:<34} {:>3} {:>6}", p.name(), p.n(), p.weight_vector().terms().len());
+    }
+    Ok(())
+}
+
+/// `mei generate`.
+pub fn generate(args: &Args) -> CmdResult {
+    use mei_datagen::{RecsysConfig, SynthWnConfig, SynthWnScale};
+    let out = args.require("out")?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let scale = match args.get("scale").unwrap_or("small") {
+        "tiny" => SynthWnScale::Tiny,
+        "small" => SynthWnScale::Small,
+        "full" => SynthWnScale::Full,
+        other => return Err(format!("unknown --scale {other:?}").into()),
+    };
+    let dataset = match args.get("kind").unwrap_or("synthwn") {
+        "synthwn" => SynthWnConfig::at_scale(scale, seed).generate(),
+        "recsys" => RecsysConfig { seed, ..RecsysConfig::default() }.generate().dataset,
+        "synthfb" => mei_datagen::SynthFbConfig { seed, ..mei_datagen::SynthFbConfig::default() }
+            .generate(),
+        "random" => mei_datagen::random::random_graph(2000, 18, 30_000, 0.05, 0.05, seed),
+        other => return Err(format!("unknown --kind {other:?}").into()),
+    };
+    save_benchmark_dir(&dataset, out, ColumnOrder::HeadRelTail)?;
+    println!("wrote {} to {out}", dataset.stats());
+    Ok(())
+}
+
+/// `mei stats`.
+pub fn stats(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    println!("{}", ds.stats());
+    println!("test-train inverse leakage: {:.3}", ds.test_inverse_leakage());
+    let all: Vec<Triple> = ds.train.iter().chain(&ds.valid).chain(&ds.test).copied().collect();
+    println!("\nrelation profiles:");
+    println!(
+        "{:<30} {:>8} {:>9} {:>11} {:>11}",
+        "relation", "triples", "symmetry", "tails/head", "heads/tail"
+    );
+    for p in profile_relations(&all) {
+        println!(
+            "{:<30} {:>8} {:>9.2} {:>11.2} {:>11.2}",
+            ds.relations.name(p.relation.0).unwrap_or("?"),
+            p.count,
+            p.symmetry,
+            p.tails_per_head,
+            p.heads_per_tail
+        );
+    }
+    let pairs = detect_inverse_pairs(&all, ds.num_relations(), 0.8);
+    if !pairs.is_empty() {
+        println!("\ninverse pairs (overlap ≥ 0.8):");
+        for (a, b, overlap) in pairs {
+            println!(
+                "  {} <-> {}  ({overlap:.2})",
+                ds.relations.name(a.0).unwrap_or("?"),
+                ds.relations.name(b.0).unwrap_or("?")
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `mei train`.
+pub fn train(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let out = args.require("out")?;
+    let model_name = args.get("model").unwrap_or("complex");
+    let preset = preset_by_name(model_name)
+        .ok_or_else(|| format!("unknown model {model_name:?}; see `mei models`"))?;
+    let (n, omega) = preset.effective_interaction();
+    let dim: usize = args.get_parsed("dim", 128 / n)?;
+    let sampling = match args.get("sampling").unwrap_or("uniform") {
+        "uniform" => SamplingStrategy::Uniform,
+        "bern" | "bernoulli" => SamplingStrategy::Bernoulli,
+        other => return Err(format!("unknown --sampling {other:?}").into()),
+    };
+    let config = TrainConfig {
+        max_epochs: args.get_parsed("epochs", 500)?,
+        batch_size: args.get_parsed("batch", 1024)?,
+        learning_rate: args.get_parsed("lr", 1e-2f32)?,
+        l2_lambda: args.get_parsed("l2", 1e-3f32)?,
+        seed: args.get_parsed("seed", 0)?,
+        sampling,
+        eval_every: 50,
+        patience: 100,
+        verbose: !args.get_parsed("quiet", false)?,
+        ..TrainConfig::default()
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let cfg = mei_core::ModelConfig {
+        num_entities: ds.num_entities(),
+        num_relations: ds.num_relations(),
+        n,
+        dim,
+    };
+    let mut model = MultiEmbedModel::with_fixed_weights(cfg, omega, &mut rng);
+    println!(
+        "training {} (n = {n}, D = {dim}, {} parameters) on {}",
+        preset.name(),
+        model.num_params(),
+        ds.stats()
+    );
+    let filter = ds.filter_store();
+    let report = Trainer::new(config).train(&mut model, &ds, &filter);
+    println!(
+        "done: {} epochs, best validation MRR {:.4} at epoch {}",
+        report.epochs_run, report.best_valid_mrr, report.best_epoch
+    );
+    save_model(&model, out)?;
+    println!("model saved to {out}");
+    Ok(())
+}
+
+/// `mei eval`.
+pub fn eval(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let model = load_model(args.require("model-file")?)?;
+    if model.config().num_entities != ds.num_entities() {
+        return Err(format!(
+            "model has {} entities but dataset has {} — wrong pairing?",
+            model.config().num_entities,
+            ds.num_entities()
+        )
+        .into());
+    }
+    let split: &[Triple] = match args.get("split").unwrap_or("test") {
+        "test" => &ds.test,
+        "valid" => &ds.valid,
+        "train" => &ds.train,
+        other => return Err(format!("unknown --split {other:?}").into()),
+    };
+    let filter = ds.filter_store();
+    let eval_cfg = EvalConfig::default();
+    let (raw, filtered) = evaluate(&model, split, &filter, &eval_cfg);
+    println!("filtered: {filtered}");
+    println!("raw:      {raw}");
+
+    if args.get_parsed("categories", false)? {
+        let cats = categorize_relations(&ds.train, ds.num_relations(), 1.5);
+        println!("\nfiltered MRR by relation category:");
+        let mut rows: Vec<_> = mrr_by_category(&filtered, &cats).into_iter().collect();
+        rows.sort_by_key(|(c, _)| c.label());
+        for (cat, mrr) in rows {
+            println!("  {:<4} {mrr:.3}", cat.label());
+        }
+    }
+
+    if args.get_parsed("classification", false)? {
+        let mut rng = StdRng::seed_from_u64(7);
+        let fit_set = labeled_with_negatives(&mut rng, &ds.valid, ds.num_entities(), &filter);
+        let test_set = labeled_with_negatives(&mut rng, split, ds.num_entities(), &filter);
+        let clf = TripleClassifier::fit(&model, &fit_set);
+        println!(
+            "\ntriple classification accuracy: {:.3} (thresholds fit on valid)",
+            clf.accuracy(&model, &test_set)
+        );
+    }
+    Ok(())
+}
+
+/// `mei predict`.
+pub fn predict(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let model = load_model(args.require("model-file")?)?;
+    let head_name = args.require("head")?;
+    let rel_name = args.require("relation")?;
+    let topk: usize = args.get_parsed("topk", 10)?;
+    let head = ds
+        .entities
+        .get(head_name)
+        .ok_or_else(|| format!("unknown entity {head_name:?}"))?;
+    let relation = ds
+        .relations
+        .get(rel_name)
+        .ok_or_else(|| format!("unknown relation {rel_name:?}"))?;
+    let known = ds.train_store();
+    let preds = top_k_tails(&model, EntityId(head), RelationId(relation), topk, &known);
+    println!("top-{topk} predicted tails for ({head_name}, ?, {rel_name}):");
+    for (rank, (e, score)) in preds.iter().enumerate() {
+        println!(
+            "{:>3}. {:<30} score {score:.4}  p(valid) {:.3}",
+            rank + 1,
+            ds.entities.name(e.0).unwrap_or("?"),
+            mei_core::loss::predict_probability(*score)
+        );
+    }
+    Ok(())
+}
+
+/// `mei export`.
+pub fn export(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let model = load_model(args.require("model-file")?)?;
+    let out = args.require("out")?;
+    let f = std::fs::File::create(out)?;
+    let w = std::io::BufWriter::new(f);
+    mei_core::serialize::export_entity_embeddings_tsv(
+        &model,
+        |e| ds.entities.name(e).unwrap_or("?").to_owned(),
+        w,
+    )?;
+    println!(
+        "wrote {} × {} embedding matrix to {out}",
+        model.config().num_entities,
+        model.config().n * model.config().dim
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_lookup_is_forgiving() {
+        assert_eq!(preset_by_name("complex"), Some(WeightPreset::ComplEx));
+        assert_eq!(preset_by_name("ComplEx"), Some(WeightPreset::ComplEx));
+        assert_eq!(preset_by_name("distmult"), Some(WeightPreset::DistMult));
+        assert_eq!(preset_by_name("cph"), Some(WeightPreset::Cph));
+        assert_eq!(preset_by_name("quaternion"), Some(WeightPreset::Quaternion));
+        assert_eq!(preset_by_name("octonion"), Some(WeightPreset::Octonion));
+        assert_eq!(preset_by_name("no-such-model"), None);
+        assert_eq!(preset_by_name(""), None);
+    }
+
+    #[test]
+    fn cp_resolves_to_cp_not_cph() {
+        assert_eq!(preset_by_name("cp"), Some(WeightPreset::Cp));
+    }
+}

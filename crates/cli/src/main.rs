@@ -1,0 +1,52 @@
+//! `mei` — the user-facing command line for the multi-embedding
+//! interaction library.
+//!
+//! ```text
+//! mei generate --out DIR [--kind synthwn|synthfb|recsys|random] [--scale tiny|small|full] [--seed N]
+//! mei stats    --dataset DIR [--order hrt|htr]
+//! mei train    --dataset DIR --out model.bin [--model NAME] [--dim N]
+//!              [--epochs N] [--lr F] [--batch N] [--seed N] [--sampling uniform|bern]
+//! mei eval     --dataset DIR --model-file model.bin [--split test|valid]
+//!              [--categories true] [--classification true]
+//! mei predict  --dataset DIR --model-file model.bin --head NAME --relation NAME [--topk K]
+//! mei export   --dataset DIR --model-file model.bin --out embeddings.tsv
+//! mei models   (list available model presets)
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = Args::parse(std::env::args().skip(1));
+    let result = match parsed {
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+        Ok(args) => match args.command.as_str() {
+            "generate" => commands::generate(&args),
+            "stats" => commands::stats(&args),
+            "train" => commands::train(&args),
+            "eval" => commands::eval(&args),
+            "predict" => commands::predict(&args),
+            "export" => commands::export(&args),
+            "models" => commands::models(),
+            "help" | "--help" | "-h" => {
+                println!("{}", commands::USAGE);
+                Ok(())
+            }
+            other => {
+                eprintln!("error: unknown subcommand {other:?}\n");
+                eprintln!("{}", commands::USAGE);
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

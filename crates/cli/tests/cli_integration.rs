@@ -1,0 +1,197 @@
+//! End-to-end tests of the `mei` binary: spawn the real executable and
+//! drive the generate → stats → train → eval → predict → export pipeline
+//! through its public command-line surface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mei(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mei")).args(args).output().expect("failed to spawn mei")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mei_cli_it_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_and_models_commands() {
+    let help = mei(&["help"]);
+    assert!(help.status.success());
+    assert!(stdout(&help).contains("subcommands:"));
+
+    let models = mei(&["models"]);
+    assert!(models.status.success());
+    let out = stdout(&models);
+    assert!(out.contains("ComplEx"));
+    assert!(out.contains("Quaternion"));
+    assert!(out.contains("Octonion"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let o = mei(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown subcommand"));
+    assert!(stderr(&o).contains("subcommands:"));
+}
+
+#[test]
+fn missing_required_flag_is_reported() {
+    let o = mei(&["train", "--dataset", "/nonexistent"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--out") || stderr(&o).contains("I/O error"));
+}
+
+#[test]
+fn full_pipeline_generate_train_eval_predict_export() {
+    let dir = workdir("pipeline");
+    let data = dir.join("data");
+    let data_s = data.to_str().unwrap();
+
+    // generate
+    let o = mei(&["generate", "--out", data_s, "--scale", "tiny", "--seed", "5"]);
+    assert!(o.status.success(), "generate failed: {}", stderr(&o));
+    assert!(data.join("train.txt").exists());
+
+    // stats
+    let o = mei(&["stats", "--dataset", data_s]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("inverse leakage"));
+    assert!(out.contains("_hyponym_0"));
+
+    // train (few epochs; quiet)
+    let model = dir.join("model.bin");
+    let model_s = model.to_str().unwrap();
+    let o = mei(&[
+        "train", "--dataset", data_s, "--out", model_s, "--model", "cph", "--epochs", "40",
+        "--dim", "16", "--quiet", "true",
+    ]);
+    assert!(o.status.success(), "train failed: {}", stderr(&o));
+    assert!(model.exists());
+
+    // eval with all report options
+    let o = mei(&[
+        "eval",
+        "--dataset",
+        data_s,
+        "--model-file",
+        model_s,
+        "--categories",
+        "true",
+        "--classification",
+        "true",
+    ]);
+    assert!(o.status.success(), "eval failed: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("filtered: MRR"));
+    assert!(out.contains("by relation category"));
+    assert!(out.contains("classification accuracy"));
+
+    // predict for a known entity/relation
+    let o = mei(&[
+        "predict",
+        "--dataset",
+        data_s,
+        "--model-file",
+        model_s,
+        "--head",
+        "synset_000001",
+        "--relation",
+        "_hyponym_0",
+        "--topk",
+        "3",
+    ]);
+    assert!(o.status.success(), "predict failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("top-3 predicted tails"));
+
+    // export embeddings
+    let tsv = dir.join("emb.tsv");
+    let o = mei(&[
+        "export", "--dataset", data_s, "--model-file", model_s, "--out", tsv.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "export failed: {}", stderr(&o));
+    let contents = std::fs::read_to_string(&tsv).unwrap();
+    assert_eq!(contents.lines().count(), 200); // tiny scale has 200 entities
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn predict_reports_unknown_names() {
+    let dir = workdir("unknown");
+    let data = dir.join("data");
+    let data_s = data.to_str().unwrap();
+    assert!(mei(&["generate", "--out", data_s, "--scale", "tiny"]).status.success());
+    let model = dir.join("m.bin");
+    assert!(mei(&[
+        "train", "--dataset", data_s, "--out", model.to_str().unwrap(), "--epochs", "2",
+        "--dim", "4", "--quiet", "true"
+    ])
+    .status
+    .success());
+    let o = mei(&[
+        "predict",
+        "--dataset",
+        data_s,
+        "--model-file",
+        model.to_str().unwrap(),
+        "--head",
+        "no_such_entity",
+        "--relation",
+        "_hyponym_0",
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown entity"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn eval_rejects_mismatched_model_and_dataset() {
+    let dir = workdir("mismatch");
+    let data_a = dir.join("a");
+    let data_b = dir.join("b");
+    assert!(mei(&["generate", "--out", data_a.to_str().unwrap(), "--scale", "tiny"])
+        .status
+        .success());
+    // A recsys dataset has a different entity count.
+    assert!(mei(&["generate", "--out", data_b.to_str().unwrap(), "--kind", "recsys"])
+        .status
+        .success());
+    let model = dir.join("m.bin");
+    assert!(mei(&[
+        "train",
+        "--dataset",
+        data_a.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--epochs",
+        "2",
+        "--dim",
+        "4",
+        "--quiet",
+        "true"
+    ])
+    .status
+    .success());
+    let o = mei(&[
+        "eval",
+        "--dataset",
+        data_b.to_str().unwrap(),
+        "--model-file",
+        model.to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("wrong pairing"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,26 @@
+//! Baseline models from the paper's related-work taxonomy (§2.2).
+//!
+//! The paper sorts knowledge graph embedding models into three categories:
+//! translation-based (§2.2.1, e.g. TransE), neural-network-based (§2.2.2,
+//! e.g. ER-MLP) and trilinear-product-based (§2.2.3 — the family the paper
+//! unifies). `mei-core`'s main model covers the third category; this module
+//! supplies trainable reference implementations of the other two so the
+//! examples and benches can compare across categories:
+//!
+//! * [`transe::TransE`] — `S(h,t,r) = −‖h + r − t‖_p` (Eq. 1);
+//! * [`transh::TransH`] — translation on relation-specific hyperplanes
+//!   (the §2.2.1 "linear transformation … before translation" family);
+//! * [`ermlp::ErMlp`] — a one-hidden-layer MLP over the concatenated
+//!   embeddings (Eq. 2);
+//! * [`rescal::Rescal`] — the full bilinear form `hᵀ·W_r·t` that DistMult
+//!   diagonalizes (§2.2.2–2.2.3 lineage).
+
+pub mod ermlp;
+pub mod rescal;
+pub mod transe;
+pub mod transh;
+
+pub use ermlp::{ErMlp, ErMlpConfig};
+pub use rescal::{Rescal, RescalConfig};
+pub use transe::{TransE, TransEConfig};
+pub use transh::{TransH, TransHConfig};

@@ -1,0 +1,195 @@
+//! Flat multi-embedding tables.
+
+use mei_math::init::Init;
+use mei_math::vecops::normalize_l2;
+use rand::Rng;
+
+/// A table of `num_items` items, each carrying `n` embedding vectors of
+/// dimension `dim`, stored contiguously row-major:
+/// `data[((item · n) + component) · dim ..][..dim]`.
+///
+/// This is the storage behind §3.1's
+/// `e ↦ {e⁽¹⁾, …, e⁽ⁿ⁾}` and `r ↦ {r⁽¹⁾, …, r⁽ⁿ⁾}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    num_items: usize,
+    n: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Allocates a zeroed table.
+    pub fn zeros(num_items: usize, n: usize, dim: usize) -> Self {
+        assert!(n >= 1, "need at least one embedding per item");
+        assert!(dim >= 1, "embedding dimension must be positive");
+        Self { num_items, n, dim, data: vec![0.0; num_items * n * dim] }
+    }
+
+    /// Allocates and randomly initializes a table.
+    pub fn init<R: Rng + ?Sized>(
+        num_items: usize,
+        n: usize,
+        dim: usize,
+        init: Init,
+        rng: &mut R,
+    ) -> Self {
+        let mut t = Self::zeros(num_items, n, dim);
+        init.fill(rng, &mut t.data);
+        t
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Embeddings per item.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Dimensionality of each embedding vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total parameter count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the table holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, item: usize, component: usize) -> usize {
+        debug_assert!(item < self.num_items, "item {item} out of range {}", self.num_items);
+        debug_assert!(component < self.n, "component {component} out of range {}", self.n);
+        (item * self.n + component) * self.dim
+    }
+
+    /// The `component`-th embedding vector of `item`.
+    #[inline]
+    pub fn vec(&self, item: usize, component: usize) -> &[f32] {
+        let o = self.offset(item, component);
+        &self.data[o..o + self.dim]
+    }
+
+    /// Mutable view of one embedding vector.
+    #[inline]
+    pub fn vec_mut(&mut self, item: usize, component: usize) -> &mut [f32] {
+        let o = self.offset(item, component);
+        &mut self.data[o..o + self.dim]
+    }
+
+    /// All `n` vectors of one item as a single contiguous row slice
+    /// (length `n · dim`).
+    #[inline]
+    pub fn row(&self, item: usize) -> &[f32] {
+        let o = self.offset(item, 0);
+        &self.data[o..o + self.n * self.dim]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, item: usize) -> &mut [f32] {
+        let o = self.offset(item, 0);
+        &mut self.data[o..o + self.n * self.dim]
+    }
+
+    /// Flat offset of an item's row within the table (for optimizer state
+    /// addressing).
+    #[inline]
+    pub fn row_offset(&self, item: usize) -> usize {
+        self.offset(item, 0)
+    }
+
+    /// Length of one row (`n · dim`).
+    #[inline]
+    pub fn row_len(&self) -> usize {
+        self.n * self.dim
+    }
+
+    /// Projects every component vector of `item` onto the unit L2 sphere
+    /// (the paper's per-iteration entity constraint, §5.3).
+    pub fn normalize_item(&mut self, item: usize) {
+        for c in 0..self.n {
+            normalize_l2(self.vec_mut(item, c));
+        }
+    }
+
+    /// Concatenation of all `n` vectors of an item into one owned vector —
+    /// §3.2's recipe for using multi-embeddings in downstream analysis
+    /// ("multiple embedding vectors can be concatenated to form a longer
+    /// vector for use in visualization and data analysis").
+    pub fn concatenated(&self, item: usize) -> Vec<f32> {
+        self.row(item).to_vec()
+    }
+
+    /// Raw storage (read-only).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Raw storage (mutable) — used by serialization and tests.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mei_math::vecops::l2_norm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layout_is_item_major_component_minor() {
+        let mut t = EmbeddingTable::zeros(3, 2, 4);
+        t.vec_mut(1, 0).copy_from_slice(&[1.0; 4]);
+        t.vec_mut(1, 1).copy_from_slice(&[2.0; 4]);
+        assert_eq!(t.row(1), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(t.row(0), &[0.0; 8]);
+        assert_eq!(t.row_offset(1), 8);
+        assert_eq!(t.row_len(), 8);
+    }
+
+    #[test]
+    fn normalize_item_hits_unit_norm_per_component() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = EmbeddingTable::init(4, 3, 16, Init::Uniform { bound: 2.0 }, &mut rng);
+        t.normalize_item(2);
+        for c in 0..3 {
+            assert!((l2_norm(t.vec(2, c)) - 1.0).abs() < 1e-5);
+        }
+        // Other items untouched (norm almost surely ≠ 1).
+        assert!((l2_norm(t.vec(0, 0)) - 1.0).abs() > 1e-3);
+    }
+
+    #[test]
+    fn concatenated_matches_row() {
+        let mut t = EmbeddingTable::zeros(2, 2, 2);
+        t.vec_mut(0, 0).copy_from_slice(&[1.0, 2.0]);
+        t.vec_mut(0, 1).copy_from_slice(&[3.0, 4.0]);
+        assert_eq!(t.concatenated(0), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn init_is_seeded() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let ta = EmbeddingTable::init(5, 2, 8, Init::EmbeddingUniform { dim: 8 }, &mut a);
+        let tb = EmbeddingTable::init(5, 2, 8, Init::EmbeddingUniform { dim: 8 }, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one embedding")]
+    fn zero_components_rejected() {
+        EmbeddingTable::zeros(1, 0, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's training loss (Eqs. 15–16).
+//!
+//! With labels `y ∈ {+1, −1}` the negative log-likelihood of the logistic
+//! model is `L = log(1 + e^{−y·S})`, i.e. `softplus(−y·S)`, summed over
+//! positive and negative-sampled triples. The per-triple L2 term
+//! `(λ / n_D)·‖Θ‖²` of Eq. 16 is applied by the trainer to exactly the
+//! embedding rows participating in each triple.
+
+use mei_math::activations::{sigmoid, softplus};
+
+/// Class label of a training triple (Eq. 16's `Y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// An observed (true) triple, `y = +1`.
+    Positive,
+    /// A negative-sampled (corrupted) triple, `y = −1`.
+    Negative,
+}
+
+impl Label {
+    /// The signed value `y`.
+    #[inline]
+    pub fn sign(self) -> f32 {
+        match self {
+            Label::Positive => 1.0,
+            Label::Negative => -1.0,
+        }
+    }
+}
+
+/// `L(S, y) = log(1 + e^{−y·S})`.
+#[inline]
+pub fn logistic_loss(score: f32, label: Label) -> f32 {
+    softplus(-label.sign() * score)
+}
+
+/// `∂L/∂S = −y·σ(−y·S)`.
+///
+/// Note the convenient identity: for a positive triple this equals
+/// `σ(S) − 1`, for a negative triple `σ(S)`; both are
+/// `σ(S) − p̂` with `p̂` the empirical probability — the usual
+/// cross-entropy gradient.
+#[inline]
+pub fn logistic_loss_grad(score: f32, label: Label) -> f32 {
+    let y = label.sign();
+    -y * sigmoid(-y * score)
+}
+
+/// Predicted validity probability `σ(S)` (§2.1's prediction component /
+/// Eq. 15).
+#[inline]
+pub fn predict_probability(score: f32) -> f32 {
+    sigmoid(score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mei_autodiff::finite_difference_gradient;
+
+    #[test]
+    fn loss_reference_values() {
+        // S = 0 ⇒ L = ln 2 regardless of label.
+        assert!((logistic_loss(0.0, Label::Positive) - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((logistic_loss(0.0, Label::Negative) - std::f32::consts::LN_2).abs() < 1e-6);
+        // Confident & correct ⇒ near-zero loss; confident & wrong ⇒ ≈ |S|.
+        assert!(logistic_loss(20.0, Label::Positive) < 1e-6);
+        assert!((logistic_loss(20.0, Label::Negative) - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn loss_is_stable_at_extremes() {
+        assert!(logistic_loss(1e4, Label::Negative).is_finite());
+        assert!(logistic_loss(-1e4, Label::Positive).is_finite());
+    }
+
+    #[test]
+    fn grad_matches_cross_entropy_form() {
+        for &s in &[-3.0f32, -0.1, 0.0, 0.4, 2.5] {
+            let gp = logistic_loss_grad(s, Label::Positive);
+            assert!((gp - (sigmoid(s) - 1.0)).abs() < 1e-6);
+            let gn = logistic_loss_grad(s, Label::Negative);
+            assert!((gn - sigmoid(s)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_differences() {
+        for label in [Label::Positive, Label::Negative] {
+            for &s in &[-2.0f64, -0.3, 0.0, 0.8, 3.1] {
+                let f = |x: &[f64]| f64::from(logistic_loss(x[0] as f32, label));
+                let fd = finite_difference_gradient(f, &[s], 1e-3)[0];
+                let analytic = f64::from(logistic_loss_grad(s as f32, label));
+                assert!((analytic - fd).abs() < 1e-3, "s={s} label={label:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn probability_is_monotone_in_score() {
+        assert!(predict_probability(-1.0) < predict_probability(0.0));
+        assert!(predict_probability(0.0) < predict_probability(1.0));
+        assert!((predict_probability(0.0) - 0.5).abs() < 1e-6);
+    }
+}

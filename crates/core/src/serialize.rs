@@ -1,0 +1,281 @@
+//! Binary persistence for trained models.
+//!
+//! §1 motivates reusing learned embeddings as "extracted or pretrained
+//! feature vectors in other learning models"; that requires saving and
+//! reloading them. The format is a small, versioned little-endian codec
+//! built on `bytes`:
+//!
+//! ```text
+//! magic "MEIM" | version u32 | n_ent u32 | n_rel u32 | dim u32 |
+//! num_entities u32 | num_relations u32 | restriction u8 | trainable u8 |
+//! raw ω (n_ent²·n_rel f32) | entity table | relation table
+//! ```
+//!
+//! A TSV export of concatenated entity embeddings is also provided for the
+//! §3.2 data-analysis workflow (feeding external tools).
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::embedding::EmbeddingTable;
+use crate::model::{ModelConfig, MultiEmbedModel};
+use crate::weights::{WeightRestriction, WeightVector};
+
+const MAGIC: &[u8; 4] = b"MEIM";
+const VERSION: u32 = 2;
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The bytes do not form a valid model file.
+    Format(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "I/O error: {e}"),
+            SerializeError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+fn restriction_tag(r: WeightRestriction) -> u8 {
+    match r {
+        WeightRestriction::None => 0,
+        WeightRestriction::Tanh => 1,
+        WeightRestriction::Sigmoid => 2,
+        WeightRestriction::Softmax => 3,
+    }
+}
+
+fn restriction_from_tag(tag: u8) -> Result<WeightRestriction, SerializeError> {
+    Ok(match tag {
+        0 => WeightRestriction::None,
+        1 => WeightRestriction::Tanh,
+        2 => WeightRestriction::Sigmoid,
+        3 => WeightRestriction::Softmax,
+        other => return Err(SerializeError::Format(format!("unknown restriction tag {other}"))),
+    })
+}
+
+fn put_table(buf: &mut BytesMut, table: &EmbeddingTable) {
+    for v in table.as_slice() {
+        buf.put_f32_le(*v);
+    }
+}
+
+fn get_table(
+    buf: &mut Bytes,
+    num_items: usize,
+    n: usize,
+    dim: usize,
+) -> Result<EmbeddingTable, SerializeError> {
+    let len = num_items * n * dim;
+    if buf.remaining() < len * 4 {
+        return Err(SerializeError::Format("truncated embedding table".into()));
+    }
+    let mut t = EmbeddingTable::zeros(num_items, n, dim);
+    for v in t.as_mut_slice() {
+        *v = buf.get_f32_le();
+    }
+    Ok(t)
+}
+
+/// Serializes a model to bytes.
+pub fn model_to_bytes(model: &MultiEmbedModel) -> Bytes {
+    let cfg = model.config();
+    let mut buf = BytesMut::with_capacity(32 + 4 * model.num_params());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(cfg.n as u32);
+    buf.put_u32_le(model.raw_omega().n_rel() as u32);
+    buf.put_u32_le(cfg.dim as u32);
+    buf.put_u32_le(cfg.num_entities as u32);
+    buf.put_u32_le(cfg.num_relations as u32);
+    buf.put_u8(restriction_tag(model.restriction()));
+    buf.put_u8(u8::from(model.trainable_omega()));
+    for w in model.raw_omega().dense() {
+        buf.put_f32_le(*w);
+    }
+    put_table(&mut buf, &model.entities);
+    put_table(&mut buf, &model.relations);
+    buf.freeze()
+}
+
+/// Deserializes a model from bytes.
+pub fn model_from_bytes(mut buf: Bytes) -> Result<MultiEmbedModel, SerializeError> {
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(SerializeError::Format("bad magic (not a mei model file)".into()));
+    }
+    if buf.remaining() < 26 {
+        return Err(SerializeError::Format("truncated header".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SerializeError::Format(format!("unsupported version {version}")));
+    }
+    let n = buf.get_u32_le() as usize;
+    let n_rel = buf.get_u32_le() as usize;
+    let dim = buf.get_u32_le() as usize;
+    let num_entities = buf.get_u32_le() as usize;
+    let num_relations = buf.get_u32_le() as usize;
+    let restriction = restriction_from_tag(buf.get_u8())?;
+    let trainable = buf.get_u8() != 0;
+    if n == 0 || n_rel == 0 || dim == 0 {
+        return Err(SerializeError::Format("n, n_rel and dim must be positive".into()));
+    }
+    let omega_len = n * n * n_rel;
+    if buf.remaining() < omega_len * 4 {
+        return Err(SerializeError::Format("truncated ω".into()));
+    }
+    let mut raw = vec![0.0f32; omega_len];
+    for w in &mut raw {
+        *w = buf.get_f32_le();
+    }
+    let entities = get_table(&mut buf, num_entities, n, dim)?;
+    let relations = get_table(&mut buf, num_relations, n_rel, dim)?;
+
+    let cfg = ModelConfig { num_entities, num_relations, n, dim };
+    let mut model = MultiEmbedModel::from_parts(
+        cfg,
+        entities,
+        relations,
+        WeightVector::with_dims(n, n_rel, raw),
+        restriction,
+        trainable,
+    );
+    model.refresh_omega();
+    Ok(model)
+}
+
+/// Saves a model to a file.
+pub fn save_model<P: AsRef<Path>>(model: &MultiEmbedModel, path: P) -> Result<(), SerializeError> {
+    let bytes = model_to_bytes(model);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Loads a model from a file.
+pub fn load_model<P: AsRef<Path>>(path: P) -> Result<MultiEmbedModel, SerializeError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    model_from_bytes(Bytes::from(data))
+}
+
+/// Writes concatenated entity embeddings as TSV (`name \t v0 \t v1 …`) for
+/// external analysis tools (§3.2).
+pub fn export_entity_embeddings_tsv<W: Write>(
+    model: &MultiEmbedModel,
+    names: impl Fn(u32) -> String,
+    mut w: W,
+) -> Result<(), SerializeError> {
+    for e in 0..model.config().num_entities {
+        write!(w, "{}", names(e as u32))?;
+        for v in model.entities.row(e) {
+            write!(w, "\t{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightPreset;
+    use mei_kg::Triple;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> MultiEmbedModel {
+        let mut rng = StdRng::seed_from_u64(3);
+        MultiEmbedModel::from_preset(WeightPreset::ComplEx, 7, 3, 5, &mut rng)
+    }
+
+    #[test]
+    fn round_trip_preserves_scores() {
+        let m = model();
+        let bytes = model_to_bytes(&m);
+        let m2 = model_from_bytes(bytes).unwrap();
+        for (h, t, r) in [(0u32, 1u32, 0u32), (5, 6, 2), (3, 3, 1)] {
+            assert_eq!(m.score_triple(Triple::new(h, t, r)), m2.score_triple(Triple::new(h, t, r)));
+        }
+        assert_eq!(m.config(), m2.config());
+        assert_eq!(m.omega().dense(), m2.omega().dense());
+    }
+
+    #[test]
+    fn round_trip_learned_model() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = ModelConfig { num_entities: 4, num_relations: 2, n: 2, dim: 3 };
+        let m = MultiEmbedModel::with_learned_weights(
+            cfg,
+            WeightRestriction::Softmax,
+            0.2,
+            &mut rng,
+        );
+        let m2 = model_from_bytes(model_to_bytes(&m)).unwrap();
+        assert!(m2.trainable_omega());
+        assert_eq!(m2.restriction(), WeightRestriction::Softmax);
+        assert_eq!(m.omega().dense(), m2.omega().dense());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let m = model();
+        let path = std::env::temp_dir().join(format!("mei_model_{}.bin", std::process::id()));
+        save_model(&m, &path).unwrap();
+        let m2 = load_model(&path).unwrap();
+        assert_eq!(m.entities.as_slice(), m2.entities.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(model_from_bytes(Bytes::from_static(b"not a model")).is_err());
+        assert!(model_from_bytes(Bytes::from_static(b"MEIM")).is_err());
+        // Valid magic + bogus version.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(999);
+        buf.put_slice(&[0u8; 30]);
+        let err = model_from_bytes(buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"));
+    }
+
+    #[test]
+    fn rejects_truncated_tables() {
+        let m = model();
+        let bytes = model_to_bytes(&m);
+        let truncated = bytes.slice(0..bytes.len() - 8);
+        assert!(model_from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn tsv_export_shape() {
+        let m = model();
+        let mut out = Vec::new();
+        export_entity_embeddings_tsv(&m, |e| format!("entity_{e}"), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7);
+        // name + n·dim values per line.
+        assert_eq!(lines[0].split('\t').count(), 1 + 2 * 5);
+        assert!(lines[0].starts_with("entity_0\t"));
+    }
+}

@@ -1,0 +1,702 @@
+//! The training loop (§4–5.3 of the paper).
+//!
+//! Per positive triple: draw corrupted negatives (1 in the paper), compute
+//! the logistic loss (Eq. 16), backpropagate analytically into the touched
+//! embedding rows (and ω when learnable), apply per-triple L2
+//! regularization `λ/n_D·‖Θ‖²`, step the optimizer (Adam by default), then
+//! project entity embeddings back onto the unit sphere. Early stopping
+//! monitors filtered MRR on the validation split.
+
+use std::collections::HashMap;
+
+use mei_eval::{evaluate, EvalConfig};
+use mei_kg::negative::CorruptionSide;
+use mei_kg::{BernoulliSampler, Dataset, NegativeSampler, Triple, TripleStore};
+use mei_optim::OptimizerKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::embedding::EmbeddingTable;
+use crate::loss::{logistic_loss, logistic_loss_grad, Label};
+use crate::model::{MultiEmbedModel, TripleGrads};
+use crate::regularizer::DirichletRegularizer;
+use crate::weights::WeightVector;
+
+/// The per-example objective optimized by the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LossKind {
+    /// Logistic / softplus negative log-likelihood (Eq. 15–16) — the
+    /// paper's loss.
+    #[default]
+    Logistic,
+    /// Margin ranking loss `max(0, γ − S(pos) + S(neg))` over each
+    /// positive/negative pair — the translation-family objective, exposed
+    /// here so loss choice can be ablated independently of the model.
+    MarginRanking {
+        /// Margin γ.
+        margin: f32,
+    },
+}
+
+/// How negatives are drawn during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplingStrategy {
+    /// Uniform entity replacement, head or tail with probability ½ (the
+    /// paper's protocol, §4).
+    #[default]
+    Uniform,
+    /// The TransH "bern" strategy: per-relation head/tail corruption
+    /// probabilities from tails-per-head vs heads-per-tail statistics,
+    /// reducing false negatives on skewed relations.
+    Bernoulli,
+}
+
+/// Hyperparameters for [`Trainer`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub max_epochs: usize,
+    /// Minibatch size (the paper grid-searches 2¹² and 2¹⁴).
+    pub batch_size: usize,
+    /// Learning rate (the paper grid-searches 10⁻³ and 10⁻⁴).
+    pub learning_rate: f32,
+    /// Optimizer (the paper uses Adam).
+    pub optimizer: OptimizerKind,
+    /// Embedding L2 strength λ of Eq. 16.
+    pub l2_lambda: f32,
+    /// Negatives per positive (1 in the paper, §5.3).
+    pub negatives_per_positive: usize,
+    /// Negative-sampling strategy (the paper uses uniform).
+    pub sampling: SamplingStrategy,
+    /// Training objective (the paper uses the logistic loss).
+    pub loss: LossKind,
+    /// Project entity embeddings to unit L2 norm after each step (§5.3).
+    pub unit_norm_entities: bool,
+    /// Validate every this many epochs (the paper: 50).
+    pub eval_every: usize,
+    /// Stop after this many epochs without validation improvement
+    /// (the paper: 100).
+    pub patience: usize,
+    /// Multiplicative learning-rate decay applied at every validation
+    /// checkpoint (1.0 disables decay; the paper relies on Adam's
+    /// auto-tuning instead, §5.3).
+    pub lr_decay: f32,
+    /// Optional Dirichlet sparsity regularizer on learned ω (Eq. 12).
+    pub dirichlet: Option<DirichletRegularizer>,
+    /// RNG seed for shuffling and negative sampling.
+    pub seed: u64,
+    /// Print one progress line per validation check.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            max_epochs: 200,
+            batch_size: 1024,
+            learning_rate: 1e-3,
+            optimizer: OptimizerKind::Adam,
+            l2_lambda: 1e-3,
+            negatives_per_positive: 1,
+            sampling: SamplingStrategy::Uniform,
+            loss: LossKind::Logistic,
+            unit_norm_entities: true,
+            eval_every: 25,
+            patience: 50,
+            lr_decay: 1.0,
+            dirichlet: None,
+            seed: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// What training produced.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Epochs actually run.
+    pub epochs_run: usize,
+    /// Best validation filtered MRR seen.
+    pub best_valid_mrr: f64,
+    /// Epoch of the best validation MRR.
+    pub best_epoch: usize,
+    /// `(epoch, mean train loss)` history.
+    pub loss_history: Vec<(usize, f64)>,
+    /// `(epoch, validation filtered MRR)` history.
+    pub valid_history: Vec<(usize, f64)>,
+}
+
+/// Snapshot of all trainable state, for best-model restoration.
+struct Snapshot {
+    entities: EmbeddingTable,
+    relations: EmbeddingTable,
+    raw_omega: WeightVector,
+}
+
+/// Orchestrates training of a [`MultiEmbedModel`] on a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    /// Hyperparameters.
+    pub config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// Trains `model` on `dataset.train`, early-stopping on
+    /// `dataset.valid` filtered MRR with `filter` as the known-true set.
+    /// On return the model holds the best-validation parameters.
+    pub fn train(
+        &self,
+        model: &mut MultiEmbedModel,
+        dataset: &Dataset,
+        filter: &TripleStore,
+    ) -> TrainReport {
+        let cfg = &self.config;
+        let ent_params = model.entities.len();
+        let rel_params = model.relations.len();
+        let omega_params = if model.trainable_omega() { model.raw_omega().dense().len() } else { 0 };
+        let mut optimizer =
+            cfg.optimizer.build(ent_params + rel_params + omega_params, cfg.learning_rate);
+
+        let n_d = model.num_embedding_params() as f32;
+        let l2_coef = 2.0 * cfg.l2_lambda / n_d;
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let uniform = NegativeSampler::new(model.config().num_entities, CorruptionSide::Both);
+        let bernoulli = (cfg.sampling == SamplingStrategy::Bernoulli).then(|| {
+            BernoulliSampler::from_triples(
+                model.config().num_entities,
+                model.config().num_relations,
+                &dataset.train,
+            )
+        });
+
+        let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+        let mut report = TrainReport {
+            epochs_run: 0,
+            best_valid_mrr: f64::NEG_INFINITY,
+            best_epoch: 0,
+            loss_history: Vec::new(),
+            valid_history: Vec::new(),
+        };
+        let mut best: Option<Snapshot> = None;
+        let eval_cfg = EvalConfig::default();
+
+        for epoch in 1..=cfg.max_epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_examples = 0usize;
+
+            for batch in order.chunks(cfg.batch_size) {
+                // Materialize the labeled batch sequentially so the RNG
+                // stream (and thus the whole run) is deterministic.
+                let mut examples: Vec<(Triple, Label)> =
+                    Vec::with_capacity(batch.len() * (1 + cfg.negatives_per_positive));
+                for &idx in batch {
+                    let pos = dataset.train[idx];
+                    examples.push((pos, Label::Positive));
+                    for _ in 0..cfg.negatives_per_positive {
+                        let neg = match &bernoulli {
+                            Some(b) => b.corrupt(&mut rng, pos),
+                            None => uniform.corrupt(&mut rng, pos),
+                        };
+                        examples.push((neg, Label::Negative));
+                    }
+                }
+
+                // Parallel gradient computation, sequential application.
+                let (row_grads, omega_grads, batch_loss) = compute_batch_grads(
+                    model,
+                    &examples,
+                    l2_coef,
+                    cfg.loss,
+                    1 + cfg.negatives_per_positive,
+                );
+                epoch_loss += batch_loss;
+                epoch_examples += examples.len();
+
+                optimizer.step_begin();
+                for (row, grad) in &row_grads {
+                    match *row {
+                        RowKey::Entity(e) => {
+                            let offset = model.entities.row_offset(e);
+                            optimizer.update(offset, model.entities.row_mut(e), grad);
+                        }
+                        RowKey::Relation(r) => {
+                            let offset = ent_params + model.relations.row_offset(r);
+                            optimizer.update(offset, model.relations.row_mut(r), grad);
+                        }
+                    }
+                }
+                if model.trainable_omega() {
+                    let mut grad_eff = omega_grads;
+                    if let Some(reg) = &cfg.dirichlet {
+                        reg.accumulate_grad(model.omega().dense(), &mut grad_eff);
+                    }
+                    let mut grad_raw = vec![0.0f32; grad_eff.len()];
+                    model.omega_grad_raw(&grad_eff, &mut grad_raw);
+                    let offset = ent_params + rel_params;
+                    // Borrow dance: update a scratch copy, then write back.
+                    let mut raw = model.raw_omega().dense().to_vec();
+                    optimizer.update(offset, &mut raw, &grad_raw);
+                    model.raw_omega_mut().dense_mut().copy_from_slice(&raw);
+                    model.refresh_omega();
+                }
+
+                if cfg.unit_norm_entities {
+                    for row in row_grads.keys() {
+                        if let RowKey::Entity(e) = *row {
+                            model.entities.normalize_item(e);
+                        }
+                    }
+                }
+            }
+
+            report.epochs_run = epoch;
+            let mean_loss = if epoch_examples == 0 { 0.0 } else { epoch_loss / epoch_examples as f64 };
+            report.loss_history.push((epoch, mean_loss));
+
+            let is_eval_epoch = epoch % cfg.eval_every == 0 || epoch == cfg.max_epochs;
+            if is_eval_epoch && cfg.lr_decay != 1.0 {
+                let lr = optimizer.learning_rate() * cfg.lr_decay;
+                optimizer.set_learning_rate(lr);
+            }
+            if is_eval_epoch && !dataset.valid.is_empty() {
+                let (_, filtered) = evaluate(&*model, &dataset.valid, filter, &eval_cfg);
+                report.valid_history.push((epoch, filtered.mrr));
+                if cfg.verbose {
+                    eprintln!(
+                        "epoch {epoch:4}  loss {mean_loss:.4}  valid filtered MRR {:.4}",
+                        filtered.mrr
+                    );
+                }
+                if filtered.mrr > report.best_valid_mrr {
+                    report.best_valid_mrr = filtered.mrr;
+                    report.best_epoch = epoch;
+                    best = Some(Snapshot {
+                        entities: model.entities.clone(),
+                        relations: model.relations.clone(),
+                        raw_omega: model.raw_omega().clone(),
+                    });
+                } else if epoch - report.best_epoch >= cfg.patience {
+                    break;
+                }
+            }
+        }
+
+        if let Some(snap) = best {
+            model.entities = snap.entities;
+            model.relations = snap.relations;
+            *model.raw_omega_mut() = snap.raw_omega;
+            model.refresh_omega();
+        }
+        report
+    }
+}
+
+/// Addresses one embedding row during gradient accumulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RowKey {
+    Entity(usize),
+    Relation(usize),
+}
+
+type RowGrads = HashMap<RowKey, Vec<f32>>;
+
+/// Computes summed gradients for a labeled batch: per-row embedding
+/// gradients, the dense effective-ω gradient, and the total loss.
+///
+/// For [`LossKind::MarginRanking`], `examples` must be grouped as
+/// `[positive, neg₁, …, neg_k]` repeating with stride `group_len`.
+fn compute_batch_grads(
+    model: &MultiEmbedModel,
+    examples: &[(Triple, Label)],
+    l2_coef: f32,
+    loss_kind: LossKind,
+    group_len: usize,
+) -> (RowGrads, Vec<f32>, f64) {
+    let ent_row_len = model.entities.row_len();
+    let rel_row_len = model.relations.row_len();
+    let n3 = model.omega().dense().len();
+    // Chunk on group boundaries so margin pairs stay together.
+    let groups = examples.len().div_ceil(group_len);
+    let groups_per_chunk = groups.div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let chunk = groups_per_chunk * group_len;
+
+    examples
+        .par_chunks(chunk)
+        .map(|chunk_examples| {
+            let mut rows: RowGrads = HashMap::new();
+            let mut omega = vec![0.0f32; n3];
+            let mut loss = 0.0f64;
+            let mut scratch = model.new_grads();
+
+            // Computes ∂S/∂θ once (coef 1), then lets `coef_of(score)`
+            // decide the scaling — so the logistic path needs only one
+            // forward-backward per example.
+            let apply = |rows: &mut RowGrads,
+                             omega: &mut Vec<f32>,
+                             scratch: &mut TripleGrads,
+                             triple: Triple,
+                             coef_of: &mut dyn FnMut(f32) -> f32| {
+                scratch.clear();
+                let score = model.score_and_accumulate_grads(triple, 1.0, scratch);
+                let coef = coef_of(score);
+                let h_entry = rows
+                    .entry(RowKey::Entity(triple.head.idx()))
+                    .or_insert_with(|| vec![0.0; ent_row_len]);
+                accumulate_with_l2(h_entry, &scratch.head, coef, l2_coef, model.entities.row(triple.head.idx()));
+                let t_entry = rows
+                    .entry(RowKey::Entity(triple.tail.idx()))
+                    .or_insert_with(|| vec![0.0; ent_row_len]);
+                accumulate_with_l2(t_entry, &scratch.tail, coef, l2_coef, model.entities.row(triple.tail.idx()));
+                let r_entry = rows
+                    .entry(RowKey::Relation(triple.relation.idx()))
+                    .or_insert_with(|| vec![0.0; rel_row_len]);
+                accumulate_with_l2(r_entry, &scratch.rel, coef, l2_coef, model.relations.row(triple.relation.idx()));
+                if model.trainable_omega() {
+                    for (o, g) in omega.iter_mut().zip(&scratch.omega_eff) {
+                        *o += coef * g;
+                    }
+                }
+                score
+            };
+
+            match loss_kind {
+                LossKind::Logistic => {
+                    for &(triple, label) in chunk_examples {
+                        apply(&mut rows, &mut omega, &mut scratch, triple, &mut |score| {
+                            loss += f64::from(logistic_loss(score, label));
+                            logistic_loss_grad(score, label)
+                        });
+                    }
+                }
+                LossKind::MarginRanking { margin } => {
+                    for group in chunk_examples.chunks(group_len) {
+                        let (pos, _) = group[0];
+                        let pos_score = model.score_triple(pos);
+                        for &(neg, _) in &group[1..] {
+                            let neg_score = model.score_triple(neg);
+                            let pair_loss = (margin - pos_score + neg_score).max(0.0);
+                            loss += f64::from(pair_loss);
+                            if pair_loss > 0.0 {
+                                // ∂/∂S(pos) = −1, ∂/∂S(neg) = +1.
+                                apply(&mut rows, &mut omega, &mut scratch, pos, &mut |_| -1.0);
+                                apply(&mut rows, &mut omega, &mut scratch, neg, &mut |_| 1.0);
+                            }
+                        }
+                    }
+                }
+            }
+            (rows, omega, loss)
+        })
+        .reduce(
+            || (HashMap::new(), vec![0.0f32; n3], 0.0),
+            |(mut ra, mut oa, la), (rb, ob, lb)| {
+                for (k, v) in rb {
+                    match ra.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            for (a, b) in e.get_mut().iter_mut().zip(&v) {
+                                *a += b;
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+                for (a, b) in oa.iter_mut().zip(&ob) {
+                    *a += b;
+                }
+                (ra, oa, la + lb)
+            },
+        )
+}
+
+/// `entry += coef·score_grad + l2_coef·params` — the loss gradient plus the
+/// per-triple L2 term of Eq. 16.
+#[inline]
+fn accumulate_with_l2(entry: &mut [f32], score_grad: &[f32], coef: f32, l2_coef: f32, params: &[f32]) {
+    for i in 0..entry.len() {
+        entry[i] += coef * score_grad[i] + l2_coef * params[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use crate::weights::{WeightPreset, WeightRestriction};
+    use mei_eval::TripleScorer;
+    use mei_kg::Dictionary;
+
+    /// A 12-entity graph with a deterministic "successor" relation and its
+    /// inverse — small enough to fit in seconds, structured enough that a
+    /// capable model must fit it.
+    fn ring_dataset() -> Dataset {
+        let n = 12u32;
+        let entities = Dictionary::from_names((0..n).map(|i| format!("e{i}")));
+        let relations = Dictionary::from_names(["succ", "pred"]);
+        let mut train = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            train.push(Triple::new(i, j, 0));
+            train.push(Triple::new(j, i, 1));
+        }
+        // Hold out two triples for validation.
+        let valid = vec![train.pop().unwrap(), train.remove(3)];
+        Dataset { entities, relations, train, valid, test: vec![] }
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            max_epochs: 120,
+            batch_size: 8,
+            learning_rate: 0.05,
+            optimizer: OptimizerKind::Adam,
+            l2_lambda: 1e-4,
+            negatives_per_positive: 2,
+            sampling: SamplingStrategy::Uniform,
+            loss: LossKind::Logistic,
+            unit_norm_entities: true,
+            eval_every: 30,
+            patience: 90,
+            lr_decay: 1.0,
+            dirichlet: None,
+            seed: 7,
+            verbose: false,
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_the_ring() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            16,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let report = Trainer::new(quick_config()).train(&mut model, &ds, &filter);
+        let first = report.loss_history.first().unwrap().1;
+        let last = report.loss_history.last().unwrap().1;
+        assert!(last < first * 0.6, "loss did not drop: {first} → {last}");
+        // The held-out successor triples should rank well.
+        assert!(report.best_valid_mrr > 0.5, "valid MRR {}", report.best_valid_mrr);
+    }
+
+    #[test]
+    fn training_separates_true_from_corrupted_scores() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::Cph,
+            ds.num_entities(),
+            ds.num_relations(),
+            16,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        Trainer::new(quick_config()).train(&mut model, &ds, &filter);
+        let mut pos_mean = 0.0f32;
+        let mut neg_mean = 0.0f32;
+        for t in &ds.train {
+            pos_mean += model.score_triple(*t);
+            neg_mean += model.score_triple(Triple::new(t.head.0, (t.head.0 + 5) % 12, t.relation.0));
+        }
+        assert!(
+            pos_mean > neg_mean,
+            "positives should outscore corruptions: {pos_mean} vs {neg_mean}"
+        );
+    }
+
+    #[test]
+    fn unit_norm_constraint_is_enforced() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::DistMult,
+            ds.num_entities(),
+            ds.num_relations(),
+            8,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.max_epochs = 5;
+        cfg.eval_every = 100; // skip snapshots: inspect the live parameters
+        Trainer::new(cfg).train(&mut model, &ds, &filter);
+        for e in 0..ds.num_entities() {
+            for c in 0..model.config().n {
+                let norm = mei_math::l2_norm(model.entities.vec(e, c));
+                assert!((norm - 1.0).abs() < 1e-3, "entity {e} comp {c}: {norm}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = ring_dataset();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut model = MultiEmbedModel::from_preset(
+                WeightPreset::ComplEx,
+                ds.num_entities(),
+                ds.num_relations(),
+                8,
+                &mut rng,
+            );
+            let filter = ds.filter_store();
+            let mut cfg = quick_config();
+            cfg.max_epochs = 10;
+            Trainer::new(cfg).train(&mut model, &ds, &filter);
+            model.score_triple(Triple::new(0, 1, 0))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lr_decay_shrinks_the_learning_rate_but_still_trains() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            8,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.lr_decay = 0.5;
+        let report = Trainer::new(cfg).train(&mut model, &ds, &filter);
+        let first = report.loss_history.first().unwrap().1;
+        let last = report.loss_history.last().unwrap().1;
+        assert!(last < first, "decayed training did not reduce loss");
+    }
+
+    #[test]
+    fn margin_ranking_loss_trains_the_ring() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            16,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.loss = LossKind::MarginRanking { margin: 1.0 };
+        let report = Trainer::new(cfg).train(&mut model, &ds, &filter);
+        assert!(
+            report.best_valid_mrr > 0.4,
+            "margin-trained ComplEx should learn the ring: {}",
+            report.best_valid_mrr
+        );
+        // Margin loss actually decreased.
+        let first = report.loss_history.first().unwrap().1;
+        let last = report.loss_history.last().unwrap().1;
+        assert!(last < first, "margin loss did not drop: {first} → {last}");
+    }
+
+    #[test]
+    fn bernoulli_sampling_trains_comparably() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            8,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.sampling = SamplingStrategy::Bernoulli;
+        let report = Trainer::new(cfg).train(&mut model, &ds, &filter);
+        let first = report.loss_history.first().unwrap().1;
+        let last = report.loss_history.last().unwrap().1;
+        assert!(last < first, "bernoulli-sampled training did not reduce loss");
+    }
+
+    #[test]
+    fn learned_omega_moves_during_training() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg_model = ModelConfig {
+            num_entities: ds.num_entities(),
+            num_relations: ds.num_relations(),
+            n: 2,
+            dim: 8,
+        };
+        let mut model =
+            MultiEmbedModel::with_learned_weights(cfg_model, WeightRestriction::None, 0.3, &mut rng);
+        let before: Vec<f32> = model.omega().dense().to_vec();
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.max_epochs = 20;
+        Trainer::new(cfg).train(&mut model, &ds, &filter);
+        let after = model.omega().dense();
+        let moved: f32 = before.iter().zip(after).map(|(a, b)| (a - b).abs()).sum();
+        assert!(moved > 1e-3, "ω did not move: {moved}");
+    }
+
+    #[test]
+    fn early_stopping_restores_best_snapshot() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            8,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.max_epochs = 60;
+        cfg.eval_every = 10;
+        cfg.patience = 20;
+        let report = Trainer::new(cfg).train(&mut model, &ds, &filter);
+        // The restored model must reproduce the reported best MRR.
+        let (_, filtered) =
+            evaluate(&model, &ds.valid, &filter, &EvalConfig::default());
+        assert!(
+            (filtered.mrr - report.best_valid_mrr).abs() < 1e-9,
+            "restored model MRR {} != best {}",
+            filtered.mrr,
+            report.best_valid_mrr
+        );
+    }
+
+    #[test]
+    fn scorer_trait_is_usable_through_trainer_output() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            8,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.max_epochs = 3;
+        Trainer::new(cfg).train(&mut model, &ds, &filter);
+        let mut out = vec![0.0; model.num_entities()];
+        model.score_all_tails(mei_kg::EntityId(0), mei_kg::RelationId(0), &mut out);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,526 @@
+//! Interaction weight vectors ω and their restrictions.
+//!
+//! The weight vector is the heart of the unification (§3.1–3.3): fixing ω
+//! recovers each existing model (Table 1), hand-picking ω gives the
+//! good/bad variants of Table 2, and learning ω — optionally squashed
+//! through `tanh`/`sigmoid`/`softmax` — is the §3.3 experiment of Table 3.
+
+use mei_math::activations::{
+    sigmoid, sigmoid_grad_from_output, softmax_backward, softmax_in_place, tanh_grad_from_output,
+};
+
+/// A dense interaction weight vector over an `n_ent × n_ent × n_rel` grid,
+/// flattened row-major as `ω[(i·n_ent + j)·n_rel + k]` for head component
+/// `i`, tail component `j`, relation component `k` — the same ordering the
+/// paper uses in Tables 1–3 for the cubic `n = 2` case.
+///
+/// §3.1 notes that the number of embedding vectors "can be different for
+/// entity and relation"; the canonical example is CP, which carries two
+/// role-based entity embeddings but a single relation embedding. Head and
+/// tail always share a count because they index the *same* entity table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightVector {
+    n_ent: usize,
+    n_rel: usize,
+    dense: Vec<f32>,
+}
+
+impl WeightVector {
+    /// Builds a cubic (`n_ent = n_rel = n`) weight vector from its dense
+    /// flattening — the form the paper's tables print.
+    ///
+    /// # Panics
+    /// Panics if `dense.len() != n³`.
+    pub fn new(n: usize, dense: Vec<f32>) -> Self {
+        Self::with_dims(n, n, dense)
+    }
+
+    /// Builds a weight vector over an `n_ent × n_ent × n_rel` grid.
+    ///
+    /// # Panics
+    /// Panics if `dense.len() != n_ent²·n_rel` or a dimension is zero.
+    pub fn with_dims(n_ent: usize, n_rel: usize, dense: Vec<f32>) -> Self {
+        assert!(n_ent >= 1 && n_rel >= 1, "grid dimensions must be positive");
+        assert_eq!(
+            dense.len(),
+            n_ent * n_ent * n_rel,
+            "ω must have n_ent²·n_rel = {} entries",
+            n_ent * n_ent * n_rel
+        );
+        Self { n_ent, n_rel, dense }
+    }
+
+    /// The all-zero cubic vector (useful as a learnable ω warm start).
+    pub fn zeros(n: usize) -> Self {
+        Self { n_ent: n, n_rel: n, dense: vec![0.0; n * n * n] }
+    }
+
+    /// Number of embeddings per entity (`= per relation` for cubic grids).
+    pub fn n(&self) -> usize {
+        self.n_ent
+    }
+
+    /// Number of embeddings per relation.
+    pub fn n_rel(&self) -> usize {
+        self.n_rel
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.n_ent && j < self.n_ent && k < self.n_rel);
+        (i * self.n_ent + j) * self.n_rel + k
+    }
+
+    /// `ω(i, j, k)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f32 {
+        self.dense[self.idx(i, j, k)]
+    }
+
+    /// Sets `ω(i, j, k)`.
+    pub fn set(&mut self, i: usize, j: usize, k: usize, w: f32) {
+        let idx = self.idx(i, j, k);
+        self.dense[idx] = w;
+    }
+
+    /// The dense flattening (paper's tuple notation).
+    pub fn dense(&self) -> &[f32] {
+        &self.dense
+    }
+
+    /// Mutable dense access (used by the trainer when ω is learnable).
+    pub fn dense_mut(&mut self) -> &mut [f32] {
+        &mut self.dense
+    }
+
+    /// The nonzero terms as `(i, j, k, weight)` — the model's scoring loop
+    /// iterates these, so Table-1 presets pay only for their sparsity.
+    pub fn terms(&self) -> Vec<(usize, usize, usize, f32)> {
+        let mut out = Vec::new();
+        for i in 0..self.n_ent {
+            for j in 0..self.n_ent {
+                for k in 0..self.n_rel {
+                    let w = self.get(i, j, k);
+                    if w != 0.0 {
+                        out.push((i, j, k, w));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the weighted score is symmetric in `h` and `t`, i.e.
+    /// `ω(i, j, k) = ω(j, i, k)` for all components. Symmetric ω (DistMult,
+    /// uniform) cannot model asymmetric relations (§2.2.3, §6.2).
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.n_ent {
+            for j in 0..self.n_ent {
+                for k in 0..self.n_rel {
+                    if (self.get(i, j, k) - self.get(j, i, k)).abs() > 1e-12 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The named weight-vector presets from Tables 1–3 plus the quaternion
+/// model's Eq. 14 expansion.
+///
+/// ```
+/// use mei_core::WeightPreset;
+/// // Table 1's ComplEx column, exactly as printed in the paper:
+/// assert_eq!(WeightPreset::ComplEx.omega(), vec![1., 0., 0., 1., 0., -1., 1., 0.]);
+/// // …and it is the machine-derived expansion of Re⟨h, t̄, r⟩ over ℂ:
+/// assert_eq!(WeightPreset::ComplEx.omega(), mei_algebra::complex_omega());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightPreset {
+    /// DistMult: `⟨h⁽¹⁾, t⁽¹⁾, r⁽¹⁾⟩` on the `n = 2` grid —
+    /// `(1, 0, 0, 0, 0, 0, 0, 0)`.
+    DistMult,
+    /// ComplEx (Eq. 10): `(1, 0, 0, 1, 0, −1, 1, 0)`.
+    ComplEx,
+    /// ComplEx equivalent 1 (conjugation on the head instead):
+    /// `(1, 0, 0, −1, 0, 1, 1, 0)`.
+    ComplExEquiv1,
+    /// ComplEx equivalent 2 (component swap): `(0, 1, −1, 0, 1, 0, 0, 1)`.
+    ComplExEquiv2,
+    /// ComplEx equivalent 3: `(0, 1, 1, 0, −1, 0, 0, 1)`.
+    ComplExEquiv3,
+    /// CP: `⟨h⁽¹⁾, t⁽²⁾, r⁽¹⁾⟩` — `(0, 0, 1, 0, 0, 0, 0, 0)`.
+    Cp,
+    /// CPh (Eq. 11, augmentation folded into ω): `(0, 0, 1, 0, 0, 1, 0, 0)`.
+    Cph,
+    /// CPh equivalent: `(0, 0, 0, 1, 1, 0, 0, 0)`.
+    CphEquiv,
+    /// Uniform weights `(1, 1, 1, 1, 1, 1, 1, 1)` — Table 3's baseline.
+    Uniform,
+    /// Table 2 "bad example 1": `(0, 0, 20, 0, 0, 1, 0, 0)` (CP-like:
+    /// unstable, one direction dominates).
+    BadExample1,
+    /// Table 2 "bad example 2": `(0, 0, 1, 1, 1, 1, 0, 0)` (DistMult-like:
+    /// indistinguishable/symmetric group).
+    BadExample2,
+    /// Table 2 "good example 1": `(0, 0, 20, 1, 1, 20, 0, 0)` (CPh-like).
+    GoodExample1,
+    /// Table 2 "good example 2": `(1, 1, −1, 1, 1, −1, 1, 1)`
+    /// (ComplEx-like).
+    GoodExample2,
+    /// The quaternion four-embedding model (Eq. 14): 16 signed terms on the
+    /// `n = 4` grid, derived symbolically from the Hamilton product.
+    Quaternion,
+    /// The octonion eight-embedding extension model (this crate's
+    /// instantiation of §7's future-work direction): 64 signed terms on the
+    /// `n = 8` grid, derived symbolically from the Fano-plane table with
+    /// association order `(h · t̄) · r`.
+    Octonion,
+}
+
+impl WeightPreset {
+    /// Number of embeddings per item this preset assumes.
+    pub fn n(self) -> usize {
+        match self {
+            WeightPreset::Quaternion => 4,
+            WeightPreset::Octonion => 8,
+            _ => 2,
+        }
+    }
+
+    /// The paper's flattened tuple for this preset.
+    pub fn omega(self) -> Vec<f32> {
+        match self {
+            WeightPreset::DistMult => vec![1., 0., 0., 0., 0., 0., 0., 0.],
+            WeightPreset::ComplEx => vec![1., 0., 0., 1., 0., -1., 1., 0.],
+            WeightPreset::ComplExEquiv1 => vec![1., 0., 0., -1., 0., 1., 1., 0.],
+            WeightPreset::ComplExEquiv2 => vec![0., 1., -1., 0., 1., 0., 0., 1.],
+            WeightPreset::ComplExEquiv3 => vec![0., 1., 1., 0., -1., 0., 0., 1.],
+            WeightPreset::Cp => vec![0., 0., 1., 0., 0., 0., 0., 0.],
+            WeightPreset::Cph => vec![0., 0., 1., 0., 0., 1., 0., 0.],
+            WeightPreset::CphEquiv => vec![0., 0., 0., 1., 1., 0., 0., 0.],
+            WeightPreset::Uniform => vec![1.; 8],
+            WeightPreset::BadExample1 => vec![0., 0., 20., 0., 0., 1., 0., 0.],
+            WeightPreset::BadExample2 => vec![0., 0., 1., 1., 1., 1., 0., 0.],
+            WeightPreset::GoodExample1 => vec![0., 0., 20., 1., 1., 20., 0., 0.],
+            WeightPreset::GoodExample2 => vec![1., 1., -1., 1., 1., -1., 1., 1.],
+            WeightPreset::Quaternion => mei_algebra::quaternion_omega(),
+            WeightPreset::Octonion => mei_algebra::octonion_omega(),
+        }
+    }
+
+    /// The preset as a [`WeightVector`].
+    pub fn weight_vector(self) -> WeightVector {
+        WeightVector::new(self.n(), self.omega())
+    }
+
+    /// The *computational* form used for training under parameter parity:
+    /// `(n, ω)` with dead components stripped.
+    ///
+    /// DistMult is displayed on the `n = 2` grid in Table 1 but is really a
+    /// one-embedding model (§2.2.3); training it there would waste half the
+    /// parameter budget on a never-used component. Every other preset uses
+    /// all of its components.
+    pub fn effective_interaction(self) -> (usize, WeightVector) {
+        match self {
+            WeightPreset::DistMult => (1, WeightVector::new(1, vec![1.0])),
+            // CP carries two role-based entity embeddings but a single
+            // relation embedding (§2.2.3): an n_ent = 2, n_rel = 1 grid
+            // with the lone term ⟨h⁽¹⁾, t⁽²⁾, r⁽¹⁾⟩.
+            WeightPreset::Cp => (2, WeightVector::with_dims(2, 1, vec![0.0, 1.0, 0.0, 0.0])),
+            _ => (self.n(), self.weight_vector()),
+        }
+    }
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightPreset::DistMult => "DistMult",
+            WeightPreset::ComplEx => "ComplEx",
+            WeightPreset::ComplExEquiv1 => "ComplEx equiv. 1",
+            WeightPreset::ComplExEquiv2 => "ComplEx equiv. 2",
+            WeightPreset::ComplExEquiv3 => "ComplEx equiv. 3",
+            WeightPreset::Cp => "CP",
+            WeightPreset::Cph => "CPh",
+            WeightPreset::CphEquiv => "CPh equiv.",
+            WeightPreset::Uniform => "Uniform weight",
+            WeightPreset::BadExample1 => "Bad example 1",
+            WeightPreset::BadExample2 => "Bad example 2",
+            WeightPreset::GoodExample1 => "Good example 1",
+            WeightPreset::GoodExample2 => "Good example 2",
+            WeightPreset::Quaternion => "Quaternion-based four-embedding",
+            WeightPreset::Octonion => "Octonion-based eight-embedding",
+        }
+    }
+
+    /// All presets, in Table-1/2 order then quaternion.
+    pub fn all() -> &'static [WeightPreset] {
+        &[
+            WeightPreset::DistMult,
+            WeightPreset::ComplEx,
+            WeightPreset::ComplExEquiv1,
+            WeightPreset::ComplExEquiv2,
+            WeightPreset::ComplExEquiv3,
+            WeightPreset::Cp,
+            WeightPreset::Cph,
+            WeightPreset::CphEquiv,
+            WeightPreset::Uniform,
+            WeightPreset::BadExample1,
+            WeightPreset::BadExample2,
+            WeightPreset::GoodExample1,
+            WeightPreset::GoodExample2,
+            WeightPreset::Quaternion,
+            WeightPreset::Octonion,
+        ]
+    }
+}
+
+/// Range restriction applied to a *learnable* ω (§3.3): the effective
+/// weights are `f(raw)` and gradients chain through `f`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightRestriction {
+    /// No restriction — ω is learned directly.
+    #[default]
+    None,
+    /// `ω ∈ (−1, 1)` via `tanh`.
+    Tanh,
+    /// `ω ∈ (0, 1)` via the logistic sigmoid.
+    Sigmoid,
+    /// `ω ∈ (0, 1)` summing to 1, via softmax over all `n³` entries.
+    Softmax,
+}
+
+impl WeightRestriction {
+    /// Forward pass: `effective = f(raw)`.
+    pub fn apply(self, raw: &[f32], effective: &mut [f32]) {
+        debug_assert_eq!(raw.len(), effective.len());
+        match self {
+            WeightRestriction::None => effective.copy_from_slice(raw),
+            WeightRestriction::Tanh => {
+                for (e, r) in effective.iter_mut().zip(raw) {
+                    *e = r.tanh();
+                }
+            }
+            WeightRestriction::Sigmoid => {
+                for (e, r) in effective.iter_mut().zip(raw) {
+                    *e = sigmoid(*r);
+                }
+            }
+            WeightRestriction::Softmax => {
+                effective.copy_from_slice(raw);
+                softmax_in_place(effective);
+            }
+        }
+    }
+
+    /// Backward pass: given `∂L/∂effective`, writes `∂L/∂raw`.
+    ///
+    /// `effective` must be the output of the corresponding [`apply`].
+    ///
+    /// [`apply`]: WeightRestriction::apply
+    pub fn backward(self, effective: &[f32], grad_eff: &[f32], grad_raw: &mut [f32]) {
+        debug_assert_eq!(effective.len(), grad_eff.len());
+        debug_assert_eq!(effective.len(), grad_raw.len());
+        match self {
+            WeightRestriction::None => grad_raw.copy_from_slice(grad_eff),
+            WeightRestriction::Tanh => {
+                for i in 0..grad_raw.len() {
+                    grad_raw[i] = grad_eff[i] * tanh_grad_from_output(effective[i]);
+                }
+            }
+            WeightRestriction::Sigmoid => {
+                for i in 0..grad_raw.len() {
+                    grad_raw[i] = grad_eff[i] * sigmoid_grad_from_output(effective[i]);
+                }
+            }
+            WeightRestriction::Softmax => softmax_backward(effective, grad_eff, grad_raw),
+        }
+    }
+
+    /// Display name used by the Table-3 harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightRestriction::None => "no restriction",
+            WeightRestriction::Tanh => "(-1, 1) by tanh",
+            WeightRestriction::Sigmoid => "(0, 1) by sigmoid",
+            WeightRestriction::Softmax => "(0, 1) by softmax",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mei_autodiff::{finite_difference_gradient, Tape};
+
+    #[test]
+    fn table_1_columns_are_reproduced() {
+        // The exact tuples printed in Tables 1–2.
+        assert_eq!(WeightPreset::DistMult.omega(), vec![1., 0., 0., 0., 0., 0., 0., 0.]);
+        assert_eq!(WeightPreset::ComplEx.omega(), vec![1., 0., 0., 1., 0., -1., 1., 0.]);
+        assert_eq!(WeightPreset::Cp.omega(), vec![0., 0., 1., 0., 0., 0., 0., 0.]);
+        assert_eq!(WeightPreset::Cph.omega(), vec![0., 0., 1., 0., 0., 1., 0., 0.]);
+    }
+
+    #[test]
+    fn complex_preset_matches_symbolic_expansion() {
+        // Table 1's ComplEx column is exactly the machine-derived expansion
+        // of Re⟨h, t̄, r⟩ from mei-algebra.
+        assert_eq!(WeightPreset::ComplEx.omega(), mei_algebra::complex_omega());
+    }
+
+    #[test]
+    fn quaternion_preset_has_16_unit_terms_on_n4() {
+        let wv = WeightPreset::Quaternion.weight_vector();
+        assert_eq!(wv.n(), 4);
+        let terms = wv.terms();
+        assert_eq!(terms.len(), 16);
+        assert!(terms.iter().all(|(_, _, _, w)| w.abs() == 1.0));
+    }
+
+    #[test]
+    fn symmetry_classification() {
+        assert!(WeightPreset::DistMult.weight_vector().is_symmetric());
+        assert!(WeightPreset::Uniform.weight_vector().is_symmetric());
+        assert!(!WeightPreset::ComplEx.weight_vector().is_symmetric());
+        assert!(!WeightPreset::Cp.weight_vector().is_symmetric());
+        assert!(!WeightPreset::Cph.weight_vector().is_symmetric());
+        // Bad example 2 = (0,0,1,1,1,1,0,0): ω(0,1,·) = ω(1,0,·) = 1 — symmetric.
+        assert!(WeightPreset::BadExample2.weight_vector().is_symmetric());
+        assert!(!WeightPreset::GoodExample1.weight_vector().is_symmetric());
+    }
+
+    #[test]
+    fn terms_skip_zeros_and_index_correctly() {
+        let wv = WeightPreset::Cph.weight_vector();
+        let terms = wv.terms();
+        // CPh: ⟨h1,t2,r1⟩ + ⟨h2,t1,r2⟩ (0-based: (0,1,0) and (1,0,1)).
+        assert_eq!(terms, vec![(0, 1, 0, 1.0), (1, 0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut wv = WeightVector::zeros(2);
+        wv.set(1, 0, 1, -3.0);
+        assert_eq!(wv.get(1, 0, 1), -3.0);
+        // flat index of (i=1, j=0, k=1) on the n=2 grid is 5
+        assert_eq!(wv.dense()[5], -3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn wrong_length_rejected() {
+        WeightVector::new(2, vec![0.0; 7]);
+    }
+
+    #[test]
+    fn non_cubic_grid_indexes_correctly() {
+        // CP's effective grid: n_ent = 2, n_rel = 1, single term (0,1,0).
+        let (n, wv) = WeightPreset::Cp.effective_interaction();
+        assert_eq!(n, 2);
+        assert_eq!(wv.n(), 2);
+        assert_eq!(wv.n_rel(), 1);
+        assert_eq!(wv.terms(), vec![(0, 1, 0, 1.0)]);
+        assert!(!wv.is_symmetric());
+        let mut wv2 = WeightVector::with_dims(2, 1, vec![0.0; 4]);
+        wv2.set(1, 0, 0, -2.0);
+        assert_eq!(wv2.get(1, 0, 0), -2.0);
+        assert_eq!(wv2.dense(), &[0.0, 0.0, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn all_presets_have_consistent_shapes() {
+        for p in WeightPreset::all() {
+            let wv = p.weight_vector();
+            assert_eq!(wv.dense().len(), p.n().pow(3), "{}", p.name());
+            assert!(!wv.terms().is_empty(), "{} has no nonzero terms", p.name());
+        }
+    }
+
+    #[test]
+    fn restrictions_map_into_their_ranges() {
+        let raw = [-5.0f32, -0.5, 0.0, 0.7, 3.0, 1.0, -2.0, 0.1];
+        for r in [WeightRestriction::Tanh, WeightRestriction::Sigmoid, WeightRestriction::Softmax] {
+            let mut eff = [0.0f32; 8];
+            r.apply(&raw, &mut eff);
+            match r {
+                WeightRestriction::Tanh => assert!(eff.iter().all(|v| v.abs() < 1.0)),
+                WeightRestriction::Sigmoid => assert!(eff.iter().all(|v| (0.0..1.0).contains(v))),
+                WeightRestriction::Softmax => {
+                    assert!(eff.iter().all(|v| *v > 0.0));
+                    assert!((eff.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+                }
+                WeightRestriction::None => unreachable!(),
+            }
+        }
+        let mut eff = [0.0f32; 8];
+        WeightRestriction::None.apply(&raw, &mut eff);
+        assert_eq!(eff, raw);
+    }
+
+    /// Every restriction's analytic backward pass matches the autodiff tape
+    /// (and thus finite differences) on a generic downstream gradient.
+    #[test]
+    fn restriction_backward_matches_autodiff() {
+        let raw: Vec<f64> = vec![-1.2, 0.3, 0.9, -0.4, 2.0, -2.5, 0.01, 1.4];
+        let upstream: Vec<f64> = vec![0.7, -0.2, 1.1, 0.4, -0.9, 0.3, 0.05, -1.3];
+        for restriction in [
+            WeightRestriction::None,
+            WeightRestriction::Tanh,
+            WeightRestriction::Sigmoid,
+            WeightRestriction::Softmax,
+        ] {
+            // Analytic path (f32).
+            let raw32: Vec<f32> = raw.iter().map(|v| *v as f32).collect();
+            let up32: Vec<f32> = upstream.iter().map(|v| *v as f32).collect();
+            let mut eff = vec![0.0f32; 8];
+            restriction.apply(&raw32, &mut eff);
+            let mut grad = vec![0.0f32; 8];
+            restriction.backward(&eff, &up32, &mut grad);
+
+            // Autodiff path: L = Σ upstream·f(raw).
+            let mut tape = Tape::new();
+            let vars = tape.inputs(&raw);
+            let outs: Vec<_> = match restriction {
+                WeightRestriction::None => vars.clone(),
+                WeightRestriction::Tanh => vars.iter().map(|v| tape.tanh(*v)).collect(),
+                WeightRestriction::Sigmoid => vars.iter().map(|v| tape.sigmoid(*v)).collect(),
+                WeightRestriction::Softmax => tape.softmax(&vars),
+            };
+            let mut acc = tape.constant(0.0);
+            for (o, u) in outs.iter().zip(&upstream) {
+                let c = tape.constant(*u);
+                let term = tape.mul(*o, c);
+                acc = tape.add(acc, term);
+            }
+            let grads = tape.backward(acc);
+            for (i, v) in vars.iter().enumerate() {
+                let ad = grads.grad_of(*v);
+                assert!(
+                    (f64::from(grad[i]) - ad).abs() < 1e-4,
+                    "{restriction:?} index {i}: analytic {} vs autodiff {ad}",
+                    grad[i]
+                );
+            }
+
+            // And against finite differences for belt and braces.
+            let f = |x: &[f64]| -> f64 {
+                let x32: Vec<f32> = x.iter().map(|v| *v as f32).collect();
+                let mut e = vec![0.0f32; 8];
+                restriction.apply(&x32, &mut e);
+                e.iter().zip(&upstream).map(|(a, b)| f64::from(*a) * b).sum()
+            };
+            let fd = finite_difference_gradient(f, &raw, 1e-4);
+            for i in 0..8 {
+                assert!(
+                    (f64::from(grad[i]) - fd[i]).abs() < 1e-3,
+                    "{restriction:?} fd mismatch at {i}: {} vs {}",
+                    grad[i],
+                    fd[i]
+                );
+            }
+        }
+    }
+}

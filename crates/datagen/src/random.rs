@@ -1,0 +1,66 @@
+//! Structure-free random graphs (negative control).
+//!
+//! A uniformly random triple pool has no signal connecting train and test,
+//! so *no* embedding model should beat chance-level filtered MRR on it.
+//! The integration tests use this as a null benchmark: a model scoring far
+//! above chance here would indicate an evaluation bug (e.g. test leakage
+//! inside the harness).
+
+use mei_kg::{Dataset, Dictionary, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::split::split_dataset;
+
+/// Generates an Erdős–Rényi-style random knowledge graph.
+pub fn random_graph(
+    num_entities: usize,
+    num_relations: usize,
+    num_triples: usize,
+    valid_fraction: f64,
+    test_fraction: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(num_entities >= 2 && num_relations >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let entities = Dictionary::from_names((0..num_entities).map(|i| format!("node_{i:05}")));
+    let relations = Dictionary::from_names((0..num_relations).map(|i| format!("edge_{i:02}")));
+    let pool: Vec<Triple> = (0..num_triples)
+        .map(|_| {
+            Triple::new(
+                rng.gen_range(0..num_entities as u32),
+                rng.gen_range(0..num_entities as u32),
+                rng.gen_range(0..num_relations as u32),
+            )
+        })
+        .collect();
+    split_dataset(&mut rng, entities, relations, pool, valid_fraction, test_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_dataset() {
+        let ds = random_graph(100, 4, 2000, 0.1, 0.1, 3);
+        ds.validate().unwrap();
+        assert_eq!(ds.num_entities(), 100);
+        assert_eq!(ds.num_relations(), 4);
+    }
+
+    #[test]
+    fn leakage_is_low() {
+        // Random graphs should have near-zero inverse leakage (a few
+        // accidental collisions are possible at this density).
+        let ds = random_graph(500, 4, 4000, 0.1, 0.1, 3);
+        assert!(ds.test_inverse_leakage() < 0.05, "{}", ds.test_inverse_leakage());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = random_graph(50, 2, 500, 0.1, 0.1, 9);
+        let b = random_graph(50, 2, 500, 0.1, 0.1, 9);
+        assert_eq!(a.train, b.train);
+    }
+}

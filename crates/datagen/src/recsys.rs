@@ -1,0 +1,256 @@
+//! A recommender-system knowledge graph.
+//!
+//! The paper's introduction motivates knowledge graphs for recommendation:
+//! triples like `(UserA, Item1, review)` and `(UserB, Item2, like)` unite
+//! interaction data with item knowledge, and KG embedding predicts new
+//! user–item links directly. This generator builds such a graph from a
+//! latent-preference model so there is real structure to learn:
+//!
+//! * every item belongs to a category (`item --belongs_to--> category`);
+//! * every user has 1–3 preferred categories (latent, not emitted);
+//! * `like` / `review` edges are drawn mostly within preferred categories;
+//! * a symmetric `also_bought_with` relation links items co-liked by users.
+
+use mei_kg::{Dataset, Dictionary, Triple};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::split::split_dataset;
+
+/// Configuration of the recommender KG.
+#[derive(Debug, Clone)]
+pub struct RecsysConfig {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of items.
+    pub num_items: usize,
+    /// Number of item categories.
+    pub num_categories: usize,
+    /// Average `like` interactions per user.
+    pub likes_per_user: usize,
+    /// Average `review` interactions per user.
+    pub reviews_per_user: usize,
+    /// Co-purchase pairs to emit.
+    pub co_purchase_pairs: usize,
+    /// Probability that an interaction falls inside the user's preferred
+    /// categories (the learnable signal; the rest is noise).
+    pub preference_strength: f64,
+    /// Validation fraction.
+    pub valid_fraction: f64,
+    /// Test fraction.
+    pub test_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RecsysConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 300,
+            num_items: 500,
+            num_categories: 12,
+            likes_per_user: 20,
+            reviews_per_user: 10,
+            co_purchase_pairs: 800,
+            preference_strength: 0.9,
+            valid_fraction: 0.08,
+            test_fraction: 0.08,
+            seed: 0,
+        }
+    }
+}
+
+/// The generated graph plus id-range bookkeeping for the example apps.
+#[derive(Debug, Clone)]
+pub struct RecsysKg {
+    /// The dataset (entities: users, then items, then categories).
+    pub dataset: Dataset,
+    /// Users occupy entity ids `0..num_users`.
+    pub num_users: usize,
+    /// Items occupy `num_users..num_users + num_items`.
+    pub num_items: usize,
+    /// Categories occupy the remaining ids.
+    pub num_categories: usize,
+}
+
+/// Relation ids emitted by the generator, in vocabulary order.
+pub mod relations {
+    /// `user --like--> item`.
+    pub const LIKE: u32 = 0;
+    /// `user --review--> item`.
+    pub const REVIEW: u32 = 1;
+    /// `item --belongs_to--> category` (many-to-one).
+    pub const BELONGS_TO: u32 = 2;
+    /// `item <--also_bought_with--> item` (symmetric).
+    pub const ALSO_BOUGHT_WITH: u32 = 3;
+}
+
+impl RecsysConfig {
+    /// Generates the recommender KG.
+    pub fn generate(&self) -> RecsysKg {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let nu = self.num_users;
+        let ni = self.num_items;
+        let nc = self.num_categories.max(1);
+
+        let mut names: Vec<String> = Vec::with_capacity(nu + ni + nc);
+        names.extend((0..nu).map(|i| format!("user_{i:04}")));
+        names.extend((0..ni).map(|i| format!("item_{i:04}")));
+        names.extend((0..nc).map(|i| format!("category_{i:02}")));
+        let entities = Dictionary::from_names(names.iter().map(String::as_str));
+        let relations =
+            Dictionary::from_names(["like", "review", "belongs_to", "also_bought_with"]);
+
+        let item_id = |i: usize| (nu + i) as u32;
+        let cat_id = |c: usize| (nu + ni + c) as u32;
+
+        // Latent structure.
+        let item_category: Vec<usize> = (0..ni).map(|_| rng.gen_range(0..nc)).collect();
+        let items_by_category: Vec<Vec<usize>> = {
+            let mut v = vec![Vec::new(); nc];
+            for (i, &c) in item_category.iter().enumerate() {
+                v[c].push(i);
+            }
+            v
+        };
+        let user_prefs: Vec<Vec<usize>> = (0..nu)
+            .map(|_| {
+                let k = rng.gen_range(1..=3usize.min(nc));
+                let mut cats: Vec<usize> = (0..nc).collect();
+                cats.shuffle(&mut rng);
+                cats.truncate(k);
+                cats
+            })
+            .collect();
+
+        let mut pool: Vec<Triple> = Vec::new();
+        // Category membership triples.
+        for (i, &c) in item_category.iter().enumerate() {
+            pool.push(Triple::new(item_id(i), cat_id(c), relations::BELONGS_TO));
+        }
+
+        // Interactions driven by preferences.
+        let draw_item = |rng: &mut StdRng, user: usize| -> usize {
+            if rng.gen_bool(self.preference_strength) {
+                let prefs = &user_prefs[user];
+                let c = prefs[rng.gen_range(0..prefs.len())];
+                if !items_by_category[c].is_empty() {
+                    let within = &items_by_category[c];
+                    return within[rng.gen_range(0..within.len())];
+                }
+            }
+            rng.gen_range(0..ni)
+        };
+        let mut liked_by_user: Vec<Vec<usize>> = vec![Vec::new(); nu];
+        for (u, likes) in liked_by_user.iter_mut().enumerate() {
+            for _ in 0..self.likes_per_user {
+                let i = draw_item(&mut rng, u);
+                likes.push(i);
+                pool.push(Triple::new(u as u32, item_id(i), relations::LIKE));
+            }
+            for _ in 0..self.reviews_per_user {
+                let i = draw_item(&mut rng, u);
+                pool.push(Triple::new(u as u32, item_id(i), relations::REVIEW));
+            }
+        }
+
+        // Symmetric co-purchase edges between items liked by the same user.
+        for _ in 0..self.co_purchase_pairs {
+            let u = rng.gen_range(0..nu);
+            let likes = &liked_by_user[u];
+            if likes.len() < 2 {
+                continue;
+            }
+            let a = likes[rng.gen_range(0..likes.len())];
+            let b = likes[rng.gen_range(0..likes.len())];
+            if a == b {
+                continue;
+            }
+            pool.push(Triple::new(item_id(a), item_id(b), relations::ALSO_BOUGHT_WITH));
+            pool.push(Triple::new(item_id(b), item_id(a), relations::ALSO_BOUGHT_WITH));
+        }
+
+        let dataset = split_dataset(
+            &mut rng,
+            entities,
+            relations,
+            pool,
+            self.valid_fraction,
+            self.test_fraction,
+        );
+        RecsysKg { dataset, num_users: nu, num_items: ni, num_categories: nc }
+    }
+}
+
+impl RecsysKg {
+    /// Whether an entity id denotes an item.
+    pub fn is_item(&self, id: u32) -> bool {
+        (self.num_users as u32..(self.num_users + self.num_items) as u32).contains(&id)
+    }
+
+    /// Whether an entity id denotes a user.
+    pub fn is_user(&self, id: u32) -> bool {
+        (id as usize) < self.num_users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mei_kg::analysis::profile_relations;
+    use mei_kg::RelationId;
+
+    #[test]
+    fn generates_valid_dataset() {
+        let kg = RecsysConfig::default().generate();
+        kg.dataset.validate().unwrap();
+        assert_eq!(kg.dataset.num_entities(), 300 + 500 + 12);
+        assert_eq!(kg.dataset.num_relations(), 4);
+        assert!(kg.dataset.train.len() > 3000);
+    }
+
+    #[test]
+    fn id_ranges_partition_entities() {
+        let kg = RecsysConfig::default().generate();
+        assert!(kg.is_user(0) && !kg.is_item(0));
+        assert!(kg.is_item(300) && !kg.is_user(300));
+        assert!(!kg.is_item(811) && !kg.is_user(811)); // a category
+    }
+
+    #[test]
+    fn belongs_to_is_many_to_one_and_co_purchase_symmetric() {
+        let kg = RecsysConfig::default().generate();
+        let all: Vec<Triple> = kg
+            .dataset
+            .train
+            .iter()
+            .chain(&kg.dataset.valid)
+            .chain(&kg.dataset.test)
+            .copied()
+            .collect();
+        let profiles = profile_relations(&all);
+        let get = |r: u32| profiles.iter().find(|p| p.relation == RelationId(r)).unwrap();
+        assert!(get(relations::BELONGS_TO).heads_per_tail > 5.0);
+        assert!((get(relations::BELONGS_TO).tails_per_head - 1.0).abs() < 1e-9);
+        assert!(get(relations::ALSO_BOUGHT_WITH).symmetry > 0.99);
+    }
+
+    #[test]
+    fn likes_connect_users_to_items_only() {
+        let kg = RecsysConfig::default().generate();
+        for t in &kg.dataset.train {
+            if t.relation.0 == relations::LIKE || t.relation.0 == relations::REVIEW {
+                assert!(kg.is_user(t.head.0));
+                assert!(kg.is_item(t.tail.0));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = RecsysConfig::default().generate();
+        let b = RecsysConfig::default().generate();
+        assert_eq!(a.dataset.train, b.dataset.train);
+    }
+}

@@ -1,0 +1,154 @@
+//! Train/valid/test splitting with coverage guarantees.
+
+use std::collections::HashSet;
+
+use mei_kg::{Dataset, Dictionary, Triple};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits a triple pool into a [`Dataset`] such that every entity and every
+/// relation occurring in valid/test also occurs in train (the standard
+/// benchmark convention — otherwise their embeddings would be untrained and
+/// the evaluation meaningless).
+///
+/// `valid_fraction` and `test_fraction` are target fractions of the pool;
+/// actual sizes can be slightly smaller because coverage-critical triples
+/// are forced into train.
+///
+/// # Panics
+/// Panics if the fractions are negative or sum to ≥ 1.
+pub fn split_dataset<R: Rng + ?Sized>(
+    rng: &mut R,
+    entities: Dictionary,
+    relations: Dictionary,
+    mut pool: Vec<Triple>,
+    valid_fraction: f64,
+    test_fraction: f64,
+) -> Dataset {
+    assert!(valid_fraction >= 0.0 && test_fraction >= 0.0);
+    assert!(valid_fraction + test_fraction < 1.0, "train split would be empty");
+
+    // Deduplicate, then shuffle for an unbiased split.
+    let mut seen = HashSet::with_capacity(pool.len());
+    pool.retain(|t| seen.insert(*t));
+    pool.shuffle(rng);
+
+    let n = pool.len();
+    let valid_target = (n as f64 * valid_fraction).round() as usize;
+    let test_target = (n as f64 * test_fraction).round() as usize;
+
+    // First pass: a triple whose head, tail, or relation has not yet been
+    // seen in train is pinned to train; the rest fill valid, then test,
+    // then train.
+    let mut train = Vec::with_capacity(n);
+    let mut valid = Vec::with_capacity(valid_target);
+    let mut test = Vec::with_capacity(test_target);
+    let mut covered_entities = HashSet::new();
+    let mut covered_relations = HashSet::new();
+
+    for t in pool {
+        let covers_new = !covered_entities.contains(&t.head)
+            || !covered_entities.contains(&t.tail)
+            || !covered_relations.contains(&t.relation);
+        if covers_new {
+            covered_entities.insert(t.head);
+            covered_entities.insert(t.tail);
+            covered_relations.insert(t.relation);
+            train.push(t);
+        } else if valid.len() < valid_target {
+            valid.push(t);
+        } else if test.len() < test_target {
+            test.push(t);
+        } else {
+            train.push(t);
+        }
+    }
+
+    Dataset { entities, relations, train, valid, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn pool(n_ent: u32, n_rel: u32, n: usize, rng: &mut StdRng) -> Vec<Triple> {
+        (0..n)
+            .map(|_| {
+                Triple::new(
+                    rng.gen_range(0..n_ent),
+                    rng.gen_range(0..n_ent),
+                    rng.gen_range(0..n_rel),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_covers_eval_vocabulary() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let triples = pool(50, 5, 2000, &mut rng);
+        let entities = Dictionary::from_names((0..50).map(|i| format!("e{i}")));
+        let relations = Dictionary::from_names((0..5).map(|i| format!("r{i}")));
+        let ds = split_dataset(&mut rng, entities, relations, triples, 0.1, 0.1);
+        ds.validate().unwrap();
+
+        let train_entities: HashSet<u32> =
+            ds.train.iter().flat_map(|t| [t.head.0, t.tail.0]).collect();
+        let train_relations: HashSet<u32> = ds.train.iter().map(|t| t.relation.0).collect();
+        for t in ds.valid.iter().chain(&ds.test) {
+            assert!(train_entities.contains(&t.head.0));
+            assert!(train_entities.contains(&t.tail.0));
+            assert!(train_relations.contains(&t.relation.0));
+        }
+    }
+
+    #[test]
+    fn split_sizes_near_targets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let triples = pool(100, 4, 5000, &mut rng);
+        let n = triples.iter().collect::<HashSet<_>>().len();
+        let entities = Dictionary::from_names((0..100).map(|i| format!("e{i}")));
+        let relations = Dictionary::from_names((0..4).map(|i| format!("r{i}")));
+        let ds = split_dataset(&mut rng, entities, relations, triples, 0.1, 0.1);
+        let target = (n as f64 * 0.1) as usize;
+        assert!(ds.valid.len() <= target + 1);
+        assert!(ds.valid.len() as f64 >= target as f64 * 0.8, "{} vs {target}", ds.valid.len());
+        assert!(ds.test.len() as f64 >= target as f64 * 0.8);
+        assert_eq!(ds.train.len() + ds.valid.len() + ds.test.len(), n);
+    }
+
+    #[test]
+    fn split_deduplicates_pool() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Triple::new(0, 1, 0);
+        let entities = Dictionary::from_names(["a", "b"]);
+        let relations = Dictionary::from_names(["r"]);
+        let ds = split_dataset(&mut rng, entities, relations, vec![t, t, t], 0.2, 0.2);
+        assert_eq!(ds.train.len() + ds.valid.len() + ds.test.len(), 1);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "train split would be empty")]
+    fn rejects_overfull_fractions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        split_dataset(&mut rng, Dictionary::new(), Dictionary::new(), vec![], 0.6, 0.5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let triples = pool(30, 3, 500, &mut rng);
+            let entities = Dictionary::from_names((0..30).map(|i| format!("e{i}")));
+            let relations = Dictionary::from_names((0..3).map(|i| format!("r{i}")));
+            split_dataset(&mut rng, entities, relations, triples, 0.1, 0.1)
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+}

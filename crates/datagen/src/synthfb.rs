@@ -1,0 +1,251 @@
+//! SynthFB: a Freebase-shaped synthetic benchmark.
+//!
+//! FB15k (Bordes et al.) is the other classic benchmark of the paper's
+//! lineage: a dense general-knowledge graph with *many* relations
+//! (1,345 in the original), strong type structure (relations connect
+//! specific entity domains), heavy many-to-many cardinalities, and —
+//! like WN18 — substantial inverse leakage from near-duplicate reciprocal
+//! relations. SynthFB reproduces that shape at configurable scale:
+//!
+//! * entities are partitioned into `num_domains` typed domains;
+//! * each relation picks a (subject-domain, object-domain) pair and a
+//!   latent low-rank affinity pattern so there is real structure to learn;
+//! * a configurable fraction of relations get a reciprocal twin whose
+//!   pairs are mostly reversed copies (the leakage source);
+//! * triples per relation follow a long-tailed (Zipf-ish) distribution,
+//!   as in Freebase.
+
+use mei_kg::{Dataset, Dictionary, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::split::split_dataset;
+
+/// Configuration of the SynthFB generator.
+#[derive(Debug, Clone)]
+pub struct SynthFbConfig {
+    /// Number of entities.
+    pub num_entities: usize,
+    /// Number of typed entity domains.
+    pub num_domains: usize,
+    /// Number of base relations (before reciprocal twins).
+    pub num_relations: usize,
+    /// Fraction of base relations that receive a reciprocal twin.
+    pub reciprocal_fraction: f64,
+    /// Total triples to draw (before dedup).
+    pub num_triples: usize,
+    /// Latent factors per entity driving affinity (controls learnability).
+    pub latent_dim: usize,
+    /// Validation fraction.
+    pub valid_fraction: f64,
+    /// Test fraction.
+    pub test_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthFbConfig {
+    fn default() -> Self {
+        Self {
+            num_entities: 1500,
+            num_domains: 8,
+            num_relations: 60,
+            reciprocal_fraction: 0.4,
+            num_triples: 25_000,
+            latent_dim: 6,
+            valid_fraction: 0.05,
+            test_fraction: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+impl SynthFbConfig {
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.num_entities >= self.num_domains * 2, "domains too small");
+        assert!(self.num_relations >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let ne = self.num_entities;
+
+        // Domain assignment: contiguous blocks for simplicity.
+        let domain_of = |e: usize| e * self.num_domains / ne;
+        let entities_in_domain: Vec<Vec<u32>> = {
+            let mut v = vec![Vec::new(); self.num_domains];
+            for e in 0..ne {
+                v[domain_of(e)].push(e as u32);
+            }
+            v
+        };
+
+        // Latent entity factors in {−1, +1}^latent_dim.
+        let factors: Vec<Vec<f32>> = (0..ne)
+            .map(|_| (0..self.latent_dim).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect())
+            .collect();
+
+        // Relations: typed domain pair + a random sign pattern over latent
+        // factors; (h, t) is a candidate edge iff the pattern-weighted
+        // factor agreement is positive.
+        struct RelSpec {
+            subj: usize,
+            obj: usize,
+            pattern: Vec<f32>,
+            reciprocal_of: Option<usize>,
+        }
+        let mut specs: Vec<RelSpec> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        for r in 0..self.num_relations {
+            let subj = rng.gen_range(0..self.num_domains);
+            let obj = rng.gen_range(0..self.num_domains);
+            let pattern: Vec<f32> =
+                (0..self.latent_dim).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
+            names.push(format!("/domain{subj}/rel{r:03}/domain{obj}"));
+            specs.push(RelSpec { subj, obj, pattern, reciprocal_of: None });
+            if rng.gen_bool(self.reciprocal_fraction) {
+                names.push(format!("/domain{obj}/rel{r:03}_inv/domain{subj}"));
+                let base = specs.len() - 1;
+                specs.push(RelSpec {
+                    subj: obj,
+                    obj: subj,
+                    pattern: specs[base].pattern.clone(),
+                    reciprocal_of: Some(base),
+                });
+            }
+        }
+
+        // Long-tailed triple mass across relations: weight ∝ 1/(rank+1).
+        let weights: Vec<f64> = (0..specs.len()).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let total_w: f64 = weights.iter().sum();
+
+        let affinity = |h: usize, t: usize, pattern: &[f32]| -> f32 {
+            factors[h]
+                .iter()
+                .zip(&factors[t])
+                .zip(pattern)
+                .map(|((a, b), p)| a * b * p)
+                .sum()
+        };
+
+        let mut pool: Vec<Triple> = Vec::with_capacity(self.num_triples);
+        let mut attempts = 0usize;
+        while pool.len() < self.num_triples && attempts < self.num_triples * 30 {
+            attempts += 1;
+            // Pick a relation by weight.
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut rel = 0usize;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    rel = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let spec = &specs[rel];
+            let subj_pool = &entities_in_domain[spec.subj];
+            let obj_pool = &entities_in_domain[spec.obj];
+            if subj_pool.is_empty() || obj_pool.is_empty() {
+                continue;
+            }
+            let h = subj_pool[rng.gen_range(0..subj_pool.len())];
+            let t = obj_pool[rng.gen_range(0..obj_pool.len())];
+            if h == t {
+                continue;
+            }
+            // Keep edges whose latent affinity is positive (structure), and
+            // a small fraction of noise edges.
+            let keep = if let Some(base) = spec.reciprocal_of {
+                affinity(t as usize, h as usize, &specs[base].pattern) > 0.0
+            } else {
+                affinity(h as usize, t as usize, &spec.pattern) > 0.0
+            };
+            if keep || rng.gen_bool(0.02) {
+                pool.push(Triple::new(h, t, rel as u32));
+                // Reciprocal twin edges are mostly mirrored copies.
+                if spec.reciprocal_of.is_none() {
+                    if let Some(twin) =
+                        specs.iter().position(|s| s.reciprocal_of == Some(rel))
+                    {
+                        if rng.gen_bool(0.8) {
+                            pool.push(Triple::new(t, h, twin as u32));
+                        }
+                    }
+                }
+            }
+        }
+
+        let entities = Dictionary::from_names((0..ne).map(|i| format!("/m/{i:06x}")));
+        let relations = Dictionary::from_names(names.iter().map(String::as_str));
+        split_dataset(&mut rng, entities, relations, pool, self.valid_fraction, self.test_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mei_kg::analysis::detect_inverse_pairs;
+
+    fn small() -> SynthFbConfig {
+        SynthFbConfig {
+            num_entities: 300,
+            num_domains: 4,
+            num_relations: 12,
+            num_triples: 4000,
+            ..SynthFbConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_valid_dataset() {
+        let ds = small().generate();
+        ds.validate().unwrap();
+        assert_eq!(ds.num_entities(), 300);
+        assert!(ds.num_relations() >= 12, "{}", ds.num_relations());
+        assert!(ds.train.len() > 1000, "{}", ds.train.len());
+    }
+
+    #[test]
+    fn relations_are_typed() {
+        // Every triple's head/tail must come from the domains encoded in
+        // the relation name (/domainS/relNNN/domainO).
+        let ds = small().generate();
+        let ne = ds.num_entities();
+        let domain_of = |e: u32| (e as usize) * 4 / ne;
+        for t in ds.train.iter().take(500) {
+            let name = ds.relations.name(t.relation.0).unwrap();
+            let parts: Vec<&str> = name.trim_start_matches('/').split('/').collect();
+            let subj: usize = parts[0].trim_start_matches("domain").parse().unwrap();
+            let obj: usize = parts[2].trim_start_matches("domain").parse().unwrap();
+            assert_eq!(domain_of(t.head.0), subj, "triple {t} violates subject domain");
+            assert_eq!(domain_of(t.tail.0), obj, "triple {t} violates object domain");
+        }
+    }
+
+    #[test]
+    fn reciprocal_relations_are_detectable() {
+        let cfg = SynthFbConfig { reciprocal_fraction: 1.0, ..small() };
+        let ds = cfg.generate();
+        let all: Vec<Triple> =
+            ds.train.iter().chain(&ds.valid).chain(&ds.test).copied().collect();
+        let pairs = detect_inverse_pairs(&all, ds.num_relations(), 0.5);
+        assert!(!pairs.is_empty(), "expected detectable reciprocal twins");
+    }
+
+    #[test]
+    fn leakage_present_when_reciprocals_on_absent_when_off() {
+        let with = SynthFbConfig { reciprocal_fraction: 1.0, seed: 3, ..small() }.generate();
+        let without = SynthFbConfig { reciprocal_fraction: 0.0, seed: 3, ..small() }.generate();
+        assert!(
+            with.test_inverse_leakage() > without.test_inverse_leakage() + 0.1,
+            "leakage: with={:.3} without={:.3}",
+            with.test_inverse_leakage(),
+            without.test_inverse_leakage()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a.train, b.train);
+    }
+}

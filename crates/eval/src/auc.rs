@@ -1,0 +1,141 @@
+//! Threshold-free classification metrics: ROC-AUC and average precision.
+//!
+//! Triple classification with tuned thresholds ([`crate::classification`])
+//! answers "how accurate at the best cutoff"; AUC answers "how well do the
+//! scores *order* positives above negatives at every cutoff" — the
+//! complementary view, standard in the KG-embedding literature for
+//! fact-checking style evaluations.
+
+/// Area under the ROC curve for `(score, is_positive)` pairs.
+///
+/// Computed via the Mann–Whitney U statistic with tie correction:
+/// `AUC = (#concordant + #ties/2) / (#pos · #neg)`. Returns 0.5 for
+/// degenerate inputs (no positives or no negatives).
+pub fn roc_auc(scored: &[(f32, bool)]) -> f64 {
+    let pos = scored.iter().filter(|(_, y)| *y).count();
+    let neg = scored.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Rank-sum approach: sort ascending, assign average ranks to ties.
+    let mut sorted: Vec<(f32, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1].0 == sorted[i].0 {
+            j += 1;
+        }
+        // Average 1-based rank of the tie block [i, j].
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &sorted[i..=j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (pos as f64 * (pos as f64 + 1.0)) / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Average precision (area under the precision–recall curve, step-wise).
+///
+/// Returns 0 when there are no positives.
+pub fn average_precision(scored: &[(f32, bool)]) -> f64 {
+    let pos = scored.iter().filter(|(_, y)| *y).count();
+    if pos == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<(f32, bool)> = scored.to_vec();
+    // Descending by score; positives first within ties (optimistic, but
+    // deterministic — ties are rare with real-valued scores).
+    sorted.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(b.1.cmp(&a.1))
+    });
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (i, (_, y)) in sorted.iter().enumerate() {
+        if *y {
+            tp += 1;
+            ap += tp as f64 / (i + 1) as f64;
+        }
+    }
+    ap / pos as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_separation_is_auc_one() {
+        let scored = vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert!((roc_auc(&scored) - 1.0).abs() < 1e-12);
+        assert!((average_precision(&scored) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separation_is_auc_zero() {
+        let scored = vec![(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert!(roc_auc(&scored).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_partial_overlap() {
+        // pos scores {3, 1}, neg scores {2, 0}: pairs (3,2)✓ (3,0)✓ (1,2)✗
+        // (1,0)✓ ⇒ AUC = 3/4.
+        let scored = vec![(3.0, true), (1.0, true), (2.0, false), (0.0, false)];
+        assert!((roc_auc(&scored) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        // One tied pos/neg pair: AUC = 0.5.
+        let scored = vec![(1.0, true), (1.0, false)];
+        assert!((roc_auc(&scored) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(roc_auc(&[]), 0.5);
+        assert_eq!(roc_auc(&[(1.0, true)]), 0.5);
+        assert_eq!(average_precision(&[(1.0, false)]), 0.0);
+        assert_eq!(average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn average_precision_hand_computed() {
+        // Descending: pos, neg, pos ⇒ AP = (1/1 + 2/3) / 2 = 5/6.
+        let scored = vec![(0.9, true), (0.5, false), (0.3, true)];
+        assert!((average_precision(&scored) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// AUC is always in [0, 1] and flipping labels mirrors it.
+        #[test]
+        fn auc_bounds_and_symmetry(
+            scores in proptest::collection::vec((-5.0f32..5.0, proptest::bool::ANY), 2..60)
+        ) {
+            let auc = roc_auc(&scores);
+            prop_assert!((0.0..=1.0).contains(&auc));
+            let flipped: Vec<(f32, bool)> = scores.iter().map(|(s, y)| (*s, !y)).collect();
+            let pos = scores.iter().filter(|(_, y)| *y).count();
+            if pos > 0 && pos < scores.len() {
+                prop_assert!((roc_auc(&flipped) - (1.0 - auc)).abs() < 1e-9);
+            }
+        }
+
+        /// Adding a constant to every score changes nothing (rank metric).
+        #[test]
+        fn auc_is_shift_invariant(
+            scores in proptest::collection::vec((-5.0f32..5.0, proptest::bool::ANY), 2..40),
+            shift in -10.0f32..10.0
+        ) {
+            let shifted: Vec<(f32, bool)> = scores.iter().map(|(s, y)| (s + shift, *y)).collect();
+            prop_assert!((roc_auc(&scores) - roc_auc(&shifted)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Relation-category breakdown (1-1 / 1-N / N-1 / N-N).
+//!
+//! The classic analysis from Bordes et al. (the paper's evaluation-protocol
+//! source, §5.2 citing [4]): classify each relation by its average
+//! tails-per-head and heads-per-tail, then report metrics per category.
+//! This surfaces *where* a model's ranking quality comes from — e.g.
+//! DistMult's symmetric score hurts most on strictly one-directional
+//! relations.
+
+use std::collections::HashMap;
+
+use mei_kg::Triple;
+#[cfg(test)]
+use mei_kg::RelationId;
+
+use crate::metrics::LinkPredictionResults;
+
+/// Cardinality category of a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationCategory {
+    /// ≤ threshold tails per head and heads per tail.
+    OneToOne,
+    /// Many tails per head.
+    OneToMany,
+    /// Many heads per tail.
+    ManyToOne,
+    /// Many in both directions.
+    ManyToMany,
+}
+
+impl RelationCategory {
+    /// Short display label ("1-1", "1-N", "N-1", "N-N").
+    pub fn label(self) -> &'static str {
+        match self {
+            RelationCategory::OneToOne => "1-1",
+            RelationCategory::OneToMany => "1-N",
+            RelationCategory::ManyToOne => "N-1",
+            RelationCategory::ManyToMany => "N-N",
+        }
+    }
+}
+
+/// Classifies every relation in `0..num_relations` by its cardinality
+/// statistics over `triples`, using the conventional threshold 1.5.
+///
+/// Relations absent from `triples` default to 1-1.
+pub fn categorize_relations(
+    triples: &[Triple],
+    num_relations: usize,
+    threshold: f64,
+) -> Vec<RelationCategory> {
+    use std::collections::HashSet;
+    let mut heads: Vec<HashMap<u32, HashSet<u32>>> = vec![HashMap::new(); num_relations];
+    let mut tails: Vec<HashMap<u32, HashSet<u32>>> = vec![HashMap::new(); num_relations];
+    for t in triples {
+        let r = t.relation.idx();
+        if r < num_relations {
+            heads[r].entry(t.head.0).or_default().insert(t.tail.0);
+            tails[r].entry(t.tail.0).or_default().insert(t.head.0);
+        }
+    }
+    (0..num_relations)
+        .map(|r| {
+            if heads[r].is_empty() {
+                return RelationCategory::OneToOne;
+            }
+            let pairs: usize = heads[r].values().map(HashSet::len).sum();
+            let tph = pairs as f64 / heads[r].len() as f64;
+            let hpt = pairs as f64 / tails[r].len() as f64;
+            match (tph > threshold, hpt > threshold) {
+                (false, false) => RelationCategory::OneToOne,
+                (true, false) => RelationCategory::OneToMany,
+                (false, true) => RelationCategory::ManyToOne,
+                (true, true) => RelationCategory::ManyToMany,
+            }
+        })
+        .collect()
+}
+
+/// Aggregates a result's per-relation MRR into per-category means,
+/// weighted equally across relations within a category.
+pub fn mrr_by_category(
+    results: &LinkPredictionResults,
+    categories: &[RelationCategory],
+) -> HashMap<RelationCategory, f64> {
+    let mut sums: HashMap<RelationCategory, (f64, usize)> = HashMap::new();
+    for (rel, mrr) in &results.per_relation_mrr {
+        let cat = categories.get(rel.idx()).copied().unwrap_or(RelationCategory::OneToOne);
+        let e = sums.entry(cat).or_insert((0.0, 0));
+        e.0 += mrr;
+        e.1 += 1;
+    }
+    sums.into_iter().map(|(cat, (sum, n))| (cat, sum / n as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsAccumulator, Side};
+
+    #[test]
+    fn categorization_of_canonical_shapes() {
+        let mut triples = Vec::new();
+        // r0: 1-1 pairs.
+        for i in 0..5u32 {
+            triples.push(Triple::new(i, i + 100, 0));
+        }
+        // r1: 1-N (head 0 fans out).
+        for t in 0..6u32 {
+            triples.push(Triple::new(0, t + 100, 1));
+        }
+        // r2: N-1 (everything points at tail 100).
+        for h in 0..6u32 {
+            triples.push(Triple::new(h, 100, 2));
+        }
+        // r3: N-N (dense bipartite block).
+        for h in 0..4u32 {
+            for t in 0..4u32 {
+                triples.push(Triple::new(h, t + 100, 3));
+            }
+        }
+        let cats = categorize_relations(&triples, 5, 1.5);
+        assert_eq!(cats[0], RelationCategory::OneToOne);
+        assert_eq!(cats[1], RelationCategory::OneToMany);
+        assert_eq!(cats[2], RelationCategory::ManyToOne);
+        assert_eq!(cats[3], RelationCategory::ManyToMany);
+        // r4 has no data ⇒ defaults to 1-1.
+        assert_eq!(cats[4], RelationCategory::OneToOne);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RelationCategory::OneToMany.label(), "1-N");
+        assert_eq!(RelationCategory::ManyToMany.label(), "N-N");
+    }
+
+    #[test]
+    fn mrr_by_category_averages_relations() {
+        let mut acc = MetricsAccumulator::new(&[1]);
+        acc.push(RelationId(0), Side::Head, 1.0); // MRR 1.0
+        acc.push(RelationId(1), Side::Head, 2.0); // MRR 0.5
+        acc.push(RelationId(2), Side::Head, 4.0); // MRR 0.25
+        let results = acc.finish();
+        let cats = vec![
+            RelationCategory::OneToOne,
+            RelationCategory::OneToOne,
+            RelationCategory::ManyToMany,
+        ];
+        let by_cat = mrr_by_category(&results, &cats);
+        assert!((by_cat[&RelationCategory::OneToOne] - 0.75).abs() < 1e-12);
+        assert!((by_cat[&RelationCategory::ManyToMany] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! Triple classification: predicting the *validity* of a triple.
+//!
+//! §2.1's third component — "using the matching score to predict the
+//! validity of each triple" — is usually evaluated (since Socher et al.'s
+//! NTN) by thresholding scores: per relation, a threshold is tuned on a
+//! labeled validation set and accuracy is measured on test. This module
+//! implements the protocol model-agnostically over [`TripleScorer`].
+
+use std::collections::HashMap;
+
+use mei_kg::{RelationId, Triple, TripleStore};
+use rand::Rng;
+
+use crate::scorer::TripleScorer;
+
+/// Per-relation score thresholds for triple classification.
+#[derive(Debug, Clone)]
+pub struct TripleClassifier {
+    thresholds: HashMap<RelationId, f32>,
+    /// Fallback threshold for relations unseen at fit time (tuned
+    /// globally).
+    pub global_threshold: f32,
+}
+
+/// One labeled example for fitting/evaluating classification.
+pub type Labeled = (Triple, bool);
+
+impl TripleClassifier {
+    /// Fits thresholds on labeled data: for every relation the threshold
+    /// maximizing accuracy over its examples (ties resolved toward the
+    /// smaller threshold), plus a global fallback.
+    pub fn fit<S: TripleScorer>(scorer: &S, labeled: &[Labeled]) -> Self {
+        let mut by_rel: HashMap<RelationId, Vec<(f32, bool)>> = HashMap::new();
+        let mut all: Vec<(f32, bool)> = Vec::with_capacity(labeled.len());
+        for (t, y) in labeled {
+            let s = scorer.score(t.head, t.tail, t.relation);
+            by_rel.entry(t.relation).or_default().push((s, *y));
+            all.push((s, *y));
+        }
+        let thresholds =
+            by_rel.into_iter().map(|(r, scored)| (r, best_threshold(scored))).collect();
+        Self { thresholds, global_threshold: best_threshold(all) }
+    }
+
+    /// The tuned threshold for a relation (global fallback otherwise).
+    pub fn threshold(&self, r: RelationId) -> f32 {
+        self.thresholds.get(&r).copied().unwrap_or(self.global_threshold)
+    }
+
+    /// Classifies a triple: valid iff `score ≥ threshold(relation)`.
+    pub fn classify<S: TripleScorer>(&self, scorer: &S, t: Triple) -> bool {
+        scorer.score(t.head, t.tail, t.relation) >= self.threshold(t.relation)
+    }
+
+    /// Accuracy over labeled examples.
+    pub fn accuracy<S: TripleScorer>(&self, scorer: &S, labeled: &[Labeled]) -> f64 {
+        if labeled.is_empty() {
+            return 0.0;
+        }
+        let correct = labeled
+            .iter()
+            .filter(|(t, y)| self.classify(scorer, *t) == *y)
+            .count();
+        correct as f64 / labeled.len() as f64
+    }
+}
+
+/// Chooses the threshold maximizing accuracy over `(score, label)` pairs.
+///
+/// Scans the sorted scores; candidate thresholds are midpoints between
+/// consecutive distinct scores plus the extremes.
+fn best_threshold(mut scored: Vec<(f32, bool)>) -> f32 {
+    if scored.is_empty() {
+        return 0.0;
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total_pos = scored.iter().filter(|(_, y)| *y).count();
+    // Sweeping the threshold upward: start below the minimum (everything
+    // classified positive).
+    let mut best_correct = total_pos;
+    let mut best_threshold = scored[0].0 - 1.0;
+    // `correct(θ)` for θ just above scored[i].0: negatives ≤ i are correct,
+    // positives ≤ i are wrong.
+    let mut neg_below = 0usize;
+    let mut pos_below = 0usize;
+    for i in 0..scored.len() {
+        if scored[i].1 {
+            pos_below += 1;
+        } else {
+            neg_below += 1;
+        }
+        // Only place a threshold at a boundary between distinct scores.
+        if i + 1 < scored.len() && scored[i + 1].0 == scored[i].0 {
+            continue;
+        }
+        let correct = neg_below + (total_pos - pos_below);
+        if correct > best_correct {
+            best_correct = correct;
+            best_threshold = if i + 1 < scored.len() {
+                (scored[i].0 + scored[i + 1].0) / 2.0
+            } else {
+                scored[i].0 + 1.0
+            };
+        }
+    }
+    best_threshold
+}
+
+/// Generates one corrupted (presumed-false) triple per positive, avoiding
+/// known-true collisions against `filter` — the standard way to build the
+/// labeled sets for this task.
+pub fn labeled_with_negatives<R: Rng + ?Sized>(
+    rng: &mut R,
+    positives: &[Triple],
+    num_entities: usize,
+    filter: &TripleStore,
+) -> Vec<Labeled> {
+    use mei_kg::negative::{CorruptionSide, NegativeSampler};
+    let sampler =
+        NegativeSampler::new(num_entities, CorruptionSide::Both).with_false_negative_avoidance();
+    let mut out = Vec::with_capacity(positives.len() * 2);
+    for &p in positives {
+        out.push((p, true));
+        out.push((sampler.corrupt_filtered(rng, p, filter), false));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorer::test_support::TableScorer;
+    use mei_kg::EntityId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn best_threshold_separates_cleanly() {
+        // Positives score high, negatives low; any θ in (2, 8) is perfect.
+        let scored = vec![(1.0, false), (2.0, false), (8.0, true), (9.0, true)];
+        let th = best_threshold(scored);
+        assert!(th > 2.0 && th < 8.0, "θ = {th}");
+    }
+
+    #[test]
+    fn best_threshold_handles_overlap() {
+        let scored =
+            vec![(1.0, false), (3.0, true), (4.0, false), (5.0, true), (6.0, true)];
+        let th = best_threshold(scored.clone());
+        // Accuracy at the chosen threshold must be the max (4/5 here).
+        let acc = scored
+            .iter()
+            .filter(|(s, y)| (*s >= th) == *y)
+            .count();
+        assert_eq!(acc, 4);
+    }
+
+    #[test]
+    fn best_threshold_empty_and_all_positive() {
+        assert_eq!(best_threshold(vec![]), 0.0);
+        // All positive: θ below min keeps everything positive — perfect.
+        let th = best_threshold(vec![(2.0, true), (5.0, true)]);
+        assert!(th < 2.0);
+    }
+
+    #[test]
+    fn classifier_fits_per_relation_thresholds() {
+        // Relation 0: valid iff t = h + 1 (score 10 vs 0);
+        // relation 1: valid iff t = h (score 7 vs −1).
+        let s = TableScorer {
+            num_entities: 10,
+            f: |h, t, r| match r {
+                0 => {
+                    if t == h + 1 {
+                        10.0
+                    } else {
+                        0.0
+                    }
+                }
+                _ => {
+                    if t == h {
+                        7.0
+                    } else {
+                        -1.0
+                    }
+                }
+            },
+        };
+        let labeled: Vec<Labeled> = vec![
+            (Triple::new(0, 1, 0), true),
+            (Triple::new(0, 5, 0), false),
+            (Triple::new(3, 4, 0), true),
+            (Triple::new(3, 3, 0), false),
+            (Triple::new(2, 2, 1), true),
+            (Triple::new(2, 6, 1), false),
+        ];
+        let clf = TripleClassifier::fit(&s, &labeled);
+        assert_eq!(clf.accuracy(&s, &labeled), 1.0);
+        assert!(clf.classify(&s, Triple::new(7, 8, 0)));
+        assert!(!clf.classify(&s, Triple::new(7, 3, 0)));
+        assert!(clf.classify(&s, Triple::new(5, 5, 1)));
+        // Unseen relation uses the global threshold and stays finite.
+        let _ = clf.threshold(mei_kg::RelationId(9));
+    }
+
+    #[test]
+    fn labeled_negatives_have_matching_positives() {
+        let positives: Vec<Triple> = (0..20).map(|i| Triple::new(i, (i + 1) % 20, 0)).collect();
+        let filter: TripleStore = positives.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let labeled = labeled_with_negatives(&mut rng, &positives, 20, &filter);
+        assert_eq!(labeled.len(), 40);
+        assert_eq!(labeled.iter().filter(|(_, y)| *y).count(), 20);
+        // Negatives rarely collide with known-true triples.
+        let collisions =
+            labeled.iter().filter(|(t, y)| !*y && filter.contains(t)).count();
+        assert!(collisions <= 2, "{collisions} false negatives slipped through");
+    }
+
+    #[test]
+    fn perfect_scorer_achieves_perfect_accuracy_end_to_end() {
+        let s = TableScorer {
+            num_entities: 12,
+            f: |h, t, _| if t == (h + 1) % 12 { 5.0 } else { -5.0 },
+        };
+        let positives: Vec<Triple> = (0..12).map(|i| Triple::new(i, (i + 1) % 12, 0)).collect();
+        let filter: TripleStore = positives.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let train_labeled = labeled_with_negatives(&mut rng, &positives[..6], 12, &filter);
+        let test_labeled = labeled_with_negatives(&mut rng, &positives[6..], 12, &filter);
+        let clf = TripleClassifier::fit(&s, &train_labeled);
+        assert_eq!(clf.accuracy(&s, &test_labeled), 1.0);
+        let e = EntityId(0);
+        let _ = e;
+    }
+}

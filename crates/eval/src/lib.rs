@@ -1,0 +1,27 @@
+//! Link-prediction evaluation (§5.2 of the paper).
+//!
+//! For each true test triple `(h, t, r)` the protocol replaces `h` and `t`
+//! in turn by every entity, ranks the true triple among the corruptions by
+//! model score, and aggregates MRR and Hit@k. *Filtered* metrics remove
+//! corruptions that are themselves known-true triples (in train ∪ valid ∪
+//! test) before ranking, avoiding false-negative penalties.
+//!
+//! The crate is model-agnostic: anything implementing [`TripleScorer`] can
+//! be evaluated. Ranking over all entities is embarrassingly parallel and
+//! runs on rayon.
+
+#![warn(missing_docs)]
+
+pub mod auc;
+pub mod categories;
+pub mod classification;
+pub mod metrics;
+pub mod ranking;
+pub mod scorer;
+
+pub use auc::{average_precision, roc_auc};
+pub use categories::{categorize_relations, mrr_by_category, RelationCategory};
+pub use classification::{labeled_with_negatives, TripleClassifier};
+pub use metrics::{LinkPredictionResults, MetricsAccumulator};
+pub use ranking::{evaluate, rank_triple, EvalConfig, RankPair, TiePolicy};
+pub use scorer::TripleScorer;

@@ -1,0 +1,230 @@
+//! Rank-based metrics: MRR, mean rank, Hit@k.
+
+use std::collections::HashMap;
+
+use mei_kg::RelationId;
+
+/// Aggregated link-prediction metrics over a set of ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkPredictionResults {
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Mean rank.
+    pub mr: f64,
+    /// `(k, Hit@k)` pairs in the order requested.
+    pub hits: Vec<(usize, f64)>,
+    /// Number of ranked queries (2 × number of triples: head + tail side).
+    pub num_queries: usize,
+    /// MRR over head-replacement queries only.
+    pub mrr_head_side: f64,
+    /// MRR over tail-replacement queries only.
+    pub mrr_tail_side: f64,
+    /// Optional per-relation MRR.
+    pub per_relation_mrr: HashMap<RelationId, f64>,
+}
+
+impl LinkPredictionResults {
+    /// Hit@k for a `k` that was requested, if present.
+    pub fn hits_at(&self, k: usize) -> Option<f64> {
+        self.hits.iter().find(|(kk, _)| *kk == k).map(|(_, v)| *v)
+    }
+}
+
+impl std::fmt::Display for LinkPredictionResults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MRR {:.3}", self.mrr)?;
+        for (k, v) in &self.hits {
+            write!(f, "  H@{k} {v:.3}")?;
+        }
+        write!(f, "  MR {:.1}", self.mr)
+    }
+}
+
+/// Streaming accumulator turning `(relation, side, rank)` observations into
+/// [`LinkPredictionResults`].
+#[derive(Debug, Clone)]
+pub struct MetricsAccumulator {
+    ks: Vec<usize>,
+    sum_rr: f64,
+    sum_rank: f64,
+    hit_counts: Vec<u64>,
+    n: u64,
+    sum_rr_head: f64,
+    n_head: u64,
+    sum_rr_tail: f64,
+    n_tail: u64,
+    per_rel: HashMap<RelationId, (f64, u64)>,
+}
+
+/// Which entity was replaced to form the candidate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Head replacement: ranking `(h', t, r)`.
+    Head,
+    /// Tail replacement: ranking `(h, t', r)`.
+    Tail,
+}
+
+impl MetricsAccumulator {
+    /// Creates an accumulator reporting Hit@k for each `k` in `ks`.
+    pub fn new(ks: &[usize]) -> Self {
+        Self {
+            ks: ks.to_vec(),
+            sum_rr: 0.0,
+            sum_rank: 0.0,
+            hit_counts: vec![0; ks.len()],
+            n: 0,
+            sum_rr_head: 0.0,
+            n_head: 0,
+            sum_rr_tail: 0.0,
+            n_tail: 0,
+            per_rel: HashMap::new(),
+        }
+    }
+
+    /// Feeds one rank observation (rank ≥ 1; fractional ranks arise from
+    /// tie averaging).
+    pub fn push(&mut self, relation: RelationId, side: Side, rank: f64) {
+        debug_assert!(rank >= 1.0, "ranks are 1-based, got {rank}");
+        let rr = 1.0 / rank;
+        self.sum_rr += rr;
+        self.sum_rank += rank;
+        self.n += 1;
+        for (slot, k) in self.hit_counts.iter_mut().zip(&self.ks) {
+            if rank <= *k as f64 {
+                *slot += 1;
+            }
+        }
+        match side {
+            Side::Head => {
+                self.sum_rr_head += rr;
+                self.n_head += 1;
+            }
+            Side::Tail => {
+                self.sum_rr_tail += rr;
+                self.n_tail += 1;
+            }
+        }
+        let e = self.per_rel.entry(relation).or_insert((0.0, 0));
+        e.0 += rr;
+        e.1 += 1;
+    }
+
+    /// Merges another accumulator (must have identical `ks`).
+    pub fn merge(&mut self, other: &MetricsAccumulator) {
+        assert_eq!(self.ks, other.ks, "cannot merge accumulators with different k lists");
+        self.sum_rr += other.sum_rr;
+        self.sum_rank += other.sum_rank;
+        self.n += other.n;
+        for (a, b) in self.hit_counts.iter_mut().zip(&other.hit_counts) {
+            *a += b;
+        }
+        self.sum_rr_head += other.sum_rr_head;
+        self.n_head += other.n_head;
+        self.sum_rr_tail += other.sum_rr_tail;
+        self.n_tail += other.n_tail;
+        for (rel, (rr, n)) in &other.per_rel {
+            let e = self.per_rel.entry(*rel).or_insert((0.0, 0));
+            e.0 += rr;
+            e.1 += n;
+        }
+    }
+
+    /// Finalizes into results (all metrics 0 when empty).
+    pub fn finish(&self) -> LinkPredictionResults {
+        let n = self.n.max(1) as f64;
+        LinkPredictionResults {
+            mrr: if self.n == 0 { 0.0 } else { self.sum_rr / n },
+            mr: if self.n == 0 { 0.0 } else { self.sum_rank / n },
+            hits: self
+                .ks
+                .iter()
+                .zip(&self.hit_counts)
+                .map(|(k, c)| (*k, if self.n == 0 { 0.0 } else { *c as f64 / n }))
+                .collect(),
+            num_queries: self.n as usize,
+            mrr_head_side: if self.n_head == 0 { 0.0 } else { self.sum_rr_head / self.n_head as f64 },
+            mrr_tail_side: if self.n_tail == 0 { 0.0 } else { self.sum_rr_tail / self.n_tail as f64 },
+            per_relation_mrr: self
+                .per_rel
+                .iter()
+                .map(|(r, (rr, n))| (*r, rr / *n as f64))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_metrics() {
+        let mut acc = MetricsAccumulator::new(&[1, 3, 10]);
+        acc.push(RelationId(0), Side::Head, 1.0);
+        acc.push(RelationId(0), Side::Tail, 2.0);
+        acc.push(RelationId(1), Side::Head, 10.0);
+        acc.push(RelationId(1), Side::Tail, 100.0);
+        let r = acc.finish();
+        let expected_mrr = (1.0 + 0.5 + 0.1 + 0.01) / 4.0;
+        assert!((r.mrr - expected_mrr).abs() < 1e-12);
+        assert!((r.mr - 28.25).abs() < 1e-12);
+        assert_eq!(r.hits_at(1), Some(0.25));
+        assert_eq!(r.hits_at(3), Some(0.5));
+        assert_eq!(r.hits_at(10), Some(0.75));
+        assert_eq!(r.num_queries, 4);
+        assert!((r.mrr_head_side - (1.0 + 0.1) / 2.0).abs() < 1e-12);
+        assert!((r.mrr_tail_side - (0.5 + 0.01) / 2.0).abs() < 1e-12);
+        assert!((r.per_relation_mrr[&RelationId(0)] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let r = MetricsAccumulator::new(&[1]).finish();
+        assert_eq!(r.mrr, 0.0);
+        assert_eq!(r.mr, 0.0);
+        assert_eq!(r.num_queries, 0);
+        assert_eq!(r.hits_at(1), Some(0.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = MetricsAccumulator::new(&[1, 3]);
+        let mut b = MetricsAccumulator::new(&[1, 3]);
+        let mut whole = MetricsAccumulator::new(&[1, 3]);
+        for (i, rank) in [1.0, 3.0, 7.0, 2.0, 1.0].iter().enumerate() {
+            let side = if i % 2 == 0 { Side::Head } else { Side::Tail };
+            whole.push(RelationId((i % 2) as u32), side, *rank);
+            if i < 2 {
+                a.push(RelationId((i % 2) as u32), side, *rank);
+            } else {
+                b.push(RelationId((i % 2) as u32), side, *rank);
+            }
+        }
+        a.merge(&b);
+        let (ra, rw) = (a.finish(), whole.finish());
+        assert!((ra.mrr - rw.mrr).abs() < 1e-12);
+        assert_eq!(ra.hits, rw.hits);
+        assert_eq!(ra.num_queries, rw.num_queries);
+    }
+
+    #[test]
+    fn display_formats_all_metrics() {
+        let mut acc = MetricsAccumulator::new(&[1, 10]);
+        acc.push(RelationId(0), Side::Head, 2.0);
+        let s = acc.finish().to_string();
+        assert!(s.contains("MRR 0.500"));
+        assert!(s.contains("H@1 0.000"));
+        assert!(s.contains("H@10 1.000"));
+    }
+
+    #[test]
+    fn mrr_is_in_unit_interval_for_valid_ranks() {
+        let mut acc = MetricsAccumulator::new(&[1]);
+        for rank in [1.0, 5.0, 1000.0, 3.5] {
+            acc.push(RelationId(0), Side::Tail, rank);
+        }
+        let r = acc.finish();
+        assert!(r.mrr > 0.0 && r.mrr <= 1.0);
+    }
+}

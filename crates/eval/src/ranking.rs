@@ -1,0 +1,362 @@
+//! The ranking protocol: corrupt, score, rank, filter.
+
+use mei_kg::{EntityId, RelationId, Triple, TripleStore};
+use rayon::prelude::*;
+
+use crate::metrics::{LinkPredictionResults, MetricsAccumulator, Side};
+use crate::scorer::TripleScorer;
+
+/// How candidates scoring exactly the true score are counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TiePolicy {
+    /// rank = 1 + |better| — the most favorable reading.
+    Optimistic,
+    /// rank = 1 + |better| + |tied| — the least favorable.
+    Pessimistic,
+    /// rank = 1 + |better| + |tied|/2 — expected rank under random
+    /// tie-breaking (the default; immune to constant-score degenerate
+    /// models inflating their metrics).
+    #[default]
+    Average,
+}
+
+/// Evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// `k` values for Hit@k. The paper reports k ∈ {1, 3, 10}.
+    pub hits_at: Vec<usize>,
+    /// Tie handling.
+    pub tie_policy: TiePolicy,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self { hits_at: vec![1, 3, 10], tie_policy: TiePolicy::Average }
+    }
+}
+
+/// The raw and filtered rank of one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankPair {
+    /// Rank among all corruptions.
+    pub raw: f64,
+    /// Rank after removing known-true corruptions (§5.2's filtered
+    /// protocol).
+    pub filtered: f64,
+}
+
+fn rank_from_counts(better: usize, tied: usize, policy: TiePolicy) -> f64 {
+    match policy {
+        TiePolicy::Optimistic => 1.0 + better as f64,
+        TiePolicy::Pessimistic => 1.0 + better as f64 + tied as f64,
+        TiePolicy::Average => 1.0 + better as f64 + tied as f64 / 2.0,
+    }
+}
+
+/// Ranks the true entity for one side of one triple.
+///
+/// `scores` holds the score of every candidate entity; `true_entity` is the
+/// entity being ranked; `known_true` lists entities that form known-true
+/// triples for this `(fixed-entity, relation)` slot and are therefore
+/// excluded by the filtered metric (the true entity itself is always kept).
+pub fn rank_triple(
+    scores: &[f32],
+    true_entity: EntityId,
+    known_true: &[EntityId],
+    policy: TiePolicy,
+) -> RankPair {
+    let true_score = scores[true_entity.idx()];
+    let mut better = 0usize;
+    let mut tied = 0usize;
+    for &s in scores {
+        if s > true_score {
+            better += 1;
+        } else if s == true_score {
+            tied += 1;
+        }
+    }
+    tied -= 1; // the true entity itself
+    let raw = rank_from_counts(better, tied, policy);
+
+    // Filtered: discount known-true competitors. The list may contain
+    // duplicates (callers can pass arbitrary slices), so deduplicate before
+    // counting — otherwise the subtraction below could underflow.
+    let mut known: Vec<EntityId> = known_true.to_vec();
+    known.sort_unstable();
+    known.dedup();
+    let mut better_known = 0usize;
+    let mut tied_known = 0usize;
+    for &e in &known {
+        if e == true_entity {
+            continue;
+        }
+        let s = scores[e.idx()];
+        if s > true_score {
+            better_known += 1;
+        } else if s == true_score {
+            tied_known += 1;
+        }
+    }
+    let filtered =
+        rank_from_counts(better - better_known, tied - tied_known, policy);
+    RankPair { raw, filtered }
+}
+
+/// Evaluates `scorer` on `triples` with both head- and tail-replacement
+/// queries, returning `(raw, filtered)` results.
+///
+/// `filter` must contain every known-true triple (train ∪ valid ∪ test) for
+/// faithful filtered metrics (§5.2). Work is parallelized over triples.
+///
+/// `relation_map` optionally remaps each query's relation before scoring
+/// — used by models trained on augmented vocabularies; pass `None`
+/// normally.
+pub fn evaluate<S: TripleScorer>(
+    scorer: &S,
+    triples: &[Triple],
+    filter: &TripleStore,
+    config: &EvalConfig,
+) -> (LinkPredictionResults, LinkPredictionResults) {
+    let ne = scorer.num_entities();
+    let (raw_acc, filt_acc) = triples
+        .par_iter()
+        .fold(
+            || {
+                (
+                    MetricsAccumulator::new(&config.hits_at),
+                    MetricsAccumulator::new(&config.hits_at),
+                    vec![0.0f32; ne],
+                )
+            },
+            |(mut raw, mut filt, mut buf), t| {
+                // Tail replacement: rank t among (h, t', r).
+                scorer.score_all_tails(t.head, t.relation, &mut buf);
+                let known = filter.tails_of(t.head, t.relation);
+                let pair = rank_triple(&buf, t.tail, known, config.tie_policy);
+                raw.push(t.relation, Side::Tail, pair.raw);
+                filt.push(t.relation, Side::Tail, pair.filtered);
+
+                // Head replacement: rank h among (h', t, r).
+                scorer.score_all_heads(t.tail, t.relation, &mut buf);
+                let known = filter.heads_of(t.tail, t.relation);
+                let pair = rank_triple(&buf, t.head, known, config.tie_policy);
+                raw.push(t.relation, Side::Head, pair.raw);
+                filt.push(t.relation, Side::Head, pair.filtered);
+                (raw, filt, buf)
+            },
+        )
+        .map(|(raw, filt, _)| (raw, filt))
+        .reduce(
+            || (MetricsAccumulator::new(&config.hits_at), MetricsAccumulator::new(&config.hits_at)),
+            |(mut ra, mut fa), (rb, fb)| {
+                ra.merge(&rb);
+                fa.merge(&fb);
+                (ra, fa)
+            },
+        );
+    (raw_acc.finish(), filt_acc.finish())
+}
+
+/// Convenience: filtered results only (the headline numbers in Tables 2–4).
+pub fn evaluate_filtered<S: TripleScorer>(
+    scorer: &S,
+    triples: &[Triple],
+    filter: &TripleStore,
+    config: &EvalConfig,
+) -> LinkPredictionResults {
+    evaluate(scorer, triples, filter, config).1
+}
+
+/// Ranks candidates for a `(h, ?, r)` query and returns the top-`k`
+/// entities with scores, excluding entities in `exclude` — the prediction
+/// API used by the examples (recommendation, completion).
+pub fn top_k_tails<S: TripleScorer>(
+    scorer: &S,
+    head: EntityId,
+    relation: RelationId,
+    k: usize,
+    exclude: &TripleStore,
+) -> Vec<(EntityId, f32)> {
+    let ne = scorer.num_entities();
+    let mut scores = vec![0.0f32; ne];
+    scorer.score_all_tails(head, relation, &mut scores);
+    let excluded = exclude.tails_of(head, relation);
+    let mut candidates: Vec<(EntityId, f32)> = (0..ne)
+        .map(|i| (EntityId(i as u32), scores[i]))
+        .filter(|(e, _)| !excluded.contains(e))
+        .collect();
+    candidates
+        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorer::test_support::TableScorer;
+
+    #[test]
+    fn rank_counts_better_candidates() {
+        // Scores: entity 0 → 5, 1 → 3, 2 → 9, 3 → 3. True entity is 1.
+        let scores = [5.0f32, 3.0, 9.0, 3.0];
+        let pair = rank_triple(&scores, EntityId(1), &[], TiePolicy::Optimistic);
+        assert_eq!(pair.raw, 3.0); // better: {0, 2}
+        let pair = rank_triple(&scores, EntityId(1), &[], TiePolicy::Pessimistic);
+        assert_eq!(pair.raw, 4.0); // plus tie with entity 3
+        let pair = rank_triple(&scores, EntityId(1), &[], TiePolicy::Average);
+        assert_eq!(pair.raw, 3.5);
+    }
+
+    #[test]
+    fn filtering_removes_known_true() {
+        let scores = [5.0f32, 3.0, 9.0, 3.0];
+        // Entity 2 (score 9) is a known-true triple: filtered rank improves.
+        let pair = rank_triple(&scores, EntityId(1), &[EntityId(2)], TiePolicy::Optimistic);
+        assert_eq!(pair.raw, 3.0);
+        assert_eq!(pair.filtered, 2.0);
+    }
+
+    #[test]
+    fn filtering_never_hurts() {
+        let scores = [1.0f32, 2.0, 3.0, 4.0, 2.0];
+        for te in 0..5u32 {
+            for known in [&[][..], &[EntityId(0)][..], &[EntityId(3), EntityId(4)][..]] {
+                let p = rank_triple(&scores, EntityId(te), known, TiePolicy::Average);
+                assert!(p.filtered <= p.raw, "filtered {} > raw {}", p.filtered, p.raw);
+                assert!(p.filtered >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn true_entity_in_known_list_is_ignored() {
+        let scores = [5.0f32, 3.0];
+        let p = rank_triple(&scores, EntityId(1), &[EntityId(1)], TiePolicy::Optimistic);
+        assert_eq!(p.filtered, 2.0);
+        assert_eq!(p.raw, 2.0);
+    }
+
+    #[test]
+    fn perfect_scorer_gets_mrr_one() {
+        // Scorer that gives the true pattern h + 1 == t maximum score.
+        let s = TableScorer {
+            num_entities: 10,
+            f: |h, t, _| if t == h + 1 { 10.0 } else { -(t as f32) },
+        };
+        let triples: Vec<Triple> = (0..5).map(|i| Triple::new(i, i + 1, 0)).collect();
+        let filter: TripleStore = triples.iter().copied().collect();
+        let (_raw, filt) = evaluate(&s, &triples, &filter, &EvalConfig::default());
+        // Tail-side queries are perfectly ranked.
+        assert!((filt.mrr_tail_side - 1.0).abs() < 1e-9, "{}", filt.mrr_tail_side);
+        assert_eq!(filt.num_queries, 10);
+    }
+
+    #[test]
+    fn constant_scorer_has_chance_level_average_rank() {
+        let s = TableScorer { num_entities: 100, f: |_, _, _| 0.0 };
+        let triples = vec![Triple::new(0, 1, 0)];
+        let filter: TripleStore = triples.iter().copied().collect();
+        let (raw, _) = evaluate(&s, &triples, &filter, &EvalConfig::default());
+        // All tied: average policy puts the true entity mid-pack.
+        assert!((raw.mr - 50.5).abs() < 1e-9, "mr={}", raw.mr);
+    }
+
+    #[test]
+    fn filtered_beats_raw_when_true_competitors_exist() {
+        // Two true tails for (0, ·, 0): entities 1 and 2, model scores both
+        // highest. Filtered MRR must be 1, raw cannot be.
+        let s = TableScorer {
+            num_entities: 10,
+            f: |h, t, _| if h == 0 && (t == 1 || t == 2) { 5.0 + t as f32 } else { 0.0 },
+        };
+        let triples = vec![Triple::new(0, 1, 0), Triple::new(0, 2, 0)];
+        let filter: TripleStore = triples.iter().copied().collect();
+        let (raw, filt) = evaluate(&s, &triples, &filter, &EvalConfig::default());
+        assert!(filt.mrr_tail_side > raw.mrr_tail_side);
+        assert!((filt.mrr_tail_side - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_orders_and_excludes() {
+        let s = TableScorer { num_entities: 5, f: |_, t, _| t as f32 };
+        let exclude: TripleStore = [Triple::new(0, 4, 0)].into_iter().collect();
+        let top = top_k_tails(&s, EntityId(0), RelationId(0), 2, &exclude);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, EntityId(3)); // 4 excluded
+        assert_eq!(top[1].0, EntityId(2));
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any score vector and any filter set: ranks are ≥ 1,
+            /// filtered ≤ raw, and the tie policies are ordered
+            /// optimistic ≤ average ≤ pessimistic.
+            #[test]
+            fn rank_invariants(
+                scores in proptest::collection::vec(-10.0f32..10.0, 2..40),
+                true_idx_seed in 0usize..1000,
+                known_seed in proptest::collection::vec(0usize..1000, 0..10)
+            ) {
+                let n = scores.len();
+                let true_entity = EntityId((true_idx_seed % n) as u32);
+                let known: Vec<EntityId> =
+                    known_seed.iter().map(|k| EntityId((k % n) as u32)).collect();
+                let opt = rank_triple(&scores, true_entity, &known, TiePolicy::Optimistic);
+                let avg = rank_triple(&scores, true_entity, &known, TiePolicy::Average);
+                let pes = rank_triple(&scores, true_entity, &known, TiePolicy::Pessimistic);
+                for p in [opt, avg, pes] {
+                    prop_assert!(p.raw >= 1.0);
+                    prop_assert!(p.filtered >= 1.0);
+                    prop_assert!(p.filtered <= p.raw);
+                    prop_assert!(p.raw <= n as f64);
+                }
+                prop_assert!(opt.raw <= avg.raw && avg.raw <= pes.raw);
+                prop_assert!(opt.filtered <= avg.filtered && avg.filtered <= pes.filtered);
+            }
+
+            /// Filtering with ALL other entities known-true always yields
+            /// rank 1 (only the true entity competes with itself).
+            #[test]
+            fn full_filter_gives_rank_one(
+                scores in proptest::collection::vec(-5.0f32..5.0, 2..30),
+                true_idx_seed in 0usize..1000
+            ) {
+                let n = scores.len();
+                let true_entity = EntityId((true_idx_seed % n) as u32);
+                let known: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+                let p = rank_triple(&scores, true_entity, &known, TiePolicy::Pessimistic);
+                prop_assert_eq!(p.filtered, 1.0);
+            }
+
+            /// Raising the true entity's score never worsens its rank.
+            #[test]
+            fn rank_is_monotone_in_true_score(
+                mut scores in proptest::collection::vec(-5.0f32..5.0, 3..30),
+                true_idx_seed in 0usize..1000,
+                boost in 0.1f32..5.0
+            ) {
+                let n = scores.len();
+                let idx = true_idx_seed % n;
+                let before =
+                    rank_triple(&scores, EntityId(idx as u32), &[], TiePolicy::Average);
+                scores[idx] += boost;
+                let after =
+                    rank_triple(&scores, EntityId(idx as u32), &[], TiePolicy::Average);
+                prop_assert!(after.raw <= before.raw);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_on_empty_triples() {
+        let s = TableScorer { num_entities: 3, f: |_, _, _| 0.0 };
+        let filter = TripleStore::new();
+        let (raw, filt) = evaluate(&s, &[], &filter, &EvalConfig::default());
+        assert_eq!(raw.num_queries, 0);
+        assert_eq!(filt.mrr, 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The model-side interface the evaluator consumes.
+
+use mei_kg::{EntityId, RelationId};
+
+/// A scoring function over triples: higher means "more likely valid"
+/// (§2.1's prediction component).
+///
+/// Implementors should override the batched methods when they have a
+/// faster path than scoring entities one by one — the multi-embedding
+/// models precompute the head/relation (or tail/relation) interaction once
+/// and then score each candidate in `O(n·D)` (see `mei-core`).
+pub trait TripleScorer: Sync {
+    /// Number of entities in the vocabulary (candidates for corruption).
+    fn num_entities(&self) -> usize;
+
+    /// Score of a single triple.
+    fn score(&self, head: EntityId, tail: EntityId, relation: RelationId) -> f32;
+
+    /// Scores `(h, t', r)` for every tail candidate `t' ∈ 0..num_entities`
+    /// into `out` (`out.len() == num_entities`).
+    fn score_all_tails(&self, head: EntityId, relation: RelationId, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.num_entities());
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.score(head, EntityId(i as u32), relation);
+        }
+    }
+
+    /// Scores `(h', t, r)` for every head candidate `h' ∈ 0..num_entities`
+    /// into `out`.
+    fn score_all_heads(&self, tail: EntityId, relation: RelationId, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.num_entities());
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.score(EntityId(i as u32), tail, relation);
+        }
+    }
+}
+
+/// Blanket impl so `&M` can be passed wherever a scorer is needed.
+impl<M: TripleScorer + ?Sized> TripleScorer for &M {
+    fn num_entities(&self) -> usize {
+        (**self).num_entities()
+    }
+
+    fn score(&self, head: EntityId, tail: EntityId, relation: RelationId) -> f32 {
+        (**self).score(head, tail, relation)
+    }
+
+    fn score_all_tails(&self, head: EntityId, relation: RelationId, out: &mut [f32]) {
+        (**self).score_all_tails(head, relation, out)
+    }
+
+    fn score_all_heads(&self, tail: EntityId, relation: RelationId, out: &mut [f32]) {
+        (**self).score_all_heads(tail, relation, out)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A deterministic toy scorer: score = f(h, t, r) given by a closure
+    /// table, used by ranking tests.
+    pub struct TableScorer {
+        pub num_entities: usize,
+        pub f: fn(u32, u32, u32) -> f32,
+    }
+
+    impl TripleScorer for TableScorer {
+        fn num_entities(&self) -> usize {
+            self.num_entities
+        }
+
+        fn score(&self, head: EntityId, tail: EntityId, relation: RelationId) -> f32 {
+            (self.f)(head.0, tail.0, relation.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::TableScorer;
+    use super::*;
+
+    #[test]
+    fn default_batched_methods_agree_with_pointwise() {
+        let s = TableScorer { num_entities: 5, f: |h, t, r| (h * 100 + t * 10 + r) as f32 };
+        let mut tails = vec![0.0; 5];
+        s.score_all_tails(EntityId(2), RelationId(1), &mut tails);
+        for (i, v) in tails.iter().enumerate() {
+            assert_eq!(*v, s.score(EntityId(2), EntityId(i as u32), RelationId(1)));
+        }
+        let mut heads = vec![0.0; 5];
+        s.score_all_heads(EntityId(3), RelationId(0), &mut heads);
+        for (i, v) in heads.iter().enumerate() {
+            assert_eq!(*v, s.score(EntityId(i as u32), EntityId(3), RelationId(0)));
+        }
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let s = TableScorer { num_entities: 3, f: |h, _, _| h as f32 };
+        let r = &s;
+        assert_eq!(r.num_entities(), 3);
+        assert_eq!(r.score(EntityId(2), EntityId(0), RelationId(0)), 2.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Relation property analysis.
+//!
+//! The paper's findings hinge on structural properties of relations:
+//! DistMult cannot model **asymmetric** relations (§2.2.3), and WN18's
+//! **inverse relation pairs** are what make CPh's augmentation and
+//! ComplEx's conjugation so effective. These detectors measure those
+//! properties empirically on a triple set, and are used both to validate
+//! `mei-datagen` outputs and in the data-analysis example.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ids::RelationId;
+use crate::triple::Triple;
+
+/// Empirical properties of one relation within a triple set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationProfile {
+    /// The relation.
+    pub relation: RelationId,
+    /// Number of triples with this relation.
+    pub count: usize,
+    /// Fraction of pairs `(h, t)` whose reverse `(t, h)` also appears under
+    /// the same relation. 1.0 for fully symmetric relations, 0.0 for
+    /// strictly antisymmetric ones.
+    pub symmetry: f64,
+    /// Average tails per head (cardinality; > 1 means 1-to-N behaviour).
+    pub tails_per_head: f64,
+    /// Average heads per tail (N-to-1 behaviour).
+    pub heads_per_tail: f64,
+}
+
+/// Computes a [`RelationProfile`] for every relation present in `triples`.
+pub fn profile_relations(triples: &[Triple]) -> Vec<RelationProfile> {
+    let mut by_rel: HashMap<RelationId, Vec<(u32, u32)>> = HashMap::new();
+    for t in triples {
+        by_rel.entry(t.relation).or_default().push((t.head.0, t.tail.0));
+    }
+    let mut profiles: Vec<RelationProfile> = by_rel
+        .into_iter()
+        .map(|(relation, pairs)| {
+            let set: HashSet<(u32, u32)> = pairs.iter().copied().collect();
+            let sym = if set.is_empty() {
+                0.0
+            } else {
+                set.iter().filter(|(h, t)| set.contains(&(*t, *h))).count() as f64 / set.len() as f64
+            };
+            let mut heads: HashMap<u32, usize> = HashMap::new();
+            let mut tails: HashMap<u32, usize> = HashMap::new();
+            for (h, t) in &set {
+                *heads.entry(*h).or_insert(0) += 1;
+                *tails.entry(*t).or_insert(0) += 1;
+            }
+            let tails_per_head = set.len() as f64 / heads.len().max(1) as f64;
+            let heads_per_tail = set.len() as f64 / tails.len().max(1) as f64;
+            RelationProfile {
+                relation,
+                count: pairs.len(),
+                symmetry: sym,
+                tails_per_head,
+                heads_per_tail,
+            }
+        })
+        .collect();
+    profiles.sort_by_key(|p| p.relation);
+    profiles
+}
+
+/// Degree to which `r1` and `r2` are inverses within `triples`:
+/// the fraction of `r1` pairs `(h, t)` such that `(t, h)` holds under `r2`.
+pub fn inverse_overlap(triples: &[Triple], r1: RelationId, r2: RelationId) -> f64 {
+    let pairs1: Vec<(u32, u32)> = triples
+        .iter()
+        .filter(|t| t.relation == r1)
+        .map(|t| (t.head.0, t.tail.0))
+        .collect();
+    if pairs1.is_empty() {
+        return 0.0;
+    }
+    let set2: HashSet<(u32, u32)> = triples
+        .iter()
+        .filter(|t| t.relation == r2)
+        .map(|t| (t.head.0, t.tail.0))
+        .collect();
+    pairs1.iter().filter(|(h, t)| set2.contains(&(*t, *h))).count() as f64 / pairs1.len() as f64
+}
+
+/// Finds likely inverse pairs: `(r1, r2, overlap)` with overlap ≥
+/// `threshold` in both directions.
+pub fn detect_inverse_pairs(
+    triples: &[Triple],
+    num_relations: usize,
+    threshold: f64,
+) -> Vec<(RelationId, RelationId, f64)> {
+    let mut out = Vec::new();
+    for a in 0..num_relations {
+        for b in (a + 1)..num_relations {
+            let (ra, rb) = (RelationId(a as u32), RelationId(b as u32));
+            let fwd = inverse_overlap(triples, ra, rb);
+            let bwd = inverse_overlap(triples, rb, ra);
+            let overlap = fwd.min(bwd);
+            if overlap >= threshold {
+                out.push((ra, rb, overlap));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_relation_scores_one() {
+        let triples =
+            vec![Triple::new(0, 1, 0), Triple::new(1, 0, 0), Triple::new(2, 3, 0), Triple::new(3, 2, 0)];
+        let p = profile_relations(&triples);
+        assert_eq!(p.len(), 1);
+        assert!((p[0].symmetry - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antisymmetric_relation_scores_zero() {
+        let triples = vec![Triple::new(0, 1, 0), Triple::new(1, 2, 0), Triple::new(2, 3, 0)];
+        let p = profile_relations(&triples);
+        assert_eq!(p[0].symmetry, 0.0);
+    }
+
+    #[test]
+    fn cardinalities() {
+        // head 0 → tails {1, 2, 3}: 1-to-N.
+        let triples = vec![Triple::new(0, 1, 0), Triple::new(0, 2, 0), Triple::new(0, 3, 0)];
+        let p = profile_relations(&triples);
+        assert!((p[0].tails_per_head - 3.0).abs() < 1e-12);
+        assert!((p[0].heads_per_tail - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_pair_detection() {
+        // r0 and r1 are exact inverses; r2 is unrelated.
+        let triples = vec![
+            Triple::new(0, 1, 0),
+            Triple::new(1, 0, 1),
+            Triple::new(2, 3, 0),
+            Triple::new(3, 2, 1),
+            Triple::new(4, 5, 2),
+        ];
+        let pairs = detect_inverse_pairs(&triples, 3, 0.9);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].0, pairs[0].1), (RelationId(0), RelationId(1)));
+        assert!((pairs[0].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_overlap_empty_relation_is_zero() {
+        let triples = vec![Triple::new(0, 1, 0)];
+        assert_eq!(inverse_overlap(&triples, RelationId(5), RelationId(0)), 0.0);
+    }
+
+    #[test]
+    fn partial_symmetry() {
+        // 2 of 3 pairs have their reverse present (the (0,1)/(1,0) pair).
+        let triples = vec![Triple::new(0, 1, 0), Triple::new(1, 0, 0), Triple::new(2, 3, 0)];
+        let p = profile_relations(&triples);
+        assert!((p[0].symmetry - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! CPh inverse-triple data augmentation.
+//!
+//! Lacroix et al.'s heuristic (the paper's CPh, §2.2.3 / Eq. 7) doubles the
+//! relation vocabulary: for every relation `r` an *augmented* relation
+//! `r⁽ᵃ⁾` is added, and for every training triple `(h, t, r)` the inverse
+//! triple `(t, h, r⁽ᵃ⁾)` is appended to the training set. Validation and
+//! test triples are **not** augmented — they are still predicted in their
+//! original direction (Eq. 11 shows training on both directions is what
+//! regularizes CP).
+
+use crate::dataset::Dataset;
+use crate::ids::RelationId;
+use crate::triple::Triple;
+
+/// A dataset with inverse-augmented training triples.
+#[derive(Debug, Clone)]
+pub struct AugmentedDataset {
+    /// The augmented dataset: `2 × num_relations` relations, doubled train
+    /// split, untouched valid/test splits.
+    pub dataset: Dataset,
+    /// Relation count of the *original* dataset.
+    pub original_num_relations: usize,
+}
+
+impl AugmentedDataset {
+    /// Builds the augmentation of `ds`.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        let nr = ds.num_relations() as u32;
+        let mut out = ds.clone();
+        // Extend the relation vocabulary with r⁽ᵃ⁾ names.
+        for rid in 0..nr {
+            let name = ds
+                .relations
+                .name(rid)
+                .map(|n| format!("{n}__inverse"))
+                .unwrap_or_else(|| format!("r{rid}__inverse"));
+            out.relations.intern(&name);
+        }
+        let mut augmented = Vec::with_capacity(ds.train.len() * 2);
+        for &t in &ds.train {
+            augmented.push(t);
+            augmented.push(Triple {
+                head: t.tail,
+                tail: t.head,
+                relation: RelationId(t.relation.0 + nr),
+            });
+        }
+        out.train = augmented;
+        Self { dataset: out, original_num_relations: nr as usize }
+    }
+
+    /// Maps a relation to its augmented (inverse) counterpart.
+    pub fn inverse_relation(&self, r: RelationId) -> RelationId {
+        if r.idx() < self.original_num_relations {
+            RelationId(r.0 + self.original_num_relations as u32)
+        } else {
+            RelationId(r.0 - self.original_num_relations as u32)
+        }
+    }
+
+    /// Whether a relation id denotes an augmented relation.
+    pub fn is_augmented_relation(&self, r: RelationId) -> bool {
+        r.idx() >= self.original_num_relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::Dictionary;
+
+    fn base() -> Dataset {
+        Dataset {
+            entities: Dictionary::from_names(["a", "b", "c"]),
+            relations: Dictionary::from_names(["likes"]),
+            train: vec![Triple::new(0, 1, 0), Triple::new(1, 2, 0)],
+            valid: vec![Triple::new(0, 2, 0)],
+            test: vec![Triple::new(2, 0, 0)],
+        }
+    }
+
+    #[test]
+    fn doubles_train_and_relations_only() {
+        let aug = AugmentedDataset::from_dataset(&base());
+        let d = &aug.dataset;
+        assert_eq!(d.num_relations(), 2);
+        assert_eq!(d.train.len(), 4);
+        assert_eq!(d.valid.len(), 1);
+        assert_eq!(d.test.len(), 1);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn inverse_triples_swap_and_remap() {
+        let aug = AugmentedDataset::from_dataset(&base());
+        let d = &aug.dataset;
+        // (a,b,likes) ⇒ (b,a,likes__inverse)
+        assert_eq!(d.train[1], Triple::new(1, 0, 1));
+        assert_eq!(d.relations.name(1), Some("likes__inverse"));
+    }
+
+    #[test]
+    fn inverse_relation_is_an_involution() {
+        let aug = AugmentedDataset::from_dataset(&base());
+        let r = RelationId(0);
+        let inv = aug.inverse_relation(r);
+        assert_eq!(inv, RelationId(1));
+        assert_eq!(aug.inverse_relation(inv), r);
+        assert!(!aug.is_augmented_relation(r));
+        assert!(aug.is_augmented_relation(inv));
+    }
+
+    #[test]
+    fn augmentation_preserves_original_triples_in_order() {
+        let ds = base();
+        let aug = AugmentedDataset::from_dataset(&ds);
+        let originals: Vec<Triple> =
+            aug.dataset.train.iter().copied().filter(|t| t.relation.0 == 0).collect();
+        assert_eq!(originals, ds.train);
+    }
+}

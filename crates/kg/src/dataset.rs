@@ -1,0 +1,219 @@
+//! The train / validation / test dataset bundle.
+
+use std::collections::HashSet;
+
+use crate::dictionary::Dictionary;
+use crate::io::KgError;
+use crate::store::TripleStore;
+use crate::triple::Triple;
+
+/// A complete link-prediction benchmark: vocabularies plus three splits.
+///
+/// The paper evaluates on WN18 (40,943 entities, 18 relations, 141,442 /
+/// 5,000 / 5,000 train/valid/test triples, §5.1); `mei-datagen` produces
+/// datasets of the same shape synthetically.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Entity vocabulary.
+    pub entities: Dictionary,
+    /// Relation vocabulary.
+    pub relations: Dictionary,
+    /// Training triples.
+    pub train: Vec<Triple>,
+    /// Validation triples.
+    pub valid: Vec<Triple>,
+    /// Test triples.
+    pub test: Vec<Triple>,
+}
+
+/// Summary statistics for a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Entity count.
+    pub num_entities: usize,
+    /// Relation count.
+    pub num_relations: usize,
+    /// Train / valid / test triple counts.
+    pub num_train: usize,
+    /// Validation triple count.
+    pub num_valid: usize,
+    /// Test triple count.
+    pub num_test: usize,
+}
+
+impl Dataset {
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            num_entities: self.num_entities(),
+            num_relations: self.num_relations(),
+            num_train: self.train.len(),
+            num_valid: self.valid.len(),
+            num_test: self.test.len(),
+        }
+    }
+
+    /// A store over *all* splits — the filter set for filtered metrics
+    /// (§5.2: corrupted triples present in train/valid/test are removed
+    /// before ranking).
+    pub fn filter_store(&self) -> TripleStore {
+        self.train.iter().chain(&self.valid).chain(&self.test).copied().collect()
+    }
+
+    /// A store over the training split only.
+    pub fn train_store(&self) -> TripleStore {
+        self.train.iter().copied().collect()
+    }
+
+    /// Checks referential integrity: every triple's ids are within the
+    /// vocabularies, and splits contain no duplicate triples.
+    ///
+    /// # Errors
+    /// Returns [`KgError::Integrity`] naming the first violation found.
+    pub fn validate(&self) -> Result<(), KgError> {
+        let ne = self.num_entities() as u32;
+        let nr = self.num_relations() as u32;
+        for (split, triples) in
+            [("train", &self.train), ("valid", &self.valid), ("test", &self.test)]
+        {
+            let mut seen = HashSet::with_capacity(triples.len());
+            for t in triples.iter() {
+                if t.head.0 >= ne || t.tail.0 >= ne {
+                    return Err(KgError::Integrity(format!(
+                        "{split}: entity id out of range in {t} (num_entities={ne})"
+                    )));
+                }
+                if t.relation.0 >= nr {
+                    return Err(KgError::Integrity(format!(
+                        "{split}: relation id out of range in {t} (num_relations={nr})"
+                    )));
+                }
+                if !seen.insert(*t) {
+                    return Err(KgError::Integrity(format!("{split}: duplicate triple {t}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fraction of test triples whose *inverse* `(t, h, r')` for some
+    /// relation `r'` appears in train.
+    ///
+    /// WN18's notoriously high value of this statistic is what CPh and
+    /// ComplEx exploit and CP cannot; `mei-datagen` targets it explicitly.
+    pub fn test_inverse_leakage(&self) -> f64 {
+        if self.test.is_empty() {
+            return 0.0;
+        }
+        let mut reversed_pairs: HashSet<(u32, u32)> = HashSet::new();
+        for t in &self.train {
+            reversed_pairs.insert((t.tail.0, t.head.0));
+        }
+        let hits = self
+            .test
+            .iter()
+            .filter(|t| reversed_pairs.contains(&(t.head.0, t.tail.0)))
+            .count();
+        hits as f64 / self.test.len() as f64
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} entities, {} relations, {}/{}/{} train/valid/test triples",
+            self.num_entities, self.num_relations, self.num_train, self.num_valid, self.num_test
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            entities: Dictionary::from_names(["a", "b", "c"]),
+            relations: Dictionary::from_names(["r0", "r1"]),
+            train: vec![Triple::new(0, 1, 0), Triple::new(1, 2, 1)],
+            valid: vec![Triple::new(0, 2, 0)],
+            test: vec![Triple::new(2, 0, 1)],
+        }
+    }
+
+    #[test]
+    fn stats_and_display() {
+        let d = tiny();
+        let s = d.stats();
+        assert_eq!(s.num_entities, 3);
+        assert_eq!(s.num_train, 2);
+        assert!(s.to_string().contains("3 entities"));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_entity() {
+        let mut d = tiny();
+        d.train.push(Triple::new(9, 0, 0));
+        let err = d.validate().unwrap_err();
+        assert!(err.to_string().contains("entity id out of range"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_relation() {
+        let mut d = tiny();
+        d.test.push(Triple::new(0, 1, 7));
+        assert!(d.validate().unwrap_err().to_string().contains("relation id out of range"));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates() {
+        let mut d = tiny();
+        d.train.push(d.train[0]);
+        assert!(d.validate().unwrap_err().to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn filter_store_spans_all_splits() {
+        let d = tiny();
+        let f = d.filter_store();
+        assert_eq!(f.len(), 4);
+        assert!(f.contains(&d.valid[0]));
+        assert!(f.contains(&d.test[0]));
+    }
+
+    #[test]
+    fn inverse_leakage_detects_reversed_pairs() {
+        let mut d = tiny();
+        // test contains (2, 0, r1); train gains (0, 2, r0) via valid? No —
+        // leakage counts only train. Add the reversed pair to train.
+        d.train.push(Triple::new(0, 2, 0));
+        assert!((d.test_inverse_leakage() - 1.0).abs() < 1e-12);
+        d.test.push(Triple::new(1, 0, 0)); // (0,1,·) reversed IS in train
+        assert!((d.test_inverse_leakage() - 1.0).abs() < 1e-12);
+        d.test.push(Triple::new(2, 1, 0)); // (1,2,·) is in train forward, not reversed... (1,2) reversed = (2,1): train has (1,2,r1) so reversed_pairs contains (2,1) — hit.
+        assert!(d.test_inverse_leakage() > 0.9);
+    }
+
+    #[test]
+    fn empty_dataset_is_valid_and_leakage_free() {
+        let d = Dataset::default();
+        assert!(d.validate().is_ok());
+        assert_eq!(d.test_inverse_leakage(), 0.0);
+    }
+}

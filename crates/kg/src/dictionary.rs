@@ -1,0 +1,115 @@
+//! Two-way string interning for entity and relation vocabularies.
+
+use std::collections::HashMap;
+
+/// Maps names to dense `u32` ids and back.
+///
+/// Ids are assigned in first-seen order starting from 0, so they can index
+/// flat embedding tables directly.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing name without interning.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for `id`, if in range.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+    }
+
+    /// Builds a dictionary from a list of names, interning them in order.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut d = Self::new();
+        for n in names {
+            d.intern(n.as_ref());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut d = Dictionary::new();
+        let id = d.intern("wordnet/_hyponym");
+        assert_eq!(d.name(id), Some("wordnet/_hyponym"));
+        assert_eq!(d.get("wordnet/_hyponym"), Some(id));
+        assert_eq!(d.get("missing"), None);
+        assert_eq!(d.name(99), None);
+    }
+
+    #[test]
+    fn from_names_preserves_order() {
+        let d = Dictionary::from_names(["x", "y", "x", "z"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get("z"), Some(2));
+        let collected: Vec<_> = d.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(collected, ["x", "y", "z"]);
+    }
+
+    proptest! {
+        #[test]
+        fn ids_are_stable_under_reinsertion(names in proptest::collection::vec("[a-z]{1,6}", 1..40)) {
+            let mut d = Dictionary::new();
+            let first: Vec<u32> = names.iter().map(|n| d.intern(n)).collect();
+            let second: Vec<u32> = names.iter().map(|n| d.intern(n)).collect();
+            prop_assert_eq!(first, second);
+            // Ids form a dense range.
+            prop_assert!(d.iter().map(|(i, _)| i as usize).eq(0..d.len()));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Graph queries over a [`TripleStore`].
+//!
+//! Knowledge graphs are graphs; browsing them (§1's "visualization or
+//! browsing for data analysis") needs the usual toolbox: neighborhoods,
+//! bounded-length paths, degree statistics, and reachability. These
+//! helpers operate on the indexed store without additional structures.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::ids::{EntityId, RelationId};
+use crate::store::TripleStore;
+use crate::triple::Triple;
+
+/// An outgoing or incoming edge incident to an entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neighbor {
+    /// The other endpoint.
+    pub entity: EntityId,
+    /// The edge's relation.
+    pub relation: RelationId,
+    /// True if the edge leaves the query entity (`query --r--> entity`).
+    pub outgoing: bool,
+}
+
+/// All edges incident to `e` (both directions), in deterministic order.
+pub fn neighbors(store: &TripleStore, e: EntityId) -> Vec<Neighbor> {
+    let mut out = Vec::new();
+    for t in store.triples() {
+        if t.head == e {
+            out.push(Neighbor { entity: t.tail, relation: t.relation, outgoing: true });
+        }
+        if t.tail == e {
+            out.push(Neighbor { entity: t.head, relation: t.relation, outgoing: false });
+        }
+    }
+    out
+}
+
+/// A directed path: the visited entities plus the relations stepped over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Entities along the path, starting at the source.
+    pub entities: Vec<EntityId>,
+    /// Relations of each hop (`entities.len() − 1` of them).
+    pub relations: Vec<RelationId>,
+}
+
+/// Finds a shortest directed path from `from` to `to` (following edge
+/// direction), up to `max_hops`. Returns `None` if unreachable.
+pub fn shortest_path(
+    store: &TripleStore,
+    from: EntityId,
+    to: EntityId,
+    max_hops: usize,
+) -> Option<Path> {
+    if from == to {
+        return Some(Path { entities: vec![from], relations: vec![] });
+    }
+    // Forward adjacency.
+    let mut adj: HashMap<EntityId, Vec<(EntityId, RelationId)>> = HashMap::new();
+    for t in store.triples() {
+        adj.entry(t.head).or_default().push((t.tail, t.relation));
+    }
+    let mut parents: HashMap<EntityId, (EntityId, RelationId)> = HashMap::new();
+    let mut queue = VecDeque::from([(from, 0usize)]);
+    let mut seen = HashSet::from([from]);
+    while let Some((node, depth)) = queue.pop_front() {
+        if depth >= max_hops {
+            continue;
+        }
+        for &(next, rel) in adj.get(&node).map_or(&[][..], Vec::as_slice) {
+            if seen.insert(next) {
+                parents.insert(next, (node, rel));
+                if next == to {
+                    // Reconstruct.
+                    let mut entities = vec![to];
+                    let mut relations = Vec::new();
+                    let mut cur = to;
+                    while cur != from {
+                        let (parent, rel) = parents[&cur];
+                        relations.push(rel);
+                        entities.push(parent);
+                        cur = parent;
+                    }
+                    entities.reverse();
+                    relations.reverse();
+                    return Some(Path { entities, relations });
+                }
+                queue.push_back((next, depth + 1));
+            }
+        }
+    }
+    None
+}
+
+/// Entities reachable from `from` within `max_hops` directed hops
+/// (excluding `from` itself).
+pub fn reachable_within(store: &TripleStore, from: EntityId, max_hops: usize) -> HashSet<EntityId> {
+    let mut adj: HashMap<EntityId, Vec<EntityId>> = HashMap::new();
+    for t in store.triples() {
+        adj.entry(t.head).or_default().push(t.tail);
+    }
+    let mut seen = HashSet::from([from]);
+    let mut frontier = vec![from];
+    for _ in 0..max_hops {
+        let mut next_frontier = Vec::new();
+        for node in frontier {
+            for &next in adj.get(&node).map_or(&[][..], Vec::as_slice) {
+                if seen.insert(next) {
+                    next_frontier.push(next);
+                }
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    seen.remove(&from);
+    seen
+}
+
+/// Degree summary of the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Maximum total (in + out) degree.
+    pub max_degree: usize,
+    /// Mean total degree over entities with at least one edge.
+    pub mean_degree: f64,
+    /// Number of entities with at least one edge.
+    pub connected_entities: usize,
+}
+
+/// Computes degree statistics over the store.
+pub fn degree_stats(store: &TripleStore) -> DegreeStats {
+    let mut degree: HashMap<EntityId, usize> = HashMap::new();
+    for t in store.triples() {
+        *degree.entry(t.head).or_insert(0) += 1;
+        *degree.entry(t.tail).or_insert(0) += 1;
+    }
+    let max_degree = degree.values().copied().max().unwrap_or(0);
+    let connected = degree.len();
+    let mean = if connected == 0 {
+        0.0
+    } else {
+        degree.values().sum::<usize>() as f64 / connected as f64
+    };
+    DegreeStats { max_degree, mean_degree: mean, connected_entities: connected }
+}
+
+/// Relation composition candidates: pairs `(r1, r2)` such that following
+/// `r1` then `r2` frequently lands on an entity also reachable by a single
+/// relation `r3` — evidence of compositional structure `r1 ∘ r2 ⇒ r3`.
+///
+/// Returns `(r1, r2, r3, support)` tuples with support ≥ `min_support`.
+pub fn composition_candidates(
+    store: &TripleStore,
+    num_relations: usize,
+    min_support: usize,
+) -> Vec<(RelationId, RelationId, RelationId, usize)> {
+    // (h, r1, m), (m, r2, t) ⇒ candidate (h, t); count r3 with (h, r3, t).
+    let mut counts: HashMap<(u32, u32, u32), usize> = HashMap::new();
+    let mut by_head: HashMap<EntityId, Vec<Triple>> = HashMap::new();
+    for t in store.triples() {
+        by_head.entry(t.head).or_default().push(*t);
+    }
+    for t1 in store.triples() {
+        if let Some(seconds) = by_head.get(&t1.tail) {
+            for t2 in seconds {
+                if t1.head == t2.tail {
+                    continue;
+                }
+                for r3 in 0..num_relations as u32 {
+                    let probe = Triple { head: t1.head, tail: t2.tail, relation: RelationId(r3) };
+                    if store.contains(&probe) {
+                        *counts.entry((t1.relation.0, t2.relation.0, r3)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<(RelationId, RelationId, RelationId, usize)> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_support)
+        .map(|((a, b, c), n)| (RelationId(a), RelationId(b), RelationId(c), n))
+        .collect();
+    out.sort_by_key(|(a, b, c, n)| (usize::MAX - n, a.0, b.0, c.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_store() -> TripleStore {
+        // 0 →r0→ 1 →r0→ 2 →r1→ 3; plus 0 →r1→ 9.
+        [Triple::new(0, 1, 0), Triple::new(1, 2, 0), Triple::new(2, 3, 1), Triple::new(0, 9, 1)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn neighbors_cover_both_directions() {
+        let s = chain_store();
+        let n = neighbors(&s, EntityId(1));
+        assert_eq!(n.len(), 2);
+        assert!(n.contains(&Neighbor { entity: EntityId(2), relation: RelationId(0), outgoing: true }));
+        assert!(n.contains(&Neighbor { entity: EntityId(0), relation: RelationId(0), outgoing: false }));
+    }
+
+    #[test]
+    fn shortest_path_finds_the_chain() {
+        let s = chain_store();
+        let p = shortest_path(&s, EntityId(0), EntityId(3), 5).unwrap();
+        assert_eq!(p.entities, vec![EntityId(0), EntityId(1), EntityId(2), EntityId(3)]);
+        assert_eq!(p.relations, vec![RelationId(0), RelationId(0), RelationId(1)]);
+    }
+
+    #[test]
+    fn shortest_path_respects_hop_limit_and_direction() {
+        let s = chain_store();
+        assert!(shortest_path(&s, EntityId(0), EntityId(3), 2).is_none());
+        // Edges are directed: 3 cannot reach 0.
+        assert!(shortest_path(&s, EntityId(3), EntityId(0), 5).is_none());
+        // Trivial path.
+        let p = shortest_path(&s, EntityId(1), EntityId(1), 0).unwrap();
+        assert_eq!(p.entities, vec![EntityId(1)]);
+    }
+
+    #[test]
+    fn reachability_grows_with_hops() {
+        let s = chain_store();
+        let one = reachable_within(&s, EntityId(0), 1);
+        assert_eq!(one, HashSet::from([EntityId(1), EntityId(9)]));
+        let three = reachable_within(&s, EntityId(0), 3);
+        assert!(three.contains(&EntityId(3)));
+        assert_eq!(three.len(), 4);
+    }
+
+    #[test]
+    fn degree_stats_hand_computed() {
+        let s = chain_store();
+        let d = degree_stats(&s);
+        // Degrees: 0→2, 1→2, 2→2, 3→1, 9→1; total 8 over 5 entities.
+        assert_eq!(d.max_degree, 2);
+        assert_eq!(d.connected_entities, 5);
+        assert!((d.mean_degree - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_degenerates_gracefully() {
+        let s = TripleStore::new();
+        let d = degree_stats(&s);
+        assert_eq!(d.max_degree, 0);
+        assert_eq!(d.connected_entities, 0);
+        assert!(neighbors(&s, EntityId(0)).is_empty());
+        assert!(shortest_path(&s, EntityId(0), EntityId(1), 3).is_none());
+    }
+
+    #[test]
+    fn composition_detection() {
+        // r0 ∘ r0 ⇒ r2: grandparent edges present for every 2-chain.
+        let mut triples = Vec::new();
+        for i in 0..6u32 {
+            triples.push(Triple::new(i, i + 1, 0));
+        }
+        for i in 0..5u32 {
+            triples.push(Triple::new(i, i + 2, 2));
+        }
+        let s: TripleStore = triples.into_iter().collect();
+        let candidates = composition_candidates(&s, 3, 3);
+        assert!(
+            candidates
+                .iter()
+                .any(|(a, b, c, n)| a.0 == 0 && b.0 == 0 && c.0 == 2 && *n >= 3),
+            "expected r0∘r0⇒r2, got {candidates:?}"
+        );
+    }
+}

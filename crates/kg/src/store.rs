@@ -1,0 +1,180 @@
+//! Indexed triple storage.
+//!
+//! Filtered link-prediction evaluation (§5.2) must know, for every
+//! `(h, r)`, the set of *all* known true tails across train/valid/test —
+//! and symmetrically all known heads for `(t, r)`. [`TripleStore`] maintains
+//! those adjacency maps plus an exact membership set.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ids::{EntityId, RelationId};
+use crate::triple::Triple;
+
+/// A set of triples with adjacency indices for filtered evaluation and
+/// graph queries.
+///
+/// ```
+/// use mei_kg::{Triple, TripleStore, EntityId, RelationId};
+/// let store: TripleStore = [Triple::new(0, 1, 0), Triple::new(0, 2, 0)].into_iter().collect();
+/// assert!(store.contains(&Triple::new(0, 1, 0)));
+/// assert_eq!(store.tails_of(EntityId(0), RelationId(0)).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    triples: Vec<Triple>,
+    set: HashSet<Triple>,
+    tails_by_head_rel: HashMap<(EntityId, RelationId), Vec<EntityId>>,
+    heads_by_tail_rel: HashMap<(EntityId, RelationId), Vec<EntityId>>,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from an iterator of triples (duplicates are ignored).
+    pub fn from_triples<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for t in iter {
+            s.insert(t);
+        }
+        s
+    }
+
+    /// Inserts a triple; returns `false` if it was already present.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        if !self.set.insert(t) {
+            return false;
+        }
+        self.triples.push(t);
+        self.tails_by_head_rel.entry((t.head, t.relation)).or_default().push(t.tail);
+        self.heads_by_tail_rel.entry((t.tail, t.relation)).or_default().push(t.head);
+        true
+    }
+
+    /// Exact membership test.
+    #[inline]
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.set.contains(t)
+    }
+
+    /// Number of (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples, in insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// All known true tails `t` for `(h, ·, r)`.
+    pub fn tails_of(&self, head: EntityId, relation: RelationId) -> &[EntityId] {
+        self.tails_by_head_rel.get(&(head, relation)).map_or(&[], Vec::as_slice)
+    }
+
+    /// All known true heads `h` for `(·, t, r)`.
+    pub fn heads_of(&self, tail: EntityId, relation: RelationId) -> &[EntityId] {
+        self.heads_by_tail_rel.get(&(tail, relation)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Merges another store into this one (deduplicating).
+    pub fn extend_from(&mut self, other: &TripleStore) {
+        for &t in other.triples() {
+            self.insert(t);
+        }
+    }
+
+    /// Triples grouped per relation id (for per-relation metrics).
+    pub fn count_by_relation(&self) -> HashMap<RelationId, usize> {
+        let mut m = HashMap::new();
+        for t in &self.triples {
+            *m.entry(t.relation).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+impl FromIterator<Triple> for TripleStore {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        Self::from_triples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut s = TripleStore::new();
+        assert!(s.insert(Triple::new(0, 1, 0)));
+        assert!(!s.insert(Triple::new(0, 1, 0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn adjacency_is_maintained() {
+        let s: TripleStore = [
+            Triple::new(0, 1, 0),
+            Triple::new(0, 2, 0),
+            Triple::new(3, 1, 0),
+            Triple::new(0, 1, 1),
+        ]
+        .into_iter()
+        .collect();
+        let tails = s.tails_of(EntityId(0), RelationId(0));
+        assert_eq!(tails, &[EntityId(1), EntityId(2)]);
+        let heads = s.heads_of(EntityId(1), RelationId(0));
+        assert_eq!(heads, &[EntityId(0), EntityId(3)]);
+        assert!(s.tails_of(EntityId(9), RelationId(0)).is_empty());
+    }
+
+    #[test]
+    fn count_by_relation() {
+        let s: TripleStore =
+            [Triple::new(0, 1, 0), Triple::new(1, 2, 0), Triple::new(0, 1, 1)].into_iter().collect();
+        let counts = s.count_by_relation();
+        assert_eq!(counts[&RelationId(0)], 2);
+        assert_eq!(counts[&RelationId(1)], 1);
+    }
+
+    #[test]
+    fn extend_from_deduplicates() {
+        let mut a: TripleStore = [Triple::new(0, 1, 0)].into_iter().collect();
+        let b: TripleStore = [Triple::new(0, 1, 0), Triple::new(2, 3, 0)].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    proptest! {
+        /// Index invariant: membership, tail adjacency and head adjacency
+        /// always agree with each other.
+        #[test]
+        fn indices_are_consistent(
+            raw in proptest::collection::vec((0u32..20, 0u32..20, 0u32..4), 0..60)
+        ) {
+            let triples: Vec<Triple> = raw.iter().map(|&(h, t, r)| Triple::new(h, t, r)).collect();
+            let store = TripleStore::from_triples(triples.iter().copied());
+            for t in &triples {
+                prop_assert!(store.contains(t));
+                prop_assert!(store.tails_of(t.head, t.relation).contains(&t.tail));
+                prop_assert!(store.heads_of(t.tail, t.relation).contains(&t.head));
+            }
+            // Every indexed tail corresponds to a stored triple.
+            for &tr in store.triples() {
+                for &tail in store.tails_of(tr.head, tr.relation) {
+                    let probe = Triple { head: tr.head, tail, relation: tr.relation };
+                    prop_assert!(store.contains(&probe));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Dataset surgery: induced subgraphs and subsampling.
+//!
+//! Real benchmarks are routinely carved out of bigger graphs (FB15k is a
+//! Freebase slice; WN18 a WordNet slice). These utilities perform the same
+//! operations on any [`Dataset`]: keep a chosen entity subset (re-interning
+//! ids densely), keep the k-core (entities with at least `k` incident
+//! edges, applied iteratively), or uniformly subsample triples — all while
+//! preserving the train/valid/test structure.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::dataset::Dataset;
+use crate::dictionary::Dictionary;
+use crate::ids::EntityId;
+use crate::triple::Triple;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Keeps only triples whose head *and* tail are in `keep`, re-interning
+/// entity ids densely (relation vocabulary is preserved unchanged, even if
+/// some relations lose all triples).
+pub fn induced_subgraph(ds: &Dataset, keep: &HashSet<EntityId>) -> Dataset {
+    let mut entities = Dictionary::new();
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    // Deterministic order: ascending old id.
+    let mut kept: Vec<u32> = keep.iter().map(|e| e.0).collect();
+    kept.sort_unstable();
+    for old in kept {
+        if (old as usize) < ds.num_entities() {
+            let name = ds.entities.name(old).unwrap_or("?");
+            remap.insert(old, entities.intern(name));
+        }
+    }
+    let filter_map = |triples: &[Triple]| -> Vec<Triple> {
+        triples
+            .iter()
+            .filter_map(|t| {
+                let h = remap.get(&t.head.0)?;
+                let ta = remap.get(&t.tail.0)?;
+                Some(Triple { head: EntityId(*h), tail: EntityId(*ta), relation: t.relation })
+            })
+            .collect()
+    };
+    Dataset {
+        entities,
+        relations: ds.relations.clone(),
+        train: filter_map(&ds.train),
+        valid: filter_map(&ds.valid),
+        test: filter_map(&ds.test),
+    }
+}
+
+/// Iteratively removes entities with fewer than `k` incident triples
+/// (over all splits) until a fixed point, then returns the induced
+/// subgraph — the classic k-core, used to densify benchmarks.
+pub fn k_core(ds: &Dataset, k: usize) -> Dataset {
+    let mut keep: HashSet<EntityId> = (0..ds.num_entities() as u32).map(EntityId).collect();
+    loop {
+        let mut degree: HashMap<EntityId, usize> = HashMap::new();
+        for t in ds.train.iter().chain(&ds.valid).chain(&ds.test) {
+            if keep.contains(&t.head) && keep.contains(&t.tail) {
+                *degree.entry(t.head).or_insert(0) += 1;
+                *degree.entry(t.tail).or_insert(0) += 1;
+            }
+        }
+        let before = keep.len();
+        keep.retain(|e| degree.get(e).copied().unwrap_or(0) >= k);
+        if keep.len() == before {
+            break;
+        }
+    }
+    induced_subgraph(ds, &keep)
+}
+
+/// Uniformly subsamples the *training* split to `fraction` of its triples
+/// (valid/test untouched); deterministic given `rng`.
+pub fn subsample_train<R: Rng + ?Sized>(ds: &Dataset, fraction: f64, rng: &mut R) -> Dataset {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let mut train = ds.train.clone();
+    train.shuffle(rng);
+    train.truncate(((train.len() as f64) * fraction).round() as usize);
+    Dataset {
+        entities: ds.entities.clone(),
+        relations: ds.relations.clone(),
+        train,
+        valid: ds.valid.clone(),
+        test: ds.test.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // Star: 0 is connected to 1..=4; 5–6 form an isolated edge.
+        let entities = Dictionary::from_names((0..7).map(|i| format!("e{i}")));
+        let relations = Dictionary::from_names(["r"]);
+        let train = vec![
+            Triple::new(0, 1, 0),
+            Triple::new(0, 2, 0),
+            Triple::new(0, 3, 0),
+            Triple::new(0, 4, 0),
+            Triple::new(5, 6, 0),
+        ];
+        Dataset { entities, relations, train, valid: vec![], test: vec![] }
+    }
+
+    #[test]
+    fn induced_subgraph_reindexes_densely() {
+        let ds = toy();
+        let keep: HashSet<EntityId> = [0u32, 2, 4].into_iter().map(EntityId).collect();
+        let sub = induced_subgraph(&ds, &keep);
+        assert_eq!(sub.num_entities(), 3);
+        assert_eq!(sub.train.len(), 2); // (0,2) and (0,4) survive
+        sub.validate().unwrap();
+        // Names preserved under the remap.
+        assert!(sub.entities.get("e2").is_some());
+        assert!(sub.entities.get("e1").is_none());
+    }
+
+    #[test]
+    fn k_core_removes_leaves_iteratively() {
+        let ds = toy();
+        // k = 2: leaves 1–4 drop, then hub 0 has degree 0 and drops; the
+        // isolated pair 5–6 (degree 1 each) drops immediately.
+        let core = k_core(&ds, 2);
+        assert_eq!(core.num_entities(), 0);
+        assert!(core.train.is_empty());
+
+        // k = 1 keeps everything.
+        let all = k_core(&ds, 1);
+        assert_eq!(all.num_entities(), 7);
+        assert_eq!(all.train.len(), 5);
+    }
+
+    #[test]
+    fn k_core_keeps_dense_blocks() {
+        // Triangle 0-1-2 plus pendant 3.
+        let entities = Dictionary::from_names((0..4).map(|i| format!("e{i}")));
+        let relations = Dictionary::from_names(["r"]);
+        let train = vec![
+            Triple::new(0, 1, 0),
+            Triple::new(1, 2, 0),
+            Triple::new(2, 0, 0),
+            Triple::new(0, 3, 0),
+        ];
+        let ds = Dataset { entities, relations, train, valid: vec![], test: vec![] };
+        let core = k_core(&ds, 2);
+        assert_eq!(core.num_entities(), 3);
+        assert_eq!(core.train.len(), 3);
+    }
+
+    #[test]
+    fn subsample_train_respects_fraction() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let half = subsample_train(&ds, 0.4, &mut rng);
+        assert_eq!(half.train.len(), 2);
+        assert_eq!(half.num_entities(), ds.num_entities());
+        // Deterministic.
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let again = subsample_train(&ds, 0.4, &mut rng2);
+        assert_eq!(half.train, again.train);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn subsample_rejects_bad_fraction() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        subsample_train(&toy(), 1.5, &mut StdRng::seed_from_u64(0));
+    }
+}

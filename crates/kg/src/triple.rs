@@ -1,0 +1,82 @@
+//! The basic fact record.
+
+use crate::ids::{EntityId, RelationId};
+
+/// A knowledge-graph fact `(h, t, r)`: relation `r` holds from head entity
+/// `h` to tail entity `t` (the paper's notation, §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Head entity.
+    pub head: EntityId,
+    /// Tail entity.
+    pub tail: EntityId,
+    /// Relation.
+    pub relation: RelationId,
+}
+
+impl Triple {
+    /// Constructs a triple from raw ids.
+    #[inline]
+    pub fn new(head: u32, tail: u32, relation: u32) -> Self {
+        Self { head: EntityId(head), tail: EntityId(tail), relation: RelationId(relation) }
+    }
+
+    /// The triple with head and tail swapped, same relation — `(t, h, r)`.
+    ///
+    /// Used by symmetry analysis and by the CPh augmentation (which
+    /// additionally remaps the relation; see [`crate::augment`]).
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Self { head: self.tail, tail: self.head, relation: self.relation }
+    }
+
+    /// The same triple with a different head entity.
+    #[inline]
+    pub fn with_head(self, head: EntityId) -> Self {
+        Self { head, ..self }
+    }
+
+    /// The same triple with a different tail entity.
+    #[inline]
+    pub fn with_tail(self, tail: EntityId) -> Self {
+        Self { tail, ..self }
+    }
+
+    /// The same triple with a different relation.
+    #[inline]
+    pub fn with_relation(self, relation: RelationId) -> Self {
+        Self { relation, ..self }
+    }
+}
+
+impl std::fmt::Display for Triple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.head, self.tail, self.relation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_head_and_tail() {
+        let t = Triple::new(1, 2, 3);
+        let r = t.reversed();
+        assert_eq!(r, Triple::new(2, 1, 3));
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn with_accessors_replace_one_field() {
+        let t = Triple::new(1, 2, 3);
+        assert_eq!(t.with_head(EntityId(9)), Triple::new(9, 2, 3));
+        assert_eq!(t.with_tail(EntityId(9)), Triple::new(1, 9, 3));
+        assert_eq!(t.with_relation(RelationId(9)), Triple::new(1, 2, 9));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Triple::new(1, 2, 3).to_string(), "(e1, e2, r3)");
+    }
+}

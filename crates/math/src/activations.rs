@@ -1,0 +1,230 @@
+//! Numerically stable activation functions and their derivatives.
+//!
+//! The paper's loss (Eq. 16) is `log(1 + e^{-y·s})` (softplus of `-y·s`) and
+//! its weight-restriction experiments (§3.3) pass the interaction weight
+//! vector ω through `tanh`, `sigmoid` or `softmax`. These are the exact
+//! primitives implemented here, each with the derivative the analytic
+//! backward pass needs.
+
+/// Logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`, stable for large `|x|`.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid expressed through its output:
+/// `σ'(x) = σ(x)·(1 − σ(x))`.
+#[inline]
+pub fn sigmoid_grad_from_output(s: f32) -> f32 {
+    s * (1.0 - s)
+}
+
+/// Softplus `log(1 + e^x)`, stable for large `|x|`.
+///
+/// For `x ≫ 0` the naive form overflows; we use the identity
+/// `softplus(x) = max(x, 0) + log(1 + e^{-|x|})`.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+/// Derivative of softplus: `softplus'(x) = σ(x)`.
+#[inline]
+pub fn softplus_grad(x: f32) -> f32 {
+    sigmoid(x)
+}
+
+/// Hyperbolic tangent (thin wrapper so all activations live here).
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed through its output: `1 − tanh(x)²`.
+#[inline]
+pub fn tanh_grad_from_output(t: f32) -> f32 {
+    1.0 - t * t
+}
+
+/// Applies `tanh` element-wise into `out`.
+pub fn tanh_vec(x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, v) in out.iter_mut().zip(x) {
+        *o = v.tanh();
+    }
+}
+
+/// Applies the logistic sigmoid element-wise into `out`.
+pub fn sigmoid_vec(x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, v) in out.iter_mut().zip(x) {
+        *o = sigmoid(*v);
+    }
+}
+
+/// In-place stable softmax: `x[i] ← e^{x[i] − max} / Σ_j e^{x[j] − max}`.
+///
+/// An empty slice is a no-op.
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f64;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += f64::from(*v);
+    }
+    let inv = (1.0 / sum) as f32;
+    for v in x {
+        *v *= inv;
+    }
+}
+
+/// Backpropagates through a softmax whose forward output was `y`:
+/// given `dL/dy`, writes `dL/dx` into `grad_in`.
+///
+/// Uses the Jacobian-vector product
+/// `dL/dx_i = y_i · (dL/dy_i − Σ_j dL/dy_j · y_j)`.
+pub fn softmax_backward(y: &[f32], grad_out: &[f32], grad_in: &mut [f32]) {
+    debug_assert_eq!(y.len(), grad_out.len());
+    debug_assert_eq!(y.len(), grad_in.len());
+    let inner: f64 = y
+        .iter()
+        .zip(grad_out)
+        .map(|(yi, gi)| f64::from(*yi) * f64::from(*gi))
+        .sum();
+    for i in 0..y.len() {
+        grad_in[i] = y[i] * (grad_out[i] - inner as f32);
+    }
+}
+
+/// `log(σ(x))` computed stably as `−softplus(−x)`.
+#[inline]
+pub fn log_sigmoid(x: f32) -> f32 {
+    -softplus(-x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn sigmoid_reference_points() {
+        assert!(close(sigmoid(0.0), 0.5));
+        assert!(close(sigmoid(2.0), 1.0 / (1.0 + (-2.0f32).exp())));
+        assert!(close(sigmoid(-2.0), 1.0 - sigmoid(2.0)));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn softplus_reference_points() {
+        assert!(close(softplus(0.0), std::f32::consts::LN_2));
+        // For large x, softplus(x) ≈ x.
+        assert!(close(softplus(100.0), 100.0));
+        assert!(close(softplus(-100.0), 0.0));
+        assert!(softplus(1000.0).is_finite());
+    }
+
+    #[test]
+    fn softplus_grad_is_sigmoid() {
+        for &x in &[-3.0f32, -0.5, 0.0, 0.7, 4.0] {
+            let eps = 1e-3;
+            let fd = (softplus(x + eps) - softplus(x - eps)) / (2.0 * eps);
+            assert!((softplus_grad(x) - fd).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_preserves_order() {
+        let mut x = [1.0f32, 2.0, 3.0];
+        softmax_in_place(&mut x);
+        let s: f32 = x.iter().sum();
+        assert!(close(s, 1.0));
+        assert!(x[0] < x[1] && x[1] < x[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = [1.0f32, 2.0, 3.0];
+        let mut b = [1001.0f32, 1002.0, 1003.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(close(*x, *y));
+        }
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut x: [f32; 0] = [];
+        softmax_in_place(&mut x);
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_differences() {
+        let x = [0.3f32, -1.0, 0.8, 0.1];
+        let upstream = [0.2f32, -0.4, 0.9, 0.05];
+        let mut y = x;
+        softmax_in_place(&mut y);
+        let mut grad = [0.0f32; 4];
+        softmax_backward(&y, &upstream, &mut grad);
+
+        let loss = |inp: &[f32; 4]| -> f32 {
+            let mut s = *inp;
+            softmax_in_place(&mut s);
+            s.iter().zip(&upstream).map(|(a, b)| a * b).sum()
+        };
+        for i in 0..4 {
+            let eps = 1e-3;
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((grad[i] - fd).abs() < 1e-3, "i={i} grad={} fd={fd}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn log_sigmoid_is_stable() {
+        assert!(close(log_sigmoid(0.0), 0.5f32.ln()));
+        assert!(log_sigmoid(-1000.0).is_finite());
+        assert!(close(log_sigmoid(1000.0), 0.0));
+    }
+
+    #[test]
+    fn tanh_grad_matches_finite_differences() {
+        for &x in &[-2.0f32, -0.3, 0.0, 1.1] {
+            let eps = 1e-3;
+            let fd = (tanh(x + eps) - tanh(x - eps)) / (2.0 * eps);
+            assert!((tanh_grad_from_output(tanh(x)) - fd).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn vector_activations_apply_elementwise() {
+        let x = [0.0f32, 1.0, -1.0];
+        let mut t = [0.0f32; 3];
+        let mut s = [0.0f32; 3];
+        tanh_vec(&x, &mut t);
+        sigmoid_vec(&x, &mut s);
+        assert!(close(t[0], 0.0) && close(t[1], 1.0f32.tanh()));
+        assert!(close(s[0], 0.5) && close(s[2], sigmoid(-1.0)));
+    }
+}

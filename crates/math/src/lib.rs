@@ -1,0 +1,33 @@
+//! Dense numeric kernels shared by the `mei` workspace.
+//!
+//! This crate deliberately has no heavy linear-algebra dependency: every
+//! model in the paper ("Analyzing Knowledge Graph Embedding Methods from a
+//! Multi-Embedding Interaction Perspective", Tran & Takasu, EDBT/DSI4 2019)
+//! is built from element-wise vector products and reductions, so a small set
+//! of hand-written kernels keeps the whole stack auditable and fast.
+//!
+//! Modules:
+//! * [`vecops`] — dot products, trilinear products, AXPY, Hadamard products,
+//!   norms, and in-place normalization over `&[f32]` slices.
+//! * [`activations`] — numerically stable sigmoid / softplus / tanh /
+//!   softmax and their derivatives.
+//! * [`init`] — deterministic, seedable embedding initializers.
+//! * [`matrix`] — a minimal row-major dense matrix used by the ER-MLP
+//!   baseline.
+//! * [`stats`] — streaming mean/variance (Welford) used by the bench
+//!   harness.
+
+#![warn(missing_docs)]
+
+pub mod activations;
+pub mod init;
+pub mod matrix;
+pub mod pca;
+pub mod stats;
+pub mod vecops;
+
+pub use activations::{sigmoid, softmax_in_place, softplus, tanh_vec};
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use stats::RunningStats;
+pub use vecops::{axpy, dot, hadamard, l2_norm, normalize_l2, trilinear};

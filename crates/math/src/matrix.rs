@@ -1,0 +1,160 @@
+//! A minimal row-major dense matrix.
+//!
+//! Only the ER-MLP baseline (§2.2.2 of the paper) needs real matrix–vector
+//! algebra; everything else in the workspace works on flat slices. Keeping
+//! this type tiny avoids pulling a BLAS-sized dependency into the build.
+
+use crate::vecops::dot;
+
+/// Row-major dense `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat immutable view of the backing storage (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the backing storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `out = A·x`.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree.
+    pub fn matvec(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        assert_eq!(out.len(), self.rows, "matvec: out length mismatch");
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = dot(self.row(r), x);
+        }
+    }
+
+    /// Transposed matrix–vector product `out = Aᵀ·y` (used in backprop).
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree.
+    pub fn matvec_transposed(&self, y: &[f32], out: &mut [f32]) {
+        assert_eq!(y.len(), self.rows, "matvec_transposed: y length mismatch");
+        assert_eq!(out.len(), self.cols, "matvec_transposed: out length mismatch");
+        out.fill(0.0);
+        for (row_idx, yr) in y.iter().enumerate() {
+            let row = self.row(row_idx);
+            for (o, rv) in out.iter_mut().zip(row) {
+                *o += yr * rv;
+            }
+        }
+    }
+
+    /// Rank-1 update `A += alpha · y · xᵀ` (outer product accumulation).
+    pub fn rank1_update(&mut self, alpha: f32, y: &[f32], x: &[f32]) {
+        assert_eq!(y.len(), self.rows);
+        assert_eq!(x.len(), self.cols);
+        for (row_idx, yv) in y.iter().enumerate() {
+            let yr = alpha * yv;
+            let row = self.row_mut(row_idx);
+            for (rv, xv) in row.iter_mut().zip(x) {
+                *rv += yr * xv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_hand_computed() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = [0.0f32; 2];
+        a.matvec(&[1.0, 0.0, -1.0], &mut out);
+        assert_eq!(out, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transposed_matvec_hand_computed() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = [0.0f32; 3];
+        a.matvec_transposed(&[1.0, -1.0], &mut out);
+        assert_eq!(out, [-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn rank1_update_is_outer_product() {
+        let mut a = Matrix::zeros(2, 2);
+        a.rank1_update(2.0, &[1.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(a.as_slice(), &[8.0, 10.0, 24.0, 30.0]);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let mut a = Matrix::zeros(3, 2);
+        a.row_mut(1).copy_from_slice(&[7.0, 8.0]);
+        assert_eq!(a.get(1, 0), 7.0);
+        assert_eq!(a.get(1, 1), 8.0);
+        assert_eq!(a.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! §3.2 of the paper proposes using (concatenated) multi-embedding vectors
+//! "in visualization or browsing for data analysis". A 2–3 component PCA
+//! is the minimal such visualization; power iteration keeps this crate
+//! dependency-free and is plenty for embedding matrices with a few hundred
+//! columns.
+
+use crate::vecops::{dot, l2_norm, normalize_l2};
+
+/// Result of a PCA fit.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Column means subtracted before projection (length `dim`).
+    pub mean: Vec<f32>,
+    /// Principal axes, row-major `[num_components × dim]`, unit-norm.
+    pub components: Vec<Vec<f32>>,
+    /// Variance captured along each axis.
+    pub explained_variance: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits `num_components` principal axes to `rows` (each of length
+    /// `dim`) using power iteration with deflation.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty, rows have inconsistent lengths, or
+    /// `num_components == 0`.
+    pub fn fit(rows: &[&[f32]], num_components: usize, iterations: usize, seed: u64) -> Self {
+        assert!(!rows.is_empty(), "PCA needs at least one row");
+        assert!(num_components >= 1, "need at least one component");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "inconsistent row lengths");
+        let n = rows.len();
+
+        // Column means.
+        let mut mean = vec![0.0f32; dim];
+        for r in rows {
+            for (m, v) in mean.iter_mut().zip(*r) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+
+        // Centered data, deflated in place as components are extracted.
+        let mut centered: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| r.iter().zip(&mean).map(|(v, m)| v - m).collect())
+            .collect();
+
+        let mut components = Vec::with_capacity(num_components);
+        let mut explained = Vec::with_capacity(num_components);
+        // Deterministic pseudo-random start vector from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f32 / (1u64 << 53) as f32) - 0.0
+        };
+
+        for _ in 0..num_components.min(dim) {
+            let mut axis: Vec<f32> = (0..dim).map(|_| next() + 1e-3).collect();
+            normalize_l2(&mut axis);
+            for _ in 0..iterations {
+                // axis ← Xᵀ·(X·axis), normalized.
+                let mut new_axis = vec![0.0f32; dim];
+                for row in &centered {
+                    let p = dot(row, &axis);
+                    for (na, rv) in new_axis.iter_mut().zip(row) {
+                        *na += p * rv;
+                    }
+                }
+                if l2_norm(&new_axis) < 1e-12 {
+                    break; // no variance left
+                }
+                normalize_l2(&mut new_axis);
+                axis = new_axis;
+            }
+            // Variance along the axis.
+            let var = centered
+                .iter()
+                .map(|row| {
+                    let p = dot(row, &axis);
+                    f64::from(p) * f64::from(p)
+                })
+                .sum::<f64>() as f32
+                / n as f32;
+            // Deflate.
+            for row in &mut centered {
+                let p = dot(row, &axis);
+                for (rv, av) in row.iter_mut().zip(&axis) {
+                    *rv -= p * av;
+                }
+            }
+            components.push(axis);
+            explained.push(var);
+        }
+        Self { mean, components, explained_variance: explained }
+    }
+
+    /// Projects a row onto the fitted axes.
+    pub fn transform(&self, row: &[f32]) -> Vec<f32> {
+        let centered: Vec<f32> = row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        self.components.iter().map(|axis| dot(&centered, axis)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points spread along (1, 1)/√2 with small noise in (1, −1).
+        let raw: Vec<[f32; 2]> = (0..100)
+            .map(|i| {
+                let t = (i as f32 - 50.0) / 10.0;
+                let noise = ((i * 37 % 11) as f32 - 5.0) / 100.0;
+                [t + noise, t - noise]
+            })
+            .collect();
+        let rows: Vec<&[f32]> = raw.iter().map(|r| &r[..]).collect();
+        let pca = Pca::fit(&rows, 2, 50, 42);
+        let axis = &pca.components[0];
+        // First axis ≈ ±(0.707, 0.707).
+        assert!((axis[0].abs() - 0.707).abs() < 0.02, "{axis:?}");
+        assert!((axis[1].abs() - 0.707).abs() < 0.02);
+        assert!(pca.explained_variance[0] > pca.explained_variance[1] * 10.0);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let raw: Vec<[f32; 4]> = (0..60)
+            .map(|i| {
+                let x = i as f32 / 10.0;
+                [x, 2.0 * x + (i % 7) as f32, (i % 5) as f32, 0.5 * x]
+            })
+            .collect();
+        let rows: Vec<&[f32]> = raw.iter().map(|r| &r[..]).collect();
+        let pca = Pca::fit(&rows, 3, 60, 1);
+        for i in 0..3 {
+            assert!((l2_norm(&pca.components[i]) - 1.0).abs() < 1e-4);
+            for j in (i + 1)..3 {
+                let d = dot(&pca.components[i], &pca.components[j]);
+                assert!(d.abs() < 1e-3, "axes {i},{j} not orthogonal: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let raw = [[10.0f32, 20.0], [12.0, 22.0], [8.0, 18.0]];
+        let rows: Vec<&[f32]> = raw.iter().map(|r| &r[..]).collect();
+        let pca = Pca::fit(&rows, 1, 30, 5);
+        // The mean row projects to ~0.
+        let proj = pca.transform(&[10.0, 20.0]);
+        assert!(proj[0].abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_input_panics() {
+        let rows: Vec<&[f32]> = vec![];
+        Pca::fit(&rows, 1, 10, 0);
+    }
+
+    #[test]
+    fn constant_data_yields_zero_variance() {
+        let raw = [[1.0f32, 2.0], [1.0, 2.0], [1.0, 2.0]];
+        let rows: Vec<&[f32]> = raw.iter().map(|r| &r[..]).collect();
+        let pca = Pca::fit(&rows, 1, 10, 3);
+        assert!(pca.explained_variance[0] < 1e-9);
+    }
+}

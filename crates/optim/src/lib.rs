@@ -1,0 +1,364 @@
+//! First-order optimizers with sparse embedding-row updates.
+//!
+//! The paper trains with SGD whose learning rates are auto-tuned by Adam
+//! (§5.3, citing Kingma & Ba). Embedding training touches only the few rows
+//! present in a minibatch, so every optimizer here exposes a *sparse*
+//! interface: the caller hands `(offset, params, grads)` for each touched
+//! row and the optimizer maintains per-coordinate state at that offset.
+//!
+//! Provided optimizers: [`Sgd`], [`Momentum`], [`Adagrad`], [`Adam`].
+
+#![warn(missing_docs)]
+
+/// A first-order optimizer over a flat parameter space.
+///
+/// The full parameter vector is conceptually `f32[state_len]`; calls to
+/// [`Optimizer::update`] address disjoint row slices by `offset`. Callers
+/// must call [`Optimizer::step_begin`] once per optimization step (Adam's
+/// bias correction depends on the step counter).
+pub trait Optimizer {
+    /// Marks the beginning of a new optimization step.
+    fn step_begin(&mut self);
+
+    /// Applies one update: `params ← params − f(grads)` where `params` is
+    /// the slice starting at `offset` in the flat parameter space.
+    ///
+    /// # Panics
+    /// Panics if `params.len() != grads.len()` or the slice exceeds the
+    /// optimizer's state.
+    fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]);
+
+    /// Total size of the flat parameter space this optimizer serves.
+    fn state_len(&self) -> usize;
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − lr·g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    len: usize,
+}
+
+impl Sgd {
+    /// Creates SGD over `len` parameters.
+    pub fn new(len: usize, lr: f32) -> Self {
+        Self { lr, len }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_begin(&mut self) {}
+
+    fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        assert!(offset + params.len() <= self.len, "sgd: slice out of range");
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn state_len(&self) -> usize {
+        self.len
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// SGD with classical momentum: `v ← β·v + g; θ ← θ − lr·v`.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f32,
+    beta: f32,
+    velocity: Vec<f32>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD over `len` parameters.
+    pub fn new(len: usize, lr: f32, beta: f32) -> Self {
+        Self { lr, beta, velocity: vec![0.0; len] }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step_begin(&mut self) {}
+
+    fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        let v = &mut self.velocity[offset..offset + params.len()];
+        for i in 0..params.len() {
+            v[i] = self.beta * v[i] + grads[i];
+            params[i] -= self.lr * v[i];
+        }
+    }
+
+    fn state_len(&self) -> usize {
+        self.velocity.len()
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adagrad: `a ← a + g²; θ ← θ − lr·g / (√a + ε)`.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    accum: Vec<f32>,
+}
+
+impl Adagrad {
+    /// Creates Adagrad over `len` parameters.
+    pub fn new(len: usize, lr: f32) -> Self {
+        Self { lr, eps: 1e-8, accum: vec![0.0; len] }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step_begin(&mut self) {}
+
+    fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        let a = &mut self.accum[offset..offset + params.len()];
+        for i in 0..params.len() {
+            a[i] += grads[i] * grads[i];
+            params[i] -= self.lr * grads[i] / (a[i].sqrt() + self.eps);
+        }
+    }
+
+    fn state_len(&self) -> usize {
+        self.accum.len()
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2014) — the paper's optimizer.
+///
+/// Sparse variant: moments are updated only for rows that receive
+/// gradients; bias correction uses the global step counter, which is the
+/// standard "sparse Adam" approximation used by embedding systems.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Creates Adam over `len` parameters with the canonical defaults
+    /// β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(len: usize, lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; len], v: vec![0.0; len] }
+    }
+
+    /// Overrides β₁/β₂.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Step counter (number of `step_begin` calls so far).
+    pub fn step_count(&self) -> i32 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step_begin(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        assert!(self.t > 0, "Adam::update called before step_begin");
+        let m = &mut self.m[offset..offset + params.len()];
+        let v = &mut self.v[offset..offset + params.len()];
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn state_len(&self) -> usize {
+        self.m.len()
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Which optimizer to construct — a plain-data config used by trainers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Plain SGD.
+    Sgd,
+    /// SGD with momentum 0.9.
+    Momentum,
+    /// Adagrad.
+    Adagrad,
+    /// Adam (the paper's choice).
+    Adam,
+}
+
+impl OptimizerKind {
+    /// Builds the optimizer over `len` parameters at learning rate `lr`.
+    pub fn build(self, len: usize, lr: f32) -> Box<dyn Optimizer + Send> {
+        match self {
+            OptimizerKind::Sgd => Box::new(Sgd::new(len, lr)),
+            OptimizerKind::Momentum => Box::new(Momentum::new(len, lr, 0.9)),
+            OptimizerKind::Adagrad => Box::new(Adagrad::new(len, lr)),
+            OptimizerKind::Adam => Box::new(Adam::new(len, lr)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_single_step() {
+        let mut opt = Sgd::new(2, 0.1);
+        let mut p = [1.0f32, -2.0];
+        opt.step_begin();
+        opt.update(0, &mut p, &[0.5, -1.0]);
+        assert_eq!(p, [0.95, -1.9]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = Momentum::new(1, 0.1, 0.9);
+        let mut p = [0.0f32];
+        opt.step_begin();
+        opt.update(0, &mut p, &[1.0]); // v=1, p=-0.1
+        opt.step_begin();
+        opt.update(0, &mut p, &[1.0]); // v=1.9, p=-0.1-0.19
+        assert!((p[0] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_rate() {
+        let mut opt = Adagrad::new(1, 1.0);
+        let mut p = [0.0f32];
+        opt.step_begin();
+        opt.update(0, &mut p, &[2.0]);
+        let first = -p[0]; // ≈ 1.0 (2 / sqrt(4))
+        let before = p[0];
+        opt.step_begin();
+        opt.update(0, &mut p, &[2.0]);
+        let second = before - p[0]; // 2 / sqrt(8) ≈ 0.707
+        assert!((first - 1.0).abs() < 1e-4);
+        assert!(second < first);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_times_sign() {
+        // With bias correction, the very first Adam step is ≈ lr·sign(g).
+        let mut opt = Adam::new(2, 0.01);
+        let mut p = [0.0f32, 0.0];
+        opt.step_begin();
+        opt.update(0, &mut p, &[3.7, -0.002]);
+        assert!((p[0] + 0.01).abs() < 1e-4, "{}", p[0]);
+        assert!((p[1] - 0.01).abs() < 1e-4, "{}", p[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before step_begin")]
+    fn adam_requires_step_begin() {
+        let mut opt = Adam::new(1, 0.01);
+        let mut p = [0.0f32];
+        opt.update(0, &mut p, &[1.0]);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimize (θ − 3)²
+        let mut opt = Adam::new(1, 0.1);
+        let mut p = [0.0f32];
+        for _ in 0..500 {
+            let g = 2.0 * (p[0] - 3.0);
+            opt.step_begin();
+            opt.update(0, &mut p, &[g]);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-2, "converged to {}", p[0]);
+    }
+
+    #[test]
+    fn sparse_offsets_address_disjoint_state() {
+        let mut opt = Adam::new(4, 0.1);
+        let mut p = [0.0f32; 4];
+        opt.step_begin();
+        opt.update(2, &mut p[2..], &[1.0, 1.0]);
+        // Rows 0–1 untouched, their moments remain zero.
+        opt.step_begin();
+        let mut front = [p[0], p[1]];
+        opt.update(0, &mut front, &[0.0, 0.0]);
+        assert_eq!(front[0], 0.0);
+        assert!(p[2] < 0.0 && p[3] < 0.0);
+    }
+
+    #[test]
+    fn kind_builds_all_variants() {
+        for kind in [OptimizerKind::Sgd, OptimizerKind::Momentum, OptimizerKind::Adagrad, OptimizerKind::Adam]
+        {
+            let mut o = kind.build(3, 0.05);
+            assert_eq!(o.state_len(), 3);
+            assert!((o.learning_rate() - 0.05).abs() < 1e-9);
+            o.set_learning_rate(0.01);
+            assert!((o.learning_rate() - 0.01).abs() < 1e-9);
+            let mut p = [1.0f32; 3];
+            o.step_begin();
+            o.update(0, &mut p, &[1.0; 3]);
+            assert!(p.iter().all(|x| *x < 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slice_panics() {
+        let mut opt = Sgd::new(2, 0.1);
+        let mut p = [0.0f32; 3];
+        opt.step_begin();
+        opt.update(0, &mut p, &[1.0; 3]);
+    }
+}

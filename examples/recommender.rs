@@ -1,0 +1,83 @@
+//! Recommender system on a knowledge graph — the use case motivating the
+//! paper's introduction: triples like `(UserA, Item1, review)` and
+//! `(UserB, Item2, like)` form a KG, and knowledge graph embedding predicts
+//! user–item interactions directly (He et al., RecSys'17 in the paper's
+//! citations).
+//!
+//! This example trains CPh (with its inverse-triple augmentation, §2.2.3)
+//! on a synthetic user/item/category graph and measures recommendation
+//! quality as Hit@10 over held-out `like` edges, then prints sample
+//! recommendations.
+//!
+//! Run with: `cargo run --release --example recommender`
+
+use mei::eval::ranking::{evaluate_filtered, top_k_tails};
+use mei::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A user–item–category knowledge graph with latent preferences.
+    let kg = RecsysConfig { seed: 11, ..RecsysConfig::default() }.generate();
+    let dataset = &kg.dataset;
+    println!("recommender KG: {}", dataset.stats());
+
+    // 2. CPh as its Table-1 weight vector (0,0,1,0,0,1,0,0): the score
+    //    sums the forward CP term and the inverse term, with the second
+    //    relation embedding playing the augmented relation r⁽ᵃ⁾ (Eq. 11).
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = MultiEmbedModel::from_preset(
+        WeightPreset::Cph,
+        dataset.num_entities(),
+        dataset.num_relations(),
+        32,
+        &mut rng,
+    );
+
+    let filter = dataset.filter_store();
+    let config = TrainConfig {
+        max_epochs: 150,
+        batch_size: 1024,
+        learning_rate: 5e-3,
+        eval_every: 25,
+        patience: 50,
+        verbose: true,
+        ..TrainConfig::default()
+    };
+    let report = Trainer::new(config).train(&mut model, dataset, &filter);
+    println!(
+        "trained {} epochs; best validation MRR {:.3}",
+        report.epochs_run, report.best_valid_mrr
+    );
+
+    // 3. Recommendation quality: filtered metrics over held-out `like`
+    //    test triples only.
+    let like = mei::datagen::recsys::relations::LIKE;
+    let like_tests: Vec<Triple> =
+        dataset.test.iter().copied().filter(|t| t.relation.0 == like).collect();
+    let results = evaluate_filtered(&model, &like_tests, &filter, &EvalConfig::default());
+    println!(
+        "held-out likes: {} triples | MRR {:.3} | Hit@10 {:.3}",
+        like_tests.len(),
+        results.mrr,
+        results.hits_at(10).unwrap_or(0.0)
+    );
+
+    // 4. Sample recommendations: top-5 unseen items per user.
+    let train_store = dataset.train_store();
+    let like_rel = RelationId(like);
+    for user in [0u32, 1, 2] {
+        let recs = top_k_tails(&model, EntityId(user), like_rel, 8, &train_store);
+        let items: Vec<String> = recs
+            .into_iter()
+            .filter(|(e, _)| kg.is_item(e.0)) // keep item entities only
+            .take(5)
+            .map(|(e, s)| format!("{} ({s:.2})", dataset.entities.name(e.0).unwrap_or("?")))
+            .collect();
+        println!(
+            "recommendations for {}: {}",
+            dataset.entities.name(user).unwrap_or("?"),
+            items.join(", ")
+        );
+    }
+}

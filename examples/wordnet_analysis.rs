@@ -1,0 +1,153 @@
+//! Embedding-space data analysis — §3.2's payoff: once ComplEx is
+//! understood as two real embedding vectors per item, the vectors can be
+//! "concatenated to form a longer vector for use in visualization and data
+//! analysis", fed to any algorithm that expects plain real features.
+//!
+//! This example trains the quaternion four-embedding model (§3.4) on a
+//! WordNet-like graph, then:
+//!   * finds nearest neighbors in concatenated-embedding space,
+//!   * checks that hierarchy siblings are closer than random pairs,
+//!   * profiles the dataset's relations (symmetry, cardinality, inverse
+//!     pairs) with `mei_kg::analysis`.
+//!
+//! Run with: `cargo run --release --example wordnet_analysis`
+
+use mei::kg::analysis::{detect_inverse_pairs, profile_relations};
+use mei::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = SynthWnConfig::at_scale(SynthWnScale::Tiny, 5).generate();
+    println!("dataset: {}", dataset.stats());
+
+    // Relation structure analysis (what drives Table 2's outcomes).
+    let all: Vec<Triple> =
+        dataset.train.iter().chain(&dataset.valid).chain(&dataset.test).copied().collect();
+    println!("\nrelation profiles:");
+    for p in profile_relations(&all) {
+        println!(
+            "  {:<18} {:>5} triples | symmetry {:.2} | tails/head {:.1} | heads/tail {:.1}",
+            dataset.relations.name(p.relation.0).unwrap_or("?"),
+            p.count,
+            p.symmetry,
+            p.tails_per_head,
+            p.heads_per_tail
+        );
+    }
+    println!("\ndetected inverse pairs (overlap ≥ 0.9):");
+    for (a, b, overlap) in detect_inverse_pairs(&all, dataset.num_relations(), 0.9) {
+        println!(
+            "  {} <-> {} ({overlap:.2})",
+            dataset.relations.name(a.0).unwrap_or("?"),
+            dataset.relations.name(b.0).unwrap_or("?")
+        );
+    }
+
+    // Train the quaternion-based four-embedding model (Eq. 13–14).
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut model = MultiEmbedModel::from_preset(
+        WeightPreset::Quaternion,
+        dataset.num_entities(),
+        dataset.num_relations(),
+        16, // n = 4 embeddings of D = 16 each
+        &mut rng,
+    );
+    let filter = dataset.filter_store();
+    let config = TrainConfig {
+        max_epochs: 150,
+        batch_size: 512,
+        learning_rate: 5e-3,
+        eval_every: 25,
+        patience: 50,
+        ..TrainConfig::default()
+    };
+    let report = Trainer::new(config).train(&mut model, &dataset, &filter);
+    println!(
+        "\nquaternion model: trained {} epochs, best valid MRR {:.3}",
+        report.epochs_run, report.best_valid_mrr
+    );
+
+    // Nearest neighbors in concatenated embedding space (cosine).
+    println!("\nnearest neighbors by concatenated embedding (4 × 16 = 64-dim):");
+    for probe in [0u32, 10, 20] {
+        let mut sims: Vec<(u32, f32)> = (0..dataset.num_entities() as u32)
+            .filter(|e| *e != probe)
+            .map(|e| (e, model.entity_cosine(EntityId(probe), EntityId(e))))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<String> = sims
+            .iter()
+            .take(3)
+            .map(|(e, s)| format!("{} ({s:.2})", dataset.entities.name(*e).unwrap_or("?")))
+            .collect();
+        println!(
+            "  {} -> {}",
+            dataset.entities.name(probe).unwrap_or("?"),
+            top.join(", ")
+        );
+    }
+
+    // Quantitative check: entities sharing a hyponym-parent ("siblings")
+    // should be closer in embedding space than random pairs.
+    let train_store = dataset.train_store();
+    let mut sibling_sim = 0.0f64;
+    let mut sibling_n = 0usize;
+    let hypo = RelationId(0); // _hyponym_0
+    for parent in 0..dataset.num_entities() as u32 {
+        let children = train_store.heads_of(EntityId(parent), hypo);
+        for pair in children.windows(2).take(3) {
+            sibling_sim += f64::from(model.entity_cosine(pair[0], pair[1]));
+            sibling_n += 1;
+        }
+    }
+    let mut random_sim = 0.0f64;
+    let mut random_n = 0usize;
+    for i in (0..dataset.num_entities() as u32).step_by(7) {
+        let j = (i * 31 + 13) % dataset.num_entities() as u32;
+        if i != j {
+            random_sim += f64::from(model.entity_cosine(EntityId(i), EntityId(j)));
+            random_n += 1;
+        }
+    }
+    if sibling_n > 0 && random_n > 0 {
+        println!(
+            "\nmean cosine: siblings {:.3} ({} pairs) vs random {:.3} ({} pairs)",
+            sibling_sim / sibling_n as f64,
+            sibling_n,
+            random_sim / random_n as f64,
+            random_n
+        );
+    }
+
+    // 2-D PCA projection of the concatenated embeddings — §3.2's
+    // "visualization" use case; print a coarse ASCII scatter of the first
+    // 40 entities.
+    let rows: Vec<Vec<f32>> =
+        (0..dataset.num_entities()).map(|e| model.entities.concatenated(e)).collect();
+    let row_refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+    let pca = mei::math::Pca::fit(&row_refs, 2, 40, 7);
+    println!(
+        "\nPCA of concatenated embeddings: explained variance {:.4} / {:.4}",
+        pca.explained_variance[0], pca.explained_variance[1]
+    );
+    const W: usize = 64;
+    const H: usize = 16;
+    let mut grid = vec![vec![b' '; W]; H];
+    let projected: Vec<Vec<f32>> = row_refs.iter().take(40).map(|r| pca.transform(r)).collect();
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
+    for p in &projected {
+        min_x = min_x.min(p[0]);
+        max_x = max_x.max(p[0]);
+        min_y = min_y.min(p[1]);
+        max_y = max_y.max(p[1]);
+    }
+    for (i, p) in projected.iter().enumerate() {
+        let x = ((p[0] - min_x) / (max_x - min_x + 1e-9) * (W as f32 - 1.0)) as usize;
+        let y = ((p[1] - min_y) / (max_y - min_y + 1e-9) * (H as f32 - 1.0)) as usize;
+        grid[y][x] = b'a' + (i % 26) as u8;
+    }
+    for row in grid {
+        println!("  {}", String::from_utf8_lossy(&row));
+    }
+}

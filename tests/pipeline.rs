@@ -1,0 +1,178 @@
+//! Full-pipeline integration tests: data generation → TSV round trip →
+//! augmentation → training → persistence → prediction, exercised the way a
+//! downstream user would.
+
+use mei::core::serialize::{load_model, save_model};
+use mei::eval::ranking::{evaluate_filtered, top_k_tails};
+use mei::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn save_load_train_predict_round_trip() {
+    // 1. Generate and persist a benchmark as TSV.
+    let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 77).generate();
+    let dir = std::env::temp_dir().join(format!("mei_pipeline_{}", std::process::id()));
+    mei::kg::io::save_benchmark_dir(&ds, &dir, mei::kg::io::ColumnOrder::HeadRelTail).unwrap();
+
+    // 2. Reload it: same shape, same structure.
+    let reloaded =
+        mei::kg::io::load_benchmark_dir(&dir, mei::kg::io::ColumnOrder::HeadRelTail).unwrap();
+    assert_eq!(reloaded.stats(), ds.stats());
+
+    // 3. Train a model on the reloaded data.
+    let filter = reloaded.filter_store();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut model = MultiEmbedModel::from_preset(
+        WeightPreset::ComplEx,
+        reloaded.num_entities(),
+        reloaded.num_relations(),
+        16,
+        &mut rng,
+    );
+    let cfg = TrainConfig {
+        max_epochs: 60,
+        batch_size: 512,
+        learning_rate: 1e-2,
+        eval_every: 30,
+        patience: 60,
+        ..TrainConfig::default()
+    };
+    Trainer::new(cfg).train(&mut model, &reloaded, &filter);
+
+    // 4. Persist the trained model and reload it.
+    let model_path = dir.join("model.bin");
+    save_model(&model, &model_path).unwrap();
+    let restored = load_model(&model_path).unwrap();
+
+    // 5. The restored model ranks identically.
+    let a = evaluate_filtered(&model, &reloaded.test, &filter, &EvalConfig::default());
+    let b = evaluate_filtered(&restored, &reloaded.test, &filter, &EvalConfig::default());
+    assert_eq!(a.mrr, b.mrr);
+    assert_eq!(a.hits, b.hits);
+
+    // 6. Top-k prediction works on the restored model.
+    let q = reloaded.test[0];
+    let preds = top_k_tails(&restored, q.head, q.relation, 5, &reloaded.train_store());
+    assert_eq!(preds.len(), 5);
+    assert!(preds.windows(2).all(|w| w[0].1 >= w[1].1), "predictions must be sorted");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn augmentation_pipeline_is_consistent() {
+    let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 99).generate();
+    let aug = AugmentedDataset::from_dataset(&ds);
+    // Augmented train contains every original triple and its inverse.
+    let aug_store = aug.dataset.train_store();
+    for t in &ds.train {
+        assert!(aug_store.contains(t));
+        let inv = Triple {
+            head: t.tail,
+            tail: t.head,
+            relation: aug.inverse_relation(t.relation),
+        };
+        assert!(aug_store.contains(&inv));
+    }
+    // Valid/test untouched.
+    assert_eq!(aug.dataset.valid, ds.valid);
+    assert_eq!(aug.dataset.test, ds.test);
+    aug.dataset.validate().unwrap();
+}
+
+#[test]
+fn training_on_recsys_beats_chance_for_likes() {
+    let kg = RecsysConfig {
+        num_users: 60,
+        num_items: 80,
+        num_categories: 6,
+        likes_per_user: 12,
+        reviews_per_user: 4,
+        co_purchase_pairs: 100,
+        seed: 4,
+        ..RecsysConfig::default()
+    }
+    .generate();
+    let ds = &kg.dataset;
+    let filter = ds.filter_store();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut model = MultiEmbedModel::from_preset(
+        WeightPreset::ComplEx,
+        ds.num_entities(),
+        ds.num_relations(),
+        16,
+        &mut rng,
+    );
+    let cfg = TrainConfig {
+        max_epochs: 120,
+        batch_size: 512,
+        learning_rate: 1e-2,
+        eval_every: 40,
+        patience: 120,
+        ..TrainConfig::default()
+    };
+    Trainer::new(cfg).train(&mut model, ds, &filter);
+    let like = mei::datagen::recsys::relations::LIKE;
+    let like_tests: Vec<Triple> =
+        ds.test.iter().copied().filter(|t| t.relation.0 == like).collect();
+    assert!(!like_tests.is_empty());
+    let res = evaluate_filtered(&model, &like_tests, &filter, &EvalConfig::default());
+    // Chance-level Hit@10 with ~146 entities is ≈ 10/146 ≈ 0.07 per side.
+    let h10 = res.hits_at(10).unwrap();
+    assert!(h10 > 0.2, "recommendation Hit@10 should beat chance: {h10:.3}");
+}
+
+#[test]
+fn learned_omega_stays_near_uniform_under_softmax() {
+    // Table 3's core finding in miniature: the learned ω cannot break the
+    // symmetry and remains nearly uniform under softmax restriction.
+    let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 55).generate();
+    let filter = ds.filter_store();
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg_model = ModelConfig {
+        num_entities: ds.num_entities(),
+        num_relations: ds.num_relations(),
+        n: 2,
+        dim: 16,
+    };
+    let mut model =
+        MultiEmbedModel::with_learned_weights(cfg_model, WeightRestriction::Softmax, 0.05, &mut rng);
+    let cfg = TrainConfig {
+        max_epochs: 80,
+        batch_size: 512,
+        learning_rate: 1e-2,
+        eval_every: 40,
+        patience: 80,
+        ..TrainConfig::default()
+    };
+    Trainer::new(cfg).train(&mut model, &ds, &filter);
+    let omega = model.omega().dense();
+    let max = omega.iter().cloned().fold(f32::MIN, f32::max);
+    let min = omega.iter().cloned().fold(f32::MAX, f32::min);
+    // Perfectly uniform would be 0.125 everywhere; we accept a loose band —
+    // the paper reports "almost uniform" learned weights.
+    assert!(
+        max < 0.40 && min > 0.01,
+        "softmax-learned ω should stay near-uniform, got [{min:.3}, {max:.3}]"
+    );
+}
+
+#[test]
+fn malformed_inputs_surface_errors_not_panics() {
+    // Bad TSV: wrong arity.
+    let dir = std::env::temp_dir().join(format!("mei_badtsv_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("train.txt"), "a\tb\n").unwrap();
+    std::fs::write(dir.join("valid.txt"), "").unwrap();
+    std::fs::write(dir.join("test.txt"), "").unwrap();
+    let err = mei::kg::io::load_benchmark_dir(&dir, mei::kg::io::ColumnOrder::HeadRelTail)
+        .unwrap_err();
+    assert!(err.to_string().contains("expected 3 fields"));
+
+    // Bad model file.
+    let model_path = dir.join("bogus.bin");
+    std::fs::write(&model_path, b"garbage").unwrap();
+    assert!(mei::core::serialize::load_model(&model_path).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

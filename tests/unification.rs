@@ -1,0 +1,169 @@
+//! Cross-crate integration tests for the paper's central claim: the
+//! multi-embedding interaction mechanism *unifies* DistMult, ComplEx, CP,
+//! CPh and the quaternion model (§3.2, Table 1, Eqs. 9–11 and 14).
+
+use mei::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model_with(preset: WeightPreset, seed: u64, ne: usize, nr: usize, dim: usize) -> MultiEmbedModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MultiEmbedModel::from_preset(preset, ne, nr, dim, &mut rng)
+}
+
+#[test]
+fn complex_preset_is_the_symbolic_expansion() {
+    assert_eq!(WeightPreset::ComplEx.omega(), mei::algebra::complex_omega());
+    assert_eq!(WeightPreset::Quaternion.omega(), mei::algebra::quaternion_omega());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For arbitrary embeddings, the ComplEx ω-preset score equals
+    /// Re⟨h, t̄, r⟩ computed natively in complex algebra (Eq. 10).
+    #[test]
+    fn complex_unification_holds_on_random_embeddings(seed in 0u64..1000) {
+        let m = model_with(WeightPreset::ComplEx, seed, 8, 4, 6);
+        for (h, t, r) in [(0u32, 1, 0u32), (2, 7, 1), (5, 5, 3), (6, 0, 2)] {
+            let unified = m.score_triple(Triple::new(h, t, r));
+            let native = mei::algebra::embedding::complex_score(
+                [m.entities.vec(h as usize, 0), m.entities.vec(h as usize, 1)],
+                [m.entities.vec(t as usize, 0), m.entities.vec(t as usize, 1)],
+                [m.relations.vec(r as usize, 0), m.relations.vec(r as usize, 1)],
+            );
+            prop_assert!((unified - native).abs() < 1e-4);
+        }
+    }
+
+    /// Same for the quaternion four-embedding model (Eq. 14).
+    #[test]
+    fn quaternion_unification_holds_on_random_embeddings(seed in 0u64..1000) {
+        let m = model_with(WeightPreset::Quaternion, seed, 8, 4, 5);
+        for (h, t, r) in [(0u32, 1, 0u32), (3, 6, 2), (7, 7, 1)] {
+            let unified = m.score_triple(Triple::new(h, t, r));
+            let e = |i: u32, c: usize| m.entities.vec(i as usize, c);
+            let rl = |i: u32, c: usize| m.relations.vec(i as usize, c);
+            let native = mei::algebra::embedding::quaternion_score(
+                [e(h, 0), e(h, 1), e(h, 2), e(h, 3)],
+                [e(t, 0), e(t, 1), e(t, 2), e(t, 3)],
+                [rl(r, 0), rl(r, 1), rl(r, 2), rl(r, 3)],
+            );
+            prop_assert!((unified - native).abs() < 1e-3);
+        }
+    }
+
+    /// DistMult's ω makes the score symmetric in h and t for *every*
+    /// embedding assignment; ComplEx/CP/CPh's do not (they are capable of
+    /// asymmetry — §2.2.3's modeling-capacity distinction).
+    #[test]
+    fn symmetry_is_a_property_of_omega(seed in 0u64..200) {
+        let sym = model_with(WeightPreset::DistMult, seed, 6, 2, 5);
+        for (h, t, r) in [(0u32, 1, 0u32), (2, 3, 1), (4, 5, 0)] {
+            let fwd = sym.score_triple(Triple::new(h, t, r));
+            let bwd = sym.score_triple(Triple::new(t, h, r));
+            prop_assert!((fwd - bwd).abs() < 1e-5);
+        }
+        let asym = model_with(WeightPreset::ComplEx, seed, 6, 2, 5);
+        let mut any_diff = false;
+        for (h, t, r) in [(0u32, 1, 0u32), (2, 3, 1), (4, 5, 0)] {
+            let fwd = asym.score_triple(Triple::new(h, t, r));
+            let bwd = asym.score_triple(Triple::new(t, h, r));
+            any_diff |= (fwd - bwd).abs() > 1e-6;
+        }
+        prop_assert!(any_diff);
+    }
+
+    /// The "CPh equiv." column of Table 1 scores identically to CPh once
+    /// head/tail roles and relation components are swapped consistently —
+    /// by the h↔t symmetry argument of §3.2.
+    #[test]
+    fn cph_equiv_is_a_relabeling_of_cph(seed in 0u64..200) {
+        let cph = model_with(WeightPreset::Cph, seed, 6, 2, 5);
+        // Build the equiv model sharing the same embeddings.
+        let mut equiv = cph.clone();
+        equiv
+            .raw_omega_mut()
+            .dense_mut()
+            .copy_from_slice(&WeightPreset::CphEquiv.omega());
+        equiv.refresh_omega();
+        // ω_cph (0,0,1,0,0,1,0,0): S = ⟨h1,t2,r1⟩ + ⟨h2,t1,r2⟩.
+        // ω_equiv (0,0,0,1,1,0,0,0): S = ⟨h1,t2,r2⟩ + ⟨h2,t1,r1⟩.
+        // Swapping the two relation components maps one onto the other.
+        for rel in 0..2usize {
+            let c0 = equiv.relations.vec(rel, 0).to_vec();
+            let c1 = equiv.relations.vec(rel, 1).to_vec();
+            equiv.relations.vec_mut(rel, 0).copy_from_slice(&c1);
+            equiv.relations.vec_mut(rel, 1).copy_from_slice(&c0);
+        }
+        for (h, t, r) in [(0u32, 1, 0u32), (3, 2, 1), (5, 4, 0)] {
+            let a = cph.score_triple(Triple::new(h, t, r));
+            let b = equiv.score_triple(Triple::new(h, t, r));
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+}
+
+/// Eq. 11: training CP on the inverse-augmented dataset optimizes the same
+/// objective as the CPh weight vector with r⁽²⁾ := r⁽ᵃ⁾. Verify at the
+/// score level: S_cph(h,t,r) = S_cp(h,t,r) + S_cp(t,h,r_aug) when the CPh
+/// model's r⁽²⁾ equals the augmented model's r⁽ᵃ⁾ first component.
+#[test]
+fn cph_weight_vector_equals_cp_plus_inverse_triple() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let ne = 6;
+    let nr = 2;
+    let dim = 4;
+    // One model with CPh ω.
+    let cph = MultiEmbedModel::from_preset(WeightPreset::Cph, ne, nr, dim, &mut rng);
+    // A CP model over the doubled relation vocabulary sharing embeddings:
+    // entity tables equal; relation r's first component = cph r(1),
+    // augmented relation r+nr's first component = cph r(2).
+    let mut cp = MultiEmbedModel::from_preset(WeightPreset::Cp, ne, 2 * nr, dim, &mut rng);
+    cp.entities = cph.entities.clone();
+    for r in 0..nr {
+        let r1 = cph.relations.vec(r, 0).to_vec();
+        let r2 = cph.relations.vec(r, 1).to_vec();
+        cp.relations.vec_mut(r, 0).copy_from_slice(&r1);
+        cp.relations.vec_mut(r + nr, 0).copy_from_slice(&r2);
+    }
+    for (h, t, r) in [(0u32, 1u32, 0u32), (2, 3, 1), (4, 5, 0)] {
+        let s_cph = cph.score_triple(Triple::new(h, t, r));
+        let s_cp_fwd = cp.score_triple(Triple::new(h, t, r));
+        let s_cp_inv = cp.score_triple(Triple::new(t, h, r + nr as u32));
+        assert!(
+            (s_cph - (s_cp_fwd + s_cp_inv)).abs() < 1e-5,
+            "Eq. 11 violated: {s_cph} vs {} + {}",
+            s_cp_fwd,
+            s_cp_inv
+        );
+    }
+}
+
+/// The four ComplEx-equivalent weight vectors of Table 1 all have the same
+/// three §6.1.2 properties: complete, stable, distinguishable (asymmetric).
+#[test]
+fn complex_equivalents_share_good_properties() {
+    for preset in [
+        WeightPreset::ComplEx,
+        WeightPreset::ComplExEquiv1,
+        WeightPreset::ComplExEquiv2,
+        WeightPreset::ComplExEquiv3,
+    ] {
+        let wv = preset.weight_vector();
+        assert!(!wv.is_symmetric(), "{} must be distinguishable", preset.name());
+        assert_eq!(wv.terms().len(), 4, "{}", preset.name());
+        // Completeness: every component of h, t, r appears.
+        for role in 0..3 {
+            for comp in 0..2 {
+                let used = wv.terms().iter().any(|(i, j, k, _)| match role {
+                    0 => *i == comp,
+                    1 => *j == comp,
+                    _ => *k == comp,
+                });
+                assert!(used, "{}: role {role} component {comp} unused", preset.name());
+            }
+        }
+    }
+}
