@@ -18,15 +18,21 @@
 //!   --epochs <n>                override max epochs
 //!   --budget <n>                override the n·D parameter-parity budget
 //!   --dedup true                drop inverse relation pairs first (WN18RR-style "hard" variant)
+//!   --metrics-out <path>        stream per-epoch/eval JSONL records for every training run
 //! ```
+//!
+//! Every training run is phase-profiled (sampling/forward/backward/step/
+//! project); an aggregate breakdown is printed after the tables.
 //!
 //! The numbers are expected to reproduce the paper's *shape* (who wins, by
 //! roughly what factor), not its absolute WN18 values — see EXPERIMENTS.md.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mei_algebra::expansion::{expand_re_h_conj_t_r, ComplexBasis, QuaternionBasis};
-use mei_bench::{print_header, run_learned_weights, run_preset, Protocol, TableRow};
+use mei_bench::{print_header, run_learned_weights, run_preset, PhaseProfiler, Protocol, TableRow};
+use mei_obs::{FanoutObserver, JsonlObserver, TrainObserver};
 use mei_core::regularizer::DirichletRegularizer;
 use mei_core::{WeightPreset, WeightRestriction};
 use mei_datagen::{SynthWnConfig, SynthWnScale};
@@ -43,6 +49,7 @@ struct Options {
     seed: u64,
     epochs: Option<usize>,
     budget: Option<usize>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -58,6 +65,7 @@ fn parse_args() -> Options {
         seed: 0,
         epochs: None,
         budget: None,
+        metrics_out: None,
     };
     while let Some(flag) = args.next() {
         if !flag.starts_with("--") && opts.command == "train" && opts.train_preset.is_none() {
@@ -92,6 +100,7 @@ fn parse_args() -> Options {
             "--dedup" => {
                 opts.dedup = value().parse().unwrap_or_else(|_| usage("bad --dedup (true|false)"))
             }
+            "--metrics-out" => opts.metrics_out = Some(value()),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -103,7 +112,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro <table1|table2|table3|table4|all|train <preset>|ablate> \
          [--scale tiny|small|full] [--dataset DIR] [--order hrt|htr] \
-         [--seed N] [--epochs N] [--budget N]"
+         [--seed N] [--epochs N] [--budget N] [--metrics-out run.jsonl]"
     );
     std::process::exit(2)
 }
@@ -420,7 +429,20 @@ fn main() {
     }
     println!("dataset: {}", ds.stats());
     println!("test-train inverse leakage: {:.3}", ds.test_inverse_leakage());
-    let proto = protocol(&opts);
+    let mut proto = protocol(&opts);
+
+    // Phase-profile every training run; optionally stream the raw records.
+    let profiler = Arc::new(PhaseProfiler::new());
+    let mut observer: Arc<dyn TrainObserver> = Arc::clone(&profiler) as Arc<dyn TrainObserver>;
+    if let Some(path) = &opts.metrics_out {
+        let sink = JsonlObserver::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot open --metrics-out {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("streaming per-epoch metrics to {path}");
+        observer = Arc::new(FanoutObserver::new().with(observer).with(Arc::new(sink)));
+    }
+    proto.observer = Some(observer);
     println!(
         "protocol: budget n·D = {} | ≤{} epochs | batch {} | lr {} | λ {} | seed {}",
         proto.budget,
@@ -449,4 +471,6 @@ fn main() {
         }
         other => usage(&format!("unknown command {other}")),
     }
+
+    println!("\n{}", profiler.report());
 }

@@ -8,12 +8,16 @@
 
 #![warn(missing_docs)]
 
+use std::fmt;
+use std::sync::Arc;
+
 use mei_core::regularizer::DirichletRegularizer;
 use mei_core::{ModelConfig, WeightRestriction};
 use mei_core::{MultiEmbedModel, TrainConfig, Trainer, WeightPreset, WeightVector};
 use mei_eval::ranking::evaluate_filtered;
 use mei_eval::{EvalConfig, LinkPredictionResults};
 use mei_kg::{AugmentedDataset, Dataset, TripleStore};
+use mei_obs::{EpochRecord, EvalRecord, MetricsRegistry, TrainObserver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -67,7 +71,7 @@ impl TableRow {
 }
 
 /// Experiment-wide settings shared by all table rows.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Protocol {
     /// Total embedding budget per item: `n·D` is held constant across
     /// models (§5.3's parameter parity: the paper uses 400 = 1×400 = 2×200
@@ -80,6 +84,21 @@ pub struct Protocol {
     pub train_eval_sample: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Observer attached to every training run (phase profiling, JSONL
+    /// metrics). `None` keeps the runs unobserved.
+    pub observer: Option<Arc<dyn TrainObserver>>,
+}
+
+impl fmt::Debug for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Protocol")
+            .field("budget", &self.budget)
+            .field("train", &self.train)
+            .field("train_eval_sample", &self.train_eval_sample)
+            .field("seed", &self.seed)
+            .field("observer", &self.observer.as_ref().map(|_| "<dyn TrainObserver>"))
+            .finish()
+    }
 }
 
 impl Protocol {
@@ -99,6 +118,7 @@ impl Protocol {
             },
             train_eval_sample: 2000,
             seed: 0,
+            observer: None,
         }
     }
 
@@ -118,6 +138,7 @@ impl Protocol {
             },
             train_eval_sample: 5000,
             seed: 0,
+            observer: None,
         }
     }
 
@@ -125,6 +146,100 @@ impl Protocol {
     /// parity budget.
     pub fn dim_for(&self, n: usize) -> usize {
         (self.budget / n).max(1)
+    }
+}
+
+/// Trainer for a protocol, with the protocol's observer (if any) attached.
+fn trainer_for(train: TrainConfig, protocol: &Protocol) -> Trainer {
+    let mut trainer = Trainer::new(train);
+    if let Some(obs) = &protocol.observer {
+        trainer = trainer.with_observer(Arc::clone(obs));
+    }
+    trainer
+}
+
+/// The five trainer phases, in pipeline order.
+const PHASES: [&str; 5] = ["sampling", "forward", "backward", "step", "project"];
+
+/// Per-epoch phase seconds land in these histogram buckets.
+const PHASE_BUCKETS: [f64; 6] = [1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
+
+/// Aggregates the trainer's per-epoch [`mei_obs::PhaseBreakdown`]s across
+/// every run of a `repro` invocation, backed by a [`MetricsRegistry`].
+/// Attach via [`Protocol::observer`]; read back with [`PhaseProfiler::report`]
+/// or inspect the raw registry.
+#[derive(Default)]
+pub struct PhaseProfiler {
+    registry: MetricsRegistry,
+}
+
+impl PhaseProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The backing registry (phase histograms plus run/epoch/example
+    /// counters), e.g. for a JSON snapshot.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    fn phase_histogram(&self, name: &str) -> std::sync::Arc<mei_obs::Histogram> {
+        self.registry.histogram(&format!("phase_secs/{name}"), &PHASE_BUCKETS)
+    }
+
+    /// Formats the accumulated phase breakdown: total seconds and share of
+    /// instrumented time per phase, plus run/epoch/eval totals.
+    pub fn report(&self) -> String {
+        let epochs = self.registry.counter("epochs").get();
+        if epochs == 0 {
+            return "phase breakdown: no instrumented training ran".to_owned();
+        }
+        let totals: Vec<(&str, f64)> =
+            PHASES.iter().map(|p| (*p, self.phase_histogram(p).sum())).collect();
+        let instrumented: f64 = totals.iter().map(|(_, s)| s).sum();
+        let mut out = format!(
+            "phase breakdown ({} run(s), {epochs} epoch(s), {} example(s)):\n",
+            self.registry.counter("runs").get(),
+            self.registry.counter("examples").get(),
+        );
+        for (name, secs) in totals {
+            let share = if instrumented > 0.0 { 100.0 * secs / instrumented } else { 0.0 };
+            out.push_str(&format!("  {name:<10} {secs:>9.3}s  ({share:>5.1}%)\n"));
+        }
+        out.push_str(&format!("  {:<10} {instrumented:>9.3}s", "total"));
+        let queries = self.registry.counter("eval_queries").get();
+        if queries > 0 {
+            out.push_str(&format!(
+                "\n  in-training eval: {queries} queries in {:.3}s",
+                self.registry.histogram("eval_secs", &PHASE_BUCKETS).sum()
+            ));
+        }
+        out
+    }
+}
+
+impl TrainObserver for PhaseProfiler {
+    fn on_epoch(&self, record: &EpochRecord) {
+        let p = &record.phases;
+        for (name, secs) in PHASES
+            .iter()
+            .zip([p.sampling, p.forward, p.backward, p.step, p.project])
+        {
+            self.phase_histogram(name).observe(secs);
+        }
+        self.registry.counter("epochs").inc();
+        self.registry.counter("examples").add(record.examples as u64);
+    }
+
+    fn on_eval(&self, record: &EvalRecord) {
+        self.registry.counter("eval_queries").add(record.queries as u64);
+        self.registry.histogram("eval_secs", &PHASE_BUCKETS).observe(record.wall_secs);
+    }
+
+    fn on_run_end(&self, _record: &mei_obs::RunSummary) {
+        self.registry.counter("runs").inc();
     }
 }
 
@@ -164,7 +279,7 @@ pub fn run_fixed_weights(
     };
     let weights_tuple = if omega.dense().len() == 8 { Some(omega.dense().to_vec()) } else { None };
     let mut model = MultiEmbedModel::with_fixed_weights(cfg, omega, &mut rng);
-    Trainer::new(protocol.train.clone()).train(&mut model, dataset, filter);
+    trainer_for(protocol.train.clone(), protocol).train(&mut model, dataset, filter);
     finish_row(label, weights_tuple, model, eval_dataset, filter, protocol, with_train_eval)
 }
 
@@ -188,7 +303,7 @@ pub fn run_learned_weights(
     let mut model = MultiEmbedModel::with_learned_weights(cfg, restriction, 0.1, &mut rng);
     let mut train_cfg = protocol.train.clone();
     train_cfg.dirichlet = dirichlet;
-    Trainer::new(train_cfg).train(&mut model, dataset, filter);
+    trainer_for(train_cfg, protocol).train(&mut model, dataset, filter);
     let learned = model.omega().dense().to_vec();
     let row = finish_row(label, None, model, dataset, filter, protocol, false);
     (row, learned)
@@ -301,7 +416,7 @@ pub fn run_cph_augmented(
     };
     let mut model =
         MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::Cp.weight_vector(), &mut rng);
-    Trainer::new(protocol.train.clone()).train(&mut model, &aug.dataset, &filter);
+    trainer_for(protocol.train.clone(), protocol).train(&mut model, &aug.dataset, &filter);
     let scorer = ReciprocalScorer { model: &model, original_num_relations: dataset.num_relations() };
     let eval_cfg = EvalConfig::default();
     let test = evaluate_filtered(&scorer, &dataset.test, &filter, &eval_cfg);
@@ -392,6 +507,28 @@ mod tests {
         assert_eq!(omega.len(), 8);
         assert!((omega.iter().sum::<f32>() - 1.0).abs() < 1e-4);
         assert!(row.test.mrr >= 0.0);
+    }
+
+    #[test]
+    fn phase_profiler_accumulates_across_runs() {
+        let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 1).generate();
+        let profiler = Arc::new(PhaseProfiler::new());
+        assert!(profiler.report().contains("no instrumented training"));
+
+        let mut p = quick_protocol();
+        p.train.max_epochs = 5;
+        p.observer = Some(Arc::clone(&profiler) as Arc<dyn TrainObserver>);
+        run_preset(WeightPreset::ComplEx, &ds, &p, false);
+        run_preset(WeightPreset::DistMult, &ds, &p, false);
+
+        assert_eq!(profiler.registry().counter("runs").get(), 2);
+        assert_eq!(profiler.registry().counter("epochs").get(), 10);
+        assert!(profiler.registry().counter("examples").get() > 0);
+        let report = profiler.report();
+        assert!(report.contains("2 run(s), 10 epoch(s)"));
+        for phase in PHASES {
+            assert!(report.contains(phase), "missing {phase} in report:\n{report}");
+        }
     }
 
     #[test]

@@ -2,10 +2,13 @@
 
 use std::error::Error;
 
+use std::sync::Arc;
+
 use mei_core::serialize::{load_model, save_model};
 use mei_core::{MultiEmbedModel, SamplingStrategy, TrainConfig, Trainer, WeightPreset};
-use mei_eval::ranking::{evaluate, top_k_tails};
+use mei_eval::ranking::{evaluate_with_stats, top_k_tails};
 use mei_eval::{categorize_relations, labeled_with_negatives, mrr_by_category, EvalConfig, TripleClassifier};
+use mei_obs::{ConsoleObserver, EvalRecord, FanoutObserver, JsonlObserver, TrainObserver};
 use mei_kg::analysis::{detect_inverse_pairs, profile_relations};
 use mei_kg::io::{load_benchmark_dir, save_benchmark_dir, ColumnOrder};
 use mei_kg::{Dataset, EntityId, RelationId, Triple};
@@ -23,8 +26,9 @@ subcommands:
   stats    --dataset DIR [--order hrt|htr]
   train    --dataset DIR --out model.bin [--model NAME] [--dim N] [--epochs N]
            [--lr F] [--batch N] [--seed N] [--sampling uniform|bern] [--quiet true]
+           [--eval-every N] [--metrics-out run.jsonl] [--log-every N]
   eval     --dataset DIR --model-file model.bin [--split test|valid]
-           [--categories true] [--classification true]
+           [--categories true] [--classification true] [--metrics-out run.jsonl]
   predict  --dataset DIR --model-file model.bin --head NAME --relation NAME [--topk K]
   export   --dataset DIR --model-file model.bin --out embeddings.tsv
   models   list available model presets
@@ -143,7 +147,7 @@ pub fn train(args: &Args) -> CmdResult {
         l2_lambda: args.get_parsed("l2", 1e-3f32)?,
         seed: args.get_parsed("seed", 0)?,
         sampling,
-        eval_every: 50,
+        eval_every: args.get_parsed("eval-every", 50)?,
         patience: 100,
         verbose: !args.get_parsed("quiet", false)?,
         ..TrainConfig::default()
@@ -164,7 +168,26 @@ pub fn train(args: &Args) -> CmdResult {
         ds.stats()
     );
     let filter = ds.filter_store();
-    let report = Trainer::new(config).train(&mut model, &ds, &filter);
+    let mut trainer = Trainer::new(config);
+    let mut sinks: Vec<Arc<dyn TrainObserver>> = Vec::new();
+    if let Some(path) = args.get("metrics-out") {
+        let sink = JsonlObserver::create(path)
+            .map_err(|e| format!("cannot open --metrics-out {path}: {e}"))?;
+        sinks.push(Arc::new(sink));
+        println!("writing per-epoch metrics to {path}");
+    }
+    let log_every: usize = args.get_parsed("log-every", 0)?;
+    if log_every > 0 {
+        sinks.push(Arc::new(ConsoleObserver::new(log_every)));
+    }
+    trainer = match sinks.len() {
+        0 => trainer,
+        1 => trainer.with_observer(sinks.pop().expect("len checked")),
+        _ => trainer.with_observer(Arc::new(
+            sinks.into_iter().fold(FanoutObserver::new(), FanoutObserver::with),
+        )),
+    };
+    let report = trainer.train(&mut model, &ds, &filter);
     println!(
         "done: {} epochs, best validation MRR {:.4} at epoch {}",
         report.epochs_run, report.best_valid_mrr, report.best_epoch
@@ -186,7 +209,8 @@ pub fn eval(args: &Args) -> CmdResult {
         )
         .into());
     }
-    let split: &[Triple] = match args.get("split").unwrap_or("test") {
+    let split_name = args.get("split").unwrap_or("test");
+    let split: &[Triple] = match split_name {
         "test" => &ds.test,
         "valid" => &ds.valid,
         "train" => &ds.train,
@@ -194,9 +218,33 @@ pub fn eval(args: &Args) -> CmdResult {
     };
     let filter = ds.filter_store();
     let eval_cfg = EvalConfig::default();
-    let (raw, filtered) = evaluate(&model, split, &filter, &eval_cfg);
+    let (raw, filtered, stats) = evaluate_with_stats(&model, split, &filter, &eval_cfg);
     println!("filtered: {filtered}");
     println!("raw:      {raw}");
+    println!(
+        "{} queries in {:.2}s ({:.0} queries/sec, tie-rate {:.4})",
+        stats.queries, stats.wall_secs, stats.queries_per_sec, stats.tie_rate
+    );
+
+    if let Some(path) = args.get("metrics-out") {
+        let sink = JsonlObserver::create(path)
+            .map_err(|e| format!("cannot open --metrics-out {path}: {e}"))?;
+        sink.on_eval(&EvalRecord {
+            epoch: 0,
+            split: split_name.to_owned(),
+            queries: stats.queries,
+            queries_per_sec: stats.queries_per_sec,
+            mrr: filtered.mrr,
+            mrr_head_side: filtered.mrr_head_side,
+            mrr_tail_side: filtered.mrr_tail_side,
+            tie_rate: stats.tie_rate,
+            tie_policy: eval_cfg.tie_policy.name().to_owned(),
+            head_ranks: stats.head_ranks,
+            tail_ranks: stats.tail_ranks,
+            wall_secs: stats.wall_secs,
+        });
+        println!("metrics written to {path}");
+    }
 
     if args.get_parsed("categories", false)? {
         let cats = categorize_relations(&ds.train, ds.num_relations(), 1.5);

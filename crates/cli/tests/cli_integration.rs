@@ -128,6 +128,68 @@ fn full_pipeline_generate_train_eval_predict_export() {
 }
 
 #[test]
+fn train_and_eval_emit_parseable_jsonl_metrics() {
+    use mei_obs::{EpochRecord, EvalRecord, RunSummary};
+
+    let dir = workdir("metrics");
+    let data = dir.join("data");
+    let data_s = data.to_str().unwrap();
+    assert!(mei(&["generate", "--out", data_s, "--scale", "tiny", "--seed", "5"])
+        .status
+        .success());
+
+    let model = dir.join("model.bin");
+    let train_log = dir.join("train.jsonl");
+    let o = mei(&[
+        "train", "--dataset", data_s, "--out", model.to_str().unwrap(), "--model", "complex",
+        "--epochs", "6", "--eval-every", "3", "--dim", "8", "--quiet", "true",
+        "--metrics-out", train_log.to_str().unwrap(), "--log-every", "2",
+    ]);
+    assert!(o.status.success(), "train failed: {}", stderr(&o));
+    // --log-every routes per-epoch progress lines to stderr.
+    assert!(stderr(&o).contains("epoch"));
+
+    let log = std::fs::read_to_string(&train_log).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    let epochs: Vec<EpochRecord> =
+        lines.iter().filter_map(|l| EpochRecord::from_json(l).ok()).collect();
+    let evals: Vec<EvalRecord> =
+        lines.iter().filter_map(|l| EvalRecord::from_json(l).ok()).collect();
+    let runs: Vec<RunSummary> =
+        lines.iter().filter_map(|l| RunSummary::from_json(l).ok()).collect();
+    assert_eq!(epochs.len() + evals.len() + runs.len(), lines.len());
+    assert_eq!(epochs.len(), 6);
+    assert_eq!(evals.len(), 2); // epochs 3 and 6
+    assert_eq!(runs.len(), 1);
+    for rec in &epochs {
+        assert!(rec.mean_loss.is_finite());
+        assert!(rec.examples_per_sec > 0.0);
+        assert!(rec.phases.total() > 0.0);
+    }
+    assert!(evals.iter().all(|r| r.split == "valid" && r.queries_per_sec > 0.0));
+
+    let eval_log = dir.join("eval.jsonl");
+    let o = mei(&[
+        "eval",
+        "--dataset",
+        data_s,
+        "--model-file",
+        model.to_str().unwrap(),
+        "--metrics-out",
+        eval_log.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "eval failed: {}", stderr(&o));
+    assert!(stdout(&o).contains("tie-rate"));
+    let log = std::fs::read_to_string(&eval_log).unwrap();
+    let rec = EvalRecord::from_json(log.trim()).unwrap();
+    assert_eq!(rec.split, "test");
+    assert!(rec.queries > 0);
+    assert_eq!(rec.head_ranks.total() + rec.tail_ranks.total(), rec.queries as u64);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn predict_reports_unknown_names() {
     let dir = workdir("unknown");
     let data = dir.join("data");

@@ -8,10 +8,13 @@
 //! monitors filtered MRR on the validation split.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
-use mei_eval::{evaluate, EvalConfig};
+use mei_eval::{evaluate, evaluate_with_stats, EvalConfig};
 use mei_kg::negative::CorruptionSide;
 use mei_kg::{BernoulliSampler, Dataset, NegativeSampler, Triple, TripleStore};
+use mei_obs::{EpochRecord, EvalRecord, PhaseBreakdown, RunSummary, TrainObserver};
 use mei_optim::OptimizerKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -136,16 +139,37 @@ struct Snapshot {
 }
 
 /// Orchestrates training of a [`MultiEmbedModel`] on a [`Dataset`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Trainer {
     /// Hyperparameters.
     pub config: TrainConfig,
+    /// Telemetry sink. `None` keeps the hot loop free of metric
+    /// collection entirely (no timers, no gradient norms).
+    observer: Option<Arc<dyn TrainObserver>>,
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trainer")
+            .field("config", &self.config)
+            .field("observer", &self.observer.as_ref().map(|_| "dyn TrainObserver"))
+            .finish()
+    }
 }
 
 impl Trainer {
-    /// Creates a trainer.
+    /// Creates a trainer with no observer attached.
     pub fn new(config: TrainConfig) -> Self {
-        Self { config }
+        Self { config, observer: None }
+    }
+
+    /// Attaches a telemetry sink; epoch, eval, and run-end records flow
+    /// to it during [`Trainer::train`]. Collection of gradient norms and
+    /// phase timings is enabled only when an observer is present, so the
+    /// unobserved path keeps its full throughput.
+    pub fn with_observer(mut self, observer: Arc<dyn TrainObserver>) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Trains `model` on `dataset.train`, early-stopping on
@@ -188,7 +212,16 @@ impl Trainer {
         let mut best: Option<Snapshot> = None;
         let eval_cfg = EvalConfig::default();
 
+        let observer = self.observer.as_deref();
+        let observing = observer.is_some();
+        let run_started = Instant::now();
+        let mut evals_since_improvement = 0usize;
+        let mut stopped_early = false;
+
         for epoch in 1..=cfg.max_epochs {
+            let epoch_started = Instant::now();
+            let mut phases = PhaseBreakdown::default();
+            let mut grad_sq = 0.0f64;
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             let mut epoch_examples = 0usize;
@@ -196,6 +229,7 @@ impl Trainer {
             for batch in order.chunks(cfg.batch_size) {
                 // Materialize the labeled batch sequentially so the RNG
                 // stream (and thus the whole run) is deterministic.
+                let span = observing.then(Instant::now);
                 let mut examples: Vec<(Triple, Label)> =
                     Vec::with_capacity(batch.len() * (1 + cfg.negatives_per_positive));
                 for &idx in batch {
@@ -209,8 +243,15 @@ impl Trainer {
                         examples.push((neg, Label::Negative));
                     }
                 }
+                if let Some(t0) = span {
+                    phases.sampling += t0.elapsed().as_secs_f64();
+                }
 
                 // Parallel gradient computation, sequential application.
+                // "forward" covers this fused forward+backward example
+                // pass; the per-example gradients come out of the same
+                // traversal as the scores.
+                let span = observing.then(Instant::now);
                 let (row_grads, omega_grads, batch_loss) = compute_batch_grads(
                     model,
                     &examples,
@@ -218,9 +259,33 @@ impl Trainer {
                     cfg.loss,
                     1 + cfg.negatives_per_positive,
                 );
+                if let Some(t0) = span {
+                    phases.forward += t0.elapsed().as_secs_f64();
+                }
                 epoch_loss += batch_loss;
                 epoch_examples += examples.len();
 
+                if observing {
+                    // Accumulate in sorted row order so the reported norm
+                    // is identical across same-seed runs (HashMap order
+                    // is not, and f64 addition is not associative).
+                    let mut keys: Vec<&RowKey> = row_grads.keys().collect();
+                    keys.sort_unstable();
+                    for key in keys {
+                        grad_sq += row_grads[key]
+                            .iter()
+                            .map(|g| f64::from(*g) * f64::from(*g))
+                            .sum::<f64>();
+                    }
+                    if model.trainable_omega() {
+                        grad_sq += omega_grads
+                            .iter()
+                            .map(|g| f64::from(*g) * f64::from(*g))
+                            .sum::<f64>();
+                    }
+                }
+
+                let span = observing.then(Instant::now);
                 optimizer.step_begin();
                 for (row, grad) in &row_grads {
                     match *row {
@@ -234,26 +299,43 @@ impl Trainer {
                         }
                     }
                 }
+                if let Some(t0) = span {
+                    phases.step += t0.elapsed().as_secs_f64();
+                }
                 if model.trainable_omega() {
+                    // "backward": the chain-rule transform from the
+                    // effective-ω gradient back to raw parameters.
+                    let span = observing.then(Instant::now);
                     let mut grad_eff = omega_grads;
                     if let Some(reg) = &cfg.dirichlet {
                         reg.accumulate_grad(model.omega().dense(), &mut grad_eff);
                     }
                     let mut grad_raw = vec![0.0f32; grad_eff.len()];
                     model.omega_grad_raw(&grad_eff, &mut grad_raw);
+                    if let Some(t0) = span {
+                        phases.backward += t0.elapsed().as_secs_f64();
+                    }
+                    let span = observing.then(Instant::now);
                     let offset = ent_params + rel_params;
                     // Borrow dance: update a scratch copy, then write back.
                     let mut raw = model.raw_omega().dense().to_vec();
                     optimizer.update(offset, &mut raw, &grad_raw);
                     model.raw_omega_mut().dense_mut().copy_from_slice(&raw);
                     model.refresh_omega();
+                    if let Some(t0) = span {
+                        phases.step += t0.elapsed().as_secs_f64();
+                    }
                 }
 
                 if cfg.unit_norm_entities {
+                    let span = observing.then(Instant::now);
                     for row in row_grads.keys() {
                         if let RowKey::Entity(e) = *row {
                             model.entities.normalize_item(e);
                         }
+                    }
+                    if let Some(t0) = span {
+                        phases.project += t0.elapsed().as_secs_f64();
                     }
                 }
             }
@@ -268,7 +350,27 @@ impl Trainer {
                 optimizer.set_learning_rate(lr);
             }
             if is_eval_epoch && !dataset.valid.is_empty() {
-                let (_, filtered) = evaluate(&*model, &dataset.valid, filter, &eval_cfg);
+                let filtered = if let Some(obs) = observer {
+                    let (_, filtered, stats) =
+                        evaluate_with_stats(&*model, &dataset.valid, filter, &eval_cfg);
+                    obs.on_eval(&EvalRecord {
+                        epoch,
+                        split: "valid".to_owned(),
+                        queries: stats.queries,
+                        queries_per_sec: stats.queries_per_sec,
+                        mrr: filtered.mrr,
+                        mrr_head_side: filtered.mrr_head_side,
+                        mrr_tail_side: filtered.mrr_tail_side,
+                        tie_rate: stats.tie_rate,
+                        tie_policy: eval_cfg.tie_policy.name().to_owned(),
+                        head_ranks: stats.head_ranks,
+                        tail_ranks: stats.tail_ranks,
+                        wall_secs: stats.wall_secs,
+                    });
+                    filtered
+                } else {
+                    evaluate(&*model, &dataset.valid, filter, &eval_cfg).1
+                };
                 report.valid_history.push((epoch, filtered.mrr));
                 if cfg.verbose {
                     eprintln!(
@@ -279,14 +381,42 @@ impl Trainer {
                 if filtered.mrr > report.best_valid_mrr {
                     report.best_valid_mrr = filtered.mrr;
                     report.best_epoch = epoch;
+                    evals_since_improvement = 0;
                     best = Some(Snapshot {
                         entities: model.entities.clone(),
                         relations: model.relations.clone(),
                         raw_omega: model.raw_omega().clone(),
                     });
-                } else if epoch - report.best_epoch >= cfg.patience {
-                    break;
+                } else {
+                    evals_since_improvement += 1;
+                    if epoch - report.best_epoch >= cfg.patience {
+                        stopped_early = true;
+                    }
                 }
+            }
+
+            if let Some(obs) = observer {
+                let wall_secs = epoch_started.elapsed().as_secs_f64();
+                obs.on_epoch(&EpochRecord {
+                    epoch,
+                    mean_loss,
+                    examples: epoch_examples,
+                    examples_per_sec: if wall_secs > 0.0 {
+                        epoch_examples as f64 / wall_secs
+                    } else {
+                        0.0
+                    },
+                    grad_norm: Some(grad_sq.sqrt()),
+                    learning_rate: f64::from(optimizer.learning_rate()),
+                    phases,
+                    best_epoch: best.as_ref().map(|_| report.best_epoch),
+                    best_valid_mrr: best.as_ref().map(|_| report.best_valid_mrr),
+                    evals_since_improvement,
+                    wall_secs,
+                });
+            }
+            if stopped_early {
+                break;
             }
         }
 
@@ -296,12 +426,21 @@ impl Trainer {
             *model.raw_omega_mut() = snap.raw_omega;
             model.refresh_omega();
         }
+        if let Some(obs) = observer {
+            obs.on_run_end(&RunSummary {
+                epochs_run: report.epochs_run,
+                stopped_early,
+                best_epoch: (!report.valid_history.is_empty()).then_some(report.best_epoch),
+                best_valid_mrr: (!report.valid_history.is_empty()).then_some(report.best_valid_mrr),
+                wall_secs: run_started.elapsed().as_secs_f64(),
+            });
+        }
         report
     }
 }
 
 /// Addresses one embedding row during gradient accumulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum RowKey {
     Entity(usize),
     Relation(usize),

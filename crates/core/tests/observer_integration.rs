@@ -1,0 +1,208 @@
+//! Trainer ↔ observer integration: record streams are complete, parse
+//! back, and are deterministic for a fixed seed.
+
+use std::sync::Arc;
+
+use mei_core::model::MultiEmbedModel;
+use mei_core::trainer::{TrainConfig, Trainer};
+use mei_core::weights::WeightPreset;
+use mei_kg::{Dataset, Dictionary, Triple};
+use mei_obs::{EpochRecord, EvalRecord, JsonlObserver, RunSummary, TrainObserver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ring_dataset() -> Dataset {
+    let n = 12u32;
+    let entities = Dictionary::from_names((0..n).map(|i| format!("e{i}")));
+    let relations = Dictionary::from_names(["succ", "pred"]);
+    let mut train = Vec::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        train.push(Triple::new(i, j, 0));
+        train.push(Triple::new(j, i, 1));
+    }
+    let valid = vec![train.pop().unwrap(), train.remove(3)];
+    Dataset { entities, relations, train, valid, test: vec![] }
+}
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        max_epochs: 12,
+        batch_size: 8,
+        learning_rate: 0.05,
+        eval_every: 4,
+        patience: 100,
+        seed: 7,
+        ..TrainConfig::default()
+    }
+}
+
+fn run_observed(seed: u64) -> (String, usize) {
+    let ds = ring_dataset();
+    let filter = ds.filter_store();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = MultiEmbedModel::from_preset(
+        WeightPreset::ComplEx,
+        ds.num_entities(),
+        ds.num_relations(),
+        8,
+        &mut rng,
+    );
+    let sink = Arc::new(JsonlObserver::in_memory());
+    let report = Trainer::new(config())
+        .with_observer(Arc::clone(&sink) as Arc<dyn TrainObserver>)
+        .train(&mut model, &ds, &filter);
+    (sink.contents(), report.epochs_run)
+}
+
+#[test]
+fn observer_receives_epoch_eval_and_run_end_records() {
+    let (log, epochs_run) = run_observed(3);
+    let lines: Vec<&str> = log.lines().collect();
+
+    let epochs: Vec<EpochRecord> = lines
+        .iter()
+        .filter_map(|l| EpochRecord::from_json(l).ok())
+        .collect();
+    let evals: Vec<EvalRecord> =
+        lines.iter().filter_map(|l| EvalRecord::from_json(l).ok()).collect();
+    let runs: Vec<RunSummary> =
+        lines.iter().filter_map(|l| RunSummary::from_json(l).ok()).collect();
+
+    // Every line parsed as exactly one record kind.
+    assert_eq!(epochs.len() + evals.len() + runs.len(), lines.len());
+    assert_eq!(epochs.len(), epochs_run, "one epoch record per epoch");
+    // eval_every=4 over 12 epochs → epochs 4, 8, 12.
+    assert_eq!(evals.len(), 3);
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].epochs_run, epochs_run);
+    assert!(!runs[0].stopped_early);
+    assert!(runs[0].best_valid_mrr.is_some());
+
+    for (i, rec) in epochs.iter().enumerate() {
+        assert_eq!(rec.epoch, i + 1);
+        assert!(rec.mean_loss.is_finite());
+        // 22 train triples, 1 negative per positive.
+        assert_eq!(rec.examples, 44);
+        assert!(rec.examples_per_sec > 0.0);
+        assert!(rec.grad_norm.unwrap() > 0.0);
+        assert!(rec.wall_secs > 0.0);
+        // The instrumented phases cover real work and fit in the epoch.
+        assert!(rec.phases.total() > 0.0);
+        assert!(rec.phases.total() <= rec.wall_secs * 1.05);
+        assert!(rec.phases.forward > 0.0, "fused pass must dominate");
+    }
+    // Early-stopping state becomes visible once the first eval has run.
+    assert!(epochs[3].best_valid_mrr.is_some());
+    assert_eq!(epochs[3].best_epoch, Some(4));
+
+    for rec in &evals {
+        assert_eq!(rec.split, "valid");
+        assert_eq!(rec.tie_policy, "average");
+        // 2 valid triples → 4 ranking queries.
+        assert_eq!(rec.queries, 4);
+        assert_eq!(rec.head_ranks.total() + rec.tail_ranks.total(), 4);
+        assert!(rec.queries_per_sec > 0.0);
+        assert!(rec.mrr > 0.0 && rec.mrr <= 1.0);
+    }
+}
+
+/// Strips the wall-clock-derived fields, which legitimately differ
+/// between runs; everything else must be byte-identical.
+fn normalize(line: &str) -> String {
+    if let Ok(mut rec) = EpochRecord::from_json(line) {
+        rec.examples_per_sec = 0.0;
+        rec.wall_secs = 0.0;
+        rec.phases = Default::default();
+        return rec.to_json();
+    }
+    if let Ok(mut rec) = EvalRecord::from_json(line) {
+        rec.queries_per_sec = 0.0;
+        rec.wall_secs = 0.0;
+        return rec.to_json();
+    }
+    if let Ok(mut rec) = RunSummary::from_json(line) {
+        rec.wall_secs = 0.0;
+        return rec.to_json();
+    }
+    panic!("unrecognized record: {line}");
+}
+
+#[test]
+fn same_seed_runs_emit_byte_identical_metrics() {
+    let (log_a, _) = run_observed(11);
+    let (log_b, _) = run_observed(11);
+    let a: Vec<String> = log_a.lines().map(normalize).collect();
+    let b: Vec<String> = log_b.lines().map(normalize).collect();
+    assert_eq!(a.len(), b.len());
+    for (la, lb) in a.iter().zip(&b) {
+        assert_eq!(la, lb);
+    }
+
+    // Different seeds must actually diverge (guards against the metrics
+    // being constants that would trivially satisfy the check above).
+    let (log_c, _) = run_observed(12);
+    let c: Vec<String> = log_c.lines().map(normalize).collect();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn observed_and_unobserved_runs_train_identically() {
+    let ds = ring_dataset();
+    let filter = ds.filter_store();
+    let run = |observe: bool| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::Cph,
+            ds.num_entities(),
+            ds.num_relations(),
+            8,
+            &mut rng,
+        );
+        let mut trainer = Trainer::new(config());
+        if observe {
+            trainer = trainer.with_observer(Arc::new(JsonlObserver::in_memory()));
+        }
+        trainer.train(&mut model, &ds, &filter);
+        model.score_triple(Triple::new(0, 1, 0))
+    };
+    // Attaching an observer must not perturb the training computation.
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn early_stopping_is_reported_through_run_summary() {
+    let ds = ring_dataset();
+    let filter = ds.filter_store();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut model = MultiEmbedModel::from_preset(
+        WeightPreset::ComplEx,
+        ds.num_entities(),
+        ds.num_relations(),
+        8,
+        &mut rng,
+    );
+    let sink = Arc::new(JsonlObserver::in_memory());
+    let cfg = TrainConfig {
+        max_epochs: 400,
+        eval_every: 2,
+        patience: 6,
+        ..config()
+    };
+    let report = Trainer::new(cfg)
+        .with_observer(Arc::clone(&sink) as Arc<dyn TrainObserver>)
+        .train(&mut model, &ds, &filter);
+    let log = sink.contents();
+    let summary = RunSummary::from_json(log.lines().last().unwrap()).unwrap();
+    if report.epochs_run < 400 {
+        assert!(summary.stopped_early);
+        assert_eq!(summary.best_epoch, Some(report.best_epoch));
+        // Counters in the last epoch record reflect the stale evals.
+        let last_epoch = log
+            .lines()
+            .filter_map(|l| EpochRecord::from_json(l).ok())
+            .next_back()
+            .unwrap();
+        assert!(last_epoch.evals_since_improvement * 2 >= 6);
+    }
+}

@@ -23,5 +23,8 @@ pub use auc::{average_precision, roc_auc};
 pub use categories::{categorize_relations, mrr_by_category, RelationCategory};
 pub use classification::{labeled_with_negatives, TripleClassifier};
 pub use metrics::{LinkPredictionResults, MetricsAccumulator};
-pub use ranking::{evaluate, rank_triple, EvalConfig, RankPair, TiePolicy};
+pub use ranking::{
+    evaluate, evaluate_with_stats, rank_from_counts, rank_triple, rank_triple_detailed,
+    EvalConfig, EvalStats, RankObservation, RankPair, TiePolicy,
+};
 pub use scorer::TripleScorer;

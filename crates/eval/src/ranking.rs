@@ -1,6 +1,7 @@
 //! The ranking protocol: corrupt, score, rank, filter.
 
 use mei_kg::{EntityId, RelationId, Triple, TripleStore};
+use mei_obs::RankHistogram;
 use rayon::prelude::*;
 
 use crate::metrics::{LinkPredictionResults, MetricsAccumulator, Side};
@@ -18,6 +19,17 @@ pub enum TiePolicy {
     /// models inflating their metrics).
     #[default]
     Average,
+}
+
+impl TiePolicy {
+    /// Stable lowercase label, used in run logs and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TiePolicy::Optimistic => "optimistic",
+            TiePolicy::Pessimistic => "pessimistic",
+            TiePolicy::Average => "average",
+        }
+    }
 }
 
 /// Evaluation configuration.
@@ -45,12 +57,25 @@ pub struct RankPair {
     pub filtered: f64,
 }
 
-fn rank_from_counts(better: usize, tied: usize, policy: TiePolicy) -> f64 {
+/// Turns `(better, tied)` candidate counts into a rank under `policy` —
+/// the kernel every ranking path reduces to.
+pub fn rank_from_counts(better: usize, tied: usize, policy: TiePolicy) -> f64 {
     match policy {
         TiePolicy::Optimistic => 1.0 + better as f64,
         TiePolicy::Pessimistic => 1.0 + better as f64 + tied as f64,
         TiePolicy::Average => 1.0 + better as f64 + tied as f64 / 2.0,
     }
+}
+
+/// One query's ranks plus the tie diagnostics behind them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankObservation {
+    /// The raw and filtered ranks.
+    pub pair: RankPair,
+    /// Competitors tied with the true score (raw protocol).
+    pub tied: usize,
+    /// Competitors tied with the true score after filtering.
+    pub filtered_tied: usize,
 }
 
 /// Ranks the true entity for one side of one triple.
@@ -65,6 +90,19 @@ pub fn rank_triple(
     known_true: &[EntityId],
     policy: TiePolicy,
 ) -> RankPair {
+    rank_triple_detailed(scores, true_entity, known_true, policy).pair
+}
+
+/// Like [`rank_triple`], but also reports how many candidates tied with
+/// the true score — the signal behind the evaluator's tie-rate metric
+/// (a high tie-rate means the model is degenerating toward constant
+/// scores and the tie policy is doing the ranking).
+pub fn rank_triple_detailed(
+    scores: &[f32],
+    true_entity: EntityId,
+    known_true: &[EntityId],
+    policy: TiePolicy,
+) -> RankObservation {
     let true_score = scores[true_entity.idx()];
     let mut better = 0usize;
     let mut tied = 0usize;
@@ -97,9 +135,59 @@ pub fn rank_triple(
             tied_known += 1;
         }
     }
-    let filtered =
-        rank_from_counts(better - better_known, tied - tied_known, policy);
-    RankPair { raw, filtered }
+    let filtered_better = better - better_known;
+    let filtered_tied = tied - tied_known;
+    let filtered = rank_from_counts(filtered_better, filtered_tied, policy);
+    RankObservation { pair: RankPair { raw, filtered }, tied, filtered_tied }
+}
+
+/// Side-channel telemetry from one evaluation pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalStats {
+    /// Ranking queries answered (2 per triple: head-side + tail-side).
+    pub queries: usize,
+    /// Queries whose true entity tied with ≥ 1 surviving competitor in
+    /// the filtered protocol.
+    pub tied_queries: usize,
+    /// `tied_queries / queries` (0 when no queries ran).
+    pub tie_rate: f64,
+    /// Filtered rank distribution of head-replacement queries.
+    pub head_ranks: RankHistogram,
+    /// Filtered rank distribution of tail-replacement queries.
+    pub tail_ranks: RankHistogram,
+    /// Wall-clock seconds for the pass.
+    pub wall_secs: f64,
+    /// `queries / wall_secs` (0 when no queries ran).
+    pub queries_per_sec: f64,
+}
+
+/// Per-shard stats accumulator used inside the parallel fold.
+#[derive(Debug, Clone, Default)]
+struct StatsAccum {
+    queries: usize,
+    tied_queries: usize,
+    head_ranks: RankHistogram,
+    tail_ranks: RankHistogram,
+}
+
+impl StatsAccum {
+    fn push(&mut self, side: Side, obs: &RankObservation) {
+        self.queries += 1;
+        if obs.filtered_tied > 0 {
+            self.tied_queries += 1;
+        }
+        match side {
+            Side::Head => self.head_ranks.record(obs.pair.filtered),
+            Side::Tail => self.tail_ranks.record(obs.pair.filtered),
+        }
+    }
+
+    fn merge(&mut self, other: &StatsAccum) {
+        self.queries += other.queries;
+        self.tied_queries += other.tied_queries;
+        self.head_ranks.merge(&other.head_ranks);
+        self.tail_ranks.merge(&other.tail_ranks);
+    }
 }
 
 /// Evaluates `scorer` on `triples` with both head- and tail-replacement
@@ -107,54 +195,92 @@ pub fn rank_triple(
 ///
 /// `filter` must contain every known-true triple (train ∪ valid ∪ test) for
 /// faithful filtered metrics (§5.2). Work is parallelized over triples.
-///
-/// `relation_map` optionally remaps each query's relation before scoring
-/// — used by models trained on augmented vocabularies; pass `None`
-/// normally.
 pub fn evaluate<S: TripleScorer>(
     scorer: &S,
     triples: &[Triple],
     filter: &TripleStore,
     config: &EvalConfig,
 ) -> (LinkPredictionResults, LinkPredictionResults) {
+    let (raw, filt, _) = evaluate_with_stats(scorer, triples, filter, config);
+    (raw, filt)
+}
+
+/// [`evaluate`] plus throughput and rank-distribution telemetry
+/// ([`EvalStats`]): queries/sec, per-side filtered rank histograms, and
+/// the tie-rate under the active [`TiePolicy`].
+pub fn evaluate_with_stats<S: TripleScorer>(
+    scorer: &S,
+    triples: &[Triple],
+    filter: &TripleStore,
+    config: &EvalConfig,
+) -> (LinkPredictionResults, LinkPredictionResults, EvalStats) {
+    let started = std::time::Instant::now();
     let ne = scorer.num_entities();
-    let (raw_acc, filt_acc) = triples
+    let (raw_acc, filt_acc, stats_acc) = triples
         .par_iter()
         .fold(
             || {
                 (
                     MetricsAccumulator::new(&config.hits_at),
                     MetricsAccumulator::new(&config.hits_at),
+                    StatsAccum::default(),
                     vec![0.0f32; ne],
                 )
             },
-            |(mut raw, mut filt, mut buf), t| {
+            |(mut raw, mut filt, mut stats, mut buf), t| {
                 // Tail replacement: rank t among (h, t', r).
                 scorer.score_all_tails(t.head, t.relation, &mut buf);
                 let known = filter.tails_of(t.head, t.relation);
-                let pair = rank_triple(&buf, t.tail, known, config.tie_policy);
-                raw.push(t.relation, Side::Tail, pair.raw);
-                filt.push(t.relation, Side::Tail, pair.filtered);
+                let obs = rank_triple_detailed(&buf, t.tail, known, config.tie_policy);
+                raw.push(t.relation, Side::Tail, obs.pair.raw);
+                filt.push(t.relation, Side::Tail, obs.pair.filtered);
+                stats.push(Side::Tail, &obs);
 
                 // Head replacement: rank h among (h', t, r).
                 scorer.score_all_heads(t.tail, t.relation, &mut buf);
                 let known = filter.heads_of(t.tail, t.relation);
-                let pair = rank_triple(&buf, t.head, known, config.tie_policy);
-                raw.push(t.relation, Side::Head, pair.raw);
-                filt.push(t.relation, Side::Head, pair.filtered);
-                (raw, filt, buf)
+                let obs = rank_triple_detailed(&buf, t.head, known, config.tie_policy);
+                raw.push(t.relation, Side::Head, obs.pair.raw);
+                filt.push(t.relation, Side::Head, obs.pair.filtered);
+                stats.push(Side::Head, &obs);
+                (raw, filt, stats, buf)
             },
         )
-        .map(|(raw, filt, _)| (raw, filt))
+        .map(|(raw, filt, stats, _)| (raw, filt, stats))
         .reduce(
-            || (MetricsAccumulator::new(&config.hits_at), MetricsAccumulator::new(&config.hits_at)),
-            |(mut ra, mut fa), (rb, fb)| {
+            || {
+                (
+                    MetricsAccumulator::new(&config.hits_at),
+                    MetricsAccumulator::new(&config.hits_at),
+                    StatsAccum::default(),
+                )
+            },
+            |(mut ra, mut fa, mut sa), (rb, fb, sb)| {
                 ra.merge(&rb);
                 fa.merge(&fb);
-                (ra, fa)
+                sa.merge(&sb);
+                (ra, fa, sa)
             },
         );
-    (raw_acc.finish(), filt_acc.finish())
+    let wall_secs = started.elapsed().as_secs_f64();
+    let stats = EvalStats {
+        queries: stats_acc.queries,
+        tied_queries: stats_acc.tied_queries,
+        tie_rate: if stats_acc.queries == 0 {
+            0.0
+        } else {
+            stats_acc.tied_queries as f64 / stats_acc.queries as f64
+        },
+        head_ranks: stats_acc.head_ranks,
+        tail_ranks: stats_acc.tail_ranks,
+        wall_secs,
+        queries_per_sec: if stats_acc.queries == 0 || wall_secs <= 0.0 {
+            0.0
+        } else {
+            stats_acc.queries as f64 / wall_secs
+        },
+    };
+    (raw_acc.finish(), filt_acc.finish(), stats)
 }
 
 /// Convenience: filtered results only (the headline numbers in Tables 2–4).
@@ -332,6 +458,50 @@ mod tests {
                 prop_assert_eq!(p.filtered, 1.0);
             }
 
+            /// More better-scoring competitors can only worsen the rank,
+            /// under every tie policy.
+            #[test]
+            fn rank_is_monotone_in_better_count(
+                better in 0usize..10_000,
+                extra in 0usize..10_000,
+                tied in 0usize..10_000
+            ) {
+                for policy in
+                    [TiePolicy::Optimistic, TiePolicy::Average, TiePolicy::Pessimistic]
+                {
+                    let lo = rank_from_counts(better, tied, policy);
+                    let hi = rank_from_counts(better + extra, tied, policy);
+                    prop_assert!(lo >= 1.0);
+                    prop_assert!(hi >= lo);
+                }
+            }
+
+            /// The three policies bracket each other:
+            /// optimistic ≤ average ≤ pessimistic for any counts.
+            #[test]
+            fn tie_policies_are_ordered(
+                better in 0usize..10_000,
+                tied in 0usize..10_000
+            ) {
+                let opt = rank_from_counts(better, tied, TiePolicy::Optimistic);
+                let avg = rank_from_counts(better, tied, TiePolicy::Average);
+                let pes = rank_from_counts(better, tied, TiePolicy::Pessimistic);
+                prop_assert!(opt <= avg && avg <= pes);
+                // The spread is exactly the tie count.
+                prop_assert_eq!(pes - opt, tied as f64);
+            }
+
+            /// With no ties, the policy cannot matter.
+            #[test]
+            fn policies_agree_without_ties(better in 0usize..100_000) {
+                let opt = rank_from_counts(better, 0, TiePolicy::Optimistic);
+                let avg = rank_from_counts(better, 0, TiePolicy::Average);
+                let pes = rank_from_counts(better, 0, TiePolicy::Pessimistic);
+                prop_assert_eq!(opt, avg);
+                prop_assert_eq!(avg, pes);
+                prop_assert_eq!(opt, 1.0 + better as f64);
+            }
+
             /// Raising the true entity's score never worsens its rank.
             #[test]
             fn rank_is_monotone_in_true_score(
@@ -358,5 +528,51 @@ mod tests {
         let (raw, filt) = evaluate(&s, &[], &filter, &EvalConfig::default());
         assert_eq!(raw.num_queries, 0);
         assert_eq!(filt.mrr, 0.0);
+        let (_, _, stats) = evaluate_with_stats(&s, &[], &filter, &EvalConfig::default());
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.queries_per_sec, 0.0);
+        assert_eq!(stats.tie_rate, 0.0);
+    }
+
+    #[test]
+    fn constant_scorer_has_full_tie_rate() {
+        let s = TableScorer { num_entities: 50, f: |_, _, _| 0.0 };
+        let triples = vec![Triple::new(0, 1, 0), Triple::new(2, 3, 0)];
+        let filter: TripleStore = triples.iter().copied().collect();
+        let (_, _, stats) = evaluate_with_stats(&s, &triples, &filter, &EvalConfig::default());
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.tied_queries, 4);
+        assert_eq!(stats.tie_rate, 1.0);
+        assert_eq!(stats.head_ranks.total(), 2);
+        assert_eq!(stats.tail_ranks.total(), 2);
+        assert!(stats.queries_per_sec > 0.0);
+        assert!(stats.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn perfect_scorer_has_rank_one_histograms_and_no_ties() {
+        let s = TableScorer {
+            num_entities: 10,
+            f: |h, t, _| if t == h + 1 { 10.0 } else { -(t as f32) },
+        };
+        let triples: Vec<Triple> = (0..5).map(|i| Triple::new(i, i + 1, 0)).collect();
+        let filter: TripleStore = triples.iter().copied().collect();
+        let (_, _, stats) = evaluate_with_stats(&s, &triples, &filter, &EvalConfig::default());
+        assert_eq!(stats.tie_rate, 0.0);
+        // Every tail-side query ranks the true entity first.
+        assert_eq!(stats.tail_ranks.buckets[0], 5);
+    }
+
+    #[test]
+    fn detailed_rank_reports_tie_counts() {
+        let scores = [5.0f32, 3.0, 9.0, 3.0, 3.0];
+        let obs = rank_triple_detailed(&scores, EntityId(1), &[], TiePolicy::Average);
+        assert_eq!(obs.tied, 2);
+        assert_eq!(obs.filtered_tied, 2);
+        // Filtering out one tied competitor drops the tie count.
+        let obs = rank_triple_detailed(&scores, EntityId(1), &[EntityId(3)], TiePolicy::Average);
+        assert_eq!(obs.tied, 2);
+        assert_eq!(obs.filtered_tied, 1);
+        assert_eq!(obs.pair.filtered, obs.pair.raw - 0.5);
     }
 }

@@ -1,0 +1,316 @@
+//! Thread-safe metric primitives and a named registry.
+//!
+//! Counters and gauges are single atomics; histograms use fixed bucket
+//! bounds with one atomic per bucket, so rayon workers can record
+//! observations without taking any lock. The registry itself holds its
+//! name → metric map behind a `parking_lot::RwLock`; metric handles are
+//! `Arc`s, so the lock is only touched on first registration/lookup.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::json::{build, JsonValue};
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating point metric.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bound bucket histogram over `f64` observations.
+///
+/// Bucket `i` counts observations `<= bounds[i]`; one extra overflow
+/// bucket counts the rest. The sum is accumulated with a CAS loop so
+/// mean can be reported; count is exact under concurrency.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, buckets, count: AtomicU64::new(0), sum_bits: AtomicU64::new(0) }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics, shareable across threads.
+///
+/// Names iterate in lexicographic order (`BTreeMap`), so snapshots are
+/// deterministic regardless of registration order races.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter with this name, creating it on first use.
+    ///
+    /// Panics if the name is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.metrics.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The gauge with this name, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.metrics.read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The histogram with this name, creating it with `bounds` on first use.
+    ///
+    /// Later calls ignore `bounds` and return the existing histogram.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.metrics.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds.to_vec()))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics.read().keys().cloned().collect()
+    }
+
+    /// A point-in-time JSON snapshot of every metric, keyed by name.
+    pub fn snapshot(&self) -> JsonValue {
+        let metrics = self.metrics.read();
+        let pairs = metrics
+            .iter()
+            .map(|(name, metric)| {
+                let v = match metric {
+                    Metric::Counter(c) => build::obj([
+                        ("kind", build::str("counter")),
+                        ("value", build::int(c.get() as usize)),
+                    ]),
+                    Metric::Gauge(g) => build::obj([
+                        ("kind", build::str("gauge")),
+                        ("value", build::num(g.get())),
+                    ]),
+                    Metric::Histogram(h) => build::obj([
+                        ("kind", build::str("histogram")),
+                        ("count", build::int(h.count() as usize)),
+                        ("sum", build::num(h.sum())),
+                        (
+                            "bounds",
+                            JsonValue::Arr(h.bounds().iter().map(|b| build::num(*b)).collect()),
+                        ),
+                        ("buckets", build::ints(h.bucket_counts())),
+                    ]),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        JsonValue::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("examples");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("examples").get(), 5);
+
+        let g = reg.gauge("loss");
+        g.set(0.25);
+        assert_eq!(reg.gauge("loss").get(), 0.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::new(vec![1.0, 10.0]);
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        // <=1.0 gets 0.5 and 1.0; <=10.0 gets 3.0; overflow gets 100.0.
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 26.125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_parseable() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("b_gauge").set(1.5);
+        reg.counter("a_counter").add(3);
+        reg.histogram("c_hist", &[2.0]).observe(1.0);
+        assert_eq!(reg.names(), vec!["a_counter", "b_gauge", "c_hist"]);
+        let snap = reg.snapshot();
+        let text = snap.to_json();
+        assert_eq!(crate::json::parse(&text).unwrap(), snap);
+        assert_eq!(
+            snap.get("a_counter").unwrap().get("value").unwrap().as_usize().unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let c = reg.counter("hits");
+                    let h = reg.histogram("vals", &[0.5]);
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.observe(if (i + t) % 2 == 0 { 0.25 } else { 1.0 });
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("hits").get(), threads * per_thread);
+        let h = reg.histogram("vals", &[0.5]);
+        assert_eq!(h.count(), threads * per_thread);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), threads * per_thread);
+        let expected_sum = (threads * per_thread / 2) as f64 * (0.25 + 1.0);
+        assert!((h.sum() - expected_sum).abs() < 1e-6);
+    }
+}

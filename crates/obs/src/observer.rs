@@ -1,0 +1,291 @@
+//! Pluggable sinks for training/evaluation telemetry.
+//!
+//! The trainer and evaluator call into a `TrainObserver`; which sink is
+//! plugged in decides what happens — nothing (`NullObserver`), stderr
+//! progress lines (`ConsoleObserver`), or machine-readable JSONL
+//! (`JsonlObserver`). `FanoutObserver` composes several.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::record::{EpochRecord, EvalRecord, RunSummary};
+
+/// A sink for run telemetry. All methods default to no-ops, so sinks
+/// implement only the events they care about.
+pub trait TrainObserver: Send + Sync {
+    /// One training epoch finished.
+    fn on_epoch(&self, _record: &EpochRecord) {}
+
+    /// One evaluation pass finished.
+    fn on_eval(&self, _record: &EvalRecord) {}
+
+    /// The run finished.
+    fn on_run_end(&self, _summary: &RunSummary) {}
+}
+
+/// Discards everything. The trainer also skips metric *collection*
+/// (grad norms, phase timers) when it detects this observer via
+/// [`TrainObserver`] being absent, keeping the default path at full
+/// speed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl TrainObserver for NullObserver {}
+
+/// Prints human-readable progress lines to stderr.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsoleObserver {
+    /// Print every `log_every`-th epoch (eval and run-end lines always
+    /// print). Zero is treated as 1.
+    pub log_every: usize,
+}
+
+impl ConsoleObserver {
+    /// A console observer printing every `log_every`-th epoch.
+    pub fn new(log_every: usize) -> Self {
+        ConsoleObserver { log_every: log_every.max(1) }
+    }
+}
+
+impl Default for ConsoleObserver {
+    fn default() -> Self {
+        ConsoleObserver::new(1)
+    }
+}
+
+impl TrainObserver for ConsoleObserver {
+    fn on_epoch(&self, record: &EpochRecord) {
+        if !record.epoch.is_multiple_of(self.log_every) {
+            return;
+        }
+        eprintln!(
+            "epoch {:>4}  loss {:.6}  {:>9.0} ex/s  [sampling {:.3}s fwd {:.3}s bwd {:.3}s step {:.3}s proj {:.3}s]",
+            record.epoch,
+            record.mean_loss,
+            record.examples_per_sec,
+            record.phases.sampling,
+            record.phases.forward,
+            record.phases.backward,
+            record.phases.step,
+            record.phases.project,
+        );
+    }
+
+    fn on_eval(&self, record: &EvalRecord) {
+        eprintln!(
+            "eval  {:>4}  {} MRR {:.4} (head {:.4} / tail {:.4})  {:>7.0} q/s  tie-rate {:.4}",
+            record.epoch,
+            record.split,
+            record.mrr,
+            record.mrr_head_side,
+            record.mrr_tail_side,
+            record.queries_per_sec,
+            record.tie_rate,
+        );
+    }
+
+    fn on_run_end(&self, summary: &RunSummary) {
+        match (summary.best_epoch, summary.best_valid_mrr) {
+            (Some(e), Some(mrr)) => eprintln!(
+                "run done: {} epochs in {:.1}s (best valid MRR {:.4} @ epoch {}{})",
+                summary.epochs_run,
+                summary.wall_secs,
+                mrr,
+                e,
+                if summary.stopped_early { ", stopped early" } else { "" },
+            ),
+            _ => eprintln!(
+                "run done: {} epochs in {:.1}s",
+                summary.epochs_run, summary.wall_secs
+            ),
+        }
+    }
+}
+
+/// Appends one JSON object per event to a writer (JSON Lines).
+pub struct JsonlObserver<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl JsonlObserver<BufWriter<File>> {
+    /// Creates (truncating) a JSONL log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlObserver { writer: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl JsonlObserver<Vec<u8>> {
+    /// An in-memory JSONL sink (tests, programmatic consumption).
+    pub fn in_memory() -> Self {
+        JsonlObserver { writer: Mutex::new(Vec::new()) }
+    }
+
+    /// The UTF-8 contents written so far.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.writer.lock().clone()).expect("JSONL output is UTF-8")
+    }
+}
+
+impl<W: Write + Send> JsonlObserver<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlObserver { writer: Mutex::new(writer) }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut w = self.writer.lock();
+        // Telemetry must never abort training; drop the line on I/O error.
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+impl<W: Write + Send> TrainObserver for JsonlObserver<W> {
+    fn on_epoch(&self, record: &EpochRecord) {
+        self.write_line(&record.to_json());
+    }
+
+    fn on_eval(&self, record: &EvalRecord) {
+        self.write_line(&record.to_json());
+    }
+
+    fn on_run_end(&self, summary: &RunSummary) {
+        self.write_line(&summary.to_json());
+    }
+}
+
+/// Broadcasts every event to several observers in order.
+#[derive(Default)]
+pub struct FanoutObserver {
+    sinks: Vec<Arc<dyn TrainObserver>>,
+}
+
+impl FanoutObserver {
+    /// An empty fanout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink (builder style).
+    pub fn with(mut self, sink: Arc<dyn TrainObserver>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl TrainObserver for FanoutObserver {
+    fn on_epoch(&self, record: &EpochRecord) {
+        for sink in &self.sinks {
+            sink.on_epoch(record);
+        }
+    }
+
+    fn on_eval(&self, record: &EvalRecord) {
+        for sink in &self.sinks {
+            sink.on_eval(record);
+        }
+    }
+
+    fn on_run_end(&self, summary: &RunSummary) {
+        for sink in &self.sinks {
+            sink.on_run_end(summary);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PhaseBreakdown;
+
+    fn epoch(i: usize) -> EpochRecord {
+        EpochRecord {
+            epoch: i,
+            mean_loss: 1.0 / (i + 1) as f64,
+            examples: 100 * (i + 1),
+            examples_per_sec: 5000.0,
+            grad_norm: Some(2.0),
+            learning_rate: 0.1,
+            phases: PhaseBreakdown { sampling: 0.001, forward: 0.01, ..Default::default() },
+            best_epoch: None,
+            best_valid_mrr: None,
+            evals_since_improvement: 0,
+            wall_secs: 0.02,
+        }
+    }
+
+    #[test]
+    fn jsonl_observer_emits_one_parseable_line_per_event() {
+        let obs = JsonlObserver::in_memory();
+        obs.on_epoch(&epoch(0));
+        obs.on_epoch(&epoch(1));
+        obs.on_run_end(&RunSummary { epochs_run: 2, wall_secs: 0.04, ..Default::default() });
+        let contents = obs.contents();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(EpochRecord::from_json(lines[0]).unwrap(), epoch(0));
+        assert_eq!(EpochRecord::from_json(lines[1]).unwrap(), epoch(1));
+        assert_eq!(RunSummary::from_json(lines[2]).unwrap().epochs_run, 2);
+    }
+
+    #[test]
+    fn jsonl_observer_is_safe_under_concurrent_writes() {
+        let obs = Arc::new(JsonlObserver::in_memory());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let obs = Arc::clone(&obs);
+                s.spawn(move || {
+                    for i in 0..25 {
+                        obs.on_epoch(&epoch(t * 25 + i));
+                    }
+                });
+            }
+        });
+        let contents = obs.contents();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 100);
+        // Every line is intact JSON despite interleaved writers.
+        for line in lines {
+            EpochRecord::from_json(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn null_observer_holds_no_observable_state() {
+        let obs = NullObserver;
+        let before = format!("{obs:?}");
+        obs.on_epoch(&epoch(3));
+        obs.on_eval(&EvalRecord::default());
+        obs.on_run_end(&RunSummary::default());
+        assert_eq!(format!("{obs:?}"), before);
+        assert_eq!(std::mem::size_of::<NullObserver>(), 0);
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(JsonlObserver::in_memory());
+        let b = Arc::new(JsonlObserver::in_memory());
+        let fan = FanoutObserver::new()
+            .with(Arc::clone(&a) as Arc<dyn TrainObserver>)
+            .with(Arc::clone(&b) as Arc<dyn TrainObserver>);
+        fan.on_epoch(&epoch(7));
+        assert_eq!(a.contents(), b.contents());
+        assert_eq!(a.contents().lines().count(), 1);
+    }
+
+    #[test]
+    fn observers_are_object_safe_and_shareable() {
+        let obs: Arc<dyn TrainObserver> = Arc::new(ConsoleObserver::new(1000));
+        // log_every=1000 keeps test output quiet for nonzero epochs.
+        obs.on_epoch(&epoch(7));
+        let cloned = Arc::clone(&obs);
+        std::thread::scope(|s| {
+            s.spawn(move || cloned.on_epoch(&epoch(13)));
+        });
+    }
+}

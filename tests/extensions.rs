@@ -67,8 +67,10 @@ fn training_on_hard_variant_caps_complex_at_the_new_ceiling() {
 #[test]
 fn subgraph_surgery_composes_with_training() {
     let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 9).generate();
-    // Densify to the 3-core, then subsample train to 80%.
-    let core = k_core(&ds, 3);
+    // Densify to the 4-core (the 3-core of this seed's graph keeps every
+    // entity, so 4 is the smallest k that strictly prunes), then
+    // subsample train to 80%.
+    let core = k_core(&ds, 4);
     assert!(core.num_entities() > 0 && core.num_entities() < ds.num_entities());
     core.validate().unwrap();
     let mut rng = StdRng::seed_from_u64(2);

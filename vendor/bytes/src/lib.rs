@@ -1,0 +1,259 @@
+//! Offline drop-in for the subset of `bytes` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors [`Bytes`] / [`BytesMut`] and the [`Buf`] / [`BufMut`] traits
+//! with the little-endian accessors the model codec needs. `Bytes` is a
+//! cheaply cloneable `Arc<[u8]>` window; consuming reads advance the
+//! window instead of copying.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable, sliceable immutable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte string.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Bytes currently visible through the window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-window sharing the same allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Consumes `len` bytes into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8: buffer exhausted");
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32_le: buffer exhausted");
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Consumes a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "get_u64_le: buffer exhausted");
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = self.slice(0..len);
+        self.advance(len);
+        out
+    }
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Write cursor for encoding.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(b"MAGI");
+        w.put_u32_le(7);
+        w.put_u8(3);
+        w.put_f32_le(1.5);
+        let mut r = w.freeze();
+        assert_eq!(&r.copy_to_bytes(4)[..], b"MAGI");
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u8(), 3);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_windows() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(1..2);
+        assert_eq!(&s2[..], &[3]);
+        assert_eq!(b.len(), 6, "source unaffected");
+    }
+
+    #[test]
+    fn from_static_and_eq() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::from(b"abc".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline drop-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the APIs it needs: [`scope`] (scoped task spawning on real OS
+//! threads), [`current_num_threads`], and the slice parallel iterators
+//! `par_iter` / `par_chunks` with the `map` / `fold` / `reduce` adapter
+//! chain.
+//!
+//! Unlike rayon's work-stealing deques, this implementation splits the
+//! input into one contiguous shard per available core, runs each shard's
+//! adapter pipeline sequentially on its own `std::thread::scope` thread,
+//! and combines shard results in shard order. That makes the reduction
+//! tree a *deterministic* function of `current_num_threads()` — a
+//! property the trainer's reproducibility guarantees rely on — while
+//! still using every core for large inputs. Tiny inputs (fewer items
+//! than shards) run inline to avoid spawn overhead.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Scoped spawning.
+// ---------------------------------------------------------------------------
+
+/// A scope for spawning borrowing tasks, mirroring `rayon::scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` on a new OS thread joined when the scope ends.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let handoff = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handoff));
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns after every spawned task finishes.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators (shard model).
+// ---------------------------------------------------------------------------
+
+/// A parallel pipeline: splits into `n` contiguous shards, each evaluated
+/// sequentially on its own thread.
+pub trait ParallelIterator: Sync + Sized {
+    /// The element type flowing out of this pipeline stage.
+    type Item: Send;
+
+    /// Upper bound on useful shard count (usually the item count).
+    fn max_shards(&self) -> usize;
+
+    /// Evaluates shard `i` of `n`, in order.
+    fn shard(&self, i: usize, n: usize) -> Vec<Self::Item>;
+
+    /// Applies `f` to every item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Folds each shard into one accumulator (rayon's `fold` semantics:
+    /// the result is a parallel iterator over per-shard accumulators).
+    fn fold<A, ID, F>(self, identity: ID, fold: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        Fold { base: self, identity, fold }
+    }
+
+    /// Combines all items in shard order, seeding with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        drive(&self).into_iter().fold(identity(), op)
+    }
+
+    /// Collects all items in order.
+    fn collect_into_vec(self, out: &mut Vec<Self::Item>) {
+        out.clear();
+        out.extend(drive(&self));
+    }
+}
+
+/// Evaluates every shard, on worker threads when the input is large
+/// enough, and concatenates the results in shard order.
+fn drive<P: ParallelIterator>(p: &P) -> Vec<P::Item> {
+    let n = current_num_threads().min(p.max_shards()).max(1);
+    if n == 1 {
+        return p.shard(0, 1);
+    }
+    let per_shard: Vec<Vec<P::Item>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n).map(|i| s.spawn(move || p.shard(i, n))).collect();
+        handles.into_iter().map(|h| h.join().expect("rayon shard panicked")).collect()
+    });
+    per_shard.into_iter().flatten().collect()
+}
+
+/// Splits `len` items into `n` contiguous ranges; shard `i` gets the
+/// `i`-th range (earlier shards one longer when `n ∤ len`).
+fn shard_bounds(len: usize, i: usize, n: usize) -> (usize, usize) {
+    let base = len / n;
+    let extra = len % n;
+    let start = i * base + i.min(extra);
+    let end = start + base + usize::from(i < extra);
+    (start, end)
+}
+
+/// `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn max_shards(&self) -> usize {
+        self.base.max_shards()
+    }
+
+    fn shard(&self, i: usize, n: usize) -> Vec<R> {
+        self.base.shard(i, n).into_iter().map(&self.f).collect()
+    }
+}
+
+/// `fold` adapter: one accumulator per shard.
+pub struct Fold<P, ID, F> {
+    base: P,
+    identity: ID,
+    fold: F,
+}
+
+impl<P, A, ID, F> ParallelIterator for Fold<P, ID, F>
+where
+    P: ParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, P::Item) -> A + Sync,
+{
+    type Item = A;
+
+    fn max_shards(&self) -> usize {
+        self.base.max_shards()
+    }
+
+    fn shard(&self, i: usize, n: usize) -> Vec<A> {
+        let acc = self.base.shard(i, n).into_iter().fold((self.identity)(), &self.fold);
+        vec![acc]
+    }
+}
+
+/// Borrowing parallel iterator over a slice (`par_iter`).
+pub struct ParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn max_shards(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn shard(&self, i: usize, n: usize) -> Vec<&'a T> {
+        let (start, end) = shard_bounds(self.slice.len(), i, n);
+        self.slice[start..end].iter().collect()
+    }
+}
+
+/// Parallel iterator over fixed-size chunks of a slice (`par_chunks`).
+pub struct ParChunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn max_shards(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn shard(&self, i: usize, n: usize) -> Vec<&'a [T]> {
+        let num_chunks = self.max_shards();
+        let (start, end) = shard_bounds(num_chunks, i, n);
+        (start..end)
+            .map(|c| {
+                let lo = c * self.chunk_size;
+                let hi = (lo + self.chunk_size).min(self.slice.len());
+                &self.slice[lo..hi]
+            })
+            .collect()
+    }
+}
+
+/// `.par_iter()` on slices (and anything derefing to them).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowing parallel iterator type.
+    type Iter: ParallelIterator;
+
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `.par_chunks(n)` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized pieces of the slice.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be positive");
+        ParChunks { slice: self, chunk_size }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_iter_map_reduce_matches_sequential() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let par = v.par_iter().map(|&x| x * x).reduce(|| 0, |a, b| a + b);
+        let seq: u64 = v.iter().map(|&x| x * x).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn fold_then_map_then_reduce_pipeline() {
+        // The exact shape the evaluator uses: fold to per-shard state,
+        // map to strip scratch, reduce to merge.
+        let v: Vec<u32> = (1..=1000).collect();
+        let total = v
+            .par_iter()
+            .fold(|| (0u64, 0usize), |(sum, cnt), &x| (sum + u64::from(x), cnt + 1))
+            .map(|(sum, _cnt)| sum)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn par_chunks_preserves_chunk_boundaries_and_order() {
+        let v: Vec<usize> = (0..103).collect();
+        let mut out = Vec::new();
+        v.par_chunks(10).map(|c| c.to_vec()).collect_into_vec(&mut out);
+        assert_eq!(out.len(), 11);
+        assert_eq!(out[0], (0..10).collect::<Vec<_>>());
+        assert_eq!(out[10], (100..103).collect::<Vec<_>>());
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, v);
+    }
+
+    #[test]
+    fn reduce_is_deterministic_across_runs() {
+        let v: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
+        let run = || v.par_iter().map(|&x| x * 1.000001).reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn scope_spawns_really_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn nested_scope_spawn() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert_eq!(empty.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b), 0);
+        let one = [41u8];
+        assert_eq!(one.par_iter().map(|&x| x + 1).reduce(|| 0, |a, b| a + b), 42);
+    }
+}
