@@ -54,10 +54,29 @@ fn bench_ranking(c: &mut Criterion) {
         })
     });
 
+    // Blocked path: one GEMM over a whole block of queries. Single-query
+    // blocks show the kernel cost; the evaluate benches below exercise the
+    // real multi-query blocking.
+    group.bench_function("score_block (blocked gemm, 8 queries)", |b| {
+        use mei_eval::BlockQuery;
+        let queries: Vec<BlockQuery> = (0..8)
+            .map(|i| BlockQuery::tails(EntityId(i), RelationId(i % 4)))
+            .collect();
+        let mut out = vec![0.0f32; queries.len() * model.num_entities()];
+        b.iter(|| {
+            model.score_block(black_box(&queries), &mut out);
+            out[0]
+        })
+    });
+
     // Full protocol over the test split (raw + filtered in one pass).
     group.sample_size(10);
-    group.bench_function("evaluate test split", |b| {
+    group.bench_function("evaluate test split (blocked)", |b| {
         b.iter(|| evaluate(&model, &dataset.test, &filter, &EvalConfig::default()))
+    });
+    group.bench_function("evaluate test split (legacy f64 dots)", |b| {
+        let legacy = mei_bench::LegacyScorer::new(&model);
+        b.iter(|| evaluate(&legacy, &dataset.test, &filter, &EvalConfig::default()))
     });
 
     group.finish();

@@ -9,6 +9,7 @@
 //! repro train <preset> [opts]   # one model, verbose convergence trace
 //! repro ablate [opts]           # design-choice sweeps (negatives, optimizer, ...)
 //! repro grid   [opts]           # §5.3 hyperparameter grid search (ComplEx)
+//! repro bench-eval [opts]       # ranking-throughput benchmark (legacy vs blocked GEMM)
 //!
 //! options:
 //!   --scale tiny|small|full     SynthWN scale (default small)
@@ -19,6 +20,8 @@
 //!   --budget <n>                override the n·D parameter-parity budget
 //!   --dedup true                drop inverse relation pairs first (WN18RR-style "hard" variant)
 //!   --metrics-out <path>        stream per-epoch/eval JSONL records for every training run
+//!   --limit <n>                 bench-eval: cap evaluated test triples (default 1000, 0 = all)
+//!   --out <path>                bench-eval: write the JSON report here (e.g. BENCH_eval.json)
 //! ```
 //!
 //! Every training run is phase-profiled (sampling/forward/backward/step/
@@ -50,6 +53,8 @@ struct Options {
     epochs: Option<usize>,
     budget: Option<usize>,
     metrics_out: Option<String>,
+    limit: usize,
+    out: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -66,6 +71,8 @@ fn parse_args() -> Options {
         epochs: None,
         budget: None,
         metrics_out: None,
+        limit: 1000,
+        out: None,
     };
     while let Some(flag) = args.next() {
         if !flag.starts_with("--") && opts.command == "train" && opts.train_preset.is_none() {
@@ -101,6 +108,8 @@ fn parse_args() -> Options {
                 opts.dedup = value().parse().unwrap_or_else(|_| usage("bad --dedup (true|false)"))
             }
             "--metrics-out" => opts.metrics_out = Some(value()),
+            "--limit" => opts.limit = value().parse().unwrap_or_else(|_| usage("bad --limit")),
+            "--out" => opts.out = Some(value()),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -110,9 +119,10 @@ fn parse_args() -> Options {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|all|train <preset>|ablate> \
+        "usage: repro <table1|table2|table3|table4|all|train <preset>|ablate|grid|bench-eval> \
          [--scale tiny|small|full] [--dataset DIR] [--order hrt|htr] \
-         [--seed N] [--epochs N] [--budget N] [--metrics-out run.jsonl]"
+         [--seed N] [--epochs N] [--budget N] [--metrics-out run.jsonl] \
+         [--limit N] [--out BENCH_eval.json]"
     );
     std::process::exit(2)
 }
@@ -393,6 +403,45 @@ fn grid(ds: &Dataset, proto: &Protocol) {
 [grid took {:.1?}]", t0.elapsed());
 }
 
+/// `repro bench-eval`: times the three ranking paths (legacy f64 dots,
+/// per-query SIMD, blocked GEMM) over the test split without training, and
+/// optionally writes the machine-readable report (BENCH_eval.json).
+fn bench_eval(ds: &Dataset, proto: &Protocol, opts: &Options) {
+    let t0 = Instant::now();
+    println!(
+        "bench-eval: |E| = {}, {} test triples (limit {}), budget n·D = {}",
+        ds.num_entities(),
+        ds.test.len(),
+        if opts.limit == 0 { "none".to_owned() } else { opts.limit.to_string() },
+        proto.budget
+    );
+    let report = mei_bench::bench_eval_throughput(ds, proto.budget, opts.seed, opts.limit);
+    for path in ["legacy_f64_dot", "per_query_simd", "blocked_gemm"] {
+        let qps = report
+            .get(path)
+            .and_then(|p| p.get("queries_per_sec"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        println!("  {path:<16} {qps:>10.1} queries/sec");
+    }
+    for key in ["speedup_blocked_vs_legacy", "speedup_blocked_vs_per_query"] {
+        let s = report.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!("  {key:<28} {s:>6.2}x");
+    }
+    println!("  filtered metrics bitwise identical across SIMD paths: yes");
+    let json = report.to_json();
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("cannot write --out {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  wrote {path}");
+    } else {
+        println!("{json}");
+    }
+    println!("\n[bench-eval took {:.1?}]", t0.elapsed());
+}
+
 /// `repro train <preset-name>`: trains a single preset verbosely — a
 /// diagnosis tool for watching convergence.
 fn train_one(ds: &Dataset, proto: &Protocol, name: &str) {
@@ -463,6 +512,10 @@ fn main() {
         "table4" => table4(&ds, &proto),
         "ablate" => ablate(&ds, &proto),
         "grid" => grid(&ds, &proto),
+        "bench-eval" => {
+            bench_eval(&ds, &proto, &opts);
+            return;
+        }
         "all" => {
             table1();
             table2(&ds, &proto);

@@ -14,10 +14,11 @@ use std::sync::Arc;
 use mei_core::regularizer::DirichletRegularizer;
 use mei_core::{ModelConfig, WeightRestriction};
 use mei_core::{MultiEmbedModel, TrainConfig, Trainer, WeightPreset, WeightVector};
-use mei_eval::ranking::evaluate_filtered;
-use mei_eval::{EvalConfig, LinkPredictionResults};
+use mei_eval::ranking::{evaluate_filtered, evaluate_with_stats};
+use mei_eval::{BlockQuery, EvalConfig, EvalStats, LinkPredictionResults, Side, TripleScorer};
 use mei_kg::{AugmentedDataset, Dataset, TripleStore};
-use mei_obs::{EpochRecord, EvalRecord, MetricsRegistry, TrainObserver};
+use mei_obs::json::build as json;
+use mei_obs::{EpochRecord, EvalRecord, JsonValue, MetricsRegistry, TrainObserver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -396,6 +397,194 @@ impl mei_eval::TripleScorer for ReciprocalScorer<'_> {
             *o += e;
         }
     }
+
+    fn score_block(&self, queries: &[BlockQuery], out: &mut [f32]) {
+        // Forward CP pass, blocked through the model's GEMM path.
+        self.model.score_block(queries, out);
+        // Inverse pass: flipping the replaced side ranks the same
+        // candidates under r⁽ᵃ⁾ (the per-query methods above do the same
+        // flip one query at a time), so both passes stay blocked.
+        let inverse: Vec<BlockQuery> = queries
+            .iter()
+            .map(|q| {
+                let inv = mei_kg::RelationId(q.relation.0 + self.original_num_relations as u32);
+                match q.side {
+                    Side::Tail => BlockQuery::heads(q.anchor, inv),
+                    Side::Head => BlockQuery::tails(q.anchor, inv),
+                }
+            })
+            .collect();
+        let mut extra = vec![0.0f32; out.len()];
+        self.model.score_block(&inverse, &mut extra);
+        for (o, e) in out.iter_mut().zip(&extra) {
+            *o += e;
+        }
+    }
+}
+
+impl<'a> ReciprocalScorer<'a> {
+    /// Wraps a CP model trained on the inverse-augmented vocabulary;
+    /// `original_num_relations` is the relation count before augmentation.
+    pub fn new(model: &'a MultiEmbedModel, original_num_relations: usize) -> Self {
+        Self { model, original_num_relations }
+    }
+}
+
+/// The evaluation path as it existed before the blocked GEMM kernel: one
+/// interaction context per query, then a serial f64-accumulating `dot`
+/// against every entity row, and no `score_block` override. Kept so
+/// `repro bench-eval` can measure the new pipeline against the original
+/// baseline on the same machine.
+pub struct LegacyScorer<'a> {
+    model: &'a MultiEmbedModel,
+}
+
+impl<'a> LegacyScorer<'a> {
+    /// Wraps `model` without touching its parameters.
+    pub fn new(model: &'a MultiEmbedModel) -> Self {
+        Self { model }
+    }
+}
+
+impl TripleScorer for LegacyScorer<'_> {
+    fn num_entities(&self) -> usize {
+        self.model.num_entities()
+    }
+
+    fn score(&self, head: mei_kg::EntityId, tail: mei_kg::EntityId, relation: mei_kg::RelationId) -> f32 {
+        self.model.score(head, tail, relation)
+    }
+
+    fn score_all_tails(&self, head: mei_kg::EntityId, relation: mei_kg::RelationId, out: &mut [f32]) {
+        let mut ctx = vec![0.0f32; self.model.entities.row_len()];
+        self.model.tail_context(head, relation, &mut ctx);
+        for (e, slot) in out.iter_mut().enumerate() {
+            *slot = mei_math::vecops::dot(&ctx, self.model.entities.row(e));
+        }
+    }
+
+    fn score_all_heads(&self, tail: mei_kg::EntityId, relation: mei_kg::RelationId, out: &mut [f32]) {
+        let mut ctx = vec![0.0f32; self.model.entities.row_len()];
+        self.model.head_context(tail, relation, &mut ctx);
+        for (e, slot) in out.iter_mut().enumerate() {
+            *slot = mei_math::vecops::dot(&ctx, self.model.entities.row(e));
+        }
+    }
+}
+
+/// Forwards the model's per-query SIMD path but hides its `score_block`
+/// override, so evaluation scores one query at a time. Comparing this
+/// against the model itself isolates the cache-blocking win from the
+/// kernel win, and its scores are bit-identical to the blocked path.
+pub struct UnblockedScorer<'a>(pub &'a MultiEmbedModel);
+
+impl TripleScorer for UnblockedScorer<'_> {
+    fn num_entities(&self) -> usize {
+        self.0.num_entities()
+    }
+
+    fn score(&self, head: mei_kg::EntityId, tail: mei_kg::EntityId, relation: mei_kg::RelationId) -> f32 {
+        self.0.score(head, tail, relation)
+    }
+
+    fn score_all_tails(&self, head: mei_kg::EntityId, relation: mei_kg::RelationId, out: &mut [f32]) {
+        self.0.score_all_tails(head, relation, out)
+    }
+
+    fn score_all_heads(&self, tail: mei_kg::EntityId, relation: mei_kg::RelationId, out: &mut [f32]) {
+        self.0.score_all_heads(tail, relation, out)
+    }
+    // no score_block: exercises the trait's per-query default
+}
+
+/// Times one full `evaluate_with_stats` pass and feeds its telemetry into
+/// the mei-obs registry (`eval_queries` counter + `eval_secs` histogram),
+/// so throughput is recorded through the same observability path as
+/// in-training evaluation.
+fn timed_eval_pass<S: TripleScorer>(
+    scorer: &S,
+    triples: &[mei_kg::Triple],
+    filter: &TripleStore,
+    eval_cfg: &EvalConfig,
+    registry: &MetricsRegistry,
+    label: &str,
+) -> (LinkPredictionResults, EvalStats) {
+    let (_, filt, stats) = evaluate_with_stats(scorer, triples, filter, eval_cfg);
+    registry.counter(&format!("eval_queries/{label}")).add(stats.queries as u64);
+    registry.histogram(&format!("eval_secs/{label}"), &PHASE_BUCKETS).observe(stats.wall_secs);
+    (filt, stats)
+}
+
+/// Measures link-prediction ranking throughput of the three evaluation
+/// paths on `dataset` — the legacy per-entity f64 dot loop, the per-query
+/// SIMD path, and the blocked GEMM pipeline — and asserts that the blocked
+/// pipeline reproduces the per-query filtered metrics bit-for-bit.
+///
+/// `limit` caps the evaluated test triples (0 = all). The returned object
+/// is the `BENCH_eval.json` artifact written by `repro bench-eval`.
+pub fn bench_eval_throughput(dataset: &Dataset, budget: usize, seed: u64, limit: usize) -> JsonValue {
+    let filter = dataset.filter_store();
+    let triples: &[mei_kg::Triple] = if limit > 0 && limit < dataset.test.len() {
+        &dataset.test[..limit]
+    } else {
+        &dataset.test
+    };
+    let cfg = ModelConfig {
+        num_entities: dataset.num_entities(),
+        num_relations: dataset.num_relations(),
+        n: 2,
+        dim: (budget / 2).max(1),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng);
+    let eval_cfg = EvalConfig::default();
+    let registry = MetricsRegistry::default();
+
+    let (legacy_filt, legacy) =
+        timed_eval_pass(&LegacyScorer::new(&model), triples, &filter, &eval_cfg, &registry, "legacy");
+    let (unblocked_filt, unblocked) =
+        timed_eval_pass(&UnblockedScorer(&model), triples, &filter, &eval_cfg, &registry, "per_query");
+    let (blocked_filt, blocked) =
+        timed_eval_pass(&model, triples, &filter, &eval_cfg, &registry, "blocked");
+
+    // The acceptance contract of the blocked path: exactly the metrics the
+    // per-query SIMD path produces, down to the last bit.
+    assert_eq!(
+        blocked_filt.mrr.to_bits(),
+        unblocked_filt.mrr.to_bits(),
+        "blocked filtered MRR diverged from the per-query path"
+    );
+    assert_eq!(blocked_filt.mr.to_bits(), unblocked_filt.mr.to_bits());
+    assert_eq!(blocked_filt.hits, unblocked_filt.hits);
+    assert_eq!(blocked.queries, unblocked.queries);
+
+    fn path_report(stats: &EvalStats, filt: &LinkPredictionResults) -> JsonValue {
+        json::obj([
+            ("queries", json::int(stats.queries)),
+            ("wall_secs", json::num(stats.wall_secs)),
+            ("queries_per_sec", json::num(stats.queries_per_sec)),
+            ("filtered_mrr", json::num(filt.mrr)),
+        ])
+    }
+    json::obj([
+        ("bench", json::str("eval_throughput")),
+        ("num_entities", json::int(dataset.num_entities())),
+        ("embedding_budget_nd", json::int(budget)),
+        ("test_triples", json::int(triples.len())),
+        ("seed", json::int(seed as usize)),
+        ("legacy_f64_dot", path_report(&legacy, &legacy_filt)),
+        ("per_query_simd", path_report(&unblocked, &unblocked_filt)),
+        ("blocked_gemm", path_report(&blocked, &blocked_filt)),
+        (
+            "speedup_blocked_vs_legacy",
+            json::num(blocked.queries_per_sec / legacy.queries_per_sec.max(f64::MIN_POSITIVE)),
+        ),
+        (
+            "speedup_blocked_vs_per_query",
+            json::num(blocked.queries_per_sec / unblocked.queries_per_sec.max(f64::MIN_POSITIVE)),
+        ),
+        ("filtered_metrics_bitwise_identical", JsonValue::Bool(true)),
+    ])
 }
 
 /// Ablation: CPh via the literal Eq. 7 data augmentation — CP trained on
@@ -537,6 +726,57 @@ mod tests {
         assert_eq!(p.dim_for(1), p.budget);
         assert_eq!(p.dim_for(2), p.budget / 2);
         assert_eq!(p.dim_for(4), p.budget / 4);
+    }
+
+    #[test]
+    fn reciprocal_score_block_matches_per_query_path() {
+        let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 2).generate();
+        let aug = AugmentedDataset::from_dataset(&ds);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = ModelConfig {
+            num_entities: aug.dataset.num_entities(),
+            num_relations: aug.dataset.num_relations(),
+            n: 2,
+            dim: 10,
+        };
+        let model =
+            MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::Cp.weight_vector(), &mut rng);
+        let scorer = ReciprocalScorer::new(&model, ds.num_relations());
+        let ne = scorer.num_entities();
+        let queries = [
+            BlockQuery::tails(mei_kg::EntityId(0), mei_kg::RelationId(0)),
+            BlockQuery::heads(mei_kg::EntityId(3), mei_kg::RelationId(1)),
+            BlockQuery::tails(mei_kg::EntityId(7), mei_kg::RelationId(2)),
+        ];
+        let mut blocked = vec![0.0f32; queries.len() * ne];
+        scorer.score_block(&queries, &mut blocked);
+        let mut row = vec![0.0f32; ne];
+        for (q, blocked_row) in queries.iter().zip(blocked.chunks(ne)) {
+            match q.side {
+                Side::Tail => scorer.score_all_tails(q.anchor, q.relation, &mut row),
+                Side::Head => scorer.score_all_heads(q.anchor, q.relation, &mut row),
+            }
+            for (a, b) in blocked_row.iter().zip(&row) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bench_eval_throughput_reports_consistent_paths() {
+        let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 4).generate();
+        let report = bench_eval_throughput(&ds, 32, 0, 50);
+        assert_eq!(report.get("test_triples").and_then(JsonValue::as_usize), Some(50));
+        for path in ["legacy_f64_dot", "per_query_simd", "blocked_gemm"] {
+            let p = report.get(path).unwrap_or_else(|| panic!("missing {path}"));
+            assert_eq!(p.get("queries").and_then(JsonValue::as_usize), Some(100));
+            assert!(p.get("queries_per_sec").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        }
+        // Same model, same triples: every path reports the same metric.
+        let mrr = |p: &str| report.get(p).and_then(|v| v.get("filtered_mrr")).and_then(JsonValue::as_f64).unwrap();
+        assert_eq!(mrr("per_query_simd"), mrr("blocked_gemm"));
+        assert!(report.get("speedup_blocked_vs_legacy").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert!(report.to_json().contains("eval_throughput"));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The multi-embedding interaction model (Eq. 8).
 
-use mei_eval::TripleScorer;
+use mei_eval::{BlockQuery, Side, TripleScorer};
 use mei_kg::{EntityId, RelationId, Triple};
 use mei_math::init::Init;
+use mei_math::kernels::{dot_fast, gemm_nt, hadamard_axpy_fast, trilinear_fast};
 use mei_math::vecops::{dot, hadamard_axpy, trilinear};
 use rand::Rng;
 
@@ -290,7 +291,7 @@ impl MultiEmbedModel {
             if w == 0.0 {
                 continue;
             }
-            s += w * trilinear(&h[i * d..(i + 1) * d], &ta[j * d..(j + 1) * d], &r[k * d..(k + 1) * d]);
+            s += w * trilinear_fast(&h[i * d..(i + 1) * d], &ta[j * d..(j + 1) * d], &r[k * d..(k + 1) * d]);
         }
         s
     }
@@ -369,7 +370,7 @@ impl MultiEmbedModel {
             if w == 0.0 {
                 continue;
             }
-            hadamard_axpy(w, &h[i * d..(i + 1) * d], &r[k * d..(k + 1) * d], &mut ctx[j * d..(j + 1) * d]);
+            hadamard_axpy_fast(w, &h[i * d..(i + 1) * d], &r[k * d..(k + 1) * d], &mut ctx[j * d..(j + 1) * d]);
         }
     }
 
@@ -385,7 +386,7 @@ impl MultiEmbedModel {
             if w == 0.0 {
                 continue;
             }
-            hadamard_axpy(w, &t[j * d..(j + 1) * d], &r[k * d..(k + 1) * d], &mut ctx[i * d..(i + 1) * d]);
+            hadamard_axpy_fast(w, &t[j * d..(j + 1) * d], &r[k * d..(k + 1) * d], &mut ctx[i * d..(i + 1) * d]);
         }
     }
 }
@@ -404,7 +405,7 @@ impl TripleScorer for MultiEmbedModel {
         let mut ctx = vec![0.0f32; self.cfg.n * self.cfg.dim];
         self.tail_context(head, relation, &mut ctx);
         for (e, slot) in out.iter_mut().enumerate() {
-            *slot = dot(&ctx, self.entities.row(e));
+            *slot = dot_fast(&ctx, self.entities.row(e));
         }
     }
 
@@ -413,8 +414,30 @@ impl TripleScorer for MultiEmbedModel {
         let mut ctx = vec![0.0f32; self.cfg.n * self.cfg.dim];
         self.head_context(tail, relation, &mut ctx);
         for (e, slot) in out.iter_mut().enumerate() {
-            *slot = dot(&ctx, self.entities.row(e));
+            *slot = dot_fast(&ctx, self.entities.row(e));
         }
+    }
+
+    /// The blocked evaluation path: pack every query's interaction context
+    /// into a row-major matrix and run one cache-blocked GEMM against the
+    /// entity table, streaming the table once per block of queries instead
+    /// of once per query.
+    ///
+    /// `gemm_nt` computes each output element with the same reduction as
+    /// the `dot_fast` calls above, so blocked scores are bit-identical to
+    /// the per-query path.
+    fn score_block(&self, queries: &[BlockQuery], out: &mut [f32]) {
+        let ne = self.cfg.num_entities;
+        debug_assert_eq!(out.len(), queries.len() * ne);
+        let k = self.cfg.n * self.cfg.dim;
+        let mut ctxs = vec![0.0f32; queries.len() * k];
+        for (q, ctx) in queries.iter().zip(ctxs.chunks_mut(k)) {
+            match q.side {
+                Side::Tail => self.tail_context(q.anchor, q.relation, ctx),
+                Side::Head => self.head_context(q.anchor, q.relation, ctx),
+            }
+        }
+        gemm_nt(&ctxs, self.entities.as_slice(), k, out);
     }
 }
 
@@ -662,5 +685,45 @@ mod tests {
         for w in m.omega().dense() {
             assert!((w - 0.125).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn score_block_is_bitwise_identical_to_per_query_path() {
+        // The blocked GEMM must reproduce score_all_tails/heads exactly —
+        // the evaluator relies on this to make blocked and fallback ranking
+        // bit-identical. Use an awkward dim so the kernels' unroll
+        // remainders are exercised.
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 37, 4, 13, &mut rng);
+        let queries: Vec<BlockQuery> = (0..12)
+            .map(|q| {
+                let anchor = EntityId((q * 5 % 37) as u32);
+                let rel = RelationId((q % 4) as u32);
+                if q % 2 == 0 {
+                    BlockQuery::tails(anchor, rel)
+                } else {
+                    BlockQuery::heads(anchor, rel)
+                }
+            })
+            .collect();
+        let ne = m.num_entities();
+        let mut blocked = vec![0.0f32; queries.len() * ne];
+        m.score_block(&queries, &mut blocked);
+        let mut row = vec![0.0f32; ne];
+        for (q, blocked_row) in queries.iter().zip(blocked.chunks(ne)) {
+            match q.side {
+                Side::Tail => m.score_all_tails(q.anchor, q.relation, &mut row),
+                Side::Head => m.score_all_heads(q.anchor, q.relation, &mut row),
+            }
+            for (a, b) in blocked_row.iter().zip(&row) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn score_block_on_empty_query_list_is_a_no_op() {
+        let m = tiny_model(WeightPreset::DistMult, 3);
+        m.score_block(&[], &mut []);
     }
 }

@@ -22,9 +22,9 @@ pub mod scorer;
 pub use auc::{average_precision, roc_auc};
 pub use categories::{categorize_relations, mrr_by_category, RelationCategory};
 pub use classification::{labeled_with_negatives, TripleClassifier};
-pub use metrics::{LinkPredictionResults, MetricsAccumulator};
+pub use metrics::{LinkPredictionResults, MetricsAccumulator, Side};
 pub use ranking::{
     evaluate, evaluate_with_stats, rank_from_counts, rank_triple, rank_triple_detailed,
-    EvalConfig, EvalStats, RankObservation, RankPair, TiePolicy,
+    rank_triple_detailed_presorted, EvalConfig, EvalStats, RankObservation, RankPair, TiePolicy,
 };
-pub use scorer::TripleScorer;
+pub use scorer::{BlockQuery, TripleScorer};

@@ -57,7 +57,7 @@ pub struct MetricsAccumulator {
 }
 
 /// Which entity was replaced to form the candidate set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     /// Head replacement: ranking `(h', t, r)`.
     Head,

@@ -1,11 +1,21 @@
 //! The ranking protocol: corrupt, score, rank, filter.
+//!
+//! Evaluation is planned, not streamed: test triples are first grouped by
+//! their distinct `(side, anchor, relation)` query so each interaction
+//! context is computed once, queries are scored in blocks through
+//! [`TripleScorer::score_block`] (which models back with a cache-blocked
+//! GEMM over the entity table), and the resulting ranks are aggregated in
+//! a fixed sequential order so metrics are bit-reproducible regardless of
+//! how rayon splits the work.
+
+use std::collections::HashMap;
 
 use mei_kg::{EntityId, RelationId, Triple, TripleStore};
 use mei_obs::RankHistogram;
 use rayon::prelude::*;
 
 use crate::metrics::{LinkPredictionResults, MetricsAccumulator, Side};
-use crate::scorer::TripleScorer;
+use crate::scorer::{BlockQuery, TripleScorer};
 
 /// How candidates scoring exactly the true score are counted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,6 +113,29 @@ pub fn rank_triple_detailed(
     known_true: &[EntityId],
     policy: TiePolicy,
 ) -> RankObservation {
+    // The list may contain duplicates (callers can pass arbitrary slices),
+    // so deduplicate before counting — otherwise the filtered subtraction
+    // could underflow.
+    let mut known: Vec<EntityId> = known_true.to_vec();
+    known.sort_unstable();
+    known.dedup();
+    rank_triple_detailed_presorted(scores, true_entity, &known, policy)
+}
+
+/// Like [`rank_triple_detailed`], but `known_true` must already be sorted
+/// and deduplicated. The evaluator's query planner prepares each group's
+/// exclusion set exactly once, so the per-query sort/dedup of the generic
+/// entry point is skipped.
+pub fn rank_triple_detailed_presorted(
+    scores: &[f32],
+    true_entity: EntityId,
+    known_true: &[EntityId],
+    policy: TiePolicy,
+) -> RankObservation {
+    debug_assert!(
+        known_true.windows(2).all(|w| w[0] < w[1]),
+        "known_true must be sorted and deduplicated"
+    );
     let true_score = scores[true_entity.idx()];
     let mut better = 0usize;
     let mut tied = 0usize;
@@ -116,15 +149,10 @@ pub fn rank_triple_detailed(
     tied -= 1; // the true entity itself
     let raw = rank_from_counts(better, tied, policy);
 
-    // Filtered: discount known-true competitors. The list may contain
-    // duplicates (callers can pass arbitrary slices), so deduplicate before
-    // counting — otherwise the subtraction below could underflow.
-    let mut known: Vec<EntityId> = known_true.to_vec();
-    known.sort_unstable();
-    known.dedup();
+    // Filtered: discount known-true competitors.
     let mut better_known = 0usize;
     let mut tied_known = 0usize;
-    for &e in &known {
+    for &e in known_true {
         if e == true_entity {
             continue;
         }
@@ -181,13 +209,58 @@ impl StatsAccum {
             Side::Tail => self.tail_ranks.record(obs.pair.filtered),
         }
     }
+}
 
-    fn merge(&mut self, other: &StatsAccum) {
-        self.queries += other.queries;
-        self.tied_queries += other.tied_queries;
-        self.head_ranks.merge(&other.head_ranks);
-        self.tail_ranks.merge(&other.tail_ranks);
+/// Queries scored per [`TripleScorer::score_block`] call. Sized so a block
+/// of score rows stays a few MB even at WN18 scale (~41k entities) while
+/// giving the GEMM enough rows to amortize each pass over the entity table.
+const QUERY_BLOCK: usize = 32;
+
+/// One distinct ranking query plus everything needed to rank its group:
+/// the precomputed (sorted, deduplicated) filtered-protocol exclusion set
+/// and the `(observation slot, true entity)` of every test triple that
+/// shares the query.
+struct QueryGroup {
+    query: BlockQuery,
+    known: Vec<EntityId>,
+    members: Vec<(usize, EntityId)>,
+}
+
+/// Groups the head- and tail-replacement queries of `triples` by their
+/// distinct `(side, anchor, relation)` key.
+///
+/// Test sets repeat anchors heavily (every relation has popular entities),
+/// so grouping lets the scorer compute each interaction context once and
+/// lets the filtered exclusion set be sorted/deduplicated once per group
+/// instead of once per query. Observation slot `2·i` is triple `i`'s
+/// tail-side query, `2·i + 1` its head-side query.
+fn plan_queries(triples: &[Triple], filter: &TripleStore) -> Vec<QueryGroup> {
+    let mut index: HashMap<BlockQuery, usize> = HashMap::new();
+    let mut groups: Vec<QueryGroup> = Vec::new();
+    for (i, t) in triples.iter().enumerate() {
+        for (query, slot, truth) in [
+            (BlockQuery::tails(t.head, t.relation), 2 * i, t.tail),
+            (BlockQuery::heads(t.tail, t.relation), 2 * i + 1, t.head),
+        ] {
+            let gi = *index.entry(query).or_insert_with(|| {
+                let known = match query.side {
+                    Side::Tail => filter.tails_of(query.anchor, query.relation),
+                    Side::Head => filter.heads_of(query.anchor, query.relation),
+                };
+                let mut known = known.to_vec();
+                known.sort_unstable();
+                known.dedup();
+                groups.push(QueryGroup { query, known, members: Vec::new() });
+                groups.len() - 1
+            });
+            groups[gi].members.push((slot, truth));
+        }
     }
+    // Fix the processing order so runs are reproducible regardless of the
+    // hash map's per-process seed. Scores are block-composition-independent
+    // (each row is one context·table pass), so this only pins scheduling.
+    groups.sort_unstable_by_key(|g| (g.query.side as u8, g.query.anchor.0, g.query.relation.0));
+    groups
 }
 
 /// Evaluates `scorer` on `triples` with both head- and tail-replacement
@@ -216,52 +289,53 @@ pub fn evaluate_with_stats<S: TripleScorer>(
 ) -> (LinkPredictionResults, LinkPredictionResults, EvalStats) {
     let started = std::time::Instant::now();
     let ne = scorer.num_entities();
-    let (raw_acc, filt_acc, stats_acc) = triples
-        .par_iter()
-        .fold(
-            || {
-                (
-                    MetricsAccumulator::new(&config.hits_at),
-                    MetricsAccumulator::new(&config.hits_at),
-                    StatsAccum::default(),
-                    vec![0.0f32; ne],
-                )
-            },
-            |(mut raw, mut filt, mut stats, mut buf), t| {
-                // Tail replacement: rank t among (h, t', r).
-                scorer.score_all_tails(t.head, t.relation, &mut buf);
-                let known = filter.tails_of(t.head, t.relation);
-                let obs = rank_triple_detailed(&buf, t.tail, known, config.tie_policy);
-                raw.push(t.relation, Side::Tail, obs.pair.raw);
-                filt.push(t.relation, Side::Tail, obs.pair.filtered);
-                stats.push(Side::Tail, &obs);
+    let policy = config.tie_policy;
+    let groups = plan_queries(triples, filter);
 
-                // Head replacement: rank h among (h', t, r).
-                scorer.score_all_heads(t.tail, t.relation, &mut buf);
-                let known = filter.heads_of(t.tail, t.relation);
-                let obs = rank_triple_detailed(&buf, t.head, known, config.tie_policy);
-                raw.push(t.relation, Side::Head, obs.pair.raw);
-                filt.push(t.relation, Side::Head, obs.pair.filtered);
-                stats.push(Side::Head, &obs);
-                (raw, filt, stats, buf)
+    // Score planned queries block-by-block and rank every group member
+    // against its score row. The fold state carries the query and score
+    // scratch buffers, so each rayon job allocates them once instead of
+    // once per query. Ranks are scattered into per-query slots afterwards:
+    // the final aggregation below runs in original triple order, making
+    // every f64 sum independent of rayon's split decisions and identical
+    // between the blocked path and any per-query fallback that produces
+    // the same scores.
+    let mut ranked: Vec<Vec<(usize, RankObservation)>> = Vec::new();
+    groups
+        .par_chunks(QUERY_BLOCK)
+        .fold(
+            || (Vec::new(), Vec::<BlockQuery>::new(), Vec::<f32>::new()),
+            |(mut done, mut queries, mut scores), chunk: &[QueryGroup]| {
+                queries.clear();
+                queries.extend(chunk.iter().map(|g| g.query));
+                scores.resize(queries.len() * ne, 0.0);
+                scorer.score_block(&queries, &mut scores);
+                for (g, row) in chunk.iter().zip(scores.chunks(ne)) {
+                    for &(slot, truth) in &g.members {
+                        done.push((slot, rank_triple_detailed_presorted(row, truth, &g.known, policy)));
+                    }
+                }
+                (done, queries, scores)
             },
         )
-        .map(|(raw, filt, stats, _)| (raw, filt, stats))
-        .reduce(
-            || {
-                (
-                    MetricsAccumulator::new(&config.hits_at),
-                    MetricsAccumulator::new(&config.hits_at),
-                    StatsAccum::default(),
-                )
-            },
-            |(mut ra, mut fa, mut sa), (rb, fb, sb)| {
-                ra.merge(&rb);
-                fa.merge(&fb);
-                sa.merge(&sb);
-                (ra, fa, sa)
-            },
-        );
+        .map(|(done, _, _)| done)
+        .collect_into_vec(&mut ranked);
+    let mut observations: Vec<Option<RankObservation>> = vec![None; triples.len() * 2];
+    for (slot, obs) in ranked.into_iter().flatten() {
+        observations[slot] = Some(obs);
+    }
+
+    let mut raw_acc = MetricsAccumulator::new(&config.hits_at);
+    let mut filt_acc = MetricsAccumulator::new(&config.hits_at);
+    let mut stats_acc = StatsAccum::default();
+    for (i, t) in triples.iter().enumerate() {
+        for (side, slot) in [(Side::Tail, 2 * i), (Side::Head, 2 * i + 1)] {
+            let obs = observations[slot].expect("planner covers every query");
+            raw_acc.push(t.relation, side, obs.pair.raw);
+            filt_acc.push(t.relation, side, obs.pair.filtered);
+            stats_acc.push(side, &obs);
+        }
+    }
     let wall_secs = started.elapsed().as_secs_f64();
     let stats = EvalStats {
         queries: stats_acc.queries,
@@ -561,6 +635,88 @@ mod tests {
         assert_eq!(stats.tie_rate, 0.0);
         // Every tail-side query ranks the true entity first.
         assert_eq!(stats.tail_ranks.buckets[0], 5);
+    }
+
+    #[test]
+    fn planner_groups_shared_queries_and_keeps_duplicates() {
+        // Three triples sharing the (0, ·, 0) tail query, one of them a
+        // duplicate: the tail side plans 2 distinct groups (anchors 0 and
+        // 2), and every triple occurrence keeps its own observation slot.
+        let triples =
+            vec![Triple::new(0, 1, 0), Triple::new(0, 2, 0), Triple::new(0, 1, 0), Triple::new(2, 3, 0)];
+        let filter: TripleStore = triples.iter().copied().collect();
+        let groups = plan_queries(&triples, &filter);
+        let tail_groups: Vec<_> =
+            groups.iter().filter(|g| g.query.side == Side::Tail).collect();
+        assert_eq!(tail_groups.len(), 2);
+        let g0 = tail_groups.iter().find(|g| g.query.anchor == EntityId(0)).unwrap();
+        assert_eq!(g0.members.len(), 3); // slots 0, 2, 4
+        assert_eq!(g0.known, vec![EntityId(1), EntityId(2)]);
+        let slots: Vec<usize> = groups.iter().flat_map(|g| g.members.iter().map(|m| m.0)).collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_test_triples_are_each_ranked() {
+        let s = TableScorer { num_entities: 6, f: |_, t, _| -(t as f32) };
+        let triples = vec![Triple::new(0, 1, 0), Triple::new(0, 1, 0)];
+        let filter: TripleStore = triples.iter().copied().collect();
+        let (raw, _, stats) = evaluate_with_stats(&s, &triples, &filter, &EvalConfig::default());
+        assert_eq!(raw.num_queries, 4);
+        assert_eq!(stats.queries, 4);
+    }
+
+    #[test]
+    fn presorted_rank_matches_generic_entry_point() {
+        let scores = [5.0f32, 3.0, 9.0, 3.0, 7.0];
+        let known = [EntityId(4), EntityId(2), EntityId(2), EntityId(0)];
+        let mut sorted = known.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for policy in [TiePolicy::Optimistic, TiePolicy::Average, TiePolicy::Pessimistic] {
+            let generic = rank_triple_detailed(&scores, EntityId(1), &known, policy);
+            let fast = rank_triple_detailed_presorted(&scores, EntityId(1), &sorted, policy);
+            assert_eq!(generic, fast);
+        }
+    }
+
+    #[test]
+    fn blocked_evaluation_matches_manual_per_query_loop() {
+        // The planner + score_block pipeline must reproduce exactly what a
+        // naive per-triple loop over score_all_tails/heads computes.
+        let s = TableScorer {
+            num_entities: 12,
+            f: |h, t, r| ((h * 31 + t * 7 + r * 3) % 13) as f32 - 6.0,
+        };
+        let triples: Vec<Triple> =
+            (0..9).map(|i| Triple::new(i % 4, (i * 3 + 1) % 12, i % 2)).collect();
+        let filter: TripleStore = triples.iter().copied().collect();
+        let config = EvalConfig::default();
+        let (raw, filt, _) = evaluate_with_stats(&s, &triples, &filter, &config);
+
+        let mut raw_ref = MetricsAccumulator::new(&config.hits_at);
+        let mut filt_ref = MetricsAccumulator::new(&config.hits_at);
+        let mut buf = vec![0.0f32; s.num_entities()];
+        for t in &triples {
+            s.score_all_tails(t.head, t.relation, &mut buf);
+            let obs =
+                rank_triple_detailed(&buf, t.tail, filter.tails_of(t.head, t.relation), config.tie_policy);
+            raw_ref.push(t.relation, Side::Tail, obs.pair.raw);
+            filt_ref.push(t.relation, Side::Tail, obs.pair.filtered);
+            s.score_all_heads(t.tail, t.relation, &mut buf);
+            let obs =
+                rank_triple_detailed(&buf, t.head, filter.heads_of(t.tail, t.relation), config.tie_policy);
+            raw_ref.push(t.relation, Side::Head, obs.pair.raw);
+            filt_ref.push(t.relation, Side::Head, obs.pair.filtered);
+        }
+        let (raw_ref, filt_ref) = (raw_ref.finish(), filt_ref.finish());
+        assert_eq!(raw.mrr.to_bits(), raw_ref.mrr.to_bits());
+        assert_eq!(filt.mrr.to_bits(), filt_ref.mrr.to_bits());
+        assert_eq!(raw.mr.to_bits(), raw_ref.mr.to_bits());
+        assert_eq!(filt.hits, filt_ref.hits);
+        assert_eq!(filt.per_relation_mrr, filt_ref.per_relation_mrr);
     }
 
     #[test]

@@ -1,6 +1,36 @@
 //! The model-side interface the evaluator consumes.
 
+use crate::metrics::Side;
 use mei_kg::{EntityId, RelationId};
+
+/// One ranking query in a [`TripleScorer::score_block`] batch: score every
+/// entity in the vocabulary as a candidate replacement on `side`.
+///
+/// A tail query fixes the head (`anchor`) and relation and asks for
+/// `S(anchor, t', relation)` over all `t'`; a head query fixes the tail and
+/// asks for `S(h', anchor, relation)` over all `h'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockQuery {
+    /// Which slot is being ranked (the replaced entity).
+    pub side: Side,
+    /// The fixed entity: the head for tail queries, the tail for head
+    /// queries.
+    pub anchor: EntityId,
+    /// The relation.
+    pub relation: RelationId,
+}
+
+impl BlockQuery {
+    /// A tail-replacement query `(head, ?, relation)`.
+    pub fn tails(head: EntityId, relation: RelationId) -> Self {
+        Self { side: Side::Tail, anchor: head, relation }
+    }
+
+    /// A head-replacement query `(?, tail, relation)`.
+    pub fn heads(tail: EntityId, relation: RelationId) -> Self {
+        Self { side: Side::Head, anchor: tail, relation }
+    }
+}
 
 /// A scoring function over triples: higher means "more likely valid"
 /// (§2.1's prediction component).
@@ -33,6 +63,26 @@ pub trait TripleScorer: Sync {
             *slot = self.score(EntityId(i as u32), tail, relation);
         }
     }
+
+    /// Scores a whole block of queries against every entity.
+    ///
+    /// `out` is row-major `queries.len() × num_entities`; row `q` receives
+    /// the candidate scores of `queries[q]`. The default delegates to
+    /// [`TripleScorer::score_all_tails`] / [`TripleScorer::score_all_heads`]
+    /// row by row; implementors with a matrix fast path (mei-core's blocked
+    /// GEMM over the entity table) override it so the evaluator's blocked
+    /// ranking pipeline streams the entity table once per block instead of
+    /// once per query.
+    fn score_block(&self, queries: &[BlockQuery], out: &mut [f32]) {
+        let ne = self.num_entities();
+        debug_assert_eq!(out.len(), queries.len() * ne);
+        for (q, row) in queries.iter().zip(out.chunks_mut(ne)) {
+            match q.side {
+                Side::Tail => self.score_all_tails(q.anchor, q.relation, row),
+                Side::Head => self.score_all_heads(q.anchor, q.relation, row),
+            }
+        }
+    }
 }
 
 /// Blanket impl so `&M` can be passed wherever a scorer is needed.
@@ -51,6 +101,10 @@ impl<M: TripleScorer + ?Sized> TripleScorer for &M {
 
     fn score_all_heads(&self, tail: EntityId, relation: RelationId, out: &mut [f32]) {
         (**self).score_all_heads(tail, relation, out)
+    }
+
+    fn score_block(&self, queries: &[BlockQuery], out: &mut [f32]) {
+        (**self).score_block(queries, out)
     }
 }
 

@@ -1,0 +1,548 @@
+//! Blocked, SIMD-friendly evaluation kernels.
+//!
+//! Link-prediction ranking reduces to scoring a small matrix of query
+//! contexts against the whole entity table — a tall-skinny `A · Bᵀ`. The
+//! kernels here make that memory-bandwidth-bound instead of latency-bound:
+//!
+//! * [`dot_fast`] / [`trilinear_fast`] / [`hadamard_axpy_fast`] — unrolled
+//!   multi-accumulator variants of the `vecops` kernels. Eight independent
+//!   f32 lanes break the serial dependency chain of the classic
+//!   one-accumulator loop, so the autovectorizer maps them onto full-width
+//!   SIMD FMAs.
+//! * [`gemm_nt`] — a cache-blocked `out = A · Bᵀ` over row-major inputs
+//!   that streams each block of B (the entity table) through L2 exactly
+//!   once per block of A rows (the packed query contexts).
+//!
+//! # Determinism contract
+//!
+//! Every element of [`gemm_nt`]'s output is computed by the *same*
+//! reduction (same lane count, same combine tree, same FMA usage) as one
+//! [`dot_fast`] call on the corresponding rows. Blocking only reorders
+//! *which* (row, column) pairs are computed when — never the arithmetic
+//! inside one pair — so the blocked evaluation path produces bit-identical
+//! scores to the per-query path within a process. On x86-64 the kernels
+//! dispatch once (cached) to a hand-written AVX2+FMA variant when the CPU
+//! supports it; both callers go through the same dispatch, preserving the
+//! bit-identity. (The AVX2 and portable variants may differ from *each
+//! other* in the last bit — the contract is within a process, not across
+//! machines.)
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Number of independent accumulator lanes. Eight f32 lanes fill one AVX2
+/// register (or two SSE2 registers) and are enough to hide FMA latency.
+const LANES: usize = 8;
+
+/// Dispatch cache: 0 = undetected, 1 = portable, 2 = AVX2+FMA.
+static SIMD_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the AVX2+FMA fast path is active (detected once per process).
+#[inline]
+pub fn avx2_fma_enabled() -> bool {
+    match SIMD_LEVEL.load(Ordering::Relaxed) {
+        0 => {
+            #[cfg(target_arch = "x86_64")]
+            let has = std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma");
+            #[cfg(not(target_arch = "x86_64"))]
+            let has = false;
+            SIMD_LEVEL.store(if has { 2 } else { 1 }, Ordering::Relaxed);
+            has
+        }
+        level => level == 2,
+    }
+}
+
+/// The shared dot-product body: eight independent accumulators over
+/// `chunks_exact(8)`, a fixed pairwise combine tree, then the scalar tail.
+/// `FMA = true` uses `f32::mul_add` (a single hardware instruction only
+/// inside a `target_feature(enable = "fma")` context — calling it without
+/// FMA enabled would lower to a slow libm call, hence the const split).
+#[inline(always)]
+fn dot_body<const FMA: bool>(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let ca = a.chunks_exact(LANES);
+    let cb = b.chunks_exact(LANES);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for l in 0..LANES {
+            if FMA {
+                acc[l] = xa[l].mul_add(xb[l], acc[l]);
+            } else {
+                acc[l] += xa[l] * xb[l];
+            }
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ra.iter().zip(rb) {
+        if FMA {
+            tail = x.mul_add(*y, tail);
+        } else {
+            tail += x * y;
+        }
+    }
+    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
+}
+
+/// Trilinear body, same lane structure as [`dot_body`].
+#[inline(always)]
+fn trilinear_body<const FMA: bool>(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    let mut acc = [0.0f32; LANES];
+    let ca = a.chunks_exact(LANES);
+    let cb = b.chunks_exact(LANES);
+    let cc = c.chunks_exact(LANES);
+    let (ra, rb, rc) = (ca.remainder(), cb.remainder(), cc.remainder());
+    for ((xa, xb), xc) in ca.zip(cb).zip(cc) {
+        for l in 0..LANES {
+            if FMA {
+                acc[l] = (xa[l] * xb[l]).mul_add(xc[l], acc[l]);
+            } else {
+                acc[l] += xa[l] * xb[l] * xc[l];
+            }
+        }
+    }
+    let mut tail = 0.0f32;
+    for ((x, y), z) in ra.iter().zip(rb).zip(rc) {
+        if FMA {
+            tail = (x * y).mul_add(*z, tail);
+        } else {
+            tail += x * y * z;
+        }
+    }
+    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
+}
+
+/// Hadamard-AXPY body: `out[d] += alpha · a[d] · b[d]`.
+#[inline(always)]
+fn hadamard_axpy_body<const FMA: bool>(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        if FMA {
+            *o = (alpha * x).mul_add(*y, *o);
+        } else {
+            *o += alpha * x * y;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Hand-written AVX2+FMA kernels. Four 256-bit accumulators hide the
+    //! FMA latency chain; the horizontal reduction order is fixed, so the
+    //! same inputs always produce the same bits on this path. Callers must
+    //! check [`super::avx2_fma_enabled`] first.
+    use super::rows_per_block;
+    use std::arch::x86_64::*;
+
+    /// Shared dot kernel: the one reduction both [`dot`] and [`gemm_nt`]
+    /// use, which is what makes blocked and per-query scores bit-identical.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_inner(a: *const f32, b: *const f32, len: usize) -> f32 {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 32 <= len {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(i)), _mm256_loadu_ps(b.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(i + 8)),
+                _mm256_loadu_ps(b.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(i + 16)),
+                _mm256_loadu_ps(b.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(i + 24)),
+                _mm256_loadu_ps(b.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        let mut acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        while i + 8 <= len {
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(i)), _mm256_loadu_ps(b.add(i)), acc);
+            i += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+        while i < len {
+            s = (*a.add(i)).mul_add(*b.add(i), s);
+            i += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        dot_inner(a.as_ptr(), b.as_ptr(), a.len())
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn trilinear(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), c.len());
+        let (pa, pb, pc) = (a.as_ptr(), b.as_ptr(), c.as_ptr());
+        let len = a.len();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= len {
+            let p0 = _mm256_mul_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            let p1 =
+                _mm256_mul_ps(_mm256_loadu_ps(pa.add(i + 8)), _mm256_loadu_ps(pb.add(i + 8)));
+            acc0 = _mm256_fmadd_ps(p0, _mm256_loadu_ps(pc.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(p1, _mm256_loadu_ps(pc.add(i + 8)), acc1);
+            i += 16;
+        }
+        let mut acc = _mm256_add_ps(acc0, acc1);
+        while i + 8 <= len {
+            let p = _mm256_mul_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            acc = _mm256_fmadd_ps(p, _mm256_loadu_ps(pc.add(i)), acc);
+            i += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+        while i < len {
+            s = (*pa.add(i) * *pb.add(i)).mul_add(*pc.add(i), s);
+            i += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn hadamard_axpy(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), out.len());
+        let (pa, pb, po) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let len = out.len();
+        let valpha = _mm256_set1_ps(alpha);
+        let mut i = 0usize;
+        while i + 8 <= len {
+            let p = _mm256_mul_ps(valpha, _mm256_loadu_ps(pa.add(i)));
+            let o = _mm256_fmadd_ps(p, _mm256_loadu_ps(pb.add(i)), _mm256_loadu_ps(po.add(i)));
+            _mm256_storeu_ps(po.add(i), o);
+            i += 8;
+        }
+        while i < len {
+            *po.add(i) = (alpha * *pa.add(i)).mul_add(*pb.add(i), *po.add(i));
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gemm_nt(a: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
+        let m = a.len() / k;
+        let n = b.len() / k;
+        let nb = rows_per_block(k);
+        for (block_idx, bblock) in b.chunks(nb * k).enumerate() {
+            let j0 = block_idx * nb;
+            let bn = bblock.len() / k;
+            for i in 0..m {
+                let arow = a.as_ptr().add(i * k);
+                let orow = &mut out[i * n + j0..i * n + j0 + bn];
+                for (j, slot) in orow.iter_mut().enumerate() {
+                    *slot = dot_inner(arow, bblock.as_ptr().add(j * k), k);
+                }
+            }
+        }
+    }
+}
+
+/// Unrolled dot product `Σ_d a[d]·b[d]` with eight independent f32
+/// accumulator lanes. Same value in every call within a process (the
+/// AVX2+FMA dispatch is detected once and cached), but *not* bit-identical
+/// to [`crate::vecops::dot`], which accumulates serially in f64.
+#[inline]
+pub fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2+FMA are available.
+        return unsafe { x86::dot(a, b) };
+    }
+    dot_body::<false>(a, b)
+}
+
+/// Unrolled trilinear product `Σ_d a[d]·b[d]·c[d]` (lane structure of
+/// [`dot_fast`]).
+#[inline]
+pub fn trilinear_fast(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2+FMA are available.
+        return unsafe { x86::trilinear(a, b, c) };
+    }
+    trilinear_body::<false>(a, b, c)
+}
+
+/// Unrolled in-place scaled Hadamard accumulation
+/// `out[d] += alpha · a[d] · b[d]` (the interaction-context builder's
+/// workhorse).
+#[inline]
+pub fn hadamard_axpy_fast(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2+FMA are available.
+        return unsafe { x86::hadamard_axpy(alpha, a, b, out) };
+    }
+    hadamard_axpy_body::<false>(alpha, a, b, out)
+}
+
+/// Target working-set size for one column block of B: sized so a block of
+/// entity rows stays resident in L2 while every query row streams past it.
+const BLOCK_BYTES: usize = 256 * 1024;
+
+/// Rows of B per cache block for inner dimension `k`.
+#[inline]
+fn rows_per_block(k: usize) -> usize {
+    (BLOCK_BYTES / (std::mem::size_of::<f32>() * k.max(1))).clamp(8, 8192)
+}
+
+#[inline(always)]
+fn gemm_nt_body<const FMA: bool>(a: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
+    let m = a.len() / k;
+    let n = b.len() / k;
+    let nb = rows_per_block(k);
+    for (block_idx, bblock) in b.chunks(nb * k).enumerate() {
+        let j0 = block_idx * nb;
+        let bn = bblock.len() / k;
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n + j0..i * n + j0 + bn];
+            for (j, slot) in orow.iter_mut().enumerate() {
+                *slot = dot_body::<FMA>(arow, &bblock[j * k..(j + 1) * k]);
+            }
+        }
+    }
+}
+
+/// Cache-blocked `out = A · Bᵀ` for row-major `A` (`m×k`) and `B` (`n×k`):
+/// `out[i·n + j] = Σ_d A[i,d]·B[j,d]`.
+///
+/// `B`'s rows are processed in L2-sized blocks and every `A` row visits the
+/// hot block before the next one is loaded, so `B` (the entity table, which
+/// at WN18 scale is tens of MB) is streamed from memory once per `m`-row
+/// block of queries instead of once per query. Each output element is
+/// reduced exactly like one [`dot_fast`] call on the corresponding rows —
+/// see the module-level determinism contract.
+///
+/// # Panics
+/// Panics when `a.len()` or `b.len()` is not a multiple of `k`, or when
+/// `out.len() != (a.len()/k) · (b.len()/k)`.
+pub fn gemm_nt(a: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
+    assert!(k > 0, "gemm_nt needs a positive inner dimension");
+    assert_eq!(a.len() % k, 0, "A length {} is not a multiple of k = {k}", a.len());
+    assert_eq!(b.len() % k, 0, "B length {} is not a multiple of k = {k}", b.len());
+    assert_eq!(
+        out.len(),
+        (a.len() / k) * (b.len() / k),
+        "out must hold m×n = {}×{} scores",
+        a.len() / k,
+        b.len() / k
+    );
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2+FMA are available.
+        return unsafe { x86::gemm_nt(a, b, k, out) };
+    }
+    gemm_nt_body::<false>(a, b, k, out)
+}
+
+/// Straightforward f64-accumulating reference for [`gemm_nt`], used by
+/// tests and benchmarks as the ground truth.
+pub fn gemm_nt_ref(a: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
+    assert!(k > 0);
+    assert_eq!(a.len() % k, 0);
+    assert_eq!(b.len() % k, 0);
+    let (m, n) = (a.len() / k, b.len() / k);
+    assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for d in 0..k {
+                acc += f64::from(a[i * k + d]) * f64::from(b[j * k + d]);
+            }
+            out[i * n + j] = acc as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn dot_fast_matches_reference_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [0, 1, 7, 8, 9, 63, 400, 401] {
+            let a = random_vec(&mut rng, len);
+            let b = random_vec(&mut rng, len);
+            let fast = dot_fast(&a, &b);
+            let reference = vecops::dot(&a, &b);
+            assert!(
+                (fast - reference).abs() <= 1e-4 * (1.0 + reference.abs()),
+                "len {len}: {fast} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn trilinear_fast_matches_reference_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for len in [0, 3, 8, 17, 100, 400] {
+            let a = random_vec(&mut rng, len);
+            let b = random_vec(&mut rng, len);
+            let c = random_vec(&mut rng, len);
+            let fast = trilinear_fast(&a, &b, &c);
+            let reference = vecops::trilinear(&a, &b, &c);
+            assert!(
+                (fast - reference).abs() <= 1e-4 * (1.0 + reference.abs()),
+                "len {len}: {fast} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn hadamard_axpy_fast_matches_reference_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [0, 5, 8, 33, 200] {
+            let a = random_vec(&mut rng, len);
+            let b = random_vec(&mut rng, len);
+            let mut fast = random_vec(&mut rng, len);
+            let mut reference = fast.clone();
+            hadamard_axpy_fast(0.7, &a, &b, &mut fast);
+            vecops::hadamard_axpy(0.7, &a, &b, &mut reference);
+            for (f, r) in fast.iter().zip(&reference) {
+                assert!((f - r).abs() <= 1e-5 * (1.0 + r.abs()), "len {len}: {f} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_per_row_dot_bitwise() {
+        // The determinism contract: every gemm output element must be the
+        // exact bits dot_fast produces on the same rows, for shapes that
+        // cross the cache-block boundary.
+        let mut rng = StdRng::seed_from_u64(4);
+        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (4, 300, 8), (2, 9000, 64), (5, 70_000, 12)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, n * k);
+            let mut out = vec![0.0f32; m * n];
+            gemm_nt(&a, &b, k, &mut out);
+            for i in 0..m {
+                for j in 0..n {
+                    let expect = dot_fast(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                    assert_eq!(
+                        out[i * n + j].to_bits(),
+                        expect.to_bits(),
+                        "({m},{n},{k}) element ({i},{j}): {} vs {expect}",
+                        out[i * n + j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_scalar_reference_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (m, n, k) in [(2, 3, 4), (8, 1000, 400), (1, 17, 31)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, n * k);
+            let mut fast = vec![0.0f32; m * n];
+            let mut reference = vec![0.0f32; m * n];
+            gemm_nt(&a, &b, k, &mut fast);
+            gemm_nt_ref(&a, &b, k, &mut reference);
+            for (f, r) in fast.iter().zip(&reference) {
+                assert!(
+                    (f - r).abs() <= 1e-5 * (1.0 + r.abs()),
+                    "({m},{n},{k}): {f} vs {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out must hold")]
+    fn gemm_rejects_wrong_output_shape() {
+        gemm_nt(&[1.0, 2.0], &[3.0, 4.0], 2, &mut [0.0, 0.0]);
+    }
+
+    #[test]
+    fn rows_per_block_is_sane() {
+        assert!(rows_per_block(400) >= 8);
+        assert!(rows_per_block(1) <= 8192);
+        // WN18 shape: a block must be much smaller than the 41k-row table.
+        assert!(rows_per_block(400) < 41_000);
+    }
+
+    #[test]
+    fn dispatch_is_stable() {
+        let first = avx2_fma_enabled();
+        for _ in 0..10 {
+            assert_eq!(avx2_fma_enabled(), first);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// gemm_nt tracks the f64 scalar reference within 1e-5 relative
+            /// tolerance for arbitrary shapes and values.
+            #[test]
+            fn gemm_tracks_reference(
+                m in 1usize..6,
+                n in 1usize..40,
+                k in 1usize..70,
+                seed in 0u64..1000
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = random_vec(&mut rng, m * k);
+                let b = random_vec(&mut rng, n * k);
+                let mut fast = vec![0.0f32; m * n];
+                let mut reference = vec![0.0f32; m * n];
+                gemm_nt(&a, &b, k, &mut fast);
+                gemm_nt_ref(&a, &b, k, &mut reference);
+                for (f, r) in fast.iter().zip(&reference) {
+                    prop_assert!((f - r).abs() <= 1e-5 * (1.0 + r.abs()), "{f} vs {r}");
+                }
+            }
+
+            /// The unrolled dot is invariant to being computed via gemm
+            /// with any m (the blocked path never changes per-pair bits).
+            #[test]
+            fn single_row_gemm_is_dot(
+                k in 1usize..100,
+                seed in 0u64..1000
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = random_vec(&mut rng, k);
+                let b = random_vec(&mut rng, k);
+                let mut out = [0.0f32];
+                gemm_nt(&a, &b, k, &mut out);
+                prop_assert_eq!(out[0].to_bits(), dot_fast(&a, &b).to_bits());
+            }
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //! Modules:
 //! * [`vecops`] — dot products, trilinear products, AXPY, Hadamard products,
 //!   norms, and in-place normalization over `&[f32]` slices.
+//! * [`kernels`] — unrolled multi-accumulator variants of the hot vecops
+//!   plus the cache-blocked [`kernels::gemm_nt`] used by the evaluation
+//!   ranking pipeline.
 //! * [`activations`] — numerically stable sigmoid / softplus / tanh /
 //!   softmax and their derivatives.
 //! * [`init`] — deterministic, seedable embedding initializers.
@@ -21,12 +24,14 @@
 
 pub mod activations;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod pca;
 pub mod stats;
 pub mod vecops;
 
 pub use activations::{sigmoid, softmax_in_place, softplus, tanh_vec};
+pub use kernels::{dot_fast, gemm_nt, hadamard_axpy_fast, trilinear_fast};
 pub use matrix::Matrix;
 pub use pca::Pca;
 pub use stats::RunningStats;

@@ -1,0 +1,191 @@
+//! Regression tests for the blocked evaluation pipeline: the GEMM-backed
+//! `score_block` path must reproduce the per-query path bit-for-bit, and —
+//! on exact-arithmetic (grid-quantized) models — the naive `score()` loop
+//! too, under every tie policy.
+
+use mei::eval::ranking::{evaluate_with_stats, rank_triple_detailed};
+use mei::eval::{BlockQuery, EvalConfig, Side, TiePolicy};
+use mei::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Forwards the model's per-query SIMD path but hides `score_block`,
+/// so the evaluator falls back to one `score_all_*` call per query.
+struct NoBlock<'a>(&'a MultiEmbedModel);
+
+impl TripleScorer for NoBlock<'_> {
+    fn num_entities(&self) -> usize {
+        self.0.num_entities()
+    }
+    fn score(&self, h: EntityId, t: EntityId, r: RelationId) -> f32 {
+        self.0.score(h, t, r)
+    }
+    fn score_all_tails(&self, head: EntityId, relation: RelationId, out: &mut [f32]) {
+        self.0.score_all_tails(head, relation, out)
+    }
+    fn score_all_heads(&self, tail: EntityId, relation: RelationId, out: &mut [f32]) {
+        self.0.score_all_heads(tail, relation, out)
+    }
+}
+
+/// Only `score()`: the fully naive per-candidate evaluation path.
+struct Naive<'a>(&'a MultiEmbedModel);
+
+impl TripleScorer for Naive<'_> {
+    fn num_entities(&self) -> usize {
+        self.0.num_entities()
+    }
+    fn score(&self, h: EntityId, t: EntityId, r: RelationId) -> f32 {
+        self.0.score(h, t, r)
+    }
+}
+
+fn assert_results_bitwise_equal(
+    a: &LinkPredictionResults,
+    b: &LinkPredictionResults,
+    what: &str,
+) {
+    assert_eq!(a.mrr.to_bits(), b.mrr.to_bits(), "{what}: MRR diverged");
+    assert_eq!(a.mr.to_bits(), b.mr.to_bits(), "{what}: MR diverged");
+    assert_eq!(a.num_queries, b.num_queries, "{what}: query count diverged");
+    assert_eq!(a.mrr_head_side.to_bits(), b.mrr_head_side.to_bits(), "{what}: head MRR diverged");
+    assert_eq!(a.mrr_tail_side.to_bits(), b.mrr_tail_side.to_bits(), "{what}: tail MRR diverged");
+    assert_eq!(a.hits.len(), b.hits.len());
+    for ((ka, va), (kb, vb)) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(ka, kb);
+        assert_eq!(va.to_bits(), vb.to_bits(), "{what}: Hit@{ka} diverged");
+    }
+    for (rel, va) in &a.per_relation_mrr {
+        let vb = b.per_relation_mrr[rel];
+        assert_eq!(va.to_bits(), vb.to_bits(), "{what}: per-relation MRR diverged for {rel:?}");
+    }
+}
+
+/// The headline acceptance check: on a synthetic WN-style dataset, the
+/// blocked pipeline's raw AND filtered metrics — plus every piece of
+/// telemetry except wall time — are bitwise identical to the per-query
+/// fallback, under every tie policy.
+#[test]
+fn blocked_metrics_are_bitwise_identical_to_per_query_path() {
+    let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 9).generate();
+    let filter = ds.filter_store();
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = MultiEmbedModel::from_preset(
+        WeightPreset::ComplEx,
+        ds.num_entities(),
+        ds.num_relations(),
+        24,
+        &mut rng,
+    );
+    for policy in [TiePolicy::Optimistic, TiePolicy::Average, TiePolicy::Pessimistic] {
+        let config = EvalConfig { hits_at: vec![1, 3, 10], tie_policy: policy };
+        let (raw_b, filt_b, stats_b) = evaluate_with_stats(&model, &ds.test, &filter, &config);
+        let (raw_q, filt_q, stats_q) =
+            evaluate_with_stats(&NoBlock(&model), &ds.test, &filter, &config);
+        let label = format!("policy {}", policy.name());
+        assert_results_bitwise_equal(&raw_b, &raw_q, &format!("{label} raw"));
+        assert_results_bitwise_equal(&filt_b, &filt_q, &format!("{label} filtered"));
+        assert_eq!(stats_b.queries, stats_q.queries);
+        assert_eq!(stats_b.tied_queries, stats_q.tied_queries);
+        assert_eq!(stats_b.head_ranks, stats_q.head_ranks);
+        assert_eq!(stats_b.tail_ranks, stats_q.tail_ranks);
+    }
+}
+
+/// Snaps every embedding parameter to the k/16 grid. With small dims all
+/// products and sums stay within f32's 24-bit significand, so every
+/// scoring path computes the *exact* real number — making rank and tie
+/// comparisons against the naive `score()` loop meaningful bit-for-bit
+/// (random f32 models could legitimately flip ranks between summation
+/// orders on last-bit score differences).
+fn quantize(model: &mut MultiEmbedModel) {
+    let ne = model.num_entities();
+    for e in 0..ne {
+        for v in model.entities.row_mut(e) {
+            *v = (*v * 16.0).round() / 16.0;
+        }
+    }
+    let nr = model.relations.num_items();
+    for r in 0..nr {
+        for v in model.relations.row_mut(r) {
+            *v = (*v * 16.0).round() / 16.0;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On quantized models the blocked kernel, the per-query kernel, and
+    /// the naive score() loop produce identical score vectors, identical
+    /// raw/filtered ranks, and identical tie counts under every policy.
+    #[test]
+    fn blocked_ranks_match_naive_scoring_on_quantized_models(
+        seed in 0u64..10_000,
+        preset_idx in 0usize..3,
+    ) {
+        let preset =
+            [WeightPreset::DistMult, WeightPreset::ComplEx, WeightPreset::Cp][preset_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ne = 30usize;
+        let mut model = MultiEmbedModel::from_preset(preset, ne, 4, 4, &mut rng);
+        quantize(&mut model);
+
+        let triples: Vec<Triple> = (0..12u32)
+            .map(|i| Triple::new(i % ne as u32, (i * 7 + seed as u32) % ne as u32, i % 4))
+            .collect();
+        let filter: TripleStore = triples.iter().copied().collect();
+        let naive = Naive(&model);
+
+        // Score vectors agree bitwise between blocked rows and the naive
+        // loop (exact arithmetic ⇒ summation order cannot matter).
+        let queries: Vec<BlockQuery> = triples
+            .iter()
+            .flat_map(|t| {
+                [BlockQuery::tails(t.head, t.relation), BlockQuery::heads(t.tail, t.relation)]
+            })
+            .collect();
+        let mut blocked = vec![0.0f32; queries.len() * ne];
+        model.score_block(&queries, &mut blocked);
+        let mut naive_row = vec![0.0f32; ne];
+        for (q, brow) in queries.iter().zip(blocked.chunks(ne)) {
+            match q.side {
+                Side::Tail => naive.score_all_tails(q.anchor, q.relation, &mut naive_row),
+                Side::Head => naive.score_all_heads(q.anchor, q.relation, &mut naive_row),
+            }
+            for (a, b) in brow.iter().zip(&naive_row) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Identical raw/filtered ranks and tie counts for every policy.
+            let known = match q.side {
+                Side::Tail => filter.tails_of(q.anchor, q.relation),
+                Side::Head => filter.heads_of(q.anchor, q.relation),
+            };
+            // Every true entity of the group, not just one, must rank
+            // identically.
+            for &truth in known {
+                for policy in
+                    [TiePolicy::Optimistic, TiePolicy::Average, TiePolicy::Pessimistic]
+                {
+                    let ob = rank_triple_detailed(brow, truth, known, policy);
+                    let on = rank_triple_detailed(&naive_row, truth, known, policy);
+                    prop_assert_eq!(ob, on);
+                }
+            }
+        }
+
+        // And the full pipeline agrees end to end.
+        for policy in [TiePolicy::Optimistic, TiePolicy::Average, TiePolicy::Pessimistic] {
+            let config = EvalConfig { hits_at: vec![1, 3, 10], tie_policy: policy };
+            let (raw_b, filt_b, stats_b) =
+                evaluate_with_stats(&model, &triples, &filter, &config);
+            let (raw_n, filt_n, stats_n) =
+                evaluate_with_stats(&naive, &triples, &filter, &config);
+            prop_assert_eq!(raw_b.mrr.to_bits(), raw_n.mrr.to_bits());
+            prop_assert_eq!(filt_b.mrr.to_bits(), filt_n.mrr.to_bits());
+            prop_assert_eq!(filt_b.hits, filt_n.hits);
+            prop_assert_eq!(stats_b.tied_queries, stats_n.tied_queries);
+        }
+    }
+}
