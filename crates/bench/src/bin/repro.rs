@@ -10,6 +10,7 @@
 //! repro ablate [opts]           # design-choice sweeps (negatives, optimizer, ...)
 //! repro grid   [opts]           # §5.3 hyperparameter grid search (ComplEx)
 //! repro bench-eval [opts]       # ranking-throughput benchmark (legacy vs blocked GEMM)
+//! repro bench-serve [opts]      # serving-throughput benchmark (reference vs batched vs cached)
 //!
 //! options:
 //!   --scale tiny|small|full     SynthWN scale (default small)
@@ -21,7 +22,9 @@
 //!   --dedup true                drop inverse relation pairs first (WN18RR-style "hard" variant)
 //!   --metrics-out <path>        stream per-epoch/eval JSONL records for every training run
 //!   --limit <n>                 bench-eval: cap evaluated test triples (default 1000, 0 = all)
-//!   --out <path>                bench-eval: write the JSON report here (e.g. BENCH_eval.json)
+//!                               bench-serve: total requests to issue (default 1000)
+//!   --out <path>                bench-eval/bench-serve: write the JSON report here
+//!                               (e.g. BENCH_eval.json / BENCH_serve.json)
 //! ```
 //!
 //! Every training run is phase-profiled (sampling/forward/backward/step/
@@ -119,7 +122,7 @@ fn parse_args() -> Options {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|all|train <preset>|ablate|grid|bench-eval> \
+        "usage: repro <table1|table2|table3|table4|all|train <preset>|ablate|grid|bench-eval|bench-serve> \
          [--scale tiny|small|full] [--dataset DIR] [--order hrt|htr] \
          [--seed N] [--epochs N] [--budget N] [--metrics-out run.jsonl] \
          [--limit N] [--out BENCH_eval.json]"
@@ -442,6 +445,47 @@ fn bench_eval(ds: &Dataset, proto: &Protocol, opts: &Options) {
     println!("\n[bench-eval took {:.1?}]", t0.elapsed());
 }
 
+/// `repro bench-serve`: times the three serving arms (per-request
+/// reference path, micro-batched engine, batched + cached engine) on a
+/// shared random-model workload, asserts batched answers are bit-identical
+/// to the reference, and optionally writes BENCH_serve.json.
+fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
+    let t0 = Instant::now();
+    println!(
+        "bench-serve: |E| = {}, budget n·D = {}",
+        ds.num_entities(),
+        proto.budget
+    );
+    let report = mei_bench::bench_serve_throughput(ds, proto.budget, opts.seed, opts.limit);
+    for arm in ["unbatched_reference", "batched", "batched_cached"] {
+        let field = |name: &str| {
+            report.get(arm).and_then(|a| a.get(name)).and_then(|v| v.as_f64()).unwrap_or(0.0)
+        };
+        println!(
+            "  {arm:<20} {:>9.1} qps   p50 {:>8.2}ms   p99 {:>8.2}ms",
+            field("qps"),
+            field("p50_latency_secs") * 1e3,
+            field("p99_latency_secs") * 1e3
+        );
+    }
+    for key in ["speedup_batched_vs_unbatched", "speedup_cached_vs_unbatched"] {
+        let s = report.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!("  {key:<28} {s:>6.2}x");
+    }
+    println!("  batched answers bitwise identical to unbatched: yes");
+    let json = report.to_json();
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("cannot write --out {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  wrote {path}");
+    } else {
+        println!("{json}");
+    }
+    println!("\n[bench-serve took {:.1?}]", t0.elapsed());
+}
+
 /// `repro train <preset-name>`: trains a single preset verbosely — a
 /// diagnosis tool for watching convergence.
 fn train_one(ds: &Dataset, proto: &Protocol, name: &str) {
@@ -514,6 +558,10 @@ fn main() {
         "grid" => grid(&ds, &proto),
         "bench-eval" => {
             bench_eval(&ds, &proto, &opts);
+            return;
+        }
+        "bench-serve" => {
+            bench_serve(&ds, &proto, &opts);
             return;
         }
         "all" => {

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use mei_core::regularizer::DirichletRegularizer;
 use mei_core::{ModelConfig, WeightRestriction};
 use mei_core::{MultiEmbedModel, TrainConfig, Trainer, WeightPreset, WeightVector};
-use mei_eval::ranking::{evaluate_filtered, evaluate_with_stats};
+use mei_eval::ranking::{evaluate_filtered, evaluate_with_stats, top_k_reference};
 use mei_eval::{BlockQuery, EvalConfig, EvalStats, LinkPredictionResults, Side, TripleScorer};
 use mei_kg::{AugmentedDataset, Dataset, TripleStore};
 use mei_obs::json::build as json;
@@ -584,6 +584,221 @@ pub fn bench_eval_throughput(dataset: &Dataset, budget: usize, seed: u64, limit:
             json::num(blocked.queries_per_sec / unblocked.queries_per_sec.max(f64::MIN_POSITIVE)),
         ),
         ("filtered_metrics_bitwise_identical", JsonValue::Bool(true)),
+    ])
+}
+
+/// `sorted` must be ascending; linear-interpolation-free nearest-rank
+/// percentile (p in [0, 1]).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Latencies + wall time of one serving-bench arm.
+struct ArmStats {
+    wall_secs: f64,
+    latencies: Vec<f64>,
+}
+
+impl ArmStats {
+    fn report(&self, requests: usize) -> JsonValue {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        json::obj([
+            ("requests", json::int(requests)),
+            ("wall_secs", json::num(self.wall_secs)),
+            ("qps", json::num(requests as f64 / self.wall_secs.max(f64::MIN_POSITIVE))),
+            ("p50_latency_secs", json::num(percentile(&sorted, 0.50))),
+            ("p99_latency_secs", json::num(percentile(&sorted, 0.99))),
+        ])
+    }
+
+    fn qps(&self, requests: usize) -> f64 {
+        requests as f64 / self.wall_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Drives `workload` (indices into `pool`) through a serving engine from
+/// `clients` concurrent threads, recording per-request latency.
+fn run_serve_arm(
+    engine: &mei_serve::Engine,
+    pool: &[(Side, mei_kg::EntityId, mei_kg::RelationId)],
+    workload: &[usize],
+    clients: usize,
+    k: usize,
+) -> ArmStats {
+    use std::time::Instant;
+    let t0 = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lats = Vec::new();
+                    // Client c takes every clients-th request — interleaved,
+                    // so concurrent clients issue a mix of queries.
+                    for &qi in workload.iter().skip(c).step_by(clients) {
+                        let (side, anchor, relation) = pool[qi];
+                        let t = Instant::now();
+                        engine
+                            .predict(side, anchor, relation, k)
+                            .expect("bench query failed");
+                        lats.push(t.elapsed().as_secs_f64());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("bench client panicked")).collect()
+    });
+    ArmStats { wall_secs: t0.elapsed().as_secs_f64(), latencies }
+}
+
+/// Measures serving throughput of three arms on `dataset` at the same
+/// shape `bench_eval_throughput` uses — the per-request reference path
+/// (`top_k_reference`, the pre-engine architecture), the micro-batching
+/// engine with the result cache disabled, and the engine with the cache
+/// on — and asserts the engine's answers are bit-identical to the
+/// reference for every distinct query in the workload.
+///
+/// `requests` is the total request count (0 picks the 512 default). The
+/// returned object is the `BENCH_serve.json` artifact written by
+/// `repro bench-serve`.
+pub fn bench_serve_throughput(dataset: &Dataset, budget: usize, seed: u64, requests: usize) -> JsonValue {
+    use mei_serve::{Engine, ServeConfig, Snapshot};
+    use rand::Rng;
+
+    const K: usize = 10;
+    const CLIENTS: usize = 8;
+    let requests = if requests == 0 { 512 } else { requests };
+
+    let cfg = ModelConfig {
+        num_entities: dataset.num_entities(),
+        num_relations: dataset.num_relations(),
+        n: 2,
+        dim: (budget / 2).max(1),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model =
+        MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng);
+    let exclude = dataset.filter_store();
+
+    // The query pool: distinct (side, anchor, relation) queries taken from
+    // the test split, alternating sides. The workload draws from the pool
+    // with repetition, giving the cached arm a realistic re-ask rate while
+    // keeping enough distinct queries that batching, not caching, carries
+    // the uncached arm.
+    let pool_target = (requests / 4).clamp(1, 256);
+    let mut pool: Vec<(Side, mei_kg::EntityId, mei_kg::RelationId)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (i, t) in dataset.test.iter().cycle().take(dataset.test.len() * 2).enumerate() {
+        let q = if i % 2 == 0 {
+            (Side::Tail, t.head, t.relation)
+        } else {
+            (Side::Head, t.tail, t.relation)
+        };
+        if seen.insert(q) {
+            pool.push(q);
+        }
+        if pool.len() >= pool_target {
+            break;
+        }
+    }
+    assert!(!pool.is_empty(), "dataset has no test triples to build a workload from");
+    let mut workload_rng = StdRng::seed_from_u64(seed ^ 0x5e7e);
+    let workload: Vec<usize> =
+        (0..requests).map(|_| workload_rng.gen_range(0..pool.len())).collect();
+
+    let serve_config = |cache: bool| ServeConfig { workers: 1, cache, ..ServeConfig::default() };
+    let snapshot = || {
+        Snapshot::new(
+            model.clone(),
+            dataset.entities.clone(),
+            dataset.relations.clone(),
+            exclude.clone(),
+        )
+    };
+
+    // Arm 1: the pre-engine serving path, one reference ranking per
+    // request. Sequential — on the single-core target, per-request
+    // handler threads add contention but no throughput, so this is the
+    // architecture's best case.
+    let t0 = std::time::Instant::now();
+    let mut ref_latencies = Vec::with_capacity(requests);
+    for &qi in &workload {
+        let (side, anchor, relation) = pool[qi];
+        let t = std::time::Instant::now();
+        let answer = top_k_reference(&model, side, anchor, relation, K, &exclude);
+        ref_latencies.push(t.elapsed().as_secs_f64());
+        std::hint::black_box(&answer);
+    }
+    let unbatched = ArmStats { wall_secs: t0.elapsed().as_secs_f64(), latencies: ref_latencies };
+
+    // Arm 2: the batching engine, cache off — every request is scored,
+    // concurrency comes from CLIENTS threads filling the batch queue.
+    let engine = Engine::start(snapshot(), serve_config(false));
+    let batched = run_serve_arm(&engine, &pool, &workload, CLIENTS, K);
+    let batch_hist = engine.metrics_snapshot();
+    let mean_batch = batch_hist
+        .get("serve/batch_size")
+        .map(|h| {
+            let sum = h.get("sum").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let count = h.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            if count > 0.0 { sum / count } else { 0.0 }
+        })
+        .unwrap_or(0.0);
+
+    // The acceptance contract: for every distinct query, the batched
+    // engine's answer equals the reference answer element for element
+    // (ids, order, and bitwise-equal scores).
+    for &(side, anchor, relation) in &pool {
+        let got = engine.predict(side, anchor, relation, K).expect("identity query failed");
+        let want = top_k_reference(&model, side, anchor, relation, K, &exclude);
+        assert_eq!(
+            *got.results, want,
+            "batched answer diverged from the reference path for {side:?} {anchor:?} {relation:?}"
+        );
+    }
+    engine.shutdown();
+
+    // Arm 3: cache on — repeats in the workload are served from the
+    // sharded LRU without touching the scorer.
+    let engine = Engine::start(snapshot(), serve_config(true));
+    let cached = run_serve_arm(&engine, &pool, &workload, CLIENTS, K);
+    let cache_stats = engine.cache_stats();
+    engine.shutdown();
+
+    let speedup_batched = batched.qps(requests) / unbatched.qps(requests).max(f64::MIN_POSITIVE);
+    let speedup_cached = cached.qps(requests) / unbatched.qps(requests).max(f64::MIN_POSITIVE);
+
+    let mut batched_report = match batched.report(requests) {
+        JsonValue::Obj(pairs) => pairs,
+        _ => unreachable!("report is an object"),
+    };
+    batched_report.push(("mean_batch_size".to_owned(), json::num(mean_batch)));
+    let mut cached_report = match cached.report(requests) {
+        JsonValue::Obj(pairs) => pairs,
+        _ => unreachable!("report is an object"),
+    };
+    cached_report.push(("cache_hit_rate".to_owned(), json::num(cache_stats.hit_rate())));
+
+    json::obj([
+        ("bench", json::str("serve_throughput")),
+        ("num_entities", json::int(dataset.num_entities())),
+        ("embedding_budget_nd", json::int(budget)),
+        ("requests", json::int(requests)),
+        ("distinct_queries", json::int(pool.len())),
+        ("clients", json::int(CLIENTS)),
+        ("k", json::int(K)),
+        ("seed", json::int(seed as usize)),
+        ("unbatched_reference", unbatched.report(requests)),
+        ("batched", JsonValue::Obj(batched_report)),
+        ("batched_cached", JsonValue::Obj(cached_report)),
+        ("speedup_batched_vs_unbatched", json::num(speedup_batched)),
+        ("speedup_cached_vs_unbatched", json::num(speedup_cached)),
+        ("batched_identical_to_unbatched", JsonValue::Bool(true)),
     ])
 }
 

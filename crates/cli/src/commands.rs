@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use mei_core::serialize::{load_model, save_model};
 use mei_core::{MultiEmbedModel, SamplingStrategy, TrainConfig, Trainer, WeightPreset};
-use mei_eval::ranking::{evaluate_with_stats, top_k_tails};
+use mei_eval::ranking::{evaluate_with_stats, top_k};
+use mei_eval::Side;
 use mei_eval::{categorize_relations, labeled_with_negatives, mrr_by_category, EvalConfig, TripleClassifier};
 use mei_obs::{ConsoleObserver, EvalRecord, FanoutObserver, JsonlObserver, TrainObserver};
 use mei_kg::analysis::{detect_inverse_pairs, profile_relations};
@@ -29,11 +30,16 @@ subcommands:
            [--eval-every N] [--metrics-out run.jsonl] [--log-every N]
   eval     --dataset DIR --model-file model.bin [--split test|valid]
            [--categories true] [--classification true] [--metrics-out run.jsonl]
-  predict  --dataset DIR --model-file model.bin --head NAME --relation NAME [--topk K]
+  predict  --dataset DIR --model-file model.bin --relation NAME [--topk K]
+           (--head NAME to rank tails | --tail NAME to rank heads)
+  serve    --dataset DIR --model-file model.bin [--addr HOST:PORT] [--workers N]
+           [--max-batch N] [--cache-shards N] [--cache-capacity N] [--cache true|false]
+           [--metrics-out serve.jsonl]
   export   --dataset DIR --model-file model.bin --out embeddings.tsv
   models   list available model presets
 
-run `mei models` for the preset names accepted by --model.";
+run `mei models` for the preset names accepted by --model.
+`mei serve` answers newline-delimited JSON over TCP; see DESIGN.md §8.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -273,20 +279,28 @@ pub fn eval(args: &Args) -> CmdResult {
 pub fn predict(args: &Args) -> CmdResult {
     let ds = load_dataset(args)?;
     let model = load_model(args.require("model-file")?)?;
-    let head_name = args.require("head")?;
+    let (side, anchor_name) = match (args.get("head"), args.get("tail")) {
+        (Some(h), None) => (Side::Tail, h),
+        (None, Some(t)) => (Side::Head, t),
+        (Some(_), Some(_)) => return Err("pass --head or --tail, not both".into()),
+        (None, None) => return Err("missing required argument --head (or --tail)".into()),
+    };
     let rel_name = args.require("relation")?;
     let topk: usize = args.get_parsed("topk", 10)?;
-    let head = ds
+    let anchor = ds
         .entities
-        .get(head_name)
-        .ok_or_else(|| format!("unknown entity {head_name:?}"))?;
+        .get(anchor_name)
+        .ok_or_else(|| format!("unknown entity {anchor_name:?}"))?;
     let relation = ds
         .relations
         .get(rel_name)
         .ok_or_else(|| format!("unknown relation {rel_name:?}"))?;
     let known = ds.train_store();
-    let preds = top_k_tails(&model, EntityId(head), RelationId(relation), topk, &known);
-    println!("top-{topk} predicted tails for ({head_name}, ?, {rel_name}):");
+    let preds = top_k(&model, side, EntityId(anchor), RelationId(relation), topk, &known);
+    match side {
+        Side::Tail => println!("top-{topk} predicted tails for ({anchor_name}, ?, {rel_name}):"),
+        Side::Head => println!("top-{topk} predicted heads for (?, {anchor_name}, {rel_name}):"),
+    }
     for (rank, (e, score)) in preds.iter().enumerate() {
         println!(
             "{:>3}. {:<30} score {score:.4}  p(valid) {:.3}",
@@ -295,6 +309,55 @@ pub fn predict(args: &Args) -> CmdResult {
             mei_core::loss::predict_probability(*score)
         );
     }
+    Ok(())
+}
+
+/// `mei serve`.
+pub fn serve(args: &Args) -> CmdResult {
+    use mei_serve::{Engine, ServeConfig, Server, Snapshot};
+
+    let ds = load_dataset(args)?;
+    let model = load_model(args.require("model-file")?)?;
+    if model.config().num_entities != ds.num_entities()
+        || model.config().num_relations != ds.num_relations()
+    {
+        return Err(format!(
+            "model shape {}x{} (entities x relations) does not match dataset {}x{} — wrong pairing?",
+            model.config().num_entities,
+            model.config().num_relations,
+            ds.num_entities(),
+            ds.num_relations()
+        )
+        .into());
+    }
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        workers: args.get_parsed("workers", defaults.workers)?,
+        max_batch: args.get_parsed("max-batch", defaults.max_batch)?,
+        cache_shards: args.get_parsed("cache-shards", defaults.cache_shards)?,
+        cache_capacity: args.get_parsed("cache-capacity", defaults.cache_capacity)?,
+        cache: args.get_parsed("cache", defaults.cache)?,
+    };
+    // Known-true triples from every split are excluded from answers: the
+    // server predicts *new* edges (the filtered protocol, applied online).
+    let snapshot =
+        Snapshot::new(model, ds.entities.clone(), ds.relations.clone(), ds.filter_store());
+    let engine = Arc::new(Engine::start(snapshot, config));
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let server = Server::start(Arc::clone(&engine), addr)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    // Scripts (and the e2e test) parse this line for the ephemeral port.
+    println!("serving on {} (epoch {})", server.local_addr(), engine.epoch());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.wait();
+    if let Some(path) = args.get("metrics-out") {
+        let line = engine.metrics_snapshot().to_json();
+        std::fs::write(path, line + "\n")
+            .map_err(|e| format!("cannot write --metrics-out {path}: {e}"))?;
+        println!("serving metrics written to {path}");
+    }
+    println!("server stopped");
     Ok(())
 }
 

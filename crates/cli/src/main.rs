@@ -9,6 +9,7 @@
 //! mei eval     --dataset DIR --model-file model.bin [--split test|valid]
 //!              [--categories true] [--classification true]
 //! mei predict  --dataset DIR --model-file model.bin --head NAME --relation NAME [--topk K]
+//! mei serve    --dataset DIR --model-file model.bin [--addr HOST:PORT] [--workers N]
 //! mei export   --dataset DIR --model-file model.bin --out embeddings.tsv
 //! mei models   (list available model presets)
 //! ```
@@ -32,6 +33,7 @@ fn main() {
             "train" => commands::train(&args),
             "eval" => commands::eval(&args),
             "predict" => commands::predict(&args),
+            "serve" => commands::serve(&args),
             "export" => commands::export(&args),
             "models" => commands::models(),
             "help" | "--help" | "-h" => {

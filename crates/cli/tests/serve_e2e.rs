@@ -1,0 +1,192 @@
+//! End-to-end test of `mei serve`: spawn the real binary on an ephemeral
+//! port, hammer it from concurrent TCP client threads (head and tail
+//! queries, names and raw ids), hot-swap the model over the wire, and shut
+//! it down cleanly via the `shutdown` op.
+
+use mei_obs::json::parse;
+use mei_obs::JsonValue;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn mei_ok(args: &[&str]) {
+    let o = Command::new(env!("CARGO_BIN_EXE_mei"))
+        .args(args)
+        .output()
+        .expect("failed to spawn mei");
+    assert!(
+        o.status.success(),
+        "mei {args:?} failed: {}",
+        String::from_utf8_lossy(&o.stderr)
+    );
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mei_serve_e2e_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts `mei serve` on port 0 and parses the bound address from its
+/// first stdout line (`serving on 127.0.0.1:PORT (epoch 0)`). The stdout
+/// reader is returned so the pipe stays open for the server's later
+/// prints (dropping it would EPIPE the process at shutdown).
+fn spawn_server(data: &str, model: &str) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mei"))
+        .args([
+            "serve", "--dataset", data, "--model-file", model, "--addr", "127.0.0.1:0",
+            "--workers", "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn mei serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).unwrap();
+    let addr = banner
+        .strip_prefix("serving on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_owned();
+    (child, addr, reader)
+}
+
+fn roundtrip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> JsonValue {
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    parse(response.trim_end()).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    // The banner prints just before `wait()`; retry briefly in case the
+    // accept loop is not yet parked.
+    for _ in 0..50 {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            return (stream, reader);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("could not connect to {addr}");
+}
+
+#[test]
+fn serve_answers_concurrent_clients_swaps_and_shuts_down() {
+    let dir = workdir("roundtrip");
+    let data = dir.join("data");
+    let data_s = data.to_str().unwrap().to_owned();
+    mei_ok(&["generate", "--out", &data_s, "--scale", "tiny", "--seed", "5"]);
+    let model = dir.join("model.bin");
+    let model_s = model.to_str().unwrap().to_owned();
+    mei_ok(&[
+        "train", "--dataset", &data_s, "--out", &model_s, "--model", "complex", "--epochs", "3",
+        "--dim", "8", "--quiet", "true",
+    ]);
+    // A second checkpoint (different seed → different parameters) to swap in.
+    let model2 = dir.join("model2.bin");
+    let model2_s = model2.to_str().unwrap().to_owned();
+    mei_ok(&[
+        "train", "--dataset", &data_s, "--out", &model2_s, "--model", "complex", "--epochs", "3",
+        "--dim", "8", "--seed", "9", "--quiet", "true",
+    ]);
+
+    let (mut child, addr, mut server_stdout) = spawn_server(&data_s, &model_s);
+
+    // Concurrent clients: head + tail queries by name and by raw id.
+    let clients: Vec<_> = (0..3)
+        .map(|t: u32| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (mut w, mut r) = connect(&addr);
+                for i in 0..20u32 {
+                    let side = if (t + i) % 2 == 0 { "tail" } else { "head" };
+                    let line = if i % 2 == 0 {
+                        format!(
+                            r#"{{"op":"predict","side":"{side}","anchor":"synset_{:06}","relation":"_hyponym_0","k":4,"id":{i}}}"#,
+                            (t * 7 + i) % 200
+                        )
+                    } else {
+                        format!(
+                            r#"{{"op":"predict","side":"{side}","anchor":{},"relation":0,"k":4,"id":{i}}}"#,
+                            (t * 7 + i) % 200
+                        )
+                    };
+                    let v = roundtrip(&mut w, &mut r, &line);
+                    assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)), "line {line}");
+                    assert_eq!(v.get("id").and_then(|x| x.as_usize()), Some(i as usize));
+                    assert_eq!(
+                        v.get("results").and_then(|x| x.as_arr()).map(|a| a.len()),
+                        Some(4)
+                    );
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let (mut w, mut r) = connect(&addr);
+
+    // Stats reflect the traffic: 3 clients × 20 requests, some cached.
+    let stats = roundtrip(&mut w, &mut r, r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("ok"), Some(&JsonValue::Bool(true)));
+    assert_eq!(stats.get("epoch").and_then(|x| x.as_usize()), Some(0));
+    let requests = stats
+        .get("metrics")
+        .and_then(|m| m.get("serve/requests"))
+        .and_then(|c| c.get("value"))
+        .and_then(|v| v.as_usize())
+        .unwrap();
+    assert_eq!(requests, 60);
+
+    // Baseline answer, then hot-swap to the second checkpoint.
+    let q = r#"{"op":"predict","side":"tail","anchor":"synset_000001","relation":"_hyponym_0","k":5}"#;
+    let before = roundtrip(&mut w, &mut r, q);
+    assert_eq!(before.get("epoch").and_then(|x| x.as_usize()), Some(0));
+
+    let swap = roundtrip(&mut w, &mut r, &format!(r#"{{"op":"swap","model_file":"{model2_s}"}}"#));
+    assert_eq!(swap.get("ok"), Some(&JsonValue::Bool(true)), "{swap:?}");
+    assert_eq!(swap.get("epoch").and_then(|x| x.as_usize()), Some(1));
+
+    // Same query now answers at epoch 1, uncached (the swap invalidated
+    // the cache), with different scores (different parameters).
+    let after = roundtrip(&mut w, &mut r, q);
+    assert_eq!(after.get("epoch").and_then(|x| x.as_usize()), Some(1));
+    assert_eq!(after.get("cached"), Some(&JsonValue::Bool(false)));
+    let score = |v: &JsonValue| {
+        v.get("results").and_then(|x| x.as_arr()).unwrap()[0].get("score").and_then(|s| s.as_f64())
+    };
+    assert_ne!(score(&before), score(&after));
+
+    // Swapping a garbage file is rejected and the epoch stays put.
+    let junk = dir.join("junk.bin");
+    std::fs::write(&junk, b"definitely not a model").unwrap();
+    let bad = roundtrip(
+        &mut w,
+        &mut r,
+        &format!(r#"{{"op":"swap","model_file":"{}"}}"#, junk.to_str().unwrap()),
+    );
+    assert_eq!(bad.get("ok"), Some(&JsonValue::Bool(false)));
+    let still = roundtrip(&mut w, &mut r, r#"{"op":"stats"}"#);
+    assert_eq!(still.get("epoch").and_then(|x| x.as_usize()), Some(1));
+
+    // Clean shutdown over the wire: the op is acknowledged and the
+    // process exits on its own with status 0.
+    let ack = roundtrip(&mut w, &mut r, r#"{"op":"shutdown"}"#);
+    assert_eq!(ack.get("ok"), Some(&JsonValue::Bool(true)));
+    let status = child.wait().expect("server did not exit");
+    assert!(status.success(), "server exited with {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut server_stdout, &mut rest).unwrap();
+    assert!(rest.contains("server stopped"), "missing shutdown line in {rest:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

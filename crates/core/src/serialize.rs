@@ -6,10 +6,20 @@
 //! built on `bytes`:
 //!
 //! ```text
-//! magic "MEIM" | version u32 | n_ent u32 | n_rel u32 | dim u32 |
-//! num_entities u32 | num_relations u32 | restriction u8 | trainable u8 |
-//! raw ω (n_ent²·n_rel f32) | entity table | relation table
+//! magic "MEIM" | version u32 | payload checksum u64 (FNV-1a, v3+) |
+//! payload:
+//!   n_ent u32 | n_rel u32 | dim u32 |
+//!   num_entities u32 | num_relations u32 | restriction u8 | trainable u8 |
+//!   raw ω (n_ent²·n_rel f32) | entity table | relation table
 //! ```
+//!
+//! The checksum covers every payload byte, so a truncated or half-written
+//! snapshot (the failure mode that matters once `mei serve` hot-swaps
+//! checkpoints published by a concurrent training run) is rejected with a
+//! [`SerializeError::Checksum`] instead of being loaded as garbage
+//! embeddings. Legacy version-2 files (no checksum field) are still read;
+//! [`peek_model_meta`] validates a file's header and checksum without
+//! materializing the model — the serving engine's pre-swap guard.
 //!
 //! A TSV export of concatenated entity embeddings is also provided for the
 //! §3.2 data-analysis workflow (feeding external tools).
@@ -24,7 +34,22 @@ use crate::model::{ModelConfig, MultiEmbedModel};
 use crate::weights::{WeightRestriction, WeightVector};
 
 const MAGIC: &[u8; 4] = b"MEIM";
-const VERSION: u32 = 2;
+/// Current write version: version 3 added the payload checksum.
+const VERSION: u32 = 3;
+/// Last version without a checksum field; still readable.
+const LEGACY_VERSION: u32 = 2;
+
+/// FNV-1a over `bytes` — dependency-free, byte-order independent, and
+/// plenty to catch truncation/corruption (this guards against accidents,
+/// not adversaries).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Errors from model (de)serialization.
 #[derive(Debug)]
@@ -33,6 +58,14 @@ pub enum SerializeError {
     Io(std::io::Error),
     /// The bytes do not form a valid model file.
     Format(String),
+    /// The header parsed but the payload checksum does not match — the
+    /// file is corrupt, truncated, or still being written.
+    Checksum {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload actually present.
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for SerializeError {
@@ -40,6 +73,12 @@ impl std::fmt::Display for SerializeError {
         match self {
             SerializeError::Io(e) => write!(f, "I/O error: {e}"),
             SerializeError::Format(m) => write!(f, "format error: {m}"),
+            SerializeError::Checksum { expected, actual } => write!(
+                f,
+                "checksum mismatch (header says {expected:#018x}, payload hashes to \
+                 {actual:#018x}) — the model file is corrupt, truncated, or mid-write; \
+                 refusing to load it"
+            ),
         }
     }
 }
@@ -94,12 +133,11 @@ fn get_table(
     Ok(t)
 }
 
-/// Serializes a model to bytes.
-pub fn model_to_bytes(model: &MultiEmbedModel) -> Bytes {
+/// Serializes the version-independent payload (everything the checksum
+/// covers).
+fn payload_to_bytes(model: &MultiEmbedModel) -> BytesMut {
     let cfg = model.config();
     let mut buf = BytesMut::with_capacity(32 + 4 * model.num_params());
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
     buf.put_u32_le(cfg.n as u32);
     buf.put_u32_le(model.raw_omega().n_rel() as u32);
     buf.put_u32_le(cfg.dim as u32);
@@ -112,20 +150,113 @@ pub fn model_to_bytes(model: &MultiEmbedModel) -> Bytes {
     }
     put_table(&mut buf, &model.entities);
     put_table(&mut buf, &model.relations);
+    buf
+}
+
+/// Serializes a model to bytes (current format: version 3, checksummed).
+pub fn model_to_bytes(model: &MultiEmbedModel) -> Bytes {
+    let payload = payload_to_bytes(model);
+    let mut buf = BytesMut::with_capacity(16 + payload.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(fnv1a64(&payload));
+    buf.put_slice(&payload);
     buf.freeze()
 }
 
-/// Deserializes a model from bytes.
-pub fn model_from_bytes(mut buf: Bytes) -> Result<MultiEmbedModel, SerializeError> {
+/// Header fields of a model file, plus checksum status — what
+/// [`peek_model_meta`] returns without building the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelFileMeta {
+    /// Format version (2 = legacy headerless-checksum, 3 = checksummed).
+    pub version: u32,
+    /// Embeddings per entity (`n`).
+    pub n: usize,
+    /// Relation embeddings per relation.
+    pub n_rel: usize,
+    /// Per-embedding dimension.
+    pub dim: usize,
+    /// Entity vocabulary size.
+    pub num_entities: usize,
+    /// Relation vocabulary size.
+    pub num_relations: usize,
+    /// The payload checksum, when the format carries one (v3+).
+    pub checksum: Option<u64>,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// Strips and validates the `magic | version [| checksum]` prefix,
+/// returning `(version, declared checksum)` with the cursor left at the
+/// start of the payload.
+fn take_header(buf: &mut Bytes) -> Result<(u32, Option<u64>), SerializeError> {
     if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
         return Err(SerializeError::Format("bad magic (not a mei model file)".into()));
     }
-    if buf.remaining() < 26 {
+    if buf.remaining() < 4 {
         return Err(SerializeError::Format("truncated header".into()));
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(SerializeError::Format(format!("unsupported version {version}")));
+    match version {
+        LEGACY_VERSION => Ok((version, None)),
+        VERSION => {
+            if buf.remaining() < 8 {
+                return Err(SerializeError::Format("truncated header (missing checksum)".into()));
+            }
+            Ok((version, Some(buf.get_u64_le())))
+        }
+        other => Err(SerializeError::Format(format!(
+            "unsupported version {other} (this build reads versions {LEGACY_VERSION} and {VERSION})"
+        ))),
+    }
+}
+
+/// Verifies a declared checksum against the payload bytes.
+fn check_payload(declared: Option<u64>, payload: &[u8]) -> Result<(), SerializeError> {
+    if let Some(expected) = declared {
+        let actual = fnv1a64(payload);
+        if actual != expected {
+            return Err(SerializeError::Checksum { expected, actual });
+        }
+    }
+    Ok(())
+}
+
+/// Parses the header and — for checksummed formats — verifies the payload
+/// hash, WITHOUT materializing embedding tables. This is the cheap
+/// pre-flight a serving process runs before hot-swapping a snapshot: a
+/// half-written checkpoint fails here and the live snapshot stays up.
+pub fn peek_model_meta(mut buf: Bytes) -> Result<ModelFileMeta, SerializeError> {
+    let (version, checksum) = take_header(&mut buf)?;
+    check_payload(checksum, &buf)?;
+    if buf.remaining() < 22 {
+        return Err(SerializeError::Format("truncated payload header".into()));
+    }
+    let payload_len = buf.remaining();
+    let n = buf.get_u32_le() as usize;
+    let n_rel = buf.get_u32_le() as usize;
+    let dim = buf.get_u32_le() as usize;
+    let num_entities = buf.get_u32_le() as usize;
+    let num_relations = buf.get_u32_le() as usize;
+    Ok(ModelFileMeta { version, n, n_rel, dim, num_entities, num_relations, checksum, payload_len })
+}
+
+/// [`peek_model_meta`] for a file on disk.
+pub fn peek_model_file_meta<P: AsRef<Path>>(path: P) -> Result<ModelFileMeta, SerializeError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    peek_model_meta(Bytes::from(data))
+}
+
+/// Deserializes a model from bytes. Accepts the current checksummed
+/// format and legacy version-2 files (which carry no checksum and are
+/// validated structurally only).
+pub fn model_from_bytes(mut buf: Bytes) -> Result<MultiEmbedModel, SerializeError> {
+    let (_version, checksum) = take_header(&mut buf)?;
+    check_payload(checksum, &buf)?;
+    if buf.remaining() < 22 {
+        return Err(SerializeError::Format("truncated payload header".into()));
     }
     let n = buf.get_u32_le() as usize;
     let n_rel = buf.get_u32_le() as usize;
@@ -263,7 +394,80 @@ mod tests {
         let m = model();
         let bytes = model_to_bytes(&m);
         let truncated = bytes.slice(0..bytes.len() - 8);
-        assert!(model_from_bytes(truncated).is_err());
+        // A truncated v3 file dies at the checksum, before any parsing.
+        assert!(matches!(
+            model_from_bytes(truncated).unwrap_err(),
+            SerializeError::Checksum { .. }
+        ));
+    }
+
+    /// Serializes in the retired version-2 layout (no checksum field) —
+    /// what pre-format-guard builds wrote to disk.
+    fn legacy_v2_bytes(m: &MultiEmbedModel) -> Bytes {
+        let payload = payload_to_bytes(m);
+        let mut buf = BytesMut::with_capacity(8 + payload.len());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(LEGACY_VERSION);
+        buf.put_slice(&payload);
+        buf.freeze()
+    }
+
+    #[test]
+    fn still_reads_legacy_v2_files() {
+        let m = model();
+        let m2 = model_from_bytes(legacy_v2_bytes(&m)).unwrap();
+        assert_eq!(m.entities.as_slice(), m2.entities.as_slice());
+        assert_eq!(m.config(), m2.config());
+        let meta = peek_model_meta(legacy_v2_bytes(&m)).unwrap();
+        assert_eq!(meta.version, LEGACY_VERSION);
+        assert_eq!(meta.checksum, None);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected_with_checksum_error() {
+        let m = model();
+        let mut bytes = model_to_bytes(&m).to_vec();
+        // Flip one bit deep inside the embedding tables.
+        let idx = bytes.len() - 13;
+        bytes[idx] ^= 0x40;
+        let err = model_from_bytes(Bytes::from(bytes)).unwrap_err();
+        assert!(matches!(err, SerializeError::Checksum { .. }));
+        assert!(err.to_string().contains("refusing to load"));
+    }
+
+    #[test]
+    fn peek_meta_reports_shape_and_validates_checksum() {
+        let m = model();
+        let bytes = model_to_bytes(&m);
+        let meta = peek_model_meta(bytes.clone()).unwrap();
+        assert_eq!(meta.version, VERSION);
+        assert_eq!(meta.n, 2);
+        assert_eq!(meta.dim, 5);
+        assert_eq!(meta.num_entities, 7);
+        assert_eq!(meta.num_relations, 3);
+        assert!(meta.checksum.is_some());
+        assert_eq!(meta.payload_len, bytes.len() - 16);
+
+        let mut corrupt = bytes.to_vec();
+        let idx = corrupt.len() - 1;
+        corrupt[idx] ^= 1;
+        assert!(matches!(
+            peek_model_meta(Bytes::from(corrupt)).unwrap_err(),
+            SerializeError::Checksum { .. }
+        ));
+    }
+
+    #[test]
+    fn file_meta_round_trip_and_fnv_vector() {
+        // FNV-1a 64 known-answer: "" and "a".
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let m = model();
+        let path = std::env::temp_dir().join(format!("mei_meta_{}.bin", std::process::id()));
+        save_model(&m, &path).unwrap();
+        let meta = peek_model_file_meta(&path).unwrap();
+        assert_eq!(meta.num_entities, 7);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub use classification::{labeled_with_negatives, TripleClassifier};
 pub use metrics::{LinkPredictionResults, MetricsAccumulator, Side};
 pub use ranking::{
     evaluate, evaluate_with_stats, rank_from_counts, rank_triple, rank_triple_detailed,
-    rank_triple_detailed_presorted, EvalConfig, EvalStats, RankObservation, RankPair, TiePolicy,
+    rank_triple_detailed_presorted, select_top_k, top_k, top_k_heads, top_k_reference,
+    top_k_tails, EvalConfig, EvalStats, RankObservation, RankPair, TiePolicy,
 };
 pub use scorer::{BlockQuery, TripleScorer};

@@ -367,9 +367,81 @@ pub fn evaluate_filtered<S: TripleScorer>(
     evaluate(scorer, triples, filter, config).1
 }
 
-/// Ranks candidates for a `(h, ?, r)` query and returns the top-`k`
-/// entities with scores, excluding entities in `exclude` — the prediction
-/// API used by the examples (recommendation, completion).
+/// Selects the top-`k` `(entity, score)` pairs from a dense score row,
+/// skipping entities in `excluded` (which must be sorted and deduplicated).
+///
+/// Ordering is score-descending with ties broken by ascending entity id —
+/// exactly the order a full `sort_by(score desc, id asc)` over all
+/// candidates would produce, but in one bounded-insertion pass (`O(|E|·k)`
+/// worst case, `O(|E| + k log k)`-ish in practice) instead of an
+/// `O(|E| log |E|)` sort plus an `|E|`-element allocation per request.
+/// The serving engine and the prediction CLI both answer through this
+/// function, so batched and per-query answers are comparable element by
+/// element. NaN scores are unsupported (scorers never produce them).
+pub fn select_top_k(scores: &[f32], k: usize, excluded: &[EntityId]) -> Vec<(EntityId, f32)> {
+    debug_assert!(
+        excluded.windows(2).all(|w| w[0] < w[1]),
+        "excluded must be sorted and deduplicated"
+    );
+    let mut top: Vec<(EntityId, f32)> = Vec::with_capacity(k + 1);
+    if k == 0 {
+        return top;
+    }
+    for (i, &s) in scores.iter().enumerate() {
+        // Ids ascend, so a candidate tying the current worst entry can
+        // never displace it; only strictly better scores are admitted once
+        // the buffer is full.
+        if top.len() == k && s <= top[k - 1].1 {
+            continue;
+        }
+        let e = EntityId(i as u32);
+        if excluded.binary_search(&e).is_ok() {
+            continue;
+        }
+        let pos = top.partition_point(|&(pe, ps)| ps > s || (ps == s && pe < e));
+        top.insert(pos, (e, s));
+        if top.len() > k {
+            top.pop();
+        }
+    }
+    top
+}
+
+/// Ranks candidates for one side of a `(?, t, r)` / `(h, ?, r)` query and
+/// returns the top-`k` entities with scores, excluding known-true entities
+/// from `exclude` — the prediction API behind `mei predict` and the
+/// `mei-serve` engine.
+///
+/// The query is scored through [`TripleScorer::score_block`], so scorers
+/// with a matrix fast path (the blocked GEMM in `mei-core`) use it even
+/// for a single query, and results are bit-identical to what a batched
+/// serving block produces for the same query.
+pub fn top_k<S: TripleScorer>(
+    scorer: &S,
+    side: Side,
+    anchor: EntityId,
+    relation: RelationId,
+    k: usize,
+    exclude: &TripleStore,
+) -> Vec<(EntityId, f32)> {
+    let ne = scorer.num_entities();
+    let mut scores = vec![0.0f32; ne];
+    let query = match side {
+        Side::Tail => BlockQuery::tails(anchor, relation),
+        Side::Head => BlockQuery::heads(anchor, relation),
+    };
+    scorer.score_block(std::slice::from_ref(&query), &mut scores);
+    let mut excluded: Vec<EntityId> = match side {
+        Side::Tail => exclude.tails_of(anchor, relation),
+        Side::Head => exclude.heads_of(anchor, relation),
+    }
+    .to_vec();
+    excluded.sort_unstable();
+    excluded.dedup();
+    select_top_k(&scores, k, &excluded)
+}
+
+/// Top-`k` tails for a `(h, ?, r)` query — [`top_k`] on [`Side::Tail`].
 pub fn top_k_tails<S: TripleScorer>(
     scorer: &S,
     head: EntityId,
@@ -377,10 +449,47 @@ pub fn top_k_tails<S: TripleScorer>(
     k: usize,
     exclude: &TripleStore,
 ) -> Vec<(EntityId, f32)> {
+    top_k(scorer, Side::Tail, head, relation, k, exclude)
+}
+
+/// Top-`k` heads for a `(?, t, r)` query — [`top_k`] on [`Side::Head`].
+pub fn top_k_heads<S: TripleScorer>(
+    scorer: &S,
+    tail: EntityId,
+    relation: RelationId,
+    k: usize,
+    exclude: &TripleStore,
+) -> Vec<(EntityId, f32)> {
+    top_k(scorer, Side::Head, tail, relation, k, exclude)
+}
+
+/// The pre-serving-engine prediction path, kept as the reference
+/// implementation: one `score_all_tails`/`score_all_heads` pass per
+/// request, then a full filter + sort + truncate over every entity.
+///
+/// `repro bench-serve` measures the batched engine against this baseline,
+/// and the serving correctness tests use it as the oracle batched and
+/// cached answers must match element-for-element.
+pub fn top_k_reference<S: TripleScorer>(
+    scorer: &S,
+    side: Side,
+    anchor: EntityId,
+    relation: RelationId,
+    k: usize,
+    exclude: &TripleStore,
+) -> Vec<(EntityId, f32)> {
     let ne = scorer.num_entities();
     let mut scores = vec![0.0f32; ne];
-    scorer.score_all_tails(head, relation, &mut scores);
-    let excluded = exclude.tails_of(head, relation);
+    let excluded = match side {
+        Side::Tail => {
+            scorer.score_all_tails(anchor, relation, &mut scores);
+            exclude.tails_of(anchor, relation)
+        }
+        Side::Head => {
+            scorer.score_all_heads(anchor, relation, &mut scores);
+            exclude.heads_of(anchor, relation)
+        }
+    };
     let mut candidates: Vec<(EntityId, f32)> = (0..ne)
         .map(|i| (EntityId(i as u32), scores[i]))
         .filter(|(e, _)| !excluded.contains(e))
@@ -487,6 +596,48 @@ mod tests {
         assert_eq!(top[1].0, EntityId(2));
     }
 
+    #[test]
+    fn top_k_heads_ranks_the_head_slot() {
+        let s = TableScorer { num_entities: 5, f: |h, _, _| -(h as f32) };
+        let exclude: TripleStore = [Triple::new(1, 0, 0)].into_iter().collect();
+        let top = top_k_heads(&s, EntityId(0), RelationId(0), 3, &exclude);
+        // Head scores descend with id; head 1 is a known-true and skipped.
+        assert_eq!(top.iter().map(|(e, _)| e.0).collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(top[1].1, -2.0);
+    }
+
+    #[test]
+    fn top_k_matches_reference_on_both_sides() {
+        let s = TableScorer {
+            num_entities: 30,
+            f: |h, t, r| (((h * 17 + t * 5 + r * 3) % 7) as f32) - 3.0, // many ties
+        };
+        let exclude: TripleStore =
+            (0..10).map(|i| Triple::new(i % 4, (i * 3) % 30, i % 2)).collect();
+        for side in [Side::Tail, Side::Head] {
+            for anchor in 0..4u32 {
+                for k in [0usize, 1, 3, 12, 100] {
+                    let fast = top_k(&s, side, EntityId(anchor), RelationId(0), k, &exclude);
+                    let slow =
+                        top_k_reference(&s, side, EntityId(anchor), RelationId(0), k, &exclude);
+                    assert_eq!(fast.len(), slow.len());
+                    for (a, b) in fast.iter().zip(&slow) {
+                        assert_eq!(a.0, b.0);
+                        assert_eq!(a.1.to_bits(), b.1.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_top_k_zero_k_and_full_exclusion() {
+        let scores = [3.0f32, 1.0, 2.0];
+        assert!(select_top_k(&scores, 0, &[]).is_empty());
+        let all: Vec<EntityId> = (0..3).map(EntityId).collect();
+        assert!(select_top_k(&scores, 2, &all).is_empty());
+    }
+
     mod properties {
         use super::super::*;
         use proptest::prelude::*;
@@ -574,6 +725,45 @@ mod tests {
                 prop_assert_eq!(opt, avg);
                 prop_assert_eq!(avg, pes);
                 prop_assert_eq!(opt, 1.0 + better as f64);
+            }
+
+            /// Bounded top-k selection reproduces the full-sort reference
+            /// exactly — same ids, same order, same score bits — for any
+            /// score vector (ties included) and any exclusion set.
+            #[test]
+            fn select_top_k_matches_full_sort(
+                scores in proptest::collection::vec(-4.0f32..4.0, 1..60),
+                quantize in proptest::bool::ANY,
+                k in 0usize..70,
+                excluded_seed in proptest::collection::vec(0usize..1000, 0..12)
+            ) {
+                // Quantizing forces heavy ties so the id tie-break is hit.
+                let scores: Vec<f32> = if quantize {
+                    scores.iter().map(|s| s.round()).collect()
+                } else {
+                    scores
+                };
+                let n = scores.len();
+                let mut excluded: Vec<EntityId> =
+                    excluded_seed.iter().map(|e| EntityId((e % n) as u32)).collect();
+                excluded.sort_unstable();
+                excluded.dedup();
+                let fast = select_top_k(&scores, k, &excluded);
+                let mut reference: Vec<(EntityId, f32)> = (0..n)
+                    .map(|i| (EntityId(i as u32), scores[i]))
+                    .filter(|(e, _)| !excluded.contains(e))
+                    .collect();
+                reference.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                reference.truncate(k);
+                prop_assert_eq!(fast.len(), reference.len());
+                for (a, b) in fast.iter().zip(&reference) {
+                    prop_assert_eq!(a.0, b.0);
+                    prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
             }
 
             /// Raising the true entity's score never worsens its rank.

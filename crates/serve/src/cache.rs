@@ -1,0 +1,238 @@
+//! Sharded, epoch-tagged LRU cache of top-k answers.
+//!
+//! Keys are the full request identity `(side, anchor, relation, k)`; values
+//! are the finished answer lists behind `Arc` so hits are returned without
+//! copying. Every entry is tagged with the snapshot **epoch** it was
+//! computed under, and [`ShardedLruCache::get`] only returns an entry whose
+//! tag matches the epoch the caller loaded for this request — a snapshot
+//! swap therefore invalidates the whole cache *lazily*: stale entries stop
+//! being servable the instant the epoch bumps and are evicted on first
+//! touch, with no stop-the-world sweep. An insert racing a swap can at
+//! worst park an already-stale entry in a slot; it can never be served.
+//!
+//! Sharding by key hash keeps lock contention bounded: each shard is an
+//! independent `Mutex<HashMap>` with its own LRU clock, so concurrent
+//! handler threads touching different keys rarely collide.
+
+use mei_eval::BlockQuery;
+use mei_kg::EntityId;
+use parking_lot::Mutex;
+use std::collections::hash_map::{DefaultHasher, Entry as MapEntry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A finished answer: `(entity, score)` pairs, best first.
+pub type CachedAnswer = Arc<Vec<(EntityId, f32)>>;
+
+/// The identity of a cacheable request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The scoring query `(side, anchor, relation)`.
+    pub query: BlockQuery,
+    /// How many results were requested.
+    pub k: usize,
+}
+
+struct Entry {
+    epoch: u64,
+    tick: u64,
+    value: CachedAnswer,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(key) =
+            self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| *k)
+        {
+            self.map.remove(&key);
+        }
+    }
+}
+
+/// Hit/miss counters, readable without locking any shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (same epoch).
+    pub hits: u64,
+    /// Lookups that missed (absent, or present but from an older epoch).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The cache: `shards` independent LRU maps of `capacity_per_shard`
+/// entries each.
+pub struct ShardedLruCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedLruCache {
+    /// Builds a cache with `shards` shards of `capacity_per_shard` entries
+    /// each. Both are clamped to at least 1.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity = capacity_per_shard.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::with_capacity(capacity),
+                        clock: 0,
+                        capacity,
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, returning the answer only if it was computed under
+    /// exactly `epoch`. An entry from any other epoch is evicted on the
+    /// spot and counted as a miss.
+    pub fn get(&self, key: &CacheKey, epoch: u64) -> Option<CachedAnswer> {
+        let mut shard = self.shard_for(key).lock();
+        let tick = shard.touch();
+        match shard.map.entry(*key) {
+            MapEntry::Occupied(mut slot) => {
+                if slot.get().epoch == epoch {
+                    slot.get_mut().tick = tick;
+                    let value = Arc::clone(&slot.get().value);
+                    drop(shard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(value)
+                } else {
+                    slot.remove();
+                    drop(shard);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+            MapEntry::Vacant(_) => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores an answer computed under `epoch`, evicting the shard's
+    /// least-recently-used entry if it is full.
+    pub fn insert(&self, key: CacheKey, epoch: u64, value: CachedAnswer) {
+        let mut shard = self.shard_for(&key).lock();
+        let tick = shard.touch();
+        if !shard.map.contains_key(&key) && shard.map.len() >= shard.capacity {
+            shard.evict_lru();
+        }
+        shard.map.insert(key, Entry { epoch, tick, value });
+    }
+
+    /// Total entries across all shards (including not-yet-evicted stale
+    /// ones; they are unservable regardless).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mei_kg::{EntityId, RelationId};
+
+    fn key(anchor: u32, k: usize) -> CacheKey {
+        CacheKey { query: BlockQuery::tails(EntityId(anchor), RelationId(0)), k }
+    }
+
+    fn answer(id: u32) -> CachedAnswer {
+        Arc::new(vec![(EntityId(id), 1.0)])
+    }
+
+    #[test]
+    fn hit_only_on_matching_epoch() {
+        let cache = ShardedLruCache::new(4, 8);
+        cache.insert(key(1, 5), 0, answer(7));
+        assert_eq!(cache.get(&key(1, 5), 0).unwrap()[0].0, EntityId(7));
+        // Epoch bump: the same key misses and the stale entry is evicted.
+        assert!(cache.get(&key(1, 5), 1).is_none());
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_is_part_of_the_key() {
+        let cache = ShardedLruCache::new(1, 8);
+        cache.insert(key(1, 5), 0, answer(7));
+        assert!(cache.get(&key(1, 6), 0).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ShardedLruCache::new(1, 2);
+        cache.insert(key(1, 1), 0, answer(1));
+        cache.insert(key(2, 1), 0, answer(2));
+        // Touch key 1 so key 2 is the LRU.
+        assert!(cache.get(&key(1, 1), 0).is_some());
+        cache.insert(key(3, 1), 0, answer(3));
+        assert!(cache.get(&key(2, 1), 0).is_none());
+        assert!(cache.get(&key(1, 1), 0).is_some());
+        assert!(cache.get(&key(3, 1), 0).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let cache = ShardedLruCache::new(1, 2);
+        cache.insert(key(1, 1), 0, answer(1));
+        cache.insert(key(2, 1), 0, answer(2));
+        cache.insert(key(1, 1), 1, answer(9));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(1, 1), 1).unwrap()[0].0, EntityId(9));
+        assert!(cache.get(&key(2, 1), 0).is_some());
+    }
+}

@@ -1,0 +1,518 @@
+//! The batching engine: request queue, worker pool, cache, and swap cell.
+//!
+//! [`Engine::predict`] is the single entry point every frontend funnels
+//! through. A request loads the current `(snapshot, epoch)` pair, consults
+//! the epoch-tagged cache, and on a miss parks itself on the shared queue;
+//! worker threads drain the queue in batches of up to
+//! [`ServeConfig::max_batch`] requests, deduplicate identical
+//! `(side, anchor, relation)` queries, and score each distinct query row
+//! through one [`TripleScorer::score_block`] call — the same blocked GEMM
+//! the evaluator uses — before answering every parked request with
+//! [`mei_eval::select_top_k`]. Because single-query and batched paths both
+//! go through `score_block` (whose kernel shares its reduction with the
+//! pointwise scorer), batched answers are bit-identical to per-query ones;
+//! the proptests in `tests/` pin this against the naive
+//! [`mei_eval::top_k_reference`] oracle.
+
+use crate::cache::{CacheKey, CacheStats, CachedAnswer, ShardedLruCache};
+use crate::snapshot::{Snapshot, SnapshotSwap};
+use mei_eval::{select_top_k, BlockQuery, Side, TripleScorer};
+use mei_kg::{EntityId, RelationId};
+use mei_obs::{Counter, Gauge, Histogram, JsonValue, MetricsRegistry};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Request latencies land in these histogram buckets (seconds).
+const LATENCY_BUCKETS: [f64; 8] = [1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 0.1, 1.0, 10.0];
+/// Drained batch sizes land in these histogram buckets.
+const BATCH_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Tuning knobs for [`Engine::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Scoring worker threads draining the batch queue.
+    pub workers: usize,
+    /// Most requests scored per `score_block` call. 32 is the sweet spot
+    /// measured at WN18 shape (larger blocks stop paying for themselves
+    /// once the entity-table pass no longer dominates).
+    pub max_batch: usize,
+    /// Number of independent cache shards.
+    pub cache_shards: usize,
+    /// LRU capacity per shard.
+    pub cache_capacity: usize,
+    /// Whether the result cache is consulted at all (disabled for the
+    /// uncached arms of `repro bench-serve`).
+    pub cache: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { workers: 1, max_batch: 32, cache_shards: 8, cache_capacity: 512, cache: true }
+    }
+}
+
+/// Why a request could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The anchor entity id is outside the snapshot's vocabulary.
+    InvalidEntity {
+        /// The offending id.
+        id: u32,
+        /// The vocabulary size it must be below.
+        num_entities: usize,
+    },
+    /// The relation id is outside the snapshot's vocabulary.
+    InvalidRelation {
+        /// The offending id.
+        id: u32,
+        /// The vocabulary size it must be below.
+        num_relations: usize,
+    },
+    /// A swap was attempted with a snapshot whose vocabulary sizes differ
+    /// from the serving one.
+    IncompatibleSnapshot {
+        /// `(entities, relations)` currently served.
+        current: (usize, usize),
+        /// `(entities, relations)` of the rejected snapshot.
+        offered: (usize, usize),
+    },
+    /// The engine is shutting down; the request was not scored.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidEntity { id, num_entities } => {
+                write!(f, "entity id {id} out of range (vocabulary has {num_entities} entities)")
+            }
+            ServeError::InvalidRelation { id, num_relations } => {
+                write!(f, "relation id {id} out of range (vocabulary has {num_relations} relations)")
+            }
+            ServeError::IncompatibleSnapshot { current, offered } => write!(
+                f,
+                "snapshot vocabulary mismatch: serving {}x{} (entities x relations), offered {}x{}",
+                current.0, current.1, offered.0, offered.1
+            ),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// `(entity, score)` pairs, best first, known-true entities excluded.
+    pub results: CachedAnswer,
+    /// Epoch of the snapshot that produced (or cached) the answer.
+    pub epoch: u64,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+}
+
+/// A request parked on the batch queue, waiting for a worker.
+struct Pending {
+    query: BlockQuery,
+    k: usize,
+    snap: Arc<Snapshot>,
+    slot: Arc<ResponseSlot>,
+}
+
+/// One-shot rendezvous between a parked request and the worker that
+/// answers it.
+struct ResponseSlot {
+    result: Mutex<Option<Result<CachedAnswer, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { result: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn fulfill(&self, value: Result<CachedAnswer, ServeError>) {
+        let mut slot = self.result.lock().unwrap();
+        *slot = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<CachedAnswer, ServeError> {
+        let mut slot = self.result.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.ready.wait(slot).unwrap();
+        }
+    }
+}
+
+/// State shared between the public [`Engine`] handle and its workers.
+struct Shared {
+    swap: SnapshotSwap,
+    cache: ShardedLruCache,
+    cache_enabled: bool,
+    max_batch: usize,
+    queue: Mutex<VecDeque<Pending>>,
+    available: Condvar,
+    stop: AtomicBool,
+    metrics: MetricsRegistry,
+    requests: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    swaps: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency_secs: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    epoch_gauge: Arc<Gauge>,
+}
+
+impl Shared {
+    /// The worker loop: sleep until requests arrive, drain up to
+    /// `max_batch`, score, answer.
+    fn work(&self) {
+        let mut scratch: Vec<f32> = Vec::new();
+        loop {
+            let batch = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if !queue.is_empty() {
+                        let take = queue.len().min(self.max_batch);
+                        break queue.drain(..take).collect::<Vec<Pending>>();
+                    }
+                    if self.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = self.available.wait(queue).unwrap();
+                }
+            };
+            self.batch_size.observe(batch.len() as f64);
+            self.score_batch(batch, &mut scratch);
+        }
+    }
+
+    /// Scores one drained batch. Requests are grouped by the snapshot they
+    /// loaded (a swap mid-flight may leave a batch straddling two
+    /// snapshots; each group scores against exactly the snapshot its
+    /// requests observed), identical queries within a group are scored
+    /// once, and every request is answered through `select_top_k`.
+    fn score_batch(&self, mut batch: Vec<Pending>, scratch: &mut Vec<f32>) {
+        while !batch.is_empty() {
+            let snap = Arc::clone(&batch[0].snap);
+            let (group, rest): (Vec<Pending>, Vec<Pending>) =
+                batch.into_iter().partition(|p| Arc::ptr_eq(&p.snap, &snap));
+            batch = rest;
+
+            let ne = snap.model.num_entities();
+            let mut rows: HashMap<BlockQuery, usize> = HashMap::with_capacity(group.len());
+            let mut queries: Vec<BlockQuery> = Vec::with_capacity(group.len());
+            for p in &group {
+                rows.entry(p.query).or_insert_with(|| {
+                    queries.push(p.query);
+                    queries.len() - 1
+                });
+            }
+            scratch.clear();
+            scratch.resize(queries.len() * ne, 0.0);
+            snap.model.score_block(&queries, scratch);
+
+            for p in group {
+                let row = rows[&p.query];
+                let scores = &scratch[row * ne..(row + 1) * ne];
+                let mut excluded: Vec<EntityId> = match p.query.side {
+                    Side::Tail => snap.exclude.tails_of(p.query.anchor, p.query.relation),
+                    Side::Head => snap.exclude.heads_of(p.query.anchor, p.query.relation),
+                }
+                .to_vec();
+                excluded.sort_unstable();
+                excluded.dedup();
+                let answer = Arc::new(select_top_k(scores, p.k, &excluded));
+                p.slot.fulfill(Ok(answer));
+            }
+        }
+    }
+}
+
+/// The serving engine: owns the worker pool and the shared state.
+///
+/// Dropping the engine shuts it down; [`Engine::shutdown`] does the same
+/// explicitly and is idempotent.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Spins up the worker pool and returns the engine handle.
+    pub fn start(initial: Snapshot, config: ServeConfig) -> Self {
+        let metrics = MetricsRegistry::new();
+        let shared = Arc::new(Shared {
+            swap: SnapshotSwap::new(initial),
+            cache: ShardedLruCache::new(config.cache_shards, config.cache_capacity),
+            cache_enabled: config.cache,
+            max_batch: config.max_batch.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            requests: metrics.counter("serve/requests"),
+            cache_hits: metrics.counter("serve/cache_hits"),
+            cache_misses: metrics.counter("serve/cache_misses"),
+            swaps: metrics.counter("serve/swaps"),
+            errors: metrics.counter("serve/errors"),
+            latency_secs: metrics.histogram("serve/latency_secs", &LATENCY_BUCKETS),
+            batch_size: metrics.histogram("serve/batch_size", &BATCH_BUCKETS),
+            epoch_gauge: metrics.gauge("serve/epoch"),
+            metrics,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mei-serve-worker-{i}"))
+                    .spawn(move || shared.work())
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Answers one top-`k` query: the `k` best entities for the open slot
+    /// of `(side, anchor, relation)`, known-true triples excluded.
+    pub fn predict(
+        &self,
+        side: Side,
+        anchor: EntityId,
+        relation: RelationId,
+        k: usize,
+    ) -> Result<Prediction, ServeError> {
+        let started = Instant::now();
+        self.shared.requests.inc();
+        let outcome = self.predict_inner(side, anchor, relation, k);
+        if outcome.is_err() {
+            self.shared.errors.inc();
+        }
+        self.shared.latency_secs.observe(started.elapsed().as_secs_f64());
+        outcome
+    }
+
+    fn predict_inner(
+        &self,
+        side: Side,
+        anchor: EntityId,
+        relation: RelationId,
+        k: usize,
+    ) -> Result<Prediction, ServeError> {
+        let shared = &self.shared;
+        if shared.stop.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (snap, epoch) = shared.swap.load();
+        let cfg = snap.model.config();
+        if anchor.idx() >= cfg.num_entities {
+            return Err(ServeError::InvalidEntity { id: anchor.0, num_entities: cfg.num_entities });
+        }
+        if relation.idx() >= cfg.num_relations {
+            return Err(ServeError::InvalidRelation {
+                id: relation.0,
+                num_relations: cfg.num_relations,
+            });
+        }
+
+        let query = match side {
+            Side::Tail => BlockQuery::tails(anchor, relation),
+            Side::Head => BlockQuery::heads(anchor, relation),
+        };
+        let key = CacheKey { query, k };
+        if shared.cache_enabled {
+            if let Some(results) = shared.cache.get(&key, epoch) {
+                shared.cache_hits.inc();
+                return Ok(Prediction { results, epoch, cached: true });
+            }
+            shared.cache_misses.inc();
+        }
+
+        let slot = ResponseSlot::new();
+        {
+            let mut queue = shared.queue.lock().unwrap();
+            if shared.stop.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            queue.push_back(Pending { query, k, snap, slot: Arc::clone(&slot) });
+        }
+        shared.available.notify_one();
+
+        let results = slot.wait()?;
+        if shared.cache_enabled {
+            // Tagged with the epoch loaded above: if a swap landed while we
+            // were scoring, the entry is born stale and can never be served.
+            shared.cache.insert(key, epoch, Arc::clone(&results));
+        }
+        Ok(Prediction { results, epoch, cached: false })
+    }
+
+    /// Atomically installs a new snapshot, invalidating all cached answers
+    /// via the epoch bump, and returns the new epoch. The snapshot must
+    /// have the same vocabulary sizes as the serving one.
+    pub fn swap_snapshot(&self, next: Snapshot) -> Result<u64, ServeError> {
+        let (current, _) = self.shared.swap.load();
+        if !current.compatible_with(&next) {
+            self.shared.errors.inc();
+            return Err(ServeError::IncompatibleSnapshot {
+                current: (current.entities.len(), current.relations.len()),
+                offered: (next.entities.len(), next.relations.len()),
+            });
+        }
+        let epoch = self.shared.swap.swap(next);
+        self.shared.swaps.inc();
+        self.shared.epoch_gauge.set(epoch as f64);
+        Ok(epoch)
+    }
+
+    /// The currently served snapshot and its epoch.
+    pub fn snapshot(&self) -> (Arc<Snapshot>, u64) {
+        self.shared.swap.load()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.swap.epoch()
+    }
+
+    /// Result-cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// One JSON object with every serving metric (counters, latency and
+    /// batch-size histograms, epoch gauge) — the payload behind the wire
+    /// `stats` op and the JSONL observer line.
+    pub fn metrics_snapshot(&self) -> JsonValue {
+        self.shared.epoch_gauge.set(self.epoch() as f64);
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stops the workers and fails any still-parked requests with
+    /// [`ServeError::ShuttingDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for handle in workers {
+            let _ = handle.join();
+        }
+        // Workers are gone; anything still queued will never be scored.
+        let leftovers: Vec<Pending> =
+            self.shared.queue.lock().unwrap().drain(..).collect();
+        for p in leftovers {
+            p.slot.fulfill(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mei_core::{MultiEmbedModel, WeightPreset};
+    use mei_kg::{Triple, TripleStore};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn snapshot(seed: u64, exclude: TripleStore) -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 20, 3, 8, &mut rng);
+        Snapshot::with_ids(model, exclude)
+    }
+
+    #[test]
+    fn predict_matches_reference_both_sides() {
+        let exclude: TripleStore = [Triple::new(0, 3, 1)].into_iter().collect();
+        let snap = snapshot(7, exclude.clone());
+        let engine = Engine::start(snapshot(7, exclude.clone()), ServeConfig::default());
+        for side in [Side::Tail, Side::Head] {
+            let got = engine.predict(side, EntityId(0), RelationId(1), 5).unwrap();
+            let want =
+                mei_eval::top_k_reference(&snap.model, side, EntityId(0), RelationId(1), 5, &exclude);
+            assert_eq!(*got.results, want, "side {side:?}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_misses_after_swap() {
+        let engine = Engine::start(snapshot(1, TripleStore::new()), ServeConfig::default());
+        let first = engine.predict(Side::Tail, EntityId(2), RelationId(0), 4).unwrap();
+        assert!(!first.cached);
+        let second = engine.predict(Side::Tail, EntityId(2), RelationId(0), 4).unwrap();
+        assert!(second.cached);
+        assert_eq!(*first.results, *second.results);
+
+        let epoch = engine.swap_snapshot(snapshot(2, TripleStore::new())).unwrap();
+        assert_eq!(epoch, 1);
+        let third = engine.predict(Side::Tail, EntityId(2), RelationId(0), 4).unwrap();
+        assert!(!third.cached, "swap must invalidate the cache");
+        assert_eq!(third.epoch, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let engine = Engine::start(snapshot(1, TripleStore::new()), ServeConfig::default());
+        assert_eq!(
+            engine.predict(Side::Tail, EntityId(99), RelationId(0), 3),
+            Err(ServeError::InvalidEntity { id: 99, num_entities: 20 })
+        );
+        assert_eq!(
+            engine.predict(Side::Head, EntityId(0), RelationId(9), 3),
+            Err(ServeError::InvalidRelation { id: 9, num_relations: 3 })
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn incompatible_swap_is_rejected() {
+        let engine = Engine::start(snapshot(1, TripleStore::new()), ServeConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 5, 3, 8, &mut rng);
+        let err = engine
+            .swap_snapshot(Snapshot::with_ids(small, TripleStore::new()))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::IncompatibleSnapshot { .. }));
+        assert_eq!(engine.epoch(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn predict_after_shutdown_fails_fast() {
+        let engine = Engine::start(snapshot(1, TripleStore::new()), ServeConfig::default());
+        engine.shutdown();
+        assert_eq!(
+            engine.predict(Side::Tail, EntityId(0), RelationId(0), 1),
+            Err(ServeError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_counters() {
+        let engine = Engine::start(snapshot(1, TripleStore::new()), ServeConfig::default());
+        engine.predict(Side::Tail, EntityId(0), RelationId(0), 2).unwrap();
+        engine.predict(Side::Tail, EntityId(0), RelationId(0), 2).unwrap();
+        let snap = engine.metrics_snapshot();
+        let counter = |name: &str| {
+            snap.get(name).and_then(|v| v.get("value")).and_then(|v| v.as_usize())
+        };
+        assert_eq!(counter("serve/requests"), Some(2));
+        assert_eq!(counter("serve/cache_hits"), Some(1));
+        engine.shutdown();
+    }
+}

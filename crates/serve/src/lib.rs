@@ -1,0 +1,62 @@
+//! # mei-serve — batched link-prediction query serving
+//!
+//! The training side of this workspace produces a `MultiEmbedModel`
+//! snapshot; this crate turns one into an online query-answering service.
+//! It exists because the one-shot `mei predict` path re-walks the whole
+//! entity table per request and sorts all `|E|` candidates to pick ten —
+//! fine for a CLI, hopeless for traffic. The serving engine instead:
+//!
+//! * **micro-batches** concurrent top-k requests into
+//!   [`mei_eval::TripleScorer::score_block`] calls, so a block of requests
+//!   streams the entity table through the blocked GEMM kernel once instead
+//!   of once per request, and requests sharing a `(side, anchor,
+//!   relation)` query are scored exactly once per batch;
+//! * answers through the bounded [`mei_eval::select_top_k`] selection
+//!   (`O(|E|·k)` worst case) instead of a full `O(|E| log |E|)` sort, with
+//!   answers element-for-element identical to the naive reference path;
+//! * keeps a **sharded LRU cache** of results keyed by
+//!   `(side, anchor, relation, k)`, tagged with the snapshot epoch;
+//! * supports **atomic snapshot hot-swap**: a training run can publish a
+//!   new checkpoint and [`Engine::swap_snapshot`] installs it without
+//!   downtime; the epoch bump makes every cached result from older
+//!   snapshots unservable (checked on every lookup, so no stale answer
+//!   can escape), and the checksummed model-file format guards against
+//!   swapping in a half-written checkpoint;
+//! * speaks **newline-delimited JSON over TCP** ([`Server`]) with no
+//!   async runtime — an accept thread plus one handler thread per
+//!   connection, all scoring funneled through the shared worker pool;
+//! * instruments everything through `mei-obs`: request latency and batch
+//!   size histograms, cache hit/miss counters, swap counts, served-epoch
+//!   gauge, exportable as one JSONL snapshot line.
+//!
+//! ```
+//! use mei_serve::{Engine, ServeConfig, Snapshot};
+//! use mei_core::{ModelConfig, MultiEmbedModel, WeightPreset};
+//! use mei_eval::Side;
+//! use mei_kg::{Dictionary, EntityId, RelationId, TripleStore};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 10, 2, 4, &mut rng);
+//! let snapshot = Snapshot::with_ids(model, TripleStore::new());
+//! let engine = Engine::start(snapshot, ServeConfig::default());
+//! let answer = engine
+//!     .predict(Side::Tail, EntityId(0), RelationId(1), 3)
+//!     .unwrap();
+//! assert_eq!(answer.results.len(), 3);
+//! engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub use cache::{CacheKey, CacheStats, ShardedLruCache};
+pub use engine::{Engine, Prediction, ServeConfig, ServeError};
+pub use server::Server;
+pub use snapshot::{Snapshot, SnapshotSwap};
+pub use wire::{Request, RequestName};

@@ -1,0 +1,254 @@
+//! The TCP frontend: plain threads, no async runtime.
+//!
+//! One accept thread hands each connection to its own handler thread; every
+//! handler reads newline-delimited requests, dispatches them through
+//! [`crate::wire::handle_line`], and writes one response line per request.
+//! Concurrency in the scoring path comes from the engine's batch queue, not
+//! from here — handler threads exist only to park on socket reads, so the
+//! thread-per-connection model costs one blocked thread per idle client and
+//! nothing else.
+//!
+//! Shutdown is cooperative and deadlock-free: [`Server::shutdown`] flips the
+//! stop flag, self-connects once to unblock `accept`, and shuts down every
+//! live client socket so handler reads return immediately, then joins all
+//! threads. A client can also trigger the same sequence remotely with the
+//! wire `shutdown` op.
+
+use crate::engine::Engine;
+use crate::wire;
+use parking_lot::Mutex;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct ServerShared {
+    engine: Arc<Engine>,
+    stop: AtomicBool,
+    addr: SocketAddr,
+    /// Live client sockets, kept so shutdown can unblock their readers.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    fn begin_shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        // Unblock every handler parked in a socket read.
+        for (_, stream) in self.conns.lock().iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running NDJSON-over-TCP server wrapping an [`Engine`].
+pub struct Server {
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port) and starts accepting.
+    pub fn start<A: ToSocketAddrs>(engine: Arc<Engine>, addr: A) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(ServerShared {
+            engine,
+            stop: AtomicBool::new(false),
+            addr: listener.local_addr()?,
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("mei-serve-accept".to_owned())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Self { shared, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Whether a shutdown has been requested (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, disconnects clients, joins all threads, and shuts
+    /// down the engine. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handlers = std::mem::take(&mut *self.shared.handlers.lock());
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        self.shared.engine.shutdown();
+    }
+
+    /// Blocks until the accept loop exits (i.e. until a wire `shutdown`
+    /// op or a local [`Server::shutdown`] call), then completes the
+    /// shutdown sequence. This is what `mei serve` parks on.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    let mut next_id: u64 = 0;
+    for incoming in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match incoming {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_id = next_id;
+        next_id += 1;
+        let reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        shared.conns.lock().push((conn_id, stream));
+        let handler_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("mei-serve-conn-{conn_id}"))
+            .spawn(move || {
+                handle_connection(reader, &handler_shared);
+                handler_shared.conns.lock().retain(|(id, _)| *id != conn_id);
+            });
+        match handle {
+            Ok(h) => shared.handlers.lock().push(h),
+            Err(_) => shared.conns.lock().retain(|(id, _)| *id != conn_id),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &ServerShared) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = wire::handle_line(&shared.engine, &line);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown {
+            shared.begin_shutdown();
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::snapshot::Snapshot;
+    use mei_core::{MultiEmbedModel, WeightPreset};
+    use mei_kg::TripleStore;
+    use mei_obs::json::parse;
+    use mei_obs::JsonValue;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn server() -> Server {
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 15, 2, 4, &mut rng);
+        let engine =
+            Arc::new(Engine::start(Snapshot::with_ids(model, TripleStore::new()), ServeConfig::default()));
+        Server::start(engine, "127.0.0.1:0").unwrap()
+    }
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> JsonValue {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        parse(response.trim_end()).unwrap()
+    }
+
+    #[test]
+    fn serves_ping_and_predict_over_tcp() {
+        let mut server = server();
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        let pong = roundtrip(&mut client, r#"{"op":"ping"}"#);
+        assert_eq!(pong.get("ok"), Some(&JsonValue::Bool(true)));
+        let answer = roundtrip(
+            &mut client,
+            r#"{"op":"predict","side":"tail","anchor":0,"relation":0,"k":2}"#,
+        );
+        assert_eq!(answer.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(answer.get("results").and_then(|r| r.as_arr()).map(|r| r.len()), Some(2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn wire_shutdown_stops_the_server() {
+        let server = server();
+        let addr = server.local_addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let ack = roundtrip(&mut client, r#"{"op":"shutdown"}"#);
+        assert_eq!(ack.get("ok"), Some(&JsonValue::Bool(true)));
+        // wait() returns because the accept loop exits.
+        server.wait();
+        // The port no longer answers.
+        assert!(TcpStream::connect(addr).is_err() || {
+            // A connect may still succeed momentarily on some kernels if
+            // the backlog drains late; a subsequent read must then EOF.
+            let s = TcpStream::connect(addr);
+            match s {
+                Ok(sock) => {
+                    let mut r = BufReader::new(sock);
+                    let mut line = String::new();
+                    r.read_line(&mut line).map(|n| n == 0).unwrap_or(true)
+                }
+                Err(_) => true,
+            }
+        });
+    }
+
+    #[test]
+    fn local_shutdown_is_idempotent_and_unblocks_clients() {
+        let mut server = server();
+        let _idle = TcpStream::connect(server.local_addr()).unwrap();
+        server.shutdown();
+        server.shutdown();
+        assert!(server.is_shutting_down());
+    }
+}

@@ -1,0 +1,175 @@
+//! Immutable model snapshots and the atomic hot-swap cell.
+//!
+//! A [`Snapshot`] bundles everything one query needs — the scoring model,
+//! the name dictionaries, and the known-true triples to filter out of
+//! answers — into a single immutable unit shared behind an `Arc`. The
+//! [`SnapshotSwap`] cell publishes the current snapshot together with a
+//! monotonically increasing **epoch**; swapping installs a new snapshot
+//! and bumps the epoch in one critical section, so any `(snapshot, epoch)`
+//! pair a reader observes is consistent. The result cache tags entries
+//! with the epoch they were computed under and refuses to serve an entry
+//! whose tag differs from the epoch loaded for the request, which is what
+//! makes a swap an *atomic invalidation*: no post-swap request can ever
+//! see a pre-swap answer.
+
+use mei_core::MultiEmbedModel;
+use mei_kg::{Dictionary, TripleStore};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Everything needed to answer prediction queries against one model
+/// checkpoint: the scorer, the entity/relation vocabularies, and the
+/// known-true triples excluded from answers (the filtered protocol of
+/// §5.2, applied at serving time so the engine never "predicts" an edge
+/// it was trained on).
+pub struct Snapshot {
+    /// The scoring model.
+    pub model: MultiEmbedModel,
+    /// Entity vocabulary (names ↔ dense ids).
+    pub entities: Dictionary,
+    /// Relation vocabulary.
+    pub relations: Dictionary,
+    /// Known-true triples filtered out of every answer.
+    pub exclude: TripleStore,
+}
+
+impl Snapshot {
+    /// Bundles a model with its vocabularies and exclusion set.
+    ///
+    /// Panics if the dictionary sizes disagree with the model's embedding
+    /// table shapes — a mismatched snapshot would silently mistranslate
+    /// names to rows.
+    pub fn new(
+        model: MultiEmbedModel,
+        entities: Dictionary,
+        relations: Dictionary,
+        exclude: TripleStore,
+    ) -> Self {
+        assert_eq!(
+            entities.len(),
+            model.config().num_entities,
+            "entity dictionary size must match the model's entity table"
+        );
+        assert_eq!(
+            relations.len(),
+            model.config().num_relations,
+            "relation dictionary size must match the model's relation table"
+        );
+        Self { model, entities, relations, exclude }
+    }
+
+    /// Bundles a model with synthetic `e<i>` / `r<i>` name dictionaries —
+    /// for tests and benches that work in id space only.
+    pub fn with_ids(model: MultiEmbedModel, exclude: TripleStore) -> Self {
+        let entities =
+            Dictionary::from_names((0..model.config().num_entities).map(|i| format!("e{i}")));
+        let relations =
+            Dictionary::from_names((0..model.config().num_relations).map(|i| format!("r{i}")));
+        Self::new(model, entities, relations, exclude)
+    }
+
+    /// Whether `other` can replace this snapshot in place: the vocabularies
+    /// must be identical in size so outstanding name↔id translations and
+    /// client-held ids stay valid across the swap.
+    pub fn compatible_with(&self, other: &Snapshot) -> bool {
+        self.entities.len() == other.entities.len()
+            && self.relations.len() == other.relations.len()
+    }
+}
+
+/// The hot-swap cell: an epoch-tagged `Arc<Snapshot>` pointer.
+///
+/// Readers call [`SnapshotSwap::load`] and get a consistent
+/// `(snapshot, epoch)` pair; writers call [`SnapshotSwap::swap`] to
+/// install a new snapshot and bump the epoch atomically. Loads are
+/// read-locked and never block each other; a swap blocks loads only for
+/// the pointer store and counter bump (the new snapshot is fully built
+/// before the lock is taken).
+pub struct SnapshotSwap {
+    current: RwLock<Arc<Snapshot>>,
+    epoch: AtomicU64,
+}
+
+impl SnapshotSwap {
+    /// Wraps the initial snapshot at epoch 0.
+    pub fn new(initial: Snapshot) -> Self {
+        Self { current: RwLock::new(Arc::new(initial)), epoch: AtomicU64::new(0) }
+    }
+
+    /// The current snapshot and the epoch it was installed at, read as one
+    /// consistent pair.
+    pub fn load(&self) -> (Arc<Snapshot>, u64) {
+        let guard = self.current.read();
+        // Read the epoch while still holding the read lock so it cannot
+        // belong to a snapshot installed after the pointer we cloned.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        (Arc::clone(&guard), epoch)
+    }
+
+    /// The current epoch without touching the pointer.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Installs `next` and bumps the epoch, returning the new epoch.
+    ///
+    /// In-flight requests that loaded the old snapshot keep scoring
+    /// against it (their `Arc` keeps it alive), but their results are
+    /// tagged with the old epoch and so are never served from the cache
+    /// after the swap.
+    pub fn swap(&self, next: Snapshot) -> u64 {
+        let next = Arc::new(next);
+        let mut guard = self.current.write();
+        *guard = next;
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mei_core::WeightPreset;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model(seed: u64) -> MultiEmbedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MultiEmbedModel::from_preset(WeightPreset::ComplEx, 6, 2, 4, &mut rng)
+    }
+
+    #[test]
+    fn load_and_swap_keep_epoch_consistent() {
+        let swap = SnapshotSwap::new(Snapshot::with_ids(model(1), TripleStore::new()));
+        let (s0, e0) = swap.load();
+        assert_eq!(e0, 0);
+        assert_eq!(s0.entities.len(), 6);
+
+        let e1 = swap.swap(Snapshot::with_ids(model(2), TripleStore::new()));
+        assert_eq!(e1, 1);
+        let (s1, e) = swap.load();
+        assert_eq!(e, 1);
+        assert!(!Arc::ptr_eq(&s0, &s1));
+        // The old Arc is still alive and scorable for in-flight requests.
+        assert_eq!(s0.entities.len(), 6);
+    }
+
+    #[test]
+    fn compatible_with_checks_vocabulary_sizes() {
+        let a = Snapshot::with_ids(model(1), TripleStore::new());
+        let b = Snapshot::with_ids(model(2), TripleStore::new());
+        assert!(a.compatible_with(&b));
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 4, 2, 4, &mut rng);
+        let c = Snapshot::with_ids(small, TripleStore::new());
+        assert!(!a.compatible_with(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "entity dictionary size")]
+    fn mismatched_dictionary_is_rejected() {
+        let m = model(1);
+        let entities = Dictionary::from_names(["only-one"]);
+        let relations = Dictionary::from_names(["r0", "r1"]);
+        Snapshot::new(m, entities, relations, TripleStore::new());
+    }
+}

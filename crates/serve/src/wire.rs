@@ -1,0 +1,322 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line. The protocol is deliberately boring — any client
+//! that can speak `printf | nc` can query the server:
+//!
+//! ```text
+//! → {"op":"predict","side":"tail","anchor":"e3","relation":"r0","k":5}
+//! ← {"ok":true,"epoch":0,"cached":false,"results":[{"entity":"e7","id":7,"score":1.25},…]}
+//! ```
+//!
+//! Operations:
+//!
+//! * `predict` — top-k query. `side` is `"tail"` (rank tails of
+//!   `(anchor, ?, relation)`) or `"head"` (rank heads of
+//!   `(?, anchor, relation)`). `anchor` and `relation` accept either a
+//!   vocabulary name (string) or a raw dense id (integer). An optional
+//!   `id` field is echoed back verbatim so pipelined clients can match
+//!   responses to requests.
+//! * `stats` — one object with the full serving metrics snapshot plus
+//!   cache hit/miss counters.
+//! * `ping` — liveness probe.
+//! * `swap` — hot-swaps the model from `model_file`. The file's header and
+//!   checksum are validated with `peek_model_file_meta` *before* the model
+//!   is built, so a truncated or corrupt checkpoint is rejected without
+//!   disturbing the serving snapshot. Dictionaries and the exclusion set
+//!   are carried over from the current snapshot (a swap replaces
+//!   parameters, not the vocabulary).
+//! * `shutdown` — acknowledges, then stops the server.
+//!
+//! Errors come back as `{"ok":false,"error":"…"}` and never kill the
+//! connection; malformed JSON gets the same treatment.
+
+use crate::engine::Engine;
+use crate::snapshot::Snapshot;
+use mei_eval::Side;
+use mei_kg::{Dictionary, EntityId, RelationId};
+use mei_obs::json::{build, parse};
+use mei_obs::JsonValue;
+
+/// A vocabulary reference from the wire: either an interned name or a raw
+/// dense id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestName {
+    /// Look the id up in the dictionary.
+    Name(String),
+    /// Use the id directly.
+    Id(u32),
+}
+
+impl RequestName {
+    fn resolve(&self, dict: &Dictionary, what: &str) -> Result<u32, String> {
+        match self {
+            RequestName::Id(id) => Ok(*id),
+            RequestName::Name(name) => dict
+                .get(name)
+                .ok_or_else(|| format!("unknown {what} {name:?}")),
+        }
+    }
+}
+
+/// A parsed wire request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Top-k prediction.
+    Predict {
+        /// Which slot to rank.
+        side: Side,
+        /// The fixed entity.
+        anchor: RequestName,
+        /// The relation.
+        relation: RequestName,
+        /// How many results to return.
+        k: usize,
+        /// Opaque client tag echoed back in the response.
+        id: Option<JsonValue>,
+    },
+    /// Metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Hot-swap the model from a checkpoint file.
+    Swap {
+        /// Path to the checkpoint, readable by the server process.
+        model_file: String,
+    },
+    /// Stop the server.
+    Shutdown,
+}
+
+fn parse_name(v: &JsonValue, field: &str) -> Result<RequestName, String> {
+    match v {
+        JsonValue::Str(s) => Ok(RequestName::Name(s.clone())),
+        JsonValue::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u32::MAX as f64 => {
+            Ok(RequestName::Id(*n as u32))
+        }
+        _ => Err(format!("field {field:?} must be a name string or a non-negative integer id")),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let op = value
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "missing string field \"op\"".to_owned())?;
+    match op {
+        "predict" => {
+            let side = match value.get("side").and_then(|v| v.as_str()) {
+                Some("tail") => Side::Tail,
+                Some("head") => Side::Head,
+                _ => return Err("field \"side\" must be \"tail\" or \"head\"".to_owned()),
+            };
+            let anchor =
+                parse_name(value.get("anchor").ok_or("missing field \"anchor\"")?, "anchor")?;
+            let relation = parse_name(
+                value.get("relation").ok_or("missing field \"relation\"")?,
+                "relation",
+            )?;
+            let k = value
+                .get("k")
+                .and_then(|v| v.as_usize())
+                .ok_or("field \"k\" must be a non-negative integer")?;
+            Ok(Request::Predict { side, anchor, relation, k, id: value.get("id").cloned() })
+        }
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "swap" => {
+            let model_file = value
+                .get("model_file")
+                .and_then(|v| v.as_str())
+                .ok_or("missing string field \"model_file\"")?
+                .to_owned();
+            Ok(Request::Swap { model_file })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn error_response(message: String) -> JsonValue {
+    build::obj([("ok", JsonValue::Bool(false)), ("error", JsonValue::Str(message))])
+}
+
+fn predict_response(engine: &Engine, req: &Request) -> Result<JsonValue, String> {
+    let Request::Predict { side, anchor, relation, k, id } = req else { unreachable!() };
+    let (snap, _) = engine.snapshot();
+    let anchor_id = anchor.resolve(&snap.entities, "entity")?;
+    let relation_id = relation.resolve(&snap.relations, "relation")?;
+    let prediction = engine
+        .predict(*side, EntityId(anchor_id), RelationId(relation_id), *k)
+        .map_err(|e| e.to_string())?;
+    let results: Vec<JsonValue> = prediction
+        .results
+        .iter()
+        .map(|&(e, score)| {
+            build::obj([
+                ("entity", build::str(snap.entities.name(e.0).unwrap_or("?"))),
+                ("id", build::int(e.idx())),
+                ("score", build::num(score as f64)),
+            ])
+        })
+        .collect();
+    let mut pairs = vec![
+        ("ok", JsonValue::Bool(true)),
+        ("epoch", build::int(prediction.epoch as usize)),
+        ("cached", JsonValue::Bool(prediction.cached)),
+        ("results", JsonValue::Arr(results)),
+    ];
+    if let Some(tag) = id {
+        pairs.push(("id", tag.clone()));
+    }
+    Ok(build::obj(pairs))
+}
+
+fn swap_response(engine: &Engine, model_file: &str) -> Result<JsonValue, String> {
+    // Validate the header and checksum without building the model, so a
+    // half-written checkpoint is rejected before any allocation.
+    mei_core::serialize::peek_model_file_meta(model_file).map_err(|e| e.to_string())?;
+    let model = mei_core::serialize::load_model(model_file).map_err(|e| e.to_string())?;
+    let (current, _) = engine.snapshot();
+    let next = Snapshot {
+        model,
+        entities: current.entities.clone(),
+        relations: current.relations.clone(),
+        exclude: current.exclude.clone(),
+    };
+    let epoch = engine.swap_snapshot(next).map_err(|e| e.to_string())?;
+    Ok(build::obj([("ok", JsonValue::Bool(true)), ("epoch", build::int(epoch as usize))]))
+}
+
+fn stats_response(engine: &Engine) -> JsonValue {
+    let cache = engine.cache_stats();
+    build::obj([
+        ("ok", JsonValue::Bool(true)),
+        ("epoch", build::int(engine.epoch() as usize)),
+        ("cache_hits", build::int(cache.hits as usize)),
+        ("cache_misses", build::int(cache.misses as usize)),
+        ("cache_hit_rate", build::num(cache.hit_rate())),
+        ("metrics", engine.metrics_snapshot()),
+    ])
+}
+
+/// Handles one request line against `engine`. Returns the one-line JSON
+/// response (without trailing newline) and whether the client asked the
+/// server to shut down.
+pub fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (error_response(e).to_json(), false),
+    };
+    let (response, shutdown) = match &request {
+        Request::Ping => (Ok(build::obj([("ok", JsonValue::Bool(true))])), false),
+        Request::Stats => (Ok(stats_response(engine)), false),
+        Request::Predict { .. } => (predict_response(engine, &request), false),
+        Request::Swap { model_file } => (swap_response(engine, model_file), false),
+        Request::Shutdown => (Ok(build::obj([("ok", JsonValue::Bool(true))])), true),
+    };
+    match response {
+        Ok(v) => (v.to_json(), shutdown),
+        Err(e) => (error_response(e).to_json(), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use mei_core::{MultiEmbedModel, WeightPreset};
+    use mei_kg::TripleStore;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn engine() -> Engine {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 12, 2, 4, &mut rng);
+        Engine::start(Snapshot::with_ids(model, TripleStore::new()), ServeConfig::default())
+    }
+
+    #[test]
+    fn parse_accepts_names_and_ids() {
+        let req = parse_request(
+            r#"{"op":"predict","side":"head","anchor":"e3","relation":1,"k":4,"id":"q1"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Predict {
+                side: Side::Head,
+                anchor: RequestName::Name("e3".into()),
+                relation: RequestName::Id(1),
+                k: 4,
+                id: Some(JsonValue::Str("q1".into())),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_request("not json").unwrap_err().contains("invalid JSON"));
+        assert!(parse_request(r#"{"k":1}"#).unwrap_err().contains("op"));
+        assert!(parse_request(r#"{"op":"dance"}"#).unwrap_err().contains("unknown op"));
+        assert!(parse_request(r#"{"op":"predict","side":"left"}"#)
+            .unwrap_err()
+            .contains("side"));
+    }
+
+    #[test]
+    fn predict_round_trip_over_the_handler() {
+        let engine = engine();
+        let (line, stop) = handle_line(
+            &engine,
+            r#"{"op":"predict","side":"tail","anchor":"e0","relation":"r1","k":3,"id":7}"#,
+        );
+        assert!(!stop);
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("id").and_then(|x| x.as_usize()), Some(7));
+        let results = v.get("results").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(results.len(), 3);
+        // Names round-trip through the dictionary.
+        let first = &results[0];
+        let id = first.get("id").and_then(|x| x.as_usize()).unwrap();
+        assert_eq!(first.get("entity").and_then(|x| x.as_str()), Some(format!("e{id}").as_str()));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unknown_names_and_ops_surface_as_errors() {
+        let engine = engine();
+        for line in [
+            r#"{"op":"predict","side":"tail","anchor":"nope","relation":0,"k":1}"#,
+            r#"{"op":"predict","side":"tail","anchor":0,"relation":99,"k":1}"#,
+            "}{",
+        ] {
+            let (resp, stop) = handle_line(&engine, line);
+            assert!(!stop);
+            let v = parse(&resp).unwrap();
+            assert_eq!(v.get("ok"), Some(&JsonValue::Bool(false)), "line: {line}");
+            assert!(v.get("error").is_some());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_op_signals_the_server() {
+        let engine = engine();
+        let (resp, stop) = handle_line(&engine, r#"{"op":"shutdown"}"#);
+        assert!(stop);
+        assert_eq!(parse(&resp).unwrap().get("ok"), Some(&JsonValue::Bool(true)));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn swap_rejects_missing_and_corrupt_files() {
+        let engine = engine();
+        let (resp, _) = handle_line(&engine, r#"{"op":"swap","model_file":"/nonexistent"}"#);
+        assert_eq!(parse(&resp).unwrap().get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(engine.epoch(), 0);
+        engine.shutdown();
+    }
+}

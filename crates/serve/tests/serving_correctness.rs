@@ -1,0 +1,238 @@
+//! The serving engine's correctness contract, end to end:
+//!
+//! 1. batched + cached answers are **identical** (same ids, same order,
+//!    same tie policy, bitwise-equal scores) to the naive per-query
+//!    reference path, on random models and random query mixes;
+//! 2. a snapshot hot-swap under concurrent load never serves a stale
+//!    cached answer — every response provably belongs to the snapshot of
+//!    the epoch it reports, and once the swap lands only new-epoch
+//!    answers appear;
+//! 3. the TCP frontend survives concurrent clients and shuts down
+//!    cleanly with all threads joined.
+
+use mei_core::{MultiEmbedModel, WeightPreset};
+use mei_eval::{top_k_reference, Side};
+use mei_kg::{EntityId, RelationId, Triple, TripleStore};
+use mei_serve::{Engine, ServeConfig, Server, Snapshot};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const NUM_ENTITIES: usize = 40;
+const NUM_RELATIONS: usize = 4;
+
+fn random_model(seed: u64) -> MultiEmbedModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MultiEmbedModel::from_preset(WeightPreset::ComplEx, NUM_ENTITIES, NUM_RELATIONS, 6, &mut rng)
+}
+
+fn random_exclusions(seed: u64, count: usize) -> TripleStore {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    (0..count)
+        .map(|_| {
+            Triple::new(
+                rng.gen_range(0..NUM_ENTITIES as u32),
+                rng.gen_range(0..NUM_ENTITIES as u32),
+                rng.gen_range(0..NUM_RELATIONS as u32),
+            )
+        })
+        .collect()
+}
+
+fn query_strategy() -> impl Strategy<Value = (bool, u32, u32, usize)> {
+    (
+        proptest::bool::ANY,
+        0..NUM_ENTITIES as u32,
+        0..NUM_RELATIONS as u32,
+        0usize..NUM_ENTITIES + 2,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random model, random exclusion set, random query mix (both sides,
+    /// duplicate queries to exercise the cache and in-batch dedup, k from
+    /// 0 to beyond the vocabulary): every engine answer must equal the
+    /// naive reference answer element for element.
+    #[test]
+    fn batched_and_cached_answers_match_the_reference(
+        seed in 0u64..1_000,
+        queries in proptest::collection::vec(query_strategy(), 1..24),
+    ) {
+        let exclude = random_exclusions(seed, 30);
+        let reference_model = random_model(seed);
+        let engine = Engine::start(
+            Snapshot::with_ids(random_model(seed), exclude.clone()),
+            ServeConfig::default(),
+        );
+        for &(tail, anchor, relation, k) in &queries {
+            let side = if tail { Side::Tail } else { Side::Head };
+            let (anchor, relation) = (EntityId(anchor), RelationId(relation));
+            let got = engine.predict(side, anchor, relation, k).unwrap();
+            let want = top_k_reference(&reference_model, side, anchor, relation, k, &exclude);
+            // Same ids, same order, bitwise-equal scores (f32 == is exact).
+            prop_assert_eq!(&*got.results, &want);
+        }
+        engine.shutdown();
+    }
+}
+
+/// Many threads hammer the same small query set while the main thread
+/// swaps snapshots. Every answer must match the reference answer of the
+/// snapshot whose epoch it reports (no cross-epoch mixing), and once the
+/// swap is done, re-asking every query must yield only new-epoch answers
+/// equal to the new model's reference — i.e. no stale cache entry
+/// survives the epoch bump.
+#[test]
+fn hot_swap_under_load_never_serves_stale_answers() {
+    let exclude = random_exclusions(99, 25);
+    let models: Vec<MultiEmbedModel> = (0..3).map(|i| random_model(1000 + i)).collect();
+
+    let engine = Arc::new(Engine::start(
+        Snapshot::with_ids(random_model(1000), exclude.clone()),
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+    ));
+
+    // Precompute the reference answer for every (epoch, query).
+    let queries: Vec<(Side, EntityId, RelationId, usize)> = (0..NUM_ENTITIES as u32)
+        .flat_map(|e| {
+            [(Side::Tail, EntityId(e), RelationId(e % 4), 5), (Side::Head, EntityId(e), RelationId((e + 1) % 4), 5)]
+        })
+        .collect();
+    let reference: Vec<Vec<Vec<(EntityId, f32)>>> = models
+        .iter()
+        .map(|m| {
+            queries
+                .iter()
+                .map(|&(side, a, r, k)| top_k_reference(m, side, a, r, k, &exclude))
+                .collect()
+        })
+        .collect();
+    let reference = Arc::new(reference);
+    let queries = Arc::new(queries);
+
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let queries = Arc::clone(&queries);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                for round in 0..40 {
+                    let (side, a, r, k) = queries[(t * 13 + round * 7) % queries.len()];
+                    let got = engine.predict(side, a, r, k).unwrap();
+                    let epoch = got.epoch as usize;
+                    assert!(epoch < reference.len(), "epoch {epoch} out of range");
+                    assert_eq!(
+                        *got.results, reference[epoch][queries.iter().position(|q| *q == (side, a, r, k)).unwrap()],
+                        "answer for epoch {epoch} does not match that snapshot's reference"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // Two swaps while the clients are in flight.
+    for next in 1..3usize {
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        let epoch = engine
+            .swap_snapshot(Snapshot::with_ids(random_model(1000 + next as u64), exclude.clone()))
+            .unwrap();
+        assert_eq!(epoch as usize, next);
+    }
+
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // The dust has settled at epoch 2: every query must now answer with
+    // epoch 2 and the final model's reference answer. A stale cache entry
+    // from epoch 0 or 1 surviving the bumps would fail one of these.
+    for (qi, &(side, a, r, k)) in queries.iter().enumerate() {
+        let got = engine.predict(side, a, r, k).unwrap();
+        assert_eq!(got.epoch, 2);
+        assert_eq!(*got.results, reference[2][qi]);
+    }
+    // And asking again must hit the (fresh, epoch-2) cache.
+    let again = engine.predict(queries[0].0, queries[0].1, queries[0].2, queries[0].3).unwrap();
+    assert!(again.cached);
+    assert_eq!(again.epoch, 2);
+    engine.shutdown();
+}
+
+/// Concurrent TCP clients each stream a pipeline of predict requests with
+/// client-side tags; every response must carry the right tag, parse, and
+/// match the reference answer. Shutdown must join everything.
+#[test]
+fn tcp_server_handles_concurrent_clients_and_clean_shutdown() {
+    let exclude = random_exclusions(7, 20);
+    let reference_model = random_model(7);
+    let engine = Arc::new(Engine::start(
+        Snapshot::with_ids(random_model(7), exclude.clone()),
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+    ));
+    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            let exclude = exclude.clone();
+            let model = reference_model.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                for i in 0..25u32 {
+                    let anchor = (t * 11 + i) % NUM_ENTITIES as u32;
+                    let relation = i % NUM_RELATIONS as u32;
+                    let side = if i % 2 == 0 { "tail" } else { "head" };
+                    let tag = t * 1000 + i;
+                    writeln!(
+                        writer,
+                        r#"{{"op":"predict","side":"{side}","anchor":{anchor},"relation":{relation},"k":3,"id":{tag}}}"#
+                    )
+                    .unwrap();
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let v = mei_obs::json::parse(line.trim_end()).unwrap();
+                    assert_eq!(v.get("ok"), Some(&mei_obs::JsonValue::Bool(true)), "{line}");
+                    assert_eq!(v.get("id").and_then(|x| x.as_usize()), Some(tag as usize));
+                    let want = top_k_reference(
+                        &model,
+                        if i % 2 == 0 { Side::Tail } else { Side::Head },
+                        EntityId(anchor),
+                        RelationId(relation),
+                        3,
+                        &exclude,
+                    );
+                    let results = v.get("results").and_then(|x| x.as_arr()).unwrap();
+                    assert_eq!(results.len(), want.len());
+                    for (got, (e, score)) in results.iter().zip(&want) {
+                        assert_eq!(got.get("id").and_then(|x| x.as_usize()), Some(e.idx()));
+                        let s = got.get("score").and_then(|x| x.as_f64()).unwrap();
+                        // Scores cross a JSON round-trip; shortest-repr
+                        // printing plus exact parse keeps f32 values intact.
+                        assert_eq!(s as f32, *score);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let stats = engine.metrics_snapshot();
+    let requests = stats
+        .get("serve/requests")
+        .and_then(|v| v.get("value"))
+        .and_then(|v| v.as_usize())
+        .unwrap();
+    assert_eq!(requests, 4 * 25);
+
+    server.shutdown();
+    assert!(server.is_shutting_down());
+}

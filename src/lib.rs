@@ -61,6 +61,7 @@
 //! | [`autodiff`] | `mei-autodiff` | reverse-mode tape for ω learning and gradient checks |
 //! | [`optim`] | `mei-optim` | SGD / Momentum / Adagrad / Adam |
 //! | [`math`] | `mei-math` | kernels, activations, initializers |
+//! | [`serve`] | `mei-serve` | batched top-k serving engine, snapshot hot-swap, NDJSON/TCP server |
 
 #![warn(missing_docs)]
 
@@ -72,6 +73,7 @@ pub use mei_eval as eval;
 pub use mei_kg as kg;
 pub use mei_math as math;
 pub use mei_optim as optim;
+pub use mei_serve as serve;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
@@ -89,6 +91,7 @@ pub mod prelude {
         NegativeSampler, RelationId, Triple, TripleStore,
     };
     pub use mei_optim::OptimizerKind;
+    pub use mei_serve::{Engine, ServeConfig, Snapshot};
 }
 
 #[cfg(test)]
