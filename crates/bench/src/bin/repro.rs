@@ -25,6 +25,9 @@
 //!                               bench-serve: total requests to issue (default 1000)
 //!   --out <path>                bench-eval/bench-serve: write the JSON report here
 //!                               (e.g. BENCH_eval.json / BENCH_serve.json)
+//!   --overload                  bench-serve: also saturate a deliberately tiny
+//!                               bounded queue and record rejected-vs-served
+//!                               throughput (the backpressure contract)
 //! ```
 //!
 //! Every training run is phase-profiled (sampling/forward/backward/step/
@@ -58,6 +61,7 @@ struct Options {
     metrics_out: Option<String>,
     limit: usize,
     out: Option<String>,
+    overload: bool,
 }
 
 fn parse_args() -> Options {
@@ -76,6 +80,7 @@ fn parse_args() -> Options {
         metrics_out: None,
         limit: 1000,
         out: None,
+        overload: false,
     };
     while let Some(flag) = args.next() {
         if !flag.starts_with("--") && opts.command == "train" && opts.train_preset.is_none() {
@@ -113,6 +118,7 @@ fn parse_args() -> Options {
             "--metrics-out" => opts.metrics_out = Some(value()),
             "--limit" => opts.limit = value().parse().unwrap_or_else(|_| usage("bad --limit")),
             "--out" => opts.out = Some(value()),
+            "--overload" => opts.overload = true,
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -125,7 +131,7 @@ fn usage(msg: &str) -> ! {
         "usage: repro <table1|table2|table3|table4|all|train <preset>|ablate|grid|bench-eval|bench-serve> \
          [--scale tiny|small|full] [--dataset DIR] [--order hrt|htr] \
          [--seed N] [--epochs N] [--budget N] [--metrics-out run.jsonl] \
-         [--limit N] [--out BENCH_eval.json]"
+         [--limit N] [--out BENCH_eval.json] [--overload]"
     );
     std::process::exit(2)
 }
@@ -456,7 +462,7 @@ fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
         ds.num_entities(),
         proto.budget
     );
-    let report = mei_bench::bench_serve_throughput(ds, proto.budget, opts.seed, opts.limit);
+    let mut report = mei_bench::bench_serve_throughput(ds, proto.budget, opts.seed, opts.limit);
     for arm in ["unbatched_reference", "batched", "batched_cached"] {
         let field = |name: &str| {
             report.get(arm).and_then(|a| a.get(name)).and_then(|v| v.as_f64()).unwrap_or(0.0)
@@ -473,6 +479,24 @@ fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
         println!("  {key:<28} {s:>6.2}x");
     }
     println!("  batched answers bitwise identical to unbatched: yes");
+    if opts.overload {
+        let overload = mei_bench::bench_serve_overload(ds, proto.budget, opts.seed);
+        let field = |name: &str| {
+            overload.get(name).and_then(|v| v.as_f64()).unwrap_or(0.0)
+        };
+        println!(
+            "  overload: offered {:>9.1} qps -> served {:>9.1} qps, {:.0}% shed \
+             (queue bound {}, every rejection counted)",
+            field("offered_qps"),
+            field("served_qps"),
+            field("rejection_rate") * 100.0,
+            overload.get("max_queue").and_then(|v| v.as_usize()).unwrap_or(0),
+        );
+        let mei_obs::JsonValue::Obj(ref mut pairs) = report else {
+            unreachable!("bench report is an object")
+        };
+        pairs.push(("overload".to_owned(), overload));
+    }
     let json = report.to_json();
     if let Some(path) = &opts.out {
         if let Err(e) = std::fs::write(path, json + "\n") {

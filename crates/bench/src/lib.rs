@@ -802,6 +802,115 @@ pub fn bench_serve_throughput(dataset: &Dataset, budget: usize, seed: u64, reque
     ])
 }
 
+/// Saturates a deliberately small bounded queue (`repro bench-serve
+/// --overload`) and measures how the engine degrades: more clients than
+/// queue slots hammer one slow worker, so a fraction of arrivals must be
+/// shed with `ServeError::Overloaded` while the rest are served normally.
+///
+/// The invariants asserted here *are* the backpressure contract:
+/// every request is either served or explicitly rejected (nothing hangs,
+/// nothing is silently dropped), the `serve/rejected` counter agrees with
+/// the client-observed rejection count, and under sustained overload at
+/// least one rejection actually happens (the bound is real, not
+/// decorative). The returned object lands in `BENCH_serve.json` under
+/// `"overload"`.
+pub fn bench_serve_overload(dataset: &Dataset, budget: usize, seed: u64) -> JsonValue {
+    use mei_serve::{Engine, ServeConfig, ServeError, Snapshot};
+    use rand::Rng;
+
+    const K: usize = 10;
+    // More clients than queue slots: each blocked client parks at most one
+    // request, so overrunning the bound requires clients > max_queue.
+    const CLIENTS: usize = 16;
+    const MAX_QUEUE: usize = 4;
+    const PER_CLIENT: usize = 64;
+
+    let cfg = ModelConfig {
+        num_entities: dataset.num_entities(),
+        num_relations: dataset.num_relations(),
+        n: 2,
+        dim: (budget / 2).max(1),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model =
+        MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng);
+    let exclude = dataset.filter_store();
+
+    let mut pool: Vec<(Side, mei_kg::EntityId, mei_kg::RelationId)> = Vec::new();
+    for (i, t) in dataset.test.iter().take(256).enumerate() {
+        pool.push(if i % 2 == 0 {
+            (Side::Tail, t.head, t.relation)
+        } else {
+            (Side::Head, t.tail, t.relation)
+        });
+    }
+    assert!(!pool.is_empty(), "dataset has no test triples to build a workload from");
+
+    // One worker, tiny queue, cache off: every request pays the full
+    // scoring cost, so arrivals outrun the drain rate by construction.
+    let engine = Engine::start(
+        Snapshot::new(
+            model,
+            dataset.entities.clone(),
+            dataset.relations.clone(),
+            exclude,
+        ),
+        ServeConfig { workers: 1, cache: false, max_queue: MAX_QUEUE, ..ServeConfig::default() },
+    );
+
+    let t0 = std::time::Instant::now();
+    let (served, rejected) = std::thread::scope(|scope| {
+        let engine = &engine;
+        let pool = &pool;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0xb0de + c as u64));
+                    let (mut served, mut rejected) = (0usize, 0usize);
+                    for _ in 0..PER_CLIENT {
+                        let (side, anchor, relation) = pool[rng.gen_range(0..pool.len())];
+                        match engine.predict(side, anchor, relation, K) {
+                            Ok(_) => served += 1,
+                            Err(ServeError::Overloaded { .. }) => rejected += 1,
+                            Err(e) => panic!("unexpected serve error under overload: {e}"),
+                        }
+                    }
+                    (served, rejected)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("overload client panicked")).fold(
+            (0, 0),
+            |(s, r), (cs, cr)| (s + cs, r + cr),
+        )
+    });
+    let wall_secs = t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+    let offered = CLIENTS * PER_CLIENT;
+    assert_eq!(served + rejected, offered, "requests neither served nor rejected");
+    let counter = engine.metrics().counter("serve/rejected").get();
+    assert_eq!(
+        counter, rejected as u64,
+        "serve/rejected counter disagrees with client-observed rejections"
+    );
+    assert!(rejected > 0, "overload run never tripped the queue bound");
+    assert!(served > 0, "overload run served nothing — backpressure became an outage");
+    engine.shutdown();
+
+    json::obj([
+        ("clients", json::int(CLIENTS)),
+        ("max_queue", json::int(MAX_QUEUE)),
+        ("offered", json::int(offered)),
+        ("served", json::int(served)),
+        ("rejected", json::int(rejected)),
+        ("rejection_rate", json::num(rejected as f64 / offered as f64)),
+        ("wall_secs", json::num(wall_secs)),
+        ("served_qps", json::num(served as f64 / wall_secs)),
+        ("offered_qps", json::num(offered as f64 / wall_secs)),
+        ("rejected_counter_matches", JsonValue::Bool(true)),
+    ])
+}
+
 /// Ablation: CPh via the literal Eq. 7 data augmentation — CP trained on
 /// the doubled dataset, evaluated with the reciprocal combined score.
 pub fn run_cph_augmented(

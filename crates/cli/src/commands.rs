@@ -28,18 +28,22 @@ subcommands:
   train    --dataset DIR --out model.bin [--model NAME] [--dim N] [--epochs N]
            [--lr F] [--batch N] [--seed N] [--sampling uniform|bern] [--quiet true]
            [--eval-every N] [--metrics-out run.jsonl] [--log-every N]
+           [--checkpoint train.ckpt] [--checkpoint-every N] [--resume train.ckpt]
   eval     --dataset DIR --model-file model.bin [--split test|valid]
            [--categories true] [--classification true] [--metrics-out run.jsonl]
   predict  --dataset DIR --model-file model.bin --relation NAME [--topk K]
            (--head NAME to rank tails | --tail NAME to rank heads)
   serve    --dataset DIR --model-file model.bin [--addr HOST:PORT] [--workers N]
            [--max-batch N] [--cache-shards N] [--cache-capacity N] [--cache true|false]
-           [--metrics-out serve.jsonl]
+           [--max-queue N] [--read-timeout-ms N] [--write-timeout-ms N]
+           [--max-line-bytes N] [--metrics-out serve.jsonl]
   export   --dataset DIR --model-file model.bin --out embeddings.tsv
   models   list available model presets
 
 run `mei models` for the preset names accepted by --model.
-`mei serve` answers newline-delimited JSON over TCP; see DESIGN.md §8.";
+`mei serve` answers newline-delimited JSON over TCP; see DESIGN.md §8.
+`mei train --resume` continues a crashed run bitwise-identically from a
+--checkpoint file; see DESIGN.md §9.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -146,6 +150,14 @@ pub fn train(args: &Args) -> CmdResult {
         "bern" | "bernoulli" => SamplingStrategy::Bernoulli,
         other => return Err(format!("unknown --sampling {other:?}").into()),
     };
+    // --checkpoint-every defaults to 10 once a checkpoint path is given,
+    // so `--checkpoint train.ckpt` alone already makes the run resumable.
+    let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
+    let checkpoint_every: usize =
+        args.get_parsed("checkpoint-every", if checkpoint_path.is_some() { 10 } else { 0 })?;
+    if checkpoint_every > 0 && checkpoint_path.is_none() {
+        return Err("--checkpoint-every needs --checkpoint PATH".into());
+    }
     let config = TrainConfig {
         max_epochs: args.get_parsed("epochs", 500)?,
         batch_size: args.get_parsed("batch", 1024)?,
@@ -156,6 +168,8 @@ pub fn train(args: &Args) -> CmdResult {
         eval_every: args.get_parsed("eval-every", 50)?,
         patience: 100,
         verbose: !args.get_parsed("quiet", false)?,
+        checkpoint_every,
+        checkpoint_path,
         ..TrainConfig::default()
     };
 
@@ -193,7 +207,17 @@ pub fn train(args: &Args) -> CmdResult {
             sinks.into_iter().fold(FanoutObserver::new(), FanoutObserver::with),
         )),
     };
-    let report = trainer.train(&mut model, &ds, &filter);
+    let report = match args.get("resume") {
+        Some(ckpt) => {
+            let cp = mei_core::load_checkpoint(ckpt)
+                .map_err(|e| format!("cannot resume from {ckpt}: {e}"))?;
+            println!("resuming from {ckpt} at epoch {}", cp.epoch);
+            trainer
+                .resume(&mut model, &ds, &filter, cp)
+                .map_err(|e| format!("cannot resume from {ckpt}: {e}"))?
+        }
+        None => trainer.train(&mut model, &ds, &filter),
+    };
     println!(
         "done: {} epochs, best validation MRR {:.4} at epoch {}",
         report.epochs_run, report.best_valid_mrr, report.best_epoch
@@ -314,7 +338,8 @@ pub fn predict(args: &Args) -> CmdResult {
 
 /// `mei serve`.
 pub fn serve(args: &Args) -> CmdResult {
-    use mei_serve::{Engine, ServeConfig, Server, Snapshot};
+    use mei_serve::{Engine, ServeConfig, Server, ServerConfig, Snapshot};
+    use std::time::Duration;
 
     let ds = load_dataset(args)?;
     let model = load_model(args.require("model-file")?)?;
@@ -332,11 +357,31 @@ pub fn serve(args: &Args) -> CmdResult {
     }
     let defaults = ServeConfig::default();
     let config = ServeConfig {
-        workers: args.get_parsed("workers", defaults.workers)?,
+        // workers: 0 is an engine test mode (nothing drains the queue);
+        // a real server always gets at least one.
+        workers: args.get_parsed("workers", defaults.workers)?.max(1),
         max_batch: args.get_parsed("max-batch", defaults.max_batch)?,
         cache_shards: args.get_parsed("cache-shards", defaults.cache_shards)?,
         cache_capacity: args.get_parsed("cache-capacity", defaults.cache_capacity)?,
         cache: args.get_parsed("cache", defaults.cache)?,
+        max_queue: args.get_parsed("max-queue", defaults.max_queue)?,
+    };
+    let server_defaults = ServerConfig::default();
+    // Timeout 0 means "no timeout" for operators who really want the old
+    // unbounded behavior.
+    let timeout = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+    let default_ms =
+        |d: Option<Duration>| d.map(|t| t.as_millis() as u64).unwrap_or(0);
+    let server_config = ServerConfig {
+        read_timeout: timeout(args.get_parsed(
+            "read-timeout-ms",
+            default_ms(server_defaults.read_timeout),
+        )?),
+        write_timeout: timeout(args.get_parsed(
+            "write-timeout-ms",
+            default_ms(server_defaults.write_timeout),
+        )?),
+        max_line_bytes: args.get_parsed("max-line-bytes", server_defaults.max_line_bytes)?,
     };
     // Known-true triples from every split are excluded from answers: the
     // server predicts *new* edges (the filtered protocol, applied online).
@@ -344,7 +389,7 @@ pub fn serve(args: &Args) -> CmdResult {
         Snapshot::new(model, ds.entities.clone(), ds.relations.clone(), ds.filter_store());
     let engine = Arc::new(Engine::start(snapshot, config));
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
-    let server = Server::start(Arc::clone(&engine), addr)
+    let server = Server::start_with(Arc::clone(&engine), addr, server_config)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     // Scripts (and the e2e test) parse this line for the ephemeral port.
     println!("serving on {} (epoch {})", server.local_addr(), engine.epoch());

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod embedding;
 pub mod loss;
 pub mod model;
@@ -37,6 +38,7 @@ pub mod trainer;
 pub mod tuning;
 pub mod weights;
 
+pub use checkpoint::{load_checkpoint, save_checkpoint, TrainCheckpoint};
 pub use embedding::EmbeddingTable;
 pub use model::{ModelConfig, MultiEmbedModel};
 pub use trainer::{LossKind, SamplingStrategy, TrainConfig, TrainReport, Trainer};

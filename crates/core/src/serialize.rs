@@ -42,7 +42,7 @@ const LEGACY_VERSION: u32 = 2;
 /// FNV-1a over `bytes` — dependency-free, byte-order independent, and
 /// plenty to catch truncation/corruption (this guards against accidents,
 /// not adversaries).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -292,12 +292,53 @@ pub fn model_from_bytes(mut buf: Bytes) -> Result<MultiEmbedModel, SerializeErro
     Ok(model)
 }
 
-/// Saves a model to a file.
+/// Writes `bytes` to `path` atomically: the bytes land in a sibling temp
+/// file, are flushed to stable storage with `sync_all`, and only then
+/// renamed over the destination (with a parent-directory fsync on unix so
+/// the rename itself survives power loss). Readers therefore observe
+/// either the complete old file or the complete new file — never a
+/// half-written mix, which is what makes checkpoints crash-safe: a SIGKILL
+/// at any instant leaves the previous good file untouched.
+pub fn write_bytes_atomic<P: AsRef<Path>>(path: P, bytes: &[u8]) -> Result<(), SerializeError> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| SerializeError::Format(format!("{} has no file name", path.display())))?;
+    // A per-process suffix keeps concurrent writers (e.g. a trainer and a
+    // copy job) from stomping on each other's temp files.
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+
+    let result = (|| -> Result<(), SerializeError> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself: fsync the parent directory so the new
+        // directory entry is durable, not just the file contents.
+        #[cfg(unix)]
+        if let Some(d) = dir {
+            std::fs::File::open(d)?.sync_all()?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Saves a model to a file via [`write_bytes_atomic`], so a crash mid-save
+/// can never corrupt an existing good model at the same path.
 pub fn save_model<P: AsRef<Path>>(model: &MultiEmbedModel, path: P) -> Result<(), SerializeError> {
-    let bytes = model_to_bytes(model);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&bytes)?;
-    Ok(())
+    write_bytes_atomic(path, &model_to_bytes(model))
 }
 
 /// Loads a model from a file.
@@ -468,6 +509,38 @@ mod tests {
         let meta = peek_model_file_meta(&path).unwrap();
         assert_eq!(meta.num_entities, 7);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_file_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("mei_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        write_bytes_atomic(&path, b"old contents").unwrap();
+        write_bytes_atomic(&path, b"new contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        // No stray temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "model.bin")
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_failure_preserves_old_file() {
+        let dir = std::env::temp_dir().join(format!("mei_atomic_fail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        write_bytes_atomic(&path, b"good").unwrap();
+        // Writing to a path whose parent is missing fails before any
+        // rename can touch the good file.
+        let bad = dir.join("no_such_subdir").join("model.bin");
+        assert!(write_bytes_atomic(&bad, b"bad").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"good");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

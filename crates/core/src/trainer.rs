@@ -21,10 +21,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
+use crate::checkpoint::{save_checkpoint, BestSnapshot, TrainCheckpoint};
 use crate::embedding::EmbeddingTable;
 use crate::loss::{logistic_loss, logistic_loss_grad, Label};
 use crate::model::{MultiEmbedModel, TripleGrads};
 use crate::regularizer::DirichletRegularizer;
+use crate::serialize::SerializeError;
 use crate::weights::WeightVector;
 
 /// The per-example objective optimized by the trainer.
@@ -92,6 +94,12 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print one progress line per validation check.
     pub verbose: bool,
+    /// Write a crash-safe checkpoint every this many epochs (0 disables
+    /// checkpointing). Requires [`TrainConfig::checkpoint_path`].
+    pub checkpoint_every: usize,
+    /// Where the latest checkpoint lives. Each write atomically replaces
+    /// the previous one, so the file is always a complete checkpoint.
+    pub checkpoint_path: Option<std::path::PathBuf>,
 }
 
 impl Default for TrainConfig {
@@ -112,6 +120,8 @@ impl Default for TrainConfig {
             dirichlet: None,
             seed: 0,
             verbose: false,
+            checkpoint_every: 0,
+            checkpoint_path: None,
         }
     }
 }
@@ -136,6 +146,21 @@ struct Snapshot {
     entities: EmbeddingTable,
     relations: EmbeddingTable,
     raw_omega: WeightVector,
+}
+
+/// Mid-run state reconstructed from a [`TrainCheckpoint`] — everything
+/// [`Trainer::run`] needs to continue a run bitwise-identically.
+struct ResumeState {
+    start_epoch: usize,
+    optimizer: Box<dyn mei_optim::Optimizer + Send>,
+    rng: StdRng,
+    order: Vec<usize>,
+    best_epoch: usize,
+    best_valid_mrr: f64,
+    evals_since_improvement: usize,
+    loss_history: Vec<(usize, f64)>,
+    valid_history: Vec<(usize, f64)>,
+    best: Option<Snapshot>,
 }
 
 /// Orchestrates training of a [`MultiEmbedModel`] on a [`Dataset`].
@@ -181,17 +206,97 @@ impl Trainer {
         dataset: &Dataset,
         filter: &TripleStore,
     ) -> TrainReport {
+        self.run(model, dataset, filter, None)
+    }
+
+    /// Continues an interrupted run from `checkpoint`. The model is
+    /// overwritten with the checkpointed parameters and training picks up
+    /// at the next epoch with the exact optimizer moments, RNG state, and
+    /// shuffle permutation the interrupted run had — the continuation is
+    /// bitwise identical to a run that was never interrupted, provided
+    /// `self.config` and `dataset` match the original run's.
+    pub fn resume(
+        &self,
+        model: &mut MultiEmbedModel,
+        dataset: &Dataset,
+        filter: &TripleStore,
+        checkpoint: TrainCheckpoint,
+    ) -> Result<TrainReport, SerializeError> {
+        if checkpoint.order.len() != dataset.train.len() {
+            return Err(SerializeError::Format(format!(
+                "checkpoint shuffle order covers {} triples but the training set has {} — \
+                 this checkpoint belongs to a different dataset",
+                checkpoint.order.len(),
+                dataset.train.len()
+            )));
+        }
+        let cp_model = &checkpoint.model;
+        let omega_params =
+            if cp_model.trainable_omega() { cp_model.raw_omega().dense().len() } else { 0 };
+        let expected = cp_model.entities.len() + cp_model.relations.len() + omega_params;
+        if checkpoint.optimizer.len != expected {
+            return Err(SerializeError::Format(format!(
+                "checkpoint optimizer covers {} parameters but the model has {}",
+                checkpoint.optimizer.len, expected
+            )));
+        }
+        if checkpoint.optimizer.kind != self.config.optimizer {
+            return Err(SerializeError::Format(format!(
+                "checkpoint was taken with optimizer {:?} but the config asks for {:?}",
+                checkpoint.optimizer.kind, self.config.optimizer
+            )));
+        }
+        let optimizer = checkpoint.optimizer.build().map_err(SerializeError::Format)?;
+
+        let cfg_model = cp_model.config();
+        let n_rel = cp_model.raw_omega().n_rel();
+        let best = checkpoint.best.as_ref().map(|b| {
+            let mut entities =
+                EmbeddingTable::zeros(cfg_model.num_entities, cfg_model.n, cfg_model.dim);
+            entities.as_mut_slice().copy_from_slice(&b.entities);
+            let mut relations =
+                EmbeddingTable::zeros(cfg_model.num_relations, n_rel, cfg_model.dim);
+            relations.as_mut_slice().copy_from_slice(&b.relations);
+            Snapshot {
+                entities,
+                relations,
+                raw_omega: WeightVector::with_dims(cfg_model.n, n_rel, b.raw_omega.clone()),
+            }
+        });
+
+        let resume = ResumeState {
+            start_epoch: checkpoint.epoch,
+            optimizer,
+            rng: StdRng::from_state(checkpoint.rng_state),
+            order: checkpoint.order,
+            best_epoch: checkpoint.best_epoch,
+            best_valid_mrr: checkpoint.best_valid_mrr,
+            evals_since_improvement: checkpoint.evals_since_improvement,
+            loss_history: checkpoint.loss_history,
+            valid_history: checkpoint.valid_history,
+            best,
+        };
+        *model = checkpoint.model;
+        Ok(self.run(model, dataset, filter, Some(resume)))
+    }
+
+    /// The shared training loop behind [`Trainer::train`] (fresh start)
+    /// and [`Trainer::resume`] (continue from checkpointed state).
+    fn run(
+        &self,
+        model: &mut MultiEmbedModel,
+        dataset: &Dataset,
+        filter: &TripleStore,
+        resume: Option<ResumeState>,
+    ) -> TrainReport {
         let cfg = &self.config;
         let ent_params = model.entities.len();
         let rel_params = model.relations.len();
         let omega_params = if model.trainable_omega() { model.raw_omega().dense().len() } else { 0 };
-        let mut optimizer =
-            cfg.optimizer.build(ent_params + rel_params + omega_params, cfg.learning_rate);
 
         let n_d = model.num_embedding_params() as f32;
         let l2_coef = 2.0 * cfg.l2_lambda / n_d;
 
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
         let uniform = NegativeSampler::new(model.config().num_entities, CorruptionSide::Both);
         let bernoulli = (cfg.sampling == SamplingStrategy::Bernoulli).then(|| {
             BernoulliSampler::from_triples(
@@ -201,24 +306,51 @@ impl Trainer {
             )
         });
 
-        let mut order: Vec<usize> = (0..dataset.train.len()).collect();
-        let mut report = TrainReport {
-            epochs_run: 0,
-            best_valid_mrr: f64::NEG_INFINITY,
-            best_epoch: 0,
-            loss_history: Vec::new(),
-            valid_history: Vec::new(),
-        };
-        let mut best: Option<Snapshot> = None;
+        // Fresh runs start from the seed; resumed runs pick up the exact
+        // mid-run state (optimizer moments, RNG words, live permutation,
+        // early-stopping bookkeeping) the checkpoint captured.
+        let (start_epoch, mut optimizer, mut rng, mut order, mut report, mut best, mut evals_since_improvement);
+        match resume {
+            None => {
+                start_epoch = 0;
+                optimizer =
+                    cfg.optimizer.build(ent_params + rel_params + omega_params, cfg.learning_rate);
+                rng = StdRng::seed_from_u64(cfg.seed);
+                order = (0..dataset.train.len()).collect();
+                report = TrainReport {
+                    epochs_run: 0,
+                    best_valid_mrr: f64::NEG_INFINITY,
+                    best_epoch: 0,
+                    loss_history: Vec::new(),
+                    valid_history: Vec::new(),
+                };
+                best = None;
+                evals_since_improvement = 0;
+            }
+            Some(state) => {
+                start_epoch = state.start_epoch;
+                optimizer = state.optimizer;
+                rng = state.rng;
+                order = state.order;
+                report = TrainReport {
+                    epochs_run: state.start_epoch,
+                    best_valid_mrr: state.best_valid_mrr,
+                    best_epoch: state.best_epoch,
+                    loss_history: state.loss_history,
+                    valid_history: state.valid_history,
+                };
+                best = state.best;
+                evals_since_improvement = state.evals_since_improvement;
+            }
+        }
         let eval_cfg = EvalConfig::default();
 
         let observer = self.observer.as_deref();
         let observing = observer.is_some();
         let run_started = Instant::now();
-        let mut evals_since_improvement = 0usize;
         let mut stopped_early = false;
 
-        for epoch in 1..=cfg.max_epochs {
+        for epoch in (start_epoch + 1)..=cfg.max_epochs {
             let epoch_started = Instant::now();
             let mut phases = PhaseBreakdown::default();
             let mut grad_sq = 0.0f64;
@@ -415,6 +547,43 @@ impl Trainer {
                     wall_secs,
                 });
             }
+
+            // Checkpoint at the end of the epoch body: the RNG has made
+            // all of this epoch's draws and the next draw is the next
+            // epoch's shuffle, so restoring here continues bit-for-bit.
+            // Skipped when early stopping fired — the run is complete and
+            // the existing checkpoint still resumes to this same end.
+            if cfg.checkpoint_every > 0 && epoch % cfg.checkpoint_every == 0 && !stopped_early {
+                if let Some(path) = &cfg.checkpoint_path {
+                    let cp = TrainCheckpoint {
+                        epoch,
+                        model: model.clone(),
+                        optimizer: optimizer.export_state(),
+                        rng_state: rng.state(),
+                        order: order.clone(),
+                        best_epoch: report.best_epoch,
+                        best_valid_mrr: report.best_valid_mrr,
+                        evals_since_improvement,
+                        loss_history: report.loss_history.clone(),
+                        valid_history: report.valid_history.clone(),
+                        best: best.as_ref().map(|s| BestSnapshot {
+                            entities: s.entities.as_slice().to_vec(),
+                            relations: s.relations.as_slice().to_vec(),
+                            raw_omega: s.raw_omega.dense().to_vec(),
+                        }),
+                    };
+                    // A failed checkpoint write must not kill hours of
+                    // training — warn and keep going; the previous
+                    // checkpoint (if any) is still intact thanks to the
+                    // atomic writer.
+                    if let Err(e) = save_checkpoint(&cp, path) {
+                        eprintln!(
+                            "warning: checkpoint write to {} failed at epoch {epoch}: {e}",
+                            path.display()
+                        );
+                    }
+                }
+            }
             if stopped_early {
                 break;
             }
@@ -610,6 +779,8 @@ mod tests {
             dirichlet: None,
             seed: 7,
             verbose: false,
+            checkpoint_every: 0,
+            checkpoint_path: None,
         }
     }
 

@@ -162,9 +162,18 @@ pub mod build {
     }
 }
 
-/// Parses one JSON document (used by round-trip tests and log readers).
+/// Deepest container nesting the parser accepts. The parser is recursive,
+/// so without a cap a short hostile input like `"[[[[…"` overflows the
+/// stack and aborts the process — and this parser sits on the serving
+/// wire, where input is untrusted. Real run-log records nest 2–3 deep;
+/// 128 is far above anything legitimate while keeping recursion trivially
+/// bounded.
+const MAX_DEPTH: usize = 128;
+
+/// Parses one JSON document (used by round-trip tests, log readers, and
+/// the serving wire protocol).
 pub fn parse(input: &str) -> Result<JsonValue, String> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -177,6 +186,7 @@ pub fn parse(input: &str) -> Result<JsonValue, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -286,12 +296,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -302,6 +322,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 other => return Err(format!("expected , or ] got {other:?}")),
@@ -311,10 +332,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(pairs));
         }
         loop {
@@ -330,6 +353,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(pairs));
                 }
                 other => return Err(format!("expected , or }} got {other:?}")),
@@ -387,6 +411,25 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("nul").is_err());
         assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // A few bytes per level would otherwise recurse ~250k frames deep.
+        let hostile = "[".repeat(250_000);
+        let err = parse(&hostile).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+
+        let hostile = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&hostile).is_err());
+
+        // Exactly at the cap still parses.
+        let legit = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&legit).is_ok());
+
+        // Depth is about *nesting*, not total size: siblings don't count.
+        let wide = format!("[{}]", vec!["[1]"; 10_000].join(","));
+        assert!(parse(&wide).is_ok());
     }
 
     #[test]

@@ -10,6 +10,80 @@
 
 #![warn(missing_docs)]
 
+/// A complete snapshot of an optimizer's mutable state, sufficient to
+/// rebuild the optimizer mid-run with bit-identical future updates.
+///
+/// `slots` holds the per-coordinate moment vectors in a fixed order per
+/// optimizer: SGD has none, momentum has `[velocity]`, Adagrad has
+/// `[accum]`, Adam has `[m, v]` (plus its step counter in `step`). The
+/// training checkpoint format persists this verbatim so a resumed run
+/// continues exactly where the interrupted one left off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerState {
+    /// Which optimizer produced this state.
+    pub kind: OptimizerKind,
+    /// Learning rate at snapshot time (decay schedules mutate it).
+    pub lr: f32,
+    /// Size of the flat parameter space ([`Optimizer::state_len`]).
+    pub len: usize,
+    /// Step counter (Adam bias correction); 0 for stateless optimizers.
+    pub step: i32,
+    /// Per-coordinate moment vectors, optimizer-specific order.
+    pub slots: Vec<Vec<f32>>,
+}
+
+impl OptimizerState {
+    /// Rebuilds the optimizer this state was exported from.
+    ///
+    /// Errors if the slot shapes are inconsistent with `kind` (e.g. a
+    /// corrupted or truncated checkpoint that survived its checksum).
+    pub fn build(&self) -> Result<Box<dyn Optimizer + Send>, String> {
+        let expect_slots = |n: usize| -> Result<(), String> {
+            if self.slots.len() != n {
+                return Err(format!(
+                    "optimizer state for {:?} must carry {n} slot(s), found {}",
+                    self.kind,
+                    self.slots.len()
+                ));
+            }
+            if let Some(bad) = self.slots.iter().find(|s| s.len() != self.len) {
+                return Err(format!(
+                    "optimizer slot length {} disagrees with state_len {}",
+                    bad.len(),
+                    self.len
+                ));
+            }
+            Ok(())
+        };
+        match self.kind {
+            OptimizerKind::Sgd => {
+                expect_slots(0)?;
+                Ok(Box::new(Sgd { lr: self.lr, len: self.len }))
+            }
+            OptimizerKind::Momentum => {
+                expect_slots(1)?;
+                Ok(Box::new(Momentum { lr: self.lr, beta: 0.9, velocity: self.slots[0].clone() }))
+            }
+            OptimizerKind::Adagrad => {
+                expect_slots(1)?;
+                Ok(Box::new(Adagrad { lr: self.lr, eps: 1e-8, accum: self.slots[0].clone() }))
+            }
+            OptimizerKind::Adam => {
+                expect_slots(2)?;
+                Ok(Box::new(Adam {
+                    lr: self.lr,
+                    beta1: 0.9,
+                    beta2: 0.999,
+                    eps: 1e-8,
+                    t: self.step,
+                    m: self.slots[0].clone(),
+                    v: self.slots[1].clone(),
+                }))
+            }
+        }
+    }
+}
+
 /// A first-order optimizer over a flat parameter space.
 ///
 /// The full parameter vector is conceptually `f32[state_len]`; calls to
@@ -19,6 +93,10 @@
 pub trait Optimizer {
     /// Marks the beginning of a new optimization step.
     fn step_begin(&mut self);
+
+    /// Snapshots all mutable state for checkpointing; feeding the result
+    /// to [`OptimizerState::build`] reproduces this optimizer exactly.
+    fn export_state(&self) -> OptimizerState;
 
     /// Applies one update: `params ← params − f(grads)` where `params` is
     /// the slice starting at `offset` in the flat parameter space.
@@ -54,6 +132,10 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step_begin(&mut self) {}
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState { kind: OptimizerKind::Sgd, lr: self.lr, len: self.len, step: 0, slots: vec![] }
+    }
 
     fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len());
@@ -94,6 +176,16 @@ impl Momentum {
 impl Optimizer for Momentum {
     fn step_begin(&mut self) {}
 
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            kind: OptimizerKind::Momentum,
+            lr: self.lr,
+            len: self.velocity.len(),
+            step: 0,
+            slots: vec![self.velocity.clone()],
+        }
+    }
+
     fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len());
         let v = &mut self.velocity[offset..offset + params.len()];
@@ -133,6 +225,16 @@ impl Adagrad {
 
 impl Optimizer for Adagrad {
     fn step_begin(&mut self) {}
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            kind: OptimizerKind::Adagrad,
+            lr: self.lr,
+            len: self.accum.len(),
+            step: 0,
+            slots: vec![self.accum.clone()],
+        }
+    }
 
     fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len());
@@ -197,6 +299,16 @@ impl Optimizer for Adam {
         self.t += 1;
     }
 
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            kind: OptimizerKind::Adam,
+            lr: self.lr,
+            len: self.m.len(),
+            step: self.t,
+            slots: vec![self.m.clone(), self.v.clone()],
+        }
+    }
+
     fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len());
         assert!(self.t > 0, "Adam::update called before step_begin");
@@ -248,6 +360,28 @@ impl OptimizerKind {
             OptimizerKind::Momentum => Box::new(Momentum::new(len, lr, 0.9)),
             OptimizerKind::Adagrad => Box::new(Adagrad::new(len, lr)),
             OptimizerKind::Adam => Box::new(Adam::new(len, lr)),
+        }
+    }
+
+    /// Stable single-byte tag for on-disk formats. The values are part of
+    /// the checkpoint wire format — never renumber them.
+    pub fn tag(self) -> u8 {
+        match self {
+            OptimizerKind::Sgd => 0,
+            OptimizerKind::Momentum => 1,
+            OptimizerKind::Adagrad => 2,
+            OptimizerKind::Adam => 3,
+        }
+    }
+
+    /// Inverse of [`OptimizerKind::tag`]; `None` for unknown bytes.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(OptimizerKind::Sgd),
+            1 => Some(OptimizerKind::Momentum),
+            2 => Some(OptimizerKind::Adagrad),
+            3 => Some(OptimizerKind::Adam),
+            _ => None,
         }
     }
 }
@@ -360,5 +494,71 @@ mod tests {
         let mut p = [0.0f32; 3];
         opt.step_begin();
         opt.update(0, &mut p, &[1.0; 3]);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identical_updates() {
+        // Partially train an optimizer, export, rebuild, and check that
+        // both copies produce bit-identical parameters from here on.
+        for kind in [OptimizerKind::Sgd, OptimizerKind::Momentum, OptimizerKind::Adagrad, OptimizerKind::Adam]
+        {
+            let mut original = kind.build(4, 0.05);
+            let mut p1 = [0.3f32, -0.7, 1.1, 0.05];
+            for step in 0..13 {
+                let g: Vec<f32> = p1.iter().map(|x| 0.1 * x + step as f32 * 1e-3).collect();
+                original.step_begin();
+                original.update(0, &mut p1, &g);
+            }
+            original.set_learning_rate(0.031);
+
+            let state = original.export_state();
+            assert_eq!(state.kind, kind);
+            assert_eq!(state.len, 4);
+            let mut restored = state.build().expect("valid state rebuilds");
+            assert_eq!(restored.state_len(), original.state_len());
+            assert_eq!(restored.learning_rate().to_bits(), original.learning_rate().to_bits());
+
+            let mut p2 = p1;
+            for step in 0..17 {
+                let g: Vec<f32> = p1.iter().map(|x| -0.2 * x + step as f32 * 2e-3).collect();
+                original.step_begin();
+                original.update(0, &mut p1, &g);
+                restored.step_begin();
+                restored.update(0, &mut p2, &g);
+            }
+            for (a, b) in p1.iter().zip(&p2) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} diverged after restore");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_state_is_rejected_not_trusted() {
+        let bad_slot_count = OptimizerState {
+            kind: OptimizerKind::Adam,
+            lr: 0.01,
+            len: 3,
+            step: 5,
+            slots: vec![vec![0.0; 3]],
+        };
+        assert!(bad_slot_count.build().is_err());
+
+        let bad_slot_len = OptimizerState {
+            kind: OptimizerKind::Adagrad,
+            lr: 0.01,
+            len: 3,
+            step: 0,
+            slots: vec![vec![0.0; 2]],
+        };
+        assert!(bad_slot_len.build().is_err());
+    }
+
+    #[test]
+    fn kind_tags_are_stable_and_invertible() {
+        for kind in [OptimizerKind::Sgd, OptimizerKind::Momentum, OptimizerKind::Adagrad, OptimizerKind::Adam]
+        {
+            assert_eq!(OptimizerKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(OptimizerKind::from_tag(200), None);
     }
 }

@@ -34,7 +34,10 @@ const BATCH_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 /// Tuning knobs for [`Engine::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Scoring worker threads draining the batch queue.
+    /// Scoring worker threads draining the batch queue. `0` starts no
+    /// workers at all — requests park until shutdown — which exists so
+    /// fault-injection tests can saturate the queue deterministically;
+    /// production frontends must pass at least 1.
     pub workers: usize,
     /// Most requests scored per `score_block` call. 32 is the sweet spot
     /// measured at WN18 shape (larger blocks stop paying for themselves
@@ -47,11 +50,24 @@ pub struct ServeConfig {
     /// Whether the result cache is consulted at all (disabled for the
     /// uncached arms of `repro bench-serve`).
     pub cache: bool,
+    /// Most requests allowed to wait on the batch queue at once. Arrivals
+    /// beyond this are rejected immediately with
+    /// [`ServeError::Overloaded`] instead of growing the queue without
+    /// bound — explicit backpressure beats an OOM kill under a traffic
+    /// spike.
+    pub max_queue: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { workers: 1, max_batch: 32, cache_shards: 8, cache_capacity: 512, cache: true }
+        Self {
+            workers: 1,
+            max_batch: 32,
+            cache_shards: 8,
+            cache_capacity: 512,
+            cache: true,
+            max_queue: 1024,
+        }
     }
 }
 
@@ -82,6 +98,29 @@ pub enum ServeError {
     },
     /// The engine is shutting down; the request was not scored.
     ShuttingDown,
+    /// The batch queue is full; the request was rejected at admission so
+    /// the server degrades by shedding load instead of growing without
+    /// bound. Clients should back off and retry.
+    Overloaded {
+        /// Requests already waiting when this one was rejected.
+        queue_depth: usize,
+        /// The configured queue bound ([`ServeConfig::max_queue`]).
+        max_queue: usize,
+    },
+}
+
+impl ServeError {
+    /// Short machine-readable tag carried in wire error responses, so
+    /// clients can branch without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::InvalidEntity { .. } => "invalid_entity",
+            ServeError::InvalidRelation { .. } => "invalid_relation",
+            ServeError::IncompatibleSnapshot { .. } => "incompatible_snapshot",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::Overloaded { .. } => "overloaded",
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -99,6 +138,11 @@ impl fmt::Display for ServeError {
                 current.0, current.1, offered.0, offered.1
             ),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Overloaded { queue_depth, max_queue } => write!(
+                f,
+                "server overloaded: {queue_depth} requests already queued (limit {max_queue}); \
+                 back off and retry"
+            ),
         }
     }
 }
@@ -159,6 +203,7 @@ struct Shared {
     cache: ShardedLruCache,
     cache_enabled: bool,
     max_batch: usize,
+    max_queue: usize,
     queue: Mutex<VecDeque<Pending>>,
     available: Condvar,
     stop: AtomicBool,
@@ -168,6 +213,7 @@ struct Shared {
     cache_misses: Arc<Counter>,
     swaps: Arc<Counter>,
     errors: Arc<Counter>,
+    rejected: Arc<Counter>,
     latency_secs: Arc<Histogram>,
     batch_size: Arc<Histogram>,
     epoch_gauge: Arc<Gauge>,
@@ -257,6 +303,7 @@ impl Engine {
             cache: ShardedLruCache::new(config.cache_shards, config.cache_capacity),
             cache_enabled: config.cache,
             max_batch: config.max_batch.max(1),
+            max_queue: config.max_queue.max(1),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -265,12 +312,13 @@ impl Engine {
             cache_misses: metrics.counter("serve/cache_misses"),
             swaps: metrics.counter("serve/swaps"),
             errors: metrics.counter("serve/errors"),
+            rejected: metrics.counter("serve/rejected"),
             latency_secs: metrics.histogram("serve/latency_secs", &LATENCY_BUCKETS),
             batch_size: metrics.histogram("serve/batch_size", &BATCH_BUCKETS),
             epoch_gauge: metrics.gauge("serve/epoch"),
             metrics,
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -343,6 +391,16 @@ impl Engine {
             if shared.stop.load(Ordering::Acquire) {
                 return Err(ServeError::ShuttingDown);
             }
+            // Admission control under the same lock that guards the push:
+            // the queue can never exceed its bound, and overload is
+            // reported immediately instead of stalling the client.
+            if queue.len() >= shared.max_queue {
+                shared.rejected.inc();
+                return Err(ServeError::Overloaded {
+                    queue_depth: queue.len(),
+                    max_queue: shared.max_queue,
+                });
+            }
             queue.push_back(Pending { query, k, snap, slot: Arc::clone(&slot) });
         }
         shared.available.notify_one();
@@ -382,6 +440,18 @@ impl Engine {
     /// The current epoch.
     pub fn epoch(&self) -> u64 {
         self.shared.swap.epoch()
+    }
+
+    /// Requests currently parked on the batch queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// The engine's metrics registry — frontends hang their own counters
+    /// (I/O timeouts, oversize lines) here so one `stats` snapshot covers
+    /// the whole serving stack.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
     }
 
     /// Result-cache hit/miss counters.
@@ -500,6 +570,44 @@ mod tests {
             engine.predict(Side::Tail, EntityId(0), RelationId(0), 1),
             Err(ServeError::ShuttingDown)
         );
+    }
+
+    #[test]
+    fn saturated_queue_rejects_with_overloaded_and_counts_it() {
+        // workers: 0 → nothing drains, so the queue fills deterministically.
+        let cfg = ServeConfig { workers: 0, cache: false, max_queue: 3, ..ServeConfig::default() };
+        let engine = Arc::new(Engine::start(snapshot(1, TripleStore::new()), cfg));
+
+        // Park exactly max_queue requests on the queue from helper threads.
+        let parked: Vec<_> = (0..3)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    engine.predict(Side::Tail, EntityId(i), RelationId(0), 2)
+                })
+            })
+            .collect();
+        while engine.queue_depth() < 3 {
+            std::thread::yield_now();
+        }
+
+        // The next arrival must be shed, not queued.
+        let err = engine.predict(Side::Tail, EntityId(9), RelationId(0), 2).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { queue_depth: 3, max_queue: 3 });
+        assert_eq!(err.kind(), "overloaded");
+        assert_eq!(engine.queue_depth(), 3, "rejection must not grow the queue");
+
+        let metrics = engine.metrics_snapshot();
+        let counter = |name: &str| {
+            metrics.get(name).and_then(|v| v.get("value")).and_then(|v| v.as_usize())
+        };
+        assert_eq!(counter("serve/rejected"), Some(1));
+
+        // Shutdown fails the parked requests fast instead of hanging them.
+        engine.shutdown();
+        for handle in parked {
+            assert_eq!(handle.join().unwrap(), Err(ServeError::ShuttingDown));
+        }
     }
 
     #[test]

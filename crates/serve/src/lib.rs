@@ -57,6 +57,6 @@ pub mod wire;
 
 pub use cache::{CacheKey, CacheStats, ShardedLruCache};
 pub use engine::{Engine, Prediction, ServeConfig, ServeError};
-pub use server::Server;
+pub use server::{Server, ServerConfig};
 pub use snapshot::{Snapshot, SnapshotSwap};
 pub use wire::{Request, RequestName};

@@ -13,6 +13,13 @@
 //! live client socket so handler reads return immediately, then joins all
 //! threads. A client can also trigger the same sequence remotely with the
 //! wire `shutdown` op.
+//!
+//! The frontend trusts nobody ([`ServerConfig`]): every accepted socket
+//! gets read/write timeouts so an idle or stalled client cannot pin its
+//! handler thread forever, and request lines are read through a bounded
+//! reader — a client streaming bytes with no newline is answered with a
+//! structured `line_too_long` wire error and disconnected instead of
+//! growing a `String` until the process OOMs.
 
 use crate::engine::Engine;
 use crate::wire;
@@ -22,9 +29,34 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection I/O limits for [`Server::start_with`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// How long a socket read may block before the connection is dropped.
+    /// `None` waits forever (the pre-hardening behavior; not recommended).
+    pub read_timeout: Option<Duration>,
+    /// How long a socket write may block before the connection is dropped.
+    pub write_timeout: Option<Duration>,
+    /// Longest accepted request line in bytes; longer lines get a
+    /// `line_too_long` wire error and the connection is closed.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            max_line_bytes: 1 << 20, // 1 MiB
+        }
+    }
+}
 
 struct ServerShared {
     engine: Arc<Engine>,
+    config: ServerConfig,
     stop: AtomicBool,
     addr: SocketAddr,
     /// Live client sockets, kept so shutdown can unblock their readers.
@@ -53,11 +85,22 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (port 0 picks an ephemeral port) and starts accepting.
+    /// Binds `addr` (port 0 picks an ephemeral port) and starts accepting
+    /// with the default [`ServerConfig`] limits.
     pub fn start<A: ToSocketAddrs>(engine: Arc<Engine>, addr: A) -> io::Result<Self> {
+        Self::start_with(engine, addr, ServerConfig::default())
+    }
+
+    /// [`Server::start`] with explicit per-connection limits.
+    pub fn start_with<A: ToSocketAddrs>(
+        engine: Arc<Engine>,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let shared = Arc::new(ServerShared {
             engine,
+            config,
             stop: AtomicBool::new(false),
             addr: listener.local_addr()?,
             conns: Mutex::new(Vec::new()),
@@ -84,6 +127,12 @@ impl Server {
     /// down the engine. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.begin_shutdown();
+        // Stop the engine *before* joining handler threads: a handler can
+        // be parked inside `Engine::predict` waiting on the batch queue
+        // (not on a socket), and only the engine's shutdown fails those
+        // requests with `ShuttingDown` and wakes the thread. Joining
+        // first would deadlock on any such handler.
+        self.shared.engine.shutdown();
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
@@ -91,7 +140,6 @@ impl Server {
         for handle in handlers {
             let _ = handle.join();
         }
-        self.shared.engine.shutdown();
     }
 
     /// Blocks until the accept loop exits (i.e. until a wire `shutdown`
@@ -123,6 +171,13 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
         };
         let conn_id = next_id;
         next_id += 1;
+        // Apply the I/O limits before the handler ever touches the socket,
+        // so even the first read of a hostile connection is bounded.
+        if stream.set_read_timeout(shared.config.read_timeout).is_err()
+            || stream.set_write_timeout(shared.config.write_timeout).is_err()
+        {
+            continue;
+        }
         let reader = match stream.try_clone() {
             Ok(r) => r,
             Err(_) => continue,
@@ -142,19 +197,86 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
     }
 }
 
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (newline stripped), or the final unterminated line
+    /// before EOF — matching `BufRead::lines` semantics.
+    Line(String),
+    /// Clean end of stream with no pending bytes.
+    Eof,
+    /// The line exceeded the cap before a newline arrived. The excess is
+    /// deliberately *not* drained: the caller reports the error and closes,
+    /// so a slow-loris sender cannot keep the thread busy discarding bytes.
+    TooLong,
+    /// Read error (including a timeout firing).
+    Err,
+}
+
+/// Reads one `\n`-terminated line of at most `max_bytes` bytes.
+///
+/// Unlike `BufRead::read_line` this never grows the buffer past the cap:
+/// it consumes directly from the `BufReader`'s internal buffer and stops
+/// accumulating the moment the cap is crossed.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, max_bytes: usize) -> LineRead {
+    let mut line = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(_) => return LineRead::Err,
+        };
+        if buf.is_empty() {
+            return if line.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&line).into_owned())
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > max_bytes {
+                    return LineRead::TooLong;
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                return LineRead::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            None => {
+                let take = buf.len();
+                if line.len() + take > max_bytes {
+                    return LineRead::TooLong;
+                }
+                line.extend_from_slice(buf);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &ServerShared) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
+    let max_line = shared.config.max_line_bytes;
+    let mut reader = BufReader::new(stream);
+    loop {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
+        let line = match read_bounded_line(&mut reader, max_line) {
+            LineRead::Line(l) => l,
+            LineRead::Eof | LineRead::Err => break,
+            LineRead::TooLong => {
+                // Tell the client why, then drop the connection; resyncing
+                // on a stream that already violated the framing contract
+                // is not worth holding the thread for.
+                let response = wire::oversize_line_response(max_line);
+                let _ = writer
+                    .write_all(response.as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .and_then(|_| writer.flush());
+                break;
+            }
         };
         if line.trim().is_empty() {
             continue;
@@ -250,5 +372,68 @@ mod tests {
         server.shutdown();
         server.shutdown();
         assert!(server.is_shutting_down());
+    }
+
+    fn tiny_limits_server(max_line_bytes: usize) -> Server {
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 15, 2, 4, &mut rng);
+        let engine =
+            Arc::new(Engine::start(Snapshot::with_ids(model, TripleStore::new()), ServeConfig::default()));
+        let config = ServerConfig {
+            read_timeout: Some(Duration::from_millis(300)),
+            write_timeout: Some(Duration::from_millis(300)),
+            max_line_bytes,
+        };
+        Server::start_with(engine, "127.0.0.1:0", config).unwrap()
+    }
+
+    #[test]
+    fn oversize_request_line_gets_a_structured_error_then_disconnect() {
+        let mut server = tiny_limits_server(64);
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        // 200 bytes, no newline needed for the cap to trip.
+        client.write_all(&vec![b'x'; 200]).unwrap();
+        client.flush().unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let parsed = parse(response.trim_end()).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(
+            parsed.get("kind").and_then(|k| k.as_str()),
+            Some("line_too_long")
+        );
+        // The connection is closed afterwards: the next read EOFs.
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_line_exactly_at_the_cap_still_works() {
+        let mut server = tiny_limits_server(r#"{"op":"ping"}"#.len());
+        let mut client = TcpStream::connect(server.local_addr()).unwrap();
+        let pong = roundtrip(&mut client, r#"{"op":"ping"}"#);
+        assert_eq!(pong.get("ok"), Some(&JsonValue::Bool(true)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_is_dropped_by_the_read_timeout() {
+        let mut server = tiny_limits_server(1 << 20);
+        let client = TcpStream::connect(server.local_addr()).unwrap();
+        // Send nothing. The 300ms server read timeout must fire and the
+        // handler must close the connection, observed as EOF client-side.
+        // The client-side timeout is only a backstop so a regression fails
+        // the test instead of hanging it.
+        client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = BufReader::new(client);
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => {} // EOF: the server dropped us, as required
+            Ok(n) => panic!("unexpected {n}-byte response on an idle connection: {line:?}"),
+            Err(e) => panic!("server never dropped the idle connection: {e}"),
+        }
+        server.shutdown();
     }
 }

@@ -31,12 +31,35 @@
 //! Errors come back as `{"ok":false,"error":"…"}` and never kill the
 //! connection; malformed JSON gets the same treatment.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, ServeError};
 use crate::snapshot::Snapshot;
 use mei_eval::Side;
 use mei_kg::{Dictionary, EntityId, RelationId};
 use mei_obs::json::{build, parse};
 use mei_obs::JsonValue;
+
+/// A wire-level failure: a machine-readable `kind` tag (clients branch on
+/// it) plus a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Stable tag, e.g. `"bad_request"`, `"overloaded"`, `"line_too_long"`.
+    pub kind: &'static str,
+    /// Prose for humans and logs.
+    pub message: String,
+}
+
+impl WireError {
+    /// A malformed or unresolvable request.
+    pub fn bad_request(message: String) -> Self {
+        Self { kind: "bad_request", message }
+    }
+}
+
+impl From<ServeError> for WireError {
+    fn from(e: ServeError) -> Self {
+        Self { kind: e.kind(), message: e.to_string() }
+    }
+}
 
 /// A vocabulary reference from the wire: either an interned name or a raw
 /// dense id.
@@ -139,18 +162,34 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-fn error_response(message: String) -> JsonValue {
-    build::obj([("ok", JsonValue::Bool(false)), ("error", JsonValue::Str(message))])
+fn error_response(err: WireError) -> JsonValue {
+    build::obj([
+        ("ok", JsonValue::Bool(false)),
+        ("error", JsonValue::Str(err.message)),
+        ("kind", build::str(err.kind)),
+    ])
 }
 
-fn predict_response(engine: &Engine, req: &Request) -> Result<JsonValue, String> {
+/// The one-line response for a request line that exceeded the server's
+/// line-length cap. Exposed for the TCP frontend, which detects the
+/// overflow before the line ever reaches [`handle_line`].
+pub fn oversize_line_response(max_bytes: usize) -> String {
+    error_response(WireError {
+        kind: "line_too_long",
+        message: format!(
+            "request line exceeds the {max_bytes}-byte limit; closing the connection"
+        ),
+    })
+    .to_json()
+}
+
+fn predict_response(engine: &Engine, req: &Request) -> Result<JsonValue, WireError> {
     let Request::Predict { side, anchor, relation, k, id } = req else { unreachable!() };
     let (snap, _) = engine.snapshot();
-    let anchor_id = anchor.resolve(&snap.entities, "entity")?;
-    let relation_id = relation.resolve(&snap.relations, "relation")?;
-    let prediction = engine
-        .predict(*side, EntityId(anchor_id), RelationId(relation_id), *k)
-        .map_err(|e| e.to_string())?;
+    let anchor_id = anchor.resolve(&snap.entities, "entity").map_err(WireError::bad_request)?;
+    let relation_id =
+        relation.resolve(&snap.relations, "relation").map_err(WireError::bad_request)?;
+    let prediction = engine.predict(*side, EntityId(anchor_id), RelationId(relation_id), *k)?;
     let results: Vec<JsonValue> = prediction
         .results
         .iter()
@@ -174,11 +213,15 @@ fn predict_response(engine: &Engine, req: &Request) -> Result<JsonValue, String>
     Ok(build::obj(pairs))
 }
 
-fn swap_response(engine: &Engine, model_file: &str) -> Result<JsonValue, String> {
+fn swap_response(engine: &Engine, model_file: &str) -> Result<JsonValue, WireError> {
+    let invalid = |e: mei_core::serialize::SerializeError| WireError {
+        kind: "model_invalid",
+        message: e.to_string(),
+    };
     // Validate the header and checksum without building the model, so a
     // half-written checkpoint is rejected before any allocation.
-    mei_core::serialize::peek_model_file_meta(model_file).map_err(|e| e.to_string())?;
-    let model = mei_core::serialize::load_model(model_file).map_err(|e| e.to_string())?;
+    mei_core::serialize::peek_model_file_meta(model_file).map_err(invalid)?;
+    let model = mei_core::serialize::load_model(model_file).map_err(invalid)?;
     let (current, _) = engine.snapshot();
     let next = Snapshot {
         model,
@@ -186,7 +229,7 @@ fn swap_response(engine: &Engine, model_file: &str) -> Result<JsonValue, String>
         relations: current.relations.clone(),
         exclude: current.exclude.clone(),
     };
-    let epoch = engine.swap_snapshot(next).map_err(|e| e.to_string())?;
+    let epoch = engine.swap_snapshot(next)?;
     Ok(build::obj([("ok", JsonValue::Bool(true)), ("epoch", build::int(epoch as usize))]))
 }
 
@@ -208,7 +251,7 @@ fn stats_response(engine: &Engine) -> JsonValue {
 pub fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
     let request = match parse_request(line) {
         Ok(r) => r,
-        Err(e) => return (error_response(e).to_json(), false),
+        Err(e) => return (error_response(WireError::bad_request(e)).to_json(), false),
     };
     let (response, shutdown) = match &request {
         Request::Ping => (Ok(build::obj([("ok", JsonValue::Bool(true))])), false),
@@ -308,6 +351,28 @@ mod tests {
         let (resp, stop) = handle_line(&engine, r#"{"op":"shutdown"}"#);
         assert!(stop);
         assert_eq!(parse(&resp).unwrap().get("ok"), Some(&JsonValue::Bool(true)));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn errors_carry_machine_readable_kinds() {
+        let engine = engine();
+        let (resp, _) = handle_line(&engine, "}{");
+        assert_eq!(parse(&resp).unwrap().get("kind").and_then(|k| k.as_str()), Some("bad_request"));
+        let (resp, _) =
+            handle_line(&engine, r#"{"op":"predict","side":"tail","anchor":99,"relation":0,"k":1}"#);
+        assert_eq!(
+            parse(&resp).unwrap().get("kind").and_then(|k| k.as_str()),
+            Some("invalid_entity")
+        );
+        let (resp, _) = handle_line(&engine, r#"{"op":"swap","model_file":"/nonexistent"}"#);
+        assert_eq!(
+            parse(&resp).unwrap().get("kind").and_then(|k| k.as_str()),
+            Some("model_invalid")
+        );
+        let oversize = parse(&oversize_line_response(1024)).unwrap();
+        assert_eq!(oversize.get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(oversize.get("kind").and_then(|k| k.as_str()), Some("line_too_long"));
         engine.shutdown();
     }
 
