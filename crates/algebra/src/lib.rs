@@ -14,6 +14,22 @@
 //!   `Re(h · t̄ · r)` over an arbitrary hyper-complex basis table and emits
 //!   the interaction weight vector ω — the machine-checked derivation of
 //!   Table 1 and Eq. 14.
+//!
+//! # Example
+//!
+//! The symbolic expansion derives the paper's weight vectors rather than
+//! hard-coding them — ComplEx's ω has 4 signed terms on the `n = 2` grid
+//! (Eq. 10), the quaternion model 16 on the `n = 4` grid (Eq. 14):
+//!
+//! ```
+//! let complex = mei_algebra::complex_omega();
+//! assert_eq!(complex.len(), 8); // 2·2·2 grid
+//! assert_eq!(complex.iter().filter(|w| **w != 0.0).count(), 4);
+//!
+//! let quaternion = mei_algebra::quaternion_omega();
+//! assert_eq!(quaternion.len(), 64); // 4·4·4 grid
+//! assert_eq!(quaternion.iter().filter(|w| **w != 0.0).count(), 16);
+//! ```
 
 #![warn(missing_docs)]
 

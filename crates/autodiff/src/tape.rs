@@ -234,7 +234,7 @@ impl Tape {
     }
 
     /// Runs the adjoint sweep from `output` and returns `∂output/∂node` for
-    /// every node on the tape (index with `Var`s via [`Tape::grad_of`]).
+    /// every node on the tape (index with `Var`s via [`Gradients::grad_of`]).
     pub fn backward(&self, output: Var) -> Gradients {
         let mut adj = vec![0.0f64; self.nodes.len()];
         adj[output.0] = 1.0;

@@ -11,27 +11,30 @@
 //! repro grid   [opts]           # §5.3 hyperparameter grid search (ComplEx)
 //! repro bench-eval [opts]       # ranking-throughput benchmark (legacy vs blocked GEMM)
 //! repro bench-serve [opts]      # serving-throughput benchmark (reference vs batched vs cached)
+//! repro bench-train [opts]      # training-throughput benchmark (legacy HashMap vs blocked flat-buffer grads)
 //!
 //! options:
 //!   --scale tiny|small|full     SynthWN scale (default small)
 //!   --dataset <dir>             use a real benchmark dir (train/valid/test.txt)
 //!   --order hrt|htr             TSV column order for --dataset (default hrt)
 //!   --seed <u64>                dataset + model seed (default 0)
-//!   --epochs <n>                override max epochs
+//!   --epochs <n>                override max epochs (bench-train: epochs timed per arm, default 3)
 //!   --budget <n>                override the n·D parameter-parity budget
 //!   --dedup true                drop inverse relation pairs first (WN18RR-style "hard" variant)
 //!   --metrics-out <path>        stream per-epoch/eval JSONL records for every training run
 //!   --limit <n>                 bench-eval: cap evaluated test triples (default 1000, 0 = all)
 //!                               bench-serve: total requests to issue (default 1000)
-//!   --out <path>                bench-eval/bench-serve: write the JSON report here
-//!                               (e.g. BENCH_eval.json / BENCH_serve.json)
+//!   --grad-path legacy|blocked  training gradient machinery (default blocked; both are
+//!                               bit-identical — see DESIGN.md §10)
+//!   --out <path>                bench-eval/bench-serve/bench-train: write the JSON report
+//!                               here (e.g. BENCH_eval.json / BENCH_serve.json / BENCH_train.json)
 //!   --overload                  bench-serve: also saturate a deliberately tiny
 //!                               bounded queue and record rejected-vs-served
 //!                               throughput (the backpressure contract)
 //! ```
 //!
-//! Every training run is phase-profiled (sampling/forward/backward/step/
-//! project); an aggregate breakdown is printed after the tables.
+//! Every training run is phase-profiled (sampling/forward/merge/backward/
+//! step/project); an aggregate breakdown is printed after the tables.
 //!
 //! The numbers are expected to reproduce the paper's *shape* (who wins, by
 //! roughly what factor), not its absolute WN18 values — see EXPERIMENTS.md.
@@ -62,6 +65,7 @@ struct Options {
     limit: usize,
     out: Option<String>,
     overload: bool,
+    grad_path: Option<mei_core::GradPath>,
 }
 
 fn parse_args() -> Options {
@@ -81,6 +85,7 @@ fn parse_args() -> Options {
         limit: 1000,
         out: None,
         overload: false,
+        grad_path: None,
     };
     while let Some(flag) = args.next() {
         if !flag.starts_with("--") && opts.command == "train" && opts.train_preset.is_none() {
@@ -119,6 +124,10 @@ fn parse_args() -> Options {
             "--limit" => opts.limit = value().parse().unwrap_or_else(|_| usage("bad --limit")),
             "--out" => opts.out = Some(value()),
             "--overload" => opts.overload = true,
+            "--grad-path" => {
+                opts.grad_path =
+                    Some(value().parse().unwrap_or_else(|e| usage(&format!("bad --grad-path: {e}"))))
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -128,10 +137,10 @@ fn parse_args() -> Options {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|all|train <preset>|ablate|grid|bench-eval|bench-serve> \
+        "usage: repro <table1|table2|table3|table4|all|train <preset>|ablate|grid|bench-eval|bench-serve|bench-train> \
          [--scale tiny|small|full] [--dataset DIR] [--order hrt|htr] \
          [--seed N] [--epochs N] [--budget N] [--metrics-out run.jsonl] \
-         [--limit N] [--out BENCH_eval.json] [--overload]"
+         [--limit N] [--out BENCH_eval.json] [--overload] [--grad-path legacy|blocked]"
     );
     std::process::exit(2)
 }
@@ -169,6 +178,9 @@ fn protocol(opts: &Options) -> Protocol {
     }
     if let Some(b) = opts.budget {
         p.budget = b;
+    }
+    if let Some(gp) = opts.grad_path {
+        p.train.grad_path = gp;
     }
     p.seed = opts.seed;
     p
@@ -510,6 +522,50 @@ fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
     println!("\n[bench-serve took {:.1?}]", t0.elapsed());
 }
 
+/// `repro bench-train`: times full training epochs under both gradient
+/// paths (legacy HashMap accumulation vs blocked GEMM forward + flat
+/// gradient slabs), asserts the final parameters are bit-identical, and
+/// optionally writes BENCH_train.json.
+fn bench_train(ds: &Dataset, proto: &Protocol, opts: &Options) {
+    let t0 = Instant::now();
+    let epochs = opts.epochs.unwrap_or(3);
+    println!(
+        "bench-train: |E| = {}, {} train triples, budget n·D = {}, batch {}, {} epoch(s)/arm",
+        ds.num_entities(),
+        ds.train.len(),
+        proto.budget,
+        proto.train.batch_size,
+        epochs
+    );
+    let report = mei_bench::bench_train_throughput(ds, proto, opts.seed, epochs);
+    for arm in ["legacy_hashmap", "blocked_flat"] {
+        let field = |name: &str| {
+            report.get(arm).and_then(|a| a.get(name)).and_then(|v| v.as_f64()).unwrap_or(0.0)
+        };
+        println!(
+            "  {arm:<16} {:>9.1} triples/sec (grad path)   {:>9.1} triples/sec (epoch)",
+            field("triples_per_sec_grad"),
+            field("triples_per_sec_epoch")
+        );
+    }
+    for key in ["speedup", "speedup_epoch"] {
+        let s = report.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!("  {key:<28} {s:>6.2}x");
+    }
+    println!("  final parameters bitwise identical across paths: yes");
+    let json = report.to_json();
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("cannot write --out {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  wrote {path}");
+    } else {
+        println!("{json}");
+    }
+    println!("\n[bench-train took {:.1?}]", t0.elapsed());
+}
+
 /// `repro train <preset-name>`: trains a single preset verbosely — a
 /// diagnosis tool for watching convergence.
 fn train_one(ds: &Dataset, proto: &Protocol, name: &str) {
@@ -586,6 +642,10 @@ fn main() {
         }
         "bench-serve" => {
             bench_serve(&ds, &proto, &opts);
+            return;
+        }
+        "bench-train" => {
+            bench_train(&ds, &proto, &opts);
             return;
         }
         "all" => {

@@ -5,6 +5,21 @@
 //! evaluate filtered MRR / Hit@{1,3,10} on test *and* on a training-set
 //! sample (the "on train" rows of Tables 2 and 4 that expose CP's
 //! overfitting).
+//!
+//! # Example
+//!
+//! The protocol fixes the §5.3 parameter-parity budget `n·D` so every
+//! model spends the same number of embedding parameters per item:
+//!
+//! ```
+//! use mei_bench::Protocol;
+//!
+//! let p = Protocol::full(); // the paper's WN18-scale settings
+//! assert_eq!(p.budget, 400);
+//! assert_eq!(p.dim_for(1), 400); // DistMult-style, 1 embedding
+//! assert_eq!(p.dim_for(2), 200); // ComplEx/CP, 2 embeddings
+//! assert_eq!(p.dim_for(4), 100); // quaternion, 4 embeddings
+//! ```
 
 #![warn(missing_docs)]
 
@@ -13,7 +28,7 @@ use std::sync::Arc;
 
 use mei_core::regularizer::DirichletRegularizer;
 use mei_core::{ModelConfig, WeightRestriction};
-use mei_core::{MultiEmbedModel, TrainConfig, Trainer, WeightPreset, WeightVector};
+use mei_core::{GradPath, MultiEmbedModel, TrainConfig, Trainer, WeightPreset, WeightVector};
 use mei_eval::ranking::{evaluate_filtered, evaluate_with_stats, top_k_reference};
 use mei_eval::{BlockQuery, EvalConfig, EvalStats, LinkPredictionResults, Side, TripleScorer};
 use mei_kg::{AugmentedDataset, Dataset, TripleStore};
@@ -159,8 +174,8 @@ fn trainer_for(train: TrainConfig, protocol: &Protocol) -> Trainer {
     trainer
 }
 
-/// The five trainer phases, in pipeline order.
-const PHASES: [&str; 5] = ["sampling", "forward", "backward", "step", "project"];
+/// The six trainer phases, in pipeline order.
+const PHASES: [&str; 6] = ["sampling", "forward", "merge", "backward", "step", "project"];
 
 /// Per-epoch phase seconds land in these histogram buckets.
 const PHASE_BUCKETS: [f64; 6] = [1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
@@ -226,7 +241,7 @@ impl TrainObserver for PhaseProfiler {
         let p = &record.phases;
         for (name, secs) in PHASES
             .iter()
-            .zip([p.sampling, p.forward, p.backward, p.step, p.project])
+            .zip([p.sampling, p.forward, p.merge, p.backward, p.step, p.project])
         {
             self.phase_histogram(name).observe(secs);
         }
@@ -584,6 +599,200 @@ pub fn bench_eval_throughput(dataset: &Dataset, budget: usize, seed: u64, limit:
             json::num(blocked.queries_per_sec / unblocked.queries_per_sec.max(f64::MIN_POSITIVE)),
         ),
         ("filtered_metrics_bitwise_identical", JsonValue::Bool(true)),
+    ])
+}
+
+/// Collects every [`EpochRecord`] a training run emits, so the bench can
+/// read phase timings and throughput off the same records JSONL carries.
+#[derive(Default)]
+struct RecordingObserver {
+    records: std::sync::Mutex<Vec<EpochRecord>>,
+}
+
+impl TrainObserver for RecordingObserver {
+    fn on_epoch(&self, record: &EpochRecord) {
+        self.records.lock().expect("record lock").push(record.clone());
+    }
+}
+
+/// One training-throughput arm: final parameters plus the per-epoch
+/// records the arm's observer captured.
+struct TrainArm {
+    records: Vec<EpochRecord>,
+    wall_secs: f64,
+    entities: Vec<f32>,
+    relations: Vec<f32>,
+    omega: Vec<f32>,
+}
+
+impl TrainArm {
+    /// Train triples per second through the gradient machinery alone
+    /// (forward + merge + backward phase seconds) — the number the grad
+    /// path actually moves, isolated from sampling/step/project, which
+    /// are shared by both paths.
+    fn grad_triples_per_sec(&self, negatives: usize) -> f64 {
+        let positives: usize =
+            self.records.iter().map(|r| r.examples / (1 + negatives)).sum();
+        let grad_secs: f64 = self
+            .records
+            .iter()
+            .map(|r| r.phases.forward + r.phases.merge + r.phases.backward)
+            .sum();
+        positives as f64 / grad_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// End-to-end positives per second (whole epochs, all phases).
+    fn epoch_triples_per_sec(&self, negatives: usize) -> f64 {
+        let positives: usize =
+            self.records.iter().map(|r| r.examples / (1 + negatives)).sum();
+        let wall: f64 = self.records.iter().map(|r| r.wall_secs).sum();
+        positives as f64 / wall.max(f64::MIN_POSITIVE)
+    }
+
+    fn report(&self, negatives: usize) -> JsonValue {
+        let sum = |f: fn(&mei_obs::PhaseBreakdown) -> f64| {
+            json::num(self.records.iter().map(|r| f(&r.phases)).sum::<f64>())
+        };
+        json::obj([
+            ("epochs", json::int(self.records.len())),
+            ("wall_secs", json::num(self.wall_secs)),
+            ("triples_per_sec_grad", json::num(self.grad_triples_per_sec(negatives))),
+            ("triples_per_sec_epoch", json::num(self.epoch_triples_per_sec(negatives))),
+            (
+                "phase_secs",
+                json::obj([
+                    ("sampling", sum(|p| p.sampling)),
+                    ("forward", sum(|p| p.forward)),
+                    ("merge", sum(|p| p.merge)),
+                    ("backward", sum(|p| p.backward)),
+                    ("step", sum(|p| p.step)),
+                    ("project", sum(|p| p.project)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Trains one arm under `path` and snapshots the final parameters.
+fn run_train_arm(
+    dataset: &Dataset,
+    train: &TrainConfig,
+    dim: usize,
+    seed: u64,
+    path: GradPath,
+) -> TrainArm {
+    let cfg = ModelConfig {
+        num_entities: dataset.num_entities(),
+        num_relations: dataset.num_relations(),
+        n: 2,
+        dim,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model =
+        MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng);
+    let mut train = train.clone();
+    train.grad_path = path;
+    let filter = dataset.filter_store();
+    let observer = Arc::new(RecordingObserver::default());
+    let trainer =
+        Trainer::new(train).with_observer(Arc::clone(&observer) as Arc<dyn TrainObserver>);
+    let t0 = std::time::Instant::now();
+    trainer.train(&mut model, dataset, &filter);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let records = std::mem::take(&mut *observer.records.lock().expect("record lock"));
+    TrainArm {
+        records,
+        wall_secs,
+        entities: model.entities.as_slice().to_vec(),
+        relations: model.relations.as_slice().to_vec(),
+        omega: model.omega().dense().to_vec(),
+    }
+}
+
+/// `a` and `b` are bitwise-identical f32 slices (NaN-safe, −0.0 ≠ +0.0).
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Measures training throughput of the two gradient paths on `dataset` —
+/// the legacy per-chunk `HashMap` accumulator and the blocked path
+/// (`dot_gather` forward + flat slot-indexed gradient slabs with a
+/// parallel deterministic merge) — and asserts that after `epochs` full
+/// epochs both paths leave **bit-identical** parameters (entities,
+/// relations, ω), the contract that makes the fast path a pure drop-in.
+///
+/// The headline `speedup` compares positives/sec through the gradient
+/// machinery itself (forward + merge + backward phases); `speedup_epoch`
+/// compares whole-epoch throughput including sampling/step/project, which
+/// both paths share. The returned object is the `BENCH_train.json`
+/// artifact written by `repro bench-train`.
+pub fn bench_train_throughput(
+    dataset: &Dataset,
+    protocol: &Protocol,
+    seed: u64,
+    epochs: usize,
+) -> JsonValue {
+    let epochs = if epochs == 0 { 3 } else { epochs };
+    // Strip the held-out splits: no in-training eval, so the arms measure
+    // the train loop alone and the final parameters are the live ones.
+    let mut bench_ds = dataset.clone();
+    bench_ds.valid.clear();
+    bench_ds.test.clear();
+
+    let mut train = protocol.train.clone();
+    train.max_epochs = epochs;
+    train.eval_every = epochs + 1;
+    train.negatives_per_positive = 1; // the paper's §5.3 setting
+    train.checkpoint_every = 0;
+    train.verbose = false;
+    train.seed = seed;
+    let dim = protocol.dim_for(2);
+
+    let legacy = run_train_arm(&bench_ds, &train, dim, seed, GradPath::Legacy);
+    let blocked = run_train_arm(&bench_ds, &train, dim, seed, GradPath::Blocked);
+
+    // The acceptance contract: same seed, same data ⇒ the blocked path
+    // reproduces the legacy parameters down to the last bit.
+    assert!(
+        bits_equal(&legacy.entities, &blocked.entities),
+        "blocked path diverged from legacy entity parameters"
+    );
+    assert!(
+        bits_equal(&legacy.relations, &blocked.relations),
+        "blocked path diverged from legacy relation parameters"
+    );
+    assert!(
+        bits_equal(&legacy.omega, &blocked.omega),
+        "blocked path diverged from legacy omega"
+    );
+
+    let negatives = train.negatives_per_positive;
+    json::obj([
+        ("bench", json::str("train_throughput")),
+        ("num_entities", json::int(bench_ds.num_entities())),
+        ("train_triples", json::int(bench_ds.train.len())),
+        ("embedding_budget_nd", json::int(protocol.budget)),
+        ("epochs", json::int(epochs)),
+        ("batch_size", json::int(train.batch_size)),
+        ("negatives_per_positive", json::int(negatives)),
+        ("seed", json::int(seed as usize)),
+        ("legacy_hashmap", legacy.report(negatives)),
+        ("blocked_flat", blocked.report(negatives)),
+        (
+            "speedup",
+            json::num(
+                blocked.grad_triples_per_sec(negatives)
+                    / legacy.grad_triples_per_sec(negatives).max(f64::MIN_POSITIVE),
+            ),
+        ),
+        (
+            "speedup_epoch",
+            json::num(
+                blocked.epoch_triples_per_sec(negatives)
+                    / legacy.epoch_triples_per_sec(negatives).max(f64::MIN_POSITIVE),
+            ),
+        ),
+        ("final_params_bitwise_identical", JsonValue::Bool(true)),
     ])
 }
 
@@ -1101,6 +1310,32 @@ mod tests {
         assert_eq!(mrr("per_query_simd"), mrr("blocked_gemm"));
         assert!(report.get("speedup_blocked_vs_legacy").and_then(JsonValue::as_f64).unwrap() > 0.0);
         assert!(report.to_json().contains("eval_throughput"));
+    }
+
+    #[test]
+    fn bench_train_throughput_asserts_identity_and_reports_both_arms() {
+        let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 4).generate();
+        let mut proto = quick_protocol();
+        proto.budget = 16;
+        // The call itself asserts bit-identical final parameters; it would
+        // panic here if the blocked path diverged.
+        let report = bench_train_throughput(&ds, &proto, 0, 2);
+        assert_eq!(report.get("epochs").and_then(JsonValue::as_usize), Some(2));
+        for arm in ["legacy_hashmap", "blocked_flat"] {
+            let a = report.get(arm).unwrap_or_else(|| panic!("missing {arm}"));
+            assert_eq!(a.get("epochs").and_then(JsonValue::as_usize), Some(2));
+            assert!(a.get("triples_per_sec_grad").and_then(JsonValue::as_f64).unwrap() > 0.0);
+            let phases = a.get("phase_secs").expect("phase_secs");
+            for p in PHASES {
+                assert!(phases.get(p).is_some(), "missing phase {p} in {arm}");
+            }
+        }
+        assert!(report.get("speedup").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            report.get("final_params_bitwise_identical"),
+            Some(&JsonValue::Bool(true))
+        );
+        assert!(report.to_json().contains("train_throughput"));
     }
 
     #[test]

@@ -29,6 +29,7 @@ subcommands:
            [--lr F] [--batch N] [--seed N] [--sampling uniform|bern] [--quiet true]
            [--eval-every N] [--metrics-out run.jsonl] [--log-every N]
            [--checkpoint train.ckpt] [--checkpoint-every N] [--resume train.ckpt]
+           [--grad-path legacy|blocked]
   eval     --dataset DIR --model-file model.bin [--split test|valid]
            [--categories true] [--classification true] [--metrics-out run.jsonl]
   predict  --dataset DIR --model-file model.bin --relation NAME [--topk K]
@@ -43,7 +44,9 @@ subcommands:
 run `mei models` for the preset names accepted by --model.
 `mei serve` answers newline-delimited JSON over TCP; see DESIGN.md §8.
 `mei train --resume` continues a crashed run bitwise-identically from a
---checkpoint file; see DESIGN.md §9.";
+--checkpoint file; see DESIGN.md §9.
+`mei train --grad-path` selects the gradient machinery (default blocked);
+both paths are bit-identical — see DESIGN.md §10.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -158,6 +161,14 @@ pub fn train(args: &Args) -> CmdResult {
     if checkpoint_every > 0 && checkpoint_path.is_none() {
         return Err("--checkpoint-every needs --checkpoint PATH".into());
     }
+    // Both gradient paths are bit-identical (DESIGN.md §10); the flag
+    // exists for benchmarking and as an escape hatch.
+    let grad_path: mei_core::GradPath = args
+        .get("grad-path")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --grad-path: {e}"))?
+        .unwrap_or_default();
     let config = TrainConfig {
         max_epochs: args.get_parsed("epochs", 500)?,
         batch_size: args.get_parsed("batch", 1024)?,
@@ -170,6 +181,7 @@ pub fn train(args: &Args) -> CmdResult {
         verbose: !args.get_parsed("quiet", false)?,
         checkpoint_every,
         checkpoint_path,
+        grad_path,
         ..TrainConfig::default()
     };
 

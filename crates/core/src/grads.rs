@@ -1,0 +1,1248 @@
+//! Batch gradient computation for the trainer, in two interchangeable
+//! implementations that produce bit-identical results.
+//!
+//! The **legacy** path scores each example through its anchor context and
+//! accumulates gradients into per-chunk `HashMap<RowKey, Vec<f32>>` maps
+//! (pooled across batches so the allocator is not churned). The
+//! **blocked** path batches each positive with its corrupted negatives:
+//! each group builds one anchor context per distinct (side, anchor,
+//! relation), scores the whole group through one
+//! [`mei_math::kernels::dot_gather`] call while the contexts are still in
+//! L1, and scatters gradients into flat pre-indexed slabs. On a single
+//! chunk the merge is a zero-copy buffer swap; across rayon chunks it is
+//! a deterministic parallel slot-scatter.
+//!
+//! # Determinism contract
+//!
+//! Both paths drive the *same* per-example accumulation core
+//! (`accumulate_example`) over the same example stream, chunked at the
+//! same group-aligned boundaries, and merge per-chunk results in chunk
+//! order. Scores come from the shared `dot_inner` reduction
+//! ([`mei_math::kernels::dot_fast`] per example on the legacy path, one
+//! [`mei_math::kernels::dot_gather`] per group on the blocked path —
+//! bit-identical by the kernel contract). Every accumulator slot
+//! therefore sees the identical sequence of floating-point operations on
+//! either path, which is what lets the trainer switch paths without
+//! perturbing a single bit of the training trajectory. The cross-path
+//! regression suite (`tests/grad_parity.rs`) asserts this bytewise.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use mei_eval::Side;
+use mei_kg::Triple;
+use mei_math::kernels::{
+    axpy_fast, dot_fast, dot_gather, hadamard_axpy_fast, hadamard_write_fast, scale_add_l2_fast,
+    scale_write_l2_fast, trilinear_fast,
+};
+use mei_obs::PhaseBreakdown;
+
+use crate::loss::{logistic_loss, logistic_loss_grad, Label};
+use crate::model::MultiEmbedModel;
+use crate::trainer::LossKind;
+
+/// Addresses one embedding row during gradient accumulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RowKey {
+    /// A row of the entity table.
+    Entity(usize),
+    /// A row of the relation table.
+    Relation(usize),
+}
+
+/// Sparse per-row gradients keyed by embedding row.
+pub type RowGrads = HashMap<RowKey, Vec<f32>>;
+
+/// Which gradient machinery [`GradWorkspace`] drives.
+///
+/// Both paths are bit-identical in their results (see the module docs);
+/// the blocked path is substantially faster at realistic shapes and is
+/// the default. The legacy path is retained as the regression baseline
+/// and as an escape hatch (`--grad-path legacy` in the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GradPath {
+    /// Per-example scoring with pooled `HashMap` accumulation and a
+    /// sequential per-chunk merge.
+    Legacy,
+    /// Gathered-GEMM forward over shared anchor contexts with flat
+    /// slot-indexed gradient slabs and a parallel deterministic merge.
+    #[default]
+    Blocked,
+}
+
+impl std::str::FromStr for GradPath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "legacy" => Ok(Self::Legacy),
+            "blocked" => Ok(Self::Blocked),
+            other => Err(format!("unknown grad path '{other}' (expected 'legacy' or 'blocked')")),
+        }
+    }
+}
+
+/// Below this many merged floats the blocked merge runs inline: spawning
+/// scoped threads costs more than the memory traffic it would split.
+const PAR_MERGE_MIN: usize = 1 << 16;
+
+/// Which side of the positive an example corrupts — determines which
+/// anchor context scores it. The positive itself is scored tail-side.
+#[inline]
+fn side_of(pos: Triple, ex: Triple) -> Side {
+    if ex.head != pos.head {
+        Side::Head
+    } else {
+        Side::Tail
+    }
+}
+
+#[inline]
+fn candidate_of(ex: Triple, side: Side) -> usize {
+    match side {
+        Side::Tail => ex.tail.idx(),
+        Side::Head => ex.head.idx(),
+    }
+}
+
+/// `entry += coef·score_grad + l2_coef·params` — the loss gradient plus
+/// the per-triple L2 term of Eq. 16, fused into one pass.
+#[inline]
+fn accumulate_with_l2(entry: &mut [f32], score_grad: &[f32], coef: f32, l2_coef: f32, params: &[f32]) {
+    for i in 0..entry.len() {
+        entry[i] += coef * score_grad[i] + l2_coef * params[i];
+    }
+}
+
+/// `entry = 0.0 + (coef·score_grad + l2_coef·params)` — the exact op
+/// [`accumulate_with_l2`] performs against a freshly zeroed row, fused
+/// into a single store so a fresh row never needs a separate zero-fill
+/// pass. The explicit `0.0 +` preserves the `-0.0` semantics of
+/// zero-then-add (`0.0 + -0.0 == +0.0`), which keeps the blocked path
+/// bit-identical to the legacy one.
+#[inline]
+fn write_with_l2(entry: &mut [f32], score_grad: &[f32], coef: f32, l2_coef: f32, params: &[f32]) {
+    for i in 0..entry.len() {
+        entry[i] = 0.0 + (coef * score_grad[i] + l2_coef * params[i]);
+    }
+}
+
+/// `entry += l2_coef·params` — the L2 pull for rows whose loss gradient
+/// was accumulated term-by-term rather than from a context vector.
+#[inline]
+fn axpy_l2(entry: &mut [f32], l2_coef: f32, params: &[f32]) {
+    for i in 0..entry.len() {
+        entry[i] += l2_coef * params[i];
+    }
+}
+
+/// Best-effort prefetch of `len` floats starting at `table[start]`; a
+/// no-op off x86-64 or when the range is out of bounds. The blocked path
+/// issues these one group ahead so the cold, randomly indexed entity rows
+/// are already in flight when the gather kernel asks for them.
+#[inline(always)]
+fn prefetch_range(table: &[f32], start: usize, len: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        if start + len <= table.len() {
+            let base = table[start..].as_ptr() as *const i8;
+            let mut off = 0usize;
+            while off < len * 4 {
+                // SAFETY: prefetch is a hint and the range is in bounds.
+                unsafe { _mm_prefetch::<_MM_HINT_T0>(base.add(off)) };
+                off += 64;
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (table, start, len);
+    }
+}
+
+/// Destination for one chunk's accumulated gradients. The two paths
+/// differ only in storage; every floating-point operation happens inside
+/// the shared [`accumulate_example`] core. A sink may hand back a *fresh*
+/// row with unspecified contents — the core then either zero-fills it or
+/// overwrites every element with the zero-started value (see
+/// [`write_with_l2`]); both are bit-equal to accumulating into a zeroed
+/// row.
+trait GradSink {
+    /// Whether the core may route elementwise row updates through the
+    /// wide mei-math kernels ([`scale_add_l2_fast`] and friends). Those
+    /// kernels are bit-identical to the scalar loops per element, so this
+    /// is purely a speed knob: the legacy sink keeps the scalar reference
+    /// sequence, the blocked sink takes the wide one.
+    const FAST: bool;
+    /// The accumulator row for `key`, plus whether this is its first
+    /// touch of the batch (`true` means the contents are unspecified and
+    /// must be fully initialized before any read-modify-write).
+    fn row_mut(&mut self, key: RowKey, len: usize) -> (&mut [f32], bool);
+    /// The dense effective-ω gradient accumulator.
+    fn omega_mut(&mut self) -> &mut [f32];
+}
+
+/// Accumulates `coef · ∂S/∂θ` plus per-row L2 into `sink` for one
+/// example, given its anchor context `ctx` (which *is* `∂S/∂candidate`).
+///
+/// The accumulation order — candidate row, anchor row, relation row, ω —
+/// is part of the cross-path bit-identity contract: a self-loop triple
+/// routes candidate and anchor into the same accumulator row, so both
+/// paths must interleave the writes identically.
+fn accumulate_example<S: GradSink>(
+    model: &MultiEmbedModel,
+    ex: Triple,
+    side: Side,
+    ctx: &[f32],
+    coef: f32,
+    l2_coef: f32,
+    sink: &mut S,
+) {
+    let d = model.config().dim;
+    let ent_row_len = model.entities.row_len();
+    let rel_row_len = model.relations.row_len();
+    let h = model.entities.row(ex.head.idx());
+    let t = model.entities.row(ex.tail.idx());
+    let r = model.relations.row(ex.relation.idx());
+    let cand = candidate_of(ex, side);
+    let anchor = match side {
+        Side::Tail => ex.head.idx(),
+        Side::Head => ex.tail.idx(),
+    };
+
+    // Candidate row: ∂S/∂cand = ctx, fused with its L2 pull. A fresh row
+    // takes the single-pass write form instead of zero-fill-then-add.
+    {
+        let (entry, fresh) = sink.row_mut(RowKey::Entity(cand), ent_row_len);
+        match (fresh, S::FAST) {
+            (true, true) => scale_write_l2_fast(entry, ctx, coef, l2_coef, model.entities.row(cand)),
+            (true, false) => write_with_l2(entry, ctx, coef, l2_coef, model.entities.row(cand)),
+            (false, true) => scale_add_l2_fast(entry, ctx, coef, l2_coef, model.entities.row(cand)),
+            (false, false) => accumulate_with_l2(entry, ctx, coef, l2_coef, model.entities.row(cand)),
+        }
+    }
+
+    // Anchor row: one scaled Hadamard product per scoring term (same term
+    // walk as the context builders), then its L2 pull. On a fast sink a
+    // fresh row skips the zero-fill: each `d`-wide subslice's first term
+    // takes the write-form kernel, later terms accumulate, and subslices
+    // no term touches are zeroed before the L2 pull — all bit-equal to
+    // zero-fill-then-accumulate.
+    {
+        let (entry, fresh) = sink.row_mut(RowKey::Entity(anchor), ent_row_len);
+        let n_sub = ent_row_len / d;
+        // Bit `s` set ⇒ subslice `s` already holds data; `MAX` disables
+        // write-mode entirely (row not fresh, slow sink, or too many
+        // subslices for the mask).
+        let mut written: u64 =
+            if fresh && S::FAST && n_sub <= 64 { 0 } else { u64::MAX };
+        if fresh && written == u64::MAX {
+            entry.fill(0.0);
+        }
+        for &(i, j, k, w) in model.terms() {
+            let cw = coef * w;
+            if w == 0.0 {
+                continue;
+            }
+            let (sub, a_row, b_row) = match side {
+                // ∂S/∂h⁽ⁱ⁾ = Σ_{j,k} ω·t⁽ʲ⁾⊙r⁽ᵏ⁾
+                Side::Tail => (i, &t[j * d..(j + 1) * d], &r[k * d..(k + 1) * d]),
+                // ∂S/∂t⁽ʲ⁾ = Σ_{i,k} ω·h⁽ⁱ⁾⊙r⁽ᵏ⁾
+                Side::Head => (j, &h[i * d..(i + 1) * d], &r[k * d..(k + 1) * d]),
+            };
+            let out = &mut entry[sub * d..(sub + 1) * d];
+            if written & (1 << sub) == 0 {
+                written |= 1 << sub;
+                hadamard_write_fast(cw, a_row, b_row, out);
+            } else {
+                hadamard_axpy_fast(cw, a_row, b_row, out);
+            }
+        }
+        if written != u64::MAX {
+            for s in 0..n_sub {
+                if written & (1 << s) == 0 {
+                    entry[s * d..(s + 1) * d].fill(0.0);
+                }
+            }
+        }
+        if S::FAST {
+            axpy_fast(l2_coef, model.entities.row(anchor), entry);
+        } else {
+            axpy_l2(entry, l2_coef, model.entities.row(anchor));
+        }
+    }
+
+    // Relation row: ∂S/∂r⁽ᵏ⁾ = Σ_{i,j} ω·h⁽ⁱ⁾⊙t⁽ʲ⁾, then its L2 pull.
+    // Same fresh-row write-mode scheme as the anchor row, keyed on `k`.
+    {
+        let (entry, fresh) = sink.row_mut(RowKey::Relation(ex.relation.idx()), rel_row_len);
+        let n_sub = rel_row_len / d;
+        let mut written: u64 =
+            if fresh && S::FAST && n_sub <= 64 { 0 } else { u64::MAX };
+        if fresh && written == u64::MAX {
+            entry.fill(0.0);
+        }
+        for &(i, j, k, w) in model.terms() {
+            let cw = coef * w;
+            if w == 0.0 {
+                continue;
+            }
+            let out = &mut entry[k * d..(k + 1) * d];
+            let (a_row, b_row) = (&h[i * d..(i + 1) * d], &t[j * d..(j + 1) * d]);
+            if written & (1 << k) == 0 {
+                written |= 1 << k;
+                hadamard_write_fast(cw, a_row, b_row, out);
+            } else {
+                hadamard_axpy_fast(cw, a_row, b_row, out);
+            }
+        }
+        if written != u64::MAX {
+            for s in 0..n_sub {
+                if written & (1 << s) == 0 {
+                    entry[s * d..(s + 1) * d].fill(0.0);
+                }
+            }
+        }
+        if S::FAST {
+            axpy_fast(l2_coef, r, entry);
+        } else {
+            axpy_l2(entry, l2_coef, r);
+        }
+    }
+
+    // ω: ∂S/∂ω_ijk = ⟨h⁽ⁱ⁾, t⁽ʲ⁾, r⁽ᵏ⁾⟩ over the full grid (when ω is
+    // trainable, `model.terms()` enumerates every grid cell).
+    if model.trainable_omega() {
+        let n = model.config().n;
+        let nr = model.omega().n_rel();
+        let omega = sink.omega_mut();
+        for &(i, j, k, _) in model.terms() {
+            let tri = trilinear_fast(&h[i * d..(i + 1) * d], &t[j * d..(j + 1) * d], &r[k * d..(k + 1) * d]);
+            omega[(i * n + j) * nr + k] += coef * tri;
+        }
+    }
+}
+
+/// Group-aligned chunk length for `examples` split across rayon workers.
+fn chunk_len(examples_len: usize, group_len: usize) -> usize {
+    let groups = examples_len.div_ceil(group_len);
+    let groups_per_chunk = groups.div_ceil(rayon::current_num_threads().max(1)).max(1);
+    groups_per_chunk * group_len
+}
+
+// ---------------------------------------------------------------------------
+// Legacy path: pooled HashMap accumulation.
+// ---------------------------------------------------------------------------
+
+/// Per-chunk scratch for the legacy path, retained across batches so maps
+/// keep their capacity and gradient rows are recycled through freelists
+/// instead of reallocated.
+#[derive(Default)]
+struct LegacyChunk {
+    rows: RowGrads,
+    omega: Vec<f32>,
+    loss: f64,
+    ctx_a: Vec<f32>,
+    ctx_b: Vec<f32>,
+    ent_free: Vec<Vec<f32>>,
+    rel_free: Vec<Vec<f32>>,
+}
+
+struct LegacySink<'a> {
+    rows: &'a mut RowGrads,
+    omega: &'a mut Vec<f32>,
+    ent_free: &'a mut Vec<Vec<f32>>,
+    rel_free: &'a mut Vec<Vec<f32>>,
+}
+
+impl GradSink for LegacySink<'_> {
+    /// The legacy path is the scalar reference sequence the blocked
+    /// path's wide kernels are validated against.
+    const FAST: bool = false;
+
+    fn row_mut(&mut self, key: RowKey, len: usize) -> (&mut [f32], bool) {
+        let free = match key {
+            RowKey::Entity(_) => &mut *self.ent_free,
+            RowKey::Relation(_) => &mut *self.rel_free,
+        };
+        let row = self.rows.entry(key).or_insert_with(|| match free.pop() {
+            // `fill(0.0)` makes a recycled row bit-equal to a fresh one.
+            Some(mut v) if v.len() == len => {
+                v.fill(0.0);
+                v
+            }
+            _ => vec![0.0; len],
+        });
+        // Rows are pre-zeroed here, so the core never sees a fresh one —
+        // this is the reference zero-then-add sequence the blocked sink's
+        // fused first write must match bitwise.
+        (row, false)
+    }
+
+    fn omega_mut(&mut self) -> &mut [f32] {
+        self.omega
+    }
+}
+
+fn run_legacy_chunk(
+    model: &MultiEmbedModel,
+    chunk_examples: &[(Triple, Label)],
+    group_len: usize,
+    l2_coef: f32,
+    loss_kind: LossKind,
+    n3: usize,
+    c: &mut LegacyChunk,
+) {
+    let kdim = model.config().n * model.config().dim;
+    c.loss = 0.0;
+    if c.omega.len() == n3 {
+        c.omega.fill(0.0);
+    } else {
+        c.omega = vec![0.0; n3];
+    }
+    c.ctx_a.resize(kdim, 0.0);
+    c.ctx_b.resize(kdim, 0.0);
+
+    let LegacyChunk { rows, omega, loss, ctx_a, ctx_b, ent_free, rel_free } = c;
+    let mut sink = LegacySink { rows, omega, ent_free, rel_free };
+
+    match loss_kind {
+        LossKind::Logistic => {
+            for group in chunk_examples.chunks(group_len) {
+                let pos = group[0].0;
+                for &(ex, label) in group {
+                    let side = side_of(pos, ex);
+                    match side {
+                        Side::Tail => model.tail_context(ex.head, ex.relation, ctx_a),
+                        Side::Head => model.head_context(ex.tail, ex.relation, ctx_a),
+                    }
+                    let score = dot_fast(ctx_a, model.entities.row(candidate_of(ex, side)));
+                    *loss += f64::from(logistic_loss(score, label));
+                    let coef = logistic_loss_grad(score, label);
+                    accumulate_example(model, ex, side, ctx_a, coef, l2_coef, &mut sink);
+                }
+            }
+        }
+        LossKind::MarginRanking { margin } => {
+            for group in chunk_examples.chunks(group_len) {
+                let pos = group[0].0;
+                model.tail_context(pos.head, pos.relation, ctx_a);
+                let pos_score = dot_fast(ctx_a, model.entities.row(pos.tail.idx()));
+                for &(neg, _) in &group[1..] {
+                    let side = side_of(pos, neg);
+                    match side {
+                        Side::Tail => model.tail_context(neg.head, neg.relation, ctx_b),
+                        Side::Head => model.head_context(neg.tail, neg.relation, ctx_b),
+                    }
+                    let neg_score = dot_fast(ctx_b, model.entities.row(candidate_of(neg, side)));
+                    let pair_loss = (margin - pos_score + neg_score).max(0.0);
+                    *loss += f64::from(pair_loss);
+                    if pair_loss > 0.0 {
+                        // ∂/∂S(pos) = −1, ∂/∂S(neg) = +1.
+                        accumulate_example(model, pos, Side::Tail, ctx_a, -1.0, l2_coef, &mut sink);
+                        accumulate_example(model, neg, side, ctx_b, 1.0, l2_coef, &mut sink);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked path: gathered forward + flat slot-indexed slabs.
+// ---------------------------------------------------------------------------
+
+/// O(1) row-index → dense-slot map with O(1) whole-map invalidation: an
+/// entry is live only when its stamp equals the current batch epoch, so
+/// clearing between batches is a counter bump, not an array sweep.
+#[derive(Default)]
+struct SlotMap {
+    /// Stamp in the high 32 bits, slot in the low 32: one randomly
+    /// indexed cache line per lookup instead of two.
+    packed: Vec<u64>,
+}
+
+impl SlotMap {
+    fn ensure(&mut self, n: usize) {
+        if self.packed.len() < n {
+            self.packed.resize(n, 0);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.packed.fill(0);
+    }
+
+    #[inline]
+    fn lookup(&self, idx: usize, epoch: u32) -> Option<usize> {
+        let p = self.packed[idx];
+        ((p >> 32) as u32 == epoch).then_some(p as u32 as usize)
+    }
+
+    /// Returns the live slot for `idx`, or assigns the next one.
+    #[inline]
+    fn get_or_insert(&mut self, idx: usize, epoch: u32, next: usize) -> (usize, bool) {
+        let p = self.packed[idx];
+        if (p >> 32) as u32 == epoch {
+            (p as u32 as usize, false)
+        } else {
+            self.packed[idx] = (u64::from(epoch) << 32) | next as u64;
+            (next, true)
+        }
+    }
+}
+
+/// Per-chunk scratch for the blocked path. Slabs, index arrays, and the
+/// context/pair/score buffers are all retained across batches.
+#[derive(Default)]
+struct BlockedChunk {
+    ent: SlotMap,
+    rel: SlotMap,
+    ent_keys: Vec<u32>,
+    rel_keys: Vec<u32>,
+    ent_slab: Vec<f32>,
+    rel_slab: Vec<f32>,
+    omega: Vec<f32>,
+    loss: f64,
+    /// Packed anchor contexts (`kdim` floats each) for the current group;
+    /// kept group-sized so they stay L1-resident across build, gather,
+    /// and backward.
+    ctxs: Vec<f32>,
+    /// The current group's (context row, candidate entity) forward indices.
+    pairs: Vec<(u32, u32)>,
+    scores: Vec<f32>,
+    /// Context directory for the current group: (side, anchor entity,
+    /// relation, ctx row).
+    group_anchors: Vec<(Side, u32, u32, u32)>,
+}
+
+struct BlockedSink<'a> {
+    epoch: u32,
+    ent: &'a mut SlotMap,
+    ent_keys: &'a mut Vec<u32>,
+    ent_slab: &'a mut Vec<f32>,
+    rel: &'a mut SlotMap,
+    rel_keys: &'a mut Vec<u32>,
+    rel_slab: &'a mut Vec<f32>,
+    omega: &'a mut Vec<f32>,
+}
+
+impl GradSink for BlockedSink<'_> {
+    const FAST: bool = true;
+
+    fn row_mut(&mut self, key: RowKey, len: usize) -> (&mut [f32], bool) {
+        let (map, keys, slab, idx) = match key {
+            RowKey::Entity(e) => (&mut *self.ent, &mut *self.ent_keys, &mut *self.ent_slab, e),
+            RowKey::Relation(r) => (&mut *self.rel, &mut *self.rel_keys, &mut *self.rel_slab, r),
+        };
+        let (slot, fresh) = map.get_or_insert(idx, self.epoch, keys.len());
+        if fresh {
+            keys.push(idx as u32);
+            let end = (slot + 1) * len;
+            if slab.len() < end {
+                slab.resize(end, 0.0);
+            }
+            // Recycled slots still hold the previous batch's data; the
+            // fresh flag obliges the core to fully initialize the row.
+        }
+        (&mut slab[slot * len..(slot + 1) * len], fresh)
+    }
+
+    fn omega_mut(&mut self) -> &mut [f32] {
+        self.omega
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_blocked_chunk(
+    model: &MultiEmbedModel,
+    chunk_examples: &[(Triple, Label)],
+    group_len: usize,
+    l2_coef: f32,
+    loss_kind: LossKind,
+    n3: usize,
+    epoch: u32,
+    c: &mut BlockedChunk,
+) {
+    let kdim = model.config().n * model.config().dim;
+    let ent_row_len = model.entities.row_len();
+    let entity_table = model.entities.as_slice();
+    c.loss = 0.0;
+    c.ent_keys.clear();
+    c.rel_keys.clear();
+    if c.omega.len() == n3 {
+        c.omega.fill(0.0);
+    } else {
+        c.omega = vec![0.0; n3];
+    }
+
+    let BlockedChunk {
+        ent, rel, ent_keys, rel_keys, ent_slab, rel_slab, omega, loss, ctxs, pairs, scores, group_anchors,
+    } = c;
+    let mut sink = BlockedSink { epoch, ent, ent_keys, ent_slab, rel, rel_keys, rel_slab, omega };
+
+    // Group-local three-stage forward/backward: the contexts, pairs, and
+    // scores of one group fit in L1, so unlike a chunk-wide staging
+    // buffer nothing is streamed through memory three times.
+    let n_groups = chunk_examples.len().div_ceil(group_len);
+    for gi in 0..n_groups {
+        let group = &chunk_examples[gi * group_len..((gi + 1) * group_len).min(chunk_examples.len())];
+        // Get next group's cold, randomly indexed entity rows in flight
+        // behind this group's arithmetic.
+        if gi + 1 < n_groups {
+            let next = &chunk_examples[(gi + 1) * group_len..((gi + 2) * group_len).min(chunk_examples.len())];
+            for &(ex, _) in next {
+                prefetch_range(entity_table, ex.head.idx() * ent_row_len, ent_row_len);
+                prefetch_range(entity_table, ex.tail.idx() * ent_row_len, ent_row_len);
+            }
+        }
+        let pos = group[0].0;
+
+        // Stage 1: one anchor context per distinct (side, anchor,
+        // relation) in the group — for trainer batches (one positive plus
+        // its corruptions) that is at most one tail-side and one
+        // head-side context, so k negatives share the forward context the
+        // positive already paid for.
+        group_anchors.clear();
+        pairs.clear();
+        for &(ex, _) in group {
+            let side = side_of(pos, ex);
+            let (anchor, rel_id) = match side {
+                Side::Tail => (ex.head, ex.relation),
+                Side::Head => (ex.tail, ex.relation),
+            };
+            let key = (side, anchor.idx() as u32, rel_id.idx() as u32);
+            let ctx_row = match group_anchors.iter().find(|a| (a.0, a.1, a.2) == key) {
+                Some(a) => a.3,
+                None => {
+                    let row = group_anchors.len() as u32;
+                    let end = (row as usize + 1) * kdim;
+                    if ctxs.len() < end {
+                        ctxs.resize(end, 0.0);
+                    }
+                    // The context builders fully overwrite the slice, so
+                    // reusing it across groups needs no re-zeroing.
+                    let ctx = &mut ctxs[row as usize * kdim..end];
+                    match side {
+                        Side::Tail => model.tail_context(anchor, rel_id, ctx),
+                        Side::Head => model.head_context(anchor, rel_id, ctx),
+                    }
+                    group_anchors.push((key.0, key.1, key.2, row));
+                    row
+                }
+            };
+            pairs.push((ctx_row, candidate_of(ex, side) as u32));
+        }
+
+        // Stage 2: the group's forward pass in one gathered kernel call.
+        scores.resize(pairs.len(), 0.0);
+        dot_gather(&ctxs[..group_anchors.len() * kdim], entity_table, kdim, pairs, scores);
+
+        // Stage 3: stream-order backward through the shared core.
+        let ctx_of = |row: u32| &ctxs[row as usize * kdim..(row as usize + 1) * kdim];
+        match loss_kind {
+            LossKind::Logistic => {
+                for (p, &(ex, label)) in group.iter().enumerate() {
+                    let side = side_of(pos, ex);
+                    let score = scores[p];
+                    *loss += f64::from(logistic_loss(score, label));
+                    let coef = logistic_loss_grad(score, label);
+                    accumulate_example(model, ex, side, ctx_of(pairs[p].0), coef, l2_coef, &mut sink);
+                }
+            }
+            LossKind::MarginRanking { margin } => {
+                let pos_ctx = pairs[0].0;
+                let pos_score = scores[0];
+                for (p, &(neg, _)) in group.iter().enumerate().skip(1) {
+                    let side = side_of(pos, neg);
+                    let pair_loss = (margin - pos_score + scores[p]).max(0.0);
+                    *loss += f64::from(pair_loss);
+                    if pair_loss > 0.0 {
+                        accumulate_example(model, pos, Side::Tail, ctx_of(pos_ctx), -1.0, l2_coef, &mut sink);
+                        accumulate_example(model, neg, side, ctx_of(pairs[p].0), 1.0, l2_coef, &mut sink);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace: chunk scheduling, merging, result access.
+// ---------------------------------------------------------------------------
+
+/// Reusable gradient workspace: all per-batch scratch (chunk maps or
+/// slabs, context/score buffers, merge indices) lives here and is
+/// recycled across batches, so steady-state training does not allocate.
+///
+/// One call to [`GradWorkspace::compute`] fills the workspace with the
+/// summed gradients for a labeled batch; [`GradWorkspace::for_each_row`],
+/// [`GradWorkspace::for_each_row_sorted`], and
+/// [`GradWorkspace::omega_grads`] expose them until the next call.
+pub struct GradWorkspace {
+    path: GradPath,
+    epoch: u32,
+    ent_row_len: usize,
+    rel_row_len: usize,
+    loss: f64,
+    omega: Vec<f32>,
+    sorted_keys: Vec<RowKey>,
+    // Legacy result + scratch.
+    legacy: Vec<LegacyChunk>,
+    rows: RowGrads,
+    // Blocked result + scratch.
+    blocked: Vec<BlockedChunk>,
+    g_ent: SlotMap,
+    g_rel: SlotMap,
+    g_ent_keys: Vec<u32>,
+    g_rel_keys: Vec<u32>,
+    g_ent_slab: Vec<f32>,
+    g_rel_slab: Vec<f32>,
+    ent_contribs: Vec<Vec<(u32, u32)>>,
+    rel_contribs: Vec<Vec<(u32, u32)>>,
+}
+
+impl GradWorkspace {
+    /// Creates an empty workspace for the given path; buffers are sized
+    /// lazily on the first [`GradWorkspace::compute`] call.
+    pub fn new(path: GradPath) -> Self {
+        Self {
+            path,
+            epoch: 0,
+            ent_row_len: 0,
+            rel_row_len: 0,
+            loss: 0.0,
+            omega: Vec::new(),
+            sorted_keys: Vec::new(),
+            legacy: Vec::new(),
+            rows: HashMap::new(),
+            blocked: Vec::new(),
+            g_ent: SlotMap::default(),
+            g_rel: SlotMap::default(),
+            g_ent_keys: Vec::new(),
+            g_rel_keys: Vec::new(),
+            g_ent_slab: Vec::new(),
+            g_rel_slab: Vec::new(),
+            ent_contribs: Vec::new(),
+            rel_contribs: Vec::new(),
+        }
+    }
+
+    /// The path this workspace drives.
+    pub fn path(&self) -> GradPath {
+        self.path
+    }
+
+    /// Computes summed gradients for a labeled batch, replacing the
+    /// previous batch's results, and returns the total loss.
+    ///
+    /// For [`LossKind::MarginRanking`], `examples` must be grouped as
+    /// `[positive, neg₁, …, neg_k]` repeating with stride `group_len`;
+    /// the logistic path uses the same grouping to share anchor contexts.
+    /// When `timing` is given, the parallel compute pass is added to
+    /// `phases.forward` and the cross-chunk merge to `phases.merge`.
+    pub fn compute(
+        &mut self,
+        model: &MultiEmbedModel,
+        examples: &[(Triple, Label)],
+        l2_coef: f32,
+        loss_kind: LossKind,
+        group_len: usize,
+        mut timing: Option<&mut PhaseBreakdown>,
+    ) -> f64 {
+        assert!(group_len >= 1, "group_len must be at least 1");
+        let n3 = model.omega().dense().len();
+        self.ent_row_len = model.entities.row_len();
+        self.rel_row_len = model.relations.row_len();
+        if self.epoch == u32::MAX {
+            for c in &mut self.blocked {
+                c.ent.reset();
+                c.rel.reset();
+            }
+            self.g_ent.reset();
+            self.g_rel.reset();
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+
+        let chunk = chunk_len(examples.len(), group_len);
+        let nchunks = examples.len().div_ceil(chunk.max(1));
+
+        let span = timing.is_some().then(Instant::now);
+        match self.path {
+            GradPath::Legacy => self.compute_legacy_chunks(model, examples, chunk, nchunks, group_len, l2_coef, loss_kind, n3),
+            GradPath::Blocked => self.compute_blocked_chunks(model, examples, chunk, nchunks, group_len, l2_coef, loss_kind, n3),
+        }
+        if let (Some(t0), Some(ph)) = (span, timing.as_deref_mut()) {
+            ph.forward += t0.elapsed().as_secs_f64();
+        }
+
+        let span = timing.is_some().then(Instant::now);
+        match self.path {
+            GradPath::Legacy => self.merge_legacy(nchunks, n3),
+            GradPath::Blocked => self.merge_blocked(nchunks, n3),
+        }
+        if let (Some(t0), Some(ph)) = (span, timing.as_mut()) {
+            ph.merge += t0.elapsed().as_secs_f64();
+        }
+        self.loss
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compute_legacy_chunks(
+        &mut self,
+        model: &MultiEmbedModel,
+        examples: &[(Triple, Label)],
+        chunk: usize,
+        nchunks: usize,
+        group_len: usize,
+        l2_coef: f32,
+        loss_kind: LossKind,
+        n3: usize,
+    ) {
+        self.recycle_legacy_rows();
+        while self.legacy.len() < nchunks {
+            self.legacy.push(LegacyChunk::default());
+        }
+        let used = &mut self.legacy[..nchunks];
+        if nchunks <= 1 {
+            if let Some(c) = used.first_mut() {
+                run_legacy_chunk(model, examples, group_len, l2_coef, loss_kind, n3, c);
+            }
+        } else {
+            rayon::scope(|s| {
+                let mut rest = used;
+                for ex_chunk in examples.chunks(chunk) {
+                    let (head, tail) = rest.split_at_mut(1);
+                    rest = tail;
+                    let c = &mut head[0];
+                    s.spawn(move |_| run_legacy_chunk(model, ex_chunk, group_len, l2_coef, loss_kind, n3, c));
+                }
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compute_blocked_chunks(
+        &mut self,
+        model: &MultiEmbedModel,
+        examples: &[(Triple, Label)],
+        chunk: usize,
+        nchunks: usize,
+        group_len: usize,
+        l2_coef: f32,
+        loss_kind: LossKind,
+        n3: usize,
+    ) {
+        while self.blocked.len() < nchunks {
+            self.blocked.push(BlockedChunk::default());
+        }
+        let num_entities = model.entities.num_items();
+        let num_relations = model.relations.num_items();
+        self.g_ent.ensure(num_entities);
+        self.g_rel.ensure(num_relations);
+        let epoch = self.epoch;
+        let used = &mut self.blocked[..nchunks];
+        for c in used.iter_mut() {
+            c.ent.ensure(num_entities);
+            c.rel.ensure(num_relations);
+        }
+        if nchunks <= 1 {
+            if let Some(c) = used.first_mut() {
+                run_blocked_chunk(model, examples, group_len, l2_coef, loss_kind, n3, epoch, c);
+            }
+        } else {
+            rayon::scope(|s| {
+                let mut rest = used;
+                for ex_chunk in examples.chunks(chunk) {
+                    let (head, tail) = rest.split_at_mut(1);
+                    rest = tail;
+                    let c = &mut head[0];
+                    s.spawn(move |_| {
+                        run_blocked_chunk(model, ex_chunk, group_len, l2_coef, loss_kind, n3, epoch, c)
+                    });
+                }
+            });
+        }
+    }
+
+    /// Returns the previous batch's merged row gradients to the chunk
+    /// freelists (round-robin), leaving `self.rows` empty with its
+    /// capacity intact.
+    fn recycle_legacy_rows(&mut self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let n = self.legacy.len().max(1);
+        if self.legacy.is_empty() {
+            self.rows.clear();
+            return;
+        }
+        for (i, (key, v)) in self.rows.drain().enumerate() {
+            let c = &mut self.legacy[i % n];
+            match key {
+                RowKey::Entity(_) => c.ent_free.push(v),
+                RowKey::Relation(_) => c.rel_free.push(v),
+            }
+        }
+    }
+
+    /// Sequential chunk-order merge: the first chunk to touch a row moves
+    /// its gradient in; later chunks add elementwise. Chunk order is the
+    /// example-stream order, so this is deterministic.
+    fn merge_legacy(&mut self, nchunks: usize, n3: usize) {
+        self.reset_omega(n3);
+        self.loss = 0.0;
+        for c in &mut self.legacy[..nchunks] {
+            self.loss += c.loss;
+            for (o, g) in self.omega.iter_mut().zip(&c.omega) {
+                *o += g;
+            }
+            let LegacyChunk { rows, ent_free, rel_free, .. } = c;
+            for (key, v) in rows.drain() {
+                match self.rows.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        for (a, b) in e.get_mut().iter_mut().zip(&v) {
+                            *a += b;
+                        }
+                        // Recycle the unneeded chunk row in place.
+                        match key {
+                            RowKey::Entity(_) => ent_free.push(v),
+                            RowKey::Relation(_) => rel_free.push(v),
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic merge of the per-chunk slabs.
+    ///
+    /// With a single chunk (the common case on few-core machines, where
+    /// `chunk_len` spans the whole batch) the chunk's slabs, key lists,
+    /// and slot maps already *are* the merged result, so they are swapped
+    /// into the workspace wholesale — zero copies, exactly like the
+    /// legacy path's map move.
+    ///
+    /// With multiple chunks: a sequential chunk-order pass assigns each
+    /// touched row a global slot and records its per-chunk contributions
+    /// in chunk order, then the data movement — the actual memory
+    /// traffic — runs in parallel over disjoint slot ranges. Every row's
+    /// additions happen in chunk order regardless of thread count, and
+    /// the first contribution is copied rather than added to a zeroed
+    /// row, which is exactly the legacy move-then-add sequence.
+    fn merge_blocked(&mut self, nchunks: usize, n3: usize) {
+        if nchunks == 1 {
+            let c = &mut self.blocked[0];
+            self.loss = c.loss;
+            // The swapped-out buffers become the chunk's scratch for the
+            // next batch; both sides share `self.epoch`, so stale slot
+            // stamps can never read as live.
+            std::mem::swap(&mut self.omega, &mut c.omega);
+            std::mem::swap(&mut self.g_ent, &mut c.ent);
+            std::mem::swap(&mut self.g_rel, &mut c.rel);
+            std::mem::swap(&mut self.g_ent_keys, &mut c.ent_keys);
+            std::mem::swap(&mut self.g_rel_keys, &mut c.rel_keys);
+            std::mem::swap(&mut self.g_ent_slab, &mut c.ent_slab);
+            std::mem::swap(&mut self.g_rel_slab, &mut c.rel_slab);
+            return;
+        }
+        self.reset_omega(n3);
+        self.loss = 0.0;
+        self.g_ent_keys.clear();
+        self.g_rel_keys.clear();
+        let epoch = self.epoch;
+        for (ci, c) in self.blocked[..nchunks].iter().enumerate() {
+            self.loss += c.loss;
+            for (o, g) in self.omega.iter_mut().zip(&c.omega) {
+                *o += g;
+            }
+            for (ls, &ent) in c.ent_keys.iter().enumerate() {
+                let (g, fresh) = self.g_ent.get_or_insert(ent as usize, epoch, self.g_ent_keys.len());
+                if fresh {
+                    self.g_ent_keys.push(ent);
+                    if self.ent_contribs.len() <= g {
+                        self.ent_contribs.push(Vec::new());
+                    }
+                    self.ent_contribs[g].clear();
+                }
+                self.ent_contribs[g].push((ci as u32, ls as u32));
+            }
+            for (ls, &rel) in c.rel_keys.iter().enumerate() {
+                let (g, fresh) = self.g_rel.get_or_insert(rel as usize, epoch, self.g_rel_keys.len());
+                if fresh {
+                    self.g_rel_keys.push(rel);
+                    if self.rel_contribs.len() <= g {
+                        self.rel_contribs.push(Vec::new());
+                    }
+                    self.rel_contribs[g].clear();
+                }
+                self.rel_contribs[g].push((ci as u32, ls as u32));
+            }
+        }
+        let chunks = &self.blocked[..nchunks];
+        merge_slabs(
+            chunks,
+            self.g_ent_keys.len(),
+            &self.ent_contribs,
+            self.ent_row_len,
+            &mut self.g_ent_slab,
+            |c| &c.ent_slab,
+        );
+        merge_slabs(
+            chunks,
+            self.g_rel_keys.len(),
+            &self.rel_contribs,
+            self.rel_row_len,
+            &mut self.g_rel_slab,
+            |c| &c.rel_slab,
+        );
+    }
+
+    fn reset_omega(&mut self, n3: usize) {
+        if self.omega.len() == n3 {
+            self.omega.fill(0.0);
+        } else {
+            self.omega = vec![0.0; n3];
+        }
+    }
+
+    /// The last computed batch loss.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// The dense effective-ω gradient of the last batch.
+    pub fn omega_grads(&self) -> &[f32] {
+        &self.omega
+    }
+
+    /// Mutable access to the ω gradient, for in-place regularizer terms.
+    pub fn omega_grads_mut(&mut self) -> &mut [f32] {
+        &mut self.omega
+    }
+
+    /// Visits every touched row of the last batch (unspecified order).
+    pub fn for_each_row(&self, mut f: impl FnMut(RowKey, &[f32])) {
+        match self.path {
+            GradPath::Legacy => {
+                for (k, v) in &self.rows {
+                    f(*k, v);
+                }
+            }
+            GradPath::Blocked => {
+                for (s, &e) in self.g_ent_keys.iter().enumerate() {
+                    f(RowKey::Entity(e as usize), &self.g_ent_slab[s * self.ent_row_len..][..self.ent_row_len]);
+                }
+                for (s, &r) in self.g_rel_keys.iter().enumerate() {
+                    f(RowKey::Relation(r as usize), &self.g_rel_slab[s * self.rel_row_len..][..self.rel_row_len]);
+                }
+            }
+        }
+    }
+
+    /// The gradient row for `key`, if that row was touched.
+    pub fn row(&self, key: RowKey) -> Option<&[f32]> {
+        match self.path {
+            GradPath::Legacy => self.rows.get(&key).map(Vec::as_slice),
+            GradPath::Blocked => match key {
+                RowKey::Entity(e) => self
+                    .g_ent
+                    .lookup(e, self.epoch)
+                    .map(|s| &self.g_ent_slab[s * self.ent_row_len..][..self.ent_row_len]),
+                RowKey::Relation(r) => self
+                    .g_rel
+                    .lookup(r, self.epoch)
+                    .map(|s| &self.g_rel_slab[s * self.rel_row_len..][..self.rel_row_len]),
+            },
+        }
+    }
+
+    /// Visits every touched row in sorted [`RowKey`] order — the order
+    /// the trainer uses for its grad-norm sum, so observability output is
+    /// identical on both paths.
+    pub fn for_each_row_sorted(&mut self, mut f: impl FnMut(RowKey, &[f32])) {
+        let mut keys = std::mem::take(&mut self.sorted_keys);
+        keys.clear();
+        self.for_each_row(|k, _| keys.push(k));
+        keys.sort_unstable();
+        for &k in &keys {
+            if let Some(g) = self.row(k) {
+                f(k, g);
+            }
+        }
+        self.sorted_keys = keys;
+    }
+}
+
+/// Parallel slot-range merge of per-chunk slabs into the global slab.
+fn merge_slabs(
+    chunks: &[BlockedChunk],
+    keys_len: usize,
+    contribs: &[Vec<(u32, u32)>],
+    row_len: usize,
+    g_slab: &mut Vec<f32>,
+    select: impl Fn(&BlockedChunk) -> &Vec<f32> + Sync,
+) {
+    let total = keys_len * row_len;
+    if total == 0 {
+        return;
+    }
+    if g_slab.len() < total {
+        g_slab.resize(total, 0.0);
+    }
+    let merge_range = |dst: &mut [f32], start_slot: usize| {
+        for (k, dst_row) in dst.chunks_mut(row_len).enumerate() {
+            let cl = &contribs[start_slot + k];
+            let (c0, l0) = cl[0];
+            dst_row.copy_from_slice(&select(&chunks[c0 as usize])[l0 as usize * row_len..][..row_len]);
+            for &(c, l) in &cl[1..] {
+                let src = &select(&chunks[c as usize])[l as usize * row_len..][..row_len];
+                for (a, b) in dst_row.iter_mut().zip(src) {
+                    *a += *b;
+                }
+            }
+        }
+    };
+    let threads = rayon::current_num_threads().max(1).min(keys_len);
+    if chunks.len() <= 1 || threads <= 1 || total < PAR_MERGE_MIN {
+        merge_range(&mut g_slab[..total], 0);
+    } else {
+        let per = keys_len.div_ceil(threads);
+        rayon::scope(|s| {
+            let mut rest = &mut g_slab[..total];
+            let mut slot = 0usize;
+            while !rest.is_empty() {
+                let take = per.min(rest.len() / row_len);
+                let (mine, tail) = rest.split_at_mut(take * row_len);
+                rest = tail;
+                let start = slot;
+                let mr = &merge_range;
+                s.spawn(move |_| mr(mine, start));
+                slot += take;
+            }
+        });
+    }
+}
+
+/// One-shot legacy-path computation: per-row embedding gradients, the
+/// dense effective-ω gradient, and the total loss for a labeled batch.
+///
+/// For [`LossKind::MarginRanking`], `examples` must be grouped as
+/// `[positive, neg₁, …, neg_k]` repeating with stride `group_len`.
+///
+/// The trainer drives a pooled [`GradWorkspace`] instead; this wrapper is
+/// the stable reference surface for the cross-path parity tests.
+pub fn compute_batch_grads(
+    model: &MultiEmbedModel,
+    examples: &[(Triple, Label)],
+    l2_coef: f32,
+    loss_kind: LossKind,
+    group_len: usize,
+) -> (RowGrads, Vec<f32>, f64) {
+    let mut ws = GradWorkspace::new(GradPath::Legacy);
+    let loss = ws.compute(model, examples, l2_coef, loss_kind, group_len, None);
+    let mut rows: RowGrads = HashMap::new();
+    ws.for_each_row(|k, g| {
+        rows.insert(k, g.to_vec());
+    });
+    (rows, ws.omega_grads().to_vec(), loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightPreset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_model(seed: u64) -> MultiEmbedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MultiEmbedModel::from_preset(WeightPreset::ComplEx, 9, 3, 4, &mut rng)
+    }
+
+    fn toy_batch() -> Vec<(Triple, Label)> {
+        // Groups of [positive, negative] with tail and head corruptions,
+        // plus a self-loop to exercise the aliased-row accumulate order.
+        vec![
+            (Triple::new(0, 1, 0), Label::Positive),
+            (Triple::new(0, 5, 0), Label::Negative),
+            (Triple::new(2, 3, 1), Label::Positive),
+            (Triple::new(7, 3, 1), Label::Negative),
+            (Triple::new(4, 4, 2), Label::Positive),
+            (Triple::new(4, 8, 2), Label::Negative),
+        ]
+    }
+
+    #[test]
+    fn both_paths_agree_bitwise_on_a_toy_batch() {
+        let model = toy_model(7);
+        let batch = toy_batch();
+        for loss_kind in [LossKind::Logistic, LossKind::MarginRanking { margin: 1.0 }] {
+            let (rows, omega, loss) = compute_batch_grads(&model, &batch, 0.01, loss_kind, 2);
+            let mut ws = GradWorkspace::new(GradPath::Blocked);
+            let blocked_loss = ws.compute(&model, &batch, 0.01, loss_kind, 2, None);
+            assert_eq!(loss.to_bits(), blocked_loss.to_bits(), "{loss_kind:?} loss");
+            let mut seen = 0usize;
+            ws.for_each_row(|k, g| {
+                let legacy = rows.get(&k).unwrap_or_else(|| panic!("{loss_kind:?}: unexpected row {k:?}"));
+                assert_eq!(
+                    legacy.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    g.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{loss_kind:?} row {k:?}"
+                );
+                seen += 1;
+            });
+            assert_eq!(seen, rows.len(), "{loss_kind:?}: row sets differ");
+            assert_eq!(
+                omega.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                ws.omega_grads().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{loss_kind:?} omega"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_results_are_stable_across_reuse() {
+        // Recycled scratch must not leak one batch's values into the next:
+        // computing A, then B, then A again must reproduce A's bits.
+        let model = toy_model(11);
+        let batch_a = toy_batch();
+        let batch_b: Vec<(Triple, Label)> = vec![
+            (Triple::new(6, 2, 1), Label::Positive),
+            (Triple::new(6, 0, 1), Label::Negative),
+        ];
+        for path in [GradPath::Legacy, GradPath::Blocked] {
+            let mut ws = GradWorkspace::new(path);
+            let loss_first = ws.compute(&model, &batch_a, 0.01, LossKind::Logistic, 2, None);
+            let mut first: Vec<(RowKey, Vec<u32>)> = Vec::new();
+            ws.for_each_row_sorted(|k, g| first.push((k, g.iter().map(|v| v.to_bits()).collect())));
+            ws.compute(&model, &batch_b, 0.01, LossKind::Logistic, 2, None);
+            let loss_again = ws.compute(&model, &batch_a, 0.01, LossKind::Logistic, 2, None);
+            let mut again: Vec<(RowKey, Vec<u32>)> = Vec::new();
+            ws.for_each_row_sorted(|k, g| again.push((k, g.iter().map(|v| v.to_bits()).collect())));
+            assert_eq!(loss_first.to_bits(), loss_again.to_bits(), "{path:?}");
+            assert_eq!(first, again, "{path:?}");
+        }
+    }
+
+    #[test]
+    fn sorted_iteration_is_sorted_and_complete() {
+        let model = toy_model(3);
+        let batch = toy_batch();
+        let mut ws = GradWorkspace::new(GradPath::Blocked);
+        ws.compute(&model, &batch, 0.0, LossKind::Logistic, 2, None);
+        let mut keys = Vec::new();
+        ws.for_each_row_sorted(|k, _| keys.push(k));
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        let mut unordered = 0usize;
+        ws.for_each_row(|_, _| unordered += 1);
+        assert_eq!(keys.len(), unordered);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod baselines;
 pub mod checkpoint;
 pub mod embedding;
+pub mod grads;
 pub mod loss;
 pub mod model;
 pub mod regularizer;
@@ -40,6 +41,7 @@ pub mod weights;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint, TrainCheckpoint};
 pub use embedding::EmbeddingTable;
+pub use grads::{compute_batch_grads, GradPath, GradWorkspace, RowKey};
 pub use model::{ModelConfig, MultiEmbedModel};
 pub use trainer::{LossKind, SamplingStrategy, TrainConfig, TrainReport, Trainer};
 pub use weights::{WeightPreset, WeightRestriction, WeightVector};

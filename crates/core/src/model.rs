@@ -239,6 +239,12 @@ impl MultiEmbedModel {
         self.restriction
     }
 
+    /// The cached scoring-term list `(i, j, k, ω_ijk)` — every grid cell
+    /// when ω is trainable, only the nonzero cells otherwise.
+    pub(crate) fn terms(&self) -> &[(usize, usize, usize, f32)] {
+        &self.terms
+    }
+
     /// Recomputes `effective ω = f(raw ω)` and the scoring-term cache.
     /// Must be called after every update to raw ω.
     pub fn refresh_omega(&mut self) {

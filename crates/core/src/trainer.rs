@@ -7,7 +7,6 @@
 //! project entity embeddings back onto the unit sphere. Early stopping
 //! monitors filtered MRR on the validation split.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -19,12 +18,12 @@ use mei_optim::OptimizerKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
 use crate::checkpoint::{save_checkpoint, BestSnapshot, TrainCheckpoint};
 use crate::embedding::EmbeddingTable;
-use crate::loss::{logistic_loss, logistic_loss_grad, Label};
-use crate::model::{MultiEmbedModel, TripleGrads};
+use crate::grads::{GradPath, GradWorkspace, RowKey};
+use crate::loss::Label;
+use crate::model::MultiEmbedModel;
 use crate::regularizer::DirichletRegularizer;
 use crate::serialize::SerializeError;
 use crate::weights::WeightVector;
@@ -100,6 +99,10 @@ pub struct TrainConfig {
     /// Where the latest checkpoint lives. Each write atomically replaces
     /// the previous one, so the file is always a complete checkpoint.
     pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Gradient machinery. Both paths produce bit-identical runs (same
+    /// JSONL metrics, same final parameters — checkpoints taken under one
+    /// path resume under the other); [`GradPath::Blocked`] is faster.
+    pub grad_path: GradPath,
 }
 
 impl Default for TrainConfig {
@@ -122,6 +125,7 @@ impl Default for TrainConfig {
             verbose: false,
             checkpoint_every: 0,
             checkpoint_path: None,
+            grad_path: GradPath::default(),
         }
     }
 }
@@ -350,6 +354,12 @@ impl Trainer {
         let run_started = Instant::now();
         let mut stopped_early = false;
 
+        // All per-batch gradient scratch lives in the workspace and is
+        // recycled across batches; both paths are bit-identical, so the
+        // choice never shows up in metrics or parameters.
+        let mut workspace = GradWorkspace::new(cfg.grad_path);
+        let mut grad_raw_scratch = vec![0.0f32; omega_params];
+
         for epoch in (start_epoch + 1)..=cfg.max_epochs {
             let epoch_started = Instant::now();
             let mut phases = PhaseBreakdown::default();
@@ -357,6 +367,7 @@ impl Trainer {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             let mut epoch_examples = 0usize;
+            let mut epoch_positives = 0usize;
 
             for batch in order.chunks(cfg.batch_size) {
                 // Materialize the labeled batch sequentially so the RNG
@@ -380,37 +391,33 @@ impl Trainer {
                 }
 
                 // Parallel gradient computation, sequential application.
-                // "forward" covers this fused forward+backward example
-                // pass; the per-example gradients come out of the same
-                // traversal as the scores.
-                let span = observing.then(Instant::now);
-                let (row_grads, omega_grads, batch_loss) = compute_batch_grads(
+                // "forward" covers the fused forward+backward example
+                // pass (the per-example gradients come out of the same
+                // traversal as the scores); "merge" covers the
+                // deterministic cross-chunk combine.
+                let batch_loss = workspace.compute(
                     model,
                     &examples,
                     l2_coef,
                     cfg.loss,
                     1 + cfg.negatives_per_positive,
+                    observing.then_some(&mut phases),
                 );
-                if let Some(t0) = span {
-                    phases.forward += t0.elapsed().as_secs_f64();
-                }
                 epoch_loss += batch_loss;
                 epoch_examples += examples.len();
+                epoch_positives += batch.len();
 
                 if observing {
                     // Accumulate in sorted row order so the reported norm
-                    // is identical across same-seed runs (HashMap order
+                    // is identical across same-seed runs (storage order
                     // is not, and f64 addition is not associative).
-                    let mut keys: Vec<&RowKey> = row_grads.keys().collect();
-                    keys.sort_unstable();
-                    for key in keys {
-                        grad_sq += row_grads[key]
-                            .iter()
-                            .map(|g| f64::from(*g) * f64::from(*g))
-                            .sum::<f64>();
-                    }
+                    workspace.for_each_row_sorted(|_, grad| {
+                        grad_sq +=
+                            grad.iter().map(|g| f64::from(*g) * f64::from(*g)).sum::<f64>();
+                    });
                     if model.trainable_omega() {
-                        grad_sq += omega_grads
+                        grad_sq += workspace
+                            .omega_grads()
                             .iter()
                             .map(|g| f64::from(*g) * f64::from(*g))
                             .sum::<f64>();
@@ -419,18 +426,16 @@ impl Trainer {
 
                 let span = observing.then(Instant::now);
                 optimizer.step_begin();
-                for (row, grad) in &row_grads {
-                    match *row {
-                        RowKey::Entity(e) => {
-                            let offset = model.entities.row_offset(e);
-                            optimizer.update(offset, model.entities.row_mut(e), grad);
-                        }
-                        RowKey::Relation(r) => {
-                            let offset = ent_params + model.relations.row_offset(r);
-                            optimizer.update(offset, model.relations.row_mut(r), grad);
-                        }
+                workspace.for_each_row(|row, grad| match row {
+                    RowKey::Entity(e) => {
+                        let offset = model.entities.row_offset(e);
+                        optimizer.update(offset, model.entities.row_mut(e), grad);
                     }
-                }
+                    RowKey::Relation(r) => {
+                        let offset = ent_params + model.relations.row_offset(r);
+                        optimizer.update(offset, model.relations.row_mut(r), grad);
+                    }
+                });
                 if let Some(t0) = span {
                     phases.step += t0.elapsed().as_secs_f64();
                 }
@@ -438,12 +443,12 @@ impl Trainer {
                     // "backward": the chain-rule transform from the
                     // effective-ω gradient back to raw parameters.
                     let span = observing.then(Instant::now);
-                    let mut grad_eff = omega_grads;
+                    let grad_eff = workspace.omega_grads_mut();
                     if let Some(reg) = &cfg.dirichlet {
-                        reg.accumulate_grad(model.omega().dense(), &mut grad_eff);
+                        reg.accumulate_grad(model.omega().dense(), grad_eff);
                     }
-                    let mut grad_raw = vec![0.0f32; grad_eff.len()];
-                    model.omega_grad_raw(&grad_eff, &mut grad_raw);
+                    grad_raw_scratch.fill(0.0);
+                    model.omega_grad_raw(grad_eff, &mut grad_raw_scratch);
                     if let Some(t0) = span {
                         phases.backward += t0.elapsed().as_secs_f64();
                     }
@@ -451,7 +456,7 @@ impl Trainer {
                     let offset = ent_params + rel_params;
                     // Borrow dance: update a scratch copy, then write back.
                     let mut raw = model.raw_omega().dense().to_vec();
-                    optimizer.update(offset, &mut raw, &grad_raw);
+                    optimizer.update(offset, &mut raw, &grad_raw_scratch);
                     model.raw_omega_mut().dense_mut().copy_from_slice(&raw);
                     model.refresh_omega();
                     if let Some(t0) = span {
@@ -461,11 +466,11 @@ impl Trainer {
 
                 if cfg.unit_norm_entities {
                     let span = observing.then(Instant::now);
-                    for row in row_grads.keys() {
-                        if let RowKey::Entity(e) = *row {
+                    workspace.for_each_row(|row, _| {
+                        if let RowKey::Entity(e) = row {
                             model.entities.normalize_item(e);
                         }
-                    }
+                    });
                     if let Some(t0) = span {
                         phases.project += t0.elapsed().as_secs_f64();
                     }
@@ -535,6 +540,11 @@ impl Trainer {
                     examples: epoch_examples,
                     examples_per_sec: if wall_secs > 0.0 {
                         epoch_examples as f64 / wall_secs
+                    } else {
+                        0.0
+                    },
+                    triples_per_sec: if wall_secs > 0.0 {
+                        epoch_positives as f64 / wall_secs
                     } else {
                         0.0
                     },
@@ -608,134 +618,6 @@ impl Trainer {
     }
 }
 
-/// Addresses one embedding row during gradient accumulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-enum RowKey {
-    Entity(usize),
-    Relation(usize),
-}
-
-type RowGrads = HashMap<RowKey, Vec<f32>>;
-
-/// Computes summed gradients for a labeled batch: per-row embedding
-/// gradients, the dense effective-ω gradient, and the total loss.
-///
-/// For [`LossKind::MarginRanking`], `examples` must be grouped as
-/// `[positive, neg₁, …, neg_k]` repeating with stride `group_len`.
-fn compute_batch_grads(
-    model: &MultiEmbedModel,
-    examples: &[(Triple, Label)],
-    l2_coef: f32,
-    loss_kind: LossKind,
-    group_len: usize,
-) -> (RowGrads, Vec<f32>, f64) {
-    let ent_row_len = model.entities.row_len();
-    let rel_row_len = model.relations.row_len();
-    let n3 = model.omega().dense().len();
-    // Chunk on group boundaries so margin pairs stay together.
-    let groups = examples.len().div_ceil(group_len);
-    let groups_per_chunk = groups.div_ceil(rayon::current_num_threads().max(1)).max(1);
-    let chunk = groups_per_chunk * group_len;
-
-    examples
-        .par_chunks(chunk)
-        .map(|chunk_examples| {
-            let mut rows: RowGrads = HashMap::new();
-            let mut omega = vec![0.0f32; n3];
-            let mut loss = 0.0f64;
-            let mut scratch = model.new_grads();
-
-            // Computes ∂S/∂θ once (coef 1), then lets `coef_of(score)`
-            // decide the scaling — so the logistic path needs only one
-            // forward-backward per example.
-            let apply = |rows: &mut RowGrads,
-                             omega: &mut Vec<f32>,
-                             scratch: &mut TripleGrads,
-                             triple: Triple,
-                             coef_of: &mut dyn FnMut(f32) -> f32| {
-                scratch.clear();
-                let score = model.score_and_accumulate_grads(triple, 1.0, scratch);
-                let coef = coef_of(score);
-                let h_entry = rows
-                    .entry(RowKey::Entity(triple.head.idx()))
-                    .or_insert_with(|| vec![0.0; ent_row_len]);
-                accumulate_with_l2(h_entry, &scratch.head, coef, l2_coef, model.entities.row(triple.head.idx()));
-                let t_entry = rows
-                    .entry(RowKey::Entity(triple.tail.idx()))
-                    .or_insert_with(|| vec![0.0; ent_row_len]);
-                accumulate_with_l2(t_entry, &scratch.tail, coef, l2_coef, model.entities.row(triple.tail.idx()));
-                let r_entry = rows
-                    .entry(RowKey::Relation(triple.relation.idx()))
-                    .or_insert_with(|| vec![0.0; rel_row_len]);
-                accumulate_with_l2(r_entry, &scratch.rel, coef, l2_coef, model.relations.row(triple.relation.idx()));
-                if model.trainable_omega() {
-                    for (o, g) in omega.iter_mut().zip(&scratch.omega_eff) {
-                        *o += coef * g;
-                    }
-                }
-                score
-            };
-
-            match loss_kind {
-                LossKind::Logistic => {
-                    for &(triple, label) in chunk_examples {
-                        apply(&mut rows, &mut omega, &mut scratch, triple, &mut |score| {
-                            loss += f64::from(logistic_loss(score, label));
-                            logistic_loss_grad(score, label)
-                        });
-                    }
-                }
-                LossKind::MarginRanking { margin } => {
-                    for group in chunk_examples.chunks(group_len) {
-                        let (pos, _) = group[0];
-                        let pos_score = model.score_triple(pos);
-                        for &(neg, _) in &group[1..] {
-                            let neg_score = model.score_triple(neg);
-                            let pair_loss = (margin - pos_score + neg_score).max(0.0);
-                            loss += f64::from(pair_loss);
-                            if pair_loss > 0.0 {
-                                // ∂/∂S(pos) = −1, ∂/∂S(neg) = +1.
-                                apply(&mut rows, &mut omega, &mut scratch, pos, &mut |_| -1.0);
-                                apply(&mut rows, &mut omega, &mut scratch, neg, &mut |_| 1.0);
-                            }
-                        }
-                    }
-                }
-            }
-            (rows, omega, loss)
-        })
-        .reduce(
-            || (HashMap::new(), vec![0.0f32; n3], 0.0),
-            |(mut ra, mut oa, la), (rb, ob, lb)| {
-                for (k, v) in rb {
-                    match ra.entry(k) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            for (a, b) in e.get_mut().iter_mut().zip(&v) {
-                                *a += b;
-                            }
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(v);
-                        }
-                    }
-                }
-                for (a, b) in oa.iter_mut().zip(&ob) {
-                    *a += b;
-                }
-                (ra, oa, la + lb)
-            },
-        )
-}
-
-/// `entry += coef·score_grad + l2_coef·params` — the loss gradient plus the
-/// per-triple L2 term of Eq. 16.
-#[inline]
-fn accumulate_with_l2(entry: &mut [f32], score_grad: &[f32], coef: f32, l2_coef: f32, params: &[f32]) {
-    for i in 0..entry.len() {
-        entry[i] += coef * score_grad[i] + l2_coef * params[i];
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -781,6 +663,7 @@ mod tests {
             verbose: false,
             checkpoint_every: 0,
             checkpoint_path: None,
+            grad_path: GradPath::default(),
         }
     }
 

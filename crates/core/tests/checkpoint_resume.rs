@@ -75,6 +75,7 @@ fn scratch_dir(tag: &str) -> PathBuf {
 fn normalize(line: &str) -> String {
     if let Ok(mut rec) = EpochRecord::from_json(line) {
         rec.examples_per_sec = 0.0;
+        rec.triples_per_sec = 0.0;
         rec.wall_secs = 0.0;
         rec.phases = Default::default();
         return rec.to_json();

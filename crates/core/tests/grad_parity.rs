@@ -1,0 +1,207 @@
+//! Bitwise regression tests for the two gradient paths: on identical
+//! batches the blocked path (`dot_gather` forward + flat slot-indexed
+//! gradient slabs, deterministic parallel merge) must reproduce the legacy
+//! per-chunk `HashMap` accumulator **bit for bit** — same row gradients,
+//! same ω gradients, same loss — for every loss kind, on fixed- and
+//! learned-ω models alike. No tolerance: the fast path is only admissible
+//! as a pure drop-in.
+
+use mei_core::loss::Label;
+use mei_core::{
+    compute_batch_grads, GradPath, GradWorkspace, LossKind, ModelConfig, MultiEmbedModel,
+    RowKey, WeightPreset, WeightRestriction,
+};
+use mei_kg::Triple;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Snaps every embedding parameter to the k/16 grid (the blocked-eval
+/// idiom): small dims keep all products exact in f32, so any divergence a
+/// test catches is a real ordering difference, not noise — though the
+/// contract here is stronger and must hold for arbitrary floats too.
+fn quantize(model: &mut MultiEmbedModel) {
+    for e in 0..model.entities.num_items() {
+        for v in model.entities.row_mut(e) {
+            *v = (*v * 16.0).round() / 16.0;
+        }
+    }
+    for r in 0..model.relations.num_items() {
+        for v in model.relations.row_mut(r) {
+            *v = (*v * 16.0).round() / 16.0;
+        }
+    }
+}
+
+/// A corrupt-one-side batch shaped exactly like the trainer's: each
+/// positive followed by `negatives` corruptions of head or tail.
+fn trainer_shaped_batch(
+    seed: u64,
+    num_entities: u32,
+    num_relations: u32,
+    positives: usize,
+    negatives: usize,
+) -> Vec<(Triple, Label)> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move |m: u32| {
+        // SplitMix64 step — cheap, deterministic, dependency-free.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % u64::from(m)) as u32
+    };
+    let mut batch = Vec::with_capacity(positives * (1 + negatives));
+    for _ in 0..positives {
+        let pos = Triple::new(next(num_entities), next(num_entities), next(num_relations));
+        batch.push((pos, Label::Positive));
+        for _ in 0..negatives {
+            let mut neg = pos;
+            if next(2) == 0 {
+                neg.head = mei_kg::EntityId(next(num_entities));
+            } else {
+                neg.tail = mei_kg::EntityId(next(num_entities));
+            }
+            batch.push((neg, Label::Negative));
+        }
+    }
+    batch
+}
+
+/// Runs both paths on `batch` and asserts byte-identical results.
+fn assert_paths_agree(
+    model: &MultiEmbedModel,
+    batch: &[(Triple, Label)],
+    l2_coef: f32,
+    loss_kind: LossKind,
+    group_len: usize,
+) {
+    let (legacy_rows, legacy_omega, legacy_loss) =
+        compute_batch_grads(model, batch, l2_coef, loss_kind, group_len);
+
+    let mut ws = GradWorkspace::new(GradPath::Blocked);
+    let blocked_loss = ws.compute(model, batch, l2_coef, loss_kind, group_len, None);
+
+    assert_eq!(
+        legacy_loss.to_bits(),
+        blocked_loss.to_bits(),
+        "loss diverged under {loss_kind:?}"
+    );
+    let mut blocked_count = 0usize;
+    ws.for_each_row(|key, grad| {
+        blocked_count += 1;
+        let legacy = legacy_rows
+            .get(&key)
+            .unwrap_or_else(|| panic!("blocked path touched {key:?}, legacy did not"));
+        assert_eq!(legacy.len(), grad.len(), "row {key:?} length diverged");
+        for (i, (a, b)) in legacy.iter().zip(grad).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "row {key:?}[{i}] diverged under {loss_kind:?}: {a} vs {b}"
+            );
+        }
+    });
+    assert_eq!(legacy_rows.len(), blocked_count, "touched-row sets diverged");
+    assert_eq!(legacy_omega.len(), ws.omega_grads().len());
+    for (i, (a, b)) in legacy_omega.iter().zip(ws.omega_grads()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "omega[{i}] diverged under {loss_kind:?}");
+    }
+}
+
+const LOSSES: [LossKind; 2] =
+    [LossKind::Logistic, LossKind::MarginRanking { margin: 1.0 }];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Trainer-shaped batches (positive + corrupt-one-side negatives) on
+    /// quantized fixed-ω presets: both paths agree bit for bit under every
+    /// loss kind.
+    #[test]
+    fn paths_agree_on_trainer_shaped_batches(
+        seed in 0u64..10_000,
+        preset_idx in 0usize..3,
+        negatives in 1usize..3,
+    ) {
+        let preset =
+            [WeightPreset::DistMult, WeightPreset::ComplEx, WeightPreset::Cp][preset_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = MultiEmbedModel::from_preset(preset, 30, 4, 4, &mut rng);
+        quantize(&mut model);
+        let batch = trainer_shaped_batch(seed, 30, 4, 17, negatives);
+        for loss in LOSSES {
+            assert_paths_agree(&model, &batch, 1e-3, loss, 1 + negatives);
+        }
+    }
+
+    /// Adversarial groups: arbitrary random triples (no corrupt-one-side
+    /// structure, self-loops and duplicate rows included) still agree —
+    /// the blocked context directory may not assume the trainer's batch
+    /// shape.
+    #[test]
+    fn paths_agree_on_arbitrary_random_groups(
+        seed in 0u64..10_000,
+        group_len in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 12, 3, 4, &mut rng);
+        quantize(&mut model);
+        let mut state = seed;
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % m) as u32
+        };
+        let batch: Vec<(Triple, Label)> = (0..23)
+            .map(|i| {
+                let t = Triple::new(next(12), next(12), next(3));
+                let label = if i % group_len == 0 { Label::Positive } else { Label::Negative };
+                (t, label)
+            })
+            .collect();
+        for loss in LOSSES {
+            assert_paths_agree(&model, &batch, 5e-4, loss, group_len);
+        }
+    }
+
+    /// Learned-ω models: the ω-gradient accumulation (every grid cell, not
+    /// just the nonzero terms) agrees bit for bit too.
+    #[test]
+    fn paths_agree_with_trainable_omega(
+        seed in 0u64..10_000,
+        restriction_idx in 0usize..3,
+    ) {
+        let restriction = [
+            WeightRestriction::None,
+            WeightRestriction::Tanh,
+            WeightRestriction::Softmax,
+        ][restriction_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = ModelConfig { num_entities: 20, num_relations: 3, n: 2, dim: 4 };
+        let mut model = MultiEmbedModel::with_learned_weights(cfg, restriction, 0.5, &mut rng);
+        quantize(&mut model);
+        model.refresh_omega();
+        let batch = trainer_shaped_batch(seed, 20, 3, 11, 1);
+        for loss in LOSSES {
+            assert_paths_agree(&model, &batch, 1e-3, loss, 2);
+        }
+    }
+}
+
+/// The blocked workspace reports rows in ascending [`RowKey`] order via
+/// the sorted iterator, and both iterators visit the same set.
+#[test]
+fn sorted_iteration_matches_unsorted_set() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 15, 3, 6, &mut rng);
+    let batch = trainer_shaped_batch(5, 15, 3, 9, 1);
+    let mut ws = GradWorkspace::new(GradPath::Blocked);
+    ws.compute(&model, &batch, 1e-3, LossKind::Logistic, 2, None);
+    let mut unsorted: Vec<RowKey> = Vec::new();
+    ws.for_each_row(|k, _| unsorted.push(k));
+    let mut sorted_keys: Vec<RowKey> = Vec::new();
+    ws.for_each_row_sorted(|k, _| sorted_keys.push(k));
+    assert!(sorted_keys.windows(2).all(|w| w[0] < w[1]));
+    unsorted.sort();
+    assert_eq!(unsorted, sorted_keys);
+}

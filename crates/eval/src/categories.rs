@@ -1,7 +1,7 @@
 //! Relation-category breakdown (1-1 / 1-N / N-1 / N-N).
 //!
 //! The classic analysis from Bordes et al. (the paper's evaluation-protocol
-//! source, §5.2 citing [4]): classify each relation by its average
+//! source, §5.2 citing \[4\]): classify each relation by its average
 //! tails-per-head and heads-per-tail, then report metrics per category.
 //! This surfaces *where* a model's ranking quality comes from — e.g.
 //! DistMult's symmetric score hurts most on strictly one-directional

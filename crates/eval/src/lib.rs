@@ -9,6 +9,24 @@
 //! The crate is model-agnostic: anything implementing [`TripleScorer`] can
 //! be evaluated. Ranking over all entities is embarrassingly parallel and
 //! runs on rayon.
+//!
+//! # Example
+//!
+//! Ranking one query's score vector, raw and filtered (§5.2):
+//!
+//! ```
+//! use mei_eval::{rank_triple, TiePolicy};
+//! use mei_kg::EntityId;
+//!
+//! // Candidate scores for every entity; the true answer is entity 1.
+//! let scores = [0.9f32, 0.5, 0.7];
+//! // Entity 0 is a *known-true* corruption (it appears in train/valid/
+//! // test), so the filtered protocol removes it before ranking.
+//! let known_true = [EntityId(0), EntityId(1)];
+//! let rank = rank_triple(&scores, EntityId(1), &known_true, TiePolicy::Average);
+//! assert_eq!(rank.raw, 3.0);
+//! assert_eq!(rank.filtered, 2.0);
+//! ```
 
 #![warn(missing_docs)]
 

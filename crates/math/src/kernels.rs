@@ -242,6 +242,101 @@ mod x86 {
         }
     }
 
+    /// `entry[d] = base(entry[d]) + (coef·grad[d] + l2·params[d])` with
+    /// plain mul/add (NO FMA — must match the scalar expression bit for
+    /// bit). `WRITE = true` replaces `base(entry[d])` with literal `0.0`,
+    /// the first-touch form for a fresh accumulator row. (Non-temporal
+    /// stores were tried here and lost: gradient rows are re-read by the
+    /// optimizer step moments later, and 16-byte-aligned slab rows force
+    /// partial write-combining flushes.)
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_add_l2<const WRITE: bool>(
+        entry: &mut [f32],
+        grad: &[f32],
+        coef: f32,
+        l2: f32,
+        params: &[f32],
+    ) {
+        debug_assert_eq!(entry.len(), grad.len());
+        debug_assert_eq!(entry.len(), params.len());
+        let (pe, pg, pp) = (entry.as_mut_ptr(), grad.as_ptr(), params.as_ptr());
+        let len = entry.len();
+        let (vc, vl) = (_mm256_set1_ps(coef), _mm256_set1_ps(l2));
+        let mut i = 0usize;
+        while i + 8 <= len {
+            let s = _mm256_add_ps(
+                _mm256_mul_ps(vc, _mm256_loadu_ps(pg.add(i))),
+                _mm256_mul_ps(vl, _mm256_loadu_ps(pp.add(i))),
+            );
+            let base = if WRITE { _mm256_setzero_ps() } else { _mm256_loadu_ps(pe.add(i)) };
+            _mm256_storeu_ps(pe.add(i), _mm256_add_ps(base, s));
+            i += 8;
+        }
+        while i < len {
+            let s = coef * *pg.add(i) + l2 * *pp.add(i);
+            *pe.add(i) = if WRITE { 0.0 + s } else { *pe.add(i) + s };
+            i += 1;
+        }
+    }
+
+    /// `entry[d] += alpha·params[d]` with plain mul/add (no FMA), matching
+    /// the scalar AXPY expression bitwise.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy(alpha: f32, params: &[f32], entry: &mut [f32]) {
+        debug_assert_eq!(entry.len(), params.len());
+        let (pe, pp) = (entry.as_mut_ptr(), params.as_ptr());
+        let len = entry.len();
+        let va = _mm256_set1_ps(alpha);
+        let mut i = 0usize;
+        while i + 8 <= len {
+            let s = _mm256_mul_ps(va, _mm256_loadu_ps(pp.add(i)));
+            _mm256_storeu_ps(pe.add(i), _mm256_add_ps(_mm256_loadu_ps(pe.add(i)), s));
+            i += 8;
+        }
+        while i < len {
+            *pe.add(i) += alpha * *pp.add(i);
+            i += 1;
+        }
+    }
+
+    /// First-touch form of [`hadamard_axpy`]:
+    /// `out[d] = fma(alpha·a[d], b[d], 0.0)` — exactly what
+    /// [`hadamard_axpy`] computes against a zeroed accumulator, fused into
+    /// a single store.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn hadamard_write(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), out.len());
+        let (pa, pb, po) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let len = out.len();
+        let valpha = _mm256_set1_ps(alpha);
+        let zero = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= len {
+            let p = _mm256_mul_ps(valpha, _mm256_loadu_ps(pa.add(i)));
+            _mm256_storeu_ps(po.add(i), _mm256_fmadd_ps(p, _mm256_loadu_ps(pb.add(i)), zero));
+            i += 8;
+        }
+        while i < len {
+            *po.add(i) = (alpha * *pa.add(i)).mul_add(*pb.add(i), 0.0);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot_gather(
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        pairs: &[(u32, u32)],
+        out: &mut [f32],
+    ) {
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        for (slot, &(ai, bi)) in out.iter_mut().zip(pairs) {
+            *slot = dot_inner(pa.add(ai as usize * k), pb.add(bi as usize * k), k);
+        }
+    }
+
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn gemm_nt(a: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
         let m = a.len() / k;
@@ -298,6 +393,98 @@ pub fn hadamard_axpy_fast(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32]) {
         return unsafe { x86::hadamard_axpy(alpha, a, b, out) };
     }
     hadamard_axpy_body::<false>(alpha, a, b, out)
+}
+
+/// Fused gradient-row update body:
+/// `entry[d] = base + (coef·grad[d] + l2·params[d])` where `base` is the
+/// existing value (`WRITE = false`) or literal `0.0` (`WRITE = true`).
+/// Plain mul/add only — bit-identical to the scalar accumulate loop the
+/// legacy gradient path runs.
+#[inline(always)]
+fn scale_add_l2_body<const WRITE: bool>(
+    entry: &mut [f32],
+    grad: &[f32],
+    coef: f32,
+    l2: f32,
+    params: &[f32],
+) {
+    debug_assert_eq!(entry.len(), grad.len());
+    debug_assert_eq!(entry.len(), params.len());
+    for i in 0..entry.len() {
+        let s = coef * grad[i] + l2 * params[i];
+        entry[i] = if WRITE { 0.0 + s } else { entry[i] + s };
+    }
+}
+
+/// AXPY body: `entry[d] += alpha · params[d]`, plain mul/add.
+#[inline(always)]
+fn axpy_body(alpha: f32, params: &[f32], entry: &mut [f32]) {
+    debug_assert_eq!(entry.len(), params.len());
+    for (e, p) in entry.iter_mut().zip(params) {
+        *e += alpha * p;
+    }
+}
+
+/// Fused gradient-row accumulate
+/// `entry[d] += coef·grad[d] + l2·params[d]` — one pass over three rows
+/// instead of the two passes a separate scale-add + AXPY would take.
+///
+/// Uses plain mul/add on every path (no FMA), so the result is
+/// bit-identical to the scalar expression `entry[d] += coef·grad[d] +
+/// l2·params[d]` evaluated left to right.
+#[inline]
+pub fn scale_add_l2_fast(entry: &mut [f32], grad: &[f32], coef: f32, l2: f32, params: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2 is available.
+        return unsafe { x86::scale_add_l2::<false>(entry, grad, coef, l2, params) };
+    }
+    scale_add_l2_body::<false>(entry, grad, coef, l2, params)
+}
+
+/// First-touch variant of [`scale_add_l2_fast`] for rows whose previous
+/// contents are garbage: `entry[d] = 0.0 + (coef·grad[d] + l2·params[d])`.
+/// Bit-identical to zero-filling `entry` and then calling
+/// [`scale_add_l2_fast`] (`0.0 + x == x` for every `x` the trainer
+/// produces; `-0.0` inputs still round-trip because IEEE `0.0 + -0.0` is
+/// `0.0`, exactly what the zero-filled accumulate computes).
+#[inline]
+pub fn scale_write_l2_fast(entry: &mut [f32], grad: &[f32], coef: f32, l2: f32, params: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2 is available.
+        return unsafe { x86::scale_add_l2::<true>(entry, grad, coef, l2, params) };
+    }
+    scale_add_l2_body::<true>(entry, grad, coef, l2, params)
+}
+
+/// Plain-multiply AXPY `entry[d] += alpha · params[d]` (no FMA — matches
+/// the scalar L2 fold loop bitwise).
+#[inline]
+pub fn axpy_fast(alpha: f32, params: &[f32], entry: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2 is available.
+        return unsafe { x86::axpy(alpha, params, entry) };
+    }
+    axpy_body(alpha, params, entry)
+}
+
+/// First-touch form of [`hadamard_axpy_fast`]:
+/// `out[d] = alpha · a[d] · b[d]` computed with the same instruction
+/// sequence [`hadamard_axpy_fast`] would run against a zeroed `out`, so
+/// it is bit-identical to `out.fill(0.0)` followed by that call but
+/// touches `out` once instead of twice.
+#[inline]
+pub fn hadamard_write_fast(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2+FMA are available.
+        return unsafe { x86::hadamard_write(alpha, a, b, out) };
+    }
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = 0.0 + alpha * x * y;
+    }
 }
 
 /// Target working-set size for one column block of B: sized so a block of
@@ -358,6 +545,44 @@ pub fn gemm_nt(a: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
         return unsafe { x86::gemm_nt(a, b, k, out) };
     }
     gemm_nt_body::<false>(a, b, k, out)
+}
+
+/// Gathered batch of dot products over row-major tables: for each index
+/// pair `(ai, bi)` in `pairs`,
+/// `out[p] = Σ_d A[ai,d]·B[bi,d]` where `A` is `a` viewed as `m×k` and `B`
+/// is `b` viewed as `n×k`.
+///
+/// This is the trainer's forward kernel: `a` holds one anchor context per
+/// (entity, relation) group, `b` is the entity table, and `pairs` selects
+/// (context, candidate) combinations — an irregular access pattern that
+/// [`gemm_nt`] (dense `m×n`) cannot express without scoring every entity.
+/// The AVX2+FMA dispatch is hoisted out of the loop, and each output
+/// element is reduced exactly like one [`dot_fast`] call on the
+/// corresponding rows — see the module-level determinism contract.
+///
+/// # Panics
+/// Panics when `a.len()` or `b.len()` is not a multiple of `k`, when
+/// `out.len() != pairs.len()`, or when any index in `pairs` is out of
+/// range for its table.
+pub fn dot_gather(a: &[f32], b: &[f32], k: usize, pairs: &[(u32, u32)], out: &mut [f32]) {
+    assert!(k > 0, "dot_gather needs a positive inner dimension");
+    assert_eq!(a.len() % k, 0, "A length {} is not a multiple of k = {k}", a.len());
+    assert_eq!(b.len() % k, 0, "B length {} is not a multiple of k = {k}", b.len());
+    assert_eq!(out.len(), pairs.len(), "out must hold one score per index pair");
+    let (m, n) = (a.len() / k, b.len() / k);
+    for &(ai, bi) in pairs {
+        assert!((ai as usize) < m, "row index {ai} out of range for A ({m} rows)");
+        assert!((bi as usize) < n, "row index {bi} out of range for B ({n} rows)");
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2+FMA are available, and every
+        // index was bounds-checked above.
+        return unsafe { x86::dot_gather(a, b, k, pairs, out) };
+    }
+    for (slot, &(ai, bi)) in out.iter_mut().zip(pairs) {
+        *slot = dot_body::<false>(&a[ai as usize * k..(ai as usize + 1) * k], &b[bi as usize * k..(bi as usize + 1) * k]);
+    }
 }
 
 /// Straightforward f64-accumulating reference for [`gemm_nt`], used by
@@ -485,6 +710,113 @@ mod tests {
     #[should_panic(expected = "out must hold")]
     fn gemm_rejects_wrong_output_shape() {
         gemm_nt(&[1.0, 2.0], &[3.0, 4.0], 2, &mut [0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_gather_matches_dot_fast_bitwise() {
+        // Same contract as gemm: every gathered score must carry the exact
+        // bits dot_fast produces on the same rows, including duplicate and
+        // out-of-order index pairs and lengths that exercise the SIMD tail.
+        let mut rng = StdRng::seed_from_u64(6);
+        for (m, n, k) in [(1, 1, 1), (4, 9, 13), (7, 300, 8), (3, 1000, 400)] {
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, n * k);
+            let pairs: Vec<(u32, u32)> = (0..64)
+                .map(|_| (rng.gen_range(0..m as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let mut out = vec![0.0f32; pairs.len()];
+            dot_gather(&a, &b, k, &pairs, &mut out);
+            for (p, &(ai, bi)) in pairs.iter().enumerate() {
+                let (ai, bi) = (ai as usize, bi as usize);
+                let expect = dot_fast(&a[ai * k..(ai + 1) * k], &b[bi * k..(bi + 1) * k]);
+                assert_eq!(
+                    out[p].to_bits(),
+                    expect.to_bits(),
+                    "({m},{n},{k}) pair {p} = ({ai},{bi}): {} vs {expect}",
+                    out[p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dot_gather_rejects_out_of_range_indices() {
+        let mut out = [0.0f32];
+        dot_gather(&[1.0, 2.0], &[3.0, 4.0], 2, &[(0, 1)], &mut out);
+    }
+
+    #[test]
+    fn scale_add_l2_matches_scalar_bitwise() {
+        // The fused row update must reproduce the exact bits of the scalar
+        // accumulate loop it replaces, on lengths that hit the SIMD tail.
+        let mut rng = StdRng::seed_from_u64(11);
+        for len in [1usize, 7, 8, 31, 200, 400] {
+            let grad = random_vec(&mut rng, len);
+            let params = random_vec(&mut rng, len);
+            let base = random_vec(&mut rng, len);
+            let (coef, l2) = (-0.37f32, 1.25e-3f32);
+            let mut fast = base.clone();
+            scale_add_l2_fast(&mut fast, &grad, coef, l2, &params);
+            let mut reference = base.clone();
+            for i in 0..len {
+                reference[i] += coef * grad[i] + l2 * params[i];
+            }
+            for (f, r) in fast.iter().zip(&reference) {
+                assert_eq!(f.to_bits(), r.to_bits(), "len {len}: {f} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_write_l2_matches_zeroed_accumulate_bitwise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for len in [1usize, 8, 13, 200, 400] {
+            let grad = random_vec(&mut rng, len);
+            let params = random_vec(&mut rng, len);
+            // Garbage contents must be irrelevant in write mode.
+            let mut fast = random_vec(&mut rng, len);
+            scale_write_l2_fast(&mut fast, &grad, 0.81, -2.5e-2, &params);
+            let mut reference = vec![0.0f32; len];
+            scale_add_l2_fast(&mut reference, &grad, 0.81, -2.5e-2, &params);
+            for (f, r) in fast.iter().zip(&reference) {
+                assert_eq!(f.to_bits(), r.to_bits(), "len {len}: {f} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_fast_matches_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for len in [1usize, 8, 31, 200, 400] {
+            let params = random_vec(&mut rng, len);
+            let base = random_vec(&mut rng, len);
+            let mut fast = base.clone();
+            axpy_fast(-1.7e-2, &params, &mut fast);
+            let mut reference = base;
+            for (e, p) in reference.iter_mut().zip(&params) {
+                *e += -1.7e-2 * p;
+            }
+            for (f, r) in fast.iter().zip(&reference) {
+                assert_eq!(f.to_bits(), r.to_bits(), "len {len}: {f} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_write_matches_zeroed_axpy_bitwise() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for len in [1usize, 8, 17, 200, 400] {
+            let a = random_vec(&mut rng, len);
+            let b = random_vec(&mut rng, len);
+            let mut fast = random_vec(&mut rng, len); // garbage must not leak
+            hadamard_write_fast(0.6, &a, &b, &mut fast);
+            let mut reference = vec![0.0f32; len];
+            hadamard_axpy_fast(0.6, &a, &b, &mut reference);
+            for (f, r) in fast.iter().zip(&reference) {
+                assert_eq!(f.to_bits(), r.to_bits(), "len {len}: {f} vs {r}");
+            }
+        }
     }
 
     #[test]

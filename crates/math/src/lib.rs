@@ -19,6 +19,24 @@
 //!   baseline.
 //! * [`stats`] — streaming mean/variance (Welford) used by the bench
 //!   harness.
+//!
+//! # Example
+//!
+//! The scalar reference ops compute exactly what they say; the `kernels`
+//! variants are faster but bit-compatible where the docs promise it:
+//!
+//! ```
+//! let h = [0.5f32, 1.0, -2.0, 0.25];
+//! let t = [2.0f32, 0.5, 1.0, 4.0];
+//! let r = [1.0f32, 1.0, 0.5, 1.0];
+//! // ⟨h, t⟩ = 1.0 + 0.5 - 2.0 + 1.0
+//! assert_eq!(mei_math::dot(&h, &t), 0.5);
+//! // ⟨h, t, r⟩ = 1.0 + 0.5 - 1.0 + 1.0
+//! assert_eq!(mei_math::trilinear(&h, &t, &r), 1.5);
+//! let mut v = vec![3.0f32, 4.0];
+//! mei_math::normalize_l2(&mut v);
+//! assert_eq!(v, [0.6, 0.8]);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -31,7 +49,10 @@ pub mod stats;
 pub mod vecops;
 
 pub use activations::{sigmoid, softmax_in_place, softplus, tanh_vec};
-pub use kernels::{dot_fast, gemm_nt, hadamard_axpy_fast, trilinear_fast};
+pub use kernels::{
+    axpy_fast, dot_fast, gemm_nt, hadamard_axpy_fast, hadamard_write_fast, scale_add_l2_fast,
+    scale_write_l2_fast, trilinear_fast,
+};
 pub use matrix::Matrix;
 pub use pca::Pca;
 pub use stats::RunningStats;

@@ -17,6 +17,18 @@
 //! field-order-stable JSON object per line. `EpochRecord::from_json`
 //! et al. parse those lines back, which the round-trip and determinism
 //! tests rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use mei_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::default();
+//! registry.counter("epochs").inc();
+//! registry.counter("examples").add(128);
+//! assert_eq!(registry.counter("epochs").get(), 1);
+//! assert_eq!(registry.counter("examples").get(), 128);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -63,12 +63,13 @@ impl TrainObserver for ConsoleObserver {
             return;
         }
         eprintln!(
-            "epoch {:>4}  loss {:.6}  {:>9.0} ex/s  [sampling {:.3}s fwd {:.3}s bwd {:.3}s step {:.3}s proj {:.3}s]",
+            "epoch {:>4}  loss {:.6}  {:>9.0} ex/s  [sampling {:.3}s fwd {:.3}s merge {:.3}s bwd {:.3}s step {:.3}s proj {:.3}s]",
             record.epoch,
             record.mean_loss,
             record.examples_per_sec,
             record.phases.sampling,
             record.phases.forward,
+            record.phases.merge,
             record.phases.backward,
             record.phases.step,
             record.phases.project,
@@ -209,6 +210,7 @@ mod tests {
             mean_loss: 1.0 / (i + 1) as f64,
             examples: 100 * (i + 1),
             examples_per_sec: 5000.0,
+            triples_per_sec: 2500.0,
             grad_norm: Some(2.0),
             learning_rate: 0.1,
             phases: PhaseBreakdown { sampling: 0.001, forward: 0.01, ..Default::default() },

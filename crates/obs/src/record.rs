@@ -11,15 +11,18 @@ use crate::json::{build, parse, JsonValue};
 /// Wall-clock seconds spent in each training phase during one epoch.
 ///
 /// `forward` covers the fused forward+backward example pass (scores and
-/// per-example gradients are produced together); `backward` covers the
-/// gradient reduction and omega chain-rule transform that follow it.
+/// per-example gradients are produced together); `merge` covers the
+/// deterministic cross-chunk gradient combine; `backward` covers the
+/// omega chain-rule transform that follows it.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseBreakdown {
     /// Negative sampling / batch materialization.
     pub sampling: f64,
     /// Fused forward + per-example gradient pass.
     pub forward: f64,
-    /// Gradient reduction and omega gradient transform.
+    /// Cross-chunk gradient merge.
+    pub merge: f64,
+    /// Omega gradient chain-rule transform.
     pub backward: f64,
     /// Optimizer row updates.
     pub step: f64,
@@ -30,13 +33,14 @@ pub struct PhaseBreakdown {
 impl PhaseBreakdown {
     /// Total seconds across all phases.
     pub fn total(&self) -> f64 {
-        self.sampling + self.forward + self.backward + self.step + self.project
+        self.sampling + self.forward + self.merge + self.backward + self.step + self.project
     }
 
     fn to_json_value(self) -> JsonValue {
         build::obj([
             ("sampling", build::num(self.sampling)),
             ("forward", build::num(self.forward)),
+            ("merge", build::num(self.merge)),
             ("backward", build::num(self.backward)),
             ("step", build::num(self.step)),
             ("project", build::num(self.project)),
@@ -47,6 +51,7 @@ impl PhaseBreakdown {
         Some(PhaseBreakdown {
             sampling: v.get("sampling")?.as_f64()?,
             forward: v.get("forward")?.as_f64()?,
+            merge: v.get("merge")?.as_f64()?,
             backward: v.get("backward")?.as_f64()?,
             step: v.get("step")?.as_f64()?,
             project: v.get("project")?.as_f64()?,
@@ -65,6 +70,10 @@ pub struct EpochRecord {
     pub examples: usize,
     /// Examples per wall-clock second.
     pub examples_per_sec: f64,
+    /// Positive (training) triples per wall-clock second — the
+    /// throughput number BENCH_train.json and the paper's protocol care
+    /// about; `examples_per_sec / (1 + negatives_per_positive)`.
+    pub triples_per_sec: f64,
     /// L2 norm of the summed entity/relation gradients, when tracked.
     pub grad_norm: Option<f64>,
     /// Learning rate in effect this epoch.
@@ -104,6 +113,7 @@ impl EpochRecord {
             ("mean_loss", build::num(self.mean_loss)),
             ("examples", build::int(self.examples)),
             ("examples_per_sec", build::num(self.examples_per_sec)),
+            ("triples_per_sec", build::num(self.triples_per_sec)),
             ("grad_norm", opt_num(self.grad_norm)),
             ("learning_rate", build::num(self.learning_rate)),
             ("phases", self.phases.to_json_value()),
@@ -129,6 +139,9 @@ impl EpochRecord {
             examples_per_sec: field("examples_per_sec")?
                 .as_f64()
                 .ok_or("examples_per_sec not a number")?,
+            triples_per_sec: field("triples_per_sec")?
+                .as_f64()
+                .ok_or("triples_per_sec not a number")?,
             grad_norm: field("grad_norm")?.as_f64(),
             learning_rate: field("learning_rate")?.as_f64().ok_or("learning_rate not a number")?,
             phases: PhaseBreakdown::from_json_value(field("phases")?)
@@ -326,11 +339,13 @@ mod tests {
             mean_loss: 0.3271,
             examples: 6400,
             examples_per_sec: 12873.5,
+            triples_per_sec: 6436.75,
             grad_norm: Some(4.25),
             learning_rate: 0.05,
             phases: PhaseBreakdown {
                 sampling: 0.01,
                 forward: 0.2,
+                merge: 0.02,
                 backward: 0.05,
                 step: 0.03,
                 project: 0.004,

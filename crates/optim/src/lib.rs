@@ -7,6 +7,21 @@
 //! row and the optimizer maintains per-coordinate state at that offset.
 //!
 //! Provided optimizers: [`Sgd`], [`Momentum`], [`Adagrad`], [`Adam`].
+//!
+//! # Example
+//!
+//! One sparse update of a two-coordinate "row" at offset 2 of a
+//! six-parameter space:
+//!
+//! ```
+//! use mei_optim::{Optimizer, Sgd};
+//!
+//! let mut opt = Sgd::new(6, 0.5);
+//! let mut row = [1.0f32, 2.0];
+//! opt.step_begin();
+//! opt.update(2, &mut row, &[0.2, -0.4]);
+//! assert_eq!(row, [0.9, 2.2]);
+//! ```
 
 #![warn(missing_docs)]
 
