@@ -1,0 +1,21 @@
+//! Bakes the build's git commit into the binary (`MEI_BUILD_GIT_HASH`),
+//! so `repro` can print which source it was actually compiled from — the
+//! stale-binary footgun guard (see `mei_bench::binary_fingerprint`).
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=MEI_BUILD_GIT_HASH={hash}");
+    // Re-run when HEAD moves so the baked hash tracks the checkout.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/refs");
+}

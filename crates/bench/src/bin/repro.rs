@@ -26,6 +26,9 @@
 //!                               bench-serve: total requests to issue (default 1000)
 //!   --grad-path legacy|blocked  training gradient machinery (default blocked; both are
 //!                               bit-identical — see DESIGN.md §10)
+//!   --threads 1,2,4,8           bench-train: worker counts for the thread-scaling sweep
+//!                               (default 1,2,4,8); every count is asserted bit-identical
+//!                               to the 1-thread run — see DESIGN.md §11
 //!   --out <path>                bench-eval/bench-serve/bench-train: write the JSON report
 //!                               here (e.g. BENCH_eval.json / BENCH_serve.json / BENCH_train.json)
 //!   --overload                  bench-serve: also saturate a deliberately tiny
@@ -66,6 +69,7 @@ struct Options {
     out: Option<String>,
     overload: bool,
     grad_path: Option<mei_core::GradPath>,
+    threads: Vec<usize>,
 }
 
 fn parse_args() -> Options {
@@ -86,6 +90,7 @@ fn parse_args() -> Options {
         out: None,
         overload: false,
         grad_path: None,
+        threads: Vec::new(),
     };
     while let Some(flag) = args.next() {
         if !flag.starts_with("--") && opts.command == "train" && opts.train_preset.is_none() {
@@ -128,6 +133,15 @@ fn parse_args() -> Options {
                 opts.grad_path =
                     Some(value().parse().unwrap_or_else(|e| usage(&format!("bad --grad-path: {e}"))))
             }
+            "--threads" => {
+                opts.threads = value()
+                    .split(',')
+                    .map(|t| match t.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => usage("bad --threads (comma-separated positive ints, e.g. 1,2,4,8)"),
+                    })
+                    .collect()
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -140,7 +154,8 @@ fn usage(msg: &str) -> ! {
         "usage: repro <table1|table2|table3|table4|all|train <preset>|ablate|grid|bench-eval|bench-serve|bench-train> \
          [--scale tiny|small|full] [--dataset DIR] [--order hrt|htr] \
          [--seed N] [--epochs N] [--budget N] [--metrics-out run.jsonl] \
-         [--limit N] [--out BENCH_eval.json] [--overload] [--grad-path legacy|blocked]"
+         [--limit N] [--out BENCH_eval.json] [--overload] [--grad-path legacy|blocked] \
+         [--threads 1,2,4,8]"
     );
     std::process::exit(2)
 }
@@ -424,11 +439,25 @@ fn grid(ds: &Dataset, proto: &Protocol) {
 [grid took {:.1?}]", t0.elapsed());
 }
 
+/// Prints the binary's provenance (build git hash + content hash) so a
+/// stale `target/release/repro` can't silently masquerade as the current
+/// source — run `scripts/rebench.sh` to force a fresh binary.
+fn print_fingerprint() {
+    let fp = mei_bench::binary_fingerprint();
+    let field = |name: &str| fp.get(name).and_then(|v| v.as_str()).unwrap_or("unknown").to_owned();
+    println!(
+        "binary: built from git {} | content {}",
+        field("build_git_hash"),
+        field("content_hash")
+    );
+}
+
 /// `repro bench-eval`: times the three ranking paths (legacy f64 dots,
 /// per-query SIMD, blocked GEMM) over the test split without training, and
 /// optionally writes the machine-readable report (BENCH_eval.json).
 fn bench_eval(ds: &Dataset, proto: &Protocol, opts: &Options) {
     let t0 = Instant::now();
+    print_fingerprint();
     println!(
         "bench-eval: |E| = {}, {} test triples (limit {}), budget n·D = {}",
         ds.num_entities(),
@@ -469,6 +498,7 @@ fn bench_eval(ds: &Dataset, proto: &Protocol, opts: &Options) {
 /// to the reference, and optionally writes BENCH_serve.json.
 fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
     let t0 = Instant::now();
+    print_fingerprint();
     println!(
         "bench-serve: |E| = {}, budget n·D = {}",
         ds.num_entities(),
@@ -528,6 +558,7 @@ fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
 /// optionally writes BENCH_train.json.
 fn bench_train(ds: &Dataset, proto: &Protocol, opts: &Options) {
     let t0 = Instant::now();
+    print_fingerprint();
     let epochs = opts.epochs.unwrap_or(3);
     println!(
         "bench-train: |E| = {}, {} train triples, budget n·D = {}, batch {}, {} epoch(s)/arm",
@@ -537,7 +568,7 @@ fn bench_train(ds: &Dataset, proto: &Protocol, opts: &Options) {
         proto.train.batch_size,
         epochs
     );
-    let report = mei_bench::bench_train_throughput(ds, proto, opts.seed, epochs);
+    let report = mei_bench::bench_train_throughput(ds, proto, opts.seed, epochs, &opts.threads);
     for arm in ["legacy_hashmap", "blocked_flat"] {
         let field = |name: &str| {
             report.get(arm).and_then(|a| a.get(name)).and_then(|v| v.as_f64()).unwrap_or(0.0)
@@ -553,6 +584,18 @@ fn bench_train(ds: &Dataset, proto: &Protocol, opts: &Options) {
         println!("  {key:<28} {s:>6.2}x");
     }
     println!("  final parameters bitwise identical across paths: yes");
+    if let Some(rows) = report.get("thread_scaling").and_then(|v| v.as_arr()) {
+        println!("  thread scaling (blocked path):");
+        for row in rows {
+            let num = |name: &str| row.get(name).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            println!(
+                "    {:>2} thread(s)  {:>9.1} triples/sec (epoch)  wall {:>7.2}s  parity vs 1-thread: yes",
+                row.get("threads").and_then(|v| v.as_usize()).unwrap_or(0),
+                num("triples_per_sec_epoch"),
+                num("wall_secs"),
+            );
+        }
+    }
     let json = report.to_json();
     if let Some(path) = &opts.out {
         if let Err(e) = std::fs::write(path, json + "\n") {

@@ -649,37 +649,41 @@ impl TrainArm {
         positives as f64 / wall.max(f64::MIN_POSITIVE)
     }
 
-    fn report(&self, negatives: usize) -> JsonValue {
+    /// Per-phase seconds summed over the arm's epochs.
+    fn phase_secs(&self) -> JsonValue {
         let sum = |f: fn(&mei_obs::PhaseBreakdown) -> f64| {
             json::num(self.records.iter().map(|r| f(&r.phases)).sum::<f64>())
         };
+        json::obj([
+            ("sampling", sum(|p| p.sampling)),
+            ("forward", sum(|p| p.forward)),
+            ("merge", sum(|p| p.merge)),
+            ("backward", sum(|p| p.backward)),
+            ("step", sum(|p| p.step)),
+            ("project", sum(|p| p.project)),
+        ])
+    }
+
+    fn report(&self, negatives: usize) -> JsonValue {
         json::obj([
             ("epochs", json::int(self.records.len())),
             ("wall_secs", json::num(self.wall_secs)),
             ("triples_per_sec_grad", json::num(self.grad_triples_per_sec(negatives))),
             ("triples_per_sec_epoch", json::num(self.epoch_triples_per_sec(negatives))),
-            (
-                "phase_secs",
-                json::obj([
-                    ("sampling", sum(|p| p.sampling)),
-                    ("forward", sum(|p| p.forward)),
-                    ("merge", sum(|p| p.merge)),
-                    ("backward", sum(|p| p.backward)),
-                    ("step", sum(|p| p.step)),
-                    ("project", sum(|p| p.project)),
-                ]),
-            ),
+            ("phase_secs", self.phase_secs()),
         ])
     }
 }
 
-/// Trains one arm under `path` and snapshots the final parameters.
+/// Trains one arm under `path` with `threads` workers and snapshots the
+/// final parameters.
 fn run_train_arm(
     dataset: &Dataset,
     train: &TrainConfig,
     dim: usize,
     seed: u64,
     path: GradPath,
+    threads: usize,
 ) -> TrainArm {
     let cfg = ModelConfig {
         num_entities: dataset.num_entities(),
@@ -692,6 +696,7 @@ fn run_train_arm(
         MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng);
     let mut train = train.clone();
     train.grad_path = path;
+    train.threads = threads;
     let filter = dataset.filter_store();
     let observer = Arc::new(RecordingObserver::default());
     let trainer =
@@ -726,13 +731,21 @@ fn bits_equal(a: &[f32], b: &[f32]) -> bool {
 /// compares whole-epoch throughput including sampling/step/project, which
 /// both paths share. The returned object is the `BENCH_train.json`
 /// artifact written by `repro bench-train`.
+///
+/// `threads` lists worker counts for the thread-scaling sweep (empty picks
+/// 1/2/4/8); each count reruns the blocked arm and asserts its final
+/// parameters are bit-identical to the 1-thread run — the deterministic
+/// parallel-schedule contract (DESIGN.md §11).
 pub fn bench_train_throughput(
     dataset: &Dataset,
     protocol: &Protocol,
     seed: u64,
     epochs: usize,
+    threads: &[usize],
 ) -> JsonValue {
     let epochs = if epochs == 0 { 3 } else { epochs };
+    let default_sweep = [1usize, 2, 4, 8];
+    let sweep: &[usize] = if threads.is_empty() { &default_sweep } else { threads };
     // Strip the held-out splits: no in-training eval, so the arms measure
     // the train loop alone and the final parameters are the live ones.
     let mut bench_ds = dataset.clone();
@@ -748,8 +761,8 @@ pub fn bench_train_throughput(
     train.seed = seed;
     let dim = protocol.dim_for(2);
 
-    let legacy = run_train_arm(&bench_ds, &train, dim, seed, GradPath::Legacy);
-    let blocked = run_train_arm(&bench_ds, &train, dim, seed, GradPath::Blocked);
+    let legacy = run_train_arm(&bench_ds, &train, dim, seed, GradPath::Legacy, 1);
+    let blocked = run_train_arm(&bench_ds, &train, dim, seed, GradPath::Blocked, 1);
 
     // The acceptance contract: same seed, same data ⇒ the blocked path
     // reproduces the legacy parameters down to the last bit.
@@ -767,6 +780,32 @@ pub fn bench_train_throughput(
     );
 
     let negatives = train.negatives_per_positive;
+
+    // Thread-scaling sweep: rerun the blocked arm at each worker count and
+    // hold it to the same bit-identity contract against the 1-thread run.
+    let thread_scaling: Vec<JsonValue> = sweep
+        .iter()
+        .map(|&t| {
+            let arm = if t == 1 {
+                None // the 1-thread baseline was already run above
+            } else {
+                Some(run_train_arm(&bench_ds, &train, dim, seed, GradPath::Blocked, t))
+            };
+            let arm = arm.as_ref().unwrap_or(&blocked);
+            let parity = bits_equal(&arm.entities, &blocked.entities)
+                && bits_equal(&arm.relations, &blocked.relations)
+                && bits_equal(&arm.omega, &blocked.omega);
+            assert!(parity, "{t}-thread blocked run diverged from the 1-thread run");
+            json::obj([
+                ("threads", json::int(t)),
+                ("wall_secs", json::num(arm.wall_secs)),
+                ("triples_per_sec_epoch", json::num(arm.epoch_triples_per_sec(negatives))),
+                ("phase_secs", arm.phase_secs()),
+                ("final_params_bitwise_identical_to_1_thread", JsonValue::Bool(parity)),
+            ])
+        })
+        .collect();
+
     json::obj([
         ("bench", json::str("train_throughput")),
         ("num_entities", json::int(bench_ds.num_entities())),
@@ -793,6 +832,36 @@ pub fn bench_train_throughput(
             ),
         ),
         ("final_params_bitwise_identical", JsonValue::Bool(true)),
+        ("thread_scaling", JsonValue::Arr(thread_scaling)),
+        ("binary", binary_fingerprint()),
+    ])
+}
+
+/// Identifies the running benchmark binary: the git commit it was built
+/// from (baked in by `build.rs`) and an FNV-1a content hash of the
+/// executable itself. Printed by every `repro bench-*` command and
+/// embedded in the JSON artifacts, so a stale binary — rebuilt source but
+/// an old `target/release/repro` — is visible instead of silently
+/// producing numbers for code that no longer exists. `scripts/rebench.sh`
+/// forces the rebuild.
+pub fn binary_fingerprint() -> JsonValue {
+    let git = option_env!("MEI_BUILD_GIT_HASH").unwrap_or("unknown");
+    let content = std::env::current_exe()
+        .ok()
+        .and_then(|p| std::fs::read(p).ok())
+        .map(|bytes| {
+            // FNV-1a 64-bit: tiny, dependency-free, stable.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            format!("fnv1a64:{h:016x}")
+        })
+        .unwrap_or_else(|| "unavailable".to_string());
+    json::obj([
+        ("build_git_hash", json::str(git)),
+        ("content_hash", json::str(content)),
     ])
 }
 
@@ -1317,9 +1386,10 @@ mod tests {
         let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 4).generate();
         let mut proto = quick_protocol();
         proto.budget = 16;
-        // The call itself asserts bit-identical final parameters; it would
-        // panic here if the blocked path diverged.
-        let report = bench_train_throughput(&ds, &proto, 0, 2);
+        // The call itself asserts bit-identical final parameters — across
+        // paths and across the 1/3-thread sweep; it would panic here if
+        // either contract broke.
+        let report = bench_train_throughput(&ds, &proto, 0, 2, &[1, 3]);
         assert_eq!(report.get("epochs").and_then(JsonValue::as_usize), Some(2));
         for arm in ["legacy_hashmap", "blocked_flat"] {
             let a = report.get(arm).unwrap_or_else(|| panic!("missing {arm}"));
@@ -1335,6 +1405,21 @@ mod tests {
             report.get("final_params_bitwise_identical"),
             Some(&JsonValue::Bool(true))
         );
+        let scaling = report
+            .get("thread_scaling")
+            .and_then(JsonValue::as_arr)
+            .expect("thread_scaling array");
+        assert_eq!(scaling.len(), 2);
+        for (row, expect_t) in scaling.iter().zip([1usize, 3]) {
+            assert_eq!(row.get("threads").and_then(JsonValue::as_usize), Some(expect_t));
+            assert_eq!(
+                row.get("final_params_bitwise_identical_to_1_thread"),
+                Some(&JsonValue::Bool(true))
+            );
+            assert!(row.get("triples_per_sec_epoch").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        }
+        let binary = report.get("binary").expect("binary fingerprint");
+        assert!(binary.get("build_git_hash").and_then(JsonValue::as_str).is_some());
         assert!(report.to_json().contains("train_throughput"));
     }
 

@@ -29,7 +29,7 @@ subcommands:
            [--lr F] [--batch N] [--seed N] [--sampling uniform|bern] [--quiet true]
            [--eval-every N] [--metrics-out run.jsonl] [--log-every N]
            [--checkpoint train.ckpt] [--checkpoint-every N] [--resume train.ckpt]
-           [--grad-path legacy|blocked]
+           [--grad-path legacy|blocked] [--threads N]
   eval     --dataset DIR --model-file model.bin [--split test|valid]
            [--categories true] [--classification true] [--metrics-out run.jsonl]
   predict  --dataset DIR --model-file model.bin --relation NAME [--topk K]
@@ -46,7 +46,9 @@ run `mei models` for the preset names accepted by --model.
 `mei train --resume` continues a crashed run bitwise-identically from a
 --checkpoint file; see DESIGN.md §9.
 `mei train --grad-path` selects the gradient machinery (default blocked);
-both paths are bit-identical — see DESIGN.md §10.";
+both paths are bit-identical — see DESIGN.md §10.
+`mei train --threads` caps the training worker pool (default: all cores);
+any value produces bit-identical results — see DESIGN.md §11.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -182,6 +184,9 @@ pub fn train(args: &Args) -> CmdResult {
         checkpoint_every,
         checkpoint_path,
         grad_path,
+        // Speed knob only: the parallel schedule is bit-stable across
+        // thread counts (DESIGN.md §11).
+        threads: args.get_parsed("threads", 0)?,
         ..TrainConfig::default()
     };
 

@@ -25,6 +25,14 @@
 //! either path, which is what lets the trainer switch paths without
 //! perturbing a single bit of the training trajectory. The cross-path
 //! regression suite (`tests/grad_parity.rs`) asserts this bytewise.
+//!
+//! The contract extends to thread count: chunk boundaries are a pure
+//! function of the batch shape (a fixed `SCHEDULE_CHUNKS`-way split,
+//! never derived from the core count), workers drain a chunk queue into
+//! disjoint per-chunk scratch, and the merge combines chunks in chunk
+//! order regardless of which worker ran which chunk. `--threads N` is a
+//! speed knob only; `tests/parallel_parity.rs` asserts N-thread training
+//! is byte-identical to 1-thread training.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -324,11 +332,74 @@ fn accumulate_example<S: GradSink>(
     }
 }
 
-/// Group-aligned chunk length for `examples` split across rayon workers.
+/// Number of group-aligned chunks a batch is split into, independent of
+/// the worker count.
+///
+/// Chunk boundaries feed the per-chunk partial sums that the merge
+/// combines in chunk order, so they must be a pure function of the batch
+/// shape: deriving them from the thread count (as a work-stealing
+/// scheduler would) would let the machine's core count reach the
+/// floating-point stream and break the cross-thread-count bit-identity
+/// contract. 16 chunks keep 8 workers busy (~2 chunks each) while staying
+/// cheap to merge on one core.
+const SCHEDULE_CHUNKS: usize = 16;
+
+/// Group-aligned chunk length for `examples` split across the worker
+/// pool. A pure function of the batch shape — never of the thread count.
 fn chunk_len(examples_len: usize, group_len: usize) -> usize {
     let groups = examples_len.div_ceil(group_len);
-    let groups_per_chunk = groups.div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let groups_per_chunk = groups.div_ceil(SCHEDULE_CHUNKS).max(1);
     groups_per_chunk * group_len
+}
+
+/// Resolves a user-facing `threads` setting to a concrete worker count:
+/// `0` means "all available cores", anything else is taken literally.
+///
+/// The resolved count never affects training results — only wall-clock —
+/// so resolving at config time keeps logs and checkpoints honest about
+/// what actually ran without putting the machine's core count anywhere
+/// near the math.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        rayon::current_num_threads().max(1)
+    } else {
+        threads
+    }
+}
+
+/// Runs `work` over `(example chunk, scratch chunk)` pairs on a pool of
+/// at most `threads` workers draining a shared queue.
+///
+/// Which worker runs which chunk is invisible to the result: every chunk
+/// writes only its own scratch, and the caller merges scratch in chunk
+/// order afterwards, so neither the worker count nor OS scheduling can
+/// reach the floating-point stream.
+fn run_chunked<C: Send>(
+    examples: &[(Triple, Label)],
+    chunk: usize,
+    scratch: &mut [C],
+    threads: usize,
+    work: impl Fn(&[(Triple, Label)], &mut C) + Sync,
+) {
+    let workers = threads.min(scratch.len());
+    if workers <= 1 {
+        for (ex, c) in examples.chunks(chunk).zip(scratch.iter_mut()) {
+            work(ex, c);
+        }
+        return;
+    }
+    let queue = std::sync::Mutex::new(examples.chunks(chunk).zip(scratch.iter_mut()));
+    rayon::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let next = queue.lock().unwrap().next();
+                match next {
+                    Some((ex, c)) => work(ex, c),
+                    None => break,
+                }
+            });
+        }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -682,6 +753,7 @@ fn run_blocked_chunk(
 /// [`GradWorkspace::omega_grads`] expose them until the next call.
 pub struct GradWorkspace {
     path: GradPath,
+    threads: usize,
     epoch: u32,
     ent_row_len: usize,
     rel_row_len: usize,
@@ -704,11 +776,23 @@ pub struct GradWorkspace {
 }
 
 impl GradWorkspace {
-    /// Creates an empty workspace for the given path; buffers are sized
-    /// lazily on the first [`GradWorkspace::compute`] call.
+    /// Creates an empty workspace for the given path using all available
+    /// cores; buffers are sized lazily on the first
+    /// [`GradWorkspace::compute`] call.
     pub fn new(path: GradPath) -> Self {
+        Self::with_threads(path, 0)
+    }
+
+    /// Creates an empty workspace computing with at most `threads` workers
+    /// (`0` = all available cores, see [`resolve_threads`]).
+    ///
+    /// The thread count is a speed knob only: chunk boundaries and merge
+    /// order are fixed by the batch shape, so results are bit-identical
+    /// for every `threads` value.
+    pub fn with_threads(path: GradPath, threads: usize) -> Self {
         Self {
             path,
+            threads: resolve_threads(threads),
             epoch: 0,
             ent_row_len: 0,
             rel_row_len: 0,
@@ -732,6 +816,11 @@ impl GradWorkspace {
     /// The path this workspace drives.
     pub fn path(&self) -> GradPath {
         self.path
+    }
+
+    /// The resolved worker count this workspace computes with.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Computes summed gradients for a labeled batch, replacing the
@@ -806,21 +895,9 @@ impl GradWorkspace {
             self.legacy.push(LegacyChunk::default());
         }
         let used = &mut self.legacy[..nchunks];
-        if nchunks <= 1 {
-            if let Some(c) = used.first_mut() {
-                run_legacy_chunk(model, examples, group_len, l2_coef, loss_kind, n3, c);
-            }
-        } else {
-            rayon::scope(|s| {
-                let mut rest = used;
-                for ex_chunk in examples.chunks(chunk) {
-                    let (head, tail) = rest.split_at_mut(1);
-                    rest = tail;
-                    let c = &mut head[0];
-                    s.spawn(move |_| run_legacy_chunk(model, ex_chunk, group_len, l2_coef, loss_kind, n3, c));
-                }
-            });
-        }
+        run_chunked(examples, chunk, used, self.threads, |ex_chunk, c| {
+            run_legacy_chunk(model, ex_chunk, group_len, l2_coef, loss_kind, n3, c)
+        });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -848,23 +925,9 @@ impl GradWorkspace {
             c.ent.ensure(num_entities);
             c.rel.ensure(num_relations);
         }
-        if nchunks <= 1 {
-            if let Some(c) = used.first_mut() {
-                run_blocked_chunk(model, examples, group_len, l2_coef, loss_kind, n3, epoch, c);
-            }
-        } else {
-            rayon::scope(|s| {
-                let mut rest = used;
-                for ex_chunk in examples.chunks(chunk) {
-                    let (head, tail) = rest.split_at_mut(1);
-                    rest = tail;
-                    let c = &mut head[0];
-                    s.spawn(move |_| {
-                        run_blocked_chunk(model, ex_chunk, group_len, l2_coef, loss_kind, n3, epoch, c)
-                    });
-                }
-            });
-        }
+        run_chunked(examples, chunk, used, self.threads, |ex_chunk, c| {
+            run_blocked_chunk(model, ex_chunk, group_len, l2_coef, loss_kind, n3, epoch, c)
+        });
     }
 
     /// Returns the previous batch's merged row gradients to the chunk
@@ -991,6 +1054,7 @@ impl GradWorkspace {
             &self.ent_contribs,
             self.ent_row_len,
             &mut self.g_ent_slab,
+            self.threads,
             |c| &c.ent_slab,
         );
         merge_slabs(
@@ -999,6 +1063,7 @@ impl GradWorkspace {
             &self.rel_contribs,
             self.rel_row_len,
             &mut self.g_rel_slab,
+            self.threads,
             |c| &c.rel_slab,
         );
     }
@@ -1045,6 +1110,26 @@ impl GradWorkspace {
         }
     }
 
+    /// Borrowed view of the blocked path's merged result for the fused
+    /// step/project pass; `None` on the legacy path.
+    ///
+    /// The key lists are slot-interned, so each entity (and each relation)
+    /// appears exactly once — the property that lets the fused pass hand
+    /// disjoint key ranges to different workers without row aliasing.
+    pub(crate) fn blocked_parts(&self) -> Option<BlockedParts<'_>> {
+        match self.path {
+            GradPath::Legacy => None,
+            GradPath::Blocked => Some(BlockedParts {
+                ent_keys: &self.g_ent_keys,
+                ent_slab: &self.g_ent_slab,
+                rel_keys: &self.g_rel_keys,
+                rel_slab: &self.g_rel_slab,
+                ent_row_len: self.ent_row_len,
+                rel_row_len: self.rel_row_len,
+            }),
+        }
+    }
+
     /// The gradient row for `key`, if that row was touched.
     pub fn row(&self, key: RowKey) -> Option<&[f32]> {
         match self.path {
@@ -1079,13 +1164,31 @@ impl GradWorkspace {
     }
 }
 
+/// Borrowed view of the blocked path's merged gradients: slot-interned
+/// key lists (each key unique, first-touch order) plus the flat slabs
+/// they index, as consumed by the trainer's fused step/project pass.
+pub(crate) struct BlockedParts<'a> {
+    pub ent_keys: &'a [u32],
+    pub ent_slab: &'a [f32],
+    pub rel_keys: &'a [u32],
+    pub rel_slab: &'a [f32],
+    pub ent_row_len: usize,
+    pub rel_row_len: usize,
+}
+
 /// Parallel slot-range merge of per-chunk slabs into the global slab.
+///
+/// Bit-safe at any `threads` value: destination slot ranges are disjoint
+/// and each row's contributions are added in chunk order within one
+/// worker, so splitting only changes which core does the memory traffic.
+#[allow(clippy::too_many_arguments)]
 fn merge_slabs(
     chunks: &[BlockedChunk],
     keys_len: usize,
     contribs: &[Vec<(u32, u32)>],
     row_len: usize,
     g_slab: &mut Vec<f32>,
+    threads: usize,
     select: impl Fn(&BlockedChunk) -> &Vec<f32> + Sync,
 ) {
     let total = keys_len * row_len;
@@ -1108,7 +1211,7 @@ fn merge_slabs(
             }
         }
     };
-    let threads = rayon::current_num_threads().max(1).min(keys_len);
+    let threads = threads.max(1).min(keys_len);
     if chunks.len() <= 1 || threads <= 1 || total < PAR_MERGE_MIN {
         merge_range(&mut g_slab[..total], 0);
     } else {
@@ -1227,6 +1330,35 @@ mod tests {
             ws.for_each_row_sorted(|k, g| again.push((k, g.iter().map(|v| v.to_bits()).collect())));
             assert_eq!(loss_first.to_bits(), loss_again.to_bits(), "{path:?}");
             assert_eq!(first, again, "{path:?}");
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_independent() {
+        // Same batch, same path, different worker counts ⇒ identical bits.
+        // The batch is large enough that chunk_len yields many chunks, so
+        // the pool actually runs work concurrently when threads > 1.
+        let model = toy_model(13);
+        let mut batch = Vec::new();
+        for i in 0..24u32 {
+            batch.push((Triple::new(i % 9, (i + 3) % 9, i % 3), Label::Positive));
+            batch.push((Triple::new(i % 9, (i + 5) % 9, i % 3), Label::Negative));
+        }
+        for path in [GradPath::Legacy, GradPath::Blocked] {
+            let gather = |threads: usize| {
+                let mut ws = GradWorkspace::with_threads(path, threads);
+                let loss = ws.compute(&model, &batch, 0.01, LossKind::Logistic, 2, None);
+                let mut rows: Vec<(RowKey, Vec<u32>)> = Vec::new();
+                ws.for_each_row_sorted(|k, g| {
+                    rows.push((k, g.iter().map(|v| v.to_bits()).collect()))
+                });
+                let omega: Vec<u32> = ws.omega_grads().iter().map(|v| v.to_bits()).collect();
+                (loss.to_bits(), rows, omega)
+            };
+            let base = gather(1);
+            for threads in [2, 3, 8] {
+                assert_eq!(base, gather(threads), "{path:?} with {threads} threads");
+            }
         }
     }
 

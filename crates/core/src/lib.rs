@@ -30,6 +30,7 @@
 pub mod baselines;
 pub mod checkpoint;
 pub mod embedding;
+mod fused;
 pub mod grads;
 pub mod loss;
 pub mod model;

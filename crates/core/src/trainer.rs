@@ -103,6 +103,12 @@ pub struct TrainConfig {
     /// JSONL metrics, same final parameters — checkpoints taken under one
     /// path resume under the other); [`GradPath::Blocked`] is faster.
     pub grad_path: GradPath,
+    /// Worker threads for gradient computation, the cross-chunk merge,
+    /// and the fused step/project pass (`0` = all available cores).
+    /// Purely a speed knob: results are bit-identical for every value —
+    /// checkpoints taken at one thread count resume at any other (see the
+    /// [`crate::grads`] module docs and `tests/parallel_parity.rs`).
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -126,6 +132,7 @@ impl Default for TrainConfig {
             checkpoint_every: 0,
             checkpoint_path: None,
             grad_path: GradPath::default(),
+            threads: 0,
         }
     }
 }
@@ -357,7 +364,7 @@ impl Trainer {
         // All per-batch gradient scratch lives in the workspace and is
         // recycled across batches; both paths are bit-identical, so the
         // choice never shows up in metrics or parameters.
-        let mut workspace = GradWorkspace::new(cfg.grad_path);
+        let mut workspace = GradWorkspace::with_threads(cfg.grad_path, cfg.threads);
         let mut grad_raw_scratch = vec![0.0f32; omega_params];
 
         for epoch in (start_epoch + 1)..=cfg.max_epochs {
@@ -426,16 +433,35 @@ impl Trainer {
 
                 let span = observing.then(Instant::now);
                 optimizer.step_begin();
-                workspace.for_each_row(|row, grad| match row {
-                    RowKey::Entity(e) => {
-                        let offset = model.entities.row_offset(e);
-                        optimizer.update(offset, model.entities.row_mut(e), grad);
-                    }
-                    RowKey::Relation(r) => {
-                        let offset = ent_params + model.relations.row_offset(r);
-                        optimizer.update(offset, model.relations.row_mut(r), grad);
-                    }
-                });
+                match cfg.grad_path {
+                    // The blocked path takes the fused step+project pass:
+                    // one sweep over the touched rows, sharded across the
+                    // worker pool, with the unit-sphere projection applied
+                    // right after each entity row's update. Timed entirely
+                    // under "step" (the separate "project" phase is 0).
+                    GradPath::Blocked => crate::fused::fused_step_project(
+                        model,
+                        &workspace,
+                        optimizer.as_mut(),
+                        cfg.unit_norm_entities,
+                        ent_params,
+                        workspace.threads(),
+                    ),
+                    // The legacy path keeps the original two-pass tail
+                    // (step all rows here, project below) as the living
+                    // reference sequence; the parity suite proves the
+                    // fused pass bit-identical to it.
+                    GradPath::Legacy => workspace.for_each_row(|row, grad| match row {
+                        RowKey::Entity(e) => {
+                            let offset = model.entities.row_offset(e);
+                            optimizer.update(offset, model.entities.row_mut(e), grad);
+                        }
+                        RowKey::Relation(r) => {
+                            let offset = ent_params + model.relations.row_offset(r);
+                            optimizer.update(offset, model.relations.row_mut(r), grad);
+                        }
+                    }),
+                }
                 if let Some(t0) = span {
                     phases.step += t0.elapsed().as_secs_f64();
                 }
@@ -464,7 +490,8 @@ impl Trainer {
                     }
                 }
 
-                if cfg.unit_norm_entities {
+                if cfg.unit_norm_entities && cfg.grad_path == GradPath::Legacy {
+                    // Blocked runs already projected inside the fused pass.
                     let span = observing.then(Instant::now);
                     workspace.for_each_row(|row, _| {
                         if let RowKey::Entity(e) = row {
@@ -664,6 +691,7 @@ mod tests {
             checkpoint_every: 0,
             checkpoint_path: None,
             grad_path: GradPath::default(),
+            threads: 0,
         }
     }
 

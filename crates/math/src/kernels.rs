@@ -323,6 +323,69 @@ mod x86 {
         }
     }
 
+    /// Fused sparse-Adam row update, the SIMD twin of the scalar loop in
+    /// [`super::adam_update_body`]. Every operation is a plain mul / add /
+    /// div / sqrt (NO FMA): all four are exactly rounded by IEEE 754, so
+    /// each lane computes bit-identically to the scalar expression — the
+    /// property the cross-thread-count training parity contract rests on.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn adam_update(
+        params: &mut [f32],
+        grads: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        h: &super::AdamParams,
+    ) {
+        debug_assert_eq!(params.len(), grads.len());
+        debug_assert_eq!(params.len(), m.len());
+        debug_assert_eq!(params.len(), v.len());
+        let len = params.len();
+        let (pp, pg, pm, pv) =
+            (params.as_mut_ptr(), grads.as_ptr(), m.as_mut_ptr(), v.as_mut_ptr());
+        let vb1 = _mm256_set1_ps(h.beta1);
+        let vb2 = _mm256_set1_ps(h.beta2);
+        let vo1 = _mm256_set1_ps(1.0 - h.beta1);
+        let vo2 = _mm256_set1_ps(1.0 - h.beta2);
+        let vbc1 = _mm256_set1_ps(h.bc1);
+        let vbc2 = _mm256_set1_ps(h.bc2);
+        let vlr = _mm256_set1_ps(h.lr);
+        let veps = _mm256_set1_ps(h.eps);
+        let mut i = 0usize;
+        while i + 8 <= len {
+            let g = _mm256_loadu_ps(pg.add(i));
+            // m ← β₁·m + (1−β₁)·g
+            let mn = _mm256_add_ps(
+                _mm256_mul_ps(vb1, _mm256_loadu_ps(pm.add(i))),
+                _mm256_mul_ps(vo1, g),
+            );
+            _mm256_storeu_ps(pm.add(i), mn);
+            // v ← β₂·v + ((1−β₂)·g)·g  (left-associated like the scalar)
+            let vn = _mm256_add_ps(
+                _mm256_mul_ps(vb2, _mm256_loadu_ps(pv.add(i))),
+                _mm256_mul_ps(_mm256_mul_ps(vo2, g), g),
+            );
+            _mm256_storeu_ps(pv.add(i), vn);
+            // θ ← θ − (lr·(m/bc1)) / (√(v/bc2) + ε)
+            let m_hat = _mm256_div_ps(mn, vbc1);
+            let v_hat = _mm256_div_ps(vn, vbc2);
+            let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), veps);
+            let delta = _mm256_div_ps(_mm256_mul_ps(vlr, m_hat), denom);
+            _mm256_storeu_ps(pp.add(i), _mm256_sub_ps(_mm256_loadu_ps(pp.add(i)), delta));
+            i += 8;
+        }
+        while i < len {
+            let g = *pg.add(i);
+            let mn = h.beta1 * *pm.add(i) + (1.0 - h.beta1) * g;
+            *pm.add(i) = mn;
+            let vn = h.beta2 * *pv.add(i) + (1.0 - h.beta2) * g * g;
+            *pv.add(i) = vn;
+            let m_hat = mn / h.bc1;
+            let v_hat = vn / h.bc2;
+            *pp.add(i) -= h.lr * m_hat / (v_hat.sqrt() + h.eps);
+            i += 1;
+        }
+    }
+
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn dot_gather(
         a: &[f32],
@@ -485,6 +548,64 @@ pub fn hadamard_write_fast(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32]) {
     for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
         *o = 0.0 + alpha * x * y;
     }
+}
+
+/// Hyperparameters of one sparse-Adam update, with the step-dependent bias
+/// corrections `bc1 = 1 − β₁ᵗ` and `bc2 = 1 − β₂ᵗ` already baked in, so the
+/// kernel itself is a pure elementwise function of its inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Denominator stabilizer ε.
+    pub eps: f32,
+    /// First-moment bias correction `1 − β₁ᵗ` for the current step `t`.
+    pub bc1: f32,
+    /// Second-moment bias correction `1 − β₂ᵗ` for the current step `t`.
+    pub bc2: f32,
+}
+
+/// Scalar reference body of the fused Adam row update — the exact
+/// expression sequence the sparse Adam optimizer historically ran, kept as
+/// the bitwise ground truth the AVX2 variant is validated against.
+#[inline(always)]
+fn adam_update_body(params: &mut [f32], grads: &[f32], m: &mut [f32], v: &mut [f32], h: &AdamParams) {
+    for i in 0..params.len() {
+        let g = grads[i];
+        m[i] = h.beta1 * m[i] + (1.0 - h.beta1) * g;
+        v[i] = h.beta2 * v[i] + (1.0 - h.beta2) * g * g;
+        let m_hat = m[i] / h.bc1;
+        let v_hat = v[i] / h.bc2;
+        params[i] -= h.lr * m_hat / (v_hat.sqrt() + h.eps);
+    }
+}
+
+/// Fused sparse-Adam row update: in one pass over the row,
+/// `m ← β₁·m + (1−β₁)·g`, `v ← β₂·v + (1−β₂)·g·g`, then
+/// `θ ← θ − lr·(m/bc1) / (√(v/bc2) + ε)`.
+///
+/// Every path uses only exactly-rounded operations (mul, add, div, sqrt —
+/// no FMA), so the result is bit-identical to the scalar loop regardless
+/// of dispatch, and per-element, so updating disjoint rows in any order or
+/// from any number of threads cannot change a single bit.
+///
+/// # Panics
+/// Panics when the four slices disagree in length.
+#[inline]
+pub fn adam_update_fast(params: &mut [f32], grads: &[f32], m: &mut [f32], v: &mut [f32], h: &AdamParams) {
+    assert_eq!(params.len(), grads.len(), "adam_update: grads length mismatch");
+    assert_eq!(params.len(), m.len(), "adam_update: m length mismatch");
+    assert_eq!(params.len(), v.len(), "adam_update: v length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2 is available.
+        return unsafe { x86::adam_update(params, grads, m, v, h) };
+    }
+    adam_update_body(params, grads, m, v, h)
 }
 
 /// Target working-set size for one column block of B: sized so a block of
@@ -817,6 +938,68 @@ mod tests {
                 assert_eq!(f.to_bits(), r.to_bits(), "len {len}: {f} vs {r}");
             }
         }
+    }
+
+    /// The canonical Adam hyperparameters at step t = 3.
+    fn adam_params() -> AdamParams {
+        AdamParams {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            bc1: 1.0 - 0.9f32.powi(3),
+            bc2: 1.0 - 0.999f32.powi(3),
+        }
+    }
+
+    /// Runs the scalar reference loop on clones and asserts the fast
+    /// kernel reproduces every output array bit for bit.
+    fn assert_adam_matches_scalar(params: &[f32], grads: &[f32], m: &[f32], v: &[f32]) {
+        let h = adam_params();
+        let (mut fp, mut fm, mut fv) = (params.to_vec(), m.to_vec(), v.to_vec());
+        adam_update_fast(&mut fp, grads, &mut fm, &mut fv, &h);
+        let (mut rp, mut rm, mut rv) = (params.to_vec(), m.to_vec(), v.to_vec());
+        for i in 0..rp.len() {
+            let g = grads[i];
+            rm[i] = h.beta1 * rm[i] + (1.0 - h.beta1) * g;
+            rv[i] = h.beta2 * rv[i] + (1.0 - h.beta2) * g * g;
+            let m_hat = rm[i] / h.bc1;
+            let v_hat = rv[i] / h.bc2;
+            rp[i] -= h.lr * m_hat / (v_hat.sqrt() + h.eps);
+        }
+        for (name, fast, reference) in [("params", &fp, &rp), ("m", &fm, &rm), ("v", &fv, &rv)] {
+            for (i, (f, r)) in fast.iter().zip(reference).enumerate() {
+                assert_eq!(f.to_bits(), r.to_bits(), "{name}[{i}] (len {}): {f} vs {r}", fp.len());
+            }
+        }
+    }
+
+    #[test]
+    fn adam_update_matches_scalar_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for len in [1usize, 7, 8, 31, 200, 400] {
+            let params = random_vec(&mut rng, len);
+            let grads = random_vec(&mut rng, len);
+            let m = random_vec(&mut rng, len);
+            let v: Vec<f32> = random_vec(&mut rng, len).iter().map(|x| x * x).collect();
+            assert_adam_matches_scalar(&params, &grads, &m, &v);
+        }
+    }
+
+    #[test]
+    fn adam_update_matches_scalar_on_adversarial_inputs() {
+        // Denormals, zeros of both signs, huge magnitudes, and moment
+        // states that drive the sqrt/div corner cases — the SIMD lanes
+        // must track the scalar loop through all of them.
+        let params = [1.0f32, -1.0, 0.0, -0.0, 3.4e38, 1e-40, 2.5, -7.125];
+        let grads = [0.0f32, -0.0, 1e-42, -1e-42, 1e19, -1e19, 1e-30, 5.0];
+        let m = [0.0f32, 1e-40, -1e-40, 0.5, -0.5, 1e38, 0.0, -2.0];
+        let v = [0.0f32, 1e-40, 1e-40, 0.25, 0.25, 1e38, 0.0, 4.0];
+        assert_adam_matches_scalar(&params, &grads, &m, &v);
+        // Zero grads on zero moments: the row must still move only by the
+        // exact scalar amount (which is 0 − lr·0/(0+ε) = -0·... = 0-ish).
+        let zeros = [0.0f32; 8];
+        assert_adam_matches_scalar(&params, &zeros, &zeros, &zeros);
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub mod vecops;
 
 pub use activations::{sigmoid, softmax_in_place, softplus, tanh_vec};
 pub use kernels::{
-    axpy_fast, dot_fast, gemm_nt, hadamard_axpy_fast, hadamard_write_fast, scale_add_l2_fast,
-    scale_write_l2_fast, trilinear_fast,
+    adam_update_fast, axpy_fast, dot_fast, gemm_nt, hadamard_axpy_fast, hadamard_write_fast,
+    scale_add_l2_fast, scale_write_l2_fast, trilinear_fast, AdamParams,
 };
 pub use matrix::Matrix;
 pub use pca::Pca;

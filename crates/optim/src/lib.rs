@@ -8,6 +8,14 @@
 //!
 //! Provided optimizers: [`Sgd`], [`Momentum`], [`Adagrad`], [`Adam`].
 //!
+//! Every optimizer can also hand out a [`StepState`] — a thread-shareable
+//! view of one optimization step that applies the *same* per-row update
+//! (Adam rows go through the fused SIMD kernel
+//! [`mei_math::adam_update_fast`], which is bit-identical to the scalar
+//! loop) to disjoint rows from any number of threads. [`Optimizer::update`]
+//! itself is implemented on top of the same per-row functions, so the
+//! sequential and the fused/parallel paths cannot diverge by construction.
+//!
 //! # Example
 //!
 //! One sparse update of a two-coordinate "row" at offset 2 of a
@@ -24,6 +32,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+use mei_math::{adam_update_fast, AdamParams};
 
 /// A complete snapshot of an optimizer's mutable state, sufficient to
 /// rebuild the optimizer mid-run with bit-identical future updates.
@@ -121,6 +131,15 @@ pub trait Optimizer {
     /// optimizer's state.
     fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]);
 
+    /// Borrows a thread-shareable view of the current optimization step.
+    ///
+    /// [`Optimizer::update`] is implemented on top of the same view, so
+    /// `opt.update(o, p, g)` and
+    /// `unsafe { opt.step_state().update_row(o, p, g) }` are bit-identical.
+    /// See [`StepState::update_row`] for the disjointness contract that
+    /// makes concurrent use sound.
+    fn step_state(&mut self) -> StepState<'_>;
+
     /// Total size of the flat parameter space this optimizer serves.
     fn state_len(&self) -> usize;
 
@@ -129,6 +148,127 @@ pub trait Optimizer {
 
     /// Overrides the learning rate (e.g. for decay schedules).
     fn set_learning_rate(&mut self, lr: f32);
+}
+
+// Per-row update rules shared by `Optimizer::update` and
+// `StepState::update_row`. Keeping each rule in exactly one function is what
+// makes the sequential and parallel step paths bit-identical by construction.
+
+#[inline]
+fn sgd_row(lr: f32, params: &mut [f32], grads: &[f32]) {
+    for (p, g) in params.iter_mut().zip(grads) {
+        *p -= lr * g;
+    }
+}
+
+#[inline]
+fn momentum_row(lr: f32, beta: f32, v: &mut [f32], params: &mut [f32], grads: &[f32]) {
+    for i in 0..params.len() {
+        v[i] = beta * v[i] + grads[i];
+        params[i] -= lr * v[i];
+    }
+}
+
+#[inline]
+fn adagrad_row(lr: f32, eps: f32, a: &mut [f32], params: &mut [f32], grads: &[f32]) {
+    for i in 0..params.len() {
+        a[i] += grads[i] * grads[i];
+        params[i] -= lr * grads[i] / (a[i].sqrt() + eps);
+    }
+}
+
+/// Raw view of a moment vector that can be sliced into disjoint row ranges
+/// from multiple threads. Only dereferenced via [`StepState::update_row`],
+/// whose safety contract forbids overlapping rows.
+struct RawSlice<'a> {
+    ptr: *mut f32,
+    len: usize,
+    _borrow: std::marker::PhantomData<&'a mut [f32]>,
+}
+
+// SAFETY: the underlying storage is only touched through
+// `StepState::update_row`, whose contract requires concurrent callers to
+// address disjoint row ranges, so no element is ever aliased across threads.
+unsafe impl Send for RawSlice<'_> {}
+unsafe impl Sync for RawSlice<'_> {}
+
+impl<'a> RawSlice<'a> {
+    fn new(s: &'a mut [f32]) -> Self {
+        Self { ptr: s.as_mut_ptr(), len: s.len(), _borrow: std::marker::PhantomData }
+    }
+
+    /// # Safety
+    /// The returned slice must not overlap any other slice obtained from
+    /// this `RawSlice` that is simultaneously live (disjoint offset ranges).
+    #[allow(clippy::mut_from_ref)] // disjointness is the caller's contract
+    unsafe fn slice(&self, offset: usize, len: usize) -> &mut [f32] {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "step: row slice out of range"
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(offset), len)
+    }
+}
+
+enum StepInner<'a> {
+    Sgd { lr: f32 },
+    Momentum { lr: f32, beta: f32, velocity: RawSlice<'a> },
+    Adagrad { lr: f32, eps: f32, accum: RawSlice<'a> },
+    Adam { h: AdamParams, m: RawSlice<'a>, v: RawSlice<'a> },
+}
+
+/// A borrowed, thread-shareable view of one optimization step.
+///
+/// Obtained from [`Optimizer::step_state`]; the exclusive borrow means it
+/// lives for at most one step (no `step_begin` can run while it is alive).
+/// The parallel trainer shares one `StepState` across its workers, each
+/// applying [`StepState::update_row`] to rows no other worker touches.
+///
+/// The per-row math is the very code [`Optimizer::update`] runs (Adam rows
+/// go through [`mei_math::adam_update_fast`], bit-identical to the scalar
+/// loop by test), so a set of `update_row` calls over disjoint rows yields
+/// bit-identical parameters and moments regardless of call order or thread
+/// count.
+pub struct StepState<'a> {
+    len: usize,
+    inner: StepInner<'a>,
+}
+
+impl StepState<'_> {
+    /// Applies one row update exactly as [`Optimizer::update`] would.
+    ///
+    /// # Safety
+    /// Concurrent callers must address disjoint ranges: for any two calls
+    /// live at the same time, `offset..offset + params.len()` must not
+    /// overlap (and `params` must point into disjoint storage). The moment
+    /// state for a row is written without synchronization.
+    ///
+    /// # Panics
+    /// Panics if `params.len() != grads.len()` or the addressed range
+    /// exceeds the optimizer's state length.
+    pub unsafe fn update_row(&self, offset: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        assert!(
+            offset.checked_add(params.len()).is_some_and(|end| end <= self.len),
+            "step: row slice out of range"
+        );
+        match &self.inner {
+            StepInner::Sgd { lr } => sgd_row(*lr, params, grads),
+            StepInner::Momentum { lr, beta, velocity } => {
+                momentum_row(*lr, *beta, velocity.slice(offset, params.len()), params, grads)
+            }
+            StepInner::Adagrad { lr, eps, accum } => {
+                adagrad_row(*lr, *eps, accum.slice(offset, params.len()), params, grads)
+            }
+            StepInner::Adam { h, m, v } => adam_update_fast(
+                params,
+                grads,
+                m.slice(offset, params.len()),
+                v.slice(offset, params.len()),
+                h,
+            ),
+        }
+    }
 }
 
 /// Plain stochastic gradient descent: `θ ← θ − lr·g`.
@@ -153,11 +293,12 @@ impl Optimizer for Sgd {
     }
 
     fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
-        assert_eq!(params.len(), grads.len());
-        assert!(offset + params.len() <= self.len, "sgd: slice out of range");
-        for (p, g) in params.iter_mut().zip(grads) {
-            *p -= self.lr * g;
-        }
+        // SAFETY: exclusive `&mut self` — no concurrent row updates exist.
+        unsafe { self.step_state().update_row(offset, params, grads) }
+    }
+
+    fn step_state(&mut self) -> StepState<'_> {
+        StepState { len: self.len, inner: StepInner::Sgd { lr: self.lr } }
     }
 
     fn state_len(&self) -> usize {
@@ -202,11 +343,18 @@ impl Optimizer for Momentum {
     }
 
     fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
-        assert_eq!(params.len(), grads.len());
-        let v = &mut self.velocity[offset..offset + params.len()];
-        for i in 0..params.len() {
-            v[i] = self.beta * v[i] + grads[i];
-            params[i] -= self.lr * v[i];
+        // SAFETY: exclusive `&mut self` — no concurrent row updates exist.
+        unsafe { self.step_state().update_row(offset, params, grads) }
+    }
+
+    fn step_state(&mut self) -> StepState<'_> {
+        StepState {
+            len: self.velocity.len(),
+            inner: StepInner::Momentum {
+                lr: self.lr,
+                beta: self.beta,
+                velocity: RawSlice::new(&mut self.velocity),
+            },
         }
     }
 
@@ -252,11 +400,18 @@ impl Optimizer for Adagrad {
     }
 
     fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
-        assert_eq!(params.len(), grads.len());
-        let a = &mut self.accum[offset..offset + params.len()];
-        for i in 0..params.len() {
-            a[i] += grads[i] * grads[i];
-            params[i] -= self.lr * grads[i] / (a[i].sqrt() + self.eps);
+        // SAFETY: exclusive `&mut self` — no concurrent row updates exist.
+        unsafe { self.step_state().update_row(offset, params, grads) }
+    }
+
+    fn step_state(&mut self) -> StepState<'_> {
+        StepState {
+            len: self.accum.len(),
+            inner: StepInner::Adagrad {
+                lr: self.lr,
+                eps: self.eps,
+                accum: RawSlice::new(&mut self.accum),
+            },
         }
     }
 
@@ -325,19 +480,27 @@ impl Optimizer for Adam {
     }
 
     fn update(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
-        assert_eq!(params.len(), grads.len());
+        // SAFETY: exclusive `&mut self` — no concurrent row updates exist.
+        unsafe { self.step_state().update_row(offset, params, grads) }
+    }
+
+    fn step_state(&mut self) -> StepState<'_> {
         assert!(self.t > 0, "Adam::update called before step_begin");
-        let m = &mut self.m[offset..offset + params.len()];
-        let v = &mut self.v[offset..offset + params.len()];
-        let bc1 = 1.0 - self.beta1.powi(self.t);
-        let bc2 = 1.0 - self.beta2.powi(self.t);
-        for i in 0..params.len() {
-            let g = grads[i];
-            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
-            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
-            let m_hat = m[i] / bc1;
-            let v_hat = v[i] / bc2;
-            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        let h = AdamParams {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            bc1: 1.0 - self.beta1.powi(self.t),
+            bc2: 1.0 - self.beta2.powi(self.t),
+        };
+        StepState {
+            len: self.m.len(),
+            inner: StepInner::Adam {
+                h,
+                m: RawSlice::new(&mut self.m),
+                v: RawSlice::new(&mut self.v),
+            },
         }
     }
 
@@ -566,6 +729,206 @@ mod tests {
             slots: vec![vec![0.0; 2]],
         };
         assert!(bad_slot_len.build().is_err());
+    }
+
+    /// The pre-StepState scalar Adam row update, kept verbatim as the
+    /// reference the fused path is tested against.
+    #[allow(clippy::too_many_arguments)] // verbatim historical signature
+    fn adam_reference_row(
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        t: i32,
+        m: &mut [f32],
+        v: &mut [f32],
+        params: &mut [f32],
+        grads: &[f32],
+    ) {
+        let bc1 = 1.0 - beta1.powi(t);
+        let bc2 = 1.0 - beta2.powi(t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+            v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what} diverged at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn adam_update_matches_scalar_reference_bitwise() {
+        // Fused-kernel Adam vs the original two-line scalar loop, over many
+        // steps so moments accumulate history.
+        let mut opt = Adam::new(8, 0.013);
+        let mut p = [0.9f32, -0.4, 1e-3, 7.0, -2.5, 0.0, 1e4, -1e-4];
+        let mut rp = p;
+        let (mut rm, mut rv) = (vec![0.0f32; 8], vec![0.0f32; 8]);
+        for step in 1..=37 {
+            let g: Vec<f32> =
+                (0..8).map(|i| (step as f32 * 0.11 + i as f32 * 0.7).sin() * 0.3).collect();
+            opt.step_begin();
+            opt.update(0, &mut p, &g);
+            adam_reference_row(0.013, 0.9, 0.999, 1e-8, step, &mut rm, &mut rv, &mut rp, &g);
+        }
+        assert_bits_eq(&p, &rp, "params");
+        let state = opt.export_state();
+        assert_bits_eq(&state.slots[0], &rm, "first moment");
+        assert_bits_eq(&state.slots[1], &rv, "second moment");
+    }
+
+    #[test]
+    fn adam_matches_reference_on_adversarial_inputs() {
+        // Denormals, signed zeros, huge magnitudes, and all-zero gradients on
+        // zero moments must all round-trip bit-identically through the fused
+        // kernel path.
+        let grads_cases: [&[f32]; 3] = [
+            &[1e-40, -1e-42, 0.0, -0.0, 3.4e38, -3.4e38, 1e-45, 2.0],
+            &[0.0; 8],
+            &[-0.0, 0.0, 1e-39, -1e-39, 5e-41, 1.0, -1.0, 0.5],
+        ];
+        for (case, grads) in grads_cases.iter().enumerate() {
+            let mut opt = Adam::new(8, 0.01);
+            let mut p = [1e-40f32, -0.0, 0.0, 1e38, -1e-38, 0.5, -0.5, 2e-44];
+            let mut rp = p;
+            let (mut rm, mut rv) = (vec![0.0f32; 8], vec![0.0f32; 8]);
+            for step in 1..=3 {
+                opt.step_begin();
+                opt.update(0, &mut p, grads);
+                adam_reference_row(0.01, 0.9, 0.999, 1e-8, step, &mut rm, &mut rv, &mut rp, grads);
+            }
+            assert_bits_eq(&p, &rp, &format!("case {case} params"));
+            let state = opt.export_state();
+            assert_bits_eq(&state.slots[0], &rm, &format!("case {case} m"));
+            assert_bits_eq(&state.slots[1], &rv, &format!("case {case} v"));
+        }
+    }
+
+    #[test]
+    fn lazy_catch_up_matches_reference_after_idle_steps() {
+        // A row untouched for many global steps keeps its moments frozen; the
+        // next touch uses the *global* step counter for bias correction.
+        // Verify the fused path reproduces that sparse-Adam semantics bit-for-
+        // bit against the scalar reference.
+        let mut opt = Adam::new(4, 0.02);
+        let mut hot = [0.5f32, -0.5];
+        let mut idle = [1.5f32, -1.5];
+        let (mut rm, mut rv) = (vec![0.1f32, -0.2], vec![0.3f32, 0.4]);
+        let mut ridle = idle;
+        // Seed the idle row's moments, then leave it untouched for 40 steps.
+        opt.step_begin(); // t = 1
+        opt.update(2, &mut idle, &[1.0, -2.0]);
+        adam_reference_row(0.02, 0.9, 0.999, 1e-8, 1, &mut rm, &mut rv, &mut ridle, &[1.0, -2.0]);
+        // The reference starts from Adam's zero moments, so re-sync it.
+        let state = opt.export_state();
+        rm.copy_from_slice(&state.slots[0][2..4]);
+        rv.copy_from_slice(&state.slots[1][2..4]);
+        ridle = idle;
+        for _ in 0..40 {
+            opt.step_begin();
+            opt.update(0, &mut hot, &[0.3, 0.1]);
+        }
+        opt.step_begin(); // t = 42
+        opt.update(2, &mut idle, &[-0.7, 0.9]);
+        adam_reference_row(0.02, 0.9, 0.999, 1e-8, 42, &mut rm, &mut rv, &mut ridle, &[-0.7, 0.9]);
+        assert_bits_eq(&idle, &ridle, "idle row params");
+        let state = opt.export_state();
+        assert_bits_eq(&state.slots[0][2..4], &rm, "idle row m");
+        assert_bits_eq(&state.slots[1][2..4], &rv, "idle row v");
+    }
+
+    #[test]
+    fn step_state_rows_are_order_and_thread_independent() {
+        // One step over 8 rows applied (a) sequentially in order, (b)
+        // sequentially in reverse, (c) concurrently from 4 threads via a
+        // shared StepState — all three must agree bitwise on params and
+        // exported state.
+        const ROWS: usize = 8;
+        const DIM: usize = 5;
+        let grads: Vec<Vec<f32>> = (0..ROWS)
+            .map(|r| (0..DIM).map(|i| ((r * DIM + i) as f32 * 0.37).cos() * 0.2).collect())
+            .collect();
+        let init: Vec<f32> = (0..ROWS * DIM).map(|i| (i as f32 * 0.11).sin()).collect();
+        for kind in
+            [OptimizerKind::Sgd, OptimizerKind::Momentum, OptimizerKind::Adagrad, OptimizerKind::Adam]
+        {
+            let run = |mode: usize| -> (Vec<f32>, OptimizerState) {
+                let mut opt = kind.build(ROWS * DIM, 0.05);
+                let mut params = init.clone();
+                // A warmup step so stateful optimizers carry history.
+                opt.step_begin();
+                for r in 0..ROWS {
+                    opt.update(r * DIM, &mut params[r * DIM..(r + 1) * DIM], &grads[r]);
+                }
+                opt.step_begin();
+                match mode {
+                    0 => {
+                        for r in 0..ROWS {
+                            opt.update(r * DIM, &mut params[r * DIM..(r + 1) * DIM], &grads[r]);
+                        }
+                    }
+                    1 => {
+                        let step = opt.step_state();
+                        for r in (0..ROWS).rev() {
+                            // SAFETY: rows are disjoint DIM-length slices.
+                            unsafe {
+                                step.update_row(
+                                    r * DIM,
+                                    &mut params[r * DIM..(r + 1) * DIM],
+                                    &grads[r],
+                                )
+                            };
+                        }
+                    }
+                    _ => {
+                        let step = opt.step_state();
+                        let mut chunks: Vec<&mut [f32]> = params.chunks_mut(2 * DIM).collect();
+                        std::thread::scope(|s| {
+                            for (w, chunk) in chunks.iter_mut().enumerate() {
+                                let step = &step;
+                                let grads = &grads;
+                                let base = w * 2;
+                                s.spawn(move || {
+                                    for (j, row) in chunk.chunks_mut(DIM).enumerate() {
+                                        let r = base + j;
+                                        // SAFETY: each worker owns rows
+                                        // base..base+2; ranges are disjoint.
+                                        unsafe { step.update_row(r * DIM, row, &grads[r]) };
+                                    }
+                                });
+                            }
+                        });
+                    }
+                }
+                (params, opt.export_state())
+            };
+            let (p0, s0) = run(0);
+            let (p1, s1) = run(1);
+            let (p2, s2) = run(2);
+            assert_bits_eq(&p0, &p1, &format!("{kind:?} reverse order"));
+            assert_bits_eq(&p0, &p2, &format!("{kind:?} threaded"));
+            assert_eq!(s0, s1, "{kind:?} state (reverse)");
+            assert_eq!(s0, s2, "{kind:?} state (threaded)");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row slice out of range")]
+    fn step_state_rejects_out_of_range_rows() {
+        let mut opt = Adam::new(4, 0.01);
+        opt.step_begin();
+        let step = opt.step_state();
+        let mut p = [0.0f32; 3];
+        // SAFETY: single-threaded; the call must panic on the range check.
+        unsafe { step.update_row(2, &mut p, &[1.0; 3]) };
     }
 
     #[test]
