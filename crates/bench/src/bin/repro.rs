@@ -11,7 +11,8 @@
 //! repro grid   [opts]           # §5.3 hyperparameter grid search (ComplEx)
 //! repro bench-eval [opts]       # ranking-throughput benchmark (legacy vs blocked GEMM)
 //! repro bench-serve [opts]      # serving-throughput benchmark (reference vs batched vs cached)
-//! repro bench-train [opts]      # training-throughput benchmark (legacy HashMap vs blocked flat-buffer grads)
+//! repro bench-train [opts]      # training-throughput benchmark (legacy HashMap vs blocked
+//!                               # flat-buffer grads, plus the k-vs-all full-softmax section)
 //!
 //! options:
 //!   --scale tiny|small|full     SynthWN scale (default small)
@@ -555,7 +556,10 @@ fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
 /// `repro bench-train`: times full training epochs under both gradient
 /// paths (legacy HashMap accumulation vs blocked GEMM forward + flat
 /// gradient slabs), asserts the final parameters are bit-identical, and
-/// optionally writes BENCH_train.json.
+/// optionally writes BENCH_train.json. The report also carries the
+/// k-vs-all full-softmax section: candidate-scores/sec through the
+/// forward and backward GEMMs, with cross-thread parity and
+/// kill-and-resume asserted in-bench.
 fn bench_train(ds: &Dataset, proto: &Protocol, opts: &Options) {
     let t0 = Instant::now();
     print_fingerprint();
@@ -595,6 +599,24 @@ fn bench_train(ds: &Dataset, proto: &Protocol, opts: &Options) {
                 num("wall_secs"),
             );
         }
+    }
+    if let Some(kv) = report.get("kvsall") {
+        let num = |name: &str| kv.get(name).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!(
+            "  kvsall (full softmax): {} groups x {} candidates over {} epoch(s)",
+            kv.get("groups_scored").and_then(|v| v.as_usize()).unwrap_or(0),
+            kv.get("num_entities").and_then(|v| v.as_usize()).unwrap_or(0),
+            kv.get("epochs").and_then(|v| v.as_usize()).unwrap_or(0),
+        );
+        println!(
+            "    forward  {:>12.3e} candidate-scores/sec\n    backward {:>12.3e} candidate-scores/sec",
+            num("forward_candidate_scores_per_sec"),
+            num("backward_candidate_scores_per_sec"),
+        );
+        println!(
+            "    vs negative-path scoring rate: {:.1}x   thread parity + kill/resume: yes",
+            num("speedup_vs_negative_scoring"),
+        );
     }
     let json = report.to_json();
     if let Some(path) = &opts.out {

@@ -28,7 +28,10 @@ use std::sync::Arc;
 
 use mei_core::regularizer::DirichletRegularizer;
 use mei_core::{ModelConfig, WeightRestriction};
-use mei_core::{GradPath, MultiEmbedModel, TrainConfig, Trainer, WeightPreset, WeightVector};
+use mei_core::{
+    GradPath, LossKind, MultiEmbedModel, SamplingStrategy, TrainConfig, Trainer, WeightPreset,
+    WeightVector,
+};
 use mei_eval::ranking::{evaluate_filtered, evaluate_with_stats, top_k_reference};
 use mei_eval::{BlockQuery, EvalConfig, EvalStats, LinkPredictionResults, Side, TripleScorer};
 use mei_kg::{AugmentedDataset, Dataset, TripleStore};
@@ -675,6 +678,20 @@ impl TrainArm {
     }
 }
 
+/// The model every training-bench arm shares: fixed-ω ComplEx, `n` = 2,
+/// deterministically seeded — so independently built arms (and the
+/// kill-and-resume victim) start from bit-identical parameters.
+fn arm_model(dataset: &Dataset, dim: usize, seed: u64) -> MultiEmbedModel {
+    let cfg = ModelConfig {
+        num_entities: dataset.num_entities(),
+        num_relations: dataset.num_relations(),
+        n: 2,
+        dim,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng)
+}
+
 /// Trains one arm under `path` with `threads` workers and snapshots the
 /// final parameters.
 fn run_train_arm(
@@ -685,15 +702,7 @@ fn run_train_arm(
     path: GradPath,
     threads: usize,
 ) -> TrainArm {
-    let cfg = ModelConfig {
-        num_entities: dataset.num_entities(),
-        num_relations: dataset.num_relations(),
-        n: 2,
-        dim,
-    };
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut model =
-        MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng);
+    let mut model = arm_model(dataset, dim, seed);
     let mut train = train.clone();
     train.grad_path = path;
     train.threads = threads;
@@ -736,6 +745,10 @@ fn bits_equal(a: &[f32], b: &[f32]) -> bool {
 /// 1/2/4/8); each count reruns the blocked arm and asserts its final
 /// parameters are bit-identical to the 1-thread run — the deterministic
 /// parallel-schedule contract (DESIGN.md §11).
+///
+/// The artifact also carries a `"kvsall"` section — the k-vs-all
+/// full-softmax trainer measured at the same dataset's full candidate
+/// axis by [`bench_kvsall_throughput`] (DESIGN.md §12).
 pub fn bench_train_throughput(
     dataset: &Dataset,
     protocol: &Protocol,
@@ -806,6 +819,11 @@ pub fn bench_train_throughput(
         })
         .collect();
 
+    // The k-vs-all section: the same artifact also reports the
+    // full-softmax trainer at the GEMM shape. Two epochs keep the
+    // full-|E| arms affordable; the kvsall sweep pins threads {1, 2}.
+    let kvsall = bench_kvsall_throughput(dataset, protocol, seed, 2, &[1, 2]);
+
     json::obj([
         ("bench", json::str("train_throughput")),
         ("num_entities", json::int(bench_ds.num_entities())),
@@ -833,7 +851,257 @@ pub fn bench_train_throughput(
         ),
         ("final_params_bitwise_identical", JsonValue::Bool(true)),
         ("thread_scaling", JsonValue::Arr(thread_scaling)),
+        ("kvsall", kvsall),
         ("binary", binary_fingerprint()),
+    ])
+}
+
+/// Caps the kvsall bench's training split: 1024 triples at batch 1024
+/// give one full-width batch per epoch — every epoch is a handful of
+/// (side, anchor, relation)-group GEMMs against all |E| candidates —
+/// while bounding wall time at the |E| = 40k shape.
+const KVSALL_TRAIN_CAP: usize = 1024;
+
+/// The forward GEMM must clear this many multiples of the
+/// negative-sampling path's effective per-candidate scoring rate at the
+/// WN18 shape (the tentpole speedup contract).
+const KVSALL_MIN_SPEEDUP: f64 = 3.0;
+
+/// Candidate axes below this skip the speedup gate: sub-millisecond
+/// phase timings on tiny CI shapes are too noisy to enforce a ratio,
+/// though it is still recorded.
+const KVSALL_SPEEDUP_GATE_MIN_ENTITIES: usize = 10_000;
+
+/// Candidate-scoring rates of one kvsall arm. Every group is scored
+/// against all |E| entities, so throughput is *candidate scores per
+/// second*: groups × |E| divided into the forward GEMM phase and the two
+/// backward GEMM passes (the cross-chunk merge is reported separately in
+/// `phase_secs` but counted in the combined grad rate).
+struct KvRates {
+    groups: usize,
+    candidate_scores: f64,
+    forward_secs: f64,
+    backward_secs: f64,
+    merge_secs: f64,
+}
+
+impl KvRates {
+    fn of(arm: &TrainArm, num_entities: usize) -> Self {
+        let groups: usize = arm.records.iter().map(|r| r.examples).sum();
+        let sum = |f: fn(&mei_obs::PhaseBreakdown) -> f64| {
+            arm.records.iter().map(|r| f(&r.phases)).sum::<f64>()
+        };
+        KvRates {
+            groups,
+            candidate_scores: groups as f64 * num_entities as f64,
+            forward_secs: sum(|p| p.forward),
+            backward_secs: sum(|p| p.backward),
+            merge_secs: sum(|p| p.merge),
+        }
+    }
+
+    fn forward_per_sec(&self) -> f64 {
+        self.candidate_scores / self.forward_secs.max(f64::MIN_POSITIVE)
+    }
+
+    fn backward_per_sec(&self) -> f64 {
+        self.candidate_scores / self.backward_secs.max(f64::MIN_POSITIVE)
+    }
+
+    fn grad_per_sec(&self) -> f64 {
+        let total = self.forward_secs + self.backward_secs + self.merge_secs;
+        self.candidate_scores / total.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Monotonic tag for kvsall scratch dirs, so concurrent tests in one
+/// process never share a checkpoint path.
+static KVSALL_SCRATCH_TAG: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Kills a checkpointed kvsall run halfway (2 workers, checkpoint at the
+/// midpoint epoch, then the process "dies") and resumes it at 1 worker;
+/// the resumed parameters must be bit-identical to `reference`, the arm
+/// that was never interrupted. Proves the kvsall path draws no
+/// per-example RNG the checkpoint could lose, and that the optimizer
+/// state (including any decayed learning rate) round-trips.
+fn kvsall_resume_check(
+    bench_ds: &Dataset,
+    train: &TrainConfig,
+    dim: usize,
+    seed: u64,
+    reference: &TrainArm,
+) -> bool {
+    let tag = KVSALL_SCRATCH_TAG.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("mei_bench_kvsall_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("kvsall scratch dir");
+    let ckpt = dir.join("victim.ckpt");
+    let filter = bench_ds.filter_store();
+    let half = (train.max_epochs / 2).max(1);
+
+    // Victim: checkpoint at epoch `half`, then stop — exactly the state a
+    // kill right after the checkpoint write leaves behind.
+    let mut victim_cfg = train.clone();
+    victim_cfg.threads = 2;
+    victim_cfg.max_epochs = half;
+    victim_cfg.checkpoint_every = half;
+    victim_cfg.checkpoint_path = Some(ckpt.clone());
+    let mut victim = arm_model(bench_ds, dim, seed);
+    Trainer::new(victim_cfg).train(&mut victim, bench_ds, &filter);
+
+    // Resume at a different worker count than the one that wrote the
+    // checkpoint and run to the full epoch budget.
+    let cp = mei_core::load_checkpoint(&ckpt).expect("victim checkpoint must exist");
+    assert_eq!(cp.epoch, half, "victim checkpointed at an unexpected epoch");
+    let mut resume_cfg = train.clone();
+    resume_cfg.threads = 1;
+    let mut resumed = arm_model(bench_ds, dim, seed);
+    Trainer::new(resume_cfg)
+        .resume(&mut resumed, bench_ds, &filter, cp)
+        .expect("kvsall resume must succeed");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let ok = bits_equal(resumed.entities.as_slice(), &reference.entities)
+        && bits_equal(resumed.relations.as_slice(), &reference.relations)
+        && bits_equal(resumed.omega().dense(), &reference.omega);
+    assert!(ok, "kvsall kill-and-resume diverged from the uninterrupted run");
+    ok
+}
+
+/// Measures the k-vs-all full-softmax trainer (DESIGN.md §12) at the GEMM
+/// shape: the train split is capped at `KVSALL_TRAIN_CAP` triples with
+/// batch = cap, while the candidate axis keeps the dataset's full |E| —
+/// so each epoch scores every batch group against every entity through
+/// `gemm_nt` and runs the two GEMM-shaped backward passes.
+///
+/// Reports candidate scores per second for the forward and backward
+/// phases (the `backward` field of the phase breakdown is live in this
+/// mode), runs a negative-sampling arm at the same shape for a
+/// per-candidate scoring-rate baseline, and asserts in-bench that
+/// (a) every worker count in `threads` (empty picks {1, 2}) leaves
+/// parameters bit-identical to the 1-thread run, (b) a run checkpointed
+/// halfway at 2 workers resumes at 1 worker bit-exactly, and (c) at
+/// |E| ≥ `KVSALL_SPEEDUP_GATE_MIN_ENTITIES` the forward rate clears
+/// `KVSALL_MIN_SPEEDUP`× the negative path's effective scoring rate.
+/// The returned object is the `"kvsall"` section of `BENCH_train.json`.
+pub fn bench_kvsall_throughput(
+    dataset: &Dataset,
+    protocol: &Protocol,
+    seed: u64,
+    epochs: usize,
+    threads: &[usize],
+) -> JsonValue {
+    // ≥ 2 epochs so the resume check has a midpoint to checkpoint at.
+    let epochs = if epochs == 0 { 2 } else { epochs.max(2) };
+    let default_sweep = [1usize, 2];
+    let sweep: &[usize] = if threads.is_empty() { &default_sweep } else { threads };
+
+    let mut bench_ds = dataset.clone();
+    bench_ds.valid.clear();
+    bench_ds.test.clear();
+    bench_ds.train.truncate(KVSALL_TRAIN_CAP);
+    let ne = bench_ds.num_entities();
+    let dim = protocol.dim_for(2);
+
+    let mut train = protocol.train.clone();
+    train.max_epochs = epochs;
+    train.eval_every = epochs + 1;
+    train.batch_size = KVSALL_TRAIN_CAP;
+    train.sampling = SamplingStrategy::KvsAll;
+    train.loss = LossKind::SoftmaxCrossEntropy { label_smooth: 0.1 };
+    train.checkpoint_every = 0;
+    train.verbose = false;
+    train.seed = seed;
+
+    let base = run_train_arm(&bench_ds, &train, dim, seed, GradPath::Blocked, 1);
+    let rates = KvRates::of(&base, ne);
+    assert!(rates.groups > 0, "kvsall arm scored no groups");
+    assert!(
+        rates.backward_secs > 0.0,
+        "kvsall arm reported an empty backward phase — the GEMM backward must be timed"
+    );
+
+    // Baseline: the negative-sampling path on the same triples and batch.
+    // Its effective scoring rate is examples/sec through the gradient
+    // machinery — each example is one scored candidate (the positive or
+    // its sampled negative), the apples-to-apples unit for the GEMM rate.
+    let mut neg_train = protocol.train.clone();
+    neg_train.max_epochs = epochs;
+    neg_train.eval_every = epochs + 1;
+    neg_train.batch_size = KVSALL_TRAIN_CAP;
+    neg_train.sampling = SamplingStrategy::Uniform;
+    neg_train.loss = LossKind::Logistic;
+    neg_train.negatives_per_positive = 1;
+    neg_train.checkpoint_every = 0;
+    neg_train.verbose = false;
+    neg_train.seed = seed;
+    let neg = run_train_arm(&bench_ds, &neg_train, dim, seed, GradPath::Blocked, 1);
+    let neg_scores: usize = neg.records.iter().map(|r| r.examples).sum();
+    let neg_grad_secs: f64 = neg
+        .records
+        .iter()
+        .map(|r| r.phases.forward + r.phases.merge + r.phases.backward)
+        .sum();
+    let neg_rate = neg_scores as f64 / neg_grad_secs.max(f64::MIN_POSITIVE);
+    let speedup = rates.forward_per_sec() / neg_rate.max(f64::MIN_POSITIVE);
+    if ne >= KVSALL_SPEEDUP_GATE_MIN_ENTITIES {
+        assert!(
+            speedup >= KVSALL_MIN_SPEEDUP,
+            "kvsall forward scored {:.3e} candidates/sec, under {KVSALL_MIN_SPEEDUP}x the \
+             negative path's {neg_rate:.3e}/sec",
+            rates.forward_per_sec()
+        );
+    }
+
+    // Cross-thread parity: every worker count must land bit-identical to
+    // the 1-thread arm (DESIGN.md §12's determinism contract).
+    let thread_scaling: Vec<JsonValue> = sweep
+        .iter()
+        .map(|&t| {
+            let arm = if t == 1 {
+                None // the 1-thread baseline was already run above
+            } else {
+                Some(run_train_arm(&bench_ds, &train, dim, seed, GradPath::Blocked, t))
+            };
+            let arm = arm.as_ref().unwrap_or(&base);
+            let parity = bits_equal(&arm.entities, &base.entities)
+                && bits_equal(&arm.relations, &base.relations)
+                && bits_equal(&arm.omega, &base.omega);
+            assert!(parity, "kvsall {t}-thread run diverged from the 1-thread run");
+            let r = KvRates::of(arm, ne);
+            json::obj([
+                ("threads", json::int(t)),
+                ("wall_secs", json::num(arm.wall_secs)),
+                ("forward_candidate_scores_per_sec", json::num(r.forward_per_sec())),
+                ("backward_candidate_scores_per_sec", json::num(r.backward_per_sec())),
+                ("phase_secs", arm.phase_secs()),
+                ("final_params_bitwise_identical_to_1_thread", JsonValue::Bool(parity)),
+            ])
+        })
+        .collect();
+
+    let resume_ok = kvsall_resume_check(&bench_ds, &train, dim, seed, &base);
+
+    json::obj([
+        ("bench", json::str("kvsall_throughput")),
+        ("num_entities", json::int(ne)),
+        ("train_triples", json::int(bench_ds.train.len())),
+        ("batch_size", json::int(train.batch_size)),
+        ("epochs", json::int(epochs)),
+        ("label_smooth", json::num(0.1)),
+        ("seed", json::int(seed as usize)),
+        ("groups_scored", json::int(rates.groups)),
+        ("candidate_scores", json::num(rates.candidate_scores)),
+        ("wall_secs", json::num(base.wall_secs)),
+        ("phase_secs", base.phase_secs()),
+        ("forward_candidate_scores_per_sec", json::num(rates.forward_per_sec())),
+        ("backward_candidate_scores_per_sec", json::num(rates.backward_per_sec())),
+        ("grad_candidate_scores_per_sec", json::num(rates.grad_per_sec())),
+        ("negative_path_scores_per_sec", json::num(neg_rate)),
+        ("speedup_vs_negative_scoring", json::num(speedup)),
+        ("final_params_bitwise_identical", JsonValue::Bool(true)),
+        ("resume_bitwise_identical", JsonValue::Bool(resume_ok)),
+        ("thread_scaling", JsonValue::Arr(thread_scaling)),
     ])
 }
 
@@ -1421,6 +1689,58 @@ mod tests {
         let binary = report.get("binary").expect("binary fingerprint");
         assert!(binary.get("build_git_hash").and_then(JsonValue::as_str).is_some());
         assert!(report.to_json().contains("train_throughput"));
+        // The artifact carries the kvsall section (checked in depth by
+        // bench_kvsall_throughput_reports_rates_and_parity).
+        let kv = report.get("kvsall").expect("kvsall section");
+        assert_eq!(kv.get("bench").and_then(JsonValue::as_str), Some("kvsall_throughput"));
+    }
+
+    #[test]
+    fn bench_kvsall_throughput_reports_rates_and_parity() {
+        let ds = SynthWnConfig::at_scale(SynthWnScale::Tiny, 4).generate();
+        let mut proto = quick_protocol();
+        proto.budget = 16;
+        // The call itself asserts the contracts: bit parity across the
+        // 1/3-thread sweep and bitwise kill-and-resume.
+        let report = bench_kvsall_throughput(&ds, &proto, 0, 2, &[1, 3]);
+        assert_eq!(report.get("epochs").and_then(JsonValue::as_usize), Some(2));
+        assert_eq!(
+            report.get("num_entities").and_then(JsonValue::as_usize),
+            Some(ds.num_entities())
+        );
+        assert!(report.get("groups_scored").and_then(JsonValue::as_usize).unwrap() > 0);
+        for rate in [
+            "forward_candidate_scores_per_sec",
+            "backward_candidate_scores_per_sec",
+            "grad_candidate_scores_per_sec",
+            "negative_path_scores_per_sec",
+            "speedup_vs_negative_scoring",
+        ] {
+            assert!(
+                report.get(rate).and_then(JsonValue::as_f64).unwrap() > 0.0,
+                "{rate} not positive"
+            );
+        }
+        // The kvsall path populates the backward phase (the GEMM backward
+        // passes have their own timer); the negative path keeps it at 0.
+        let phases = report.get("phase_secs").expect("phase_secs");
+        assert!(phases.get("backward").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            report.get("resume_bitwise_identical"),
+            Some(&JsonValue::Bool(true))
+        );
+        let scaling = report
+            .get("thread_scaling")
+            .and_then(JsonValue::as_arr)
+            .expect("thread_scaling array");
+        assert_eq!(scaling.len(), 2);
+        for (row, expect_t) in scaling.iter().zip([1usize, 3]) {
+            assert_eq!(row.get("threads").and_then(JsonValue::as_usize), Some(expect_t));
+            assert_eq!(
+                row.get("final_params_bitwise_identical_to_1_thread"),
+                Some(&JsonValue::Bool(true))
+            );
+        }
     }
 
     #[test]

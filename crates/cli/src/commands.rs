@@ -5,7 +5,7 @@ use std::error::Error;
 use std::sync::Arc;
 
 use mei_core::serialize::{load_model, save_model};
-use mei_core::{MultiEmbedModel, SamplingStrategy, TrainConfig, Trainer, WeightPreset};
+use mei_core::{LossKind, LrDecayMode, MultiEmbedModel, SamplingStrategy, TrainConfig, Trainer, WeightPreset};
 use mei_eval::ranking::{evaluate_with_stats, top_k};
 use mei_eval::Side;
 use mei_eval::{categorize_relations, labeled_with_negatives, mrr_by_category, EvalConfig, TripleClassifier};
@@ -26,7 +26,9 @@ subcommands:
   generate --out DIR [--kind synthwn|synthfb|recsys|random] [--scale tiny|small|full] [--seed N]
   stats    --dataset DIR [--order hrt|htr]
   train    --dataset DIR --out model.bin [--model NAME] [--dim N] [--epochs N]
-           [--lr F] [--batch N] [--seed N] [--sampling uniform|bern] [--quiet true]
+           [--lr F] [--batch N] [--seed N] [--sampling uniform|bern|kvsall]
+           [--loss logistic|softmax-ce] [--label-smooth F] [--quiet true]
+           [--lr-decay F] [--lr-decay-mode checkpoint|epoch]
            [--eval-every N] [--metrics-out run.jsonl] [--log-every N]
            [--checkpoint train.ckpt] [--checkpoint-every N] [--resume train.ckpt]
            [--grad-path legacy|blocked] [--threads N]
@@ -48,7 +50,10 @@ run `mei models` for the preset names accepted by --model.
 `mei train --grad-path` selects the gradient machinery (default blocked);
 both paths are bit-identical — see DESIGN.md §10.
 `mei train --threads` caps the training worker pool (default: all cores);
-any value produces bit-identical results — see DESIGN.md §11.";
+any value produces bit-identical results — see DESIGN.md §11.
+`mei train --sampling kvsall` scores each batch group against all entities
+with the full-softmax cross-entropy loss (implies --loss softmax-ce);
+see DESIGN.md §12.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -151,9 +156,42 @@ pub fn train(args: &Args) -> CmdResult {
     let (n, omega) = preset.effective_interaction();
     let dim: usize = args.get_parsed("dim", 128 / n)?;
     let sampling = match args.get("sampling").unwrap_or("uniform") {
-        "uniform" => SamplingStrategy::Uniform,
+        // "negative" is an alias for the default per-triple sampled path.
+        "uniform" | "negative" => SamplingStrategy::Uniform,
         "bern" | "bernoulli" => SamplingStrategy::Bernoulli,
+        "kvsall" | "1-n" => SamplingStrategy::KvsAll,
         other => return Err(format!("unknown --sampling {other:?}").into()),
+    };
+    // kvsall trains with the full-softmax loss; the flags must agree, and
+    // --loss defaults to whatever the sampling mode implies.
+    let kvsall = sampling == SamplingStrategy::KvsAll;
+    let label_smooth: f32 = args.get_parsed("label-smooth", 0.0f32)?;
+    if !(0.0..1.0).contains(&label_smooth) {
+        return Err(format!("--label-smooth must be in [0, 1), got {label_smooth}").into());
+    }
+    let loss = match args.get("loss").unwrap_or(if kvsall { "softmax-ce" } else { "logistic" }) {
+        "softmax-ce" | "softmax" => {
+            if !kvsall {
+                return Err("--loss softmax-ce requires --sampling kvsall".into());
+            }
+            LossKind::SoftmaxCrossEntropy { label_smooth }
+        }
+        "logistic" => {
+            if kvsall {
+                return Err("--sampling kvsall requires --loss softmax-ce".into());
+            }
+            LossKind::Logistic
+        }
+        other => return Err(format!("unknown --loss {other:?}").into()),
+    };
+    if label_smooth > 0.0 && !matches!(loss, LossKind::SoftmaxCrossEntropy { .. }) {
+        return Err("--label-smooth only applies to --loss softmax-ce".into());
+    }
+    let lr_decay: f32 = args.get_parsed("lr-decay", 1.0f32)?;
+    let lr_decay_mode = match args.get("lr-decay-mode").unwrap_or("checkpoint") {
+        "checkpoint" => LrDecayMode::Checkpoint,
+        "epoch" => LrDecayMode::Epoch,
+        other => return Err(format!("unknown --lr-decay-mode {other:?}").into()),
     };
     // --checkpoint-every defaults to 10 once a checkpoint path is given,
     // so `--checkpoint train.ckpt` alone already makes the run resumable.
@@ -178,6 +216,9 @@ pub fn train(args: &Args) -> CmdResult {
         l2_lambda: args.get_parsed("l2", 1e-3f32)?,
         seed: args.get_parsed("seed", 0)?,
         sampling,
+        loss,
+        lr_decay,
+        lr_decay_mode,
         eval_every: args.get_parsed("eval-every", 50)?,
         patience: 100,
         verbose: !args.get_parsed("quiet", false)?,

@@ -106,7 +106,7 @@ fn serve_answers_concurrent_clients_swaps_and_shuts_down() {
             std::thread::spawn(move || {
                 let (mut w, mut r) = connect(&addr);
                 for i in 0..20u32 {
-                    let side = if (t + i) % 2 == 0 { "tail" } else { "head" };
+                    let side = if (t + i).is_multiple_of(2) { "tail" } else { "head" };
                     let line = if i % 2 == 0 {
                         format!(
                             r#"{{"op":"predict","side":"{side}","anchor":"synset_{:06}","relation":"_hyponym_0","k":4,"id":{i}}}"#,

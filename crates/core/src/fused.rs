@@ -64,7 +64,7 @@ impl TablePtr {
 /// Contiguous shard `i` of `n` over `len` items: the first `len % n`
 /// shards take one extra item. Deterministic and machine-independent —
 /// though even that is belt-and-braces, since row updates commute bitwise.
-fn shard_bounds(len: usize, i: usize, n: usize) -> (usize, usize) {
+pub(crate) fn shard_bounds(len: usize, i: usize, n: usize) -> (usize, usize) {
     let base = len / n;
     let extra = len % n;
     let start = i * base + i.min(extra);
@@ -131,6 +131,80 @@ pub(crate) fn fused_step_project(
                 let row = unsafe { relations.row(r * len, len) };
                 // SAFETY: relation state lives past `ent_params`, disjoint
                 // from every entity range and from other relation rows.
+                unsafe { step.update_row(ent_params + r * len, row, grad) };
+            }
+        }
+    };
+
+    let workers = threads.max(1).min(total);
+    if workers <= 1 {
+        run_jobs(0..total);
+    } else {
+        rayon::scope(|s| {
+            for w in 0..workers {
+                let run_jobs = &run_jobs;
+                let (start, end) = shard_bounds(total, w, workers);
+                s.spawn(move |_| run_jobs(start..end));
+            }
+        });
+    }
+}
+
+/// The k-vs-all variant of [`fused_step_project`]: the entity-table
+/// gradient is dense (full softmax touches every entity row), so the job
+/// space is *all* entity rows in entity order plus the sparse relation
+/// keys. Per-batch optimizer state moves for every entity — inherent to
+/// the full-softmax regime, not an implementation choice.
+///
+/// # Panics
+/// Panics if `workspace` was not computed by
+/// [`GradWorkspace::compute_kvsall`].
+pub(crate) fn fused_step_project_kvsall(
+    model: &mut MultiEmbedModel,
+    workspace: &GradWorkspace,
+    optimizer: &mut dyn Optimizer,
+    unit_norm_entities: bool,
+    ent_params: usize,
+    threads: usize,
+) {
+    let parts = workspace
+        .kvsall_parts()
+        .expect("kvsall fused step requires a kvsall-computed workspace");
+    let dim = model.config().dim;
+    let n_comp = parts.ent_row_len.checked_div(dim).unwrap_or(0);
+    let n_ent = parts.dense_ent.len() / parts.ent_row_len.max(1);
+    let total = n_ent + parts.rel_keys.len();
+    if total == 0 {
+        return;
+    }
+
+    let step = optimizer.step_state();
+    let entities = TablePtr::new(model.entities.as_mut_slice());
+    let relations = TablePtr::new(model.relations.as_mut_slice());
+
+    let run_jobs = |jobs: std::ops::Range<usize>| {
+        for j in jobs {
+            if j < n_ent {
+                let len = parts.ent_row_len;
+                let grad = &parts.dense_ent[j * len..(j + 1) * len];
+                // SAFETY: dense entity jobs are indexed by entity id, so
+                // every job addresses a distinct row and a disjoint
+                // optimizer state range.
+                let row = unsafe { entities.row(j * len, len) };
+                unsafe { step.update_row(j * len, row, grad) };
+                if unit_norm_entities {
+                    for c in 0..n_comp {
+                        normalize_l2(&mut row[c * dim..(c + 1) * dim]);
+                    }
+                }
+            } else {
+                let s = j - n_ent;
+                let r = parts.rel_keys[s] as usize;
+                let len = parts.rel_row_len;
+                let grad = &parts.rel_slab[s * len..(s + 1) * len];
+                // SAFETY: relation keys are slot-interned (each appears
+                // exactly once); relation state lives past `ent_params`.
+                let row = unsafe { relations.row(r * len, len) };
                 unsafe { step.update_row(ent_params + r * len, row, grad) };
             }
         }
@@ -233,6 +307,85 @@ mod tests {
                     let mut opt = kind.build(state_len, 0.05);
                     opt.step_begin();
                     fused_step_project(
+                        &mut model,
+                        &ws,
+                        opt.as_mut(),
+                        unit_norm,
+                        ent_params,
+                        threads,
+                    );
+                    assert_eq!(
+                        ref_model.entities.as_slice(),
+                        model.entities.as_slice(),
+                        "{kind:?} unit_norm={unit_norm} threads={threads}: entities"
+                    );
+                    assert_eq!(
+                        ref_model.relations.as_slice(),
+                        model.relations.as_slice(),
+                        "{kind:?} unit_norm={unit_norm} threads={threads}: relations"
+                    );
+                    assert_eq!(
+                        ref_opt.export_state(),
+                        opt.export_state(),
+                        "{kind:?} unit_norm={unit_norm} threads={threads}: optimizer state"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The dense kvsall fused pass vs the same two-pass reference
+    /// (step every row via `for_each_row`, then project entities),
+    /// bit-identical across optimizers, thread counts, and unit-norm.
+    #[test]
+    fn kvsall_fused_pass_matches_two_pass_reference_bitwise() {
+        use crate::grads::KvQuery;
+        use mei_eval::Side;
+        use mei_kg::{SortedTargets, TripleStore};
+
+        let store = TripleStore::from_triples(toy_batch().into_iter().map(|(t, _)| t));
+        let targets = SortedTargets::from_store(&store);
+        let mut queries = Vec::new();
+        for &t in store.triples() {
+            queries.push(KvQuery { side: Side::Tail, anchor: t.head, relation: t.relation });
+            queries.push(KvQuery { side: Side::Head, anchor: t.tail, relation: t.relation });
+        }
+        queries.dedup();
+
+        for kind in [OptimizerKind::Sgd, OptimizerKind::Adam] {
+            for unit_norm in [false, true] {
+                let mut ref_model = toy_model(29);
+                let ent_params = ref_model.entities.len();
+                let state_len = ent_params + ref_model.relations.len();
+                let mut ws = GradWorkspace::with_threads(GradPath::Blocked, 1);
+                ws.compute_kvsall(&ref_model, &queries, &targets, 0.01, 0.1, None);
+                let mut ref_opt = kind.build(state_len, 0.05);
+                ref_opt.step_begin();
+                ws.for_each_row(|row, grad| match row {
+                    RowKey::Entity(e) => {
+                        let off = ref_model.entities.row_offset(e);
+                        ref_opt.update(off, ref_model.entities.row_mut(e), grad);
+                    }
+                    RowKey::Relation(r) => {
+                        let off = ent_params + ref_model.relations.row_offset(r);
+                        ref_opt.update(off, ref_model.relations.row_mut(r), grad);
+                    }
+                });
+                if unit_norm {
+                    ws.for_each_row(|row, _| {
+                        if let RowKey::Entity(e) = row {
+                            ref_model.entities.normalize_item(e);
+                        }
+                    });
+                }
+
+                for threads in [1usize, 3, 8] {
+                    let mut model = toy_model(29);
+                    let mut ws = GradWorkspace::with_threads(GradPath::Blocked, 1);
+                    ws.compute_kvsall(&model, &queries, &targets, 0.01, 0.1, None);
+                    let mut opt = kind.build(state_len, 0.05);
+                    opt.step_begin();
+                    fused_step_project_kvsall(
                         &mut model,
                         &ws,
                         opt.as_mut(),

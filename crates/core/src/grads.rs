@@ -33,19 +33,34 @@
 //! order regardless of which worker ran which chunk. `--threads N` is a
 //! speed knob only; `tests/parallel_parity.rs` asserts N-thread training
 //! is byte-identical to 1-thread training.
+//!
+//! # k-vs-all path
+//!
+//! [`GradWorkspace::compute_kvsall`] is a third compute entry point for
+//! the full-softmax training regime: each [`KvQuery`] group is scored
+//! against *every* entity with one cache-blocked
+//! [`mei_math::kernels::gemm_nt`], the softmax–cross-entropy residual is
+//! taken in place, and the backward decomposes into two GEMM-shaped
+//! passes (residual × entity table → per-group context gradients;
+//! residualᵀ × contexts → the dense entity-table gradient) plus the same
+//! sparse scatter core as the blocked path for anchor/relation/ω rows.
+//! It shares the chunk schedule, scratch, and merge machinery above, so
+//! the same thread-count bit-identity contract holds (see DESIGN.md §12
+//! for the full decomposition and determinism argument).
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use mei_eval::Side;
-use mei_kg::Triple;
+use mei_kg::{EntityId, RelationId, SortedTargets, Triple};
 use mei_math::kernels::{
-    axpy_fast, dot_fast, dot_gather, hadamard_axpy_fast, hadamard_write_fast, scale_add_l2_fast,
-    scale_write_l2_fast, trilinear_fast,
+    axpy_fast, dot_fast, dot_gather, gemm_nn_acc, gemm_nt, gemm_tn_acc, hadamard_axpy_fast,
+    hadamard_write_fast, scale_add_l2_fast, scale_write_l2_fast, trilinear_fast,
 };
 use mei_obs::PhaseBreakdown;
 
-use crate::loss::{logistic_loss, logistic_loss_grad, Label};
+use crate::fused::shard_bounds;
+use crate::loss::{logistic_loss, logistic_loss_grad, softmax_ce_residual, Label};
 use crate::model::MultiEmbedModel;
 use crate::trainer::LossKind;
 
@@ -93,6 +108,23 @@ impl std::str::FromStr for GradPath {
 /// Below this many merged floats the blocked merge runs inline: spawning
 /// scoped threads costs more than the memory traffic it would split.
 const PAR_MERGE_MIN: usize = 1 << 16;
+
+/// One k-vs-all query group: a `(side, anchor, relation)` whose score row
+/// spans the whole entity vocabulary.
+///
+/// `side` names which slot the candidates fill: [`Side::Tail`] ranks all
+/// tails of `(anchor, relation, ?)`, [`Side::Head`] all heads of
+/// `(?, relation, anchor)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KvQuery {
+    /// Which slot the candidate entities fill.
+    pub side: Side,
+    /// The fixed entity of the query (head for tail-ranking, tail for
+    /// head-ranking).
+    pub anchor: EntityId,
+    /// The relation of the query.
+    pub relation: RelationId,
+}
 
 /// Which side of the positive an example corrupts — determines which
 /// anchor context scores it. The positive itself is scored tail-side.
@@ -367,28 +399,30 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Runs `work` over `(example chunk, scratch chunk)` pairs on a pool of
-/// at most `threads` workers draining a shared queue.
+/// Runs `work` over `(item chunk, scratch chunk)` pairs on a pool of
+/// at most `threads` workers draining a shared queue. Items are labeled
+/// examples on the negative-sampling paths and [`KvQuery`] groups on the
+/// k-vs-all path.
 ///
 /// Which worker runs which chunk is invisible to the result: every chunk
 /// writes only its own scratch, and the caller merges scratch in chunk
 /// order afterwards, so neither the worker count nor OS scheduling can
 /// reach the floating-point stream.
-fn run_chunked<C: Send>(
-    examples: &[(Triple, Label)],
+fn run_chunked<T: Sync, C: Send>(
+    items: &[T],
     chunk: usize,
     scratch: &mut [C],
     threads: usize,
-    work: impl Fn(&[(Triple, Label)], &mut C) + Sync,
+    work: impl Fn(&[T], &mut C) + Sync,
 ) {
     let workers = threads.min(scratch.len());
     if workers <= 1 {
-        for (ex, c) in examples.chunks(chunk).zip(scratch.iter_mut()) {
-            work(ex, c);
+        for (it, c) in items.chunks(chunk).zip(scratch.iter_mut()) {
+            work(it, c);
         }
         return;
     }
-    let queue = std::sync::Mutex::new(examples.chunks(chunk).zip(scratch.iter_mut()));
+    let queue = std::sync::Mutex::new(items.chunks(chunk).zip(scratch.iter_mut()));
     rayon::scope(|s| {
         for _ in 0..workers {
             s.spawn(|_| loop {
@@ -517,6 +551,9 @@ fn run_legacy_chunk(
                 }
             }
         }
+        LossKind::SoftmaxCrossEntropy { .. } => {
+            panic!("softmax cross-entropy runs on the k-vs-all path (compute_kvsall), not compute")
+        }
     }
 }
 
@@ -586,6 +623,14 @@ struct BlockedChunk {
     /// Context directory for the current group: (side, anchor entity,
     /// relation, ctx row).
     group_anchors: Vec<(Side, u32, u32, u32)>,
+    /// k-vs-all: the residual-weighted entity sums (`kdim` floats per
+    /// query group) — `∂L/∂ctx`, the shared operand of the sparse
+    /// anchor/relation/ω backward.
+    gctx: Vec<f32>,
+    /// k-vs-all: query groups this chunk processed in the current batch.
+    /// Pass B reads `scores`/`ctxs` through this count after the chunk
+    /// workers have finished.
+    groups: usize,
 }
 
 struct BlockedSink<'a> {
@@ -649,7 +694,7 @@ fn run_blocked_chunk(
     }
 
     let BlockedChunk {
-        ent, rel, ent_keys, rel_keys, ent_slab, rel_slab, omega, loss, ctxs, pairs, scores, group_anchors,
+        ent, rel, ent_keys, rel_keys, ent_slab, rel_slab, omega, loss, ctxs, pairs, scores, group_anchors, ..
     } = c;
     let mut sink = BlockedSink { epoch, ent, ent_keys, ent_slab, rel, rel_keys, rel_slab, omega };
 
@@ -735,6 +780,219 @@ fn run_blocked_chunk(
                     }
                 }
             }
+            LossKind::SoftmaxCrossEntropy { .. } => {
+                panic!("softmax cross-entropy runs on the k-vs-all path (compute_kvsall), not compute")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// k-vs-all path: full-softmax GEMM forward + GEMM-shaped backward.
+// ---------------------------------------------------------------------------
+
+/// k-vs-all forward for one chunk of query groups: pack one anchor
+/// context per group, score all of them against the whole entity table in
+/// one cache-blocked GEMM, then take the softmax–cross-entropy residual
+/// of each score row in place (so `scores` holds `∂L/∂S` afterwards).
+fn run_kv_forward_chunk(
+    model: &MultiEmbedModel,
+    queries: &[KvQuery],
+    targets: &SortedTargets,
+    label_smooth: f32,
+    c: &mut BlockedChunk,
+) {
+    let kdim = model.config().n * model.config().dim;
+    let ne = model.entities.num_items();
+    let entity_table = model.entities.as_slice();
+    c.loss = 0.0;
+    c.groups = queries.len();
+    let cn = queries.len() * kdim;
+    if c.ctxs.len() < cn {
+        c.ctxs.resize(cn, 0.0);
+    }
+    for (q, ctx) in queries.iter().zip(c.ctxs[..cn].chunks_mut(kdim)) {
+        match q.side {
+            Side::Tail => model.tail_context(q.anchor, q.relation, ctx),
+            Side::Head => model.head_context(q.anchor, q.relation, ctx),
+        }
+    }
+    let sn = queries.len() * ne;
+    if c.scores.len() < sn {
+        c.scores.resize(sn, 0.0);
+    }
+    gemm_nt(&c.ctxs[..cn], entity_table, kdim, &mut c.scores[..sn]);
+    for (g, q) in queries.iter().enumerate() {
+        let t = match q.side {
+            Side::Tail => targets.tails_of(q.anchor, q.relation),
+            Side::Head => targets.heads_of(q.anchor, q.relation),
+        };
+        c.loss += softmax_ce_residual(&mut c.scores[g * ne..(g + 1) * ne], t, label_smooth);
+    }
+}
+
+/// k-vs-all sparse backward for one chunk: pass A collapses each group's
+/// residual row into a residual-weighted entity sum with one GEMM
+/// (`gctx_g = Σ_e r_{g,e}·E_e`), then the shared scatter core accumulates
+/// the anchor, relation, and ω gradients. The dense entity-table gradient
+/// (pass B) crosses chunks and runs afterwards in
+/// `GradWorkspace::scatter_kv_dense`.
+fn run_kv_backward_chunk(
+    model: &MultiEmbedModel,
+    queries: &[KvQuery],
+    l2_coef: f32,
+    n3: usize,
+    epoch: u32,
+    c: &mut BlockedChunk,
+) {
+    let kdim = model.config().n * model.config().dim;
+    let ne = model.entities.num_items();
+    let entity_table = model.entities.as_slice();
+    c.ent_keys.clear();
+    c.rel_keys.clear();
+    if c.omega.len() == n3 {
+        c.omega.fill(0.0);
+    } else {
+        c.omega = vec![0.0; n3];
+    }
+    let cn = queries.len() * kdim;
+    if c.gctx.len() < cn {
+        c.gctx.resize(cn, 0.0);
+    }
+    c.gctx[..cn].fill(0.0);
+    gemm_nn_acc(&c.scores[..queries.len() * ne], entity_table, kdim, &mut c.gctx[..cn]);
+    let BlockedChunk { ent, rel, ent_keys, rel_keys, ent_slab, rel_slab, omega, gctx, .. } = c;
+    let mut sink = BlockedSink { epoch, ent, ent_keys, ent_slab, rel, rel_keys, rel_slab, omega };
+    for (g, &q) in queries.iter().enumerate() {
+        accumulate_group_backward(model, q, &gctx[g * kdim..(g + 1) * kdim], l2_coef, &mut sink);
+    }
+}
+
+/// Accumulates one k-vs-all query group's anchor-row, relation-row, and ω
+/// gradients into `sink`, given the group's residual-weighted entity sum
+/// `gctx` — which plays exactly the role the candidate embedding plays in
+/// [`accumulate_example`], since the score is linear in the candidate
+/// slot. The candidate-side gradient itself is dense over the entity
+/// table and is handled by the pass-B GEMM; only the anchor and relation
+/// rows take an L2 pull here (one per group touch), so pass B stays a
+/// clean GEMM — matching the exemplar regime of no candidate-side
+/// regularization.
+fn accumulate_group_backward<S: GradSink>(
+    model: &MultiEmbedModel,
+    q: KvQuery,
+    gctx: &[f32],
+    l2_coef: f32,
+    sink: &mut S,
+) {
+    let d = model.config().dim;
+    let ent_row_len = model.entities.row_len();
+    let rel_row_len = model.relations.row_len();
+    let a = model.entities.row(q.anchor.idx());
+    let r = model.relations.row(q.relation.idx());
+
+    // Anchor row: same fresh-row write-mode scheme as `accumulate_example`
+    // with the residual sum standing in for the candidate operand.
+    {
+        let (entry, fresh) = sink.row_mut(RowKey::Entity(q.anchor.idx()), ent_row_len);
+        let n_sub = ent_row_len / d;
+        let mut written: u64 = if fresh && S::FAST && n_sub <= 64 { 0 } else { u64::MAX };
+        if fresh && written == u64::MAX {
+            entry.fill(0.0);
+        }
+        for &(i, j, k, w) in model.terms() {
+            if w == 0.0 {
+                continue;
+            }
+            let (sub, b_row) = match q.side {
+                // ∂L/∂h⁽ⁱ⁾ = Σ_{j,k} ω·(Σ_e r_e·t_e⁽ʲ⁾)⊙r⁽ᵏ⁾
+                Side::Tail => (i, &gctx[j * d..(j + 1) * d]),
+                // ∂L/∂t⁽ʲ⁾ = Σ_{i,k} ω·(Σ_e r_e·h_e⁽ⁱ⁾)⊙r⁽ᵏ⁾
+                Side::Head => (j, &gctx[i * d..(i + 1) * d]),
+            };
+            let rk = &r[k * d..(k + 1) * d];
+            let out = &mut entry[sub * d..(sub + 1) * d];
+            if written & (1 << sub) == 0 {
+                written |= 1 << sub;
+                hadamard_write_fast(w, b_row, rk, out);
+            } else {
+                hadamard_axpy_fast(w, b_row, rk, out);
+            }
+        }
+        if written != u64::MAX {
+            for s in 0..n_sub {
+                if written & (1 << s) == 0 {
+                    entry[s * d..(s + 1) * d].fill(0.0);
+                }
+            }
+        }
+        if S::FAST {
+            axpy_fast(l2_coef, a, entry);
+        } else {
+            axpy_l2(entry, l2_coef, a);
+        }
+    }
+
+    // Relation row, keyed on `k` like `accumulate_example`.
+    {
+        let (entry, fresh) = sink.row_mut(RowKey::Relation(q.relation.idx()), rel_row_len);
+        let n_sub = rel_row_len / d;
+        let mut written: u64 = if fresh && S::FAST && n_sub <= 64 { 0 } else { u64::MAX };
+        if fresh && written == u64::MAX {
+            entry.fill(0.0);
+        }
+        for &(i, j, k, w) in model.terms() {
+            if w == 0.0 {
+                continue;
+            }
+            // Tail: ∂L/∂r⁽ᵏ⁾ = Σ_{i,j} ω·h⁽ⁱ⁾⊙(Σ_e r_e·t_e⁽ʲ⁾);
+            // Head: the anchor fills the tail slot and the sum runs over
+            // candidate heads.
+            let (a_row, b_row) = match q.side {
+                Side::Tail => (&a[i * d..(i + 1) * d], &gctx[j * d..(j + 1) * d]),
+                Side::Head => (&gctx[i * d..(i + 1) * d], &a[j * d..(j + 1) * d]),
+            };
+            let out = &mut entry[k * d..(k + 1) * d];
+            if written & (1 << k) == 0 {
+                written |= 1 << k;
+                hadamard_write_fast(w, a_row, b_row, out);
+            } else {
+                hadamard_axpy_fast(w, a_row, b_row, out);
+            }
+        }
+        if written != u64::MAX {
+            for s in 0..n_sub {
+                if written & (1 << s) == 0 {
+                    entry[s * d..(s + 1) * d].fill(0.0);
+                }
+            }
+        }
+        if S::FAST {
+            axpy_fast(l2_coef, r, entry);
+        } else {
+            axpy_l2(entry, l2_coef, r);
+        }
+    }
+
+    // ω: ∂L/∂ω_ijk = Σ_e r_e·⟨…⟩ — the trilinear form is linear in the
+    // candidate slot, so the residual sum slides inside it.
+    if model.trainable_omega() {
+        let n = model.config().n;
+        let nr = model.omega().n_rel();
+        let omega = sink.omega_mut();
+        for &(i, j, k, _) in model.terms() {
+            let tri = match q.side {
+                Side::Tail => trilinear_fast(
+                    &a[i * d..(i + 1) * d],
+                    &gctx[j * d..(j + 1) * d],
+                    &r[k * d..(k + 1) * d],
+                ),
+                Side::Head => trilinear_fast(
+                    &gctx[i * d..(i + 1) * d],
+                    &a[j * d..(j + 1) * d],
+                    &r[k * d..(k + 1) * d],
+                ),
+            };
+            omega[(i * n + j) * nr + k] += tri;
         }
     }
 }
@@ -773,6 +1031,10 @@ pub struct GradWorkspace {
     g_rel_slab: Vec<f32>,
     ent_contribs: Vec<Vec<(u32, u32)>>,
     rel_contribs: Vec<Vec<(u32, u32)>>,
+    // k-vs-all result + scratch.
+    kv_mode: bool,
+    kv_entities: usize,
+    kv_dense: Vec<f32>,
 }
 
 impl GradWorkspace {
@@ -810,6 +1072,9 @@ impl GradWorkspace {
             g_rel_slab: Vec::new(),
             ent_contribs: Vec::new(),
             rel_contribs: Vec::new(),
+            kv_mode: false,
+            kv_entities: 0,
+            kv_dense: Vec::new(),
         }
     }
 
@@ -842,6 +1107,7 @@ impl GradWorkspace {
     ) -> f64 {
         assert!(group_len >= 1, "group_len must be at least 1");
         let n3 = model.omega().dense().len();
+        self.kv_mode = false;
         self.ent_row_len = model.entities.row_len();
         self.rel_row_len = model.relations.row_len();
         if self.epoch == u32::MAX {
@@ -928,6 +1194,157 @@ impl GradWorkspace {
         run_chunked(examples, chunk, used, self.threads, |ex_chunk, c| {
             run_blocked_chunk(model, ex_chunk, group_len, l2_coef, loss_kind, n3, epoch, c)
         });
+    }
+
+    /// Computes the k-vs-all (full-softmax) gradients for a batch of
+    /// query groups, replacing the previous batch's results, and returns
+    /// the total loss.
+    ///
+    /// Each query is scored against every entity; `targets` supplies the
+    /// ascending per-`(anchor, relation)` true-candidate sets (build them
+    /// from the **train** store — using the all-splits filter store would
+    /// leak validation/test triples into the loss). Gradients afterwards
+    /// live in a *dense* entity-table slab (full softmax touches every
+    /// entity row) plus the usual sparse relation slab; read them through
+    /// [`GradWorkspace::for_each_row`] / [`GradWorkspace::row`], or hand
+    /// the workspace to the dense fused step. `self.path` is not
+    /// consulted — k-vs-all has exactly one implementation.
+    ///
+    /// When `timing` is given, the GEMM forward + softmax is added to
+    /// `phases.forward`, both backward GEMM passes and the sparse scatter
+    /// to `phases.backward`, and the chunk merge + anchor fold to
+    /// `phases.merge`.
+    pub fn compute_kvsall(
+        &mut self,
+        model: &MultiEmbedModel,
+        queries: &[KvQuery],
+        targets: &SortedTargets,
+        l2_coef: f32,
+        label_smooth: f32,
+        mut timing: Option<&mut PhaseBreakdown>,
+    ) -> f64 {
+        assert!(!queries.is_empty(), "kvsall batch must contain at least one query");
+        let n3 = model.omega().dense().len();
+        self.kv_mode = true;
+        self.kv_entities = model.entities.num_items();
+        self.ent_row_len = model.entities.row_len();
+        self.rel_row_len = model.relations.row_len();
+        if self.epoch == u32::MAX {
+            for c in &mut self.blocked {
+                c.ent.reset();
+                c.rel.reset();
+            }
+            self.g_ent.reset();
+            self.g_rel.reset();
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+
+        // Same shape-derived schedule as the negative-sampling paths,
+        // with a query group as the scheduling unit.
+        let chunk = chunk_len(queries.len(), 1);
+        let nchunks = queries.len().div_ceil(chunk.max(1));
+        while self.blocked.len() < nchunks {
+            self.blocked.push(BlockedChunk::default());
+        }
+        self.g_ent.ensure(self.kv_entities);
+        self.g_rel.ensure(model.relations.num_items());
+        for c in &mut self.blocked[..nchunks] {
+            c.ent.ensure(model.entities.num_items());
+            c.rel.ensure(model.relations.num_items());
+        }
+
+        let span = timing.is_some().then(Instant::now);
+        {
+            let used = &mut self.blocked[..nchunks];
+            run_chunked(queries, chunk, used, self.threads, |qs, c| {
+                run_kv_forward_chunk(model, qs, targets, label_smooth, c)
+            });
+        }
+        if let (Some(t0), Some(ph)) = (span, timing.as_deref_mut()) {
+            ph.forward += t0.elapsed().as_secs_f64();
+        }
+
+        let span = timing.is_some().then(Instant::now);
+        let epoch = self.epoch;
+        {
+            let used = &mut self.blocked[..nchunks];
+            run_chunked(queries, chunk, used, self.threads, |qs, c| {
+                run_kv_backward_chunk(model, qs, l2_coef, n3, epoch, c)
+            });
+        }
+        self.scatter_kv_dense(nchunks);
+        if let (Some(t0), Some(ph)) = (span, timing.as_deref_mut()) {
+            ph.backward += t0.elapsed().as_secs_f64();
+        }
+
+        let span = timing.is_some().then(Instant::now);
+        self.merge_blocked(nchunks, n3);
+        self.fold_anchors_into_dense();
+        if let (Some(t0), Some(ph)) = (span, timing.as_mut()) {
+            ph.merge += t0.elapsed().as_secs_f64();
+        }
+        self.loss
+    }
+
+    /// Pass B of the k-vs-all backward: the dense entity-table gradient
+    /// `G += Rᵀ·C` (per-chunk residuals transposed times that chunk's
+    /// packed contexts), accumulated chunk-by-chunk.
+    ///
+    /// Bit-deterministic at any worker count: workers own disjoint
+    /// entity-row ranges, within a range chunks are visited in ascending
+    /// chunk order, and [`gemm_tn_acc`] reduces ascending over the group
+    /// index with a row-range-invariant blocking — so every element of
+    /// `kv_dense` sees one fixed reduction order no matter how the rows
+    /// are sharded.
+    fn scatter_kv_dense(&mut self, nchunks: usize) {
+        let len = self.ent_row_len;
+        let ne = self.kv_entities;
+        let total = ne * len;
+        if self.kv_dense.len() < total {
+            self.kv_dense.resize(total, 0.0);
+        }
+        let chunks = &self.blocked[..nchunks];
+        let dense = &mut self.kv_dense[..total];
+        let run_shard = |out: &mut [f32], e0: usize| {
+            out.fill(0.0);
+            for c in chunks {
+                if c.groups == 0 {
+                    continue;
+                }
+                gemm_tn_acc(&c.scores[..c.groups * ne], ne, &c.ctxs[..c.groups * len], len, e0, out);
+            }
+        };
+        let workers = self.threads.max(1).min(ne);
+        if workers <= 1 {
+            run_shard(dense, 0);
+        } else {
+            rayon::scope(|s| {
+                let mut rest = dense;
+                for w in 0..workers {
+                    let (start, end) = shard_bounds(ne, w, workers);
+                    let (mine, tail) = rest.split_at_mut((end - start) * len);
+                    rest = tail;
+                    let rs = &run_shard;
+                    s.spawn(move |_| rs(mine, start));
+                }
+            });
+        }
+    }
+
+    /// Folds the merged sparse anchor/relation-row entity gradients into
+    /// the dense slab, in merged first-touch key order after the pass-B
+    /// GEMM — a fixed dense-then-sparse order, so the slab is a pure
+    /// function of the batch.
+    fn fold_anchors_into_dense(&mut self) {
+        let len = self.ent_row_len;
+        for (s, &e) in self.g_ent_keys.iter().enumerate() {
+            let src = &self.g_ent_slab[s * len..(s + 1) * len];
+            let dst = &mut self.kv_dense[e as usize * len..(e as usize + 1) * len];
+            for (acc, g) in dst.iter_mut().zip(src) {
+                *acc += *g;
+            }
+        }
     }
 
     /// Returns the previous batch's merged row gradients to the chunk
@@ -1092,7 +1509,21 @@ impl GradWorkspace {
     }
 
     /// Visits every touched row of the last batch (unspecified order).
+    ///
+    /// After a k-vs-all batch this visits *every* entity row (full
+    /// softmax gives every entity gradient mass) in entity order, then
+    /// the sparse relation rows.
     pub fn for_each_row(&self, mut f: impl FnMut(RowKey, &[f32])) {
+        if self.kv_mode {
+            let len = self.ent_row_len;
+            for e in 0..self.kv_entities {
+                f(RowKey::Entity(e), &self.kv_dense[e * len..(e + 1) * len]);
+            }
+            for (s, &r) in self.g_rel_keys.iter().enumerate() {
+                f(RowKey::Relation(r as usize), &self.g_rel_slab[s * self.rel_row_len..][..self.rel_row_len]);
+            }
+            return;
+        }
         match self.path {
             GradPath::Legacy => {
                 for (k, v) in &self.rows {
@@ -1117,6 +1548,9 @@ impl GradWorkspace {
     /// appears exactly once — the property that lets the fused pass hand
     /// disjoint key ranges to different workers without row aliasing.
     pub(crate) fn blocked_parts(&self) -> Option<BlockedParts<'_>> {
+        if self.kv_mode {
+            return None;
+        }
         match self.path {
             GradPath::Legacy => None,
             GradPath::Blocked => Some(BlockedParts {
@@ -1130,8 +1564,34 @@ impl GradWorkspace {
         }
     }
 
+    /// Borrowed view of the k-vs-all result for the dense fused
+    /// step/project pass; `None` unless the last compute was
+    /// [`GradWorkspace::compute_kvsall`].
+    pub(crate) fn kvsall_parts(&self) -> Option<KvsallParts<'_>> {
+        if !self.kv_mode {
+            return None;
+        }
+        Some(KvsallParts {
+            dense_ent: &self.kv_dense[..self.kv_entities * self.ent_row_len],
+            rel_keys: &self.g_rel_keys,
+            rel_slab: &self.g_rel_slab,
+            ent_row_len: self.ent_row_len,
+            rel_row_len: self.rel_row_len,
+        })
+    }
+
     /// The gradient row for `key`, if that row was touched.
     pub fn row(&self, key: RowKey) -> Option<&[f32]> {
+        if self.kv_mode {
+            return match key {
+                RowKey::Entity(e) => (e < self.kv_entities)
+                    .then(|| &self.kv_dense[e * self.ent_row_len..][..self.ent_row_len]),
+                RowKey::Relation(r) => self
+                    .g_rel
+                    .lookup(r, self.epoch)
+                    .map(|s| &self.g_rel_slab[s * self.rel_row_len..][..self.rel_row_len]),
+            };
+        }
         match self.path {
             GradPath::Legacy => self.rows.get(&key).map(Vec::as_slice),
             GradPath::Blocked => match key {
@@ -1170,6 +1630,18 @@ impl GradWorkspace {
 pub(crate) struct BlockedParts<'a> {
     pub ent_keys: &'a [u32],
     pub ent_slab: &'a [f32],
+    pub rel_keys: &'a [u32],
+    pub rel_slab: &'a [f32],
+    pub ent_row_len: usize,
+    pub rel_row_len: usize,
+}
+
+/// Borrowed view of the k-vs-all merged gradients: the dense entity-table
+/// slab (one row per entity, in entity order — `dense_ent.len() /
+/// ent_row_len` entities) plus the sparse slot-interned relation slab, as
+/// consumed by the trainer's dense fused step/project pass.
+pub(crate) struct KvsallParts<'a> {
+    pub dense_ent: &'a [f32],
     pub rel_keys: &'a [u32],
     pub rel_slab: &'a [f32],
     pub ent_row_len: usize,
@@ -1259,13 +1731,52 @@ pub fn compute_batch_grads(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::weights::WeightPreset;
+    use crate::model::ModelConfig;
+    use crate::weights::{WeightPreset, WeightRestriction};
+    use mei_kg::TripleStore;
+    use std::collections::HashSet;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn toy_model(seed: u64) -> MultiEmbedModel {
         let mut rng = StdRng::seed_from_u64(seed);
         MultiEmbedModel::from_preset(WeightPreset::ComplEx, 9, 3, 4, &mut rng)
+    }
+
+    fn learned_toy_model(seed: u64) -> MultiEmbedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = ModelConfig { num_entities: 9, num_relations: 3, n: 2, dim: 4 };
+        MultiEmbedModel::with_learned_weights(cfg, WeightRestriction::Tanh, 0.5, &mut rng)
+    }
+
+    /// A deduped both-sides query set over a small train store — enough
+    /// queries that `chunk_len` yields several chunks.
+    fn kv_queries_and_targets() -> (Vec<KvQuery>, SortedTargets) {
+        let triples = [
+            Triple::new(0, 1, 0),
+            Triple::new(0, 5, 0),
+            Triple::new(2, 3, 1),
+            Triple::new(7, 3, 1),
+            Triple::new(4, 4, 2),
+            Triple::new(4, 8, 2),
+            Triple::new(1, 2, 0),
+            Triple::new(3, 6, 2),
+            Triple::new(5, 0, 1),
+            Triple::new(8, 7, 0),
+            Triple::new(6, 6, 1),
+            Triple::new(2, 8, 2),
+        ];
+        let store = TripleStore::from_triples(triples);
+        let mut queries = Vec::new();
+        let mut seen = HashSet::new();
+        for &t in store.triples() {
+            for (side, anchor) in [(Side::Tail, t.head), (Side::Head, t.tail)] {
+                if seen.insert((side, anchor, t.relation)) {
+                    queries.push(KvQuery { side, anchor, relation: t.relation });
+                }
+            }
+        }
+        (queries, SortedTargets::from_store(&store))
     }
 
     fn toy_batch() -> Vec<(Triple, Label)> {
@@ -1376,5 +1887,247 @@ mod tests {
         let mut unordered = 0usize;
         ws.for_each_row(|_, _| unordered += 1);
         assert_eq!(keys.len(), unordered);
+    }
+
+    /// The full kvsall backward (pass A + scatter + pass B + anchor fold)
+    /// against central finite differences of the returned loss over every
+    /// entity and relation parameter, with and without label smoothing.
+    #[test]
+    fn kvsall_grads_match_finite_differences() {
+        use mei_autodiff::finite_difference_gradient;
+        let (queries, targets) = kv_queries_and_targets();
+        for ls in [0.0f32, 0.1] {
+            let model = toy_model(17);
+            let ent_row_len = model.entities.row_len();
+            let rel_row_len = model.relations.row_len();
+            let ne_floats = model.entities.len();
+            let base: Vec<f64> = model
+                .entities
+                .as_slice()
+                .iter()
+                .chain(model.relations.as_slice())
+                .map(|&v| f64::from(v))
+                .collect();
+            let f = |x: &[f64]| {
+                let mut m = toy_model(17);
+                for (dst, &src) in m.entities.as_mut_slice().iter_mut().zip(&x[..ne_floats]) {
+                    *dst = src as f32;
+                }
+                for (dst, &src) in m.relations.as_mut_slice().iter_mut().zip(&x[ne_floats..]) {
+                    *dst = src as f32;
+                }
+                let mut ws = GradWorkspace::with_threads(GradPath::Blocked, 1);
+                ws.compute_kvsall(&m, &queries, &targets, 0.0, ls, None)
+            };
+            let fd = finite_difference_gradient(f, &base, 1e-3);
+            let mut ws = GradWorkspace::with_threads(GradPath::Blocked, 1);
+            ws.compute_kvsall(&model, &queries, &targets, 0.0, ls, None);
+            let mut analytic = vec![0.0f64; base.len()];
+            ws.for_each_row(|k, g| {
+                let off = match k {
+                    RowKey::Entity(e) => e * ent_row_len,
+                    RowKey::Relation(r) => ne_floats + r * rel_row_len,
+                };
+                for (i, &v) in g.iter().enumerate() {
+                    analytic[off + i] = f64::from(v);
+                }
+            });
+            for (i, (&a, &n)) in analytic.iter().zip(&fd).enumerate() {
+                assert!(
+                    (a - n).abs() < 3e-3 * (1.0 + n.abs()),
+                    "ls={ls}: param {i}: analytic {a} vs fd {n}"
+                );
+            }
+        }
+    }
+
+    /// The GEMM-shaped kvsall backward against a naive f64 reference —
+    /// per-query dense loops with no blocking, no slot interning and no
+    /// wide kernels — on a learned-ω model with L2 and label smoothing,
+    /// covering the ω gradient and the per-group L2 policy (anchor and
+    /// relation rows only).
+    #[test]
+    fn kvsall_grads_match_naive_reference() {
+        let model = learned_toy_model(23);
+        let (queries, targets) = kv_queries_and_targets();
+        let (l2_coef, ls) = (0.02f32, 0.05f32);
+        let d = model.config().dim;
+        let nq = model.config().n;
+        let kdim = nq * d;
+        let ne = model.entities.num_items();
+        let nr = model.omega().n_rel();
+
+        let mut rows: HashMap<RowKey, Vec<f64>> = HashMap::new();
+        let mut omega_ref = vec![0.0f64; model.omega().dense().len()];
+        let mut loss_ref = 0.0f64;
+        let mut ctx = vec![0.0f32; kdim];
+        for &q in &queries {
+            match q.side {
+                Side::Tail => model.tail_context(q.anchor, q.relation, &mut ctx),
+                Side::Head => model.head_context(q.anchor, q.relation, &mut ctx),
+            }
+            let mut scores: Vec<f32> = (0..ne)
+                .map(|e| {
+                    let row = model.entities.row(e);
+                    ctx.iter().zip(row).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum::<f64>()
+                        as f32
+                })
+                .collect();
+            let t = match q.side {
+                Side::Tail => targets.tails_of(q.anchor, q.relation),
+                Side::Head => targets.heads_of(q.anchor, q.relation),
+            };
+            loss_ref += softmax_ce_residual(&mut scores, t, ls);
+            // Candidate gradients: r_e · ctx on every entity row.
+            for (e, &re) in scores.iter().enumerate() {
+                let row = rows.entry(RowKey::Entity(e)).or_insert_with(|| vec![0.0; kdim]);
+                for (dst, &c) in row.iter_mut().zip(&ctx) {
+                    *dst += f64::from(re) * f64::from(c);
+                }
+            }
+            // gctx = Σ_e r_e·E_e in f64.
+            let mut gctx = vec![0.0f64; kdim];
+            for (e, &re) in scores.iter().enumerate() {
+                for (g, &v) in gctx.iter_mut().zip(model.entities.row(e)) {
+                    *g += f64::from(re) * f64::from(v);
+                }
+            }
+            let a: Vec<f64> =
+                model.entities.row(q.anchor.idx()).iter().map(|&v| f64::from(v)).collect();
+            let r: Vec<f64> =
+                model.relations.row(q.relation.idx()).iter().map(|&v| f64::from(v)).collect();
+            {
+                let arow =
+                    rows.entry(RowKey::Entity(q.anchor.idx())).or_insert_with(|| vec![0.0; kdim]);
+                for &(i, j, k, w) in model.terms() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for dd in 0..d {
+                        match q.side {
+                            Side::Tail => {
+                                arow[i * d + dd] +=
+                                    f64::from(w) * gctx[j * d + dd] * r[k * d + dd]
+                            }
+                            Side::Head => {
+                                arow[j * d + dd] +=
+                                    f64::from(w) * gctx[i * d + dd] * r[k * d + dd]
+                            }
+                        }
+                    }
+                }
+                for (dst, &v) in arow.iter_mut().zip(&a) {
+                    *dst += f64::from(l2_coef) * v;
+                }
+            }
+            {
+                let rrow = rows
+                    .entry(RowKey::Relation(q.relation.idx()))
+                    .or_insert_with(|| vec![0.0; model.relations.row_len()]);
+                for &(i, j, k, w) in model.terms() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for dd in 0..d {
+                        let prod = match q.side {
+                            Side::Tail => a[i * d + dd] * gctx[j * d + dd],
+                            Side::Head => gctx[i * d + dd] * a[j * d + dd],
+                        };
+                        rrow[k * d + dd] += f64::from(w) * prod;
+                    }
+                }
+                for (dst, &v) in rrow.iter_mut().zip(&r) {
+                    *dst += f64::from(l2_coef) * v;
+                }
+            }
+            for &(i, j, k, _) in model.terms() {
+                let mut tri = 0.0f64;
+                for dd in 0..d {
+                    tri += match q.side {
+                        Side::Tail => a[i * d + dd] * gctx[j * d + dd] * r[k * d + dd],
+                        Side::Head => gctx[i * d + dd] * a[j * d + dd] * r[k * d + dd],
+                    };
+                }
+                omega_ref[(i * nq + j) * nr + k] += tri;
+            }
+        }
+
+        let mut ws = GradWorkspace::with_threads(GradPath::Blocked, 2);
+        let loss = ws.compute_kvsall(&model, &queries, &targets, l2_coef, ls, None);
+        assert!((loss - loss_ref).abs() < 1e-6 * (1.0 + loss_ref.abs()));
+        let mut visited = 0usize;
+        ws.for_each_row(|k, g| {
+            let expect = rows.get(&k).unwrap_or_else(|| panic!("unexpected row {k:?}"));
+            for (i, (&got, &want)) in g.iter().zip(expect.iter()).enumerate() {
+                assert!(
+                    (f64::from(got) - want).abs() < 1e-4 * (1.0 + want.abs()),
+                    "row {k:?}[{i}]: {got} vs {want}"
+                );
+            }
+            visited += 1;
+        });
+        assert_eq!(visited, rows.len(), "row sets differ");
+        assert!(model.trainable_omega());
+        for (i, (&got, &want)) in ws.omega_grads().iter().zip(&omega_ref).enumerate() {
+            assert!(
+                (f64::from(got) - want).abs() < 1e-4 * (1.0 + want.abs()),
+                "omega[{i}]: {got} vs {want}"
+            );
+        }
+    }
+
+    /// kvsall results are bit-identical across worker counts, fixed and
+    /// learned ω.
+    #[test]
+    fn kvsall_results_are_thread_count_independent() {
+        let (queries, targets) = kv_queries_and_targets();
+        for learned in [false, true] {
+            let model = if learned { learned_toy_model(19) } else { toy_model(19) };
+            let gather = |threads: usize| {
+                let mut ws = GradWorkspace::with_threads(GradPath::Blocked, threads);
+                let loss = ws.compute_kvsall(&model, &queries, &targets, 0.01, 0.1, None);
+                let mut rows: Vec<(RowKey, Vec<u32>)> = Vec::new();
+                ws.for_each_row_sorted(|k, g| {
+                    rows.push((k, g.iter().map(|v| v.to_bits()).collect()))
+                });
+                let omega: Vec<u32> = ws.omega_grads().iter().map(|v| v.to_bits()).collect();
+                (loss.to_bits(), rows, omega)
+            };
+            let base = gather(1);
+            for threads in [2, 3, 8] {
+                assert_eq!(base, gather(threads), "learned={learned} threads={threads}");
+            }
+        }
+    }
+
+    /// Workspace scratch survives interleaved kvsall / negative-sampling
+    /// batches: recomputing either mode reproduces its bits exactly.
+    #[test]
+    fn kvsall_workspace_reuse_is_stable_and_mode_switches_cleanly() {
+        let model = toy_model(11);
+        let (queries, targets) = kv_queries_and_targets();
+        let batch = toy_batch();
+        let mut ws = GradWorkspace::with_threads(GradPath::Blocked, 2);
+        let gather_kv = |ws: &mut GradWorkspace| {
+            let loss = ws.compute_kvsall(&model, &queries, &targets, 0.01, 0.1, None);
+            let mut rows: Vec<(RowKey, Vec<u32>)> = Vec::new();
+            ws.for_each_row_sorted(|k, g| rows.push((k, g.iter().map(|v| v.to_bits()).collect())));
+            (loss.to_bits(), rows)
+        };
+        let first = gather_kv(&mut ws);
+        let neg_loss = ws.compute(&model, &batch, 0.01, LossKind::Logistic, 2, None);
+        let again = gather_kv(&mut ws);
+        assert_eq!(first, again, "kvsall bits changed after an interleaved negative batch");
+        // The negative path through recycled kvsall scratch must match a
+        // fresh workspace bitwise.
+        let mut fresh = GradWorkspace::with_threads(GradPath::Blocked, 2);
+        let fresh_loss = fresh.compute(&model, &batch, 0.01, LossKind::Logistic, 2, None);
+        assert_eq!(neg_loss.to_bits(), fresh_loss.to_bits());
+        let mut a: Vec<(RowKey, Vec<u32>)> = Vec::new();
+        fresh.for_each_row_sorted(|k, g| a.push((k, g.iter().map(|v| v.to_bits()).collect())));
+        ws.compute(&model, &batch, 0.01, LossKind::Logistic, 2, None);
+        let mut b: Vec<(RowKey, Vec<u32>)> = Vec::new();
+        ws.for_each_row_sorted(|k, g| b.push((k, g.iter().map(|v| v.to_bits()).collect())));
+        assert_eq!(a, b);
     }
 }

@@ -42,7 +42,7 @@ pub mod weights;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint, TrainCheckpoint};
 pub use embedding::EmbeddingTable;
-pub use grads::{compute_batch_grads, GradPath, GradWorkspace, RowKey};
+pub use grads::{compute_batch_grads, GradPath, GradWorkspace, KvQuery, RowKey};
 pub use model::{ModelConfig, MultiEmbedModel};
-pub use trainer::{LossKind, SamplingStrategy, TrainConfig, TrainReport, Trainer};
+pub use trainer::{LossKind, LrDecayMode, SamplingStrategy, TrainConfig, TrainReport, Trainer};
 pub use weights::{WeightPreset, WeightRestriction, WeightVector};

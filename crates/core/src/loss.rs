@@ -53,6 +53,88 @@ pub fn predict_probability(score: f32) -> f32 {
     sigmoid(score)
 }
 
+/// Numerically-stable softmax–cross-entropy over one k-vs-all candidate
+/// score row, with multi-label targets and optional label smoothing.
+///
+/// `scores` holds `S(anchor, e, r)` for every candidate entity `e`;
+/// `targets` is the ascending-sorted, deduplicated set of entity indices
+/// that are true under the train split (k-vs-all: every true candidate of
+/// the `(anchor, r)` pair shares the target mass). With smoothing
+/// `ls ∈ [0, 1)` the target distribution is
+///
+/// ```text
+/// t_e = ls/|E| + (1 − ls)/|T|·[e ∈ T]
+/// ```
+///
+/// and the loss is `L = logsumexp(S) − Σ_e t_e·S_e`. On return `scores`
+/// holds the residual `softmax(S) − t` — which *is* `∂L/∂S` — so the
+/// backward pass can consume the buffer in place.
+///
+/// # Determinism
+///
+/// Every reduction (max, partition sum, target sums) is a single
+/// ascending scan and all transcendental work is done in f64 on exact
+/// f32 inputs, so the result is a pure function of the inputs — no
+/// thread count or blocking factor is involved.
+///
+/// # Panics
+/// Panics if `targets` is empty or `scores` is empty.
+pub fn softmax_ce_residual(scores: &mut [f32], targets: &[u32], label_smooth: f32) -> f64 {
+    assert!(!targets.is_empty(), "softmax-CE needs at least one target");
+    assert!(!scores.is_empty(), "softmax-CE needs at least one candidate");
+    debug_assert!(targets.windows(2).all(|w| w[0] < w[1]), "targets must be sorted+deduped");
+    debug_assert!((targets[targets.len() - 1] as usize) < scores.len());
+    let ne = scores.len();
+
+    // Max-subtracted logsumexp: one ascending scan each.
+    let mut m = f32::NEG_INFINITY;
+    for &s in scores.iter() {
+        if s > m {
+            m = s;
+        }
+    }
+    let m = f64::from(m);
+    let mut z = 0.0f64;
+    for &s in scores.iter() {
+        z += (f64::from(s) - m).exp();
+    }
+    let log_z = z.ln() + m;
+
+    // Σ_e t_e·S_e, split into the smoothed uniform part (over all
+    // candidates) and the target part (over T), each an ascending scan.
+    let ls = f64::from(label_smooth);
+    let unif = ls / ne as f64;
+    let tmass = (1.0 - ls) / targets.len() as f64;
+    let mut dot_ts = 0.0f64;
+    if ls != 0.0 {
+        let mut sum_all = 0.0f64;
+        for &s in scores.iter() {
+            sum_all += f64::from(s);
+        }
+        dot_ts += unif * sum_all;
+    }
+    let mut sum_t = 0.0f64;
+    for &e in targets {
+        sum_t += f64::from(scores[e as usize]);
+    }
+    dot_ts += tmass * sum_t;
+    let loss = log_z - dot_ts;
+
+    // In-place residual: r_e = p_e − t_e with p_e = e^{S_e − m} / z.
+    // `targets` is sorted, so one forward cursor pairs it with the scan.
+    let mut ti = 0usize;
+    for (e, s) in scores.iter_mut().enumerate() {
+        let p = (f64::from(*s) - m).exp() / z;
+        let mut t = unif;
+        if ti < targets.len() && targets[ti] as usize == e {
+            t += tmass;
+            ti += 1;
+        }
+        *s = (p - t) as f32;
+    }
+    loss
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +183,87 @@ mod tests {
         assert!(predict_probability(-1.0) < predict_probability(0.0));
         assert!(predict_probability(0.0) < predict_probability(1.0));
         assert!((predict_probability(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_reference_values() {
+        // Uniform scores, one target out of four: L = ln 4, residual is
+        // 1/4 everywhere except −3/4 at the target.
+        let mut s = vec![0.0f32; 4];
+        let loss = softmax_ce_residual(&mut s, &[2], 0.0);
+        assert!((loss - 4.0f64.ln()).abs() < 1e-9);
+        for (e, r) in s.iter().enumerate() {
+            let expect = if e == 2 { -0.75 } else { 0.25 };
+            assert!((r - expect).abs() < 1e-6, "residual[{e}] = {r}");
+        }
+    }
+
+    #[test]
+    fn softmax_ce_multi_label_splits_target_mass() {
+        // Two targets share the (1 − ls) mass equally.
+        let mut s = vec![0.0f32; 5];
+        softmax_ce_residual(&mut s, &[1, 4], 0.0);
+        assert!((s[1] - (0.2 - 0.5)).abs() < 1e-6);
+        assert!((s[4] - (0.2 - 0.5)).abs() < 1e-6);
+        assert!((s[0] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_residual_sums_to_zero() {
+        // Both softmax(S) and t are distributions, so Σ residual = 0.
+        for ls in [0.0f32, 0.1, 0.37] {
+            let mut s: Vec<f32> = (0..9).map(|i| (i as f32 * 0.713).sin() * 3.0).collect();
+            softmax_ce_residual(&mut s, &[0, 3, 7], ls);
+            let sum: f64 = s.iter().map(|&v| f64::from(v)).sum();
+            assert!(sum.abs() < 1e-6, "ls={ls}: residual sum {sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_ce_is_stable_at_extreme_scores() {
+        // Max-subtraction keeps huge scores finite; without it e^{1e4}
+        // would overflow.
+        let mut s = vec![1.0e4f32, -1.0e4, 0.0];
+        let loss = softmax_ce_residual(&mut s, &[1], 0.0);
+        assert!(loss.is_finite());
+        assert!(s.iter().all(|v| v.is_finite()));
+        // The huge score dominates: p ≈ (1, 0, 0), target is index 1.
+        assert!((s[0] - 1.0).abs() < 1e-6);
+        assert!((s[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_residual_matches_finite_differences() {
+        // The in-place residual must be ∂L/∂S exactly, across smoothing
+        // levels and target multiplicities — this is the gradient the
+        // whole kvsall backward chains through.
+        let base: Vec<f64> = vec![-1.3, 0.4, 2.1, -0.2, 0.9, -2.7, 1.5];
+        for (targets, ls) in [
+            (vec![2u32], 0.0f32),
+            (vec![0, 4], 0.0),
+            (vec![1, 2, 6], 0.1),
+            (vec![5], 0.3),
+        ] {
+            let f = |x: &[f64]| {
+                let mut s: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+                softmax_ce_residual(&mut s, &targets, ls)
+            };
+            let fd = finite_difference_gradient(f, &base, 1e-4);
+            let mut s: Vec<f32> = base.iter().map(|&v| v as f32).collect();
+            softmax_ce_residual(&mut s, &targets, ls);
+            for (e, (&analytic, &numeric)) in s.iter().zip(&fd).enumerate() {
+                assert!(
+                    (f64::from(analytic) - numeric).abs() < 1e-3 * (1.0 + numeric.abs()),
+                    "targets={targets:?} ls={ls}: dL/dS[{e}] analytic {analytic} vs fd {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn softmax_ce_rejects_empty_targets() {
+        let mut s = vec![0.0f32; 3];
+        softmax_ce_residual(&mut s, &[], 0.0);
     }
 }

@@ -7,12 +7,13 @@
 //! project entity embeddings back onto the unit sphere. Early stopping
 //! monitors filtered MRR on the validation split.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mei_eval::{evaluate, evaluate_with_stats, EvalConfig};
+use mei_eval::{evaluate, evaluate_with_stats, EvalConfig, Side};
 use mei_kg::negative::CorruptionSide;
-use mei_kg::{BernoulliSampler, Dataset, NegativeSampler, Triple, TripleStore};
+use mei_kg::{BernoulliSampler, Dataset, NegativeSampler, SortedTargets, Triple, TripleStore};
 use mei_obs::{EpochRecord, EvalRecord, PhaseBreakdown, RunSummary, TrainObserver};
 use mei_optim::OptimizerKind;
 use rand::rngs::StdRng;
@@ -21,7 +22,7 @@ use rand::SeedableRng;
 
 use crate::checkpoint::{save_checkpoint, BestSnapshot, TrainCheckpoint};
 use crate::embedding::EmbeddingTable;
-use crate::grads::{GradPath, GradWorkspace, RowKey};
+use crate::grads::{GradPath, GradWorkspace, KvQuery, RowKey};
 use crate::loss::Label;
 use crate::model::MultiEmbedModel;
 use crate::regularizer::DirichletRegularizer;
@@ -42,6 +43,16 @@ pub enum LossKind {
         /// Margin γ.
         margin: f32,
     },
+    /// Full-softmax cross-entropy over all entities with multi-label
+    /// (k-vs-all) targets: every known true completion of the `(h, r)` /
+    /// `(t, r)` query shares the target mass. Requires
+    /// [`SamplingStrategy::KvsAll`] — there are no sampled negatives; the
+    /// whole entity table is the candidate set.
+    SoftmaxCrossEntropy {
+        /// Label smoothing ε: targets become `ε/|E| + (1−ε)·multi-hot/|T|`.
+        /// `0.0` disables smoothing.
+        label_smooth: f32,
+    },
 }
 
 /// How negatives are drawn during training.
@@ -55,6 +66,24 @@ pub enum SamplingStrategy {
     /// probabilities from tails-per-head vs heads-per-tail statistics,
     /// reducing false negatives on skewed relations.
     Bernoulli,
+    /// No sampling at all: every `(anchor, relation)` group in the batch is
+    /// scored against the full entity table on the GEMM path and trained
+    /// with [`LossKind::SoftmaxCrossEntropy`] (the ConvE/1-N "k-vs-all"
+    /// regime). Consumes no per-negative RNG draws — only the epoch
+    /// shuffle — so checkpoints still resume bitwise.
+    KvsAll,
+}
+
+/// When [`TrainConfig::lr_decay`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LrDecayMode {
+    /// At validation checkpoints (every `eval_every` epochs and the final
+    /// epoch) — the original behavior.
+    #[default]
+    Checkpoint,
+    /// After every epoch — the exponential per-epoch schedule common in
+    /// k-vs-all setups (e.g. decay 0.99775 each epoch).
+    Epoch,
 }
 
 /// Hyperparameters for [`Trainer`].
@@ -83,10 +112,15 @@ pub struct TrainConfig {
     /// Stop after this many epochs without validation improvement
     /// (the paper: 100).
     pub patience: usize,
-    /// Multiplicative learning-rate decay applied at every validation
-    /// checkpoint (1.0 disables decay; the paper relies on Adam's
-    /// auto-tuning instead, §5.3).
+    /// Multiplicative learning-rate decay (1.0 disables decay; the paper
+    /// relies on Adam's auto-tuning instead, §5.3). When it fires is
+    /// governed by [`TrainConfig::lr_decay_mode`].
     pub lr_decay: f32,
+    /// Whether `lr_decay` fires at validation checkpoints (the original
+    /// behavior, default) or after every epoch (the exponential schedule).
+    /// The decayed rate lives in the optimizer state, so it round-trips
+    /// through checkpoints unchanged.
+    pub lr_decay_mode: LrDecayMode,
     /// Optional Dirichlet sparsity regularizer on learned ω (Eq. 12).
     pub dirichlet: Option<DirichletRegularizer>,
     /// RNG seed for shuffling and negative sampling.
@@ -126,6 +160,7 @@ impl Default for TrainConfig {
             eval_every: 25,
             patience: 50,
             lr_decay: 1.0,
+            lr_decay_mode: LrDecayMode::Checkpoint,
             dirichlet: None,
             seed: 0,
             verbose: false,
@@ -317,6 +352,26 @@ impl Trainer {
             )
         });
 
+        // k-vs-all: the multi-label targets come from the *training* split
+        // only — using the filter store here would leak validation/test
+        // triples into the loss. Built once and reused every epoch.
+        let kv_targets = match (cfg.sampling, cfg.loss) {
+            (SamplingStrategy::KvsAll, LossKind::SoftmaxCrossEntropy { .. }) => {
+                Some(SortedTargets::from_store(&dataset.train_store()))
+            }
+            (SamplingStrategy::KvsAll, other) => panic!(
+                "SamplingStrategy::KvsAll requires LossKind::SoftmaxCrossEntropy, got {other:?}"
+            ),
+            (other, LossKind::SoftmaxCrossEntropy { .. }) => panic!(
+                "LossKind::SoftmaxCrossEntropy requires SamplingStrategy::KvsAll, got {other:?}"
+            ),
+            _ => None,
+        };
+        let label_smooth = match cfg.loss {
+            LossKind::SoftmaxCrossEntropy { label_smooth } => label_smooth,
+            _ => 0.0,
+        };
+
         // Fresh runs start from the seed; resumed runs pick up the exact
         // mid-run state (optimizer moments, RNG words, live permutation,
         // early-stopping bookkeeping) the checkpoint captured.
@@ -377,41 +432,83 @@ impl Trainer {
             let mut epoch_positives = 0usize;
 
             for batch in order.chunks(cfg.batch_size) {
-                // Materialize the labeled batch sequentially so the RNG
-                // stream (and thus the whole run) is deterministic.
-                let span = observing.then(Instant::now);
-                let mut examples: Vec<(Triple, Label)> =
-                    Vec::with_capacity(batch.len() * (1 + cfg.negatives_per_positive));
-                for &idx in batch {
-                    let pos = dataset.train[idx];
-                    examples.push((pos, Label::Positive));
-                    for _ in 0..cfg.negatives_per_positive {
-                        let neg = match &bernoulli {
-                            Some(b) => b.corrupt(&mut rng, pos),
-                            None => uniform.corrupt(&mut rng, pos),
-                        };
-                        examples.push((neg, Label::Negative));
+                let batch_loss = if let Some(targets) = &kv_targets {
+                    // k-vs-all: group the batch by (side, anchor, relation)
+                    // — first-touch order over the shuffled batch keeps the
+                    // query list deterministic — then score every group
+                    // against the full entity table on the GEMM path.
+                    // Draws no RNG, so the stream stays in lockstep with
+                    // checkpoints.
+                    let span = observing.then(Instant::now);
+                    let mut queries: Vec<KvQuery> = Vec::with_capacity(batch.len() * 2);
+                    let mut seen: HashSet<(Side, u32, u32)> =
+                        HashSet::with_capacity(batch.len() * 2);
+                    for &idx in batch {
+                        let pos = dataset.train[idx];
+                        for (side, anchor) in [(Side::Tail, pos.head), (Side::Head, pos.tail)] {
+                            if seen.insert((side, anchor.0, pos.relation.0)) {
+                                queries.push(KvQuery {
+                                    side,
+                                    anchor,
+                                    relation: pos.relation,
+                                });
+                            }
+                        }
                     }
-                }
-                if let Some(t0) = span {
-                    phases.sampling += t0.elapsed().as_secs_f64();
-                }
+                    if let Some(t0) = span {
+                        phases.sampling += t0.elapsed().as_secs_f64();
+                    }
+                    // "forward" covers the context build + the score GEMM +
+                    // the softmax; "backward" the two GEMM-shaped gradient
+                    // passes; "merge" the deterministic cross-chunk combine.
+                    let loss = workspace.compute_kvsall(
+                        model,
+                        &queries,
+                        targets,
+                        l2_coef,
+                        label_smooth,
+                        observing.then_some(&mut phases),
+                    );
+                    epoch_examples += queries.len();
+                    loss
+                } else {
+                    // Materialize the labeled batch sequentially so the RNG
+                    // stream (and thus the whole run) is deterministic.
+                    let span = observing.then(Instant::now);
+                    let mut examples: Vec<(Triple, Label)> =
+                        Vec::with_capacity(batch.len() * (1 + cfg.negatives_per_positive));
+                    for &idx in batch {
+                        let pos = dataset.train[idx];
+                        examples.push((pos, Label::Positive));
+                        for _ in 0..cfg.negatives_per_positive {
+                            let neg = match &bernoulli {
+                                Some(b) => b.corrupt(&mut rng, pos),
+                                None => uniform.corrupt(&mut rng, pos),
+                            };
+                            examples.push((neg, Label::Negative));
+                        }
+                    }
+                    if let Some(t0) = span {
+                        phases.sampling += t0.elapsed().as_secs_f64();
+                    }
 
-                // Parallel gradient computation, sequential application.
-                // "forward" covers the fused forward+backward example
-                // pass (the per-example gradients come out of the same
-                // traversal as the scores); "merge" covers the
-                // deterministic cross-chunk combine.
-                let batch_loss = workspace.compute(
-                    model,
-                    &examples,
-                    l2_coef,
-                    cfg.loss,
-                    1 + cfg.negatives_per_positive,
-                    observing.then_some(&mut phases),
-                );
+                    // Parallel gradient computation, sequential application.
+                    // "forward" covers the fused forward+backward example
+                    // pass (the per-example gradients come out of the same
+                    // traversal as the scores); "merge" covers the
+                    // deterministic cross-chunk combine.
+                    let loss = workspace.compute(
+                        model,
+                        &examples,
+                        l2_coef,
+                        cfg.loss,
+                        1 + cfg.negatives_per_positive,
+                        observing.then_some(&mut phases),
+                    );
+                    epoch_examples += examples.len();
+                    loss
+                };
                 epoch_loss += batch_loss;
-                epoch_examples += examples.len();
                 epoch_positives += batch.len();
 
                 if observing {
@@ -433,34 +530,51 @@ impl Trainer {
 
                 let span = observing.then(Instant::now);
                 optimizer.step_begin();
-                match cfg.grad_path {
-                    // The blocked path takes the fused step+project pass:
-                    // one sweep over the touched rows, sharded across the
-                    // worker pool, with the unit-sphere projection applied
-                    // right after each entity row's update. Timed entirely
-                    // under "step" (the separate "project" phase is 0).
-                    GradPath::Blocked => crate::fused::fused_step_project(
+                if kv_targets.is_some() {
+                    // Full-softmax batches touch every entity row (the
+                    // softmax gives all candidates gradient mass), so the
+                    // step walks the dense entity slab plus the sparse
+                    // relation rows. There is only one implementation —
+                    // `grad_path` selects nothing on this branch.
+                    crate::fused::fused_step_project_kvsall(
                         model,
                         &workspace,
                         optimizer.as_mut(),
                         cfg.unit_norm_entities,
                         ent_params,
                         workspace.threads(),
-                    ),
-                    // The legacy path keeps the original two-pass tail
-                    // (step all rows here, project below) as the living
-                    // reference sequence; the parity suite proves the
-                    // fused pass bit-identical to it.
-                    GradPath::Legacy => workspace.for_each_row(|row, grad| match row {
-                        RowKey::Entity(e) => {
-                            let offset = model.entities.row_offset(e);
-                            optimizer.update(offset, model.entities.row_mut(e), grad);
-                        }
-                        RowKey::Relation(r) => {
-                            let offset = ent_params + model.relations.row_offset(r);
-                            optimizer.update(offset, model.relations.row_mut(r), grad);
-                        }
-                    }),
+                    );
+                } else {
+                    match cfg.grad_path {
+                        // The blocked path takes the fused step+project
+                        // pass: one sweep over the touched rows, sharded
+                        // across the worker pool, with the unit-sphere
+                        // projection applied right after each entity row's
+                        // update. Timed entirely under "step" (the separate
+                        // "project" phase is 0).
+                        GradPath::Blocked => crate::fused::fused_step_project(
+                            model,
+                            &workspace,
+                            optimizer.as_mut(),
+                            cfg.unit_norm_entities,
+                            ent_params,
+                            workspace.threads(),
+                        ),
+                        // The legacy path keeps the original two-pass tail
+                        // (step all rows here, project below) as the living
+                        // reference sequence; the parity suite proves the
+                        // fused pass bit-identical to it.
+                        GradPath::Legacy => workspace.for_each_row(|row, grad| match row {
+                            RowKey::Entity(e) => {
+                                let offset = model.entities.row_offset(e);
+                                optimizer.update(offset, model.entities.row_mut(e), grad);
+                            }
+                            RowKey::Relation(r) => {
+                                let offset = ent_params + model.relations.row_offset(r);
+                                optimizer.update(offset, model.relations.row_mut(r), grad);
+                            }
+                        }),
+                    }
                 }
                 if let Some(t0) = span {
                     phases.step += t0.elapsed().as_secs_f64();
@@ -490,7 +604,11 @@ impl Trainer {
                     }
                 }
 
-                if cfg.unit_norm_entities && cfg.grad_path == GradPath::Legacy {
+                if cfg.unit_norm_entities
+                    && cfg.grad_path == GradPath::Legacy
+                    && kv_targets.is_none()
+                {
+                    // (kvsall always projects inside its fused pass.)
                     // Blocked runs already projected inside the fused pass.
                     let span = observing.then(Instant::now);
                     workspace.for_each_row(|row, _| {
@@ -509,7 +627,14 @@ impl Trainer {
             report.loss_history.push((epoch, mean_loss));
 
             let is_eval_epoch = epoch % cfg.eval_every == 0 || epoch == cfg.max_epochs;
-            if is_eval_epoch && cfg.lr_decay != 1.0 {
+            let decay_now = match cfg.lr_decay_mode {
+                LrDecayMode::Checkpoint => is_eval_epoch,
+                LrDecayMode::Epoch => true,
+            };
+            if decay_now && cfg.lr_decay != 1.0 {
+                // The decayed rate lives inside the optimizer, which
+                // `export_state` serializes — so it survives checkpoint
+                // round-trips without separate bookkeeping.
                 let lr = optimizer.learning_rate() * cfg.lr_decay;
                 optimizer.set_learning_rate(lr);
             }
@@ -685,6 +810,7 @@ mod tests {
             eval_every: 30,
             patience: 90,
             lr_decay: 1.0,
+            lr_decay_mode: LrDecayMode::Checkpoint,
             dirichlet: None,
             seed: 7,
             verbose: false,
@@ -899,6 +1025,135 @@ mod tests {
             filtered.mrr,
             report.best_valid_mrr
         );
+    }
+
+    fn kvsall_config() -> TrainConfig {
+        let mut cfg = quick_config();
+        cfg.sampling = SamplingStrategy::KvsAll;
+        cfg.loss = LossKind::SoftmaxCrossEntropy { label_smooth: 0.1 };
+        cfg
+    }
+
+    #[test]
+    fn kvsall_training_learns_the_ring() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            16,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let report = Trainer::new(kvsall_config()).train(&mut model, &ds, &filter);
+        let first = report.loss_history.first().unwrap().1;
+        let last = report.loss_history.last().unwrap().1;
+        assert!(last < first, "kvsall loss did not drop: {first} → {last}");
+        assert!(report.best_valid_mrr > 0.5, "valid MRR {}", report.best_valid_mrr);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires LossKind::SoftmaxCrossEntropy")]
+    fn kvsall_sampling_rejects_pointwise_losses() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            4,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.sampling = SamplingStrategy::KvsAll; // loss left Logistic
+        Trainer::new(cfg).train(&mut model, &ds, &filter);
+    }
+
+    #[test]
+    fn epoch_mode_decays_the_lr_every_epoch() {
+        // With eval_every past max_epochs, Checkpoint mode only decays on
+        // the final epoch; Epoch mode must compound every epoch. The 0.5
+        // factor is exact in f32, so the expectation is exact too.
+        let mut ds = ring_dataset();
+        ds.valid.clear();
+        let dir = std::env::temp_dir().join(format!("mei_lrdecay_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("decay.meic");
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            8,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.max_epochs = 4;
+        cfg.eval_every = 100;
+        cfg.lr_decay = 0.5;
+        cfg.lr_decay_mode = LrDecayMode::Epoch;
+        cfg.checkpoint_every = 4;
+        cfg.checkpoint_path = Some(path.clone());
+        Trainer::new(cfg).train(&mut model, &ds, &filter);
+        let cp = crate::checkpoint::load_checkpoint(&path).unwrap();
+        assert_eq!(cp.optimizer.lr, 0.05 * 0.5f32.powi(4), "lr after 4 epoch decays");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_decayed_lr_roundtrips_through_checkpoints_bitwise() {
+        // Interrupt an epoch-decay kvsall run at epoch 3 of 6 and resume:
+        // the continuation must be bit-identical to the uninterrupted run,
+        // which in particular proves the decayed lr survives the MEIC
+        // round-trip (a stale lr would skew epochs 4–6).
+        let mut ds = ring_dataset();
+        ds.valid.clear();
+        let filter = ds.filter_store();
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(43);
+            MultiEmbedModel::from_preset(
+                WeightPreset::ComplEx,
+                ds.num_entities(),
+                ds.num_relations(),
+                8,
+                &mut rng,
+            )
+        };
+        let mut cfg = kvsall_config();
+        cfg.max_epochs = 6;
+        cfg.eval_every = 100;
+        cfg.lr_decay = 0.75;
+        cfg.lr_decay_mode = LrDecayMode::Epoch;
+
+        let mut straight = build();
+        Trainer::new(cfg.clone()).train(&mut straight, &ds, &filter);
+
+        let dir = std::env::temp_dir().join(format!("mei_lrresume_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.meic");
+        let mut victim_cfg = cfg.clone();
+        victim_cfg.max_epochs = 3;
+        victim_cfg.checkpoint_every = 3;
+        victim_cfg.checkpoint_path = Some(path.clone());
+        let mut resumed = build();
+        Trainer::new(victim_cfg).train(&mut resumed, &ds, &filter);
+        let cp = crate::checkpoint::load_checkpoint(&path).unwrap();
+        Trainer::new(cfg).resume(&mut resumed, &ds, &filter, cp).unwrap();
+
+        assert_eq!(
+            straight.entities.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            resumed.entities.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "resumed entity table diverged"
+        );
+        assert_eq!(
+            straight.relations.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            resumed.relations.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "resumed relation table diverged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

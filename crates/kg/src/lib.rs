@@ -86,5 +86,5 @@ pub use dictionary::Dictionary;
 pub use ids::{EntityId, RelationId};
 pub use io::KgError;
 pub use negative::{BernoulliSampler, NegativeSampler};
-pub use store::TripleStore;
+pub use store::{SortedTargets, TripleStore};
 pub use triple::Triple;

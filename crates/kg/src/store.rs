@@ -107,6 +107,61 @@ impl FromIterator<Triple> for TripleStore {
     }
 }
 
+/// Presorted, deduplicated per-`(anchor, relation)` target sets for
+/// k-vs-all training (and any other consumer that needs binary-searchable
+/// candidate sets).
+///
+/// [`TripleStore`] keeps its adjacency lists in insertion order, which is
+/// what filtered evaluation's scatter wants; the k-vs-all softmax loss
+/// instead walks targets in ascending entity order, merged against an
+/// ascending candidate scan. Building the sorted form once per training
+/// run amortizes the sort the eval planner otherwise repeats per query
+/// group.
+///
+/// Entries are raw `u32` entity indices (the form the score-row scan
+/// consumes) rather than [`EntityId`]s.
+///
+/// ```
+/// use mei_kg::{SortedTargets, Triple, TripleStore, EntityId, RelationId};
+/// let store: TripleStore =
+///     [Triple::new(0, 2, 0), Triple::new(0, 1, 0), Triple::new(0, 1, 0)].into_iter().collect();
+/// let targets = SortedTargets::from_store(&store);
+/// assert_eq!(targets.tails_of(EntityId(0), RelationId(0)), &[1, 2]);
+/// assert_eq!(targets.heads_of(EntityId(1), RelationId(0)), &[0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SortedTargets {
+    tails: HashMap<(EntityId, RelationId), Vec<u32>>,
+    heads: HashMap<(EntityId, RelationId), Vec<u32>>,
+}
+
+impl SortedTargets {
+    /// Builds the sorted target sets from a store's adjacency maps.
+    pub fn from_store(store: &TripleStore) -> Self {
+        let convert = |src: &HashMap<(EntityId, RelationId), Vec<EntityId>>| {
+            src.iter()
+                .map(|(&key, ids)| {
+                    let mut v: Vec<u32> = ids.iter().map(|e| e.0).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    (key, v)
+                })
+                .collect()
+        };
+        Self { tails: convert(&store.tails_by_head_rel), heads: convert(&store.heads_by_tail_rel) }
+    }
+
+    /// All true tails `t` of `(h, ·, r)`, ascending and deduplicated.
+    pub fn tails_of(&self, head: EntityId, relation: RelationId) -> &[u32] {
+        self.tails.get(&(head, relation)).map_or(&[], Vec::as_slice)
+    }
+
+    /// All true heads `h` of `(·, t, r)`, ascending and deduplicated.
+    pub fn heads_of(&self, tail: EntityId, relation: RelationId) -> &[u32] {
+        self.heads.get(&(tail, relation)).map_or(&[], Vec::as_slice)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,7 +209,47 @@ mod tests {
         assert_eq!(a.len(), 2);
     }
 
+    #[test]
+    fn sorted_targets_are_sorted_and_deduped() {
+        let s: TripleStore = [
+            Triple::new(0, 5, 0),
+            Triple::new(0, 1, 0),
+            Triple::new(0, 3, 0),
+            Triple::new(2, 1, 0),
+            Triple::new(0, 1, 1),
+        ]
+        .into_iter()
+        .collect();
+        let t = SortedTargets::from_store(&s);
+        assert_eq!(t.tails_of(EntityId(0), RelationId(0)), &[1, 3, 5]);
+        assert_eq!(t.heads_of(EntityId(1), RelationId(0)), &[0, 2]);
+        assert_eq!(t.tails_of(EntityId(0), RelationId(1)), &[1]);
+        assert!(t.tails_of(EntityId(9), RelationId(0)).is_empty());
+    }
+
     proptest! {
+        /// Sorted targets hold exactly the store's adjacency, ascending.
+        #[test]
+        fn sorted_targets_match_store_adjacency(
+            raw in proptest::collection::vec((0u32..12, 0u32..12, 0u32..3), 0..40)
+        ) {
+            let store = TripleStore::from_triples(
+                raw.iter().map(|&(h, t, r)| Triple::new(h, t, r)));
+            let targets = SortedTargets::from_store(&store);
+            for &tr in store.triples() {
+                let tails = targets.tails_of(tr.head, tr.relation);
+                prop_assert!(tails.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(tails.binary_search(&tr.tail.0).is_ok());
+                let mut expect: Vec<u32> =
+                    store.tails_of(tr.head, tr.relation).iter().map(|e| e.0).collect();
+                expect.sort_unstable();
+                expect.dedup();
+                prop_assert_eq!(tails, expect.as_slice());
+                let heads = targets.heads_of(tr.tail, tr.relation);
+                prop_assert!(heads.binary_search(&tr.head.0).is_ok());
+            }
+        }
+
         /// Index invariant: membership, tail adjacency and head adjacency
         /// always agree with each other.
         #[test]

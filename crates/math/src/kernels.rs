@@ -417,6 +417,54 @@ mod x86 {
             }
         }
     }
+
+    /// `out += W·B` (row-major, no transpose): the no-FMA [`axpy`] is the
+    /// inner op, dispatched once for the whole product instead of once per
+    /// row pair. Same blocking as the scalar body.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_nn_acc(w: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
+        let n = b.len() / k;
+        let m = out.len() / k;
+        let nb = rows_per_block(k);
+        for (block_idx, bblock) in b.chunks(nb * k).enumerate() {
+            let e0 = block_idx * nb;
+            let bn = bblock.len() / k;
+            for i in 0..m {
+                let orow = &mut out[i * k..(i + 1) * k];
+                for e in 0..bn {
+                    axpy(*w.get_unchecked(i * n + e0 + e), &bblock[e * k..(e + 1) * k], orow);
+                }
+            }
+        }
+    }
+
+    /// Row range `[e0, e0 + out_rows)` of `out += Wᵀ·C`: no-FMA [`axpy`]
+    /// inner op, one dispatch for the whole scatter. Same blocking as the
+    /// scalar body.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_tn_acc(
+        w: &[f32],
+        n: usize,
+        ctxs: &[f32],
+        k: usize,
+        e0: usize,
+        out: &mut [f32],
+    ) {
+        let m = ctxs.len() / k;
+        let rows = out.len() / k;
+        let gb = rows_per_block(k);
+        let mut g0 = 0usize;
+        while g0 < m {
+            let gn = gb.min(m - g0);
+            for e in 0..rows {
+                let orow = &mut out[e * k..(e + 1) * k];
+                for g in g0..g0 + gn {
+                    axpy(*w.get_unchecked(g * n + e0 + e), &ctxs[g * k..(g + 1) * k], orow);
+                }
+            }
+            g0 += gn;
+        }
+    }
 }
 
 /// Unrolled dot product `Σ_d a[d]·b[d]` with eight independent f32
@@ -706,6 +754,112 @@ pub fn dot_gather(a: &[f32], b: &[f32], k: usize, pairs: &[(u32, u32)], out: &mu
     }
 }
 
+/// Scalar body of [`gemm_nn_acc`]: same blocking as the AVX2 variant,
+/// plain mul/add AXPY inner op.
+#[inline(always)]
+fn gemm_nn_acc_body(w: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
+    let n = b.len() / k;
+    let m = out.len() / k;
+    let nb = rows_per_block(k);
+    for (block_idx, bblock) in b.chunks(nb * k).enumerate() {
+        let e0 = block_idx * nb;
+        let bn = bblock.len() / k;
+        for i in 0..m {
+            let orow = &mut out[i * k..(i + 1) * k];
+            for e in 0..bn {
+                axpy_body(w[i * n + e0 + e], &bblock[e * k..(e + 1) * k], orow);
+            }
+        }
+    }
+}
+
+/// Cache-blocked `out += W · B` for row-major `W` (`m×n`) and `B` (`n×k`):
+/// `out[i·k + d] += Σ_e W[i,e]·B[e,d]`.
+///
+/// This is the k-vs-all backward's **pass A**: `W` holds softmax residuals,
+/// `B` is the entity table, and each output row becomes the gradient of the
+/// loss w.r.t. one anchor context. `B`'s rows are processed in L2-sized
+/// blocks (each block visits every output row before the next block
+/// loads), which only changes *when* a given `(i, e)` rank-1 contribution
+/// happens — per output row the reduction over `e` is always ascending,
+/// for **any** block size, because the block loop itself walks `e`
+/// ascending. Combined with the plain mul/add (no-FMA) AXPY inner op —
+/// whose SIMD lanes are bit-equal to the scalar expression — the result is
+/// bit-identical to the naive ascending scalar loop.
+///
+/// # Panics
+/// Panics when the shapes disagree (`b.len()` not a multiple of `k`,
+/// `out.len()` not a multiple of `k`, or `w.len() != (out.len()/k) ·
+/// (b.len()/k)`).
+pub fn gemm_nn_acc(w: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
+    assert!(k > 0, "gemm_nn_acc needs a positive inner dimension");
+    assert_eq!(b.len() % k, 0, "B length {} is not a multiple of k = {k}", b.len());
+    assert_eq!(out.len() % k, 0, "out length {} is not a multiple of k = {k}", out.len());
+    let (m, n) = (out.len() / k, b.len() / k);
+    assert_eq!(w.len(), m * n, "W must hold m×n = {m}×{n} weights");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2 is available; shapes were
+        // checked above.
+        return unsafe { x86::gemm_nn_acc(w, b, k, out) };
+    }
+    gemm_nn_acc_body(w, b, k, out)
+}
+
+/// Scalar body of [`gemm_tn_acc`]: same blocking as the AVX2 variant,
+/// plain mul/add AXPY inner op.
+#[inline(always)]
+fn gemm_tn_acc_body(w: &[f32], n: usize, ctxs: &[f32], k: usize, e0: usize, out: &mut [f32]) {
+    let m = ctxs.len() / k;
+    let rows = out.len() / k;
+    let gb = rows_per_block(k);
+    let mut g0 = 0usize;
+    while g0 < m {
+        let gn = gb.min(m - g0);
+        for e in 0..rows {
+            let orow = &mut out[e * k..(e + 1) * k];
+            for g in g0..g0 + gn {
+                axpy_body(w[g * n + e0 + e], &ctxs[g * k..(g + 1) * k], orow);
+            }
+        }
+        g0 += gn;
+    }
+}
+
+/// Row range `[e0, e0 + out.len()/k)` of the cache-blocked
+/// `out += Wᵀ · C` for row-major `W` (`m×n`) and `C` (`m×k`):
+/// `out[(e−e0)·k + d] += Σ_g W[g,e]·C[g,d]`.
+///
+/// This is the k-vs-all backward's **pass B**: `W` holds softmax
+/// residuals, `C` the anchor contexts, and output row `e − e0` accumulates
+/// the gradient of the loss w.r.t. entity `e`'s embedding row. The row
+/// range lets callers shard the entity table across workers: each output
+/// row's reduction over `g` is a single ascending scan regardless of
+/// `e0`/range split *and* of the `C`-block size (the block loop walks `g`
+/// ascending), so any sharding produces identical bits. Inner op is the
+/// plain mul/add (no-FMA) AXPY, bit-equal to the scalar expression per
+/// element.
+///
+/// # Panics
+/// Panics when shapes disagree (`ctxs.len()` not a multiple of `k`,
+/// `out.len()` not a multiple of `k`, `w.len() != (ctxs.len()/k)·n`, or
+/// the row range `[e0, e0 + out.len()/k)` falling outside `[0, n)`).
+pub fn gemm_tn_acc(w: &[f32], n: usize, ctxs: &[f32], k: usize, e0: usize, out: &mut [f32]) {
+    assert!(k > 0, "gemm_tn_acc needs a positive inner dimension");
+    assert_eq!(ctxs.len() % k, 0, "C length {} is not a multiple of k = {k}", ctxs.len());
+    assert_eq!(out.len() % k, 0, "out length {} is not a multiple of k = {k}", out.len());
+    let m = ctxs.len() / k;
+    assert_eq!(w.len(), m * n, "W must hold m×n = {m}×{n} weights");
+    assert!(e0 + out.len() / k <= n, "row range [{e0}, {}) exceeds n = {n}", e0 + out.len() / k);
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma_enabled() {
+        // SAFETY: dispatch guarantees AVX2 is available; shapes were
+        // checked above.
+        return unsafe { x86::gemm_tn_acc(w, n, ctxs, k, e0, out) };
+    }
+    gemm_tn_acc_body(w, n, ctxs, k, e0, out)
+}
+
 /// Straightforward f64-accumulating reference for [`gemm_nt`], used by
 /// tests and benchmarks as the ground truth.
 pub fn gemm_nt_ref(a: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
@@ -865,6 +1019,136 @@ mod tests {
     fn dot_gather_rejects_out_of_range_indices() {
         let mut out = [0.0f32];
         dot_gather(&[1.0, 2.0], &[3.0, 4.0], 2, &[(0, 1)], &mut out);
+    }
+
+    /// The naive ascending reference both backward kernels must reproduce
+    /// bitwise: per output row, accumulate rank-1 contributions in
+    /// ascending reduction order with the plain mul/add expression.
+    fn naive_wsum_rows(w: &[f32], rows: &[f32], k: usize, n: usize, out: &mut [f32]) {
+        for (i, orow) in out.chunks_mut(k).enumerate() {
+            for e in 0..n {
+                let alpha = w[i * n + e];
+                for (o, p) in orow.iter_mut().zip(&rows[e * k..(e + 1) * k]) {
+                    *o += alpha * p;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nn_acc_matches_naive_ascending_bitwise() {
+        // Shapes that cross the cache-block boundary (rows_per_block(k)
+        // for small k caps at 8192; k = 64 gives 1024-row blocks, so
+        // n = 3000 spans three blocks). Blocking must not change bits.
+        let mut rng = StdRng::seed_from_u64(31);
+        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (4, 300, 8), (2, 3000, 64), (5, 900, 13)] {
+            let w = random_vec(&mut rng, m * n);
+            let b = random_vec(&mut rng, n * k);
+            let base = random_vec(&mut rng, m * k);
+            let mut fast = base.clone();
+            gemm_nn_acc(&w, &b, k, &mut fast);
+            let mut reference = base;
+            naive_wsum_rows(&w, &b, k, n, &mut reference);
+            for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+                assert_eq!(f.to_bits(), r.to_bits(), "({m},{n},{k})[{i}]: {f} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_acc_matches_naive_ascending_bitwise() {
+        // Wᵀ·C restricted to every row: per entity e, reduce over g
+        // ascending. m = 3000 with k = 64 spans three g-blocks.
+        let mut rng = StdRng::seed_from_u64(32);
+        for (m, n, k) in [(1, 1, 1), (5, 3, 7), (300, 4, 8), (3000, 2, 64), (900, 5, 13)] {
+            let w = random_vec(&mut rng, m * n);
+            let ctxs = random_vec(&mut rng, m * k);
+            let base = random_vec(&mut rng, n * k);
+            let mut fast = base.clone();
+            gemm_tn_acc(&w, n, &ctxs, k, 0, &mut fast);
+            // Reference: transpose W and reuse the naive row-sum form —
+            // out[e] += Σ_g ascending wT[e*m + g]·ctxs[g].
+            let mut wt = vec![0.0f32; w.len()];
+            for g in 0..m {
+                for e in 0..n {
+                    wt[e * m + g] = w[g * n + e];
+                }
+            }
+            let mut reference = base;
+            naive_wsum_rows(&wt, &ctxs, k, m, &mut reference);
+            for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+                assert_eq!(f.to_bits(), r.to_bits(), "({m},{n},{k})[{i}]: {f} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_acc_row_range_split_is_bitwise_invariant() {
+        // Sharding the output rows across any split must reproduce the
+        // full-range bits — the property the parallel pass-B driver rests
+        // on.
+        let mut rng = StdRng::seed_from_u64(33);
+        let (m, n, k) = (37, 23, 19);
+        let w = random_vec(&mut rng, m * n);
+        let ctxs = random_vec(&mut rng, m * k);
+        let base = random_vec(&mut rng, n * k);
+        let mut full = base.clone();
+        gemm_tn_acc(&w, n, &ctxs, k, 0, &mut full);
+        for splits in [2usize, 3, 5, 23] {
+            let mut sharded = base.clone();
+            let per = n.div_ceil(splits);
+            let mut e0 = 0usize;
+            while e0 < n {
+                let e1 = (e0 + per).min(n);
+                gemm_tn_acc(&w, n, &ctxs, k, e0, &mut sharded[e0 * k..e1 * k]);
+                e0 = e1;
+            }
+            for (i, (f, r)) in sharded.iter().zip(&full).enumerate() {
+                assert_eq!(f.to_bits(), r.to_bits(), "{splits} splits, [{i}]: {f} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_backward_kernels_track_f64_reference() {
+        // Tolerance check against an f64 ground truth, to catch a wrong
+        // formula that a self-consistent bitwise test would miss.
+        let mut rng = StdRng::seed_from_u64(34);
+        let (m, n, k) = (6, 250, 40);
+        let w = random_vec(&mut rng, m * n);
+        let b = random_vec(&mut rng, n * k);
+        let mut a_out = vec![0.0f32; m * k];
+        gemm_nn_acc(&w, &b, k, &mut a_out);
+        for i in 0..m {
+            for d in 0..k {
+                let mut acc = 0.0f64;
+                for e in 0..n {
+                    acc += f64::from(w[i * n + e]) * f64::from(b[e * k + d]);
+                }
+                let got = f64::from(a_out[i * k + d]);
+                assert!((got - acc).abs() <= 1e-4 * (1.0 + acc.abs()), "A[{i},{d}]: {got} vs {acc}");
+            }
+        }
+        let ctxs = random_vec(&mut rng, m * k);
+        let mut t_out = vec![0.0f32; n * k];
+        gemm_tn_acc(&w, n, &ctxs, k, 0, &mut t_out);
+        for e in 0..n {
+            for d in 0..k {
+                let mut acc = 0.0f64;
+                for g in 0..m {
+                    acc += f64::from(w[g * n + e]) * f64::from(ctxs[g * k + d]);
+                }
+                let got = f64::from(t_out[e * k + d]);
+                assert!((got - acc).abs() <= 1e-4 * (1.0 + acc.abs()), "B[{e},{d}]: {got} vs {acc}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row range")]
+    fn gemm_tn_acc_rejects_out_of_range_rows() {
+        let mut out = [0.0f32; 4];
+        gemm_tn_acc(&[1.0, 2.0], 1, &[1.0, 2.0, 3.0, 4.0], 2, 1, &mut out);
     }
 
     #[test]

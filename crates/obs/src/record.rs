@@ -10,19 +10,27 @@ use crate::json::{build, parse, JsonValue};
 
 /// Wall-clock seconds spent in each training phase during one epoch.
 ///
-/// `forward` covers the fused forward+backward example pass (scores and
-/// per-example gradients are produced together); `merge` covers the
-/// deterministic cross-chunk gradient combine; `backward` covers the
-/// omega chain-rule transform that follows it.
+/// The phase meanings depend on the training mode. On the
+/// negative-sampling path, `forward` covers the fused forward+backward
+/// example pass (scores and per-example gradients are produced
+/// together), so `backward` stays 0 — its work is folded into
+/// `forward`/`merge`. In k-vs-all mode the passes are separate GEMMs:
+/// `forward` is the group-vs-all-entities scoring GEMM plus the softmax
+/// residual, `backward` is the two GEMM-shaped gradient passes
+/// (residual × entity table, residualᵀ × contexts). `merge` is the
+/// deterministic cross-chunk gradient combine in both modes.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseBreakdown {
-    /// Negative sampling / batch materialization.
+    /// Negative sampling / batch materialization (k-vs-all: batch
+    /// grouping and target lookup).
     pub sampling: f64,
-    /// Fused forward + per-example gradient pass.
+    /// Fused forward + per-example gradient pass (k-vs-all: the scoring
+    /// GEMM + softmax-CE residual).
     pub forward: f64,
     /// Cross-chunk gradient merge.
     pub merge: f64,
-    /// Omega gradient chain-rule transform.
+    /// Negative sampling: 0 (the backward work is fused into `forward`).
+    /// K-vs-all: the two GEMM backward passes.
     pub backward: f64,
     /// Optimizer row updates.
     pub step: f64,

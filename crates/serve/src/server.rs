@@ -392,7 +392,7 @@ mod tests {
         let mut server = tiny_limits_server(64);
         let mut client = TcpStream::connect(server.local_addr()).unwrap();
         // 200 bytes, no newline needed for the cap to trip.
-        client.write_all(&vec![b'x'; 200]).unwrap();
+        client.write_all(&[b'x'; 200]).unwrap();
         client.flush().unwrap();
         let mut reader = BufReader::new(client.try_clone().unwrap());
         let mut response = String::new();

@@ -13,6 +13,11 @@
 # Usage: scripts/rebench.sh [repro args...]
 #   scripts/rebench.sh                      # rebuild only, print fingerprint
 #   scripts/rebench.sh bench-train --scale tiny --out BENCH_train.json
+#
+# bench-train also emits the "kvsall" section (k-vs-all full-softmax
+# candidate-scores/sec, cross-thread parity, kill-and-resume) in the same
+# BENCH_train.json artifact; at --scale full expect a few extra minutes
+# for the full-|E| GEMM arms.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
