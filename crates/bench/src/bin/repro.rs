@@ -35,6 +35,14 @@
 //!   --overload                  bench-serve: also saturate a deliberately tiny
 //!                               bounded queue and record rejected-vs-served
 //!                               throughput (the backpressure contract)
+//!   --entities N                bench-serve: run the screened recall section at
+//!                               |E| = N only (default: 40943 and 1000000)
+//!   --screen K                  bench-serve: survivors kept by the int8 screen
+//!                               before exact rescoring (default 1024)
+//!   --smoke                     bench-serve: recall contract only — asserts
+//!                               recall@10 ≥ 0.99 on the screened path, skips
+//!                               the dataset arms and all timing (CI-safe:
+//!                               nothing here is wall-clock-sensitive)
 //! ```
 //!
 //! Every training run is phase-profiled (sampling/forward/merge/backward/
@@ -71,6 +79,9 @@ struct Options {
     overload: bool,
     grad_path: Option<mei_core::GradPath>,
     threads: Vec<usize>,
+    entities: Option<usize>,
+    smoke: bool,
+    screen: usize,
 }
 
 fn parse_args() -> Options {
@@ -92,6 +103,9 @@ fn parse_args() -> Options {
         overload: false,
         grad_path: None,
         threads: Vec::new(),
+        entities: None,
+        smoke: false,
+        screen: 0,
     };
     while let Some(flag) = args.next() {
         if !flag.starts_with("--") && opts.command == "train" && opts.train_preset.is_none() {
@@ -130,6 +144,12 @@ fn parse_args() -> Options {
             "--limit" => opts.limit = value().parse().unwrap_or_else(|_| usage("bad --limit")),
             "--out" => opts.out = Some(value()),
             "--overload" => opts.overload = true,
+            "--entities" => {
+                opts.entities =
+                    Some(value().parse().unwrap_or_else(|_| usage("bad --entities")))
+            }
+            "--smoke" => opts.smoke = true,
+            "--screen" => opts.screen = value().parse().unwrap_or_else(|_| usage("bad --screen")),
             "--grad-path" => {
                 opts.grad_path =
                     Some(value().parse().unwrap_or_else(|e| usage(&format!("bad --grad-path: {e}"))))
@@ -156,7 +176,7 @@ fn usage(msg: &str) -> ! {
          [--scale tiny|small|full] [--dataset DIR] [--order hrt|htr] \
          [--seed N] [--epochs N] [--budget N] [--metrics-out run.jsonl] \
          [--limit N] [--out BENCH_eval.json] [--overload] [--grad-path legacy|blocked] \
-         [--threads 1,2,4,8]"
+         [--threads 1,2,4,8] [--entities N] [--screen K] [--smoke]"
     );
     std::process::exit(2)
 }
@@ -493,13 +513,73 @@ fn bench_eval(ds: &Dataset, proto: &Protocol, opts: &Options) {
     println!("\n[bench-eval took {:.1?}]", t0.elapsed());
 }
 
+/// Runs the screened recall/throughput section at every requested entity
+/// count (`--entities N`, default WN18 + million-entity shapes), printing
+/// a summary line per shape. Returns the JSON sections for `"screened"`.
+fn screened_sections(proto: &Protocol, opts: &Options) -> Vec<mei_obs::JsonValue> {
+    let shapes = match opts.entities {
+        Some(n) => vec![n],
+        None => vec![40_943, 1_000_000],
+    };
+    let screen_k = if opts.screen == 0 { 1024 } else { opts.screen };
+    let mut sections = Vec::new();
+    for n in shapes {
+        eprintln!("[bench-serve] screened section at |E| = {n} (screen_k = {screen_k}) ...");
+        // Request count is shape-scaled inside the bench (the exact arm at
+        // |E| = 1M costs ~0.3 s per batch); --limit stays with the dataset
+        // arms above.
+        let section =
+            mei_bench::bench_serve_screened(n, proto.budget, opts.seed, 0, screen_k, opts.smoke);
+        let num = |name: &str| section.get(name).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!(
+            "  screened |E|={n:<8} recall@1 {:.4}  recall@10 {:.4}  recall@100 {:.4}  (floor 0.99 at @10: ok)",
+            num("recall_at_1"),
+            num("recall_at_10"),
+            num("recall_at_100"),
+        );
+        if !opts.smoke {
+            let arm = |arm: &str, name: &str| {
+                section.get(arm).and_then(|a| a.get(name)).and_then(|v| v.as_f64()).unwrap_or(0.0)
+            };
+            println!(
+                "    exact_uncached {:>9.1} qps   p50 {:>8.2}ms   p99 {:>8.2}ms",
+                arm("exact_uncached", "qps"),
+                arm("exact_uncached", "p50_latency_secs") * 1e3,
+                arm("exact_uncached", "p99_latency_secs") * 1e3,
+            );
+            println!(
+                "    screened       {:>9.1} qps   p50 {:>8.2}ms   p99 {:>8.2}ms   speedup {:.2}x",
+                arm("screened", "qps"),
+                arm("screened", "p50_latency_secs") * 1e3,
+                arm("screened", "p99_latency_secs") * 1e3,
+                num("speedup_screened_vs_exact"),
+            );
+        }
+        sections.push(section);
+    }
+    sections
+}
+
 /// `repro bench-serve`: times the three serving arms (per-request
 /// reference path, micro-batched engine, batched + cached engine) on a
 /// shared random-model workload, asserts batched answers are bit-identical
-/// to the reference, and optionally writes BENCH_serve.json.
+/// to the reference, runs the quantized screen→rescore recall contract at
+/// the WN18 and million-entity shapes (`"screened"` section), and
+/// optionally writes BENCH_serve.json.
 fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
     let t0 = Instant::now();
     print_fingerprint();
+    if opts.smoke {
+        // Recall contract only: deterministic assertions, no timing.
+        let sections = screened_sections(proto, opts);
+        let report = mei_obs::JsonValue::Obj(vec![
+            ("bench".to_owned(), mei_obs::JsonValue::Str("serve_screened_smoke".to_owned())),
+            ("screened".to_owned(), mei_obs::JsonValue::Arr(sections)),
+        ]);
+        println!("{}", report.to_json());
+        println!("\n[bench-serve --smoke took {:.1?}]", t0.elapsed());
+        return;
+    }
     println!(
         "bench-serve: |E| = {}, budget n·D = {}",
         ds.num_entities(),
@@ -539,6 +619,13 @@ fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
             unreachable!("bench report is an object")
         };
         pairs.push(("overload".to_owned(), overload));
+    }
+    let sections = screened_sections(proto, opts);
+    {
+        let mei_obs::JsonValue::Obj(ref mut pairs) = report else {
+            unreachable!("bench report is an object")
+        };
+        pairs.push(("screened".to_owned(), mei_obs::JsonValue::Arr(sections)));
     }
     let json = report.to_json();
     if let Some(path) = &opts.out {

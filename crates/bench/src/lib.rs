@@ -1457,6 +1457,179 @@ pub fn bench_serve_overload(dataset: &Dataset, budget: usize, seed: u64) -> Json
     ])
 }
 
+/// Answers every pool query through `engine` at width `k` from `clients`
+/// concurrent threads (so the engine batches them), returning the answers
+/// in pool order.
+fn collect_answers(
+    engine: &mei_serve::Engine,
+    pool: &[(Side, mei_kg::EntityId, mei_kg::RelationId)],
+    k: usize,
+    clients: usize,
+) -> Vec<Vec<(mei_kg::EntityId, f32)>> {
+    let per_query: Vec<(usize, Vec<(mei_kg::EntityId, f32)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    pool.iter()
+                        .enumerate()
+                        .skip(c)
+                        .step_by(clients)
+                        .map(|(qi, &(side, anchor, relation))| {
+                            let r = engine
+                                .predict(side, anchor, relation, k)
+                                .expect("ground-truth query failed");
+                            (qi, r.results.to_vec())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("answer client panicked")).collect()
+    });
+    let mut answers = vec![Vec::new(); pool.len()];
+    for (qi, a) in per_query {
+        answers[qi] = a;
+    }
+    answers
+}
+
+/// Fraction of the exact top-`k` that survives in the screened top-`k`.
+fn recall_at(exact: &[(mei_kg::EntityId, f32)], screened: &[(mei_kg::EntityId, f32)], k: usize) -> f64 {
+    let cut = k.min(exact.len());
+    if cut == 0 {
+        return 1.0;
+    }
+    let want: std::collections::HashSet<mei_kg::EntityId> =
+        exact[..cut].iter().map(|p| p.0).collect();
+    let got = screened[..k.min(screened.len())].iter().filter(|p| want.contains(&p.0)).count();
+    got as f64 / cut as f64
+}
+
+/// The screened-serving recall contract (`repro bench-serve`): on a
+/// synthetic ComplEx model with `num_entities` rows, measure how much of
+/// the exact top-k the int8 screen→rescore path recovers, and (unless
+/// `smoke`) how much faster it answers than the exact uncached engine.
+///
+/// Ground truth is the exact engine's top-100 per distinct query; the
+/// screened engine answers the same queries with `screen_k` survivors.
+/// The function **asserts the recall floor** — mean recall@10 ≥ 0.99 —
+/// so a quantizer or merge regression fails the bench rather than
+/// degrading silently. `smoke` skips the timing arms (CI runs it on
+/// shared runners where wall-clock is meaningless) but keeps the recall
+/// assertion; the full run also records qps/latency for both arms. The
+/// returned object lands in `BENCH_serve.json` under `"screened"`.
+pub fn bench_serve_screened(
+    num_entities: usize,
+    budget: usize,
+    seed: u64,
+    requests: usize,
+    screen_k: usize,
+    smoke: bool,
+) -> JsonValue {
+    use mei_serve::{Engine, ScreenParams, ServeConfig, Snapshot};
+    use rand::Rng;
+
+    const K_TRUTH: usize = 100;
+    const K_SERVE: usize = 10;
+    const CLIENTS: usize = 8;
+
+    let cfg = ModelConfig {
+        num_entities,
+        num_relations: 11,
+        n: 2,
+        dim: (budget / 2).max(1),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model =
+        MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng);
+
+    // Distinct queries over random anchors, alternating sides.
+    let pool_target = if smoke { 24 } else { 64 };
+    let mut pool: Vec<(Side, mei_kg::EntityId, mei_kg::RelationId)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while pool.len() < pool_target {
+        let side = if pool.len().is_multiple_of(2) { Side::Tail } else { Side::Head };
+        let anchor = mei_kg::EntityId(rng.gen_range(0..num_entities as u32));
+        let relation = mei_kg::RelationId(rng.gen_range(0..cfg.num_relations as u32));
+        if seen.insert((side, anchor, relation)) {
+            pool.push((side, anchor, relation));
+        }
+    }
+
+    let params = ScreenParams { screen_k, threads: 1 };
+    let exact = Engine::start(
+        Snapshot::with_ids(model.clone(), TripleStore::new()),
+        ServeConfig { workers: 1, cache: false, ..ServeConfig::default() },
+    );
+    let screened_engine = Engine::start(
+        Snapshot::with_ids(model, TripleStore::new()),
+        ServeConfig { workers: 1, cache: false, screen: Some(params), ..ServeConfig::default() },
+    );
+    // Force the one-time index build out of the timed/recall section and
+    // record what it costs — it runs on this path at every snapshot swap.
+    let t_build = std::time::Instant::now();
+    let (snap, _) = screened_engine.snapshot();
+    let index = snap.screen_index();
+    let index_build_secs = t_build.elapsed().as_secs_f64();
+    let index_bytes = index.memory_bytes();
+    drop((snap, index));
+
+    let truth = collect_answers(&exact, &pool, K_TRUTH, CLIENTS);
+    let screened_answers = collect_answers(&screened_engine, &pool, K_TRUTH, CLIENTS);
+    let mean_recall = |k: usize| {
+        truth
+            .iter()
+            .zip(&screened_answers)
+            .map(|(t, s)| recall_at(t, s, k))
+            .sum::<f64>()
+            / pool.len() as f64
+    };
+    let (recall_1, recall_10, recall_100) = (mean_recall(1), mean_recall(10), mean_recall(100));
+    assert!(
+        recall_10 >= 0.99,
+        "screened recall@10 = {recall_10:.4} fell below the 0.99 contract \
+         (|E| = {num_entities}, screen_k = {screen_k})"
+    );
+
+    let mut pairs = vec![
+        ("num_entities".to_owned(), json::int(num_entities)),
+        ("embedding_budget_nd".to_owned(), json::int(budget)),
+        ("screen_k".to_owned(), json::int(screen_k)),
+        ("distinct_queries".to_owned(), json::int(pool.len())),
+        ("k".to_owned(), json::int(K_SERVE)),
+        ("seed".to_owned(), json::int(seed as usize)),
+        ("index_build_secs".to_owned(), json::num(index_build_secs)),
+        ("index_bytes".to_owned(), json::int(index_bytes)),
+        ("recall_at_1".to_owned(), json::num(recall_1)),
+        ("recall_at_10".to_owned(), json::num(recall_10)),
+        ("recall_at_100".to_owned(), json::num(recall_100)),
+        ("smoke".to_owned(), JsonValue::Bool(smoke)),
+    ];
+
+    if !smoke {
+        let requests = if requests == 0 {
+            if num_entities >= 250_000 { 160 } else { 512 }
+        } else {
+            requests
+        };
+        let mut workload_rng = StdRng::seed_from_u64(seed ^ 0x5c4e);
+        let workload: Vec<usize> =
+            (0..requests).map(|_| workload_rng.gen_range(0..pool.len())).collect();
+        let exact_stats = run_serve_arm(&exact, &pool, &workload, CLIENTS, K_SERVE);
+        let screened_stats = run_serve_arm(&screened_engine, &pool, &workload, CLIENTS, K_SERVE);
+        let speedup =
+            screened_stats.qps(requests) / exact_stats.qps(requests).max(f64::MIN_POSITIVE);
+        pairs.push(("requests".to_owned(), json::int(requests)));
+        pairs.push(("clients".to_owned(), json::int(CLIENTS)));
+        pairs.push(("exact_uncached".to_owned(), exact_stats.report(requests)));
+        pairs.push(("screened".to_owned(), screened_stats.report(requests)));
+        pairs.push(("speedup_screened_vs_exact".to_owned(), json::num(speedup)));
+    }
+    exact.shutdown();
+    screened_engine.shutdown();
+    JsonValue::Obj(pairs)
+}
+
 /// Ablation: CPh via the literal Eq. 7 data augmentation — CP trained on
 /// the doubled dataset, evaluated with the reciprocal combined score.
 pub fn run_cph_augmented(

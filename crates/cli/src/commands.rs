@@ -40,6 +40,7 @@ subcommands:
            [--max-batch N] [--cache-shards N] [--cache-capacity N] [--cache true|false]
            [--max-queue N] [--read-timeout-ms N] [--write-timeout-ms N]
            [--max-line-bytes N] [--metrics-out serve.jsonl]
+           [--screen K] [--screen-threads N] [--precompute-hot N]
   export   --dataset DIR --model-file model.bin --out embeddings.tsv
   models   list available model presets
 
@@ -53,7 +54,11 @@ both paths are bit-identical — see DESIGN.md §10.
 any value produces bit-identical results — see DESIGN.md §11.
 `mei train --sampling kvsall` scores each batch group against all entities
 with the full-softmax cross-entropy loss (implies --loss softmax-ce);
-see DESIGN.md §12.";
+see DESIGN.md §12.
+`mei serve --screen K` screens candidates through the per-row int8
+quantized pass and rescores the top K survivors exactly (0 = exact
+serving); `--precompute-hot N` refreshes the N hottest queries into the
+result cache on every snapshot swap — see DESIGN.md §13.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -414,6 +419,10 @@ pub fn serve(args: &Args) -> CmdResult {
         .into());
     }
     let defaults = ServeConfig::default();
+    // --screen 0 (the default) serves exactly; --screen K enables the
+    // quantized screen→rescore path with K survivors per query.
+    let screen_k: usize = args.get_parsed("screen", 0)?;
+    let screen_threads: usize = args.get_parsed("screen-threads", 1)?;
     let config = ServeConfig {
         // workers: 0 is an engine test mode (nothing drains the queue);
         // a real server always gets at least one.
@@ -423,6 +432,9 @@ pub fn serve(args: &Args) -> CmdResult {
         cache_capacity: args.get_parsed("cache-capacity", defaults.cache_capacity)?,
         cache: args.get_parsed("cache", defaults.cache)?,
         max_queue: args.get_parsed("max-queue", defaults.max_queue)?,
+        screen: (screen_k > 0)
+            .then_some(mei_serve::ScreenParams { screen_k, threads: screen_threads }),
+        precompute_hot: args.get_parsed("precompute-hot", defaults.precompute_hot)?,
     };
     let server_defaults = ServerConfig::default();
     // Timeout 0 means "no timeout" for operators who really want the old

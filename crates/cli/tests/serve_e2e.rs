@@ -33,12 +33,17 @@ fn workdir(tag: &str) -> PathBuf {
 /// first stdout line (`serving on 127.0.0.1:PORT (epoch 0)`). The stdout
 /// reader is returned so the pipe stays open for the server's later
 /// prints (dropping it would EPIPE the process at shutdown).
-fn spawn_server(data: &str, model: &str) -> (Child, String, BufReader<std::process::ChildStdout>) {
+fn spawn_server(
+    data: &str,
+    model: &str,
+    extra: &[&str],
+) -> (Child, String, BufReader<std::process::ChildStdout>) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_mei"))
         .args([
             "serve", "--dataset", data, "--model-file", model, "--addr", "127.0.0.1:0",
             "--workers", "2",
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
@@ -97,7 +102,7 @@ fn serve_answers_concurrent_clients_swaps_and_shuts_down() {
         "--dim", "8", "--seed", "9", "--quiet", "true",
     ]);
 
-    let (mut child, addr, mut server_stdout) = spawn_server(&data_s, &model_s);
+    let (mut child, addr, mut server_stdout) = spawn_server(&data_s, &model_s, &[]);
 
     // Concurrent clients: head + tail queries by name and by raw id.
     let clients: Vec<_> = (0..3)
@@ -188,5 +193,67 @@ fn serve_answers_concurrent_clients_swaps_and_shuts_down() {
     std::io::Read::read_to_string(&mut server_stdout, &mut rest).unwrap();
     assert!(rest.contains("server stopped"), "missing shutdown line in {rest:?}");
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `mei serve --screen K --screen-threads N --precompute-hot N`: the
+/// screened path answers over the wire, the stats endpoint reports the
+/// screen config, and a hot query is served from the precomputed cache
+/// right after a swap.
+#[test]
+fn serve_screened_with_hot_precompute() {
+    let dir = workdir("screened");
+    let data = dir.join("data");
+    let data_s = data.to_str().unwrap().to_owned();
+    mei_ok(&["generate", "--out", &data_s, "--scale", "tiny", "--seed", "6"]);
+    let model = dir.join("model.bin");
+    let model_s = model.to_str().unwrap().to_owned();
+    mei_ok(&[
+        "train", "--dataset", &data_s, "--out", &model_s, "--model", "complex", "--epochs", "2",
+        "--dim", "8", "--quiet", "true",
+    ]);
+    let model2 = dir.join("model2.bin");
+    let model2_s = model2.to_str().unwrap().to_owned();
+    mei_ok(&[
+        "train", "--dataset", &data_s, "--out", &model2_s, "--model", "complex", "--epochs", "2",
+        "--dim", "8", "--seed", "13", "--quiet", "true",
+    ]);
+
+    let (mut child, addr, _server_stdout) = spawn_server(
+        &data_s,
+        &model_s,
+        &["--screen", "64", "--screen-threads", "2", "--precompute-hot", "4"],
+    );
+    let (mut w, mut r) = connect(&addr);
+
+    let stats = roundtrip(&mut w, &mut r, r#"{"op":"stats"}"#);
+    let screen = stats.get("screen").expect("stats must report the screen config");
+    assert_eq!(screen.get("enabled"), Some(&JsonValue::Bool(true)));
+    assert_eq!(screen.get("screen_k").and_then(|x| x.as_usize()), Some(64));
+    assert_eq!(screen.get("threads").and_then(|x| x.as_usize()), Some(2));
+    assert_eq!(screen.get("precompute_hot").and_then(|x| x.as_usize()), Some(4));
+
+    // Heat up one query identity, then swap; the hot key must come back
+    // cached at the new epoch (precomputed during the swap).
+    let q = r#"{"op":"predict","side":"tail","anchor":"synset_000002","relation":"_hyponym_0","k":5}"#;
+    for _ in 0..5 {
+        let v = roundtrip(&mut w, &mut r, q);
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)), "{v:?}");
+        assert_eq!(v.get("results").and_then(|x| x.as_arr()).map(|a| a.len()), Some(5));
+    }
+    let swap = roundtrip(&mut w, &mut r, &format!(r#"{{"op":"swap","model_file":"{model2_s}"}}"#));
+    assert_eq!(swap.get("ok"), Some(&JsonValue::Bool(true)), "{swap:?}");
+    let after = roundtrip(&mut w, &mut r, q);
+    assert_eq!(after.get("epoch").and_then(|x| x.as_usize()), Some(1));
+    assert_eq!(
+        after.get("cached"),
+        Some(&JsonValue::Bool(true)),
+        "hot key should be precomputed on swap: {after:?}"
+    );
+
+    let ack = roundtrip(&mut w, &mut r, r#"{"op":"shutdown"}"#);
+    assert_eq!(ack.get("ok"), Some(&JsonValue::Bool(true)));
+    let status = child.wait().expect("server did not exit");
+    assert!(status.success(), "server exited with {status:?}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -766,6 +766,36 @@ mod tests {
                 }
             }
 
+            /// With every score tied, the top-k is exactly the first `k`
+            /// non-excluded ids in ascending order — the deterministic
+            /// tie-break contract the quantized screened serving path
+            /// relies on to agree with the exact path byte for byte.
+            #[test]
+            fn all_ties_yield_ascending_ids(
+                n in 1usize..80,
+                k in 0usize..90,
+                excluded_seed in proptest::collection::vec(0usize..1000, 0..10)
+            ) {
+                let scores = vec![1.25f32; n];
+                let mut excluded: Vec<EntityId> =
+                    excluded_seed.iter().map(|e| EntityId((e % n) as u32)).collect();
+                excluded.sort_unstable();
+                excluded.dedup();
+                let top = select_top_k(&scores, k, &excluded);
+                let rerun = select_top_k(&scores, k, &excluded);
+                prop_assert_eq!(&top, &rerun, "repeat runs must be byte-identical");
+                let expect: Vec<EntityId> = (0..n as u32)
+                    .map(EntityId)
+                    .filter(|e| excluded.binary_search(e).is_err())
+                    .take(k)
+                    .collect();
+                prop_assert_eq!(top.len(), expect.len());
+                for (got, want) in top.iter().zip(&expect) {
+                    prop_assert_eq!(got.0, *want);
+                    prop_assert_eq!(got.1.to_bits(), 1.25f32.to_bits());
+                }
+            }
+
             /// Raising the true entity's score never worsens its rank.
             #[test]
             fn rank_is_monotone_in_true_score(

@@ -1,0 +1,54 @@
+//! Kernel sizing probe at the million-entity serving shape: exact f32
+//! `gemm_nt` vs flat i8 `gemm_i8_nt` vs the panel-packed VNNI path, with
+//! the packed output asserted bit-identical to the flat one. The DESIGN.md
+//! §13 kernel numbers come from this probe.
+//!
+//! Run: `cargo run --release -p mei-math --example i8_gemm_bench`
+
+use std::time::Instant;
+
+fn main() {
+    let n = 1_000_000usize;
+    let k = 256usize;
+    for m in [1usize, 4, 8, 16] {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 255) as f32 / 255.0 - 0.5).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| ((i * 91) % 255) as f32 / 255.0 - 0.5).collect();
+        let ai: Vec<i8> = (0..m * k).map(|i| ((i * 37) % 255) as i8).collect();
+        let bi: Vec<i8> = (0..n * k).map(|i| ((i * 91) % 255) as i8).collect();
+        let mut outf = vec![0f32; m * n];
+        let mut outi = vec![0i32; m * n];
+
+        mei_math::gemm_nt(&a, &b, k, &mut outf); // warm
+        let t = Instant::now();
+        mei_math::gemm_nt(&a, &b, k, &mut outf);
+        let tf = t.elapsed().as_secs_f64();
+
+        mei_math::gemm_i8_nt(&ai, &bi, k, &mut outi); // warm
+        let t = Instant::now();
+        mei_math::gemm_i8_nt(&ai, &bi, k, &mut outi);
+        let ti = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let packed = mei_math::PackedI8::pack(&bi, k);
+        let tpack = t.elapsed().as_secs_f64();
+        let mut outp = vec![0i32; m * n];
+        packed.gemm(&ai, 0, n, &mut outp); // warm
+        let t = Instant::now();
+        packed.gemm(&ai, 0, n, &mut outp);
+        let tp = t.elapsed().as_secs_f64();
+        assert_eq!(outp, outi, "packed diverged");
+
+        println!(
+            "m={m:>2}  f32 {:>8.1} ms ({:>6.1} GF/s)   i8 {:>8.1} ms ({:>6.1} Gop/s)   pk {:>8.1} ms ({:>6.1} Gop/s, pack {:.0} ms)   ratio {:.2}x",
+            tf * 1e3,
+            (2.0 * m as f64 * n as f64 * k as f64) / tf / 1e9,
+            ti * 1e3,
+            (2.0 * m as f64 * n as f64 * k as f64) / ti / 1e9,
+            tp * 1e3,
+            (2.0 * m as f64 * n as f64 * k as f64) / tp / 1e9,
+            tpack * 1e3,
+            tf / tp
+        );
+        std::hint::black_box((&outf, &outi, &outp));
+    }
+}

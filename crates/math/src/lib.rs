@@ -12,6 +12,9 @@
 //! * [`kernels`] — unrolled multi-accumulator variants of the hot vecops
 //!   plus the cache-blocked [`kernels::gemm_nt`] used by the evaluation
 //!   ranking pipeline.
+//! * [`quantops`] — int8 screening kernels ([`quantops::gemm_i8_nt`]) with
+//!   exact i32 accumulation, behind the `mei-quant` candidate-generation
+//!   pass.
 //! * [`activations`] — numerically stable sigmoid / softplus / tanh /
 //!   softmax and their derivatives.
 //! * [`init`] — deterministic, seedable embedding initializers.
@@ -45,6 +48,7 @@ pub mod init;
 pub mod kernels;
 pub mod matrix;
 pub mod pca;
+pub mod quantops;
 pub mod stats;
 pub mod vecops;
 
@@ -55,5 +59,6 @@ pub use kernels::{
 };
 pub use matrix::Matrix;
 pub use pca::Pca;
+pub use quantops::{avx512_vnni_enabled, dot_i8, gemm_i8_nt, PackedI8};
 pub use stats::RunningStats;
 pub use vecops::{axpy, dot, hadamard, l2_norm, normalize_l2, trilinear};

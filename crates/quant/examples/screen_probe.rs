@@ -1,0 +1,99 @@
+//! Engine-free stage probe: exact `score_block` + `select_top_k` vs
+//! `screened_answers` at a configurable shape, with the screened answers
+//! asserted equal to the exact ones and the screen pass split into its
+//! quantize / screen / rescore stages.
+//!
+//! Run: `cargo run --release -p mei-quant --example screen_probe \
+//!     [entities] [dim] [m] [screen_k]`
+
+use mei_core::{MultiEmbedModel, WeightPreset};
+use mei_eval::{BlockQuery, TripleScorer};
+use mei_kg::{EntityId, RelationId};
+use mei_quant::{screened_answers, ScreenIndex, ScreenParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let entities: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40_943);
+    let dim: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let m: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let screen_k: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1024);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, entities, 4, dim, &mut rng);
+    let index = ScreenIndex::build(&model);
+    let queries: Vec<BlockQuery> = (0..m)
+        .map(|i| BlockQuery::tails(EntityId((i * 13 % entities) as u32), RelationId(0)))
+        .collect();
+    let ks = vec![10usize; m];
+    let empty: Vec<&[EntityId]> = vec![&[]; m];
+    let params = ScreenParams { screen_k, threads: 1 };
+
+    let mut scratch = vec![0f32; m * entities];
+    for round in 0..3 {
+        let t = Instant::now();
+        model.score_block(&queries, &mut scratch);
+        let t_gemm = t.elapsed().as_secs_f64();
+        let mut exact = Vec::new();
+        for q in 0..m {
+            exact.push(mei_eval::select_top_k(&scratch[q * entities..(q + 1) * entities], 10, &[]));
+        }
+        let t_exact = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let screened = screened_answers(&model, &index, &queries, &ks, &empty, &params);
+        let t_screen = t.elapsed().as_secs_f64();
+
+        // Stage split: quantize + screen_block alone.
+        let k = model.entities.row_len();
+        let mut ctxs = vec![0.0f32; m * k];
+        for (q, ctx) in queries.iter().zip(ctxs.chunks_mut(k)) {
+            model.tail_context(q.anchor, q.relation, ctx);
+        }
+        let mut qctx = vec![0i8; m * k];
+        let mut ctx_scales = vec![0.0f32; m];
+        let t = Instant::now();
+        for q in 0..m {
+            ctx_scales[q] =
+                mei_quant::quantize_row(&ctxs[q * k..(q + 1) * k], &mut qctx[q * k..(q + 1) * k]);
+        }
+        let t_quant = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let survivors = index.screen_block(&qctx, &ctx_scales, &empty, screen_k, 1);
+        let t_block = t.elapsed().as_secs_f64();
+        std::hint::black_box(&survivors);
+        // Raw i8 GEMM at the same shape (one shard at a time, like the screen).
+        let table: Vec<i8> = vec![1i8; entities * k];
+        let mut iscratch = vec![0i32; m * 16384.min(entities)];
+        let t = Instant::now();
+        let mut r0 = 0usize;
+        while r0 < entities {
+            let r1 = (r0 + 16384).min(entities);
+            mei_math::gemm_i8_nt(&qctx, &table[r0 * k..r1 * k], k, &mut iscratch[..m * (r1 - r0)]);
+            r0 = r1;
+        }
+        let t_i8 = t.elapsed().as_secs_f64();
+        std::hint::black_box(&iscratch);
+        println!("  raw i8 gemm over shards: {:.2}ms", t_i8 * 1e3);
+        println!(
+            "  stage split: quantize {:.2}ms  screen_block {:.2}ms  rescore+sort {:.2}ms",
+            t_quant * 1e3,
+            t_block * 1e3,
+            (t_screen - t_block - t_quant) * 1e3
+        );
+
+        for (a, b) in exact.iter().zip(&screened) {
+            assert_eq!(a, b, "screened diverged");
+        }
+        println!(
+            "round {round}: exact {:.2}ms (gemm {:.2}ms, select {:.2}ms)  screened {:.2}ms  ratio {:.2}x",
+            t_exact * 1e3,
+            t_gemm * 1e3,
+            (t_exact - t_gemm) * 1e3,
+            t_screen * 1e3,
+            t_exact / t_screen
+        );
+    }
+}

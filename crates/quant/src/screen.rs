@@ -1,0 +1,416 @@
+//! Sharded int8 screen → exact f32 rescore over the entity table.
+//!
+//! The screen scores every entity against every query context in int8
+//! through [`mei_math::gemm_i8_nt`] — or, where AVX-512 VNNI is available,
+//! through a panel-packed copy of the table ([`mei_math::PackedI8`]) whose
+//! `vpdpbusd` kernel advances 16 dot products per instruction. Both paths
+//! use exact i32 accumulation, so the dot products are bit-identical for
+//! any blocking, shard split, thread count, or instruction set. Per shard, the top [`ScreenParams::screen_k`] candidates under
+//! the approximate score survive; shard survivor lists are merged in
+//! ascending shard order and re-selected globally. Because the candidate
+//! order `(approx score desc, entity id asc)` is total and shard-local
+//! top-`screen_k` lists contain every global top-`screen_k` member in
+//! their row range, the merged survivor set equals the unsharded one —
+//! sharding and threading change wall-clock, never bytes.
+//!
+//! Survivors are then rescored with [`mei_math::dot_fast`] against the
+//! *original* f32 entity rows — the same reduction [`mei_math::gemm_nt`]
+//! uses per element, so a survivor's rescored value is bit-identical to
+//! what the exact serving path computes for that entity. The final answer
+//! is the survivors sorted by `(score desc, id asc)`: whenever the
+//! survivor set contains the true top-k, the screened answer is
+//! element-for-element identical to the exact one.
+
+use crate::table::{quantize_row, QuantizedTable};
+use mei_core::MultiEmbedModel;
+use mei_eval::{BlockQuery, Side};
+use mei_kg::{EntityId, RelationId, TripleStore};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Rows per screen shard. Shape-derived (never thread-derived): a shard's
+/// i8 slab at serving dimensions is a few MB, giving enough shards for
+/// fan-out at million-entity scale without fragmenting small tables. The
+/// merged result is shard-count-independent either way (see module docs).
+const SHARD_ROWS: usize = 16384;
+
+/// Tuning knobs for the screen pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScreenParams {
+    /// Survivors kept per query from the quantized pass (before exact
+    /// rescoring). Larger buys recall with screen-side selection cost.
+    /// Requests asking for more than `screen_k` results widen the screen
+    /// to their `k` automatically.
+    pub screen_k: usize,
+    /// Worker threads fanned across shards (`0`/`1` = run inline).
+    /// Thread count never changes the answer.
+    pub threads: usize,
+}
+
+impl Default for ScreenParams {
+    fn default() -> Self {
+        Self { screen_k: 1024, threads: 1 }
+    }
+}
+
+/// The per-row int8 quantization of a model's entity table, pre-split
+/// into contiguous row-range shards for the screen GEMM.
+///
+/// Built from a [`MultiEmbedModel`] snapshot; the build is deterministic,
+/// so two indexes over identical entity tables are byte-identical. The
+/// serving layer rebuilds the index on snapshot swap (each snapshot owns
+/// its own lazily-built index), so a stale index is unreachable by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct ScreenIndex {
+    table: QuantizedTable,
+    /// Panel-interleaved copy of the codes for the VNNI GEMM; built only
+    /// when the fast path is available at runtime. Produces the same i32
+    /// dots as the flat table, so presence or absence never changes a
+    /// result.
+    packed: Option<mei_math::PackedI8>,
+}
+
+impl ScreenIndex {
+    /// Quantizes `model`'s entity table row-by-row (and packs the codes
+    /// for the VNNI kernel on machines that have it).
+    pub fn build(model: &MultiEmbedModel) -> Self {
+        let k = model.entities.row_len();
+        let table = QuantizedTable::from_rows(model.entities.as_slice(), k);
+        let packed = mei_math::avx512_vnni_enabled()
+            .then(|| mei_math::PackedI8::pack(table.row_range(0, table.rows()), k));
+        Self { table, packed }
+    }
+
+    /// Whether this index was built over a table of `model`'s shape.
+    pub fn compatible_with(&self, model: &MultiEmbedModel) -> bool {
+        self.table.rows() == model.config().num_entities
+            && self.table.row_len() == model.entities.row_len()
+    }
+
+    /// Number of entity rows covered.
+    pub fn rows(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Number of row-range shards the screen fans out over.
+    pub fn num_shards(&self) -> usize {
+        self.table.rows().div_ceil(SHARD_ROWS).max(1)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.memory_bytes() + self.packed.as_ref().map_or(0, |p| p.memory_bytes())
+    }
+
+    /// Screens a batch of quantized query contexts against every entity.
+    ///
+    /// `qctx` is row-major `m × row_len` int8; `ctx_scales[i]` is row `i`'s
+    /// quantization scale; `excluded[i]` (sorted, deduplicated) is skipped
+    /// for query `i`. Returns, per query, up to `screen_k` survivors as
+    /// `(entity, approx_score)` ordered by `(score desc, id asc)`.
+    ///
+    /// The result is identical for every `threads` value.
+    pub fn screen_block(
+        &self,
+        qctx: &[i8],
+        ctx_scales: &[f32],
+        excluded: &[&[EntityId]],
+        screen_k: usize,
+        threads: usize,
+    ) -> Vec<Vec<(EntityId, f32)>> {
+        let k = self.table.row_len();
+        let m = ctx_scales.len();
+        assert_eq!(qctx.len(), m * k, "qctx must be m × row_len");
+        assert_eq!(excluded.len(), m, "one exclusion list per query");
+        let rows = self.table.rows();
+        if m == 0 || rows == 0 || screen_k == 0 {
+            return vec![Vec::new(); m];
+        }
+
+        let num_shards = self.num_shards();
+        let workers = threads.max(1).min(num_shards);
+        let mut merged = if workers <= 1 {
+            // Single-threaded fast path: one heap per query carried across
+            // every shard in ascending order. The heap fills once and its
+            // admission threshold tightens monotonically over the whole
+            // table — the per-shard variant below re-fills `screen_k` slots
+            // per shard (62 times at |E| = 1M), which costs more than the
+            // GEMM it postprocesses.
+            let mut scratch = Scratch::for_table(m, rows);
+            let mut tops = vec![Vec::with_capacity(screen_k); m];
+            for shard in 0..num_shards {
+                self.screen_shard_into(
+                    shard, qctx, ctx_scales, excluded, screen_k, &mut scratch, &mut tops,
+                );
+            }
+            tops
+        } else {
+            // One survivor list per (shard, query); slots are each written
+            // by exactly one worker, then drained in ascending shard order.
+            let slots: Vec<OnceLock<Vec<Survivors>>> =
+                (0..num_shards).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            let run_worker = || {
+                let mut scratch = Scratch::for_table(m, rows);
+                loop {
+                    let shard = next.fetch_add(1, Ordering::Relaxed);
+                    if shard >= num_shards {
+                        break;
+                    }
+                    let mut tops = vec![Vec::with_capacity(screen_k); m];
+                    self.screen_shard_into(
+                        shard, qctx, ctx_scales, excluded, screen_k, &mut scratch, &mut tops,
+                    );
+                    slots[shard].set(tops).expect("screen shard claimed twice");
+                }
+            };
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(run_worker);
+                }
+            });
+
+            // Chunk-order merge: shards are drained in ascending order, but
+            // `heap_admit` keeps the best `screen_k` under the *total*
+            // order `(score desc, id asc)`, so the merged set — and
+            // therefore the sorted output — is identical to the
+            // single-threaded set for every shard and thread count.
+            let mut merged = vec![Vec::with_capacity(screen_k); m];
+            for slot in slots {
+                let shard_out = slot.into_inner().expect("screen shard not computed");
+                for (mergeq, shardq) in merged.iter_mut().zip(shard_out) {
+                    for (e, s) in shardq {
+                        heap_admit(mergeq, screen_k, (e, s));
+                    }
+                }
+            }
+            merged
+        };
+        for list in &mut merged {
+            list.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1).expect("screen scores are never NaN").then(a.0.cmp(&b.0))
+            });
+        }
+        merged
+    }
+
+    /// Screens one contiguous row-range shard — blocked i8 GEMM over the
+    /// shard slab, a vectorizable de-scaling pass (i32 dot → f32 approx
+    /// score), then per-query bounded top-`screen_k` admission into `tops`
+    /// (heap order; callers re-sort). `tops` may already carry survivors
+    /// from earlier (lower-id) shards: admission is valid as long as
+    /// candidate ids ascend across successive calls, which the ascending
+    /// shard scan guarantees.
+    #[allow(clippy::too_many_arguments)] // private hot-path plumbing: one slot per screen input
+    fn screen_shard_into(
+        &self,
+        shard: usize,
+        qctx: &[i8],
+        ctx_scales: &[f32],
+        excluded: &[&[EntityId]],
+        screen_k: usize,
+        scratch: &mut Scratch,
+        tops: &mut [Vec<(EntityId, f32)>],
+    ) {
+        let k = self.table.row_len();
+        let m = ctx_scales.len();
+        let r0 = shard * SHARD_ROWS;
+        let r1 = (r0 + SHARD_ROWS).min(self.table.rows());
+        let ns = r1 - r0;
+        let dots = &mut scratch.dots[..m * ns];
+        match &self.packed {
+            // Shards start on SHARD_ROWS boundaries, which are panel-aligned.
+            Some(p) => p.gemm(qctx, r0, r1, dots),
+            None => mei_math::gemm_i8_nt(qctx, self.table.row_range(r0, r1), k, dots),
+        }
+        let scales = &self.table.scales()[r0..r1];
+        for (q, top) in tops.iter_mut().enumerate() {
+            let qs = ctx_scales[q];
+            // De-scale the whole shard first: a branch-free loop the
+            // compiler vectorizes (convert + two multiplies per lane).
+            // Folding it into the selection scan below costs ~6× per
+            // candidate — the early-exit branch blocks vectorization.
+            let fs = &mut scratch.scores[..ns];
+            for ((f, &d), &rs) in fs.iter_mut().zip(&dots[q * ns..(q + 1) * ns]).zip(scales) {
+                *f = qs * rs * d as f32;
+            }
+            for (j, &s) in fs.iter().enumerate() {
+                // Ids ascend across the scan, so once the heap is full an
+                // equal-score later candidate never displaces the current
+                // worst (`top[0]`) — the same score-only shortcut
+                // `select_top_k` uses, and the O(1) fast path that makes
+                // the scan cheap: almost every candidate exits here.
+                if top.len() == screen_k && s <= top[0].1 {
+                    continue;
+                }
+                let e = EntityId((r0 + j) as u32);
+                if excluded[q].binary_search(&e).is_ok() {
+                    continue;
+                }
+                heap_admit(top, screen_k, (e, s));
+            }
+        }
+    }
+}
+
+/// One query's survivor list: `(entity, score)` pairs, heap-ordered while
+/// the screen runs and `(score desc, id asc)`-sorted on return.
+type Survivors = Vec<(EntityId, f32)>;
+
+/// Per-worker screen buffers: the i32 GEMM output for a whole shard and
+/// the de-scaled f32 scores for one query's stretch of it.
+struct Scratch {
+    dots: Vec<i32>,
+    scores: Vec<f32>,
+}
+
+impl Scratch {
+    fn for_table(m: usize, rows: usize) -> Self {
+        let shard = SHARD_ROWS.min(rows);
+        Self { dots: vec![0i32; m * shard], scores: vec![0f32; shard] }
+    }
+}
+
+/// Total-order "ranks strictly below": lower score first, larger id first
+/// on equal scores — the exact inverse of the output order, so the heap
+/// root is always the element the next admission would evict.
+#[inline]
+fn worse(a: (EntityId, f32), b: (EntityId, f32)) -> bool {
+    a.1 < b.1 || (a.1 == b.1 && a.0 > b.0)
+}
+
+/// Bounded top-`cap` admission into a binary min-heap ordered by [`worse`]
+/// (`top[0]` is the worst kept element). O(log cap) per admitted candidate
+/// and no memmove — a sorted-insert buffer at `screen_k = 1024` moves ~2 KiB
+/// per admission, which dominated the whole screen pass. The kept *set* is
+/// determined by the total order alone, so admission order (shard order,
+/// scan order, merge order) never changes it.
+fn heap_admit(top: &mut Vec<(EntityId, f32)>, cap: usize, item: (EntityId, f32)) {
+    if top.len() < cap {
+        top.push(item);
+        let mut i = top.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if worse(top[i], top[parent]) {
+                top.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    } else if worse(top[0], item) {
+        top[0] = item;
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut w = i;
+            if l < top.len() && worse(top[l], top[w]) {
+                w = l;
+            }
+            if r < top.len() && worse(top[r], top[w]) {
+                w = r;
+            }
+            if w == i {
+                break;
+            }
+            top.swap(i, w);
+            i = w;
+        }
+    }
+}
+
+/// Answers a batch of queries through the two-stage screen→rescore path.
+///
+/// For each query the f32 context is computed exactly as the serving
+/// engine does, quantized, screened against `index` (top
+/// `max(screen_k, k_i)` survivors where `k_i` is that query's requested
+/// depth — so deep requests are never starved by a narrow screen), and
+/// the survivors are rescored with the exact f32 reduction. Returns, per
+/// query, up to `k_i` `(entity, exact_score)` pairs ordered by
+/// `(score desc, id asc)`.
+///
+/// `excluded[i]` must be sorted and deduplicated. The answer is
+/// deterministic for any shard/thread configuration, and identical to the
+/// exact path whenever the survivor set covers the true top-`k_i`.
+///
+/// # Panics
+/// Panics if `index` does not match `model`'s entity-table shape.
+pub fn screened_answers(
+    model: &MultiEmbedModel,
+    index: &ScreenIndex,
+    queries: &[BlockQuery],
+    ks: &[usize],
+    excluded: &[&[EntityId]],
+    params: &ScreenParams,
+) -> Vec<Vec<(EntityId, f32)>> {
+    assert!(index.compatible_with(model), "screen index does not match the model's entity table");
+    assert_eq!(queries.len(), ks.len(), "one k per query");
+    assert_eq!(queries.len(), excluded.len(), "one exclusion list per query");
+    let m = queries.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let k = model.entities.row_len();
+    let mut ctxs = vec![0.0f32; m * k];
+    for (q, ctx) in queries.iter().zip(ctxs.chunks_mut(k)) {
+        match q.side {
+            Side::Tail => model.tail_context(q.anchor, q.relation, ctx),
+            Side::Head => model.head_context(q.anchor, q.relation, ctx),
+        }
+    }
+    let mut qctx = vec![0i8; m * k];
+    let mut ctx_scales = vec![0.0f32; m];
+    for q in 0..m {
+        ctx_scales[q] = quantize_row(&ctxs[q * k..(q + 1) * k], &mut qctx[q * k..(q + 1) * k]);
+    }
+    let widest = ks.iter().copied().max().unwrap_or(0);
+    let screen_k = params.screen_k.max(widest);
+    let survivors = index.screen_block(&qctx, &ctx_scales, excluded, screen_k, params.threads);
+
+    survivors
+        .into_iter()
+        .enumerate()
+        .map(|(q, mut list)| {
+            let ctx = &ctxs[q * k..(q + 1) * k];
+            for (e, score) in list.iter_mut() {
+                *score = mei_math::dot_fast(ctx, model.entities.row(e.0 as usize));
+            }
+            list.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1).expect("scores are never NaN").then(a.0.cmp(&b.0))
+            });
+            list.truncate(ks[q]);
+            list
+        })
+        .collect()
+}
+
+/// Single-query convenience over [`screened_answers`], mirroring
+/// [`mei_eval::top_k`]: builds the exclusion list from `exclude` and
+/// returns the top-`k` screened answer.
+#[allow(clippy::too_many_arguments)] // mirrors `mei_eval::top_k`'s shape plus the screen params
+pub fn screened_top_k(
+    model: &MultiEmbedModel,
+    index: &ScreenIndex,
+    side: Side,
+    anchor: EntityId,
+    relation: RelationId,
+    k: usize,
+    exclude: &TripleStore,
+    params: &ScreenParams,
+) -> Vec<(EntityId, f32)> {
+    let query = match side {
+        Side::Tail => BlockQuery::tails(anchor, relation),
+        Side::Head => BlockQuery::heads(anchor, relation),
+    };
+    let mut excluded: Vec<EntityId> = match side {
+        Side::Tail => exclude.tails_of(anchor, relation),
+        Side::Head => exclude.heads_of(anchor, relation),
+    }
+    .to_vec();
+    excluded.sort_unstable();
+    excluded.dedup();
+    screened_answers(model, index, &[query], &[k], &[&excluded], params)
+        .pop()
+        .unwrap_or_default()
+}

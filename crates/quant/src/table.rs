@@ -1,0 +1,163 @@
+//! Per-row symmetric int8 quantization of a dense row-major f32 table.
+//!
+//! Each row gets its own scale `s = max|x| / 127` and is stored as
+//! `q_i = round(x_i / s)` clamped to `[-127, 127]` (the symmetric scheme:
+//! `-128` is never produced, so `|q·q'| ≤ 16129` and pair sums fit i16 —
+//! the invariant the AVX2 `maddubs`-free screen kernel in `mei-math`
+//! relies on). Dequantized values satisfy `|x_i − q_i·s| ≤ s/2` up to f32
+//! rounding, which the proptest suite pins down.
+//!
+//! An all-zero row quantizes to scale `0` and all-zero codes; `0 · 0 = 0`
+//! reconstructs it exactly, so the degenerate case needs no special path
+//! downstream.
+
+/// Quantizes one f32 row into `out` and returns the row scale.
+///
+/// Symmetric per-row scheme: `scale = max|x| / 127`,
+/// `out[i] = round(x[i] / scale)` clamped to `[-127, 127]`. A row of all
+/// zeros (or empty) gets scale `0.0` and all-zero codes.
+///
+/// # Panics
+/// Panics if `out.len() != x.len()`.
+pub fn quantize_row(x: &[f32], out: &mut [i8]) -> f32 {
+    assert_eq!(x.len(), out.len(), "quantize_row: output length must match input");
+    let mut max_abs = 0.0f32;
+    for &v in x {
+        let a = v.abs();
+        if a > max_abs {
+            max_abs = a;
+        }
+    }
+    if max_abs == 0.0 {
+        out.fill(0);
+        return 0.0;
+    }
+    let scale = max_abs / 127.0;
+    let inv = 127.0 / max_abs;
+    for (o, &v) in out.iter_mut().zip(x) {
+        // round-half-away-from-zero, then clamp: f32 rounding in `v * inv`
+        // can land a hair above ±127 for the extreme element.
+        let q = (v * inv).round();
+        *o = q.clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+/// A row-major f32 table quantized row-by-row to int8.
+///
+/// Stores one `f32` scale per row plus the `i8` codes — 4× less memory
+/// traffic than the source table when streamed by a screening GEMM. Built
+/// deterministically from the source rows (no RNG, no data-dependent
+/// iteration order), so two builds from identical tables are
+/// byte-identical.
+#[derive(Debug, Clone)]
+pub struct QuantizedTable {
+    rows: usize,
+    k: usize,
+    scales: Vec<f32>,
+    q: Vec<i8>,
+}
+
+impl QuantizedTable {
+    /// Quantizes a dense row-major table of `data.len() / k` rows.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `data.len()` is not a multiple of `k`.
+    pub fn from_rows(data: &[f32], k: usize) -> Self {
+        assert!(k > 0, "QuantizedTable: row length must be positive");
+        assert_eq!(data.len() % k, 0, "QuantizedTable: data length must be a multiple of k");
+        let rows = data.len() / k;
+        let mut scales = vec![0.0f32; rows];
+        let mut q = vec![0i8; rows * k];
+        for r in 0..rows {
+            scales[r] = quantize_row(&data[r * k..(r + 1) * k], &mut q[r * k..(r + 1) * k]);
+        }
+        Self { rows, k, scales, q }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row length (elements per row).
+    pub fn row_len(&self) -> usize {
+        self.k
+    }
+
+    /// The quantized codes of row `r`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.q[r * self.k..(r + 1) * self.k]
+    }
+
+    /// The scale of row `r` (dequantized row is `scale * row`).
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// All scales, row-indexed.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The contiguous codes of rows `r0..r1` — a shard slab for the
+    /// screening GEMM.
+    pub fn row_range(&self, r0: usize, r1: usize) -> &[i8] {
+        &self.q[r0 * self.k..r1 * self.k]
+    }
+
+    /// Approximate heap footprint in bytes (codes + scales).
+    pub fn memory_bytes(&self) -> usize {
+        self.q.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_row_is_exact() {
+        let mut out = [1i8; 4];
+        let s = quantize_row(&[0.0; 4], &mut out);
+        assert_eq!(s, 0.0);
+        assert_eq!(out, [0; 4]);
+    }
+
+    #[test]
+    fn extreme_element_maps_to_127() {
+        let x = [3.5f32, -3.5, 1.75, 0.0];
+        let mut out = [0i8; 4];
+        let s = quantize_row(&x, &mut out);
+        assert_eq!(out, [127, -127, 64, 0]);
+        assert!((s - 3.5 / 127.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_error_within_half_scale() {
+        let x: Vec<f32> = (0..64).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.173).collect();
+        let mut out = vec![0i8; x.len()];
+        let s = quantize_row(&x, &mut out);
+        for (&xi, &qi) in x.iter().zip(&out) {
+            let err = (xi - qi as f32 * s).abs();
+            assert!(err <= 0.5 * s * (1.0 + 1e-5), "err {err} > s/2 = {}", 0.5 * s);
+        }
+    }
+
+    #[test]
+    fn table_rows_match_row_wise_quantization() {
+        let k = 7;
+        let data: Vec<f32> = (0..5 * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let table = QuantizedTable::from_rows(&data, k);
+        assert_eq!(table.rows(), 5);
+        assert_eq!(table.row_len(), k);
+        for r in 0..5 {
+            let mut out = vec![0i8; k];
+            let s = quantize_row(&data[r * k..(r + 1) * k], &mut out);
+            assert_eq!(table.row(r), &out[..]);
+            assert_eq!(table.scale(r), s);
+        }
+        assert_eq!(table.row_range(1, 3).len(), 2 * k);
+        assert_eq!(table.row_range(1, 3), &table.q[k..3 * k]);
+    }
+}

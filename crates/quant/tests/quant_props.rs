@@ -1,0 +1,191 @@
+//! Property and contract tests for the quantized screening pipeline:
+//! per-row round-trip error bound, i8 GEMM kernel-vs-reference
+//! bit-identity, screened-vs-exact equivalence (ties included),
+//! shard/thread invariance, and the recall floor on a WN18-shaped model.
+
+use mei_core::{MultiEmbedModel, WeightPreset};
+use mei_eval::{top_k, Side};
+use mei_kg::{EntityId, RelationId, Triple, TripleStore};
+use mei_quant::{quantize_row, screened_top_k, QuantizedTable, ScreenIndex, ScreenParams};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+proptest! {
+    /// Per-row symmetric quantization reconstructs every element to
+    /// within half a quantization step: `|x_i − q_i·scale| ≤ scale/2`
+    /// (up to f32 rounding), and an all-zero row is exact.
+    #[test]
+    fn round_trip_error_bounded_by_half_scale(
+        row in proptest::collection::vec(-100.0f32..100.0, 0..120),
+        zero in proptest::bool::ANY,
+    ) {
+        let row: Vec<f32> = if zero { vec![0.0; row.len()] } else { row };
+        let mut q = vec![0i8; row.len()];
+        let scale = quantize_row(&row, &mut q);
+        prop_assert!(scale >= 0.0);
+        let bound = 0.5 * scale * (1.0 + 1e-5) + f32::EPSILON;
+        for (&x, &code) in row.iter().zip(&q) {
+            prop_assert!((-127..=127).contains(&i32::from(code)));
+            let err = (x - code as f32 * scale).abs();
+            prop_assert!(err <= bound, "err {err} exceeds scale/2 = {}", 0.5 * scale);
+        }
+    }
+
+    /// The dispatched i8 GEMM (AVX2 where available) is bit-identical to
+    /// the unblocked scalar reference for arbitrary shapes and contents —
+    /// the saturation-regression guard behind the integer determinism
+    /// contract.
+    #[test]
+    fn gemm_i8_kernel_matches_scalar_reference(
+        m in 1usize..5,
+        n in 1usize..70,
+        k in 1usize..80,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        let b: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        let mut fast = vec![0i32; m * n];
+        let mut reference = vec![0i32; m * n];
+        mei_math::gemm_i8_nt(&a, &b, k, &mut fast);
+        mei_math::quantops::gemm_i8_nt_ref(&a, &b, k, &mut reference);
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// `QuantizedTable` is exactly row-wise `quantize_row`.
+    #[test]
+    fn table_is_row_wise_quantization(
+        rows in 1usize..8,
+        k in 1usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * k).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let table = QuantizedTable::from_rows(&data, k);
+        for r in 0..rows {
+            let mut q = vec![0i8; k];
+            let s = quantize_row(&data[r * k..(r + 1) * k], &mut q);
+            prop_assert_eq!(table.row(r), &q[..]);
+            prop_assert_eq!(table.scale(r).to_bits(), s.to_bits());
+        }
+    }
+}
+
+fn synth_model(entities: usize, relations: usize, dim: usize, seed: u64) -> MultiEmbedModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MultiEmbedModel::from_preset(WeightPreset::ComplEx, entities, relations, dim, &mut rng)
+}
+
+/// With `screen_k ≥ |E|` every entity survives the screen, so the
+/// screened answer must be **element-for-element bit-identical** to the
+/// exact `top_k` — including tie order — on both sides, with and without
+/// exclusions.
+#[test]
+fn full_width_screen_is_bit_identical_to_exact() {
+    let model = synth_model(300, 4, 8, 7);
+    let exclude: TripleStore =
+        (0..40u32).map(|i| Triple::new(i % 7, (i * 13) % 300, i % 4)).collect();
+    let params = ScreenParams { screen_k: 300, threads: 1 };
+    let index = ScreenIndex::build(&model);
+    for side in [Side::Tail, Side::Head] {
+        for anchor in [0u32, 3, 6, 150] {
+            for rel in 0..4u32 {
+                let exact =
+                    top_k(&model, side, EntityId(anchor), RelationId(rel), 12, &exclude);
+                let screened = screened_top_k(
+                    &model, &index, side, EntityId(anchor), RelationId(rel), 12, &exclude,
+                    &params,
+                );
+                assert_eq!(exact.len(), screened.len());
+                for (a, b) in exact.iter().zip(&screened) {
+                    assert_eq!(a.0, b.0, "entity mismatch at anchor {anchor} rel {rel}");
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "score bits differ");
+                }
+            }
+        }
+    }
+}
+
+/// Thread count never changes a screened answer: the sharded fan-out
+/// merges in chunk order with a total candidate order, so 1-thread and
+/// n-thread runs are byte-identical (the table spans several shards here).
+#[test]
+fn screened_answers_are_thread_invariant() {
+    let model = synth_model(40_000, 6, 4, 21);
+    let index = ScreenIndex::build(&model);
+    assert!(index.num_shards() >= 3, "model must span multiple shards");
+    let exclude = TripleStore::new();
+    for threads in [1usize, 2, 5] {
+        let params = ScreenParams { screen_k: 64, threads };
+        let baseline = screened_top_k(
+            &model,
+            &index,
+            Side::Tail,
+            EntityId(17),
+            RelationId(2),
+            10,
+            &exclude,
+            &ScreenParams { screen_k: 64, threads: 1 },
+        );
+        let run = screened_top_k(
+            &model, &index, Side::Tail, EntityId(17), RelationId(2), 10, &exclude, &params,
+        );
+        assert_eq!(baseline.len(), run.len());
+        for (a, b) in baseline.iter().zip(&run) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+}
+
+/// The recall contract at WN18 entity count: screened recall@10 against
+/// the exact top-10 must be ≥ 0.99 averaged over a query mix of both
+/// sides, at the default screen width.
+#[test]
+fn screened_recall_at_10_clears_floor_on_wn18_shape() {
+    const ENTITIES: usize = 40_943; // WN18 vocabulary size
+    const QUERIES: usize = 24;
+    const K: usize = 10;
+    let model = synth_model(ENTITIES, 18, 8, 42);
+    let index = ScreenIndex::build(&model);
+    let exclude = TripleStore::new();
+    let params = ScreenParams::default();
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for q in 0..QUERIES as u32 {
+        let side = if q % 2 == 0 { Side::Tail } else { Side::Head };
+        let anchor = EntityId((q * 1_663) % ENTITIES as u32);
+        let rel = RelationId(q % 18);
+        let exact = top_k(&model, side, anchor, rel, K, &exclude);
+        let screened = screened_top_k(&model, &index, side, anchor, rel, K, &exclude, &params);
+        let screened_ids: Vec<EntityId> = screened.iter().map(|&(e, _)| e).collect();
+        hit += exact.iter().filter(|(e, _)| screened_ids.contains(e)).count();
+        total += exact.len();
+    }
+    let recall = hit as f64 / total as f64;
+    assert!(recall >= 0.99, "screened recall@10 = {recall:.4} below the 0.99 floor");
+}
+
+/// Exclusions are honored by the screen itself (an excluded entity never
+/// survives), not just by post-filtering.
+#[test]
+fn screened_exclusions_never_surface() {
+    let model = synth_model(500, 3, 6, 11);
+    let index = ScreenIndex::build(&model);
+    // Exclude a band of entities for (anchor 5, rel 1) tails.
+    let exclude: TripleStore = (100..160u32).map(|t| Triple::new(5, t, 1)).collect();
+    let top = screened_top_k(
+        &model,
+        &index,
+        Side::Tail,
+        EntityId(5),
+        RelationId(1),
+        400,
+        &exclude,
+        &ScreenParams { screen_k: 500, threads: 1 },
+    );
+    assert_eq!(top.len(), 400);
+    for (e, _) in top {
+        assert!(!(100..160).contains(&e.0), "excluded entity {} surfaced", e.0);
+    }
+}

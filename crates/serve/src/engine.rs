@@ -18,6 +18,7 @@ use crate::cache::{CacheKey, CacheStats, CachedAnswer, ShardedLruCache};
 use crate::snapshot::{Snapshot, SnapshotSwap};
 use mei_eval::{select_top_k, BlockQuery, Side, TripleScorer};
 use mei_kg::{EntityId, RelationId};
+use mei_quant::{screened_answers, ScreenParams};
 use mei_obs::{Counter, Gauge, Histogram, JsonValue, MetricsRegistry};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -56,6 +57,19 @@ pub struct ServeConfig {
     /// bound — explicit backpressure beats an OOM kill under a traffic
     /// spike.
     pub max_queue: usize,
+    /// Quantized screen→rescore candidate generation (`mei-quant`).
+    /// `None` serves every query through the exact f32 pass over all
+    /// entities; `Some(params)` screens in int8 first and rescores the top
+    /// [`ScreenParams::screen_k`] survivors exactly — sublinear in streamed
+    /// bytes, with ranking quality governed by the measured recall
+    /// contract (`repro bench-serve`).
+    pub screen: Option<ScreenParams>,
+    /// Number of hottest `(side, anchor, relation, k)` request identities
+    /// to precompute into the result cache on every snapshot swap (0 =
+    /// off). Precomputed entries carry the new epoch, so the epoch-tagged
+    /// invalidation that makes stale cached answers unservable applies to
+    /// them unchanged.
+    pub precompute_hot: usize,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +81,8 @@ impl Default for ServeConfig {
             cache_capacity: 512,
             cache: true,
             max_queue: 1024,
+            screen: None,
+            precompute_hot: 0,
         }
     }
 }
@@ -197,6 +213,51 @@ impl ResponseSlot {
     }
 }
 
+/// Frequency sketch of recent request identities, feeding the
+/// precompute-on-swap pass. A bounded count map with periodic halving
+/// decay: when the map outgrows its cap every count is halved and zeros
+/// are dropped, so sustained-hot keys dominate one-off bursts and the map
+/// never grows without bound.
+struct HotTracker {
+    counts: HashMap<CacheKey, u64>,
+    cap: usize,
+}
+
+impl HotTracker {
+    fn new(cap: usize) -> Self {
+        Self { counts: HashMap::new(), cap: cap.max(1) }
+    }
+
+    fn record(&mut self, key: CacheKey) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        if self.counts.len() > self.cap {
+            self.counts.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+    }
+
+    /// The `n` hottest keys, count-descending with a total key order on
+    /// ties so the precompute set is deterministic for a given history.
+    fn hottest(&self, n: usize) -> Vec<CacheKey> {
+        let order = |k: &CacheKey| {
+            (
+                match k.query.side {
+                    Side::Head => 0u8,
+                    Side::Tail => 1,
+                },
+                k.query.anchor.0,
+                k.query.relation.0,
+                k.k,
+            )
+        };
+        let mut keys: Vec<(&CacheKey, &u64)> = self.counts.iter().collect();
+        keys.sort_by(|a, b| b.1.cmp(a.1).then_with(|| order(a.0).cmp(&order(b.0))));
+        keys.into_iter().take(n).map(|(k, _)| *k).collect()
+    }
+}
+
 /// State shared between the public [`Engine`] handle and its workers.
 struct Shared {
     swap: SnapshotSwap,
@@ -204,6 +265,9 @@ struct Shared {
     cache_enabled: bool,
     max_batch: usize,
     max_queue: usize,
+    screen: Option<ScreenParams>,
+    precompute_hot: usize,
+    hot: Mutex<HotTracker>,
     queue: Mutex<VecDeque<Pending>>,
     available: Condvar,
     stop: AtomicBool,
@@ -214,9 +278,23 @@ struct Shared {
     swaps: Arc<Counter>,
     errors: Arc<Counter>,
     rejected: Arc<Counter>,
+    screened_queries: Arc<Counter>,
+    precomputed: Arc<Counter>,
     latency_secs: Arc<Histogram>,
     batch_size: Arc<Histogram>,
     epoch_gauge: Arc<Gauge>,
+}
+
+/// The sorted, deduplicated known-true exclusion list for one query.
+fn sorted_exclusions(snap: &Snapshot, q: &BlockQuery) -> Vec<EntityId> {
+    let mut excluded: Vec<EntityId> = match q.side {
+        Side::Tail => snap.exclude.tails_of(q.anchor, q.relation),
+        Side::Head => snap.exclude.heads_of(q.anchor, q.relation),
+    }
+    .to_vec();
+    excluded.sort_unstable();
+    excluded.dedup();
+    excluded
 }
 
 impl Shared {
@@ -247,7 +325,10 @@ impl Shared {
     /// loaded (a swap mid-flight may leave a batch straddling two
     /// snapshots; each group scores against exactly the snapshot its
     /// requests observed), identical queries within a group are scored
-    /// once, and every request is answered through `select_top_k`.
+    /// once at the widest requested `k`, and every request is answered
+    /// with a prefix of its query's answer — identical to what a
+    /// per-request `select_top_k` would return, since both orders are the
+    /// `(score desc, id asc)` truncation of the same candidate ranking.
     fn score_batch(&self, mut batch: Vec<Pending>, scratch: &mut Vec<f32>) {
         while !batch.is_empty() {
             let snap = Arc::clone(&batch[0].snap);
@@ -255,32 +336,99 @@ impl Shared {
                 batch.into_iter().partition(|p| Arc::ptr_eq(&p.snap, &snap));
             batch = rest;
 
-            let ne = snap.model.num_entities();
             let mut rows: HashMap<BlockQuery, usize> = HashMap::with_capacity(group.len());
             let mut queries: Vec<BlockQuery> = Vec::with_capacity(group.len());
+            let mut ks: Vec<usize> = Vec::with_capacity(group.len());
             for p in &group {
-                rows.entry(p.query).or_insert_with(|| {
+                let row = *rows.entry(p.query).or_insert_with(|| {
                     queries.push(p.query);
+                    ks.push(0);
                     queries.len() - 1
                 });
+                ks[row] = ks[row].max(p.k);
             }
-            scratch.clear();
-            scratch.resize(queries.len() * ne, 0.0);
-            snap.model.score_block(&queries, scratch);
+            let answers = self.answer_distinct(&snap, &queries, &ks, scratch);
 
             for p in group {
                 let row = rows[&p.query];
-                let scores = &scratch[row * ne..(row + 1) * ne];
-                let mut excluded: Vec<EntityId> = match p.query.side {
-                    Side::Tail => snap.exclude.tails_of(p.query.anchor, p.query.relation),
-                    Side::Head => snap.exclude.heads_of(p.query.anchor, p.query.relation),
-                }
-                .to_vec();
-                excluded.sort_unstable();
-                excluded.dedup();
-                let answer = Arc::new(select_top_k(scores, p.k, &excluded));
-                p.slot.fulfill(Ok(answer));
+                let mut list = answers[row].clone();
+                list.truncate(p.k);
+                p.slot.fulfill(Ok(Arc::new(list)));
             }
+        }
+    }
+
+    /// Answers a set of *distinct* queries at per-query depths `ks` —
+    /// through the quantized screen→rescore path when configured, the
+    /// exact blocked f32 pass otherwise. Both paths order candidates
+    /// `(score desc, id asc)`; the screened answer is bit-identical to the
+    /// exact one whenever its survivor set covers the true top-`ks[i]`.
+    fn answer_distinct(
+        &self,
+        snap: &Snapshot,
+        queries: &[BlockQuery],
+        ks: &[usize],
+        scratch: &mut Vec<f32>,
+    ) -> Vec<Vec<(EntityId, f32)>> {
+        let excluded: Vec<Vec<EntityId>> =
+            queries.iter().map(|q| sorted_exclusions(snap, q)).collect();
+        if let Some(params) = self.screen {
+            let refs: Vec<&[EntityId]> = excluded.iter().map(Vec::as_slice).collect();
+            let index = snap.screen_index();
+            self.screened_queries.add(queries.len() as u64);
+            return screened_answers(&snap.model, &index, queries, ks, &refs, &params);
+        }
+        let ne = snap.model.num_entities();
+        scratch.clear();
+        scratch.resize(queries.len() * ne, 0.0);
+        snap.model.score_block(queries, scratch);
+        queries
+            .iter()
+            .enumerate()
+            .map(|(row, _)| {
+                select_top_k(&scratch[row * ne..(row + 1) * ne], ks[row], &excluded[row])
+            })
+            .collect()
+    }
+
+    /// Recomputes the hottest request identities against the snapshot
+    /// installed at `epoch` and parks the answers in the result cache under
+    /// that epoch — so post-swap traffic on hot keys hits the cache
+    /// immediately instead of each paying a full scoring pass. If another
+    /// swap raced past, the reload sees a newer epoch and the precompute is
+    /// skipped; had it raced *after* the reload, the entries would be
+    /// born-stale and unservable anyway (epoch-tagged lookup).
+    fn precompute_hot_keys(&self, epoch: u64) {
+        if self.precompute_hot == 0 || !self.cache_enabled {
+            return;
+        }
+        let keys = self.hot.lock().unwrap().hottest(self.precompute_hot);
+        if keys.is_empty() {
+            return;
+        }
+        let (snap, loaded) = self.swap.load();
+        if loaded != epoch {
+            return;
+        }
+        let mut rows: HashMap<BlockQuery, usize> = HashMap::with_capacity(keys.len());
+        let mut queries: Vec<BlockQuery> = Vec::with_capacity(keys.len());
+        let mut ks: Vec<usize> = Vec::with_capacity(keys.len());
+        for key in &keys {
+            let row = *rows.entry(key.query).or_insert_with(|| {
+                queries.push(key.query);
+                ks.push(0);
+                queries.len() - 1
+            });
+            ks[row] = ks[row].max(key.k);
+        }
+        let mut scratch = Vec::new();
+        let answers = self.answer_distinct(&snap, &queries, &ks, &mut scratch);
+        for key in keys {
+            let row = rows[&key.query];
+            let mut list = answers[row].clone();
+            list.truncate(key.k);
+            self.cache.insert(key, epoch, Arc::new(list));
+            self.precomputed.inc();
         }
     }
 }
@@ -304,6 +452,9 @@ impl Engine {
             cache_enabled: config.cache,
             max_batch: config.max_batch.max(1),
             max_queue: config.max_queue.max(1),
+            screen: config.screen,
+            precompute_hot: config.precompute_hot,
+            hot: Mutex::new(HotTracker::new((config.precompute_hot * 8).max(64))),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -313,6 +464,8 @@ impl Engine {
             swaps: metrics.counter("serve/swaps"),
             errors: metrics.counter("serve/errors"),
             rejected: metrics.counter("serve/rejected"),
+            screened_queries: metrics.counter("serve/screened_queries"),
+            precomputed: metrics.counter("serve/precomputed"),
             latency_secs: metrics.histogram("serve/latency_secs", &LATENCY_BUCKETS),
             batch_size: metrics.histogram("serve/batch_size", &BATCH_BUCKETS),
             epoch_gauge: metrics.gauge("serve/epoch"),
@@ -377,6 +530,11 @@ impl Engine {
             Side::Head => BlockQuery::heads(anchor, relation),
         };
         let key = CacheKey { query, k };
+        if shared.precompute_hot > 0 && shared.cache_enabled {
+            // Count hits and misses alike: a key that keeps hitting the
+            // cache is exactly the kind worth precomputing after a swap.
+            shared.hot.lock().unwrap().record(key);
+        }
         if shared.cache_enabled {
             if let Some(results) = shared.cache.get(&key, epoch) {
                 shared.cache_hits.inc();
@@ -426,10 +584,27 @@ impl Engine {
                 offered: (next.entities.len(), next.relations.len()),
             });
         }
+        if self.shared.screen.is_some() {
+            // Build the incoming snapshot's screen index *before* the swap
+            // installs it, so the first post-swap screened batch never
+            // stalls behind a full-table quantization pass.
+            next.screen_index();
+        }
         let epoch = self.shared.swap.swap(next);
         self.shared.swaps.inc();
         self.shared.epoch_gauge.set(epoch as f64);
+        self.shared.precompute_hot_keys(epoch);
         Ok(epoch)
+    }
+
+    /// The configured screen parameters (`None` = exact serving).
+    pub fn screen_params(&self) -> Option<ScreenParams> {
+        self.shared.screen
+    }
+
+    /// How many hot request identities are precomputed on each swap.
+    pub fn precompute_hot(&self) -> usize {
+        self.shared.precompute_hot
     }
 
     /// The currently served snapshot and its epoch.

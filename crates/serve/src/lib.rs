@@ -57,6 +57,7 @@ pub mod wire;
 
 pub use cache::{CacheKey, CacheStats, ShardedLruCache};
 pub use engine::{Engine, Prediction, ServeConfig, ServeError};
+pub use mei_quant::ScreenParams;
 pub use server::{Server, ServerConfig};
 pub use snapshot::{Snapshot, SnapshotSwap};
 pub use wire::{Request, RequestName};

@@ -14,9 +14,10 @@
 
 use mei_core::MultiEmbedModel;
 use mei_kg::{Dictionary, TripleStore};
+use mei_quant::ScreenIndex;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Everything needed to answer prediction queries against one model
 /// checkpoint: the scorer, the entity/relation vocabularies, and the
@@ -32,6 +33,12 @@ pub struct Snapshot {
     pub relations: Dictionary,
     /// Known-true triples filtered out of every answer.
     pub exclude: TripleStore,
+    /// The quantized screen index over this snapshot's entity table, built
+    /// lazily on first use (or eagerly by the engine before a swap when
+    /// screening is enabled). Living inside the snapshot means a swap
+    /// *cannot* serve a stale index: the incoming snapshot arrives with an
+    /// empty cell and the index is rebuilt from its own entity table.
+    pub(crate) screen_index: OnceLock<Arc<ScreenIndex>>,
 }
 
 impl Snapshot {
@@ -56,7 +63,17 @@ impl Snapshot {
             model.config().num_relations,
             "relation dictionary size must match the model's relation table"
         );
-        Self { model, entities, relations, exclude }
+        Self { model, entities, relations, exclude, screen_index: OnceLock::new() }
+    }
+
+    /// The per-row int8 screen index over this snapshot's entity table,
+    /// built on first call and shared afterwards. Deterministic: two
+    /// snapshots with byte-identical entity tables build byte-identical
+    /// indexes.
+    pub fn screen_index(&self) -> Arc<ScreenIndex> {
+        Arc::clone(
+            self.screen_index.get_or_init(|| Arc::new(ScreenIndex::build(&self.model))),
+        )
     }
 
     /// Bundles a model with synthetic `e<i>` / `r<i>` name dictionaries —

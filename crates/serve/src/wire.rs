@@ -228,6 +228,9 @@ fn swap_response(engine: &Engine, model_file: &str) -> Result<JsonValue, WireErr
         entities: current.entities.clone(),
         relations: current.relations.clone(),
         exclude: current.exclude.clone(),
+        // Fresh cell: the screen index (when enabled) is rebuilt from the
+        // incoming model's entity table, never carried across a swap.
+        screen_index: Default::default(),
     };
     let epoch = engine.swap_snapshot(next)?;
     Ok(build::obj([("ok", JsonValue::Bool(true)), ("epoch", build::int(epoch as usize))]))
@@ -235,12 +238,25 @@ fn swap_response(engine: &Engine, model_file: &str) -> Result<JsonValue, WireErr
 
 fn stats_response(engine: &Engine) -> JsonValue {
     let cache = engine.cache_stats();
+    let screen = match engine.screen_params() {
+        Some(p) => build::obj([
+            ("enabled", JsonValue::Bool(true)),
+            ("screen_k", build::int(p.screen_k)),
+            ("threads", build::int(p.threads)),
+            ("precompute_hot", build::int(engine.precompute_hot())),
+        ]),
+        None => build::obj([
+            ("enabled", JsonValue::Bool(false)),
+            ("precompute_hot", build::int(engine.precompute_hot())),
+        ]),
+    };
     build::obj([
         ("ok", JsonValue::Bool(true)),
         ("epoch", build::int(engine.epoch() as usize)),
         ("cache_hits", build::int(cache.hits as usize)),
         ("cache_misses", build::int(cache.misses as usize)),
         ("cache_hit_rate", build::num(cache.hit_rate())),
+        ("screen", screen),
         ("metrics", engine.metrics_snapshot()),
     ])
 }
@@ -343,6 +359,36 @@ mod tests {
             assert!(v.get("error").is_some());
         }
         engine.shutdown();
+    }
+
+    #[test]
+    fn stats_report_screen_config() {
+        let engine = engine();
+        let (resp, _) = handle_line(&engine, r#"{"op":"stats"}"#);
+        let v = parse(&resp).unwrap();
+        let screen = v.get("screen").expect("stats must carry the screen config");
+        assert_eq!(screen.get("enabled"), Some(&JsonValue::Bool(false)));
+        assert_eq!(screen.get("precompute_hot").and_then(|x| x.as_usize()), Some(0));
+        engine.shutdown();
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, 12, 2, 4, &mut rng);
+        let screened = Engine::start(
+            Snapshot::with_ids(model, TripleStore::new()),
+            ServeConfig {
+                screen: Some(mei_quant::ScreenParams { screen_k: 7, threads: 3 }),
+                precompute_hot: 5,
+                ..ServeConfig::default()
+            },
+        );
+        let (resp, _) = handle_line(&screened, r#"{"op":"stats"}"#);
+        let v = parse(&resp).unwrap();
+        let screen = v.get("screen").unwrap();
+        assert_eq!(screen.get("enabled"), Some(&JsonValue::Bool(true)));
+        assert_eq!(screen.get("screen_k").and_then(|x| x.as_usize()), Some(7));
+        assert_eq!(screen.get("threads").and_then(|x| x.as_usize()), Some(3));
+        assert_eq!(screen.get("precompute_hot").and_then(|x| x.as_usize()), Some(5));
+        screened.shutdown();
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Contract tests for the quantized screen→rescore serving path and the
+//! hot-key precompute: screened answers agree with the exact engine,
+//! precomputed entries are served from the cache under the new epoch, and
+//! a swap can never leak answers from the previous model.
+
+use mei_core::{MultiEmbedModel, WeightPreset};
+use mei_eval::Side;
+use mei_kg::{EntityId, RelationId, Triple, TripleStore};
+use mei_serve::{Engine, ScreenParams, ServeConfig, Snapshot};
+use rand::{rngs::StdRng, SeedableRng};
+
+const ENTITIES: usize = 64;
+
+fn snapshot(seed: u64, exclude: TripleStore) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = MultiEmbedModel::from_preset(WeightPreset::ComplEx, ENTITIES, 4, 6, &mut rng);
+    Snapshot::with_ids(model, exclude)
+}
+
+fn assert_bit_identical(a: &[(EntityId, f32)], b: &[(EntityId, f32)], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.0, y.0, "{what}: entity mismatch");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "{what}: score bits differ");
+    }
+}
+
+/// With `screen_k` covering the whole vocabulary every entity survives
+/// screening, so the screened engine must answer **bit-identically** to
+/// the exact engine — queries, exclusions, tie order and all.
+#[test]
+fn screened_engine_matches_exact_engine() {
+    let exclude: TripleStore =
+        (0..30u32).map(|i| Triple::new(i % 5, (i * 7) % ENTITIES as u32, i % 4)).collect();
+    let exact = Engine::start(
+        snapshot(9, exclude.clone()),
+        ServeConfig { cache: false, ..ServeConfig::default() },
+    );
+    let screened = Engine::start(
+        snapshot(9, exclude),
+        ServeConfig {
+            cache: false,
+            screen: Some(ScreenParams { screen_k: ENTITIES, threads: 2 }),
+            ..ServeConfig::default()
+        },
+    );
+    for side in [Side::Tail, Side::Head] {
+        for anchor in [0u32, 2, 4, 33] {
+            for k in [1usize, 5, 17] {
+                let want = exact.predict(side, EntityId(anchor), RelationId(1), k).unwrap();
+                let got = screened.predict(side, EntityId(anchor), RelationId(1), k).unwrap();
+                assert_bit_identical(
+                    &want.results,
+                    &got.results,
+                    &format!("side {side:?} anchor {anchor} k {k}"),
+                );
+            }
+        }
+    }
+    let metrics = screened.metrics_snapshot();
+    let screened_queries = metrics
+        .get("serve/screened_queries")
+        .and_then(|v| v.get("value"))
+        .and_then(|v| v.as_usize())
+        .unwrap();
+    assert!(screened_queries > 0, "screened path must actually have been used");
+    exact.shutdown();
+    screened.shutdown();
+}
+
+/// A narrow screen still answers with exact scores (survivors are
+/// rescored in f32), and results stay deterministic across repeats.
+#[test]
+fn narrow_screen_returns_exact_scores_and_is_stable() {
+    let engine = Engine::start(
+        snapshot(3, TripleStore::new()),
+        ServeConfig {
+            cache: false,
+            screen: Some(ScreenParams { screen_k: 12, threads: 1 }),
+            ..ServeConfig::default()
+        },
+    );
+    let (snap, _) = engine.snapshot();
+    let first = engine.predict(Side::Tail, EntityId(5), RelationId(0), 8).unwrap();
+    for &(e, s) in first.results.iter() {
+        let exact = mei_eval::top_k_reference(
+            &snap.model,
+            Side::Tail,
+            EntityId(5),
+            RelationId(0),
+            ENTITIES,
+            &TripleStore::new(),
+        );
+        let reference = exact.iter().find(|(re, _)| *re == e).unwrap().1;
+        assert_eq!(s.to_bits(), reference.to_bits(), "survivor {e:?} not exactly rescored");
+    }
+    for _ in 0..3 {
+        let again = engine.predict(Side::Tail, EntityId(5), RelationId(0), 8).unwrap();
+        assert_bit_identical(&first.results, &again.results, "repeat determinism");
+    }
+    engine.shutdown();
+}
+
+/// Hot `(query, k)` identities are precomputed into the cache on swap:
+/// the first post-swap request on a hot key is a cache hit carrying the
+/// new epoch, and its answer matches what the new snapshot would compute.
+#[test]
+fn hot_keys_are_precomputed_on_swap() {
+    let engine = Engine::start(
+        snapshot(1, TripleStore::new()),
+        ServeConfig { precompute_hot: 4, ..ServeConfig::default() },
+    );
+    // Make (Tail, e2, r0, k=5) hot.
+    for _ in 0..6 {
+        engine.predict(Side::Tail, EntityId(2), RelationId(0), 5).unwrap();
+    }
+    let epoch = engine.swap_snapshot(snapshot(2, TripleStore::new())).unwrap();
+    assert_eq!(epoch, 1);
+
+    let hit = engine.predict(Side::Tail, EntityId(2), RelationId(0), 5).unwrap();
+    assert!(hit.cached, "hot key must be served from the precomputed cache");
+    assert_eq!(hit.epoch, 1, "precomputed entry must carry the post-swap epoch");
+
+    // The precomputed answer is the *new* model's answer.
+    let fresh = snapshot(2, TripleStore::new());
+    let want = mei_eval::top_k_reference(
+        &fresh.model,
+        Side::Tail,
+        EntityId(2),
+        RelationId(0),
+        5,
+        &TripleStore::new(),
+    );
+    assert_bit_identical(&hit.results, &want, "precomputed answer vs new model");
+
+    let metrics = engine.metrics_snapshot();
+    let precomputed = metrics
+        .get("serve/precomputed")
+        .and_then(|v| v.get("value"))
+        .and_then(|v| v.as_usize())
+        .unwrap();
+    assert!(precomputed >= 1, "swap must have precomputed at least the hot key");
+    engine.shutdown();
+}
+
+/// Precompute composes with the screened path, and repeated swaps keep
+/// refreshing the hot set — every post-swap read sees the current epoch.
+#[test]
+fn precompute_with_screening_tracks_epochs() {
+    let engine = Engine::start(
+        snapshot(5, TripleStore::new()),
+        ServeConfig {
+            precompute_hot: 2,
+            screen: Some(ScreenParams { screen_k: ENTITIES, threads: 1 }),
+            ..ServeConfig::default()
+        },
+    );
+    for _ in 0..4 {
+        engine.predict(Side::Head, EntityId(7), RelationId(1), 3).unwrap();
+    }
+    for swap_seed in [11u64, 12, 13] {
+        let epoch = engine.swap_snapshot(snapshot(swap_seed, TripleStore::new())).unwrap();
+        let p = engine.predict(Side::Head, EntityId(7), RelationId(1), 3).unwrap();
+        assert!(p.cached, "hot key should hit the refreshed precompute");
+        assert_eq!(p.epoch, epoch, "no answer from an earlier epoch may surface");
+    }
+    engine.shutdown();
+}
