@@ -30,6 +30,10 @@
 //!   --threads 1,2,4,8           bench-train: worker counts for the thread-scaling sweep
 //!                               (default 1,2,4,8); every count is asserted bit-identical
 //!                               to the 1-thread run — see DESIGN.md §11
+//!   --conns 256,1000            bench-serve: connection-scaling sweep — simultaneous open
+//!                               connections against one event loop (default 1000 in the
+//!                               full bench; with --smoke runs the lifecycle assertions
+//!                               timing-free)
 //!   --out <path>                bench-eval/bench-serve/bench-train: write the JSON report
 //!                               here (e.g. BENCH_eval.json / BENCH_serve.json / BENCH_train.json)
 //!   --overload                  bench-serve: also saturate a deliberately tiny
@@ -79,6 +83,7 @@ struct Options {
     overload: bool,
     grad_path: Option<mei_core::GradPath>,
     threads: Vec<usize>,
+    conns: Vec<usize>,
     entities: Option<usize>,
     smoke: bool,
     screen: usize,
@@ -103,6 +108,7 @@ fn parse_args() -> Options {
         overload: false,
         grad_path: None,
         threads: Vec::new(),
+        conns: Vec::new(),
         entities: None,
         smoke: false,
         screen: 0,
@@ -163,6 +169,15 @@ fn parse_args() -> Options {
                     })
                     .collect()
             }
+            "--conns" => {
+                opts.conns = value()
+                    .split(',')
+                    .map(|t| match t.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => usage("bad --conns (comma-separated positive ints, e.g. 256,1000)"),
+                    })
+                    .collect()
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -176,7 +191,7 @@ fn usage(msg: &str) -> ! {
          [--scale tiny|small|full] [--dataset DIR] [--order hrt|htr] \
          [--seed N] [--epochs N] [--budget N] [--metrics-out run.jsonl] \
          [--limit N] [--out BENCH_eval.json] [--overload] [--grad-path legacy|blocked] \
-         [--threads 1,2,4,8] [--entities N] [--screen K] [--smoke]"
+         [--threads 1,2,4,8] [--conns 256,1000] [--entities N] [--screen K] [--smoke]"
     );
     std::process::exit(2)
 }
@@ -560,22 +575,64 @@ fn screened_sections(proto: &Protocol, opts: &Options) -> Vec<mei_obs::JsonValue
     sections
 }
 
+/// Runs the connection-scaling section at every requested `--conns`
+/// count (default 1000 in the full bench), printing a summary line per
+/// count. Every section asserts the lifecycle contract — every request
+/// answered, every disconnect reaped — whether or not timing is kept.
+fn conn_sections(proto: &Protocol, opts: &Options) -> Vec<mei_obs::JsonValue> {
+    let counts = if opts.conns.is_empty() { vec![1000] } else { opts.conns.clone() };
+    let mut sections = Vec::new();
+    for conns in counts {
+        eprintln!("[bench-serve] connection scaling at {conns} simultaneous connections ...");
+        let section =
+            mei_bench::bench_serve_conn_scaling(40_943, proto.budget, opts.seed, conns, opts.smoke);
+        let get = |name: &str| section.get(name).and_then(|v| v.as_usize()).unwrap_or(0);
+        let tail = if opts.smoke {
+            String::new()
+        } else {
+            format!(
+                "  ({:.1} qps end-to-end)",
+                section.get("qps").and_then(|v| v.as_f64()).unwrap_or(0.0)
+            )
+        };
+        println!(
+            "  conns {conns:<6} served {}/{} requests, all reaped, {} epoll wakes{tail}",
+            get("served_ok"),
+            get("requests"),
+            get("epoll_wakes"),
+        );
+        sections.push(section);
+    }
+    sections
+}
+
 /// `repro bench-serve`: times the three serving arms (per-request
 /// reference path, micro-batched engine, batched + cached engine) on a
 /// shared random-model workload, asserts batched answers are bit-identical
 /// to the reference, runs the quantized screen→rescore recall contract at
-/// the WN18 and million-entity shapes (`"screened"` section), and
-/// optionally writes BENCH_serve.json.
+/// the WN18 and million-entity shapes (`"screened"` section), the
+/// connection-scaling sweep over one epoll event loop (`"conn_scaling"`),
+/// the owned-vs-mapped snapshot hot-swap comparison at the million-entity
+/// shape (`"swap_latency"`), and optionally writes BENCH_serve.json.
 fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
     let t0 = Instant::now();
     print_fingerprint();
     if opts.smoke {
-        // Recall contract only: deterministic assertions, no timing.
+        // Deterministic assertions only, no timing: the screened recall
+        // contract, plus the connection-lifecycle contract when --conns
+        // is given (`repro bench-serve --conns 256 --smoke` in CI).
         let sections = screened_sections(proto, opts);
-        let report = mei_obs::JsonValue::Obj(vec![
+        let mut pairs = vec![
             ("bench".to_owned(), mei_obs::JsonValue::Str("serve_screened_smoke".to_owned())),
             ("screened".to_owned(), mei_obs::JsonValue::Arr(sections)),
-        ]);
+        ];
+        if !opts.conns.is_empty() {
+            pairs.push((
+                "conn_scaling".to_owned(),
+                mei_obs::JsonValue::Arr(conn_sections(proto, opts)),
+            ));
+        }
+        let report = mei_obs::JsonValue::Obj(pairs);
         println!("{}", report.to_json());
         println!("\n[bench-serve --smoke took {:.1?}]", t0.elapsed());
         return;
@@ -621,11 +678,26 @@ fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
         pairs.push(("overload".to_owned(), overload));
     }
     let sections = screened_sections(proto, opts);
+    let conn = conn_sections(proto, opts);
+    eprintln!("[bench-serve] snapshot hot-swap latency at |E| = 1000000 ...");
+    let swap = mei_bench::bench_serve_swap_latency(1_000_000, proto.budget, opts.seed);
+    {
+        let num = |name: &str| swap.get(name).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!(
+            "  swap@1M: owned load+swap {:.2}s, mapped load+swap {:.2}s ({:.1}x), \
+             answers bit-identical across both swaps",
+            num("load_owned_secs") + num("swap_owned_secs"),
+            num("load_mapped_secs") + num("swap_mapped_secs"),
+            num("speedup_mapped_vs_owned"),
+        );
+    }
     {
         let mei_obs::JsonValue::Obj(ref mut pairs) = report else {
             unreachable!("bench report is an object")
         };
         pairs.push(("screened".to_owned(), mei_obs::JsonValue::Arr(sections)));
+        pairs.push(("conn_scaling".to_owned(), mei_obs::JsonValue::Arr(conn)));
+        pairs.push(("swap_latency".to_owned(), swap));
     }
     let json = report.to_json();
     if let Some(path) = &opts.out {

@@ -1630,6 +1630,258 @@ pub fn bench_serve_screened(
     JsonValue::Obj(pairs)
 }
 
+/// Connection-scaling section of `repro bench-serve`: opens `conns`
+/// simultaneous TCP connections against one epoll-event-loop server and
+/// drives a scoring round trip over every one of them, asserting every
+/// response arrives ok and every connection is reaped afterwards.
+///
+/// This is the load shape that broke the thread-per-connection frontend
+/// (one OS thread and one leaked `JoinHandle` per connection); the event
+/// loop holds the same `conns` as one thread plus per-connection state
+/// machines. `smoke` skips the wall-clock fields (CI runners make them
+/// meaningless) but keeps every correctness assertion — served count,
+/// structured responses, gauge back to zero. The returned object lands in
+/// `BENCH_serve.json` under `"conn_scaling"`.
+pub fn bench_serve_conn_scaling(
+    num_entities: usize,
+    budget: usize,
+    seed: u64,
+    conns: usize,
+    smoke: bool,
+) -> JsonValue {
+    use mei_serve::{Engine, ServeConfig, Server, ServerConfig, Snapshot};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    const K: usize = 10;
+    const ROUNDS: usize = 2;
+
+    let cfg = ModelConfig {
+        num_entities,
+        num_relations: 11,
+        n: 2,
+        dim: (budget / 2).max(1),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model =
+        MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng);
+    let engine = Arc::new(Engine::start(
+        Snapshot::with_ids(model, TripleStore::new()),
+        ServeConfig { workers: 1, cache: false, max_queue: conns.max(1024), ..ServeConfig::default() },
+    ));
+    // Long timeouts: with thousands of connections sharing one scoring
+    // worker, tail responses legitimately wait.
+    let mut server = Server::start_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(60)),
+            write_timeout: Some(Duration::from_secs(60)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bench server failed to start");
+    let addr = server.local_addr();
+
+    // Phase 1: open every connection and keep it open.
+    let mut clients = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let c = TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("connect {i}/{conns} failed: {e}"));
+        c.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        c.set_write_timeout(Some(Duration::from_secs(120))).unwrap();
+        clients.push(c);
+    }
+    // The event loop has registered them all once the accepted counter
+    // catches up (accept is asynchronous to connect returning).
+    let accept_deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while (engine.metrics().counter("serve/accepted").get() as usize) < conns {
+        assert!(
+            std::time::Instant::now() < accept_deadline,
+            "event loop accepted only {} of {conns} connections",
+            engine.metrics().counter("serve/accepted").get()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let peak_tracked = engine.metrics().gauge("serve/connections").get() as usize;
+
+    // Phase 2: drive ROUNDS scoring round trips over every connection,
+    // sharded across a bounded pool of driver threads.
+    let drivers = conns.clamp(1, 64);
+    let t0 = std::time::Instant::now();
+    let mut handles = Vec::with_capacity(drivers);
+    let chunk = conns.div_ceil(drivers);
+    let mut clients_iter = clients.into_iter();
+    for d in 0..drivers {
+        let mine: Vec<TcpStream> = clients_iter.by_ref().take(chunk).collect();
+        if mine.is_empty() {
+            break;
+        }
+        handles.push(std::thread::spawn(move || {
+            let mut ok = 0usize;
+            for (ci, c) in mine.iter().enumerate() {
+                let mut w = c.try_clone().expect("clone stream");
+                let mut r = BufReader::new(c);
+                for round in 0..ROUNDS {
+                    let anchor = (d * 7919 + ci * 31 + round) % num_entities;
+                    let rel = (d + ci + round) % 11;
+                    writeln!(
+                        w,
+                        "{{\"op\":\"predict\",\"side\":\"tail\",\"anchor\":{anchor},\
+                         \"relation\":{rel},\"k\":{K}}}"
+                    )
+                    .expect("write request");
+                    let mut line = String::new();
+                    r.read_line(&mut line).expect("read response");
+                    let parsed = mei_obs::json::parse(line.trim_end()).expect("parse response");
+                    if parsed.get("ok") == Some(&JsonValue::Bool(true)) {
+                        ok += 1;
+                    }
+                }
+            }
+            ok
+            // `mine` drops here: all connections close.
+        }));
+    }
+    let served: usize = handles.into_iter().map(|h| h.join().expect("driver panicked")).sum();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let requests = conns * ROUNDS;
+    assert_eq!(served, requests, "not every connection got every answer");
+
+    // Phase 3: every disconnect is reaped — the lifecycle-leak contract.
+    let reap_deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while engine.metrics().gauge("serve/connections").get() != 0.0 {
+        assert!(
+            std::time::Instant::now() < reap_deadline,
+            "{} connections never reaped after close",
+            engine.metrics().gauge("serve/connections").get()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let wakes = engine.metrics().counter("serve/epoll_wakes").get();
+    server.shutdown();
+
+    let mut pairs = vec![
+        ("bench".to_owned(), json::str("serve_conn_scaling")),
+        ("num_entities".to_owned(), json::int(num_entities)),
+        ("embedding_budget_nd".to_owned(), json::int(budget)),
+        ("conns".to_owned(), json::int(conns)),
+        ("requests".to_owned(), json::int(requests)),
+        ("served_ok".to_owned(), json::int(served)),
+        ("peak_tracked_connections".to_owned(), json::int(peak_tracked)),
+        ("driver_threads".to_owned(), json::int(drivers)),
+        ("epoll_wakes".to_owned(), json::int(wakes as usize)),
+        ("all_connections_reaped".to_owned(), JsonValue::Bool(true)),
+        ("seed".to_owned(), json::int(seed as usize)),
+        ("smoke".to_owned(), JsonValue::Bool(smoke)),
+    ];
+    if !smoke {
+        pairs.push(("wall_secs".to_owned(), json::num(wall_secs)));
+        pairs.push(("qps".to_owned(), json::num(requests as f64 / wall_secs.max(1e-9))));
+    }
+    JsonValue::Obj(pairs)
+}
+
+/// Snapshot hot-swap latency at scale (`repro bench-serve`): loads the
+/// same `num_entities`-row v4 model file through the owned deserializer
+/// and through the zero-copy mapped loader, times load and swap for each,
+/// and asserts the served answers are bit-identical before and after both
+/// swaps.
+///
+/// The swap critical path under the event loop is compat-check + `Arc`
+/// install + epoch bump; what the formats differ on is the *load*: the
+/// owned path copies and parses every `f32`, the mapped path hashes the
+/// file once and borrows the page cache. The returned object lands in
+/// `BENCH_serve.json` under `"swap_latency"` and records the measured
+/// speedup; `mapped_faster` makes a regression (mmap slower than a full
+/// deserialize) visible in the artifact.
+pub fn bench_serve_swap_latency(num_entities: usize, budget: usize, seed: u64) -> JsonValue {
+    use mei_core::serialize::{load_model, load_model_mapped, save_model};
+    use mei_serve::{Engine, ServeConfig, Snapshot};
+
+    const K: usize = 10;
+    let cfg = ModelConfig {
+        num_entities,
+        num_relations: 11,
+        n: 2,
+        dim: (budget / 2).max(1),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model =
+        MultiEmbedModel::with_fixed_weights(cfg, WeightPreset::ComplEx.weight_vector(), &mut rng);
+
+    let path = std::env::temp_dir()
+        .join(format!("mei_bench_swap_{num_entities}_{}.bin", std::process::id()));
+    save_model(&model, &path).expect("save bench model");
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let engine = Engine::start(
+        Snapshot::with_ids(model, TripleStore::new()),
+        ServeConfig { workers: 1, cache: false, ..ServeConfig::default() },
+    );
+    let queries: Vec<(Side, mei_kg::EntityId, mei_kg::RelationId)> = (0..4u32)
+        .map(|i| {
+            let side = if i % 2 == 0 { Side::Tail } else { Side::Head };
+            (side, mei_kg::EntityId((i * 2654435761) % num_entities as u32), mei_kg::RelationId(i % 11))
+        })
+        .collect();
+    let answers = |engine: &Engine| -> Vec<Vec<(mei_kg::EntityId, f32)>> {
+        queries
+            .iter()
+            .map(|&(s, a, r)| (*engine.predict(s, a, r, K).expect("bench query").results).clone())
+            .collect()
+    };
+    let baseline = answers(&engine);
+
+    // Arm 1: owned deserialize + swap (the pre-v4 path).
+    let t = std::time::Instant::now();
+    let owned = load_model(&path).expect("owned load");
+    let load_owned_secs = t.elapsed().as_secs_f64();
+    let snap = Snapshot::with_ids(owned, TripleStore::new());
+    let t = std::time::Instant::now();
+    engine.swap_snapshot(snap).expect("owned swap");
+    let swap_owned_secs = t.elapsed().as_secs_f64();
+    assert_eq!(baseline, answers(&engine), "owned swap changed answers");
+
+    // Arm 2: mapped load + swap (map + checksum + pointer install).
+    let t = std::time::Instant::now();
+    let mapped = load_model_mapped(&path).expect("mapped load");
+    let load_mapped_secs = t.elapsed().as_secs_f64();
+    let was_mapped = mapped.entities.is_mapped();
+    let snap = Snapshot::with_ids(mapped, TripleStore::new());
+    let t = std::time::Instant::now();
+    engine.swap_snapshot(snap).expect("mapped swap");
+    let swap_mapped_secs = t.elapsed().as_secs_f64();
+    assert_eq!(baseline, answers(&engine), "mapped swap changed answers");
+
+    // The engine timed its own critical sections into the histogram.
+    let hist = engine.metrics().histogram("serve/swap_latency_secs", &[]);
+    let (swap_count, swap_mean) = (hist.count(), hist.mean());
+    engine.shutdown();
+    std::fs::remove_file(&path).ok();
+
+    let owned_total = load_owned_secs + swap_owned_secs;
+    let mapped_total = load_mapped_secs + swap_mapped_secs;
+    json::obj([
+        ("bench", json::str("serve_swap_latency")),
+        ("num_entities", json::int(num_entities)),
+        ("embedding_budget_nd", json::int(budget)),
+        ("model_file_bytes", json::int(file_bytes as usize)),
+        ("seed", json::int(seed as usize)),
+        ("load_owned_secs", json::num(load_owned_secs)),
+        ("swap_owned_secs", json::num(swap_owned_secs)),
+        ("load_mapped_secs", json::num(load_mapped_secs)),
+        ("swap_mapped_secs", json::num(swap_mapped_secs)),
+        ("entities_served_mapped", JsonValue::Bool(was_mapped)),
+        ("swap_critical_count", json::int(swap_count as usize)),
+        ("swap_critical_mean_secs", json::num(swap_mean)),
+        ("speedup_mapped_vs_owned", json::num(owned_total / mapped_total.max(1e-12))),
+        ("mapped_faster", JsonValue::Bool(mapped_total < owned_total)),
+        ("answers_bit_identical_across_swaps", JsonValue::Bool(true)),
+    ])
+}
+
 /// Ablation: CPh via the literal Eq. 7 data augmentation — CP trained on
 /// the doubled dataset, evaluated with the reciprocal combined score.
 pub fn run_cph_augmented(

@@ -4,7 +4,7 @@ use std::error::Error;
 
 use std::sync::Arc;
 
-use mei_core::serialize::{load_model, save_model};
+use mei_core::serialize::{load_model, load_model_mapped, save_model};
 use mei_core::{LossKind, LrDecayMode, MultiEmbedModel, SamplingStrategy, TrainConfig, Trainer, WeightPreset};
 use mei_eval::ranking::{evaluate_with_stats, top_k};
 use mei_eval::Side;
@@ -405,7 +405,10 @@ pub fn serve(args: &Args) -> CmdResult {
     use std::time::Duration;
 
     let ds = load_dataset(args)?;
-    let model = load_model(args.require("model-file")?)?;
+    // Serving reads embeddings, never writes them: map the file so a
+    // million-entity model starts serving after a checksum pass instead
+    // of a gigabyte copy (old formats fall back to an owned read).
+    let model = load_model_mapped(args.require("model-file")?)?;
     if model.config().num_entities != ds.num_entities()
         || model.config().num_relations != ds.num_relations()
     {

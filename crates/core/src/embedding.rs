@@ -1,8 +1,63 @@
 //! Flat multi-embedding tables.
 
+use std::sync::Arc;
+
 use mei_math::init::Init;
 use mei_math::vecops::normalize_l2;
 use rand::Rng;
+
+use crate::mmap::MappedBytes;
+
+/// Where a table's values live. Training always uses `Owned`; serving can
+/// borrow the values straight out of a memory-mapped model file
+/// (`Mapped`), in which case the first mutable access transparently
+/// materializes an owned copy (copy-on-write) — the mapping itself is
+/// never written through.
+#[derive(Debug, Clone)]
+enum Storage {
+    Owned(Vec<f32>),
+    Mapped {
+        map: Arc<MappedBytes>,
+        /// Byte offset of the table within the mapping (4-byte aligned).
+        offset: usize,
+        /// Number of `f32` values.
+        len: usize,
+    },
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Mapped { map, offset, len } => {
+                let bytes = &map[*offset..*offset + *len * 4];
+                debug_assert_eq!(
+                    bytes.as_ptr() as usize % std::mem::align_of::<f32>(),
+                    0,
+                    "mapped table lost its alignment"
+                );
+                // SAFETY: the range is in bounds (checked at construction
+                // and again by the slice index above), the pointer is
+                // 4-byte aligned (asserted at construction), every bit
+                // pattern is a valid f32, and the mapping is immutable
+                // and outlives `self` via the Arc.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), *len) }
+            }
+        }
+    }
+
+    /// Copy-on-write: materializes an owned buffer if the values are
+    /// currently mapped, then hands out the owned vector.
+    fn make_owned(&mut self) -> &mut Vec<f32> {
+        if let Storage::Mapped { .. } = self {
+            *self = Storage::Owned(self.as_slice().to_vec());
+        }
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Mapped { .. } => unreachable!("just materialized"),
+        }
+    }
+}
 
 /// A table of `num_items` items, each carrying `n` embedding vectors of
 /// dimension `dim`, stored contiguously row-major:
@@ -10,12 +65,21 @@ use rand::Rng;
 ///
 /// This is the storage behind §3.1's
 /// `e ↦ {e⁽¹⁾, …, e⁽ⁿ⁾}` and `r ↦ {r⁽¹⁾, …, r⁽ⁿ⁾}`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct EmbeddingTable {
     num_items: usize,
     n: usize,
     dim: usize,
-    data: Vec<f32>,
+    data: Storage,
+}
+
+impl PartialEq for EmbeddingTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_items == other.num_items
+            && self.n == other.n
+            && self.dim == other.dim
+            && self.as_slice() == other.as_slice()
+    }
 }
 
 impl EmbeddingTable {
@@ -23,7 +87,42 @@ impl EmbeddingTable {
     pub fn zeros(num_items: usize, n: usize, dim: usize) -> Self {
         assert!(n >= 1, "need at least one embedding per item");
         assert!(dim >= 1, "embedding dimension must be positive");
-        Self { num_items, n, dim, data: vec![0.0; num_items * n * dim] }
+        Self { num_items, n, dim, data: Storage::Owned(vec![0.0; num_items * n * dim]) }
+    }
+
+    /// A table whose values are borrowed from `map` starting at
+    /// `byte_offset` — the zero-copy path behind
+    /// [`crate::serialize::load_model_mapped`]. Values are read in place;
+    /// the first mutable access copies them out (copy-on-write).
+    ///
+    /// Panics if the range falls outside the mapping or the offset is not
+    /// 4-byte aligned; the serializer validates both before calling.
+    pub fn from_mapped(
+        num_items: usize,
+        n: usize,
+        dim: usize,
+        map: Arc<MappedBytes>,
+        byte_offset: usize,
+    ) -> Self {
+        assert!(n >= 1, "need at least one embedding per item");
+        assert!(dim >= 1, "embedding dimension must be positive");
+        let len = num_items * n * dim;
+        let end = byte_offset
+            .checked_add(len * 4)
+            .expect("mapped table range overflows");
+        assert!(end <= map.len(), "mapped table extends past the mapping");
+        assert_eq!(
+            (map.as_ptr() as usize + byte_offset) % std::mem::align_of::<f32>(),
+            0,
+            "mapped table must be 4-byte aligned"
+        );
+        Self { num_items, n, dim, data: Storage::Mapped { map, offset: byte_offset, len } }
+    }
+
+    /// Whether the values are currently borrowed from a mapped model file
+    /// (i.e. no owned copy has been materialized yet).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.data, Storage::Mapped { .. })
     }
 
     /// Allocates and randomly initializes a table.
@@ -35,7 +134,7 @@ impl EmbeddingTable {
         rng: &mut R,
     ) -> Self {
         let mut t = Self::zeros(num_items, n, dim);
-        init.fill(rng, &mut t.data);
+        init.fill(rng, t.data.make_owned());
         t
     }
 
@@ -56,12 +155,12 @@ impl EmbeddingTable {
 
     /// Total parameter count.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.num_items * self.n * self.dim
     }
 
     /// Whether the table holds no parameters.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     #[inline]
@@ -75,14 +174,15 @@ impl EmbeddingTable {
     #[inline]
     pub fn vec(&self, item: usize, component: usize) -> &[f32] {
         let o = self.offset(item, component);
-        &self.data[o..o + self.dim]
+        &self.data.as_slice()[o..o + self.dim]
     }
 
     /// Mutable view of one embedding vector.
     #[inline]
     pub fn vec_mut(&mut self, item: usize, component: usize) -> &mut [f32] {
         let o = self.offset(item, component);
-        &mut self.data[o..o + self.dim]
+        let dim = self.dim;
+        &mut self.data.make_owned()[o..o + dim]
     }
 
     /// All `n` vectors of one item as a single contiguous row slice
@@ -90,14 +190,15 @@ impl EmbeddingTable {
     #[inline]
     pub fn row(&self, item: usize) -> &[f32] {
         let o = self.offset(item, 0);
-        &self.data[o..o + self.n * self.dim]
+        &self.data.as_slice()[o..o + self.n * self.dim]
     }
 
     /// Mutable row slice.
     #[inline]
     pub fn row_mut(&mut self, item: usize) -> &mut [f32] {
         let o = self.offset(item, 0);
-        &mut self.data[o..o + self.n * self.dim]
+        let len = self.n * self.dim;
+        &mut self.data.make_owned()[o..o + len]
     }
 
     /// Flat offset of an item's row within the table (for optimizer state
@@ -129,14 +230,15 @@ impl EmbeddingTable {
         self.row(item).to_vec()
     }
 
-    /// Raw storage (read-only).
+    /// Raw storage (read-only). Zero-copy even when mapped.
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Raw storage (mutable) — used by serialization and tests.
+    /// Materializes an owned copy first if the table is mapped.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.make_owned()
     }
 }
 
@@ -191,5 +293,43 @@ mod tests {
     #[should_panic(expected = "at least one embedding")]
     fn zero_components_rejected() {
         EmbeddingTable::zeros(1, 0, 4);
+    }
+
+    /// Native-endian f32 bytes for a mapped-table fixture.
+    fn f32_bytes(vals: &[f32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_ne_bytes()).collect()
+    }
+
+    #[test]
+    fn mapped_table_reads_in_place_and_copies_on_write() {
+        let map = Arc::new(MappedBytes::from_vec(f32_bytes(&[1.0, 2.0, 3.0, 4.0])));
+        let mut t = EmbeddingTable::from_mapped(2, 1, 2, Arc::clone(&map), 0);
+        assert!(t.is_mapped());
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+
+        // First mutation materializes an owned copy; the backing bytes
+        // are untouched.
+        t.vec_mut(0, 0)[0] = 9.0;
+        assert!(!t.is_mapped());
+        assert_eq!(t.as_slice(), &[9.0, 2.0, 3.0, 4.0]);
+        let again = EmbeddingTable::from_mapped(2, 1, 2, map, 0);
+        assert_eq!(again.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn mapped_and_owned_tables_compare_equal_by_contents() {
+        let map = Arc::new(MappedBytes::from_vec(f32_bytes(&[0.5, -0.5])));
+        let mapped = EmbeddingTable::from_mapped(1, 1, 2, map, 0);
+        let mut owned = EmbeddingTable::zeros(1, 1, 2);
+        owned.vec_mut(0, 0).copy_from_slice(&[0.5, -0.5]);
+        assert_eq!(mapped, owned);
+    }
+
+    #[test]
+    #[should_panic(expected = "extends past the mapping")]
+    fn mapped_table_out_of_range_is_rejected() {
+        let map = Arc::new(MappedBytes::from_vec(f32_bytes(&[1.0])));
+        EmbeddingTable::from_mapped(2, 1, 2, map, 0);
     }
 }

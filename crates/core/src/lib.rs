@@ -33,6 +33,7 @@ pub mod embedding;
 mod fused;
 pub mod grads;
 pub mod loss;
+pub mod mmap;
 pub mod model;
 pub mod regularizer;
 pub mod serialize;

@@ -1,0 +1,216 @@
+//! Read-only memory-mapped byte buffers — the zero-copy substrate under
+//! [`crate::serialize::load_model_mapped`].
+//!
+//! At million-entity scale a model file is gigabytes of `f32` tables; the
+//! owned loader reads every byte into a fresh `Vec` before the serving
+//! engine can swap it in. [`MappedBytes`] maps the file instead: the
+//! kernel pages embeddings in on first touch and shares the page cache
+//! across processes, so "loading" becomes a checksum pass plus pointer
+//! arithmetic. The buffer is strictly read-only (`PROT_READ`,
+//! `MAP_PRIVATE`); mutation happens copy-on-write at a higher layer
+//! ([`crate::embedding::EmbeddingTable`] materializes an owned copy the
+//! first time a mutable view is requested).
+//!
+//! The mapping syscalls are raw `extern "C"` declarations against the
+//! libc the standard library already links — this workspace vendors no
+//! FFI crates. Platforms where that ABI is not known to match (anything
+//! that is not 64-bit Linux) transparently fall back to an owned,
+//! fully-read buffer with identical semantics, so every caller can treat
+//! [`MappedBytes`] as "the file's bytes" and let the platform decide
+//! whether they are borrowed from the page cache or owned.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+/// `mmap`/`munmap` against the libc already linked by std. Offsets are
+/// declared `i64`, which matches `off_t` on every 64-bit Linux target —
+/// the only configuration this module maps on (see [`MMAP_SUPPORTED`]).
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// Maps `len` bytes of `file` read-only. `len` must be nonzero
+    /// (zero-length maps are `EINVAL`; callers special-case empty files).
+    pub(super) fn map(file: &File, len: usize) -> io::Result<*const u8> {
+        debug_assert!(len > 0, "zero-length mappings are rejected by the kernel");
+        // SAFETY: a fresh read-only private mapping over a file descriptor
+        // we own; the kernel validates every argument and reports failure
+        // as MAP_FAILED rather than faulting.
+        let ptr = unsafe {
+            mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(ptr as *const u8)
+    }
+
+    pub(super) fn unmap(ptr: *const u8, len: usize) {
+        // SAFETY: `ptr`/`len` came from a successful `map` call and the
+        // mapping has not been unmapped before (MappedBytes drops once).
+        unsafe {
+            munmap(ptr as *mut c_void, len);
+        }
+    }
+}
+
+/// Whether this build actually memory-maps files. When `false`,
+/// [`MappedBytes::map_file`] still works — it reads the file into an
+/// owned buffer instead.
+pub const MMAP_SUPPORTED: bool =
+    cfg!(all(target_os = "linux", target_pointer_width = "64"));
+
+enum Inner {
+    /// A live kernel mapping; unmapped on drop.
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Heap-owned bytes (empty files, and the non-Linux fallback).
+    Owned(Vec<u8>),
+}
+
+/// An immutable byte buffer backed either by a private read-only file
+/// mapping or by an owned `Vec<u8>` — dereferences to `&[u8]` either way.
+pub struct MappedBytes {
+    inner: Inner,
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE and this type exposes no
+// mutation, so shared references across threads are data-race free; the
+// raw pointer is owned exclusively by this value until Drop.
+unsafe impl Send for MappedBytes {}
+unsafe impl Sync for MappedBytes {}
+
+impl MappedBytes {
+    /// Maps `path` read-only (64-bit Linux), or reads it into an owned
+    /// buffer (everywhere else, and for empty files).
+    pub fn map_file<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+        {
+            let len = file.metadata()?.len();
+            if len > 0 && len <= usize::MAX as u64 {
+                let len = len as usize;
+                let ptr = sys::map(&file, len)?;
+                return Ok(Self { inner: Inner::Mapped { ptr, len } });
+            }
+        }
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        Ok(Self { inner: Inner::Owned(data) })
+    }
+
+    /// Wraps already-owned bytes (tests, and callers that built the bytes
+    /// in memory but want the mapped-or-owned interface).
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Self { inner: Inner::Owned(data) }
+    }
+
+    /// Whether the bytes are borrowed from a live kernel mapping (as
+    /// opposed to heap-owned).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+            Inner::Mapped { .. } => true,
+            Inner::Owned(_) => false,
+        }
+    }
+}
+
+impl Deref for MappedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+            // SAFETY: the mapping is live for the lifetime of `self` and
+            // spans exactly `len` readable bytes.
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Owned(v) => v,
+        }
+    }
+}
+
+impl Drop for MappedBytes {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            sys::unmap(ptr, len);
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedBytes")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_a_real_file_and_reads_its_bytes() {
+        let path = std::env::temp_dir().join(format!("mei_mmap_{}.bin", std::process::id()));
+        std::fs::write(&path, b"hello mapped world").unwrap();
+        let m = MappedBytes::map_file(&path).unwrap();
+        assert_eq!(&m[..], b"hello mapped world");
+        assert_eq!(m.is_mapped(), MMAP_SUPPORTED);
+        std::fs::remove_file(&path).ok();
+        // The private mapping outlives the directory entry.
+        assert_eq!(&m[..5], b"hello");
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let path = std::env::temp_dir().join(format!("mei_mmap_empty_{}.bin", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let m = MappedBytes::map_file(&path).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_vec_is_owned() {
+        let m = MappedBytes::from_vec(vec![1, 2, 3]);
+        assert!(!m.is_mapped());
+        assert_eq!(&m[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(MappedBytes::map_file("/no/such/mei/file").is_err());
+    }
+
+    #[test]
+    fn mapped_bytes_are_sendable_across_threads() {
+        let m = std::sync::Arc::new(MappedBytes::from_vec(vec![7; 64]));
+        let m2 = std::sync::Arc::clone(&m);
+        std::thread::spawn(move || assert_eq!(m2[63], 7)).join().unwrap();
+        assert_eq!(m[0], 7);
+    }
+}

@@ -10,34 +10,62 @@
 //! payload:
 //!   n_ent u32 | n_rel u32 | dim u32 |
 //!   num_entities u32 | num_relations u32 | restriction u8 | trainable u8 |
-//!   raw ω (n_ent²·n_rel f32) | entity table | relation table
+//!   raw ω (n_ent²·n_rel f32) |
+//!   zero pad to 64B (v4+) | entity table |
+//!   zero pad to 64B (v4+) | relation table
 //! ```
 //!
-//! The checksum covers every payload byte, so a truncated or half-written
-//! snapshot (the failure mode that matters once `mei serve` hot-swaps
-//! checkpoints published by a concurrent training run) is rejected with a
-//! [`SerializeError::Checksum`] instead of being loaded as garbage
-//! embeddings. Legacy version-2 files (no checksum field) are still read;
+//! The checksum covers every payload byte (padding included), so a
+//! truncated or half-written snapshot (the failure mode that matters once
+//! `mei serve` hot-swaps checkpoints published by a concurrent training
+//! run) is rejected with a [`SerializeError::Checksum`] instead of being
+//! loaded as garbage embeddings. Legacy version-2 files (no checksum
+//! field) and version-3 files (no alignment padding) are still read;
 //! [`peek_model_meta`] validates a file's header and checksum without
 //! materializing the model — the serving engine's pre-swap guard.
+//!
+//! Version 4 zero-pads both embedding tables to a 64-byte boundary
+//! *measured from the start of the file*, which makes the tables directly
+//! memory-mappable: [`load_model_mapped`] maps the file, verifies the
+//! checksum (checksum-before-trust — a mapping is never handed out until
+//! its payload hashes clean), and builds `f32` tables that borrow the page
+//! cache instead of copying gigabytes through the heap. That turns a
+//! million-entity serving hot-swap into map + checksum + pointer install.
 //!
 //! A TSV export of concatenated entity embeddings is also provided for the
 //! §3.2 data-analysis workflow (feeding external tools).
 
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::embedding::EmbeddingTable;
+use crate::mmap::{MappedBytes, MMAP_SUPPORTED};
 use crate::model::{ModelConfig, MultiEmbedModel};
 use crate::weights::{WeightRestriction, WeightVector};
 
 const MAGIC: &[u8; 4] = b"MEIM";
-/// Current write version: version 3 added the payload checksum.
-const VERSION: u32 = 3;
+/// Current write version: version 4 added 64-byte table alignment for
+/// zero-copy mapped loads.
+const VERSION: u32 = 4;
+/// Version 3 added the payload checksum; unaligned, still readable.
+const V3_VERSION: u32 = 3;
 /// Last version without a checksum field; still readable.
 const LEGACY_VERSION: u32 = 2;
+/// `magic | version | checksum` prefix length for checksummed formats
+/// (v3+); alignment offsets are measured from the start of the file, so
+/// the payload begins at this offset.
+const CHECKED_HEADER_LEN: usize = 16;
+/// Embedding tables start on multiples of this (v4+) — cache-line sized,
+/// and a multiple of every SIMD vector width the kernels use.
+const TABLE_ALIGN: usize = 64;
+
+/// Zero bytes needed to advance `file_off` to the next table boundary.
+fn pad_len(file_off: usize) -> usize {
+    (TABLE_ALIGN - file_off % TABLE_ALIGN) % TABLE_ALIGN
+}
 
 /// FNV-1a over `bytes` — dependency-free, byte-order independent, and
 /// plenty to catch truncation/corruption (this guards against accidents,
@@ -133,11 +161,13 @@ fn get_table(
     Ok(t)
 }
 
-/// Serializes the version-independent payload (everything the checksum
-/// covers).
-fn payload_to_bytes(model: &MultiEmbedModel) -> BytesMut {
+/// Serializes the payload (everything the checksum covers). `aligned`
+/// inserts the v4 zero padding before each table, computed as if the
+/// payload starts at byte [`CHECKED_HEADER_LEN`] of the file; the legacy
+/// test fixtures pass `false` to reproduce the old unpadded layouts.
+fn payload_to_bytes(model: &MultiEmbedModel, aligned: bool) -> BytesMut {
     let cfg = model.config();
-    let mut buf = BytesMut::with_capacity(32 + 4 * model.num_params());
+    let mut buf = BytesMut::with_capacity(160 + 4 * model.num_params());
     buf.put_u32_le(cfg.n as u32);
     buf.put_u32_le(model.raw_omega().n_rel() as u32);
     buf.put_u32_le(cfg.dim as u32);
@@ -148,15 +178,23 @@ fn payload_to_bytes(model: &MultiEmbedModel) -> BytesMut {
     for w in model.raw_omega().dense() {
         buf.put_f32_le(*w);
     }
+    const ZEROS: [u8; TABLE_ALIGN] = [0u8; TABLE_ALIGN];
+    if aligned {
+        buf.put_slice(&ZEROS[..pad_len(CHECKED_HEADER_LEN + buf.len())]);
+    }
     put_table(&mut buf, &model.entities);
+    if aligned {
+        buf.put_slice(&ZEROS[..pad_len(CHECKED_HEADER_LEN + buf.len())]);
+    }
     put_table(&mut buf, &model.relations);
     buf
 }
 
-/// Serializes a model to bytes (current format: version 3, checksummed).
+/// Serializes a model to bytes (current format: version 4, checksummed,
+/// tables 64-byte aligned for mapped loading).
 pub fn model_to_bytes(model: &MultiEmbedModel) -> Bytes {
-    let payload = payload_to_bytes(model);
-    let mut buf = BytesMut::with_capacity(16 + payload.len());
+    let payload = payload_to_bytes(model, true);
+    let mut buf = BytesMut::with_capacity(CHECKED_HEADER_LEN + payload.len());
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u64_le(fnv1a64(&payload));
@@ -168,7 +206,8 @@ pub fn model_to_bytes(model: &MultiEmbedModel) -> Bytes {
 /// [`peek_model_meta`] returns without building the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelFileMeta {
-    /// Format version (2 = legacy headerless-checksum, 3 = checksummed).
+    /// Format version (2 = legacy no-checksum, 3 = checksummed,
+    /// 4 = checksummed + aligned tables).
     pub version: u32,
     /// Embeddings per entity (`n`).
     pub n: usize,
@@ -199,14 +238,15 @@ fn take_header(buf: &mut Bytes) -> Result<(u32, Option<u64>), SerializeError> {
     let version = buf.get_u32_le();
     match version {
         LEGACY_VERSION => Ok((version, None)),
-        VERSION => {
+        V3_VERSION | VERSION => {
             if buf.remaining() < 8 {
                 return Err(SerializeError::Format("truncated header (missing checksum)".into()));
             }
             Ok((version, Some(buf.get_u64_le())))
         }
         other => Err(SerializeError::Format(format!(
-            "unsupported version {other} (this build reads versions {LEGACY_VERSION} and {VERSION})"
+            "unsupported version {other} (this build reads versions {LEGACY_VERSION} \
+             through {VERSION})"
         ))),
     }
 }
@@ -253,8 +293,9 @@ pub fn peek_model_file_meta<P: AsRef<Path>>(path: P) -> Result<ModelFileMeta, Se
 /// format and legacy version-2 files (which carry no checksum and are
 /// validated structurally only).
 pub fn model_from_bytes(mut buf: Bytes) -> Result<MultiEmbedModel, SerializeError> {
-    let (_version, checksum) = take_header(&mut buf)?;
+    let (version, checksum) = take_header(&mut buf)?;
     check_payload(checksum, &buf)?;
+    let payload_len = buf.remaining();
     if buf.remaining() < 22 {
         return Err(SerializeError::Format("truncated payload header".into()));
     }
@@ -276,7 +317,23 @@ pub fn model_from_bytes(mut buf: Bytes) -> Result<MultiEmbedModel, SerializeErro
     for w in &mut raw {
         *w = buf.get_f32_le();
     }
+    // v4 zero-pads each table to a 64-byte file offset; the pad width is
+    // derived from how much of the payload has been consumed so far.
+    let skip_table_pad = |buf: &mut Bytes| -> Result<(), SerializeError> {
+        if version < VERSION {
+            return Ok(());
+        }
+        let consumed = payload_len - buf.remaining();
+        let pad = pad_len(CHECKED_HEADER_LEN + consumed);
+        if buf.remaining() < pad {
+            return Err(SerializeError::Format("truncated alignment padding".into()));
+        }
+        buf.advance(pad);
+        Ok(())
+    };
+    skip_table_pad(&mut buf)?;
     let entities = get_table(&mut buf, num_entities, n, dim)?;
+    skip_table_pad(&mut buf)?;
     let relations = get_table(&mut buf, num_relations, n_rel, dim)?;
 
     let cfg = ModelConfig { num_entities, num_relations, n, dim };
@@ -347,6 +404,137 @@ pub fn load_model<P: AsRef<Path>>(path: P) -> Result<MultiEmbedModel, SerializeE
     let mut data = Vec::new();
     f.read_to_end(&mut data)?;
     model_from_bytes(Bytes::from(data))
+}
+
+/// Loads a model by memory-mapping the file instead of copying it.
+///
+/// Checksum-before-trust: the whole payload is hashed against the header
+/// checksum *before* any field is interpreted, exactly like the owned
+/// loader — a half-written or corrupt file is rejected, never mapped into
+/// a live snapshot. On success the entity and relation tables borrow the
+/// mapping directly ([`EmbeddingTable::is_mapped`] returns `true`), so a
+/// gigabyte-scale model "loads" in the time it takes to hash it; the ω
+/// weights (a handful of floats) are copied out. Scores are bit-identical
+/// to a [`load_model`] of the same file.
+///
+/// Files older than version 4 lack the alignment padding and fall back to
+/// the owned loader, as do platforms where the mapping FFI is not
+/// supported or the byte order does not match the little-endian file
+/// layout.
+pub fn load_model_mapped<P: AsRef<Path>>(path: P) -> Result<MultiEmbedModel, SerializeError> {
+    let path = path.as_ref();
+    if !MMAP_SUPPORTED || !cfg!(target_endian = "little") {
+        return load_model(path);
+    }
+    let map = Arc::new(MappedBytes::map_file(path)?);
+    model_from_mapped(map)
+}
+
+/// Reads a little-endian `u32` at `off`; bounds were checked by callers.
+fn u32_at(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice"))
+}
+
+/// The zero-copy parse behind [`load_model_mapped`]; assumes a
+/// little-endian host (the caller gates on it).
+fn model_from_mapped(map: Arc<MappedBytes>) -> Result<MultiEmbedModel, SerializeError> {
+    let bytes: &[u8] = &map;
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(SerializeError::Format("bad magic (not a mei model file)".into()));
+    }
+    let version = u32_at(bytes, 4);
+    if version == LEGACY_VERSION || version == V3_VERSION {
+        // Pre-alignment formats: parse owned from the mapped bytes.
+        return model_from_bytes(Bytes::from(bytes.to_vec()));
+    }
+    if version != VERSION {
+        return Err(SerializeError::Format(format!(
+            "unsupported version {version} (this build reads versions {LEGACY_VERSION} \
+             through {VERSION})"
+        )));
+    }
+    if bytes.len() < CHECKED_HEADER_LEN + 22 {
+        return Err(SerializeError::Format("truncated payload header".into()));
+    }
+    let expected = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let payload = &bytes[CHECKED_HEADER_LEN..];
+    let actual = fnv1a64(payload);
+    if actual != expected {
+        return Err(SerializeError::Checksum { expected, actual });
+    }
+
+    let n = u32_at(payload, 0) as usize;
+    let n_rel = u32_at(payload, 4) as usize;
+    let dim = u32_at(payload, 8) as usize;
+    let num_entities = u32_at(payload, 12) as usize;
+    let num_relations = u32_at(payload, 16) as usize;
+    let restriction = restriction_from_tag(payload[20])?;
+    let trainable = payload[21] != 0;
+    if n == 0 || n_rel == 0 || dim == 0 {
+        return Err(SerializeError::Format("n, n_rel and dim must be positive".into()));
+    }
+
+    // Every span below is validated against the payload length before it
+    // is touched; `checked_mul` keeps absurd header values from wrapping
+    // the arithmetic into a bounds check that "passes".
+    let span = |items: usize, comps: usize, what: &str| -> Result<usize, SerializeError> {
+        items
+            .checked_mul(comps)
+            .and_then(|v| v.checked_mul(dim))
+            .and_then(|v| v.checked_mul(4))
+            .ok_or_else(|| SerializeError::Format(format!("{what} size overflows")))
+    };
+    let omega_bytes = n
+        .checked_mul(n)
+        .and_then(|v| v.checked_mul(n_rel))
+        .and_then(|v| v.checked_mul(4))
+        .ok_or_else(|| SerializeError::Format("ω size overflows".into()))?;
+    let mut off = 22usize;
+    if payload.len() < off + omega_bytes {
+        return Err(SerializeError::Format("truncated ω".into()));
+    }
+    let omega_len = omega_bytes / 4;
+    let mut raw = Vec::with_capacity(omega_len);
+    for i in 0..omega_len {
+        raw.push(f32::from_le_bytes(
+            payload[off + i * 4..off + i * 4 + 4].try_into().expect("4-byte slice"),
+        ));
+    }
+    off += omega_bytes;
+
+    off += pad_len(CHECKED_HEADER_LEN + off);
+    let ent_bytes = span(num_entities, n, "entity table")?;
+    if payload.len() < off.saturating_add(ent_bytes) {
+        return Err(SerializeError::Format("truncated embedding table".into()));
+    }
+    let entities =
+        EmbeddingTable::from_mapped(num_entities, n, dim, Arc::clone(&map), CHECKED_HEADER_LEN + off);
+    off += ent_bytes;
+
+    off += pad_len(CHECKED_HEADER_LEN + off);
+    let rel_bytes = span(num_relations, n_rel, "relation table")?;
+    if payload.len() < off.saturating_add(rel_bytes) {
+        return Err(SerializeError::Format("truncated embedding table".into()));
+    }
+    let relations = EmbeddingTable::from_mapped(
+        num_relations,
+        n_rel,
+        dim,
+        Arc::clone(&map),
+        CHECKED_HEADER_LEN + off,
+    );
+
+    let cfg = ModelConfig { num_entities, num_relations, n, dim };
+    let mut model = MultiEmbedModel::from_parts(
+        cfg,
+        entities,
+        relations,
+        WeightVector::with_dims(n, n_rel, raw),
+        restriction,
+        trainable,
+    );
+    model.refresh_omega();
+    Ok(model)
 }
 
 /// Writes concatenated entity embeddings as TSV (`name \t v0 \t v1 …`) for
@@ -445,7 +633,7 @@ mod tests {
     /// Serializes in the retired version-2 layout (no checksum field) —
     /// what pre-format-guard builds wrote to disk.
     fn legacy_v2_bytes(m: &MultiEmbedModel) -> Bytes {
-        let payload = payload_to_bytes(m);
+        let payload = payload_to_bytes(m, false);
         let mut buf = BytesMut::with_capacity(8 + payload.len());
         buf.put_slice(MAGIC);
         buf.put_u32_le(LEGACY_VERSION);
@@ -541,6 +729,100 @@ mod tests {
         assert!(write_bytes_atomic(&bad, b"bad").is_err());
         assert_eq!(std::fs::read(&path).unwrap(), b"good");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Serializes in the version-3 layout (checksummed, no alignment
+    /// padding) — what pre-mmap builds wrote to disk.
+    fn v3_bytes(m: &MultiEmbedModel) -> Bytes {
+        let payload = payload_to_bytes(m, false);
+        let mut buf = BytesMut::with_capacity(16 + payload.len());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(V3_VERSION);
+        buf.put_u64_le(fnv1a64(&payload));
+        buf.put_slice(&payload);
+        buf.freeze()
+    }
+
+    #[test]
+    fn still_reads_v3_files() {
+        let m = model();
+        let m2 = model_from_bytes(v3_bytes(&m)).unwrap();
+        assert_eq!(m.entities.as_slice(), m2.entities.as_slice());
+        assert_eq!(m.relations.as_slice(), m2.relations.as_slice());
+        let meta = peek_model_meta(v3_bytes(&m)).unwrap();
+        assert_eq!(meta.version, V3_VERSION);
+        assert!(meta.checksum.is_some());
+    }
+
+    #[test]
+    fn v4_tables_are_64_byte_aligned_from_file_start() {
+        let m = model();
+        let bytes = model_to_bytes(&m);
+        // Walk the layout: header 16 | meta 22 | ω | pad | entities | pad.
+        let omega_bytes = 4 * m.raw_omega().dense().len();
+        let mut off = CHECKED_HEADER_LEN + 22 + omega_bytes;
+        off += pad_len(off);
+        assert_eq!(off % TABLE_ALIGN, 0);
+        // The entity table bytes at `off` decode to the model's values.
+        let first = f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        assert_eq!(first, m.entities.as_slice()[0]);
+        off += 4 * m.entities.len();
+        off += pad_len(off);
+        assert_eq!(off % TABLE_ALIGN, 0);
+        let first_rel = f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        assert_eq!(first_rel, m.relations.as_slice()[0]);
+        assert_eq!(off + 4 * m.relations.len(), bytes.len());
+    }
+
+    #[test]
+    fn mapped_load_matches_owned_load_bit_for_bit() {
+        let m = model();
+        let path = std::env::temp_dir().join(format!("mei_mapped_{}.bin", std::process::id()));
+        save_model(&m, &path).unwrap();
+        let owned = load_model(&path).unwrap();
+        let mapped = load_model_mapped(&path).unwrap();
+        assert_eq!(owned.entities.as_slice(), mapped.entities.as_slice());
+        assert_eq!(owned.relations.as_slice(), mapped.relations.as_slice());
+        assert_eq!(owned.omega().dense(), mapped.omega().dense());
+        assert_eq!(mapped.entities.is_mapped(), crate::mmap::MMAP_SUPPORTED);
+        for (h, t, r) in [(0u32, 1u32, 0u32), (5, 6, 2), (3, 3, 1)] {
+            assert_eq!(
+                owned.score_triple(Triple::new(h, t, r)),
+                mapped.score_triple(Triple::new(h, t, r))
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_load_rejects_corruption_before_trusting_the_mapping() {
+        let m = model();
+        let path =
+            std::env::temp_dir().join(format!("mei_mapped_bad_{}.bin", std::process::id()));
+        save_model(&m, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = bytes.len() - 5;
+        bytes[idx] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_model_mapped(&path).unwrap_err(),
+            SerializeError::Checksum { .. }
+        ));
+        // Truncation is also caught by the hash.
+        std::fs::write(&path, &bytes[..bytes.len() - 32]).unwrap();
+        assert!(load_model_mapped(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_load_falls_back_to_owned_for_old_versions() {
+        let m = model();
+        let path = std::env::temp_dir().join(format!("mei_mapped_v3_{}.bin", std::process::id()));
+        write_bytes_atomic(&path, &v3_bytes(&m)).unwrap();
+        let loaded = load_model_mapped(&path).unwrap();
+        assert!(!loaded.entities.is_mapped());
+        assert_eq!(loaded.entities.as_slice(), m.entities.as_slice());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -31,6 +31,10 @@ use std::time::Instant;
 const LATENCY_BUCKETS: [f64; 8] = [1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 0.1, 1.0, 10.0];
 /// Drained batch sizes land in these histogram buckets.
 const BATCH_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+/// Snapshot-install latencies land in these histogram buckets (seconds).
+/// The install is a pointer swap plus an epoch bump, so the interesting
+/// range is microseconds to single-digit milliseconds.
+const SWAP_BUCKETS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
 
 /// Tuning knobs for [`Engine::start`].
 #[derive(Debug, Clone)]
@@ -184,22 +188,44 @@ struct Pending {
     slot: Arc<ResponseSlot>,
 }
 
+/// Completion callback installed by a nonblocking submitter: invoked
+/// exactly once, after the answer (or shutdown error) lands in the slot.
+/// The event-loop frontend uses it to push the connection id onto its
+/// completion list and kick the wakeup fd.
+pub type Waker = Box<dyn FnOnce() + Send + 'static>;
+
 /// One-shot rendezvous between a parked request and the worker that
 /// answers it.
 struct ResponseSlot {
     result: Mutex<Option<Result<CachedAnswer, ServeError>>>,
     ready: Condvar,
+    /// Taken and invoked by `fulfill`. Installed at construction —
+    /// before the request is queued — so the callback can never race
+    /// with a worker that answers immediately.
+    waker: Mutex<Option<Waker>>,
 }
 
 impl ResponseSlot {
-    fn new() -> Arc<Self> {
-        Arc::new(Self { result: Mutex::new(None), ready: Condvar::new() })
+    fn new(waker: Option<Waker>) -> Arc<Self> {
+        Arc::new(Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+            waker: Mutex::new(waker),
+        })
     }
 
     fn fulfill(&self, value: Result<CachedAnswer, ServeError>) {
-        let mut slot = self.result.lock().unwrap();
-        *slot = Some(value);
-        self.ready.notify_all();
+        {
+            let mut slot = self.result.lock().unwrap();
+            *slot = Some(value);
+            self.ready.notify_all();
+        }
+        // Outside the result lock: the waker takes other locks (the
+        // frontend's completion list) and must observe the stored result.
+        let waker = self.waker.lock().unwrap().take();
+        if let Some(wake) = waker {
+            wake();
+        }
     }
 
     fn wait(&self) -> Result<CachedAnswer, ServeError> {
@@ -211,6 +237,30 @@ impl ResponseSlot {
             slot = self.ready.wait(slot).unwrap();
         }
     }
+
+    /// Nonblocking counterpart of `wait`: the answer if it has landed.
+    fn try_take(&self) -> Option<Result<CachedAnswer, ServeError>> {
+        self.result.lock().unwrap().take()
+    }
+}
+
+/// Outcome of a nonblocking [`Engine::submit`].
+pub enum Submission {
+    /// Answered synchronously: cache hit, validation error, overload
+    /// rejection, or shutdown. No worker involvement, no waker call.
+    Ready(Result<Prediction, ServeError>),
+    /// Parked on the batch queue. The waker passed to `submit` fires
+    /// when the answer lands; redeem the ticket with
+    /// [`Engine::try_finish`].
+    Parked(Ticket),
+}
+
+/// A claim on a parked request's eventual answer.
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+    key: CacheKey,
+    epoch: u64,
+    started: Instant,
 }
 
 /// Frequency sketch of recent request identities, feeding the
@@ -282,6 +332,7 @@ struct Shared {
     precomputed: Arc<Counter>,
     latency_secs: Arc<Histogram>,
     batch_size: Arc<Histogram>,
+    swap_latency: Arc<Histogram>,
     epoch_gauge: Arc<Gauge>,
 }
 
@@ -468,6 +519,7 @@ impl Engine {
             precomputed: metrics.counter("serve/precomputed"),
             latency_secs: metrics.histogram("serve/latency_secs", &LATENCY_BUCKETS),
             batch_size: metrics.histogram("serve/batch_size", &BATCH_BUCKETS),
+            swap_latency: metrics.histogram("serve/swap_latency_secs", &SWAP_BUCKETS),
             epoch_gauge: metrics.gauge("serve/epoch"),
             metrics,
         });
@@ -484,7 +536,10 @@ impl Engine {
     }
 
     /// Answers one top-`k` query: the `k` best entities for the open slot
-    /// of `(side, anchor, relation)`, known-true triples excluded.
+    /// of `(side, anchor, relation)`, known-true triples excluded. Blocks
+    /// until the answer lands; built on [`Engine::submit`], so the
+    /// blocking and event-loop frontends share every admission, cache,
+    /// and metrics decision.
     pub fn predict(
         &self,
         side: Side,
@@ -492,37 +547,55 @@ impl Engine {
         relation: RelationId,
         k: usize,
     ) -> Result<Prediction, ServeError> {
-        let started = Instant::now();
-        self.shared.requests.inc();
-        let outcome = self.predict_inner(side, anchor, relation, k);
-        if outcome.is_err() {
-            self.shared.errors.inc();
+        match self.submit(side, anchor, relation, k, None) {
+            Submission::Ready(outcome) => outcome,
+            Submission::Parked(ticket) => {
+                let result = ticket.slot.wait();
+                self.finish(&ticket, result)
+            }
         }
-        self.shared.latency_secs.observe(started.elapsed().as_secs_f64());
-        outcome
     }
 
-    fn predict_inner(
+    /// Nonblocking admission of one top-`k` query. Cache hits, validation
+    /// errors, overload rejections, and shutdown resolve synchronously as
+    /// [`Submission::Ready`]; everything else parks on the batch queue and
+    /// returns a [`Ticket`]. If `waker` is supplied it fires exactly once,
+    /// when the parked answer (or shutdown error) lands — after which
+    /// [`Engine::try_finish`] redeems the ticket without blocking.
+    pub fn submit(
         &self,
         side: Side,
         anchor: EntityId,
         relation: RelationId,
         k: usize,
-    ) -> Result<Prediction, ServeError> {
+        waker: Option<Waker>,
+    ) -> Submission {
+        let started = Instant::now();
         let shared = &self.shared;
+        shared.requests.inc();
+        let ready = |outcome: Result<Prediction, ServeError>| {
+            if outcome.is_err() {
+                shared.errors.inc();
+            }
+            shared.latency_secs.observe(started.elapsed().as_secs_f64());
+            Submission::Ready(outcome)
+        };
         if shared.stop.load(Ordering::Acquire) {
-            return Err(ServeError::ShuttingDown);
+            return ready(Err(ServeError::ShuttingDown));
         }
         let (snap, epoch) = shared.swap.load();
         let cfg = snap.model.config();
         if anchor.idx() >= cfg.num_entities {
-            return Err(ServeError::InvalidEntity { id: anchor.0, num_entities: cfg.num_entities });
+            return ready(Err(ServeError::InvalidEntity {
+                id: anchor.0,
+                num_entities: cfg.num_entities,
+            }));
         }
         if relation.idx() >= cfg.num_relations {
-            return Err(ServeError::InvalidRelation {
+            return ready(Err(ServeError::InvalidRelation {
                 id: relation.0,
                 num_relations: cfg.num_relations,
-            });
+            }));
         }
 
         let query = match side {
@@ -538,43 +611,79 @@ impl Engine {
         if shared.cache_enabled {
             if let Some(results) = shared.cache.get(&key, epoch) {
                 shared.cache_hits.inc();
-                return Ok(Prediction { results, epoch, cached: true });
+                return ready(Ok(Prediction { results, epoch, cached: true }));
             }
             shared.cache_misses.inc();
         }
 
-        let slot = ResponseSlot::new();
+        let slot = ResponseSlot::new(waker);
         {
             let mut queue = shared.queue.lock().unwrap();
             if shared.stop.load(Ordering::Acquire) {
-                return Err(ServeError::ShuttingDown);
+                return ready(Err(ServeError::ShuttingDown));
             }
             // Admission control under the same lock that guards the push:
             // the queue can never exceed its bound, and overload is
             // reported immediately instead of stalling the client.
             if queue.len() >= shared.max_queue {
                 shared.rejected.inc();
-                return Err(ServeError::Overloaded {
+                return ready(Err(ServeError::Overloaded {
                     queue_depth: queue.len(),
                     max_queue: shared.max_queue,
-                });
+                }));
             }
             queue.push_back(Pending { query, k, snap, slot: Arc::clone(&slot) });
         }
         shared.available.notify_one();
+        Submission::Parked(Ticket { slot, key, epoch, started })
+    }
 
-        let results = slot.wait()?;
-        if shared.cache_enabled {
-            // Tagged with the epoch loaded above: if a swap landed while we
-            // were scoring, the entry is born stale and can never be served.
-            shared.cache.insert(key, epoch, Arc::clone(&results));
+    /// Redeems a ticket whose waker has fired. Returns `Err(ticket)` if
+    /// the answer has not actually landed yet (a spurious wake), so the
+    /// caller can re-park it.
+    pub fn try_finish(&self, ticket: Ticket) -> Result<Result<Prediction, ServeError>, Ticket> {
+        match ticket.slot.try_take() {
+            Some(result) => Ok(self.finish(&ticket, result)),
+            None => Err(ticket),
         }
-        Ok(Prediction { results, epoch, cached: false })
+    }
+
+    /// Completion bookkeeping shared by the blocking and nonblocking
+    /// paths: cache fill, error count, latency observation.
+    fn finish(
+        &self,
+        ticket: &Ticket,
+        result: Result<CachedAnswer, ServeError>,
+    ) -> Result<Prediction, ServeError> {
+        let shared = &self.shared;
+        let outcome = result.map(|results| {
+            if shared.cache_enabled {
+                // Tagged with the epoch loaded at admission: if a swap
+                // landed while we were scoring, the entry is born stale
+                // and can never be served.
+                shared.cache.insert(ticket.key, ticket.epoch, Arc::clone(&results));
+            }
+            Prediction { results, epoch: ticket.epoch, cached: false }
+        });
+        if outcome.is_err() {
+            shared.errors.inc();
+        }
+        shared.latency_secs.observe(ticket.started.elapsed().as_secs_f64());
+        outcome
     }
 
     /// Atomically installs a new snapshot, invalidating all cached answers
     /// via the epoch bump, and returns the new epoch. The snapshot must
     /// have the same vocabulary sizes as the serving one.
+    ///
+    /// The install itself — pointer swap plus epoch bump, timed into
+    /// `serve/swap_latency_secs` — is kept deliberately cheap so a
+    /// million-entity redeploy is visible to traffic immediately. The
+    /// int8 screen-index build and the hot-key precompute run *after*
+    /// the bump (still synchronously, so callers like the wire `swap` op
+    /// observe a fully warm engine on return): queries racing the index
+    /// build pay a one-time quantization stall at worst, instead of every
+    /// swap paying it before the new epoch can serve at all.
     pub fn swap_snapshot(&self, next: Snapshot) -> Result<u64, ServeError> {
         let (current, _) = self.shared.swap.load();
         if !current.compatible_with(&next) {
@@ -584,15 +693,15 @@ impl Engine {
                 offered: (next.entities.len(), next.relations.len()),
             });
         }
-        if self.shared.screen.is_some() {
-            // Build the incoming snapshot's screen index *before* the swap
-            // installs it, so the first post-swap screened batch never
-            // stalls behind a full-table quantization pass.
-            next.screen_index();
-        }
-        let epoch = self.shared.swap.swap(next);
+        let next = Arc::new(next);
+        let install_started = Instant::now();
+        let epoch = self.shared.swap.swap_arc(Arc::clone(&next));
+        self.shared.swap_latency.observe(install_started.elapsed().as_secs_f64());
         self.shared.swaps.inc();
         self.shared.epoch_gauge.set(epoch as f64);
+        if self.shared.screen.is_some() {
+            next.screen_index();
+        }
         self.shared.precompute_hot_keys(epoch);
         Ok(epoch)
     }

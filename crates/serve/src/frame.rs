@@ -1,0 +1,280 @@
+//! Incremental bounded line framing for nonblocking sockets.
+//!
+//! The thread-per-connection server framed requests with a blocking
+//! `read_bounded_line` over `BufReader`. The event loop receives bytes
+//! whenever the socket is readable, so framing becomes a small state
+//! machine: bytes go in via [`LineFramer::push`], complete lines come
+//! out via [`LineFramer::next_line`]. The cap semantics are identical
+//! to the blocking reader and are pinned by the PR-4 hardening tests:
+//!
+//! - a line whose content (excluding the `\n`) is exactly `max_bytes`
+//!   long is still served;
+//! - the moment more than `max_bytes` of content accumulate without a
+//!   terminating newline, the line is oversize (`TooLong`) — the caller
+//!   answers `line_too_long` and drops the connection without waiting
+//!   for the newline, which is what bounds slow-loris senders.
+
+use std::io::{self, Read};
+
+/// What the framer has for the caller right now.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete request line (newline stripped, lossy UTF-8).
+    Line(String),
+    /// More than `max_bytes` of content accumulated with no newline.
+    /// The framer is dead after this; the connection must be dropped.
+    TooLong,
+    /// No complete line buffered; wait for more bytes.
+    NeedMore,
+}
+
+/// Splits a byte stream into newline-terminated lines with a hard cap
+/// on line length. One framer per connection.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline (avoids rescanning
+    /// the prefix on every push of a trickling sender).
+    scanned: usize,
+    max_bytes: usize,
+    dead: bool,
+}
+
+impl LineFramer {
+    /// A framer enforcing `max_bytes` of content per line.
+    pub fn new(max_bytes: usize) -> Self {
+        Self { buf: Vec::new(), scanned: 0, max_bytes, dead: false }
+    }
+
+    /// Feeds bytes received from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if !self.dead {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Number of buffered, not-yet-framed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete line, or reports why one isn't available.
+    pub fn next_line(&mut self) -> Frame {
+        if self.dead {
+            return Frame::TooLong;
+        }
+        if let Some(rel) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            let pos = self.scanned + rel;
+            if pos > self.max_bytes {
+                self.dead = true;
+                return Frame::TooLong;
+            }
+            let line = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
+            self.buf.drain(..=pos);
+            self.scanned = 0;
+            return Frame::Line(line);
+        }
+        self.scanned = self.buf.len();
+        if self.buf.len() > self.max_bytes {
+            self.dead = true;
+            return Frame::TooLong;
+        }
+        Frame::NeedMore
+    }
+
+    /// The final unterminated line at EOF, if any. `BufRead::lines`
+    /// yields a trailing line with no newline, and the blocking server
+    /// served it before closing — the event loop preserves that.
+    pub fn take_trailing(&mut self) -> Option<String> {
+        if self.dead || self.buf.is_empty() {
+            return None;
+        }
+        let line = String::from_utf8_lossy(&self.buf).into_owned();
+        self.buf.clear();
+        self.scanned = 0;
+        Some(line)
+    }
+}
+
+/// Outcome of pumping a readable socket into a framer.
+#[derive(Debug)]
+pub enum Pump {
+    /// Drained to `WouldBlock` (or hit the per-wake byte budget).
+    Drained {
+        /// Bytes that arrived this pump.
+        bytes: usize,
+    },
+    /// Peer closed its writing half.
+    Eof {
+        /// Bytes that arrived before EOF.
+        bytes: usize,
+    },
+    /// Hard I/O error; the connection is unusable.
+    Err(io::Error),
+}
+
+/// Reads everything currently available from `src` into `framer`,
+/// retrying on `EINTR` (the blocking reader's failure to do so was a
+/// drop-the-connection bug) and stopping at `WouldBlock`, EOF, or a
+/// `budget` of bytes (so one firehose connection cannot starve the
+/// rest of the loop — level-triggered epoll re-reports the remainder).
+pub fn pump<R: Read>(src: &mut R, framer: &mut LineFramer, budget: usize) -> Pump {
+    let mut chunk = [0u8; 8192];
+    let mut total = 0usize;
+    loop {
+        if total >= budget {
+            return Pump::Drained { bytes: total };
+        }
+        match src.read(&mut chunk) {
+            Ok(0) => return Pump::Eof { bytes: total },
+            Ok(n) => {
+                framer.push(&chunk[..n]);
+                total += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return Pump::Drained { bytes: total };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Pump::Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_split_across_pushes() {
+        let mut f = LineFramer::new(64);
+        f.push(b"{\"op\":");
+        assert_eq!(f.next_line(), Frame::NeedMore);
+        f.push(b"\"ping\"}\n{\"op\":\"stats\"}\n");
+        assert_eq!(f.next_line(), Frame::Line("{\"op\":\"ping\"}".into()));
+        assert_eq!(f.next_line(), Frame::Line("{\"op\":\"stats\"}".into()));
+        assert_eq!(f.next_line(), Frame::NeedMore);
+    }
+
+    #[test]
+    fn exact_cap_line_is_served() {
+        let mut f = LineFramer::new(8);
+        f.push(b"12345678"); // exactly at the cap, no newline yet
+        assert_eq!(f.next_line(), Frame::NeedMore);
+        f.push(b"\n");
+        assert_eq!(f.next_line(), Frame::Line("12345678".into()));
+    }
+
+    #[test]
+    fn over_cap_without_newline_is_too_long() {
+        let mut f = LineFramer::new(8);
+        f.push(b"123456789"); // nine bytes of content, no newline
+        assert_eq!(f.next_line(), Frame::TooLong);
+        // The framer stays dead even if a newline shows up later.
+        f.push(b"\n");
+        assert_eq!(f.next_line(), Frame::TooLong);
+    }
+
+    #[test]
+    fn over_cap_with_newline_already_buffered_is_too_long() {
+        let mut f = LineFramer::new(8);
+        f.push(b"123456789\n");
+        assert_eq!(f.next_line(), Frame::TooLong);
+    }
+
+    #[test]
+    fn trickled_oversize_line_dies_at_the_cap_not_the_newline() {
+        // Slow-loris shape: 16-byte chunks, never a newline, cap 64.
+        let mut f = LineFramer::new(64);
+        for i in 0..4 {
+            f.push(&[b'x'; 16]);
+            let frame = f.next_line();
+            if i < 3 {
+                assert_eq!(frame, Frame::NeedMore, "chunk {i}");
+            }
+        }
+        f.push(&[b'x'; 16]); // 80 bytes total > 64
+        assert_eq!(f.next_line(), Frame::TooLong);
+    }
+
+    #[test]
+    fn trailing_line_without_newline_is_yielded_at_eof() {
+        let mut f = LineFramer::new(64);
+        f.push(b"{\"op\":\"ping\"}");
+        assert_eq!(f.next_line(), Frame::NeedMore);
+        assert_eq!(f.take_trailing(), Some("{\"op\":\"ping\"}".into()));
+        assert_eq!(f.take_trailing(), None);
+    }
+
+    #[test]
+    fn invalid_utf8_is_replaced_not_fatal() {
+        let mut f = LineFramer::new(64);
+        f.push(&[0xff, 0xfe, b'\n']);
+        match f.next_line() {
+            Frame::Line(l) => assert_eq!(l, "\u{fffd}\u{fffd}"),
+            other => panic!("expected line, got {other:?}"),
+        }
+    }
+
+    /// A reader that scripts its responses, for exercising EINTR and
+    /// WouldBlock handling without a real socket.
+    struct Scripted(Vec<Result<Vec<u8>, io::ErrorKind>>);
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.0.pop() {
+                None => Ok(0),
+                Some(Ok(bytes)) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(Err(kind)) => Err(io::Error::from(kind)),
+            }
+        }
+    }
+
+    #[test]
+    fn pump_retries_on_eintr() {
+        // Script (popped back-to-front): EINTR, data, EINTR, WouldBlock.
+        let mut src = Scripted(vec![
+            Err(io::ErrorKind::WouldBlock),
+            Err(io::ErrorKind::Interrupted),
+            Ok(b"{\"op\":\"ping\"}\n".to_vec()),
+            Err(io::ErrorKind::Interrupted),
+        ]);
+        let mut f = LineFramer::new(64);
+        let out = pump(&mut src, &mut f, 1 << 20);
+        assert!(matches!(out, Pump::Drained { bytes: 14 }), "got {out:?}");
+        assert_eq!(f.next_line(), Frame::Line("{\"op\":\"ping\"}".into()));
+    }
+
+    #[test]
+    fn pump_reports_eof_after_delivering_bytes() {
+        let mut src = Scripted(vec![Ok(b"tail".to_vec())]);
+        let mut f = LineFramer::new(64);
+        let out = pump(&mut src, &mut f, 1 << 20);
+        assert!(matches!(out, Pump::Eof { bytes: 4 }), "got {out:?}");
+        assert_eq!(f.take_trailing(), Some("tail".into()));
+    }
+
+    #[test]
+    fn pump_respects_byte_budget() {
+        let mut src = Scripted(vec![
+            Ok(vec![b'b'; 10]),
+            Ok(vec![b'a'; 10]),
+        ]);
+        let mut f = LineFramer::new(1024);
+        let out = pump(&mut src, &mut f, 10);
+        assert!(matches!(out, Pump::Drained { bytes: 10 }), "got {out:?}");
+        assert_eq!(f.buffered(), 10);
+    }
+
+    #[test]
+    fn pump_surfaces_hard_errors() {
+        let mut src = Scripted(vec![Err(io::ErrorKind::ConnectionReset)]);
+        let mut f = LineFramer::new(64);
+        match pump(&mut src, &mut f, 1 << 20) {
+            Pump::Err(e) => assert_eq!(e.kind(), io::ErrorKind::ConnectionReset),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+}

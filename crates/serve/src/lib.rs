@@ -23,8 +23,11 @@
 //!   can escape), and the checksummed model-file format guards against
 //!   swapping in a half-written checkpoint;
 //! * speaks **newline-delimited JSON over TCP** ([`Server`]) with no
-//!   async runtime — an accept thread plus one handler thread per
-//!   connection, all scoring funneled through the shared worker pool;
+//!   async runtime — a single epoll event loop (std-only FFI, Linux)
+//!   drives nonblocking accept and every connection's read/write state
+//!   machine, parking cache-missing predicts as engine tickets instead
+//!   of threads, with all scoring funneled through the shared worker
+//!   pool;
 //! * instruments everything through `mei-obs`: request latency and batch
 //!   size histograms, cache hit/miss counters, swap counts, served-epoch
 //!   gauge, exportable as one JSONL snapshot line.
@@ -51,13 +54,15 @@
 
 pub mod cache;
 pub mod engine;
+pub mod frame;
+pub mod poll;
 pub mod server;
 pub mod snapshot;
 pub mod wire;
 
 pub use cache::{CacheKey, CacheStats, ShardedLruCache};
-pub use engine::{Engine, Prediction, ServeConfig, ServeError};
+pub use engine::{Engine, Prediction, ServeConfig, ServeError, Submission, Ticket};
 pub use mei_quant::ScreenParams;
-pub use server::{Server, ServerConfig};
+pub use server::{Acceptor, Server, ServerConfig};
 pub use snapshot::{Snapshot, SnapshotSwap};
 pub use wire::{Request, RequestName};

@@ -1,0 +1,224 @@
+//! Minimal std-only epoll + eventfd wrapper (Linux).
+//!
+//! The event loop in [`crate::server`] needs exactly four kernel
+//! facilities: an epoll instance, registration of interest, a blocking
+//! wait with a millisecond deadline, and a cross-thread wakeup fd. None
+//! of them require an async runtime or the `libc` crate — the symbols
+//! live in the C library the Rust standard library already links, so a
+//! handful of `extern "C"` declarations is the whole FFI surface. This
+//! mirrors the workspace's no-async-runtime stance: readiness
+//! notification is a syscall, not a framework.
+//!
+//! Only Linux is supported (epoll is a Linux API); the rest of the
+//! workspace is portable, so the gate lives here where the dependency
+//! actually is.
+
+#![cfg(target_os = "linux")]
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::fd::{FromRawFd, OwnedFd};
+use std::os::unix::io::{AsRawFd, RawFd};
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+#[allow(non_camel_case_types)]
+type c_uint = u32;
+
+/// Readable (or a pending connection on a listener).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never needs registering).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+
+/// One readiness notification. Layout matches glibc's `struct
+/// epoll_event` (packed on x86-64, natural elsewhere — glibc's
+/// `__EPOLL_PACKED`).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// The token registered with [`Poller::add`].
+    pub token: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance: register fds with a `u64` token, wait for
+/// readiness.
+pub struct Poller {
+    epfd: OwnedFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Self { epfd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent { events, token };
+        cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` for `events`, delivering `token` on readiness.
+    pub fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, events)
+    }
+
+    /// Changes the interest set of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, events)
+    }
+
+    /// Deregisters `fd`. Missing registrations are not an error (closing
+    /// an fd deregisters it implicitly).
+    pub fn del(&self, fd: RawFd) {
+        let mut ev = EpollEvent { events: 0, token: 0 };
+        let _ = unsafe { epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut ev) };
+    }
+
+    /// Waits up to `timeout_ms` (negative = forever) and appends ready
+    /// events into `out`, returning how many arrived. `EINTR` is
+    /// reported as zero events, so callers treat a signal like a timer
+    /// tick instead of an error.
+    pub fn wait(&self, out: &mut Vec<EpollEvent>, timeout_ms: i32, max_events: usize) -> io::Result<usize> {
+        out.clear();
+        out.resize(max_events, EpollEvent { events: 0, token: 0 });
+        let n = unsafe {
+            epoll_wait(self.epfd.as_raw_fd(), out.as_mut_ptr(), max_events as c_int, timeout_ms)
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                out.clear();
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        out.truncate(n as usize);
+        Ok(n as usize)
+    }
+}
+
+/// A cross-thread wakeup fd (eventfd): any thread can [`WakeFd::wake`]
+/// the event loop out of `epoll_wait`; the loop [`WakeFd::drain`]s it
+/// back to quiescence. Both ends are nonblocking, so a wake can never
+/// stall the caller (a saturated counter just means the loop is already
+/// signalled).
+pub struct WakeFd {
+    file: File,
+}
+
+impl WakeFd {
+    /// Creates the nonblocking eventfd.
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+        Ok(Self { file: unsafe { File::from_raw_fd(fd) } })
+    }
+
+    /// The raw fd, for registering with a [`Poller`].
+    pub fn raw_fd(&self) -> RawFd {
+        self.file.as_raw_fd()
+    }
+
+    /// Signals the event loop. Never blocks; errors are ignored because
+    /// the only failure mode of a nonblocking eventfd write is "counter
+    /// already saturated", which means the loop is already waking.
+    pub fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        let _ = (&self.file).write(&one);
+    }
+
+    /// Clears the pending wake count so the next `epoll_wait` sleeps.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        while let Ok(n) = (&self.file).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn wake_fd_round_trips_through_epoll() {
+        let poller = Poller::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        poller.add(wake.raw_fd(), 7, EPOLLIN).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a zero timeout returns immediately with no events.
+        assert_eq!(poller.wait(&mut events, 0, 8).unwrap(), 0);
+
+        wake.wake();
+        wake.wake(); // coalesces: still one readiness event
+        assert_eq!(poller.wait(&mut events, 1000, 8).unwrap(), 1);
+        // Copy fields out: taking references into a packed struct is UB.
+        let (token, mask) = (events[0].token, events[0].events);
+        assert_eq!(token, 7);
+        assert_ne!(mask & EPOLLIN, 0);
+
+        wake.drain();
+        assert_eq!(poller.wait(&mut events, 0, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn listener_readiness_fires_on_pending_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 1, EPOLLIN).unwrap();
+
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, 0, 8).unwrap(), 0);
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        assert_eq!(poller.wait(&mut events, 2000, 8).unwrap(), 1);
+        let token = events[0].token;
+        assert_eq!(token, 1);
+
+        let (accepted, _) = listener.accept().unwrap();
+        accepted.set_nonblocking(true).unwrap();
+        poller.add(accepted.as_raw_fd(), 2, EPOLLIN | EPOLLRDHUP).unwrap();
+        client.write_all(b"hi").unwrap();
+        assert_eq!(poller.wait(&mut events, 2000, 8).unwrap(), 1);
+        let token = events[0].token;
+        assert_eq!(token, 2);
+        poller.del(accepted.as_raw_fd());
+    }
+}

@@ -136,7 +136,13 @@ impl SnapshotSwap {
     /// tagged with the old epoch and so are never served from the cache
     /// after the swap.
     pub fn swap(&self, next: Snapshot) -> u64 {
-        let next = Arc::new(next);
+        self.swap_arc(Arc::new(next))
+    }
+
+    /// [`SnapshotSwap::swap`] for an already-`Arc`ed snapshot — lets the
+    /// engine keep a handle to what it installed (to build the screen
+    /// index *after* the epoch bump) without a second allocation.
+    pub fn swap_arc(&self, next: Arc<Snapshot>) -> u64 {
         let mut guard = self.current.write();
         *guard = next;
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1

@@ -31,7 +31,7 @@
 //! Errors come back as `{"ok":false,"error":"…"}` and never kill the
 //! connection; malformed JSON gets the same treatment.
 
-use crate::engine::{Engine, ServeError};
+use crate::engine::{Engine, Prediction, ServeError};
 use crate::snapshot::Snapshot;
 use mei_eval::Side;
 use mei_kg::{Dictionary, EntityId, RelationId};
@@ -183,19 +183,56 @@ pub fn oversize_line_response(max_bytes: usize) -> String {
     .to_json()
 }
 
-fn predict_response(engine: &Engine, req: &Request) -> Result<JsonValue, WireError> {
+/// A fully resolved predict request: names translated to dense ids
+/// against `snap`, ready for [`Engine::submit`] or [`Engine::predict`].
+/// The snapshot is kept so the response renders entity names from the
+/// same vocabulary the ids were resolved against, even if the answer
+/// lands after a swap.
+pub(crate) struct PredictCall {
+    /// The snapshot the names were resolved against.
+    pub snap: std::sync::Arc<Snapshot>,
+    /// Which slot to rank.
+    pub side: Side,
+    /// Resolved anchor entity.
+    pub anchor: EntityId,
+    /// Resolved relation.
+    pub relation: RelationId,
+    /// Result depth.
+    pub k: usize,
+    /// Opaque client tag echoed back in the response.
+    pub tag: Option<JsonValue>,
+}
+
+/// Resolves a parsed predict request's names against the current
+/// snapshot.
+pub(crate) fn resolve_predict(engine: &Engine, req: &Request) -> Result<PredictCall, WireError> {
     let Request::Predict { side, anchor, relation, k, id } = req else { unreachable!() };
     let (snap, _) = engine.snapshot();
     let anchor_id = anchor.resolve(&snap.entities, "entity").map_err(WireError::bad_request)?;
     let relation_id =
         relation.resolve(&snap.relations, "relation").map_err(WireError::bad_request)?;
-    let prediction = engine.predict(*side, EntityId(anchor_id), RelationId(relation_id), *k)?;
+    Ok(PredictCall {
+        snap,
+        side: *side,
+        anchor: EntityId(anchor_id),
+        relation: RelationId(relation_id),
+        k: *k,
+        tag: id.clone(),
+    })
+}
+
+/// Renders one predict outcome — success or error — as a response line.
+pub(crate) fn predict_line(call: &PredictCall, outcome: Result<Prediction, ServeError>) -> String {
+    let prediction = match outcome {
+        Ok(p) => p,
+        Err(e) => return error_response(e.into()).to_json(),
+    };
     let results: Vec<JsonValue> = prediction
         .results
         .iter()
         .map(|&(e, score)| {
             build::obj([
-                ("entity", build::str(snap.entities.name(e.0).unwrap_or("?"))),
+                ("entity", build::str(call.snap.entities.name(e.0).unwrap_or("?"))),
                 ("id", build::int(e.idx())),
                 ("score", build::num(score as f64)),
             ])
@@ -207,10 +244,10 @@ fn predict_response(engine: &Engine, req: &Request) -> Result<JsonValue, WireErr
         ("cached", JsonValue::Bool(prediction.cached)),
         ("results", JsonValue::Arr(results)),
     ];
-    if let Some(tag) = id {
+    if let Some(tag) = &call.tag {
         pairs.push(("id", tag.clone()));
     }
-    Ok(build::obj(pairs))
+    build::obj(pairs).to_json()
 }
 
 fn swap_response(engine: &Engine, model_file: &str) -> Result<JsonValue, WireError> {
@@ -218,10 +255,12 @@ fn swap_response(engine: &Engine, model_file: &str) -> Result<JsonValue, WireErr
         kind: "model_invalid",
         message: e.to_string(),
     };
-    // Validate the header and checksum without building the model, so a
-    // half-written checkpoint is rejected before any allocation.
-    mei_core::serialize::peek_model_file_meta(model_file).map_err(invalid)?;
-    let model = mei_core::serialize::load_model(model_file).map_err(invalid)?;
+    // The mapped loader validates the header and checksum before any
+    // table is trusted (checksum-before-trust), so a truncated or
+    // corrupt checkpoint is rejected without disturbing the serving
+    // snapshot — and a valid v4 checkpoint is installed as zero-copy
+    // mapped views instead of a deserialized copy.
+    let model = mei_core::serialize::load_model_mapped(model_file).map_err(invalid)?;
     let (current, _) = engine.snapshot();
     let next = Snapshot {
         model,
@@ -261,24 +300,78 @@ fn stats_response(engine: &Engine) -> JsonValue {
     ])
 }
 
-/// Handles one request line against `engine`. Returns the one-line JSON
-/// response (without trailing newline) and whether the client asked the
-/// server to shut down.
-pub fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
+/// Renders an ad-hoc wire error line from a kind tag and message.
+pub(crate) fn error_line(kind: &'static str, message: &str) -> String {
+    error_response(WireError { kind, message: message.to_owned() }).to_json()
+}
+
+/// Executes a `swap` op and renders its response line. Factored out so
+/// the event-loop frontend can run it on a task thread (a swap maps and
+/// validates a whole model file; the loop must keep serving meanwhile).
+pub(crate) fn swap_line(engine: &Engine, model_file: &str) -> String {
+    match swap_response(engine, model_file) {
+        Ok(v) => v.to_json(),
+        Err(e) => error_response(e).to_json(),
+    }
+}
+
+/// How one request line should be carried out — split so the event-loop
+/// frontend can route predicts through the nonblocking
+/// [`Engine::submit`] path and swaps onto a task thread, while cheap
+/// control ops answer inline.
+pub(crate) enum Dispatch {
+    /// Answer with this line; the flag means "shut the server down after
+    /// the response is flushed".
+    Respond(String, bool),
+    /// A resolved predict, ready for submission.
+    Predict(PredictCall),
+    /// A swap op, to be executed via [`swap_line`] wherever the caller
+    /// can afford to block.
+    Swap {
+        /// Path to the checkpoint to install.
+        model_file: String,
+    },
+}
+
+/// Parses and (for predicts) resolves one request line. Ping, stats and
+/// shutdown are answered here; predicts and swaps are returned for the
+/// caller to execute however it blocks (or doesn't).
+pub(crate) fn dispatch_line(engine: &Engine, line: &str) -> Dispatch {
     let request = match parse_request(line) {
         Ok(r) => r,
-        Err(e) => return (error_response(WireError::bad_request(e)).to_json(), false),
+        Err(e) => {
+            return Dispatch::Respond(error_response(WireError::bad_request(e)).to_json(), false)
+        }
     };
     let (response, shutdown) = match &request {
         Request::Ping => (Ok(build::obj([("ok", JsonValue::Bool(true))])), false),
         Request::Stats => (Ok(stats_response(engine)), false),
-        Request::Predict { .. } => (predict_response(engine, &request), false),
-        Request::Swap { model_file } => (swap_response(engine, model_file), false),
+        Request::Predict { .. } => match resolve_predict(engine, &request) {
+            Ok(call) => return Dispatch::Predict(call),
+            Err(e) => (Err(e), false),
+        },
+        Request::Swap { model_file } => {
+            return Dispatch::Swap { model_file: model_file.clone() }
+        }
         Request::Shutdown => (Ok(build::obj([("ok", JsonValue::Bool(true))])), true),
     };
     match response {
-        Ok(v) => (v.to_json(), shutdown),
-        Err(e) => (error_response(e).to_json(), false),
+        Ok(v) => Dispatch::Respond(v.to_json(), shutdown),
+        Err(e) => Dispatch::Respond(error_response(e).to_json(), false),
+    }
+}
+
+/// Handles one request line against `engine`, blocking for predicts and
+/// swaps. Returns the one-line JSON response (without trailing newline)
+/// and whether the client asked the server to shut down.
+pub fn handle_line(engine: &Engine, line: &str) -> (String, bool) {
+    match dispatch_line(engine, line) {
+        Dispatch::Respond(line, stop) => (line, stop),
+        Dispatch::Predict(call) => {
+            let outcome = engine.predict(call.side, call.anchor, call.relation, call.k);
+            (predict_line(&call, outcome), false)
+        }
+        Dispatch::Swap { model_file } => (swap_line(engine, &model_file), false),
     }
 }
 
