@@ -12,7 +12,8 @@
 //! repro bench-eval [opts]       # ranking-throughput benchmark (legacy vs blocked GEMM)
 //! repro bench-serve [opts]      # serving-throughput benchmark (reference vs batched vs cached)
 //! repro bench-train [opts]      # training-throughput benchmark (legacy HashMap vs blocked
-//!                               # flat-buffer grads, plus the k-vs-all full-softmax section)
+//!                               # flat-buffer grads, plus the k-vs-all full-softmax and
+//!                               # regularized block-term MEI sections)
 //!
 //! options:
 //!   --scale tiny|small|full     SynthWN scale (default small)
@@ -47,6 +48,11 @@
 //!                               recall@10 ≥ 0.99 on the screened path, skips
 //!                               the dataset arms and all timing (CI-safe:
 //!                               nothing here is wall-clock-sensitive)
+//!                               bench-train: block-term lifecycle only — trains
+//!                               the K×Ce×Cr arm with dropout + batch norm live
+//!                               and asserts cross-thread bitwise parity of the
+//!                               parameters and norm state, skipping every
+//!                               timing arm (CI-safe)
 //! ```
 //!
 //! Every training run is phase-profiled (sampling/forward/merge/backward/
@@ -722,6 +728,44 @@ fn bench_serve(ds: &Dataset, proto: &Protocol, opts: &Options) {
 fn bench_train(ds: &Dataset, proto: &Protocol, opts: &Options) {
     let t0 = Instant::now();
     print_fingerprint();
+    if opts.smoke {
+        // Lifecycle assertions only: run the block-term arm (regularizer
+        // stack live, thread parity + norm-state parity asserted inside
+        // the bench) and skip every timing arm, so nothing here is
+        // wall-clock-sensitive on shared CI runners.
+        let epochs = opts.epochs.unwrap_or(2);
+        let report =
+            mei_bench::bench_block_term_throughput(ds, proto, opts.seed, epochs, &opts.threads);
+        let get = |name: &str| report.get(name).and_then(|v| v.as_usize()).unwrap_or(0);
+        let parity = report
+            .get("final_params_bitwise_identical")
+            .map(|v| matches!(v, mei_obs::JsonValue::Bool(true)))
+            .unwrap_or(false);
+        let norm_parity = report
+            .get("norm_state_bitwise_identical")
+            .map(|v| matches!(v, mei_obs::JsonValue::Bool(true)))
+            .unwrap_or(false);
+        assert!(parity && norm_parity, "block-term smoke must assert bitwise parity");
+        println!(
+            "  block_term  K={} Ce={} Cr={} D={}  {} groups x {} candidates  \
+             thread parity: yes  norm-state parity: yes",
+            get("k"),
+            get("ce"),
+            get("cr"),
+            get("dim"),
+            get("groups_scored"),
+            get("num_entities"),
+        );
+        if let Some(path) = &opts.out {
+            if let Err(e) = std::fs::write(path, report.to_json() + "\n") {
+                eprintln!("cannot write --out {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("  wrote {path}");
+        }
+        println!("\n[bench-train --smoke took {:.1?}]", t0.elapsed());
+        return;
+    }
     let epochs = opts.epochs.unwrap_or(3);
     println!(
         "bench-train: |E| = {}, {} train triples, budget n·D = {}, batch {}, {} epoch(s)/arm",
@@ -776,6 +820,25 @@ fn bench_train(ds: &Dataset, proto: &Protocol, opts: &Options) {
             "    vs negative-path scoring rate: {:.1}x   thread parity + kill/resume: yes",
             num("speedup_vs_negative_scoring"),
         );
+    }
+    if let Some(bt) = report.get("block_term") {
+        let num = |name: &str| bt.get(name).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let int = |name: &str| bt.get(name).and_then(|v| v.as_usize()).unwrap_or(0);
+        println!(
+            "  block_term (K={} Ce={} Cr={} D={}, dropout+BN live): {} groups x {} candidates",
+            int("k"),
+            int("ce"),
+            int("cr"),
+            int("dim"),
+            int("groups_scored"),
+            int("num_entities"),
+        );
+        println!(
+            "    forward  {:>12.3e} candidate-scores/sec\n    backward {:>12.3e} candidate-scores/sec",
+            num("forward_candidate_scores_per_sec"),
+            num("backward_candidate_scores_per_sec"),
+        );
+        println!("    thread parity (params + batch-norm state): yes");
     }
     let json = report.to_json();
     if let Some(path) = &opts.out {

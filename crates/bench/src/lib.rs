@@ -29,8 +29,8 @@ use std::sync::Arc;
 use mei_core::regularizer::DirichletRegularizer;
 use mei_core::{ModelConfig, WeightRestriction};
 use mei_core::{
-    GradPath, LossKind, MultiEmbedModel, SamplingStrategy, TrainConfig, Trainer, WeightPreset,
-    WeightVector,
+    BlockTermShape, GradPath, LossKind, MultiEmbedModel, SamplingStrategy, TrainConfig, Trainer,
+    WeightPreset, WeightVector,
 };
 use mei_eval::ranking::{evaluate_filtered, evaluate_with_stats, top_k_reference};
 use mei_eval::{BlockQuery, EvalConfig, EvalStats, LinkPredictionResults, Side, TripleScorer};
@@ -626,6 +626,9 @@ struct TrainArm {
     entities: Vec<f32>,
     relations: Vec<f32>,
     omega: Vec<f32>,
+    /// Flat interaction-norm state (`[γ | β | mean | var]`), empty when
+    /// the model trains without batch norm.
+    norm: Vec<f32>,
 }
 
 impl TrainArm {
@@ -702,7 +705,18 @@ fn run_train_arm(
     path: GradPath,
     threads: usize,
 ) -> TrainArm {
-    let mut model = arm_model(dataset, dim, seed);
+    run_model_arm(dataset, train, arm_model(dataset, dim, seed), path, threads)
+}
+
+/// Trains one arm on a caller-supplied model (block-term arms build their
+/// own) and snapshots the final parameters, including any norm state.
+fn run_model_arm(
+    dataset: &Dataset,
+    train: &TrainConfig,
+    mut model: MultiEmbedModel,
+    path: GradPath,
+    threads: usize,
+) -> TrainArm {
     let mut train = train.clone();
     train.grad_path = path;
     train.threads = threads;
@@ -720,6 +734,7 @@ fn run_train_arm(
         entities: model.entities.as_slice().to_vec(),
         relations: model.relations.as_slice().to_vec(),
         omega: model.omega().dense().to_vec(),
+        norm: model.interaction_norm().map(|nrm| nrm.flat()).unwrap_or_default(),
     }
 }
 
@@ -748,7 +763,9 @@ fn bits_equal(a: &[f32], b: &[f32]) -> bool {
 ///
 /// The artifact also carries a `"kvsall"` section — the k-vs-all
 /// full-softmax trainer measured at the same dataset's full candidate
-/// axis by [`bench_kvsall_throughput`] (DESIGN.md §12).
+/// axis by [`bench_kvsall_throughput`] (DESIGN.md §12) — and a
+/// `"block_term"` section — the regularized block-term MEI family
+/// measured by [`bench_block_term_throughput`] (DESIGN.md §17).
 pub fn bench_train_throughput(
     dataset: &Dataset,
     protocol: &Protocol,
@@ -823,6 +840,10 @@ pub fn bench_train_throughput(
     // full-softmax trainer at the GEMM shape. Two epochs keep the
     // full-|E| arms affordable; the kvsall sweep pins threads {1, 2}.
     let kvsall = bench_kvsall_throughput(dataset, protocol, seed, 2, &[1, 2]);
+    // The block-term section: the MEI family on the same shape with the
+    // full regularizer stack (input dropout + batch norm + context
+    // dropout) live, thread parity asserted in-bench (DESIGN.md §17).
+    let block_term = bench_block_term_throughput(dataset, protocol, seed, 2, &[1, 2]);
 
     json::obj([
         ("bench", json::str("train_throughput")),
@@ -852,6 +873,7 @@ pub fn bench_train_throughput(
         ("final_params_bitwise_identical", JsonValue::Bool(true)),
         ("thread_scaling", JsonValue::Arr(thread_scaling)),
         ("kvsall", kvsall),
+        ("block_term", block_term),
         ("binary", binary_fingerprint()),
     ])
 }
@@ -1101,6 +1123,144 @@ pub fn bench_kvsall_throughput(
         ("speedup_vs_negative_scoring", json::num(speedup)),
         ("final_params_bitwise_identical", JsonValue::Bool(true)),
         ("resume_bitwise_identical", JsonValue::Bool(resume_ok)),
+        ("thread_scaling", JsonValue::Arr(thread_scaling)),
+    ])
+}
+
+/// The block-term MEI arm's shape in the training bench: K = 2 partitions
+/// of Ce = 2 entity / Cr = 2 relation components — the smallest shape
+/// that exercises the partition sum, ragged core contraction and
+/// per-partition zero-skip all at once.
+const BLOCK_TERM_BENCH_SHAPE: BlockTermShape = BlockTermShape { k: 2, ce: 2, cr: 2 };
+
+/// Builds the deterministic block-term arm model shared by every thread
+/// count in the block-term bench.
+fn block_term_arm_model(dataset: &Dataset, dim: usize, seed: u64) -> MultiEmbedModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MultiEmbedModel::block_term(
+        dataset.num_entities(),
+        dataset.num_relations(),
+        BLOCK_TERM_BENCH_SHAPE,
+        dim,
+        0.5,
+        &mut rng,
+    )
+}
+
+/// Measures the block-term MEI family (DESIGN.md §17) on the k-vs-all
+/// path with the full regularizer stack live — input dropout 0.1, batch
+/// norm on the interaction vectors, context dropout 0.1 — at the same
+/// capped-train / full-|E| GEMM shape as [`bench_kvsall_throughput`].
+///
+/// Asserts in-bench that every worker count in `threads` (empty picks
+/// {1, 2}) leaves parameters **and the batch-norm state** (γ, β, running
+/// mean/var) bit-identical to the 1-thread run: the counter-based dropout
+/// RNG and the sequential f64 moment reductions make the regularized path
+/// as schedule-independent as the plain one. The bitwise K=1 reduction to
+/// the learned-ω trilinear model is asserted separately in
+/// `crates/core/tests/block_term_parity.rs`.
+/// The returned object is the `"block_term"` section of
+/// `BENCH_train.json`.
+pub fn bench_block_term_throughput(
+    dataset: &Dataset,
+    protocol: &Protocol,
+    seed: u64,
+    epochs: usize,
+    threads: &[usize],
+) -> JsonValue {
+    let epochs = if epochs == 0 { 2 } else { epochs };
+    let default_sweep = [1usize, 2];
+    let sweep: &[usize] = if threads.is_empty() { &default_sweep } else { threads };
+    let shape = BLOCK_TERM_BENCH_SHAPE;
+
+    let mut bench_ds = dataset.clone();
+    bench_ds.valid.clear();
+    bench_ds.test.clear();
+    bench_ds.train.truncate(KVSALL_TRAIN_CAP);
+    let ne = bench_ds.num_entities();
+    let dim = protocol.dim_for(shape.n());
+
+    let mut train = protocol.train.clone();
+    train.max_epochs = epochs;
+    train.eval_every = epochs + 1;
+    train.batch_size = KVSALL_TRAIN_CAP;
+    train.sampling = SamplingStrategy::KvsAll;
+    train.loss = LossKind::SoftmaxCrossEntropy { label_smooth: 0.1 };
+    train.dropout = 0.1;
+    train.input_dropout = 0.1;
+    train.batch_norm = true;
+    train.checkpoint_every = 0;
+    train.verbose = false;
+    train.seed = seed;
+
+    let base = run_model_arm(
+        &bench_ds,
+        &train,
+        block_term_arm_model(&bench_ds, dim, seed),
+        GradPath::Blocked,
+        1,
+    );
+    let rates = KvRates::of(&base, ne);
+    assert!(rates.groups > 0, "block-term arm scored no groups");
+    assert!(!base.norm.is_empty(), "block-term arm trained without batch-norm state");
+
+    let thread_scaling: Vec<JsonValue> = sweep
+        .iter()
+        .map(|&t| {
+            let arm = if t == 1 {
+                None // the 1-thread baseline was already run above
+            } else {
+                Some(run_model_arm(
+                    &bench_ds,
+                    &train,
+                    block_term_arm_model(&bench_ds, dim, seed),
+                    GradPath::Blocked,
+                    t,
+                ))
+            };
+            let arm = arm.as_ref().unwrap_or(&base);
+            let parity = bits_equal(&arm.entities, &base.entities)
+                && bits_equal(&arm.relations, &base.relations)
+                && bits_equal(&arm.omega, &base.omega)
+                && bits_equal(&arm.norm, &base.norm);
+            assert!(
+                parity,
+                "block-term {t}-thread run diverged from the 1-thread run (params or norm state)"
+            );
+            let r = KvRates::of(arm, ne);
+            json::obj([
+                ("threads", json::int(t)),
+                ("wall_secs", json::num(arm.wall_secs)),
+                ("forward_candidate_scores_per_sec", json::num(r.forward_per_sec())),
+                ("backward_candidate_scores_per_sec", json::num(r.backward_per_sec())),
+                ("phase_secs", arm.phase_secs()),
+                ("final_params_bitwise_identical_to_1_thread", JsonValue::Bool(parity)),
+            ])
+        })
+        .collect();
+
+    json::obj([
+        ("bench", json::str("block_term_throughput")),
+        ("k", json::int(shape.k)),
+        ("ce", json::int(shape.ce)),
+        ("cr", json::int(shape.cr)),
+        ("dim", json::int(dim)),
+        ("num_entities", json::int(ne)),
+        ("train_triples", json::int(bench_ds.train.len())),
+        ("batch_size", json::int(train.batch_size)),
+        ("epochs", json::int(epochs)),
+        ("dropout", json::num(0.1)),
+        ("input_dropout", json::num(0.1)),
+        ("batch_norm", JsonValue::Bool(true)),
+        ("groups_scored", json::int(rates.groups)),
+        ("candidate_scores", json::num(rates.candidate_scores)),
+        ("wall_secs", json::num(base.wall_secs)),
+        ("phase_secs", base.phase_secs()),
+        ("forward_candidate_scores_per_sec", json::num(rates.forward_per_sec())),
+        ("backward_candidate_scores_per_sec", json::num(rates.backward_per_sec())),
+        ("grad_candidate_scores_per_sec", json::num(rates.grad_per_sec())),
+        ("final_params_bitwise_identical", JsonValue::Bool(true)),
+        ("norm_state_bitwise_identical", JsonValue::Bool(true)),
         ("thread_scaling", JsonValue::Arr(thread_scaling)),
     ])
 }

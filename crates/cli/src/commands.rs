@@ -23,7 +23,8 @@ pub const USAGE: &str = "\
 mei — multi-embedding interaction knowledge graph embedding
 
 subcommands:
-  generate --out DIR [--kind synthwn|synthfb|recsys|random] [--scale tiny|small|full] [--seed N]
+  generate --out DIR [--kind synthwn|synthfb|synthwnrr|synthfb237|recsys|random]
+           [--scale tiny|small|full] [--seed N]
   stats    --dataset DIR [--order hrt|htr]
   train    --dataset DIR --out model.bin [--model NAME] [--dim N] [--epochs N]
            [--lr F] [--batch N] [--seed N] [--sampling uniform|bern|kvsall]
@@ -32,6 +33,8 @@ subcommands:
            [--eval-every N] [--metrics-out run.jsonl] [--log-every N]
            [--checkpoint train.ckpt] [--checkpoint-every N] [--resume train.ckpt]
            [--grad-path legacy|blocked] [--threads N]
+           [--bt-k K --bt-ce CE --bt-cr CR [--bt-init F]]   (block-term MEI)
+           [--dropout F] [--input-dropout F] [--batch-norm true]  (kvsall only)
   eval     --dataset DIR --model-file model.bin [--split test|valid]
            [--categories true] [--classification true] [--metrics-out run.jsonl]
   predict  --dataset DIR --model-file model.bin --relation NAME [--topk K]
@@ -58,7 +61,16 @@ see DESIGN.md §12.
 `mei serve --screen K` screens candidates through the per-row int8
 quantized pass and rescores the top K survivors exactly (0 = exact
 serving); `--precompute-hot N` refreshes the N hottest queries into the
-result cache on every snapshot swap — see DESIGN.md §13.";
+result cache on every snapshot swap — see DESIGN.md §13.
+`mei train --model block-term` (or any --bt-* flag) trains the MEI
+block-term family: K partitions of Ce-dim entity / Cr-dim relation
+blocks contracted through a learned core tensor; K=1 with Ce=Cr=n is
+bitwise-identical to the learned-ω trilinear model — see DESIGN.md §17.
+`mei train --dropout/--input-dropout/--batch-norm` add the ConvE-style
+training regularizers on the k-vs-all path; eval and serving apply the
+norm's running statistics automatically — see DESIGN.md §17.
+`mei generate --kind synthwnrr|synthfb237` build the leakage-free
+WN18RR/FB15k-237-shaped benchmarks (--scale is ignored for these).";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -108,6 +120,15 @@ pub fn generate(args: &Args) -> CmdResult {
         "recsys" => RecsysConfig { seed, ..RecsysConfig::default() }.generate().dataset,
         "synthfb" => mei_datagen::SynthFbConfig { seed, ..mei_datagen::SynthFbConfig::default() }
             .generate(),
+        "synthwnrr" => {
+            mei_datagen::SynthWnRrConfig { seed, ..mei_datagen::SynthWnRrConfig::default() }
+                .generate()
+        }
+        "synthfb237" => {
+            let mut cfg = mei_datagen::SynthFb237Config::default();
+            cfg.base.seed = seed;
+            cfg.generate()
+        }
         "random" => mei_datagen::random::random_graph(2000, 18, 30_000, 0.05, 0.05, seed),
         other => return Err(format!("unknown --kind {other:?}").into()),
     };
@@ -156,10 +177,38 @@ pub fn train(args: &Args) -> CmdResult {
     let ds = load_dataset(args)?;
     let out = args.require("out")?;
     let model_name = args.get("model").unwrap_or("complex");
-    let preset = preset_by_name(model_name)
-        .ok_or_else(|| format!("unknown model {model_name:?}; see `mei models`"))?;
-    let (n, omega) = preset.effective_interaction();
-    let dim: usize = args.get_parsed("dim", 128 / n)?;
+    // Any --bt-* flag (or --model block-term) selects the MEI block-term
+    // family instead of a fixed-ω preset; see DESIGN.md §17.
+    let block_term = matches!(model_name, "block-term" | "blockterm" | "mei")
+        || args.get("bt-k").is_some()
+        || args.get("bt-ce").is_some()
+        || args.get("bt-cr").is_some();
+    let bt_shape = if block_term {
+        let shape = mei_core::BlockTermShape {
+            k: args.get_parsed("bt-k", 4usize)?,
+            ce: args.get_parsed("bt-ce", 2usize)?,
+            cr: args.get_parsed("bt-cr", 2usize)?,
+        };
+        if shape.k == 0 || shape.ce == 0 || shape.cr == 0 {
+            return Err("--bt-k, --bt-ce and --bt-cr must all be >= 1".into());
+        }
+        Some(shape)
+    } else {
+        None
+    };
+    let preset = if block_term {
+        None
+    } else {
+        Some(
+            preset_by_name(model_name)
+                .ok_or_else(|| format!("unknown model {model_name:?}; see `mei models`"))?,
+        )
+    };
+    let n = match bt_shape {
+        Some(shape) => shape.n(),
+        None => preset.expect("preset set when not block-term").effective_interaction().0,
+    };
+    let dim: usize = args.get_parsed("dim", (128 / n).max(1))?;
     let sampling = match args.get("sampling").unwrap_or("uniform") {
         // "negative" is an alias for the default per-triple sampled path.
         "uniform" | "negative" => SamplingStrategy::Uniform,
@@ -191,6 +240,16 @@ pub fn train(args: &Args) -> CmdResult {
     };
     if label_smooth > 0.0 && !matches!(loss, LossKind::SoftmaxCrossEntropy { .. }) {
         return Err("--label-smooth only applies to --loss softmax-ce".into());
+    }
+    // ConvE-style regularizers; the whole stack rides the k-vs-all path.
+    let dropout: f32 = args.get_parsed("dropout", 0.0f32)?;
+    let input_dropout: f32 = args.get_parsed("input-dropout", 0.0f32)?;
+    let batch_norm: bool = args.get_parsed("batch-norm", false)?;
+    if !(0.0..1.0).contains(&dropout) || !(0.0..1.0).contains(&input_dropout) {
+        return Err("--dropout/--input-dropout must be in [0, 1)".into());
+    }
+    if (dropout > 0.0 || input_dropout > 0.0 || batch_norm) && !kvsall {
+        return Err("--dropout/--input-dropout/--batch-norm require --sampling kvsall".into());
     }
     let lr_decay: f32 = args.get_parsed("lr-decay", 1.0f32)?;
     let lr_decay_mode = match args.get("lr-decay-mode").unwrap_or("checkpoint") {
@@ -230,6 +289,9 @@ pub fn train(args: &Args) -> CmdResult {
         checkpoint_every,
         checkpoint_path,
         grad_path,
+        dropout,
+        input_dropout,
+        batch_norm,
         // Speed knob only: the parallel schedule is bit-stable across
         // thread counts (DESIGN.md §11).
         threads: args.get_parsed("threads", 0)?,
@@ -237,19 +299,46 @@ pub fn train(args: &Args) -> CmdResult {
     };
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let cfg = mei_core::ModelConfig {
-        num_entities: ds.num_entities(),
-        num_relations: ds.num_relations(),
-        n,
-        dim,
+    let mut model = match bt_shape {
+        Some(shape) => {
+            let core_init: f32 = args.get_parsed("bt-init", 0.5f32)?;
+            let m = MultiEmbedModel::block_term(
+                ds.num_entities(),
+                ds.num_relations(),
+                shape,
+                dim,
+                core_init,
+                &mut rng,
+            );
+            println!(
+                "training block-term MEI (K = {}, Ce = {}, Cr = {}, D = {dim}, {} parameters) on {}",
+                shape.k,
+                shape.ce,
+                shape.cr,
+                m.num_params(),
+                ds.stats()
+            );
+            m
+        }
+        None => {
+            let preset = preset.expect("preset set when not block-term");
+            let (_, omega) = preset.effective_interaction();
+            let cfg = mei_core::ModelConfig {
+                num_entities: ds.num_entities(),
+                num_relations: ds.num_relations(),
+                n,
+                dim,
+            };
+            let m = MultiEmbedModel::with_fixed_weights(cfg, omega, &mut rng);
+            println!(
+                "training {} (n = {n}, D = {dim}, {} parameters) on {}",
+                preset.name(),
+                m.num_params(),
+                ds.stats()
+            );
+            m
+        }
     };
-    let mut model = MultiEmbedModel::with_fixed_weights(cfg, omega, &mut rng);
-    println!(
-        "training {} (n = {n}, D = {dim}, {} parameters) on {}",
-        preset.name(),
-        model.num_params(),
-        ds.stats()
-    );
     let filter = ds.filter_store();
     let mut trainer = Trainer::new(config);
     let mut sinks: Vec<Arc<dyn TrainObserver>> = Vec::new();

@@ -2,10 +2,13 @@
 //! interaction library.
 //!
 //! ```text
-//! mei generate --out DIR [--kind synthwn|synthfb|recsys|random] [--scale tiny|small|full] [--seed N]
+//! mei generate --out DIR [--kind synthwn|synthfb|synthwnrr|synthfb237|recsys|random]
+//!              [--scale tiny|small|full] [--seed N]
 //! mei stats    --dataset DIR [--order hrt|htr]
 //! mei train    --dataset DIR --out model.bin [--model NAME] [--dim N]
-//!              [--epochs N] [--lr F] [--batch N] [--seed N] [--sampling uniform|bern]
+//!              [--epochs N] [--lr F] [--batch N] [--seed N] [--sampling uniform|bern|kvsall]
+//!              [--bt-k K --bt-ce CE --bt-cr CR]  (block-term MEI family, DESIGN.md §17)
+//!              [--dropout F] [--input-dropout F] [--batch-norm true]  (kvsall regularizers)
 //! mei eval     --dataset DIR --model-file model.bin [--split test|valid]
 //!              [--categories true] [--classification true]
 //! mei predict  --dataset DIR --model-file model.bin --head NAME --relation NAME [--topk K]

@@ -24,8 +24,15 @@
 //!   loss_history:  count u32 | (epoch u32, value f64-bits) × count |
 //!   valid_history: count u32 | (epoch u32, value f64-bits) × count |
 //!   best snapshot: present u8 | if 1: three f32 arrays
-//!                  (entities, relations, raw ω), each len u64 + f32 × len
+//!                  (entities, relations, raw ω), each len u64 + f32 × len |
+//!                  (v2) norm present u8 | if 1: one f32 array
+//!                  ([γ | β | running mean | running var], len u64 + f32 × len)
 //! ```
+//!
+//! Version 2 appends the interaction-norm state to the best snapshot;
+//! checkpoints whose best snapshot carries no norm state are still written
+//! as version 1, byte for byte, so plain-model checkpoints are stable
+//! across the format bump.
 //!
 //! Files are written through [`crate::serialize::write_bytes_atomic`], so a
 //! SIGKILL at any instant leaves either the previous complete checkpoint or
@@ -45,7 +52,10 @@ use crate::serialize::{
 };
 
 const MAGIC: &[u8; 4] = b"MEIC";
-const VERSION: u32 = 1;
+/// Highest read version; version 2 adds the best snapshot's norm state.
+const VERSION: u32 = 2;
+/// Write version for checkpoints without norm state (the common case).
+const V1_VERSION: u32 = 1;
 
 /// The trainable parameters of the best-so-far validation snapshot, stored
 /// as flat arrays (shapes are implied by the checkpointed model).
@@ -57,6 +67,9 @@ pub struct BestSnapshot {
     pub relations: Vec<f32>,
     /// Raw (pre-restriction) ω values.
     pub raw_omega: Vec<f32>,
+    /// Interaction-norm state `[γ | β | running mean | running var]`
+    /// (4·n·dim floats) when the model trains with batch norm, else `None`.
+    pub norm: Option<Vec<f32>>,
 }
 
 /// Complete mid-run training state — see the module docs for the format.
@@ -171,6 +184,9 @@ pub fn checkpoint_to_bytes(cp: &TrainCheckpoint) -> Bytes {
     put_history(&mut payload, &cp.loss_history);
     put_history(&mut payload, &cp.valid_history);
 
+    // Norm-free checkpoints stay on version 1 byte for byte.
+    let version =
+        if cp.best.as_ref().is_some_and(|b| b.norm.is_some()) { VERSION } else { V1_VERSION };
     match &cp.best {
         None => payload.put_u8(0),
         Some(best) => {
@@ -178,12 +194,21 @@ pub fn checkpoint_to_bytes(cp: &TrainCheckpoint) -> Bytes {
             put_f32s(&mut payload, &best.entities);
             put_f32s(&mut payload, &best.relations);
             put_f32s(&mut payload, &best.raw_omega);
+            if version >= VERSION {
+                match &best.norm {
+                    None => payload.put_u8(0),
+                    Some(norm) => {
+                        payload.put_u8(1);
+                        put_f32s(&mut payload, norm);
+                    }
+                }
+            }
         }
     }
 
     let mut buf = BytesMut::with_capacity(16 + payload.len());
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(version);
     buf.put_u64_le(fnv1a64(&payload));
     buf.put_slice(&payload);
     buf.freeze()
@@ -200,9 +225,10 @@ pub fn checkpoint_from_bytes(mut buf: Bytes) -> Result<TrainCheckpoint, Serializ
         return Err(SerializeError::Format("truncated checkpoint header".into()));
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != V1_VERSION && version != VERSION {
         return Err(SerializeError::Format(format!(
-            "unsupported checkpoint version {version} (this build reads version {VERSION})"
+            "unsupported checkpoint version {version} (this build reads versions \
+             {V1_VERSION} through {VERSION})"
         )));
     }
     if buf.remaining() < 8 {
@@ -297,7 +323,41 @@ pub fn checkpoint_from_bytes(mut buf: Bytes) -> Result<TrainCheckpoint, Serializ
                     "best-snapshot shapes disagree with the checkpointed model".into(),
                 ));
             }
-            Some(BestSnapshot { entities, relations, raw_omega })
+            let norm = if version >= VERSION {
+                if buf.remaining() < 1 {
+                    return Err(SerializeError::Format("truncated best-norm flag".into()));
+                }
+                match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        let flat = get_f32s(&mut buf, "best norm state")?;
+                        let expected = model
+                            .interaction_norm()
+                            .map(|nrm| 4 * nrm.kdim())
+                            .ok_or_else(|| {
+                                SerializeError::Format(
+                                    "checkpoint has norm state but the model has no \
+                                     interaction norm"
+                                        .into(),
+                                )
+                            })?;
+                        if flat.len() != expected {
+                            return Err(SerializeError::Format(
+                                "best-norm state disagrees with the model's norm shape".into(),
+                            ));
+                        }
+                        Some(flat)
+                    }
+                    other => {
+                        return Err(SerializeError::Format(format!(
+                            "invalid best-norm flag {other}"
+                        )))
+                    }
+                }
+            } else {
+                None
+            };
+            Some(BestSnapshot { entities, relations, raw_omega, norm })
         }
         other => {
             return Err(SerializeError::Format(format!("invalid best-snapshot flag {other}")))
@@ -365,6 +425,7 @@ mod tests {
                 entities: model.entities.as_slice().to_vec(),
                 relations: model.relations.as_slice().to_vec(),
                 raw_omega: model.raw_omega().dense().to_vec(),
+                norm: None,
             }),
             model,
         }
@@ -397,6 +458,36 @@ mod tests {
         let restored = checkpoint_from_bytes(checkpoint_to_bytes(&cp)).unwrap();
         assert!(restored.best_valid_mrr.is_infinite() && restored.best_valid_mrr < 0.0);
         assert!(restored.best.is_none());
+    }
+
+    #[test]
+    fn norm_free_checkpoints_still_write_version_1() {
+        let bytes = checkpoint_to_bytes(&sample());
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), V1_VERSION);
+    }
+
+    #[test]
+    fn norm_state_round_trips_as_version_2() {
+        let mut cp = sample();
+        cp.model.enable_interaction_norm(0.1, 1e-5);
+        let mut flat = cp.model.interaction_norm().unwrap().flat();
+        let last = flat.len() - 1;
+        flat[0] = 1.75;
+        flat[last] = 0.5;
+        cp.best.as_mut().unwrap().norm = Some(flat.clone());
+        let bytes = checkpoint_to_bytes(&cp);
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), VERSION);
+        let restored = checkpoint_from_bytes(bytes).unwrap();
+        assert_eq!(restored.best.unwrap().norm.unwrap(), flat);
+    }
+
+    #[test]
+    fn norm_state_without_model_norm_is_rejected() {
+        let mut cp = sample();
+        // Norm state in the snapshot but no norm on the model: invalid.
+        cp.best.as_mut().unwrap().norm = Some(vec![0.0; 8]);
+        let err = checkpoint_from_bytes(checkpoint_to_bytes(&cp)).unwrap_err();
+        assert!(err.to_string().contains("no interaction norm"), "{err}");
     }
 
     #[test]

@@ -57,6 +57,10 @@ use mei_math::kernels::{
     axpy_fast, dot_fast, dot_gather, gemm_nn_acc, gemm_nt, gemm_tn_acc, hadamard_axpy_fast,
     hadamard_write_fast, scale_add_l2_fast, scale_write_l2_fast, trilinear_fast,
 };
+use mei_math::reg::{
+    accumulate_moments, apply_mask_in_place, apply_mask_into, bn_apply, bn_backward_row,
+    fill_dropout_mask, finalize_moments, mask_stream_base,
+};
 use mei_obs::PhaseBreakdown;
 
 use crate::fused::shard_bounds;
@@ -125,6 +129,40 @@ pub struct KvQuery {
     /// The relation of the query.
     pub relation: RelationId,
 }
+
+/// Regularization knobs for the k-vs-all training path
+/// ([`GradWorkspace::compute_kvsall_reg`]).
+///
+/// All masks are **counter-based**: a mask bit is a pure function of
+/// `(mask_seed, global query index, stream)` through
+/// [`mei_math::reg::mask_stream_base`], so the forward and backward
+/// passes regenerate identical masks on any worker in any order — the
+/// thread-count bit-identity contract of the plain path carries over
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvRegConfig {
+    /// Dropout probability on the interaction context (after batch norm,
+    /// before the score GEMM). `0.0` disables.
+    pub dropout: f32,
+    /// Dropout probability on the anchor and relation embedding rows
+    /// feeding the context build. `0.0` disables.
+    pub input_dropout: f32,
+    /// Batch-normalize the interaction contexts over the batch (training
+    /// mode: batch statistics; the model's running stats are updated by
+    /// the trainer). Requires the model to carry an
+    /// [`crate::model::InteractionNorm`].
+    pub batch_norm: bool,
+    /// Seed for this batch's dropout masks; the trainer draws one per
+    /// batch from the training RNG so masks differ across batches but
+    /// resume bitwise from checkpoints.
+    pub mask_seed: u64,
+}
+
+/// Mask stream ids: one per masked tensor kind, so a query's context,
+/// anchor-row, and relation-row masks are independent.
+const MASK_STREAM_CTX: u64 = 0;
+const MASK_STREAM_ANCHOR: u64 = 1;
+const MASK_STREAM_REL: u64 = 2;
 
 /// Which side of the positive an example corrupts — determines which
 /// anchor context scores it. The positive itself is scored tail-side.
@@ -436,6 +474,39 @@ fn run_chunked<T: Sync, C: Send>(
     });
 }
 
+/// [`run_chunked`] variant that also hands each chunk its global item
+/// offset (`chunk index × chunk`), which the regularized k-vs-all path
+/// needs to key counter-based dropout masks by batch-wide query index —
+/// the offset is a pure function of the batch shape, never of which
+/// worker runs the chunk.
+fn run_chunked_idx<T: Sync, C: Send>(
+    items: &[T],
+    chunk: usize,
+    scratch: &mut [C],
+    threads: usize,
+    work: impl Fn(&[T], &mut C, usize) + Sync,
+) {
+    let workers = threads.min(scratch.len());
+    if workers <= 1 {
+        for (ci, (it, c)) in items.chunks(chunk).zip(scratch.iter_mut()).enumerate() {
+            work(it, c, ci * chunk);
+        }
+        return;
+    }
+    let queue = std::sync::Mutex::new(items.chunks(chunk).zip(scratch.iter_mut()).enumerate());
+    rayon::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let next = queue.lock().unwrap().next();
+                match next {
+                    Some((ci, (ex, c))) => work(ex, c, ci * chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
 // ---------------------------------------------------------------------------
 // Legacy path: pooled HashMap accumulation.
 // ---------------------------------------------------------------------------
@@ -631,6 +702,19 @@ struct BlockedChunk {
     /// Pass B reads `scores`/`ctxs` through this count after the chunk
     /// workers have finished.
     groups: usize,
+    /// Regularized k-vs-all: pre-norm interaction contexts (`kdim` per
+    /// query) — the batch-norm backward recomputes `x̂` from these while
+    /// `ctxs` holds the post-norm post-dropout values the GEMMs consumed.
+    raw_ctxs: Vec<f32>,
+    /// Regularized k-vs-all mask/row scratch, regenerated per query from
+    /// the counter RNG (`kdim` context/anchor buffers, `rel_row_len`
+    /// relation buffers, and a per-query gradient-contribution row).
+    reg_mask: Vec<f32>,
+    reg_anchor_mask: Vec<f32>,
+    reg_rel_mask: Vec<f32>,
+    reg_anchor_row: Vec<f32>,
+    reg_rel_row: Vec<f32>,
+    reg_scratch: Vec<f32>,
 }
 
 struct BlockedSink<'a> {
@@ -998,6 +1082,388 @@ fn accumulate_group_backward<S: GradSink>(
 }
 
 // ---------------------------------------------------------------------------
+// Regularized k-vs-all path: input dropout → batch norm → context dropout.
+// ---------------------------------------------------------------------------
+
+/// Phase F1 of the regularized k-vs-all batch: build each query's raw
+/// (pre-norm) interaction context from input-dropout-masked anchor and
+/// relation rows. Masks are regenerated from the counter RNG keyed by the
+/// query's batch-wide index (`base + g`), so the backward can rebuild them
+/// exactly.
+fn run_kv_reg_input_chunk(
+    model: &MultiEmbedModel,
+    queries: &[KvQuery],
+    reg: &KvRegConfig,
+    base: usize,
+    c: &mut BlockedChunk,
+) {
+    let kdim = model.config().n * model.config().dim;
+    let rel_row_len = model.relations.row_len();
+    c.groups = queries.len();
+    let cn = queries.len() * kdim;
+    if c.raw_ctxs.len() < cn {
+        c.raw_ctxs.resize(cn, 0.0);
+    }
+    let use_input = reg.input_dropout > 0.0;
+    if use_input {
+        c.reg_anchor_mask.resize(kdim, 0.0);
+        c.reg_rel_mask.resize(rel_row_len, 0.0);
+        c.reg_anchor_row.resize(kdim, 0.0);
+        c.reg_rel_row.resize(rel_row_len, 0.0);
+    }
+    let BlockedChunk { raw_ctxs, reg_anchor_mask, reg_rel_mask, reg_anchor_row, reg_rel_row, .. } =
+        c;
+    for (g, q) in queries.iter().enumerate() {
+        let ctx = &mut raw_ctxs[g * kdim..(g + 1) * kdim];
+        let a = model.entities.row(q.anchor.idx());
+        let r = model.relations.row(q.relation.idx());
+        let (a_row, r_row): (&[f32], &[f32]) = if use_input {
+            let gi = (base + g) as u64;
+            fill_dropout_mask(
+                mask_stream_base(reg.mask_seed, gi, MASK_STREAM_ANCHOR),
+                reg.input_dropout,
+                reg_anchor_mask,
+            );
+            fill_dropout_mask(
+                mask_stream_base(reg.mask_seed, gi, MASK_STREAM_REL),
+                reg.input_dropout,
+                reg_rel_mask,
+            );
+            apply_mask_into(a, reg_anchor_mask, reg_anchor_row);
+            apply_mask_into(r, reg_rel_mask, reg_rel_row);
+            (reg_anchor_row, reg_rel_row)
+        } else {
+            (a, r)
+        };
+        match q.side {
+            Side::Tail => model.tail_context_from_rows(a_row, r_row, ctx),
+            Side::Head => model.head_context_from_rows(a_row, r_row, ctx),
+        }
+    }
+}
+
+/// Batch-norm operands for the forward chunk:
+/// `(batch mean, batch inverse std, γ, β)`, each `kdim` long.
+type BnForward<'a> = (&'a [f32], &'a [f32], &'a [f32], &'a [f32]);
+
+/// Batch-norm operands for the backward scatter:
+/// `(batch mean, batch inverse std, γ, Σgβ/Q, Σgγ/Q)`, each `kdim` long.
+type BnBackward<'a> = (&'a [f32], &'a [f32], &'a [f32], &'a [f32], &'a [f32]);
+
+/// A query's effective anchor/relation inputs after optional input
+/// dropout: `(anchor row, relation row, anchor mask, relation mask)` —
+/// the masks are `None` when input dropout is off.
+type MaskedInputs<'a> = (&'a [f32], &'a [f32], Option<&'a [f32]>, Option<&'a [f32]>);
+
+/// Phase F2: normalize each raw context with the **batch** statistics
+/// (training-mode batch norm), apply context dropout, then run the plain
+/// path's score GEMM + softmax residual. Afterwards `ctxs` holds `z̃` —
+/// the exact operand of the forward GEMM — so pass B's candidate-gradient
+/// GEMM (`residualᵀ·ctxs`) is correct without change.
+#[allow(clippy::too_many_arguments)]
+fn run_kv_reg_forward_chunk(
+    model: &MultiEmbedModel,
+    queries: &[KvQuery],
+    targets: &SortedTargets,
+    label_smooth: f32,
+    reg: &KvRegConfig,
+    base: usize,
+    bn: Option<BnForward<'_>>,
+    c: &mut BlockedChunk,
+) {
+    let kdim = model.config().n * model.config().dim;
+    let ne = model.entities.num_items();
+    let entity_table = model.entities.as_slice();
+    c.loss = 0.0;
+    let cn = queries.len() * kdim;
+    if c.ctxs.len() < cn {
+        c.ctxs.resize(cn, 0.0);
+    }
+    if reg.dropout > 0.0 {
+        c.reg_mask.resize(kdim, 0.0);
+    }
+    {
+        let BlockedChunk { ctxs, raw_ctxs, reg_mask, .. } = &mut *c;
+        for g in 0..queries.len() {
+            let ctx = &mut ctxs[g * kdim..(g + 1) * kdim];
+            ctx.copy_from_slice(&raw_ctxs[g * kdim..(g + 1) * kdim]);
+            if let Some((mean, istd, gamma, beta)) = bn {
+                bn_apply(ctx, mean, istd, gamma, beta);
+            }
+            if reg.dropout > 0.0 {
+                fill_dropout_mask(
+                    mask_stream_base(reg.mask_seed, (base + g) as u64, MASK_STREAM_CTX),
+                    reg.dropout,
+                    reg_mask,
+                );
+                apply_mask_in_place(ctx, reg_mask);
+            }
+        }
+    }
+    let sn = queries.len() * ne;
+    if c.scores.len() < sn {
+        c.scores.resize(sn, 0.0);
+    }
+    gemm_nt(&c.ctxs[..cn], entity_table, kdim, &mut c.scores[..sn]);
+    for (g, q) in queries.iter().enumerate() {
+        let t = match q.side {
+            Side::Tail => targets.tails_of(q.anchor, q.relation),
+            Side::Head => targets.heads_of(q.anchor, q.relation),
+        };
+        c.loss += softmax_ce_residual(&mut c.scores[g * ne..(g + 1) * ne], t, label_smooth);
+    }
+}
+
+/// Phase B1: the residual-collapse GEMM (`gctx_g = Σ_e r_{g,e}·E_e`,
+/// identical to the plain backward), followed by the context-dropout
+/// backward — the same mask the forward applied, regenerated and applied
+/// to the context gradient, leaving `gctx = ∂L/∂y` (the norm output).
+fn run_kv_reg_backward_gemm_chunk(
+    model: &MultiEmbedModel,
+    queries: &[KvQuery],
+    reg: &KvRegConfig,
+    base: usize,
+    c: &mut BlockedChunk,
+) {
+    let kdim = model.config().n * model.config().dim;
+    let ne = model.entities.num_items();
+    let entity_table = model.entities.as_slice();
+    let cn = queries.len() * kdim;
+    if c.gctx.len() < cn {
+        c.gctx.resize(cn, 0.0);
+    }
+    c.gctx[..cn].fill(0.0);
+    gemm_nn_acc(&c.scores[..queries.len() * ne], entity_table, kdim, &mut c.gctx[..cn]);
+    if reg.dropout > 0.0 {
+        let BlockedChunk { gctx, reg_mask, .. } = &mut *c;
+        for g in 0..queries.len() {
+            fill_dropout_mask(
+                mask_stream_base(reg.mask_seed, (base + g) as u64, MASK_STREAM_CTX),
+                reg.dropout,
+                reg_mask,
+            );
+            apply_mask_in_place(&mut gctx[g * kdim..(g + 1) * kdim], reg_mask);
+        }
+    }
+}
+
+/// Phase B2: finish the per-query backward — batch-norm input gradient in
+/// place on `gctx` (using the sequentially reduced `gβ/Q`, `gγ/Q`), then
+/// the sparse anchor/relation/ω scatter with the query's regenerated
+/// input masks.
+#[allow(clippy::too_many_arguments)]
+fn run_kv_reg_scatter_chunk(
+    model: &MultiEmbedModel,
+    queries: &[KvQuery],
+    l2_coef: f32,
+    reg: &KvRegConfig,
+    base: usize,
+    n3: usize,
+    epoch: u32,
+    bn: Option<BnBackward<'_>>,
+    c: &mut BlockedChunk,
+) {
+    let kdim = model.config().n * model.config().dim;
+    let rel_row_len = model.relations.row_len();
+    c.ent_keys.clear();
+    c.rel_keys.clear();
+    if c.omega.len() == n3 {
+        c.omega.fill(0.0);
+    } else {
+        c.omega = vec![0.0; n3];
+    }
+    let use_input = reg.input_dropout > 0.0;
+    if use_input {
+        c.reg_anchor_mask.resize(kdim, 0.0);
+        c.reg_rel_mask.resize(rel_row_len, 0.0);
+        c.reg_anchor_row.resize(kdim, 0.0);
+        c.reg_rel_row.resize(rel_row_len, 0.0);
+    }
+    let BlockedChunk {
+        ent,
+        rel,
+        ent_keys,
+        rel_keys,
+        ent_slab,
+        rel_slab,
+        omega,
+        gctx,
+        raw_ctxs,
+        reg_anchor_mask,
+        reg_rel_mask,
+        reg_anchor_row,
+        reg_rel_row,
+        reg_scratch,
+        ..
+    } = c;
+    let mut sink = BlockedSink { epoch, ent, ent_keys, ent_slab, rel, rel_keys, rel_slab, omega };
+    for (g, &q) in queries.iter().enumerate() {
+        let gctx_row = &mut gctx[g * kdim..(g + 1) * kdim];
+        if let Some((mean, istd, gamma, gb_q, gg_q)) = bn {
+            bn_backward_row(
+                gctx_row,
+                &raw_ctxs[g * kdim..(g + 1) * kdim],
+                mean,
+                istd,
+                gamma,
+                gb_q,
+                gg_q,
+            );
+        }
+        let a = model.entities.row(q.anchor.idx());
+        let r = model.relations.row(q.relation.idx());
+        let (a_used, r_used, a_mask, r_mask): MaskedInputs<'_> = if use_input {
+            let gi = (base + g) as u64;
+            fill_dropout_mask(
+                mask_stream_base(reg.mask_seed, gi, MASK_STREAM_ANCHOR),
+                reg.input_dropout,
+                reg_anchor_mask,
+            );
+            fill_dropout_mask(
+                mask_stream_base(reg.mask_seed, gi, MASK_STREAM_REL),
+                reg.input_dropout,
+                reg_rel_mask,
+            );
+            apply_mask_into(a, reg_anchor_mask, reg_anchor_row);
+            apply_mask_into(r, reg_rel_mask, reg_rel_row);
+            (&*reg_anchor_row, &*reg_rel_row, Some(&**reg_anchor_mask), Some(&**reg_rel_mask))
+        } else {
+            (a, r, None, None)
+        };
+        accumulate_group_backward_reg(
+            model,
+            q,
+            gctx_row,
+            l2_coef,
+            a_used,
+            r_used,
+            a_mask,
+            r_mask,
+            reg_scratch,
+            &mut sink,
+        );
+    }
+}
+
+/// The regularized analogue of [`accumulate_group_backward`]. The
+/// difference: the forward consumed *masked* anchor/relation rows, so
+/// every backward operand that was an embedding row in the plain path is
+/// the masked row here (`a_used`, `r_used`), and the chain rule through
+/// the input dropout multiplies each row gradient by the query's own mask
+/// before it joins the shared accumulator — which is why the contribution
+/// is built in `scratch` first (the accumulator may already hold other
+/// queries' contributions under *their* masks). L2 still pulls on the raw
+/// rows: weight decay regularizes parameters, not their dropped views.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_group_backward_reg<S: GradSink>(
+    model: &MultiEmbedModel,
+    q: KvQuery,
+    gctx: &[f32],
+    l2_coef: f32,
+    a_used: &[f32],
+    r_used: &[f32],
+    a_mask: Option<&[f32]>,
+    r_mask: Option<&[f32]>,
+    scratch: &mut Vec<f32>,
+    sink: &mut S,
+) {
+    let d = model.config().dim;
+    let ent_row_len = model.entities.row_len();
+    let rel_row_len = model.relations.row_len();
+    let a_raw = model.entities.row(q.anchor.idx());
+    let r_raw = model.relations.row(q.relation.idx());
+
+    // Anchor row.
+    {
+        scratch.resize(ent_row_len.max(rel_row_len), 0.0);
+        let contrib = &mut scratch[..ent_row_len];
+        contrib.fill(0.0);
+        for &(i, j, k, w) in model.terms() {
+            if w == 0.0 {
+                continue;
+            }
+            let (sub, b_row) = match q.side {
+                Side::Tail => (i, &gctx[j * d..(j + 1) * d]),
+                Side::Head => (j, &gctx[i * d..(i + 1) * d]),
+            };
+            let rk = &r_used[k * d..(k + 1) * d];
+            hadamard_axpy_fast(w, b_row, rk, &mut contrib[sub * d..(sub + 1) * d]);
+        }
+        if let Some(mask) = a_mask {
+            apply_mask_in_place(contrib, mask);
+        }
+        let (entry, fresh) = sink.row_mut(RowKey::Entity(q.anchor.idx()), ent_row_len);
+        if fresh {
+            entry.copy_from_slice(contrib);
+        } else {
+            for (acc, g) in entry.iter_mut().zip(contrib.iter()) {
+                *acc += *g;
+            }
+        }
+        if S::FAST {
+            axpy_fast(l2_coef, a_raw, entry);
+        } else {
+            axpy_l2(entry, l2_coef, a_raw);
+        }
+    }
+
+    // Relation row.
+    {
+        let contrib = &mut scratch[..rel_row_len];
+        contrib.fill(0.0);
+        for &(i, j, k, w) in model.terms() {
+            if w == 0.0 {
+                continue;
+            }
+            let (a_row, b_row) = match q.side {
+                Side::Tail => (&a_used[i * d..(i + 1) * d], &gctx[j * d..(j + 1) * d]),
+                Side::Head => (&gctx[i * d..(i + 1) * d], &a_used[j * d..(j + 1) * d]),
+            };
+            hadamard_axpy_fast(w, a_row, b_row, &mut contrib[k * d..(k + 1) * d]);
+        }
+        if let Some(mask) = r_mask {
+            apply_mask_in_place(contrib, mask);
+        }
+        let (entry, fresh) = sink.row_mut(RowKey::Relation(q.relation.idx()), rel_row_len);
+        if fresh {
+            entry.copy_from_slice(contrib);
+        } else {
+            for (acc, g) in entry.iter_mut().zip(contrib.iter()) {
+                *acc += *g;
+            }
+        }
+        if S::FAST {
+            axpy_fast(l2_coef, r_raw, entry);
+        } else {
+            axpy_l2(entry, l2_coef, r_raw);
+        }
+    }
+
+    // ω: the forward used the masked rows, so the trilinear operands do
+    // too (ω itself is never dropped).
+    if model.trainable_omega() {
+        let n = model.config().n;
+        let nr = model.omega().n_rel();
+        let omega = sink.omega_mut();
+        for &(i, j, k, _) in model.terms() {
+            let tri = match q.side {
+                Side::Tail => trilinear_fast(
+                    &a_used[i * d..(i + 1) * d],
+                    &gctx[j * d..(j + 1) * d],
+                    &r_used[k * d..(k + 1) * d],
+                ),
+                Side::Head => trilinear_fast(
+                    &gctx[i * d..(i + 1) * d],
+                    &a_used[j * d..(j + 1) * d],
+                    &r_used[k * d..(k + 1) * d],
+                ),
+            };
+            omega[(i * n + j) * nr + k] += tri;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Workspace: chunk scheduling, merging, result access.
 // ---------------------------------------------------------------------------
 
@@ -1035,6 +1501,21 @@ pub struct GradWorkspace {
     kv_mode: bool,
     kv_entities: usize,
     kv_dense: Vec<f32>,
+    // Regularized k-vs-all: batch-norm statistics and γ/β gradients.
+    // Moments and grad sums reduce in f64 (sequential over chunks in
+    // chunk order → thread-count independent), then round once to f32.
+    reg_sum: Vec<f64>,
+    reg_sumsq: Vec<f64>,
+    reg_gb64: Vec<f64>,
+    reg_gg64: Vec<f64>,
+    reg_mean: Vec<f32>,
+    reg_var: Vec<f32>,
+    reg_istd: Vec<f32>,
+    reg_gbeta: Vec<f32>,
+    reg_ggamma: Vec<f32>,
+    reg_gbeta_q: Vec<f32>,
+    reg_ggamma_q: Vec<f32>,
+    reg_queries: usize,
 }
 
 impl GradWorkspace {
@@ -1075,6 +1556,18 @@ impl GradWorkspace {
             kv_mode: false,
             kv_entities: 0,
             kv_dense: Vec::new(),
+            reg_sum: Vec::new(),
+            reg_sumsq: Vec::new(),
+            reg_gb64: Vec::new(),
+            reg_gg64: Vec::new(),
+            reg_mean: Vec::new(),
+            reg_var: Vec::new(),
+            reg_istd: Vec::new(),
+            reg_gbeta: Vec::new(),
+            reg_ggamma: Vec::new(),
+            reg_gbeta_q: Vec::new(),
+            reg_ggamma_q: Vec::new(),
+            reg_queries: 0,
         }
     }
 
@@ -1285,6 +1778,211 @@ impl GradWorkspace {
             ph.merge += t0.elapsed().as_secs_f64();
         }
         self.loss
+    }
+
+    /// [`GradWorkspace::compute_kvsall`] with the training-stack
+    /// regularizers of `reg` applied: input dropout on anchor/relation
+    /// rows, batch norm (batch statistics) on the interaction contexts,
+    /// and context dropout before the score GEMM.
+    ///
+    /// The plain path is untouched: with all knobs off the trainer calls
+    /// [`GradWorkspace::compute_kvsall`], whose bytes this entry never
+    /// perturbs. Thread-count bit-identity carries over because every
+    /// mask is a counter-RNG function of the query's batch-wide index and
+    /// the batch-norm reductions (moments, `gβ`, `gγ`) run sequentially
+    /// over chunks in chunk order with f64 accumulators.
+    ///
+    /// When `reg.batch_norm` is set the model must carry an
+    /// [`crate::model::InteractionNorm`]; afterwards
+    /// [`GradWorkspace::reg_batch_stats`] exposes the batch mean/biased
+    /// variance (for the trainer's running-stat update) and
+    /// [`GradWorkspace::reg_norm_grads`] the summed γ/β gradients (for
+    /// the optimizer step).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_kvsall_reg(
+        &mut self,
+        model: &MultiEmbedModel,
+        queries: &[KvQuery],
+        targets: &SortedTargets,
+        l2_coef: f32,
+        label_smooth: f32,
+        reg: &KvRegConfig,
+        mut timing: Option<&mut PhaseBreakdown>,
+    ) -> f64 {
+        assert!(!queries.is_empty(), "kvsall batch must contain at least one query");
+        assert!(
+            !reg.batch_norm || model.interaction_norm().is_some(),
+            "batch_norm requires the model to carry an interaction norm"
+        );
+        let n3 = model.omega().dense().len();
+        let kdim = model.config().n * model.config().dim;
+        self.kv_mode = true;
+        self.kv_entities = model.entities.num_items();
+        self.ent_row_len = model.entities.row_len();
+        self.rel_row_len = model.relations.row_len();
+        if self.epoch == u32::MAX {
+            for c in &mut self.blocked {
+                c.ent.reset();
+                c.rel.reset();
+            }
+            self.g_ent.reset();
+            self.g_rel.reset();
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+
+        let chunk = chunk_len(queries.len(), 1);
+        let nchunks = queries.len().div_ceil(chunk.max(1));
+        while self.blocked.len() < nchunks {
+            self.blocked.push(BlockedChunk::default());
+        }
+        self.g_ent.ensure(self.kv_entities);
+        self.g_rel.ensure(model.relations.num_items());
+        for c in &mut self.blocked[..nchunks] {
+            c.ent.ensure(model.entities.num_items());
+            c.rel.ensure(model.relations.num_items());
+        }
+        self.reg_queries = queries.len();
+        let threads = self.threads;
+
+        // F1 (parallel): masked-input raw contexts.
+        let span = timing.is_some().then(Instant::now);
+        {
+            let used = &mut self.blocked[..nchunks];
+            run_chunked_idx(queries, chunk, used, threads, |qs, c, base| {
+                run_kv_reg_input_chunk(model, qs, reg, base, c)
+            });
+        }
+
+        // S1 (sequential, chunk order): f64 batch moments → mean/var/istd.
+        if reg.batch_norm {
+            self.reg_sum.clear();
+            self.reg_sum.resize(kdim, 0.0);
+            self.reg_sumsq.clear();
+            self.reg_sumsq.resize(kdim, 0.0);
+            self.reg_mean.resize(kdim, 0.0);
+            self.reg_var.resize(kdim, 0.0);
+            self.reg_istd.resize(kdim, 0.0);
+            for c in &self.blocked[..nchunks] {
+                for g in 0..c.groups {
+                    accumulate_moments(
+                        &c.raw_ctxs[g * kdim..(g + 1) * kdim],
+                        &mut self.reg_sum,
+                        &mut self.reg_sumsq,
+                    );
+                }
+            }
+            let eps = model.interaction_norm().expect("asserted above").eps;
+            finalize_moments(
+                &self.reg_sum,
+                &self.reg_sumsq,
+                queries.len(),
+                eps,
+                &mut self.reg_mean,
+                &mut self.reg_var,
+                &mut self.reg_istd,
+            );
+        }
+
+        // F2 (parallel): normalize + context-dropout + score GEMM + softmax.
+        {
+            let bn = reg.batch_norm.then(|| {
+                let nrm = model.interaction_norm().expect("asserted above");
+                (&self.reg_mean[..], &self.reg_istd[..], &nrm.gamma[..], &nrm.beta[..])
+            });
+            let used = &mut self.blocked[..nchunks];
+            run_chunked_idx(queries, chunk, used, threads, |qs, c, base| {
+                run_kv_reg_forward_chunk(model, qs, targets, label_smooth, reg, base, bn, c)
+            });
+        }
+        if let (Some(t0), Some(ph)) = (span, timing.as_deref_mut()) {
+            ph.forward += t0.elapsed().as_secs_f64();
+        }
+
+        // B1 (parallel): residual-collapse GEMM + context-dropout backward.
+        let span = timing.is_some().then(Instant::now);
+        {
+            let used = &mut self.blocked[..nchunks];
+            run_chunked_idx(queries, chunk, used, threads, |qs, c, base| {
+                run_kv_reg_backward_gemm_chunk(model, qs, reg, base, c)
+            });
+        }
+
+        // S2 (sequential, chunk order): f64 γ/β gradient sums. Needs every
+        // query's ∂L/∂y before B2 overwrites `gctx` with ∂L/∂x in place.
+        if reg.batch_norm {
+            self.reg_gb64.clear();
+            self.reg_gb64.resize(kdim, 0.0);
+            self.reg_gg64.clear();
+            self.reg_gg64.resize(kdim, 0.0);
+            for c in &self.blocked[..nchunks] {
+                for g in 0..c.groups {
+                    let gy = &c.gctx[g * kdim..(g + 1) * kdim];
+                    let x = &c.raw_ctxs[g * kdim..(g + 1) * kdim];
+                    for f in 0..kdim {
+                        let xhat = f64::from((x[f] - self.reg_mean[f]) * self.reg_istd[f]);
+                        self.reg_gb64[f] += f64::from(gy[f]);
+                        self.reg_gg64[f] += f64::from(gy[f]) * xhat;
+                    }
+                }
+            }
+            self.reg_gbeta.resize(kdim, 0.0);
+            self.reg_ggamma.resize(kdim, 0.0);
+            self.reg_gbeta_q.resize(kdim, 0.0);
+            self.reg_ggamma_q.resize(kdim, 0.0);
+            let qf = queries.len() as f64;
+            for f in 0..kdim {
+                self.reg_gbeta[f] = self.reg_gb64[f] as f32;
+                self.reg_ggamma[f] = self.reg_gg64[f] as f32;
+                self.reg_gbeta_q[f] = (self.reg_gb64[f] / qf) as f32;
+                self.reg_ggamma_q[f] = (self.reg_gg64[f] / qf) as f32;
+            }
+        }
+
+        // B2 (parallel): batch-norm input gradient + sparse scatter.
+        let epoch = self.epoch;
+        {
+            let bn = reg.batch_norm.then(|| {
+                let nrm = model.interaction_norm().expect("asserted above");
+                (
+                    &self.reg_mean[..],
+                    &self.reg_istd[..],
+                    &nrm.gamma[..],
+                    &self.reg_gbeta_q[..],
+                    &self.reg_ggamma_q[..],
+                )
+            });
+            let used = &mut self.blocked[..nchunks];
+            run_chunked_idx(queries, chunk, used, threads, |qs, c, base| {
+                run_kv_reg_scatter_chunk(model, qs, l2_coef, reg, base, n3, epoch, bn, c)
+            });
+        }
+        self.scatter_kv_dense(nchunks);
+        if let (Some(t0), Some(ph)) = (span, timing.as_deref_mut()) {
+            ph.backward += t0.elapsed().as_secs_f64();
+        }
+
+        let span = timing.is_some().then(Instant::now);
+        self.merge_blocked(nchunks, n3);
+        self.fold_anchors_into_dense();
+        if let (Some(t0), Some(ph)) = (span, timing.as_mut()) {
+            ph.merge += t0.elapsed().as_secs_f64();
+        }
+        self.loss
+    }
+
+    /// The last regularized batch's batch-norm statistics: per-feature
+    /// mean, **biased** variance, and the query count `Q` they were
+    /// computed over. The trainer turns these into running-stat updates
+    /// (unbiasing the variance with `Q/(Q−1)`).
+    pub fn reg_batch_stats(&self) -> (&[f32], &[f32], usize) {
+        (&self.reg_mean, &self.reg_var, self.reg_queries)
+    }
+
+    /// The last regularized batch's summed γ and β gradients (in that
+    /// order), ready for the optimizer step on the norm parameters.
+    pub fn reg_norm_grads(&self) -> (&[f32], &[f32]) {
+        (&self.reg_ggamma, &self.reg_gbeta)
     }
 
     /// Pass B of the k-vs-all backward: the dense entity-table gradient

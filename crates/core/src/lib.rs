@@ -20,7 +20,14 @@
 //! * the paper's **training stack** (Eq. 15–16): logistic/softplus loss,
 //!   per-triple L2 regularization, uniform negative sampling, Adam, unit
 //!   L2-norm entity projection, early stopping on validation filtered MRR
-//!   ([`trainer`]);
+//!   ([`trainer`]); the k-vs-all regime additionally offers counter-RNG
+//!   dropout (context and input) and batch norm on the interaction
+//!   vectors ([`grads::KvRegConfig`], [`model::InteractionNorm`]);
+//! * the **block-term model family** (MEI, K×Ce×Cr): K independent
+//!   Tucker-style partitions realized as a support-restricted ω over the
+//!   generic grid, so every downstream consumer (eval, k-vs-all training,
+//!   serving, int8 screening) works unchanged
+//!   ([`model::MultiEmbedModel::block_term`], [`model::BlockTermShape`]);
 //! * **native cross-check implementations** and the §2.2 baselines — plain
 //!   DistMult/ComplEx/CP scoring straight from the algebra, TransE
 //!   (translation-based) and ER-MLP (neural-network-based) ([`baselines`]).
@@ -43,7 +50,7 @@ pub mod weights;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint, TrainCheckpoint};
 pub use embedding::EmbeddingTable;
-pub use grads::{compute_batch_grads, GradPath, GradWorkspace, KvQuery, RowKey};
-pub use model::{ModelConfig, MultiEmbedModel};
+pub use grads::{compute_batch_grads, GradPath, GradWorkspace, KvQuery, KvRegConfig, RowKey};
+pub use model::{BlockTermShape, InteractionNorm, ModelConfig, MultiEmbedModel};
 pub use trainer::{LossKind, LrDecayMode, SamplingStrategy, TrainConfig, TrainReport, Trainer};
 pub use weights::{WeightPreset, WeightRestriction, WeightVector};

@@ -2,6 +2,7 @@
 
 use mei_eval::{BlockQuery, Side, TripleScorer};
 use mei_kg::{EntityId, RelationId, Triple};
+use mei_math::block::{block_head_context, block_tail_context};
 use mei_math::init::Init;
 use mei_math::kernels::{dot_fast, gemm_nt, hadamard_axpy_fast, trilinear_fast};
 use mei_math::vecops::{dot, hadamard_axpy, trilinear};
@@ -27,6 +28,123 @@ impl ModelConfig {
     /// Total number of embedding parameters (`n_D` in Eq. 16).
     pub fn num_embedding_params(&self) -> usize {
         (self.num_entities + self.num_relations) * self.n * self.dim
+    }
+}
+
+/// Shape of a block-term (MEI K×Ce×Cr) interaction: `k` independent
+/// partitions, each contracting a `ce`-vector entity block against a
+/// `cr`-vector relation block through its own `Ce×Cr×Ce` core tensor.
+///
+/// On the unified grid this is an ω weight vector with `n = k·ce`,
+/// `n_rel = k·cr` whose support is restricted to the block-diagonal cells
+/// `(p·ce+a, p·ce+c, p·cr+b)`; a `k = 1` shape spans the *whole* grid and
+/// is therefore exactly the existing learned-ω trilinear model — the
+/// special case [`MultiEmbedModel::block_term`] canonicalizes away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockTermShape {
+    /// Number of independent partitions (`K`).
+    pub k: usize,
+    /// Entity embedding vectors per partition (`Ce`).
+    pub ce: usize,
+    /// Relation embedding vectors per partition (`Cr`).
+    pub cr: usize,
+}
+
+impl BlockTermShape {
+    /// Entity-side component count on the unified grid (`n = K·Ce`).
+    pub fn n(&self) -> usize {
+        self.k * self.ce
+    }
+
+    /// Relation-side component count (`n_rel = K·Cr`).
+    pub fn n_rel(&self) -> usize {
+        self.k * self.cr
+    }
+
+    /// Number of core-tensor parameters (`K·Ce²·Cr`) — the support size
+    /// of the induced ω.
+    pub fn num_core_params(&self) -> usize {
+        self.k * self.ce * self.ce * self.cr
+    }
+}
+
+/// Batch normalization over the interaction context vectors (the MEI/MEIM
+/// training-stack knob): per-feature affine `γ·x̂ + β` over the `n·dim`
+/// context features, with running statistics for eval mode.
+///
+/// Training mode (batch statistics, sequential f64 reduction) lives on the
+/// k-vs-all regularized path in `grads`; the model itself only carries the
+/// parameters and running statistics, and the public context builders
+/// always apply the **running-stat** (eval) transform when a norm is
+/// present — so evaluation, serving, and int8 screening see one consistent
+/// frozen transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionNorm {
+    /// Per-feature scale γ (learned).
+    pub gamma: Vec<f32>,
+    /// Per-feature shift β (learned).
+    pub beta: Vec<f32>,
+    /// Running mean, updated by the trainer each batch.
+    pub running_mean: Vec<f32>,
+    /// Running (unbiased) variance, updated by the trainer each batch.
+    pub running_var: Vec<f32>,
+    /// Running-stat update rate: `running ← (1−m)·running + m·batch`.
+    pub momentum: f32,
+    /// Variance floor added inside the square root.
+    pub eps: f32,
+}
+
+impl InteractionNorm {
+    /// Identity-initialized norm over `kdim = n·dim` features:
+    /// γ = 1, β = 0, running mean 0, running variance 1.
+    pub fn identity(kdim: usize, momentum: f32, eps: f32) -> Self {
+        Self {
+            gamma: vec![1.0; kdim],
+            beta: vec![0.0; kdim],
+            running_mean: vec![0.0; kdim],
+            running_var: vec![1.0; kdim],
+            momentum,
+            eps,
+        }
+    }
+
+    /// Number of context features this norm spans.
+    pub fn kdim(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Applies the eval-mode transform in place:
+    /// `x ← γ·(x − running_mean)/√(running_var + eps) + β`.
+    pub fn apply_running(&self, ctx: &mut [f32]) {
+        debug_assert_eq!(ctx.len(), self.gamma.len());
+        for (f, x) in ctx.iter_mut().enumerate() {
+            let istd = 1.0 / (self.running_var[f] + self.eps).sqrt();
+            *x = self.gamma[f] * ((*x - self.running_mean[f]) * istd) + self.beta[f];
+        }
+    }
+
+    /// Serializes the norm state as one flat array
+    /// `[γ | β | running_mean | running_var]` (4·kdim floats).
+    pub fn flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(4 * self.gamma.len());
+        out.extend_from_slice(&self.gamma);
+        out.extend_from_slice(&self.beta);
+        out.extend_from_slice(&self.running_mean);
+        out.extend_from_slice(&self.running_var);
+        out
+    }
+
+    /// Restores the state written by [`InteractionNorm::flat`].
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != 4·kdim`.
+    pub fn restore_flat(&mut self, flat: &[f32]) {
+        let kdim = self.gamma.len();
+        assert_eq!(flat.len(), 4 * kdim, "norm snapshot must hold 4·kdim floats");
+        self.gamma.copy_from_slice(&flat[..kdim]);
+        self.beta.copy_from_slice(&flat[kdim..2 * kdim]);
+        self.running_mean.copy_from_slice(&flat[2 * kdim..3 * kdim]);
+        self.running_var.copy_from_slice(&flat[3 * kdim..]);
     }
 }
 
@@ -103,6 +221,15 @@ pub struct MultiEmbedModel {
     trainable_omega: bool,
     /// Cached nonzero effective terms for the scoring loop.
     terms: Vec<(usize, usize, usize, f32)>,
+    /// `Some` for K>1 block-term models: restricts the ω support to the
+    /// block-diagonal cells and routes context building through the
+    /// packed-core kernels.
+    block_term: Option<BlockTermShape>,
+    /// Packed core tensors (support cells in `(p, a, c, b)` order),
+    /// refreshed from effective ω by [`MultiEmbedModel::refresh_omega`].
+    core_packed: Vec<f32>,
+    /// Optional batch norm over the interaction context vectors.
+    norm: Option<InteractionNorm>,
 }
 
 impl MultiEmbedModel {
@@ -126,6 +253,9 @@ impl MultiEmbedModel {
             restriction: WeightRestriction::None,
             trainable_omega: false,
             terms,
+            block_term: None,
+            core_packed: Vec::new(),
+            norm: None,
         }
     }
 
@@ -172,6 +302,100 @@ impl MultiEmbedModel {
             restriction,
             trainable_omega: true,
             terms: Vec::new(),
+            block_term: None,
+            core_packed: Vec::new(),
+            norm: None,
+        };
+        model.refresh_omega();
+        model
+    }
+
+    /// Builds a **block-term** (MEI K×Ce×Cr) model: `shape.k` independent
+    /// partitions, each a Tucker-style contraction of a `ce`-vector head
+    /// block, a `cr`-vector relation block, and a `ce`-vector tail block
+    /// through a learned `Ce×Cr×Ce` core tensor, summed over partitions.
+    ///
+    /// Internally this is the unified model with `n = k·ce`,
+    /// `n_rel = k·cr` and a trainable, unrestricted ω whose support is the
+    /// block-diagonal cells; off-support cells are zero-initialized,
+    /// receive no gradient, and stay exactly zero under Adam (zero
+    /// gradient ⇒ zero moments ⇒ zero update), so everything downstream —
+    /// scoring, `score_block`, k-vs-all training, serving, int8
+    /// screening — runs unchanged on the generic grid machinery.
+    ///
+    /// Core entries are initialized like [`with_learned_weights`] raw ω
+    /// (uniform in `±core_init_bound`, or exactly 1 when the bound is 0),
+    /// drawn in support order. A `k = 1` shape spans the full grid and is
+    /// canonicalized to a plain learned-ω model: with the same RNG it is
+    /// **bitwise identical** — same draw sequence, same parameters, same
+    /// serialized bytes — to
+    /// `with_learned_weights(cfg, WeightRestriction::None, bound, rng)`
+    /// on the matching cubic config (`block_term_parity.rs` asserts
+    /// this bytewise).
+    ///
+    /// [`with_learned_weights`]: MultiEmbedModel::with_learned_weights
+    ///
+    /// ```
+    /// use mei_core::model::BlockTermShape;
+    /// use mei_core::MultiEmbedModel;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let shape = BlockTermShape { k: 3, ce: 2, cr: 1 };
+    /// let m = MultiEmbedModel::block_term(10, 4, shape, 8, 0.5, &mut rng);
+    /// assert_eq!(m.config().n, 6);
+    /// assert_eq!(m.omega().n_rel(), 3);
+    /// // Only the K·Ce²·Cr support cells are live:
+    /// assert_eq!(m.raw_omega().dense().iter().filter(|w| **w != 0.0).count(), 12);
+    /// ```
+    pub fn block_term<R: Rng + ?Sized>(
+        num_entities: usize,
+        num_relations: usize,
+        shape: BlockTermShape,
+        dim: usize,
+        core_init_bound: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(shape.k >= 1 && shape.ce >= 1 && shape.cr >= 1, "block-term dims must be positive");
+        let n = shape.n();
+        let n_rel = shape.n_rel();
+        let cfg = ModelConfig { num_entities, num_relations, n, dim };
+        let mut raw = vec![0.0f32; n * n * n_rel];
+        // Support cells drawn in (p, a, c, b) order — the grid's i-major
+        // order restricted to the support, so for k = 1 (full grid) the
+        // draw sequence equals `with_learned_weights`' flat fill exactly.
+        for p in 0..shape.k {
+            for a in 0..shape.ce {
+                for c in 0..shape.ce {
+                    for b in 0..shape.cr {
+                        let idx = ((p * shape.ce + a) * n + (p * shape.ce + c)) * n_rel + (p * shape.cr + b);
+                        raw[idx] = if core_init_bound == 0.0 {
+                            1.0
+                        } else {
+                            rng.gen_range(-core_init_bound..=core_init_bound)
+                        };
+                    }
+                }
+            }
+        }
+        let init = Init::EmbeddingUniform { dim };
+        let entities = EmbeddingTable::init(num_entities, n, dim, init, rng);
+        let relations = EmbeddingTable::init(num_relations, n_rel, dim, init, rng);
+        let mut model = Self {
+            cfg,
+            entities,
+            relations,
+            raw_omega: WeightVector::with_dims(n, n_rel, raw),
+            effective_omega: WeightVector::with_dims(n, n_rel, vec![0.0; n * n * n_rel]),
+            restriction: WeightRestriction::None,
+            trainable_omega: true,
+            terms: Vec::new(),
+            // k = 1 spans the whole grid: canonicalize to the plain
+            // learned-ω model so the special case *is* the existing code
+            // path, not a parallel one.
+            block_term: (shape.k > 1).then_some(shape),
+            core_packed: Vec::new(),
+            norm: None,
         };
         model.refresh_omega();
         model
@@ -204,6 +428,9 @@ impl MultiEmbedModel {
             restriction,
             trainable_omega,
             terms: Vec::new(),
+            block_term: None,
+            core_packed: Vec::new(),
+            norm: None,
         };
         model.refresh_omega();
         model
@@ -239,6 +466,50 @@ impl MultiEmbedModel {
         self.restriction
     }
 
+    /// The block-term shape, if this is a K>1 block-term model (`None`
+    /// for plain models and for canonicalized full-grid `k = 1` shapes).
+    pub fn block_term_shape(&self) -> Option<BlockTermShape> {
+        self.block_term
+    }
+
+    /// Marks this model as block-term with `shape` (deserialization
+    /// support); call [`MultiEmbedModel::refresh_omega`] afterwards.
+    pub(crate) fn set_block_term(&mut self, shape: Option<BlockTermShape>) {
+        if let Some(s) = shape {
+            assert_eq!(s.n(), self.cfg.n, "block-term shape must match the model grid");
+            assert_eq!(s.n_rel(), self.effective_omega.n_rel());
+        }
+        self.block_term = shape;
+    }
+
+    /// The interaction batch norm, if enabled.
+    pub fn interaction_norm(&self) -> Option<&InteractionNorm> {
+        self.norm.as_ref()
+    }
+
+    /// Mutable access to the interaction batch norm (trainer use: running
+    /// stats and γ/β live here).
+    pub fn interaction_norm_mut(&mut self) -> Option<&mut InteractionNorm> {
+        self.norm.as_mut()
+    }
+
+    /// Enables identity-initialized batch norm over the interaction
+    /// context vectors. The public context builders (and everything built
+    /// on them: eval, `score_block`, serving) then apply the
+    /// **running-stat** transform; training-mode batch statistics are the
+    /// k-vs-all regularized path's job.
+    pub fn enable_interaction_norm(&mut self, momentum: f32, eps: f32) {
+        self.norm = Some(InteractionNorm::identity(self.cfg.n * self.cfg.dim, momentum, eps));
+    }
+
+    /// Replaces the interaction norm wholesale (deserialization support).
+    pub(crate) fn set_interaction_norm(&mut self, norm: Option<InteractionNorm>) {
+        if let Some(ref nrm) = norm {
+            assert_eq!(nrm.kdim(), self.cfg.n * self.cfg.dim, "norm span must match n·dim");
+        }
+        self.norm = norm;
+    }
+
     /// The cached scoring-term list `(i, j, k, ω_ijk)` — every grid cell
     /// when ω is trainable, only the nonzero cells otherwise.
     pub(crate) fn terms(&self) -> &[(usize, usize, usize, f32)] {
@@ -249,7 +520,30 @@ impl MultiEmbedModel {
     /// Must be called after every update to raw ω.
     pub fn refresh_omega(&mut self) {
         self.restriction.apply(self.raw_omega.dense(), self.effective_omega.dense_mut());
-        self.terms = if self.trainable_omega {
+        self.terms = if let Some(bt) = self.block_term {
+            // Block-term: only the support cells participate — in
+            // (p, a, c, b) order, i.e. the grid's i-major order restricted
+            // to the support, so off-support ω cells never receive
+            // gradient mass and stay exactly zero.
+            let n = self.cfg.n;
+            debug_assert_eq!(bt.n(), n);
+            let mut all = Vec::with_capacity(bt.num_core_params());
+            for p in 0..bt.k {
+                for a in 0..bt.ce {
+                    for c in 0..bt.ce {
+                        for b in 0..bt.cr {
+                            let (i, j, k) = (p * bt.ce + a, p * bt.ce + c, p * bt.cr + b);
+                            all.push((i, j, k, self.effective_omega.get(i, j, k)));
+                        }
+                    }
+                }
+            }
+            // Packed core for the block contraction kernels: the same
+            // support weights in the same order.
+            self.core_packed.clear();
+            self.core_packed.extend(all.iter().map(|t| t.3));
+            all
+        } else if self.trainable_omega {
             // All grid terms participate: zero weights still need
             // ω-gradients.
             let n = self.cfg.n;
@@ -268,10 +562,12 @@ impl MultiEmbedModel {
         };
     }
 
-    /// Total trainable parameter count (embeddings + raw ω when learned).
+    /// Total trainable parameter count (embeddings + raw ω when learned
+    /// + γ/β when interaction norm is enabled).
     pub fn num_params(&self) -> usize {
         self.num_embedding_params()
             + if self.trainable_omega { self.raw_omega.dense().len() } else { 0 }
+            + self.norm.as_ref().map_or(0, |nrm| 2 * nrm.kdim())
     }
 
     /// Total embedding parameter count (`n_D` of Eq. 16), respecting a
@@ -286,8 +582,15 @@ impl MultiEmbedModel {
         TripleGrads::with_dims(self.cfg.n, self.effective_omega.n_rel(), self.cfg.dim)
     }
 
-    /// Score of one triple (Eq. 8).
+    /// Score of one triple (Eq. 8). With interaction norm enabled the
+    /// score routes through the (normalized) tail context so it matches
+    /// the ranking paths exactly.
     pub fn score_triple(&self, t: Triple) -> f32 {
+        if self.norm.is_some() {
+            let mut ctx = vec![0.0f32; self.cfg.n * self.cfg.dim];
+            self.tail_context(t.head, t.relation, &mut ctx);
+            return dot_fast(&ctx, self.entities.row(t.tail.idx()));
+        }
         let h = self.entities.row(t.head.idx());
         let ta = self.entities.row(t.tail.idx());
         let r = self.relations.row(t.relation.idx());
@@ -309,6 +612,11 @@ impl MultiEmbedModel {
     /// `grads` is **not** cleared first, so a caller can fold several
     /// corruptions of the same triple into shared buffers.
     pub fn score_and_accumulate_grads(&self, t: Triple, coef: f32, grads: &mut TripleGrads) -> f32 {
+        assert!(
+            self.norm.is_none(),
+            "the per-triple gradient path does not support interaction batch norm; \
+             train with --sampling kvsall"
+        );
         let h = self.entities.row(t.head.idx());
         let ta = self.entities.row(t.tail.idx());
         let r = self.relations.row(t.relation.idx());
@@ -367,11 +675,42 @@ impl MultiEmbedModel {
     /// per candidate — the linear scaling §2.2.3 credits this model family
     /// with.
     pub fn tail_context(&self, head: EntityId, relation: RelationId, ctx: &mut [f32]) {
+        self.tail_context_from_rows(
+            self.entities.row(head.idx()),
+            self.relations.row(relation.idx()),
+            ctx,
+        );
+        if let Some(nrm) = &self.norm {
+            nrm.apply_running(ctx);
+        }
+    }
+
+    /// Head-side analogue: `u⁽ⁱ⁾ = Σ_{j,k} ω(i,j,k) · t⁽ʲ⁾ ⊙ r⁽ᵏ⁾`, so
+    /// `S(h', t, r) = dot(ctx, row(h'))`.
+    pub fn head_context(&self, tail: EntityId, relation: RelationId, ctx: &mut [f32]) {
+        self.head_context_from_rows(
+            self.entities.row(tail.idx()),
+            self.relations.row(relation.idx()),
+            ctx,
+        );
+        if let Some(nrm) = &self.norm {
+            nrm.apply_running(ctx);
+        }
+    }
+
+    /// Raw (pre-norm) tail context from explicit anchor/relation rows —
+    /// the regularized training path builds contexts from dropout-masked
+    /// rows through this. Block-term models take the packed-core kernel,
+    /// which performs the identical kernel-call sequence as the generic
+    /// term walk over the support cells (bit-identical by construction).
+    pub(crate) fn tail_context_from_rows(&self, h: &[f32], r: &[f32], ctx: &mut [f32]) {
         debug_assert_eq!(ctx.len(), self.cfg.n * self.cfg.dim);
         ctx.fill(0.0);
-        let h = self.entities.row(head.idx());
-        let r = self.relations.row(relation.idx());
         let d = self.cfg.dim;
+        if let Some(bt) = self.block_term {
+            block_tail_context(h, r, &self.core_packed, bt.k, bt.ce, bt.cr, d, ctx);
+            return;
+        }
         for &(i, j, k, w) in &self.terms {
             if w == 0.0 {
                 continue;
@@ -380,14 +719,15 @@ impl MultiEmbedModel {
         }
     }
 
-    /// Head-side analogue: `u⁽ⁱ⁾ = Σ_{j,k} ω(i,j,k) · t⁽ʲ⁾ ⊙ r⁽ᵏ⁾`, so
-    /// `S(h', t, r) = dot(ctx, row(h'))`.
-    pub fn head_context(&self, tail: EntityId, relation: RelationId, ctx: &mut [f32]) {
+    /// Raw (pre-norm) head context from explicit anchor/relation rows.
+    pub(crate) fn head_context_from_rows(&self, t: &[f32], r: &[f32], ctx: &mut [f32]) {
         debug_assert_eq!(ctx.len(), self.cfg.n * self.cfg.dim);
         ctx.fill(0.0);
-        let t = self.entities.row(tail.idx());
-        let r = self.relations.row(relation.idx());
         let d = self.cfg.dim;
+        if let Some(bt) = self.block_term {
+            block_head_context(t, r, &self.core_packed, bt.k, bt.ce, bt.cr, d, ctx);
+            return;
+        }
         for &(i, j, k, w) in &self.terms {
             if w == 0.0 {
                 continue;

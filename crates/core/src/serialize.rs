@@ -12,7 +12,12 @@
 //!   num_entities u32 | num_relations u32 | restriction u8 | trainable u8 |
 //!   raw ω (n_ent²·n_rel f32) |
 //!   zero pad to 64B (v4+) | entity table |
-//!   zero pad to 64B (v4+) | relation table
+//!   zero pad to 64B (v4+) | relation table |
+//!   extension (v5, only when present):
+//!     flags u8 |
+//!     [flags bit0] block-term shape: k u32 | ce u32 | cr u32 |
+//!     [flags bit1] interaction norm: momentum f32 | eps f32 |
+//!                  γ, β, running_mean, running_var (4·n·dim f32)
 //! ```
 //!
 //! The checksum covers every payload byte (padding included), so a
@@ -43,13 +48,18 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::embedding::EmbeddingTable;
 use crate::mmap::{MappedBytes, MMAP_SUPPORTED};
-use crate::model::{ModelConfig, MultiEmbedModel};
+use crate::model::{BlockTermShape, InteractionNorm, ModelConfig, MultiEmbedModel};
 use crate::weights::{WeightRestriction, WeightVector};
 
 const MAGIC: &[u8; 4] = b"MEIM";
-/// Current write version: version 4 added 64-byte table alignment for
-/// zero-copy mapped loads.
-const VERSION: u32 = 4;
+/// Highest read/write version: version 5 appends an optional extension
+/// (block-term shape, interaction-norm state) after the relation table.
+/// Models with neither extension keep writing version 4 bytes, so plain
+/// snapshots stay byte-for-byte stable across this format bump.
+const VERSION: u32 = 5;
+/// Version 4 added 64-byte table alignment for zero-copy mapped loads;
+/// still the write version for extension-free models.
+const V4_VERSION: u32 = 4;
 /// Version 3 added the payload checksum; unaligned, still readable.
 const V3_VERSION: u32 = 3;
 /// Last version without a checksum field; still readable.
@@ -61,6 +71,10 @@ const CHECKED_HEADER_LEN: usize = 16;
 /// Embedding tables start on multiples of this (v4+) — cache-line sized,
 /// and a multiple of every SIMD vector width the kernels use.
 const TABLE_ALIGN: usize = 64;
+/// v5 extension flag: the payload tail carries a block-term shape.
+const EXT_BLOCK_TERM: u8 = 1 << 0;
+/// v5 extension flag: the payload tail carries interaction-norm state.
+const EXT_INTERACTION_NORM: u8 = 1 << 1;
 
 /// Zero bytes needed to advance `file_off` to the next table boundary.
 fn pad_len(file_off: usize) -> usize {
@@ -187,16 +201,48 @@ fn payload_to_bytes(model: &MultiEmbedModel, aligned: bool) -> BytesMut {
         buf.put_slice(&ZEROS[..pad_len(CHECKED_HEADER_LEN + buf.len())]);
     }
     put_table(&mut buf, &model.relations);
+    let flags = extension_flags(model);
+    if flags != 0 {
+        buf.put_u8(flags);
+        if let Some(bt) = model.block_term_shape() {
+            buf.put_u32_le(bt.k as u32);
+            buf.put_u32_le(bt.ce as u32);
+            buf.put_u32_le(bt.cr as u32);
+        }
+        if let Some(nrm) = model.interaction_norm() {
+            buf.put_f32_le(nrm.momentum);
+            buf.put_f32_le(nrm.eps);
+            for v in nrm.flat() {
+                buf.put_f32_le(v);
+            }
+        }
+    }
     buf
 }
 
-/// Serializes a model to bytes (current format: version 4, checksummed,
-/// tables 64-byte aligned for mapped loading).
+/// Extension flag byte for the v5 payload tail — zero when the model needs
+/// no extension, in which case the file is written as plain version 4.
+fn extension_flags(model: &MultiEmbedModel) -> u8 {
+    let mut flags = 0u8;
+    if model.block_term_shape().is_some() {
+        flags |= EXT_BLOCK_TERM;
+    }
+    if model.interaction_norm().is_some() {
+        flags |= EXT_INTERACTION_NORM;
+    }
+    flags
+}
+
+/// Serializes a model to bytes (checksummed, tables 64-byte aligned for
+/// mapped loading). Plain models write version 4; models carrying a
+/// block-term shape or interaction-norm state write version 5, which
+/// appends those after the relation table without moving the tables.
 pub fn model_to_bytes(model: &MultiEmbedModel) -> Bytes {
     let payload = payload_to_bytes(model, true);
+    let version = if extension_flags(model) != 0 { VERSION } else { V4_VERSION };
     let mut buf = BytesMut::with_capacity(CHECKED_HEADER_LEN + payload.len());
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(version);
     buf.put_u64_le(fnv1a64(&payload));
     buf.put_slice(&payload);
     buf.freeze()
@@ -207,7 +253,8 @@ pub fn model_to_bytes(model: &MultiEmbedModel) -> Bytes {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelFileMeta {
     /// Format version (2 = legacy no-checksum, 3 = checksummed,
-    /// 4 = checksummed + aligned tables).
+    /// 4 = checksummed + aligned tables, 5 = v4 + block-term /
+    /// interaction-norm extension tail).
     pub version: u32,
     /// Embeddings per entity (`n`).
     pub n: usize,
@@ -238,7 +285,7 @@ fn take_header(buf: &mut Bytes) -> Result<(u32, Option<u64>), SerializeError> {
     let version = buf.get_u32_le();
     match version {
         LEGACY_VERSION => Ok((version, None)),
-        V3_VERSION | VERSION => {
+        V3_VERSION | V4_VERSION | VERSION => {
             if buf.remaining() < 8 {
                 return Err(SerializeError::Format("truncated header (missing checksum)".into()));
             }
@@ -320,7 +367,7 @@ pub fn model_from_bytes(mut buf: Bytes) -> Result<MultiEmbedModel, SerializeErro
     // v4 zero-pads each table to a 64-byte file offset; the pad width is
     // derived from how much of the payload has been consumed so far.
     let skip_table_pad = |buf: &mut Bytes| -> Result<(), SerializeError> {
-        if version < VERSION {
+        if version < V4_VERSION {
             return Ok(());
         }
         let consumed = payload_len - buf.remaining();
@@ -335,6 +382,11 @@ pub fn model_from_bytes(mut buf: Bytes) -> Result<MultiEmbedModel, SerializeErro
     let entities = get_table(&mut buf, num_entities, n, dim)?;
     skip_table_pad(&mut buf)?;
     let relations = get_table(&mut buf, num_relations, n_rel, dim)?;
+    let (shape, norm) = if version >= VERSION {
+        parse_extension_buf(&mut buf, n, n_rel, dim)?
+    } else {
+        (None, None)
+    };
 
     let cfg = ModelConfig { num_entities, num_relations, n, dim };
     let mut model = MultiEmbedModel::from_parts(
@@ -345,8 +397,60 @@ pub fn model_from_bytes(mut buf: Bytes) -> Result<MultiEmbedModel, SerializeErro
         restriction,
         trainable,
     );
+    model.set_block_term(shape);
+    model.set_interaction_norm(norm);
     model.refresh_omega();
     Ok(model)
+}
+
+/// Parses the v5 extension tail (flags byte onward) from an owned buffer.
+fn parse_extension_buf(
+    buf: &mut Bytes,
+    n: usize,
+    n_rel: usize,
+    dim: usize,
+) -> Result<(Option<BlockTermShape>, Option<InteractionNorm>), SerializeError> {
+    if buf.remaining() < 1 {
+        return Err(SerializeError::Format("truncated v5 extension flags".into()));
+    }
+    let flags = buf.get_u8();
+    if flags & !(EXT_BLOCK_TERM | EXT_INTERACTION_NORM) != 0 {
+        return Err(SerializeError::Format(format!("unknown extension flags {flags:#04x}")));
+    }
+    let mut shape = None;
+    if flags & EXT_BLOCK_TERM != 0 {
+        if buf.remaining() < 12 {
+            return Err(SerializeError::Format("truncated block-term extension".into()));
+        }
+        let k = buf.get_u32_le() as usize;
+        let ce = buf.get_u32_le() as usize;
+        let cr = buf.get_u32_le() as usize;
+        let bt = BlockTermShape { k, ce, cr };
+        if bt.n() != n || bt.n_rel() != n_rel {
+            return Err(SerializeError::Format(format!(
+                "block-term shape {k}×{ce}×{cr} does not match n={n}, n_rel={n_rel}"
+            )));
+        }
+        // K = 1 spans the whole grid; the in-memory canonical form is None.
+        shape = (k > 1).then_some(bt);
+    }
+    let mut norm = None;
+    if flags & EXT_INTERACTION_NORM != 0 {
+        let kdim = n * dim;
+        if buf.remaining() < 8 + 4 * 4 * kdim {
+            return Err(SerializeError::Format("truncated interaction-norm extension".into()));
+        }
+        let momentum = buf.get_f32_le();
+        let eps = buf.get_f32_le();
+        let mut flat = vec![0.0f32; 4 * kdim];
+        for v in &mut flat {
+            *v = buf.get_f32_le();
+        }
+        let mut nrm = InteractionNorm::identity(kdim, momentum, eps);
+        nrm.restore_flat(&flat);
+        norm = Some(nrm);
+    }
+    Ok((shape, norm))
 }
 
 /// Writes `bytes` to `path` atomically: the bytes land in a sibling temp
@@ -447,7 +551,7 @@ fn model_from_mapped(map: Arc<MappedBytes>) -> Result<MultiEmbedModel, Serialize
         // Pre-alignment formats: parse owned from the mapped bytes.
         return model_from_bytes(Bytes::from(bytes.to_vec()));
     }
-    if version != VERSION {
+    if version != V4_VERSION && version != VERSION {
         return Err(SerializeError::Format(format!(
             "unsupported version {version} (this build reads versions {LEGACY_VERSION} \
              through {VERSION})"
@@ -523,6 +627,17 @@ fn model_from_mapped(map: Arc<MappedBytes>) -> Result<MultiEmbedModel, Serialize
         Arc::clone(&map),
         CHECKED_HEADER_LEN + off,
     );
+    off += rel_bytes;
+
+    // The v5 extension sits after the relation table; it is a handful of
+    // scalars plus the norm state, so it is copied out owned — the big
+    // embedding tables above stay mapped.
+    let (shape, norm) = if version >= VERSION {
+        let mut tail = Bytes::from(payload[off..].to_vec());
+        parse_extension_buf(&mut tail, n, n_rel, dim)?
+    } else {
+        (None, None)
+    };
 
     let cfg = ModelConfig { num_entities, num_relations, n, dim };
     let mut model = MultiEmbedModel::from_parts(
@@ -533,6 +648,8 @@ fn model_from_mapped(map: Arc<MappedBytes>) -> Result<MultiEmbedModel, Serialize
         restriction,
         trainable,
     );
+    model.set_block_term(shape);
+    model.set_interaction_norm(norm);
     model.refresh_omega();
     Ok(model)
 }
@@ -669,7 +786,8 @@ mod tests {
         let m = model();
         let bytes = model_to_bytes(&m);
         let meta = peek_model_meta(bytes.clone()).unwrap();
-        assert_eq!(meta.version, VERSION);
+        // Extension-free models keep writing version 4 — byte stability.
+        assert_eq!(meta.version, V4_VERSION);
         assert_eq!(meta.n, 2);
         assert_eq!(meta.dim, 5);
         assert_eq!(meta.num_entities, 7);
@@ -823,6 +941,80 @@ mod tests {
         assert!(!loaded.entities.is_mapped());
         assert_eq!(loaded.entities.as_slice(), m.entities.as_slice());
         std::fs::remove_file(&path).ok();
+    }
+
+    fn block_term_model() -> MultiEmbedModel {
+        let mut rng = StdRng::seed_from_u64(11);
+        MultiEmbedModel::block_term(
+            9,
+            4,
+            crate::model::BlockTermShape { k: 3, ce: 2, cr: 1 },
+            5,
+            0.5,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn block_term_models_round_trip_as_v5() {
+        let mut m = block_term_model();
+        m.enable_interaction_norm(0.1, 1e-5);
+        // Perturb the norm state so the round trip proves real content.
+        {
+            let nrm = m.interaction_norm_mut().unwrap();
+            nrm.gamma[0] = 1.5;
+            nrm.running_mean[1] = -0.25;
+            nrm.running_var[2] = 2.0;
+        }
+        let bytes = model_to_bytes(&m);
+        let meta = peek_model_meta(bytes.clone()).unwrap();
+        assert_eq!(meta.version, VERSION);
+
+        let m2 = model_from_bytes(bytes).unwrap();
+        assert_eq!(m2.block_term_shape(), m.block_term_shape());
+        let (a, b) = (m.interaction_norm().unwrap(), m2.interaction_norm().unwrap());
+        assert_eq!(a.flat(), b.flat());
+        assert_eq!(a.momentum, b.momentum);
+        assert_eq!(a.eps, b.eps);
+        assert_eq!(m.entities.as_slice(), m2.entities.as_slice());
+        assert_eq!(m.omega().dense(), m2.omega().dense());
+    }
+
+    #[test]
+    fn v5_mapped_load_matches_owned_and_keeps_tables_mapped() {
+        let m = block_term_model();
+        let path = std::env::temp_dir().join(format!("mei_mapped_v5_{}.bin", std::process::id()));
+        save_model(&m, &path).unwrap();
+        let owned = load_model(&path).unwrap();
+        let mapped = load_model_mapped(&path).unwrap();
+        assert_eq!(owned.block_term_shape(), m.block_term_shape());
+        assert_eq!(mapped.block_term_shape(), m.block_term_shape());
+        assert_eq!(owned.entities.as_slice(), mapped.entities.as_slice());
+        assert_eq!(owned.omega().dense(), mapped.omega().dense());
+        assert_eq!(mapped.entities.is_mapped(), crate::mmap::MMAP_SUPPORTED);
+        for (h, t, r) in [(0u32, 1u32, 0u32), (8, 3, 3), (4, 4, 1)] {
+            assert_eq!(
+                owned.score_triple(Triple::new(h, t, r)),
+                mapped.score_triple(Triple::new(h, t, r))
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_v5_extension_is_rejected() {
+        let m = block_term_model();
+        let payload = payload_to_bytes(&m, true);
+        // Drop the last 4 bytes of the extension and re-checksum, so the
+        // failure exercises the structural extension check (not the hash).
+        let cut = &payload[..payload.len() - 4];
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(fnv1a64(cut));
+        buf.put_slice(cut);
+        let err = model_from_bytes(buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("block-term"), "{err}");
     }
 
     #[test]

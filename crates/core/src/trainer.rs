@@ -18,11 +18,11 @@ use mei_obs::{EpochRecord, EvalRecord, PhaseBreakdown, RunSummary, TrainObserver
 use mei_optim::OptimizerKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::checkpoint::{save_checkpoint, BestSnapshot, TrainCheckpoint};
 use crate::embedding::EmbeddingTable;
-use crate::grads::{GradPath, GradWorkspace, KvQuery, RowKey};
+use crate::grads::{GradPath, GradWorkspace, KvQuery, KvRegConfig, RowKey};
 use crate::loss::Label;
 use crate::model::MultiEmbedModel;
 use crate::regularizer::DirichletRegularizer;
@@ -122,7 +122,24 @@ pub struct TrainConfig {
     /// through checkpoints unchanged.
     pub lr_decay_mode: LrDecayMode,
     /// Optional Dirichlet sparsity regularizer on learned ω (Eq. 12).
+    /// Incompatible with block-term models (its gradient touches
+    /// off-support ω cells).
     pub dirichlet: Option<DirichletRegularizer>,
+    /// Dropout probability on the interaction context vectors (after
+    /// batch norm, before the score GEMM). `0.0` disables. Requires
+    /// [`SamplingStrategy::KvsAll`]; masks are counter-based, so runs
+    /// stay bit-identical across thread counts and checkpoint resumes.
+    pub dropout: f32,
+    /// Dropout probability on the anchor/relation embedding rows feeding
+    /// each context build. `0.0` disables. Requires
+    /// [`SamplingStrategy::KvsAll`].
+    pub input_dropout: f32,
+    /// Batch-normalize the interaction context vectors (ConvE-style
+    /// training regularization). Training uses batch statistics; eval and
+    /// serving apply the running statistics the trainer maintains on the
+    /// model's [`crate::model::InteractionNorm`] (enabled automatically
+    /// when absent). Requires [`SamplingStrategy::KvsAll`].
+    pub batch_norm: bool,
     /// RNG seed for shuffling and negative sampling.
     pub seed: u64,
     /// Print one progress line per validation check.
@@ -162,6 +179,9 @@ impl Default for TrainConfig {
             lr_decay: 1.0,
             lr_decay_mode: LrDecayMode::Checkpoint,
             dirichlet: None,
+            dropout: 0.0,
+            input_dropout: 0.0,
+            batch_norm: false,
             seed: 0,
             verbose: false,
             checkpoint_every: 0,
@@ -192,6 +212,10 @@ struct Snapshot {
     entities: EmbeddingTable,
     relations: EmbeddingTable,
     raw_omega: WeightVector,
+    /// Interaction-norm state (`[γ|β|mean|var]`) when the model carries
+    /// one — running stats are state, not derived values, so the best
+    /// model is only reproducible with them.
+    norm: Option<Vec<f32>>,
 }
 
 /// Mid-run state reconstructed from a [`TrainCheckpoint`] — everything
@@ -279,7 +303,19 @@ impl Trainer {
         let cp_model = &checkpoint.model;
         let omega_params =
             if cp_model.trainable_omega() { cp_model.raw_omega().dense().len() } else { 0 };
-        let expected = cp_model.entities.len() + cp_model.relations.len() + omega_params;
+        if self.config.batch_norm && cp_model.interaction_norm().is_none() {
+            return Err(SerializeError::Format(
+                "config asks for batch_norm but the checkpoint model carries no interaction norm"
+                    .to_owned(),
+            ));
+        }
+        let norm_params = if self.config.batch_norm {
+            cp_model.interaction_norm().map_or(0, |nrm| 2 * nrm.kdim())
+        } else {
+            0
+        };
+        let expected =
+            cp_model.entities.len() + cp_model.relations.len() + omega_params + norm_params;
         if checkpoint.optimizer.len != expected {
             return Err(SerializeError::Format(format!(
                 "checkpoint optimizer covers {} parameters but the model has {}",
@@ -307,6 +343,7 @@ impl Trainer {
                 entities,
                 relations,
                 raw_omega: WeightVector::with_dims(cfg_model.n, n_rel, b.raw_omega.clone()),
+                norm: b.norm.clone(),
             }
         });
 
@@ -342,6 +379,31 @@ impl Trainer {
 
         let n_d = model.num_embedding_params() as f32;
         let l2_coef = 2.0 * cfg.l2_lambda / n_d;
+
+        // Training-stack regularizers (dropout / batch norm) run on the
+        // k-vs-all path only; validate the knobs before any state moves.
+        assert!(
+            (0.0..1.0).contains(&cfg.dropout) && (0.0..1.0).contains(&cfg.input_dropout),
+            "dropout probabilities must lie in [0, 1)"
+        );
+        let reg_active = cfg.dropout > 0.0 || cfg.input_dropout > 0.0 || cfg.batch_norm;
+        assert!(
+            !reg_active || cfg.sampling == SamplingStrategy::KvsAll,
+            "dropout/batch_norm regularizers require SamplingStrategy::KvsAll"
+        );
+        assert!(
+            cfg.dirichlet.is_none() || model.block_term_shape().is_none(),
+            "the Dirichlet ω regularizer is incompatible with block-term models: its gradient \
+             would touch off-support ω cells"
+        );
+        if cfg.batch_norm && model.interaction_norm().is_none() {
+            model.enable_interaction_norm(0.1, 1e-5);
+        }
+        let norm_params = if cfg.batch_norm {
+            2 * model.interaction_norm().expect("enabled above").kdim()
+        } else {
+            0
+        };
 
         let uniform = NegativeSampler::new(model.config().num_entities, CorruptionSide::Both);
         let bernoulli = (cfg.sampling == SamplingStrategy::Bernoulli).then(|| {
@@ -379,8 +441,9 @@ impl Trainer {
         match resume {
             None => {
                 start_epoch = 0;
-                optimizer =
-                    cfg.optimizer.build(ent_params + rel_params + omega_params, cfg.learning_rate);
+                optimizer = cfg
+                    .optimizer
+                    .build(ent_params + rel_params + omega_params + norm_params, cfg.learning_rate);
                 rng = StdRng::seed_from_u64(cfg.seed);
                 order = (0..dataset.train.len()).collect();
                 report = TrainReport {
@@ -421,6 +484,8 @@ impl Trainer {
         // choice never shows up in metrics or parameters.
         let mut workspace = GradWorkspace::with_threads(cfg.grad_path, cfg.threads);
         let mut grad_raw_scratch = vec![0.0f32; omega_params];
+        let mut norm_param_scratch = vec![0.0f32; norm_params];
+        let mut norm_grad_scratch = vec![0.0f32; norm_params];
 
         for epoch in (start_epoch + 1)..=cfg.max_epochs {
             let epoch_started = Instant::now();
@@ -461,14 +526,36 @@ impl Trainer {
                     // "forward" covers the context build + the score GEMM +
                     // the softmax; "backward" the two GEMM-shaped gradient
                     // passes; "merge" the deterministic cross-chunk combine.
-                    let loss = workspace.compute_kvsall(
-                        model,
-                        &queries,
-                        targets,
-                        l2_coef,
-                        label_smooth,
-                        observing.then_some(&mut phases),
-                    );
+                    // Regularized batches draw exactly one RNG word (the
+                    // batch mask seed); plain batches draw none — each
+                    // regime's stream stays in lockstep with its own
+                    // checkpoints.
+                    let loss = if reg_active {
+                        let reg = KvRegConfig {
+                            dropout: cfg.dropout,
+                            input_dropout: cfg.input_dropout,
+                            batch_norm: cfg.batch_norm,
+                            mask_seed: rng.next_u64(),
+                        };
+                        workspace.compute_kvsall_reg(
+                            model,
+                            &queries,
+                            targets,
+                            l2_coef,
+                            label_smooth,
+                            &reg,
+                            observing.then_some(&mut phases),
+                        )
+                    } else {
+                        workspace.compute_kvsall(
+                            model,
+                            &queries,
+                            targets,
+                            l2_coef,
+                            label_smooth,
+                            observing.then_some(&mut phases),
+                        )
+                    };
                     epoch_examples += queries.len();
                     loss
                 } else {
@@ -544,6 +631,38 @@ impl Trainer {
                         ent_params,
                         workspace.threads(),
                     );
+                    if cfg.batch_norm {
+                        // γ/β live after the embeddings and ω in the flat
+                        // optimizer parameter space, packed [γ|β]. Same
+                        // borrow dance as the ω step: update a scratch
+                        // copy, then write back.
+                        let kdim = norm_params / 2;
+                        let (ggamma, gbeta) = workspace.reg_norm_grads();
+                        norm_grad_scratch[..kdim].copy_from_slice(ggamma);
+                        norm_grad_scratch[kdim..].copy_from_slice(gbeta);
+                        {
+                            let nrm = model.interaction_norm().expect("enabled above");
+                            norm_param_scratch[..kdim].copy_from_slice(&nrm.gamma);
+                            norm_param_scratch[kdim..].copy_from_slice(&nrm.beta);
+                        }
+                        let offset = ent_params + rel_params + omega_params;
+                        optimizer.update(offset, &mut norm_param_scratch, &norm_grad_scratch);
+                        let (mean, var, q) = workspace.reg_batch_stats();
+                        let nrm = model.interaction_norm_mut().expect("enabled above");
+                        nrm.gamma.copy_from_slice(&norm_param_scratch[..kdim]);
+                        nrm.beta.copy_from_slice(&norm_param_scratch[kdim..]);
+                        // Running stats track the batch statistics with
+                        // momentum; the variance is unbiased (×Q/(Q−1))
+                        // before it enters the running estimate, matching
+                        // standard batch-norm eval semantics.
+                        let m = nrm.momentum;
+                        let unbias = if q > 1 { q as f32 / (q as f32 - 1.0) } else { 1.0 };
+                        for f in 0..kdim {
+                            nrm.running_mean[f] = (1.0 - m) * nrm.running_mean[f] + m * mean[f];
+                            nrm.running_var[f] =
+                                (1.0 - m) * nrm.running_var[f] + m * (var[f] * unbias);
+                        }
+                    }
                 } else {
                     match cfg.grad_path {
                         // The blocked path takes the fused step+project
@@ -675,6 +794,7 @@ impl Trainer {
                         entities: model.entities.clone(),
                         relations: model.relations.clone(),
                         raw_omega: model.raw_omega().clone(),
+                        norm: model.interaction_norm().map(|nrm| nrm.flat()),
                     });
                 } else {
                     evals_since_improvement += 1;
@@ -732,6 +852,7 @@ impl Trainer {
                             entities: s.entities.as_slice().to_vec(),
                             relations: s.relations.as_slice().to_vec(),
                             raw_omega: s.raw_omega.dense().to_vec(),
+                            norm: s.norm.clone(),
                         }),
                     };
                     // A failed checkpoint write must not kill hours of
@@ -755,6 +876,12 @@ impl Trainer {
             model.entities = snap.entities;
             model.relations = snap.relations;
             *model.raw_omega_mut() = snap.raw_omega;
+            if let Some(flat) = &snap.norm {
+                model
+                    .interaction_norm_mut()
+                    .expect("snapshot carries norm state, so the model carries a norm")
+                    .restore_flat(flat);
+            }
             model.refresh_omega();
         }
         if let Some(obs) = observer {
@@ -812,6 +939,9 @@ mod tests {
             lr_decay: 1.0,
             lr_decay_mode: LrDecayMode::Checkpoint,
             dirichlet: None,
+            dropout: 0.0,
+            input_dropout: 0.0,
+            batch_norm: false,
             seed: 7,
             verbose: false,
             checkpoint_every: 0,
@@ -1051,6 +1181,78 @@ mod tests {
         let last = report.loss_history.last().unwrap().1;
         assert!(last < first, "kvsall loss did not drop: {first} → {last}");
         assert!(report.best_valid_mrr > 0.5, "valid MRR {}", report.best_valid_mrr);
+    }
+
+    #[test]
+    fn regularized_kvsall_training_learns_the_ring() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            16,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = kvsall_config();
+        cfg.dropout = 0.1;
+        cfg.input_dropout = 0.1;
+        cfg.batch_norm = true;
+        let report = Trainer::new(cfg).train(&mut model, &ds, &filter);
+        let first = report.loss_history.first().unwrap().1;
+        let last = report.loss_history.last().unwrap().1;
+        assert!(last < first, "regularized kvsall loss did not drop: {first} → {last}");
+        assert!(report.best_valid_mrr > 0.4, "valid MRR {}", report.best_valid_mrr);
+        // Training touched the norm: running stats moved off the identity
+        // init and γ/β took optimizer steps.
+        let nrm = model.interaction_norm().expect("batch_norm enables the norm");
+        assert!(nrm.running_mean.iter().any(|&v| v != 0.0), "running mean never updated");
+        assert!(nrm.gamma.iter().any(|&v| v != 1.0), "γ never stepped");
+    }
+
+    #[test]
+    fn regularized_training_is_thread_count_invariant() {
+        let ds = ring_dataset();
+        let filter = ds.filter_store();
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(59);
+            let mut model = MultiEmbedModel::from_preset(
+                WeightPreset::ComplEx,
+                ds.num_entities(),
+                ds.num_relations(),
+                8,
+                &mut rng,
+            );
+            let mut cfg = kvsall_config();
+            cfg.max_epochs = 4;
+            cfg.eval_every = 100;
+            cfg.dropout = 0.2;
+            cfg.input_dropout = 0.1;
+            cfg.batch_norm = true;
+            cfg.threads = threads;
+            Trainer::new(cfg).train(&mut model, &ds, &filter);
+            model.entities.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4), "regularized training diverged across thread counts");
+    }
+
+    #[test]
+    #[should_panic(expected = "require SamplingStrategy::KvsAll")]
+    fn reg_knobs_reject_sampled_training() {
+        let ds = ring_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = MultiEmbedModel::from_preset(
+            WeightPreset::ComplEx,
+            ds.num_entities(),
+            ds.num_relations(),
+            4,
+            &mut rng,
+        );
+        let filter = ds.filter_store();
+        let mut cfg = quick_config();
+        cfg.dropout = 0.2; // sampling left Uniform
+        Trainer::new(cfg).train(&mut model, &ds, &filter);
     }
 
     #[test]

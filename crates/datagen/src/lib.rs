@@ -13,7 +13,9 @@
 //!   order, capping its test metrics;
 //! * **many-to-one attribute relations** for cardinality variety.
 //!
-//! [`synthwn`] builds the WordNet-like benchmark, [`recsys`] the
+//! [`synthwn`] builds the WordNet-like benchmark, [`synthfb`] the
+//! Freebase-like one, [`synthrr`] their leakage-free WN18RR/FB15k-237
+//! counterparts (the block-term training grounds), [`recsys`] the
 //! recommender-system KG from the paper's introduction, and [`random`] a
 //! structure-free control graph.
 
@@ -23,9 +25,11 @@ pub mod random;
 pub mod recsys;
 pub mod split;
 pub mod synthfb;
+pub mod synthrr;
 pub mod synthwn;
 
 pub use recsys::{RecsysConfig, RecsysKg};
 pub use split::split_dataset;
 pub use synthfb::SynthFbConfig;
+pub use synthrr::{SynthFb237Config, SynthWnRrConfig};
 pub use synthwn::{SynthWnConfig, SynthWnScale};

@@ -1,0 +1,321 @@
+//! Leakage-free benchmarks: SynthWN-RR and SynthFB-237.
+//!
+//! WN18RR (Dettmers et al.) and FB15k-237 (Toutanova & Chen) are the
+//! "repaired" versions of the classic benchmarks: the inverse and
+//! near-duplicate relations whose test→train leakage let trivial rules
+//! reach MRR ≈ 0.94 were removed, so models must learn actual structure.
+//! These generators synthesize graphs with that shape — they are the
+//! intended training grounds for the block-term MEI family, whose
+//! regularized k-vs-all regime (dropout + batch norm) was designed for
+//! exactly these harder, sparser benchmarks:
+//!
+//! * [`SynthWnRrConfig`] — a WordNet-like hierarchy kept **one direction
+//!   per relation**: `_hypernym` edges point child→parent only and no
+//!   `_hyponym` inverse exists; symmetric lexical relations store one
+//!   canonical direction per unordered pair. Sparse (triples ≈ 2× the
+//!   entity count) and multi-relational, like the real WN18RR.
+//! * [`SynthFb237Config`] — the typed-domain Freebase shape of
+//!   [`crate::synthfb`] with reciprocal twins off **and** the FB15k-237
+//!   construction rule applied: any valid/test triple whose unordered
+//!   entity pair also appears in train is dropped, so no test query can
+//!   be answered by copying a training edge in either direction.
+
+use std::collections::HashSet;
+
+use mei_kg::{Dataset, Dictionary, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::split::split_dataset;
+use crate::synthfb::SynthFbConfig;
+
+/// The fixed relation inventory of SynthWN-RR, mirroring WN18RR's mix of
+/// hierarchical (antisymmetric, tree-shaped) and lexical (symmetric)
+/// relations. Order is the relation-id order of the generated dataset.
+const WNRR_RELATIONS: [&str; 7] = [
+    "_hypernym",
+    "_member_meronym",
+    "_has_part",
+    "_instance_hypernym",
+    "_derivationally_related_form",
+    "_similar_to",
+    "_verb_group",
+];
+
+/// Configuration of the SynthWN-RR generator.
+///
+/// # Example
+///
+/// The generated graph is sparse, multi-relational, and free of inverse
+/// leakage by construction:
+///
+/// ```
+/// use mei_datagen::SynthWnRrConfig;
+///
+/// let ds = SynthWnRrConfig { num_entities: 300, num_triples: 700, ..Default::default() }
+///     .generate();
+/// ds.validate().unwrap();
+/// assert_eq!(ds.num_relations(), 7);
+/// // No test triple has its reversal in train under any relation.
+/// assert_eq!(ds.test_inverse_leakage(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthWnRrConfig {
+    /// Number of entities ("synsets").
+    pub num_entities: usize,
+    /// Total triples to draw (before dedup and the one-direction filter).
+    pub num_triples: usize,
+    /// Validation fraction.
+    pub valid_fraction: f64,
+    /// Test fraction.
+    pub test_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthWnRrConfig {
+    fn default() -> Self {
+        Self {
+            num_entities: 2000,
+            num_triples: 4500,
+            valid_fraction: 0.05,
+            test_fraction: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+impl SynthWnRrConfig {
+    /// Generates the dataset.
+    ///
+    /// Hierarchical relations are drawn from independent random forests
+    /// (entity `e` links to a parent drawn among earlier entities, giving
+    /// the long-tailed in-degree of real taxonomies); symmetric lexical
+    /// relations sample unordered pairs. Every edge is stored in exactly
+    /// one direction and no unordered entity pair carries edges in both
+    /// directions — the WN18RR property that kills inverse-rule shortcuts.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.num_entities >= 8, "need at least 8 entities");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let ne = self.num_entities;
+
+        // One direction per unordered pair, across *all* relations: a pair
+        // that already carries an edge never takes the reverse direction.
+        let mut used_pairs: HashSet<(u32, u32)> = HashSet::new();
+        let mut pool: Vec<Triple> = Vec::with_capacity(self.num_triples);
+        let push = |pool: &mut Vec<Triple>,
+                        used: &mut HashSet<(u32, u32)>,
+                        h: u32,
+                        t: u32,
+                        r: u32| {
+            if h == t {
+                return;
+            }
+            let key = (h.min(t), h.max(t));
+            if used.insert(key) {
+                pool.push(Triple::new(h, t, r));
+            }
+        };
+
+        // Relation mass: mostly hypernym (as in WN18RR, where _hypernym is
+        // ~40% of the graph), the rest split across the inventory.
+        let masses = [0.40, 0.12, 0.10, 0.05, 0.22, 0.06, 0.05];
+        // Per-relation shuffled id maps decorrelate the forests: each
+        // hierarchical relation is a tree over its own permutation of the
+        // entities, so the relations are structurally independent.
+        let perms: Vec<Vec<u32>> = (0..4)
+            .map(|_| {
+                let mut p: Vec<u32> = (0..ne as u32).collect();
+                // Fisher–Yates with the shared RNG keeps generation
+                // deterministic under the seed.
+                for i in (1..p.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    p.swap(i, j);
+                }
+                p
+            })
+            .collect();
+
+        for (r, mass) in masses.iter().enumerate() {
+            let count = (self.num_triples as f64 * mass).round() as usize;
+            if r < 4 {
+                // Hierarchical: child → parent in the relation's own
+                // permutation; parents are drawn among earlier entities,
+                // so each forest is acyclic and in-degree is long-tailed.
+                let perm = &perms[r];
+                for _ in 0..count {
+                    let c = rng.gen_range(1..ne);
+                    let p = rng.gen_range(0..c);
+                    push(&mut pool, &mut used_pairs, perm[c], perm[p], r as u32);
+                }
+            } else {
+                // Symmetric lexical: one canonical direction per pair.
+                for _ in 0..count {
+                    let a = rng.gen_range(0..ne as u32);
+                    let b = rng.gen_range(0..ne as u32);
+                    push(&mut pool, &mut used_pairs, a, b, r as u32);
+                }
+            }
+        }
+
+        let entities = Dictionary::from_names((0..ne).map(|i| format!("synset_{i:05}")));
+        let relations = Dictionary::from_names(WNRR_RELATIONS);
+        split_dataset(&mut rng, entities, relations, pool, self.valid_fraction, self.test_fraction)
+    }
+}
+
+/// Configuration of the SynthFB-237 generator.
+///
+/// # Example
+///
+/// ```
+/// use mei_datagen::SynthFb237Config;
+///
+/// let ds = SynthFb237Config::small_test().generate();
+/// ds.validate().unwrap();
+/// // The FB15k-237 rule: no eval triple shares an entity pair (in either
+/// // direction) with any training triple.
+/// assert_eq!(ds.test_inverse_leakage(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthFb237Config {
+    /// The underlying typed-domain Freebase shape. `reciprocal_fraction`
+    /// is forced to `0.0` — FB15k-237 removed the reciprocal relations.
+    pub base: SynthFbConfig,
+}
+
+impl Default for SynthFb237Config {
+    fn default() -> Self {
+        Self { base: SynthFbConfig { reciprocal_fraction: 0.0, ..SynthFbConfig::default() } }
+    }
+}
+
+impl SynthFb237Config {
+    /// A small configuration for tests and doctests.
+    pub fn small_test() -> Self {
+        Self {
+            base: SynthFbConfig {
+                num_entities: 300,
+                num_domains: 4,
+                num_relations: 12,
+                num_triples: 4000,
+                reciprocal_fraction: 0.0,
+                ..SynthFbConfig::default()
+            },
+        }
+    }
+
+    /// Generates the dataset: the typed-domain generator with reciprocal
+    /// twins disabled, followed by the FB15k-237 filtering rule — every
+    /// valid/test triple whose unordered entity pair occurs in train (any
+    /// relation, either direction) is dropped.
+    pub fn generate(&self) -> Dataset {
+        let mut cfg = self.base.clone();
+        cfg.reciprocal_fraction = 0.0;
+        let mut ds = cfg.generate();
+        let train_pairs: HashSet<(u32, u32)> = ds
+            .train
+            .iter()
+            .map(|t| (t.head.0.min(t.tail.0), t.head.0.max(t.tail.0)))
+            .collect();
+        let keep = |t: &Triple| {
+            !train_pairs.contains(&(t.head.0.min(t.tail.0), t.head.0.max(t.tail.0)))
+        };
+        ds.valid.retain(keep);
+        ds.test.retain(keep);
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mei_kg::analysis::detect_inverse_pairs;
+
+    fn small_wn() -> SynthWnRrConfig {
+        SynthWnRrConfig { num_entities: 400, num_triples: 900, ..SynthWnRrConfig::default() }
+    }
+
+    #[test]
+    fn wnrr_generates_valid_sparse_multirelational_dataset() {
+        let ds = small_wn().generate();
+        ds.validate().unwrap();
+        assert_eq!(ds.num_relations(), 7);
+        let used: HashSet<u32> = ds.train.iter().map(|t| t.relation.0).collect();
+        assert!(used.len() >= 6, "expected most relations populated, got {}", used.len());
+        // Sparse: well under entity² density.
+        let total = ds.train.len() + ds.valid.len() + ds.test.len();
+        assert!(total < ds.num_entities() * 4, "graph too dense: {total}");
+    }
+
+    #[test]
+    fn wnrr_has_no_inverse_leakage_or_detectable_inverse_pairs() {
+        let ds = small_wn().generate();
+        assert_eq!(ds.test_inverse_leakage(), 0.0);
+        let all: Vec<Triple> = ds.train.iter().chain(&ds.valid).chain(&ds.test).copied().collect();
+        assert!(
+            detect_inverse_pairs(&all, ds.num_relations(), 0.5).is_empty(),
+            "no relation pair should look inverse"
+        );
+    }
+
+    #[test]
+    fn wnrr_stores_one_direction_per_pair() {
+        let ds = small_wn().generate();
+        let mut pairs = HashSet::new();
+        for t in ds.train.iter().chain(&ds.valid).chain(&ds.test) {
+            assert!(
+                pairs.insert((t.head.0.min(t.tail.0), t.head.0.max(t.tail.0))),
+                "unordered pair ({}, {}) appears twice",
+                t.head.0,
+                t.tail.0
+            );
+        }
+    }
+
+    #[test]
+    fn wnrr_hierarchies_are_acyclic() {
+        // Within each hierarchical relation, edges must point strictly
+        // "up" its permutation — spot-check via topological consistency:
+        // no pair (a→b) and (b→a) exists even across relations (already
+        // covered), and self-loops never occur.
+        let ds = small_wn().generate();
+        for t in &ds.train {
+            assert_ne!(t.head, t.tail, "self-loop {t}");
+        }
+    }
+
+    #[test]
+    fn wnrr_deterministic_under_seed() {
+        let a = small_wn().generate();
+        let b = small_wn().generate();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn fb237_filter_removes_all_pair_leakage() {
+        let ds = SynthFb237Config::small_test().generate();
+        ds.validate().unwrap();
+        assert_eq!(ds.test_inverse_leakage(), 0.0);
+        let train_pairs: HashSet<(u32, u32)> = ds
+            .train
+            .iter()
+            .map(|t| (t.head.0.min(t.tail.0), t.head.0.max(t.tail.0)))
+            .collect();
+        for t in ds.valid.iter().chain(&ds.test) {
+            assert!(
+                !train_pairs.contains(&(t.head.0.min(t.tail.0), t.head.0.max(t.tail.0))),
+                "eval triple {t} shares a pair with train"
+            );
+        }
+    }
+
+    #[test]
+    fn fb237_forces_reciprocals_off() {
+        let mut cfg = SynthFb237Config::small_test();
+        cfg.base.reciprocal_fraction = 1.0; // ignored by generate()
+        let ds = cfg.generate();
+        assert_eq!(ds.test_inverse_leakage(), 0.0);
+    }
+}

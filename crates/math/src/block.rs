@@ -1,0 +1,232 @@
+//! Block-term (Tucker) contraction kernels for the MEI K×Ce×Cr family.
+//!
+//! A block-term model splits an entity row into `K` partitions of `Ce`
+//! embedding vectors and a relation row into `K` partitions of `Cr`
+//! vectors; partition `p` contracts its head, relation, and tail blocks
+//! through a `Ce×Cr×Ce` core tensor `G_p`, and the score is the sum over
+//! partitions:
+//!
+//! `S(h, t, r) = Σ_p Σ_{a,b,c} G_p[a,b,c] · ⟨h⁽ᵖ·ᶜᵉ⁺ᵃ⁾, t⁽ᵖ·ᶜᵉ⁺ᶜ⁾, r⁽ᵖ·ᶜʳ⁺ᵇ⁾⟩`
+//!
+//! On the unified `n³` grid this is exactly an ω weight vector whose
+//! support is restricted to the K block-diagonal cells, so these kernels
+//! are *walk-order replicas* of the generic ω term walk: each function
+//! performs the identical sequence of [`hadamard_axpy_fast`] /
+//! [`trilinear_fast`] calls (same operands, same order, same zero-skip)
+//! that the generic walk performs over the support cells. That makes the
+//! block path bit-identical to the ω path by construction — the property
+//! `mei-core`'s `block_term_parity` suite asserts bytewise.
+//!
+//! The packed core layout is `core[((p·Ce + a)·Ce + c)·Cr + b]` — the
+//! support cells enumerated in `(p, a, c, b)` order, which is the grid's
+//! `i`-major `(i, j, k)` order restricted to the support.
+
+use crate::kernels::{hadamard_axpy_fast, trilinear_fast};
+
+/// Index into the packed core tensor: `(p, a, c, b) → flat`.
+#[inline]
+pub fn core_index(ce: usize, cr: usize, p: usize, a: usize, c: usize, b: usize) -> usize {
+    ((p * ce + a) * ce + c) * cr + b
+}
+
+/// Tail-side interaction context for a block-term model:
+/// `ctx⁽ᵖ·ᶜᵉ⁺ᶜ⁾ += G_p[a,b,c] · h⁽ᵖ·ᶜᵉ⁺ᵃ⁾ ⊙ r⁽ᵖ·ᶜʳ⁺ᵇ⁾`, summed over
+/// `(p, a, b)`. `ctx` must be zeroed (or hold a partial sum) on entry;
+/// zero-weight core cells are skipped exactly like the generic ω walk.
+///
+/// `head` has `k·ce·dim` floats, `rel` has `k·cr·dim`, `ctx` `k·ce·dim`.
+///
+/// ```
+/// // One partition, Ce = Cr = 1, core = [2.0]: ctx = 2·h⊙r.
+/// let (h, r) = ([1.0f32, -3.0], [0.5f32, 2.0]);
+/// let mut ctx = [0.0f32; 2];
+/// mei_math::block::block_tail_context(&h, &r, &[2.0], 1, 1, 1, 2, &mut ctx);
+/// assert_eq!(ctx, [1.0, -12.0]);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn block_tail_context(
+    head: &[f32],
+    rel: &[f32],
+    core: &[f32],
+    k: usize,
+    ce: usize,
+    cr: usize,
+    dim: usize,
+    ctx: &mut [f32],
+) {
+    debug_assert_eq!(head.len(), k * ce * dim);
+    debug_assert_eq!(rel.len(), k * cr * dim);
+    debug_assert_eq!(core.len(), k * ce * ce * cr);
+    debug_assert_eq!(ctx.len(), k * ce * dim);
+    for p in 0..k {
+        for a in 0..ce {
+            let i = p * ce + a;
+            let h_a = &head[i * dim..(i + 1) * dim];
+            for c in 0..ce {
+                let j = p * ce + c;
+                for b in 0..cr {
+                    let w = core[core_index(ce, cr, p, a, c, b)];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let kk = p * cr + b;
+                    let r_b = &rel[kk * dim..(kk + 1) * dim];
+                    hadamard_axpy_fast(w, h_a, r_b, &mut ctx[j * dim..(j + 1) * dim]);
+                }
+            }
+        }
+    }
+}
+
+/// Head-side analogue of [`block_tail_context`]:
+/// `ctx⁽ᵖ·ᶜᵉ⁺ᵃ⁾ += G_p[a,b,c] · t⁽ᵖ·ᶜᵉ⁺ᶜ⁾ ⊙ r⁽ᵖ·ᶜʳ⁺ᵇ⁾`.
+#[allow(clippy::too_many_arguments)]
+pub fn block_head_context(
+    tail: &[f32],
+    rel: &[f32],
+    core: &[f32],
+    k: usize,
+    ce: usize,
+    cr: usize,
+    dim: usize,
+    ctx: &mut [f32],
+) {
+    debug_assert_eq!(tail.len(), k * ce * dim);
+    debug_assert_eq!(rel.len(), k * cr * dim);
+    debug_assert_eq!(core.len(), k * ce * ce * cr);
+    debug_assert_eq!(ctx.len(), k * ce * dim);
+    for p in 0..k {
+        for a in 0..ce {
+            let i = p * ce + a;
+            for c in 0..ce {
+                let j = p * ce + c;
+                let t_c = &tail[j * dim..(j + 1) * dim];
+                for b in 0..cr {
+                    let w = core[core_index(ce, cr, p, a, c, b)];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let kk = p * cr + b;
+                    let r_b = &rel[kk * dim..(kk + 1) * dim];
+                    hadamard_axpy_fast(w, t_c, r_b, &mut ctx[i * dim..(i + 1) * dim]);
+                }
+            }
+        }
+    }
+}
+
+/// Full block-term score `Σ_p Σ_{a,b,c} G_p[a,b,c]·⟨h, t, r⟩` — the
+/// per-triple path, sharing the [`trilinear_fast`] reduction with the
+/// generic ω walk (zero cells skipped in the same order).
+#[allow(clippy::too_many_arguments)]
+pub fn block_score(
+    head: &[f32],
+    tail: &[f32],
+    rel: &[f32],
+    core: &[f32],
+    k: usize,
+    ce: usize,
+    cr: usize,
+    dim: usize,
+) -> f32 {
+    debug_assert_eq!(core.len(), k * ce * ce * cr);
+    let mut s = 0.0f32;
+    for p in 0..k {
+        for a in 0..ce {
+            let i = p * ce + a;
+            for c in 0..ce {
+                let j = p * ce + c;
+                for b in 0..cr {
+                    let w = core[core_index(ce, cr, p, a, c, b)];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let kk = p * cr + b;
+                    s += w * trilinear_fast(
+                        &head[i * dim..(i + 1) * dim],
+                        &tail[j * dim..(j + 1) * dim],
+                        &rel[kk * dim..(kk + 1) * dim],
+                    );
+                }
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) - (n as f32) / 2.0) * scale).collect()
+    }
+
+    /// The block kernels must equal a generic term walk over the support
+    /// cells, bit for bit: both sides call the same kernels in the same
+    /// order on the same operands.
+    #[test]
+    fn block_context_matches_generic_support_walk_bitwise() {
+        let (k, ce, cr, d) = (3, 2, 3, 7);
+        let head = seq(k * ce * d, 0.13);
+        let rel = seq(k * cr * d, -0.07);
+        let mut core = seq(k * ce * ce * cr, 0.31);
+        core[5] = 0.0; // exercise the zero-skip
+        let mut fast = vec![0.0f32; k * ce * d];
+        block_tail_context(&head, &rel, &core, k, ce, cr, d, &mut fast);
+        let mut reference = vec![0.0f32; k * ce * d];
+        for p in 0..k {
+            for a in 0..ce {
+                for c in 0..ce {
+                    for b in 0..cr {
+                        let w = core[core_index(ce, cr, p, a, c, b)];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let (i, j, kk) = (p * ce + a, p * ce + c, p * cr + b);
+                        hadamard_axpy_fast(
+                            w,
+                            &head[i * d..(i + 1) * d],
+                            &rel[kk * d..(kk + 1) * d],
+                            &mut reference[j * d..(j + 1) * d],
+                        );
+                    }
+                }
+            }
+        }
+        for (x, y) in fast.iter().zip(&reference) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Score through the tail context equals the direct block score (up to
+    /// the context path's different reduction grouping — compare loosely).
+    #[test]
+    fn score_agrees_with_context_dot() {
+        let (k, ce, cr, d) = (2, 2, 1, 5);
+        let head = seq(k * ce * d, 0.21);
+        let tail = seq(k * ce * d, -0.17);
+        let rel = seq(k * cr * d, 0.09);
+        let core = seq(k * ce * ce * cr, 0.4);
+        let direct = block_score(&head, &tail, &rel, &core, k, ce, cr, d);
+        let mut ctx = vec![0.0f32; k * ce * d];
+        block_tail_context(&head, &rel, &core, k, ce, cr, d, &mut ctx);
+        let via_ctx: f32 = ctx.iter().zip(&tail).map(|(a, b)| a * b).sum();
+        assert!((direct - via_ctx).abs() < 1e-4, "{direct} vs {via_ctx}");
+    }
+
+    /// Ragged shapes (Ce ≠ Cr) index cleanly.
+    #[test]
+    fn ragged_dims_are_supported() {
+        let (k, ce, cr, d) = (2, 3, 1, 4);
+        let head = seq(k * ce * d, 0.1);
+        let rel = seq(k * cr * d, 0.2);
+        let core = vec![1.0f32; k * ce * ce * cr];
+        let mut ctx = vec![0.0f32; k * ce * d];
+        block_tail_context(&head, &rel, &core, k, ce, cr, d, &mut ctx);
+        assert!(ctx.iter().all(|v| v.is_finite()));
+        let mut hctx = vec![0.0f32; k * ce * d];
+        block_head_context(&head, &rel, &core, k, ce, cr, d, &mut hctx);
+        assert!(hctx.iter().all(|v| v.is_finite()));
+    }
+}

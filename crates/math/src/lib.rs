@@ -12,6 +12,10 @@
 //! * [`kernels`] — unrolled multi-accumulator variants of the hot vecops
 //!   plus the cache-blocked [`kernels::gemm_nt`] used by the evaluation
 //!   ranking pipeline.
+//! * [`block`] — block-term (Tucker) contraction kernels for the MEI
+//!   K×Ce×Cr family, walk-order replicas of the generic ω term walk.
+//! * [`reg`] — counter-based dropout masks and f64 batch-norm moment
+//!   helpers for the deterministic regularized training path.
 //! * [`quantops`] — int8 screening kernels ([`quantops::gemm_i8_nt`]) with
 //!   exact i32 accumulation, behind the `mei-quant` candidate-generation
 //!   pass.
@@ -44,11 +48,13 @@
 #![warn(missing_docs)]
 
 pub mod activations;
+pub mod block;
 pub mod init;
 pub mod kernels;
 pub mod matrix;
 pub mod pca;
 pub mod quantops;
+pub mod reg;
 pub mod stats;
 pub mod vecops;
 

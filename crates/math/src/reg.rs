@@ -1,0 +1,244 @@
+//! Deterministic training-regularization primitives: counter-based
+//! dropout masks and f64 batch-norm moment accumulation.
+//!
+//! Both exist to keep the k-vs-all regularized training path inside the
+//! workspace's bit-determinism contract:
+//!
+//! * **Dropout masks are counter-based**, not stream-based. A mask
+//!   element is a pure function of `(batch seed, global query index,
+//!   stream id, element index)` through [`splitmix64`], so the forward
+//!   and backward passes regenerate identical masks independently, on
+//!   any worker, in any order — no RNG state is threaded through the
+//!   parallel region.
+//! * **Batch-norm moments accumulate in f64** ([`accumulate_moments`])
+//!   and are reduced *sequentially in chunk order* by the caller, so the
+//!   batch statistics are a pure function of the batch content — never
+//!   of the thread count.
+
+/// SplitMix64: the finalizer used to hash mask counters into uniform
+/// 64-bit values. Passes BigCrush as a generator; here it is used purely
+/// as a stateless mixing function.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the counter base for one dropout mask from the batch seed, the
+/// query's global (batch-wide) index, and a stream id separating the
+/// mask kinds (0 = interaction output, 1 = anchor row, 2 = relation row).
+#[inline]
+pub fn mask_stream_base(seed: u64, query: u64, stream: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(query.wrapping_mul(3).wrapping_add(stream)))
+}
+
+/// Fills `mask` with inverted-dropout scale factors: element `e` is
+/// `1/(1−p)` with probability `1−p` and `0.0` otherwise, decided by
+/// `splitmix64(base + e)`. Writing the scale into the mask lets both the
+/// forward (`x ⊙ mask`) and the backward (`g ⊙ mask`) be a single
+/// elementwise product.
+///
+/// ```
+/// let mut mask = [0.0f32; 256];
+/// mei_math::reg::fill_dropout_mask(42, 0.5, &mut mask);
+/// let kept = mask.iter().filter(|v| **v != 0.0).count();
+/// assert!(kept > 64 && kept < 192); // ~half survive
+/// assert!(mask.iter().all(|v| *v == 0.0 || *v == 2.0));
+/// ```
+pub fn fill_dropout_mask(base: u64, p: f32, mask: &mut [f32]) {
+    debug_assert!((0.0..1.0).contains(&p));
+    let scale = 1.0 / (1.0 - p);
+    for (e, slot) in mask.iter_mut().enumerate() {
+        // Top 24 bits → uniform f32 in [0, 1): exact, no rounding bias.
+        let u = (splitmix64(base.wrapping_add(e as u64)) >> 40) as f32 / (1u32 << 24) as f32;
+        *slot = if u < p { 0.0 } else { scale };
+    }
+}
+
+/// `dst = src ⊙ mask` (elementwise).
+#[inline]
+pub fn apply_mask_into(src: &[f32], mask: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), mask.len());
+    debug_assert_eq!(src.len(), dst.len());
+    for i in 0..dst.len() {
+        dst[i] = src[i] * mask[i];
+    }
+}
+
+/// `buf ⊙= mask` (elementwise, in place).
+#[inline]
+pub fn apply_mask_in_place(buf: &mut [f32], mask: &[f32]) {
+    debug_assert_eq!(buf.len(), mask.len());
+    for i in 0..buf.len() {
+        buf[i] *= mask[i];
+    }
+}
+
+/// Accumulates per-feature first and second moments of one row into f64
+/// accumulators: `sum[f] += x[f]`, `sumsq[f] += x[f]²`. The caller drives
+/// this sequentially in a fixed row order, which keeps the resulting
+/// batch statistics independent of the worker count.
+#[inline]
+pub fn accumulate_moments(x: &[f32], sum: &mut [f64], sumsq: &mut [f64]) {
+    debug_assert_eq!(x.len(), sum.len());
+    debug_assert_eq!(x.len(), sumsq.len());
+    for f in 0..x.len() {
+        let v = f64::from(x[f]);
+        sum[f] += v;
+        sumsq[f] += v * v;
+    }
+}
+
+/// Finalizes f64 moment sums over `q` rows into f32 per-feature batch
+/// `mean`, biased `var` (the normalization denominator uses `q`, matching
+/// standard batch-norm), and `istd = 1/√(var + eps)`.
+pub fn finalize_moments(
+    sum: &[f64],
+    sumsq: &[f64],
+    q: usize,
+    eps: f32,
+    mean: &mut [f32],
+    var: &mut [f32],
+    istd: &mut [f32],
+) {
+    let qf = q as f64;
+    for f in 0..sum.len() {
+        let m = sum[f] / qf;
+        let v = (sumsq[f] / qf - m * m).max(0.0);
+        mean[f] = m as f32;
+        var[f] = v as f32;
+        istd[f] = 1.0 / (v as f32 + eps).sqrt();
+    }
+}
+
+/// Batch-norm forward for one row: `out[f] = γ[f]·(x[f]−μ[f])·istd[f] + β[f]`.
+#[inline]
+pub fn bn_apply(x: &mut [f32], mean: &[f32], istd: &[f32], gamma: &[f32], beta: &[f32]) {
+    for f in 0..x.len() {
+        x[f] = gamma[f] * ((x[f] - mean[f]) * istd[f]) + beta[f];
+    }
+}
+
+/// Batch-norm input gradient for one row, in place:
+/// `g[f] ← γ[f]·istd[f]·(g[f] − gβ[f]/Q − x̂[f]·gγ[f]/Q)` where
+/// `x̂ = (x−μ)·istd` is recomputed from the raw activations and the
+/// `gβ/Q`, `gγ/Q` constants were reduced sequentially by the caller.
+#[inline]
+pub fn bn_backward_row(
+    g: &mut [f32],
+    x_raw: &[f32],
+    mean: &[f32],
+    istd: &[f32],
+    gamma: &[f32],
+    gbeta_over_q: &[f32],
+    ggamma_over_q: &[f32],
+) {
+    for f in 0..g.len() {
+        let xhat = (x_raw[f] - mean[f]) * istd[f];
+        g[f] = gamma[f] * istd[f] * (g[f] - gbeta_over_q[f] - xhat * ggamma_over_q[f]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_are_reproducible_and_position_independent() {
+        let mut a = [0.0f32; 64];
+        let mut b = [0.0f32; 64];
+        fill_dropout_mask(mask_stream_base(7, 3, 1), 0.3, &mut a);
+        fill_dropout_mask(mask_stream_base(7, 3, 1), 0.3, &mut b);
+        assert_eq!(a, b);
+        // Different query index ⇒ different mask.
+        fill_dropout_mask(mask_stream_base(7, 4, 1), 0.3, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn moments_match_direct_computation() {
+        let rows = [[1.0f32, -2.0], [3.0, 0.5], [-1.0, 1.5]];
+        let mut sum = [0.0f64; 2];
+        let mut sumsq = [0.0f64; 2];
+        for r in &rows {
+            accumulate_moments(r, &mut sum, &mut sumsq);
+        }
+        let (mut mean, mut var, mut istd) = ([0.0f32; 2], [0.0f32; 2], [0.0f32; 2]);
+        finalize_moments(&sum, &sumsq, 3, 1e-5, &mut mean, &mut var, &mut istd);
+        assert!((mean[0] - 1.0).abs() < 1e-6);
+        assert!((var[0] - 8.0 / 3.0).abs() < 1e-5);
+        assert!((istd[0] - 1.0 / (8.0f32 / 3.0 + 1e-5).sqrt()).abs() < 1e-6);
+    }
+
+    /// BN backward matches finite differences of the whole normalized
+    /// batch w.r.t. one raw input, through a scalar loss Σ u·y.
+    #[test]
+    fn bn_backward_matches_finite_differences() {
+        let q = 4usize;
+        let d = 3usize;
+        let x: Vec<f32> = (0..q * d).map(|i| (i as f32 * 0.37).sin()).collect();
+        let gamma: Vec<f32> = (0..d).map(|f| 1.0 + 0.1 * f as f32).collect();
+        let beta: Vec<f32> = (0..d).map(|f| 0.05 * f as f32).collect();
+        let upstream: Vec<f32> = (0..q * d).map(|i| (i as f32 * 0.71).cos()).collect();
+        let eps = 1e-5f32;
+
+        let forward = |x: &[f32]| -> f32 {
+            let mut sum = vec![0.0f64; d];
+            let mut sumsq = vec![0.0f64; d];
+            for r in x.chunks(d) {
+                accumulate_moments(r, &mut sum, &mut sumsq);
+            }
+            let (mut mean, mut var, mut istd) = (vec![0.0f32; d], vec![0.0f32; d], vec![0.0f32; d]);
+            finalize_moments(&sum, &sumsq, q, eps, &mut mean, &mut var, &mut istd);
+            let mut loss = 0.0f32;
+            for (g, row) in x.chunks(d).enumerate() {
+                let mut y = row.to_vec();
+                bn_apply(&mut y, &mean, &istd, &gamma, &beta);
+                for f in 0..d {
+                    loss += upstream[g * d + f] * y[f];
+                }
+            }
+            loss
+        };
+
+        // Analytic gradient.
+        let mut sum = vec![0.0f64; d];
+        let mut sumsq = vec![0.0f64; d];
+        for r in x.chunks(d) {
+            accumulate_moments(r, &mut sum, &mut sumsq);
+        }
+        let (mut mean, mut var, mut istd) = (vec![0.0f32; d], vec![0.0f32; d], vec![0.0f32; d]);
+        finalize_moments(&sum, &sumsq, q, eps, &mut mean, &mut var, &mut istd);
+        let mut gbeta = vec![0.0f64; d];
+        let mut ggamma = vec![0.0f64; d];
+        for (g, row) in x.chunks(d).enumerate() {
+            for f in 0..d {
+                let xhat = f64::from((row[f] - mean[f]) * istd[f]);
+                gbeta[f] += f64::from(upstream[g * d + f]);
+                ggamma[f] += f64::from(upstream[g * d + f]) * xhat;
+            }
+        }
+        let gb_q: Vec<f32> = gbeta.iter().map(|v| (*v / q as f64) as f32).collect();
+        let gg_q: Vec<f32> = ggamma.iter().map(|v| (*v / q as f64) as f32).collect();
+        let mut grad = upstream.clone();
+        for (g, row) in x.chunks(d).enumerate() {
+            bn_backward_row(&mut grad[g * d..(g + 1) * d], row, &mean, &istd, &gamma, &gb_q, &gg_q);
+        }
+
+        for idx in 0..q * d {
+            let h = 1e-2f32;
+            let mut xp = x.clone();
+            xp[idx] += h;
+            let mut xm = x.clone();
+            xm[idx] -= h;
+            let fd = (forward(&xp) - forward(&xm)) / (2.0 * h);
+            assert!(
+                (grad[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "grad[{idx}]: analytic {} vs fd {fd}",
+                grad[idx]
+            );
+        }
+    }
+}
